@@ -1,0 +1,20 @@
+//! E10: the OLTP workload, verified scheduler vs buggy CFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched_bench::scenarios::{dual_socket, oltp_workload, run_sim, SchedulerKind};
+
+fn bench(c: &mut Criterion) {
+    let topo = dual_socket();
+    let workload = oltp_workload(topo.nr_cpus());
+    let mut group = c.benchmark_group("e10_database");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Optimistic, SchedulerKind::CfsSane, SchedulerKind::CfsBuggy] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| run_sim(&topo, &workload, kind).operations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E11: lock-less optimistic balancing vs the fully locked pessimistic
+//! baseline, on the threaded runqueue substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched_core::{CoreId, Policy};
+use sched_rq::MultiQueue;
+
+fn loads(cores: usize) -> Vec<usize> {
+    (0..cores).map(|i| if i % 4 == 0 { 6 } else { 0 }).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let policy = Policy::simple();
+    let mut group = c.benchmark_group("e11_overhead");
+    for &cores in &[4usize, 16, 64] {
+        let mq: MultiQueue = MultiQueue::with_loads(&loads(cores));
+        group.bench_with_input(BenchmarkId::new("optimistic", cores), &mq, |b, mq| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % cores;
+                mq.balance_once(CoreId(i), &policy)
+            })
+        });
+        let mq: MultiQueue = MultiQueue::with_loads(&loads(cores));
+        group.bench_with_input(BenchmarkId::new("pessimistic", cores), &mq, |b, mq| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % cores;
+                mq.balance_once_pessimistic(CoreId(i), &policy)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E12: hierarchical / NUMA-aware choice policies on an 8-node machine.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched_bench::scenarios::eight_node;
+use sched_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let topo = Arc::new(eight_node());
+    let variants: Vec<(&str, Policy)> = vec![
+        ("flat", Policy::simple()),
+        (
+            "numa_aware",
+            Policy::simple().with_choice(Box::new(NumaAwareChoice::new(Arc::clone(&topo), LoadMetric::NrThreads))),
+        ),
+        (
+            "group_aware",
+            Policy::simple().with_choice(Box::new(GroupAwareChoice::new(Arc::clone(&topo), LoadMetric::NrThreads))),
+        ),
+    ];
+    let mut group = c.benchmark_group("e12_hierarchical");
+    group.sample_size(10);
+    for (name, policy) in variants {
+        let balancer = Balancer::new(policy);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &balancer, |b, balancer| {
+            b.iter(|| {
+                let mut system = SystemState::with_topology(&topo);
+                for t in 0..(topo.nr_cpus() as u64 * 2) {
+                    system.core_mut(CoreId(0)).enqueue(Task::new(TaskId(t)));
+                }
+                let result = converge(&mut system, balancer, RoundSchedule::AllSelectThenSteal, topo.nr_cpus() * 16);
+                assert!(result.converged());
+                result.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

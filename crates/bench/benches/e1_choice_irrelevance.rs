@@ -1,0 +1,27 @@
+//! E1: cost of a full balancing round under each step-2 choice policy.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched_bench::scenarios::{choice_variants, dual_socket};
+use sched_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let topo = Arc::new(dual_socket());
+    let mut group = c.benchmark_group("e1_choice_irrelevance");
+    group.sample_size(30);
+    for (name, policy) in choice_variants(&topo) {
+        let balancer = Balancer::new(policy);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &balancer, |b, balancer| {
+            b.iter(|| {
+                let mut system = SystemState::from_loads(&[12, 0, 0, 0, 4, 0, 0, 0, 2, 0, 0, 0, 6, 0, 0, 0]);
+                let executor = ConcurrentRound::new(balancer);
+                executor.execute(&mut system, &RoundSchedule::AllSelectThenSteal)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

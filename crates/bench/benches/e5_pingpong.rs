@@ -1,0 +1,27 @@
+//! E5: cost of the counterexample search that finds the §4.3 ping-pong.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sched_core::prelude::*;
+use sched_verify::{find_non_conserving_cycle, ChoiceStrategy, Scope};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_pingpong");
+    group.sample_size(10);
+    group.bench_function("greedy_refuted", |b| {
+        let balancer = Balancer::new(Policy::greedy());
+        b.iter(|| {
+            find_non_conserving_cycle(&balancer, &Scope::small(), ChoiceStrategy::Adversarial)
+                .expect("the ping-pong must be found")
+        })
+    });
+    group.bench_function("listing1_proved", |b| {
+        let balancer = Balancer::new(Policy::simple());
+        b.iter(|| {
+            assert!(find_non_conserving_cycle(&balancer, &Scope::small(), ChoiceStrategy::Adversarial).is_none())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

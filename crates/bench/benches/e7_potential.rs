@@ -1,0 +1,20 @@
+//! E7: cost of evaluating the pairwise load-difference potential d.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched_core::prelude::*;
+use sched_workloads::{ImbalancePattern, StaticImbalance};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_potential");
+    for &cores in &[8usize, 64, 256, 1024] {
+        let loads = StaticImbalance::new(cores, cores * 2, ImbalancePattern::Random).loads();
+        let system = SystemState::from_loads(&loads);
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &system, |b, system| {
+            b.iter(|| potential(system, LoadMetric::NrThreads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

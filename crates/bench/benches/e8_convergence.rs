@@ -1,0 +1,26 @@
+//! E8: rounds-to-work-conservation for growing machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched_core::prelude::*;
+use sched_workloads::{ImbalancePattern, StaticImbalance};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_convergence");
+    group.sample_size(30);
+    for &cores in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
+            let loads = StaticImbalance::new(cores, cores * 2, ImbalancePattern::SingleHot).loads();
+            let balancer = Balancer::new(Policy::simple());
+            b.iter(|| {
+                let mut system = SystemState::from_loads(&loads);
+                let result = converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, cores * 16);
+                assert!(result.converged());
+                result.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E9: the fork-join scientific workload, verified scheduler vs buggy CFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sched_bench::scenarios::{dual_socket, run_sim, scientific_workload, SchedulerKind};
+
+fn bench(c: &mut Criterion) {
+    let topo = dual_socket();
+    let workload = scientific_workload(topo.nr_cpus());
+    let mut group = c.benchmark_group("e9_scientific");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Optimistic, SchedulerKind::CfsSane, SchedulerKind::CfsBuggy] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| run_sim(&topo, &workload, kind).makespan_ns)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

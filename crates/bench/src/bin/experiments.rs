@@ -1,0 +1,54 @@
+//! The experiment harness: regenerates every table of `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p sched-bench --release --bin experiments -- all
+//! cargo run -p sched-bench --release --bin experiments -- e5 e8
+//! cargo run -p sched-bench --release --bin experiments -- --markdown e9
+//! cargo run -p sched-bench --release --bin experiments -- list
+//! ```
+
+use sched_bench::{all_experiments, run_experiment, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+
+    if wanted.is_empty() || wanted.iter().any(|a| a == "list") {
+        eprintln!("available experiments:");
+        for id in ExperimentId::all() {
+            eprintln!("  {}", id.title());
+        }
+        eprintln!("\nrun with: cargo run -p sched-bench --release --bin experiments -- all | e<N>...");
+        if wanted.is_empty() || wanted.iter().all(|a| a == "list") {
+            return;
+        }
+    }
+
+    let runs: Vec<(ExperimentId, Vec<sched_metrics::Table>)> = if wanted.iter().any(|a| a == "all") {
+        all_experiments()
+    } else {
+        wanted
+            .iter()
+            .filter(|a| *a != "list")
+            .map(|a| {
+                let id = ExperimentId::parse(a)
+                    .unwrap_or_else(|| panic!("unknown experiment `{a}` (try `list`)"));
+                (id, run_experiment(id))
+            })
+            .collect()
+    };
+
+    for (id, tables) in runs {
+        println!("\n################ {} ################\n", id.title());
+        for table in tables {
+            if markdown {
+                println!("{}", table.to_markdown());
+            } else {
+                println!("{}", table.to_text());
+            }
+        }
+    }
+}

@@ -1,0 +1,687 @@
+//! The thirteen experiments of the per-experiment index (DESIGN.md §4).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sched_core::prelude::*;
+use sched_metrics::Table;
+use sched_rq::MultiQueue;
+use sched_verify::{
+    analyze_convergence, find_non_conserving_cycle, lemmas, verify_policy, ChoiceStrategy, Scope,
+};
+use sched_workloads::{ImbalancePattern, StaticImbalance};
+
+use crate::scenarios::{
+    choice_variants, dual_socket, eight_node, oltp_workload, run_sim, scientific_workload,
+    SchedulerKind,
+};
+
+/// Identifier of one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ExperimentId {
+    E1,
+    E2,
+    E3,
+    E4,
+    E5,
+    E6,
+    E7,
+    E8,
+    E9,
+    E10,
+    E11,
+    E12,
+    E13,
+}
+
+impl ExperimentId {
+    /// All experiments, in index order.
+    pub fn all() -> Vec<ExperimentId> {
+        use ExperimentId::*;
+        vec![E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13]
+    }
+
+    /// Parses an experiment id such as `e5` or `E12`.
+    pub fn parse(text: &str) -> Option<ExperimentId> {
+        use ExperimentId::*;
+        Some(match text.to_ascii_lowercase().as_str() {
+            "e1" => E1,
+            "e2" => E2,
+            "e3" => E3,
+            "e4" => E4,
+            "e5" => E5,
+            "e6" => E6,
+            "e7" => E7,
+            "e8" => E8,
+            "e9" => E9,
+            "e10" => E10,
+            "e11" => E11,
+            "e12" => E12,
+            "e13" => E13,
+            _ => return None,
+        })
+    }
+
+    /// Short description shown by the harness.
+    pub fn title(self) -> &'static str {
+        use ExperimentId::*;
+        match self {
+            E1 => "E1  Figure 1: the choice step is irrelevant to the proofs",
+            E2 => "E2  Listing 1: the simple load balancer in action",
+            E3 => "E3  Listing 2 / Lemma 1: filter soundness and completeness",
+            E4 => "E4  §4.2: steal soundness and sequential work conservation",
+            E5 => "E5  §4.3: the greedy-filter ping-pong counterexample",
+            E6 => "E6  §4.3 P1: failures imply concurrent successes",
+            E7 => "E7  §4.3 P2: the potential decreases on every steal",
+            E8 => "E8  §3.2: rounds to reach work conservation (the bound N)",
+            E9 => "E9  §1: scientific (fork-join) workload degradation",
+            E10 => "E10 §1: database (OLTP) throughput loss",
+            E11 => "E11 §3.1: overhead of lock-less vs fully locked balancing",
+            E12 => "E12 §5: hierarchical / NUMA-aware balancing in step 2",
+            E13 => "E13 §1/§5: the DSL front-end and its two backends",
+        }
+    }
+}
+
+/// Runs one experiment and returns its tables.
+pub fn run_experiment(id: ExperimentId) -> Vec<Table> {
+    match id {
+        ExperimentId::E1 => e1_choice_irrelevance(),
+        ExperimentId::E2 => e2_listing1(),
+        ExperimentId::E3 => e3_lemma1(),
+        ExperimentId::E4 => e4_sequential(),
+        ExperimentId::E5 => e5_pingpong(),
+        ExperimentId::E6 => e6_failures(),
+        ExperimentId::E7 => e7_potential(),
+        ExperimentId::E8 => e8_convergence(),
+        ExperimentId::E9 => e9_scientific(),
+        ExperimentId::E10 => e10_database(),
+        ExperimentId::E11 => e11_overhead(),
+        ExperimentId::E12 => e12_hierarchical(),
+        ExperimentId::E13 => e13_dsl(),
+    }
+}
+
+/// Runs every experiment in index order.
+pub fn all_experiments() -> Vec<(ExperimentId, Vec<Table>)> {
+    ExperimentId::all().into_iter().map(|id| (id, run_experiment(id))).collect()
+}
+
+fn verdict(ok: bool) -> String {
+    if ok { "proved".into() } else { "REFUTED".into() }
+}
+
+/// E1: swap every choice policy into Listing 1 and re-run the whole lemma
+/// suite; every variant must verify with the identical convergence bound.
+fn e1_choice_irrelevance() -> Vec<Table> {
+    let topo = Arc::new(dual_socket());
+    let scope = Scope::small();
+    let mut table = Table::new(
+        "E1: the choice step (step 2) never affects the proofs [scope: 3 cores, 5 threads]",
+        &["choice policy", "lemmas proved", "work conserving", "max rounds N", "instances checked"],
+    );
+    for (name, policy) in choice_variants(&topo) {
+        let balancer = Balancer::new(policy);
+        let report = verify_policy(&balancer, &scope, false);
+        let n = report.convergence.as_ref().map(|n| n.to_string()).unwrap_or_else(|_| "-".into());
+        table.row(&[
+            name.into(),
+            format!("{}/{}", report.lemmas.iter().filter(|l| l.is_proved()).count(), report.lemmas.len()),
+            verdict(report.is_work_conserving()),
+            n,
+            report.total_instances().to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E2: the Listing 1 balancer fixing single-hot imbalances of growing size.
+fn e2_listing1() -> Vec<Table> {
+    let mut table = Table::new(
+        "E2: Listing 1 balancer, sequential rounds, all threads initially on core 0",
+        &["cores", "threads", "rounds to WC", "migrations", "failures", "potential before", "potential after"],
+    );
+    for &cores in &[2usize, 4, 8, 16, 32, 64] {
+        let threads = cores * 2;
+        let loads = StaticImbalance::new(cores, threads, ImbalancePattern::SingleHot).loads();
+        let mut system = SystemState::from_loads(&loads);
+        let d_before = potential(&system, LoadMetric::NrThreads);
+        let balancer = Balancer::new(Policy::simple());
+        let result = converge(&mut system, &balancer, RoundSchedule::Sequential, 4 * threads);
+        table.row(&[
+            cores.to_string(),
+            threads.to_string(),
+            result.rounds.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            result.total_migrations().to_string(),
+            result.total_failures().to_string(),
+            d_before.to_string(),
+            potential(&system, LoadMetric::NrThreads).to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E3: Lemma 1 checked exhaustively for each filter.
+fn e3_lemma1() -> Vec<Table> {
+    let scope = Scope::default_scope();
+    let mut table = Table::new(
+        format!("E3: Lemma 1 (Listing 2) over the exhaustive scope ({scope})"),
+        &["filter", "verdict", "idle-thief instances", "check time (ms)"],
+    );
+    let policies: Vec<(&str, Policy)> = vec![
+        ("listing1 (delta >= 2)", Policy::simple()),
+        ("greedy (load >= 2)", Policy::greedy()),
+        ("weighted", Policy::weighted()),
+    ];
+    for (name, policy) in policies {
+        let balancer = Balancer::new(policy);
+        let start = Instant::now();
+        let report = lemmas::check_lemma1(&balancer, &scope);
+        table.row(&[
+            name.into(),
+            verdict(report.is_proved()),
+            report.instances.to_string(),
+            format!("{:.1}", start.elapsed().as_secs_f64() * 1e3),
+        ]);
+    }
+    vec![table]
+}
+
+/// E4: steal soundness and sequential work conservation.
+fn e4_sequential() -> Vec<Table> {
+    let scope = Scope::default_scope();
+    let mut table = Table::new(
+        format!("E4: §4.2 sequential-setting lemmas ({scope})"),
+        &["policy", "steal soundness", "sequential WC", "instances"],
+    );
+    let policies: Vec<(&str, fn() -> Policy)> =
+        vec![("listing1", Policy::simple), ("greedy", Policy::greedy), ("weighted", Policy::weighted)];
+    for (name, make) in policies {
+        let balancer = Balancer::new(make());
+        let sound = lemmas::check_steal_soundness(&balancer, &scope);
+        let seq = lemmas::check_sequential_work_conservation(&balancer, &scope);
+        table.row(&[
+            name.into(),
+            verdict(sound.is_proved()),
+            verdict(seq.is_proved()),
+            (sound.instances + seq.instances).to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E5: the §4.3 ping-pong found automatically, and its absence for Listing 1.
+fn e5_pingpong() -> Vec<Table> {
+    let scope = Scope::small();
+    let mut table = Table::new(
+        "E5: §4.3 counterexample search (adversarial interleavings and choices)",
+        &["filter", "violation found", "witness"],
+    );
+    for (name, policy) in [("greedy (load >= 2)", Policy::greedy()), ("listing1 (delta >= 2)", Policy::simple())] {
+        let balancer = Balancer::new(policy);
+        let witness = find_non_conserving_cycle(&balancer, &scope, ChoiceStrategy::Adversarial);
+        let description = match &witness {
+            Some(w) => {
+                let states: Vec<String> = w.cycle.iter().map(|s| format!("{s:?}")).collect();
+                format!("cycle {} (idle core starves forever)", states.join(" -> "))
+            }
+            None => "none within scope".into(),
+        };
+        table.row(&[name.into(), if witness.is_some() { "YES".into() } else { "no".into() }, description]);
+    }
+    vec![table]
+}
+
+/// E6: P1 — failures only happen because a concurrent steal succeeded.
+fn e6_failures() -> Vec<Table> {
+    let scope = Scope::small();
+    let mut table = Table::new(
+        format!("E6: §4.3 P1 over every interleaving of every configuration ({scope})"),
+        &["policy", "verdict", "round interleavings checked"],
+    );
+    for (name, policy) in [
+        ("listing1", Policy::simple()),
+        ("greedy", Policy::greedy()),
+        ("weighted", Policy::weighted()),
+    ] {
+        let balancer = Balancer::new(policy);
+        let report = lemmas::check_failure_implies_concurrent_success(&balancer, &scope);
+        table.row(&[name.into(), verdict(report.is_proved()), report.instances.to_string()]);
+    }
+    vec![table]
+}
+
+/// E7: P2 — the potential decreases on every successful steal, and a traced
+/// example of the potential draining to its floor.
+fn e7_potential() -> Vec<Table> {
+    let scope = Scope::default_scope();
+    let mut lemma_table = Table::new(
+        format!("E7a: §4.3 P2 potential-decrease lemma ({scope})"),
+        &["policy", "verdict", "filter-holding steals checked"],
+    );
+    for (name, policy) in [
+        ("listing1", Policy::simple()),
+        ("greedy", Policy::greedy()),
+        ("weighted", Policy::weighted()),
+    ] {
+        let balancer = Balancer::new(policy);
+        let report = lemmas::check_potential_decreases(&balancer, &scope);
+        lemma_table.row(&[name.into(), verdict(report.is_proved()), report.instances.to_string()]);
+    }
+
+    let mut trace = Table::new(
+        "E7b: potential d per concurrent round, 8 cores, 16 threads in a step imbalance (Listing 1 policy)",
+        &["round", "loads", "potential d", "successes", "failures"],
+    );
+    let mut system = SystemState::from_loads(&StaticImbalance::new(8, 16, ImbalancePattern::Step).loads());
+    let balancer = Balancer::new(Policy::simple());
+    let executor = ConcurrentRound::new(&balancer);
+    trace.row(&[
+        "0".into(),
+        system.load_vector_string(LoadMetric::NrThreads),
+        potential(&system, LoadMetric::NrThreads).to_string(),
+        "-".into(),
+        "-".into(),
+    ]);
+    for round in 1..=12 {
+        if system.is_work_conserving() && round > 1 {
+            break;
+        }
+        let report = executor.execute(&mut system, &RoundSchedule::AllSelectThenSteal);
+        trace.row(&[
+            round.to_string(),
+            system.load_vector_string(LoadMetric::NrThreads),
+            potential(&system, LoadMetric::NrThreads).to_string(),
+            report.nr_successes().to_string(),
+            report.nr_failures().to_string(),
+        ]);
+    }
+    vec![lemma_table, trace]
+}
+
+/// E8: the convergence bound N versus core count and imbalance pattern.
+fn e8_convergence() -> Vec<Table> {
+    let mut table = Table::new(
+        "E8a: rounds to reach work conservation (concurrent rounds, all-select-then-steal)",
+        &["cores", "threads", "pattern", "rounds N", "successful steals", "failed attempts"],
+    );
+    for &cores in &[4usize, 8, 16, 32, 64, 128] {
+        for pattern in ImbalancePattern::all() {
+            let threads = cores * 2;
+            let loads = StaticImbalance::new(cores, threads, pattern).loads();
+            let mut system = SystemState::from_loads(&loads);
+            let balancer = Balancer::new(Policy::simple());
+            let result = converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, 8 * threads);
+            table.row(&[
+                cores.to_string(),
+                threads.to_string(),
+                pattern.to_string(),
+                result.rounds.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+                result.total_successes().to_string(),
+                result.total_failures().to_string(),
+            ]);
+        }
+    }
+
+    let mut exhaustive = Table::new(
+        "E8b: exhaustive worst-case N over every initial state and interleaving",
+        &["scope", "worst-case N", "non-WC states explored"],
+    );
+    for scope in [Scope::new(3, 5, 64), Scope::new(4, 6, 64)] {
+        let balancer = Balancer::new(Policy::simple());
+        let analysis = analyze_convergence(&balancer, &scope, ChoiceStrategy::PolicyChoice)
+            .expect("the Listing 1 policy is work-conserving");
+        exhaustive.row(&[
+            scope.to_string(),
+            analysis.max_rounds.to_string(),
+            analysis.states_explored.to_string(),
+        ]);
+    }
+
+    // Ablation: the steal policy (step 3) trades migrations per round against
+    // rounds to converge; the proofs hold for both (DESIGN.md design-choice
+    // ablation).
+    let mut ablation = Table::new(
+        "E8c: steal-policy ablation — rounds until fully balanced (quiescent), 64 cores, 128 threads on core 0",
+        &["steal policy", "rounds to WC", "rounds to quiescence", "threads migrated", "final potential d"],
+    );
+    let steal_variants: Vec<(&str, Policy)> = vec![
+        ("steal one thread (Listing 1)", Policy::simple()),
+        (
+            "steal half the imbalance (CFS-style batch)",
+            Policy::simple().with_steal(Box::new(StealHalfImbalance::new(LoadMetric::NrThreads))),
+        ),
+    ];
+    for (name, policy) in steal_variants {
+        let loads = StaticImbalance::new(64, 128, ImbalancePattern::SingleHot).loads();
+        let mut system = SystemState::from_loads(&loads);
+        let balancer = Balancer::new(policy);
+        let executor = ConcurrentRound::new(&balancer);
+        let mut rounds_to_wc = None;
+        let mut migrations = 0usize;
+        let mut rounds = 0usize;
+        for round in 0..4096usize {
+            if rounds_to_wc.is_none() && system.is_work_conserving() {
+                rounds_to_wc = Some(round);
+            }
+            let report = executor.execute(&mut system, &RoundSchedule::AllSelectThenSteal);
+            migrations += report.nr_stolen();
+            if report.is_quiescent() {
+                rounds = round;
+                break;
+            }
+        }
+        ablation.row(&[
+            name.into(),
+            rounds_to_wc.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            rounds.to_string(),
+            migrations.to_string(),
+            potential(&system, LoadMetric::NrThreads).to_string(),
+        ]);
+    }
+    vec![table, exhaustive, ablation]
+}
+
+/// E9: the fork-join scientific workload under the verified scheduler and
+/// the buggy CFS baseline.
+fn e9_scientific() -> Vec<Table> {
+    let topo = dual_socket();
+    let workload = scientific_workload(topo.nr_cpus());
+    let mut table = Table::new(
+        format!("E9: {} on a {}-core dual-socket machine", workload.name, topo.nr_cpus()),
+        &["scheduler", "makespan (ms)", "slowdown vs optimistic", "violating idle %", "steal failures"],
+    );
+    let baseline = run_sim(&topo, &workload, SchedulerKind::Optimistic);
+    for kind in [SchedulerKind::Optimistic, SchedulerKind::CfsSane, SchedulerKind::CfsBuggy] {
+        let result = if kind == SchedulerKind::Optimistic { baseline.clone() } else { run_sim(&topo, &workload, kind) };
+        table.row(&[
+            kind.name().into(),
+            format!("{:.2}", result.makespan_ms()),
+            format!("{:.2}x", result.slowdown_vs(&baseline)),
+            format!("{:.1}%", result.violating_idle_fraction() * 100.0),
+            result.balance.failures.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E10: the OLTP workload under the verified scheduler and the buggy CFS
+/// baseline.
+fn e10_database() -> Vec<Table> {
+    let topo = dual_socket();
+    let workload = oltp_workload(topo.nr_cpus());
+    let mut table = Table::new(
+        format!("E10: {} on a {}-core dual-socket machine", workload.name, topo.nr_cpus()),
+        &["scheduler", "throughput (txn/s)", "relative throughput", "violating idle %", "p99 sched latency (us)"],
+    );
+    let baseline = run_sim(&topo, &workload, SchedulerKind::Optimistic);
+    for kind in [SchedulerKind::Optimistic, SchedulerKind::CfsSane, SchedulerKind::CfsBuggy] {
+        let result = if kind == SchedulerKind::Optimistic { baseline.clone() } else { run_sim(&topo, &workload, kind) };
+        table.row(&[
+            kind.name().into(),
+            format!("{:.0}", result.throughput_ops_per_sec()),
+            format!("{:.2}", result.relative_throughput(&baseline)),
+            format!("{:.1}%", result.violating_idle_fraction() * 100.0),
+            format!("{:.0}", result.latency.quantile(0.99) as f64 / 1e3),
+        ]);
+    }
+    vec![table]
+}
+
+/// E11: cost of the lock-less selection phase versus a fully locked one, on
+/// the threaded runqueue substrate.
+fn e11_overhead() -> Vec<Table> {
+    let mut table = Table::new(
+        "E11: threaded runqueues — optimistic (lock-less selection) vs pessimistic (all queues locked)",
+        &["cores", "optimistic ns/op", "pessimistic ns/op", "slowdown", "failure rate (concurrent round)"],
+    );
+    for &cores in &[4usize, 16, 64] {
+        let loads: Vec<usize> = (0..cores).map(|i| if i % 4 == 0 { 6 } else { 0 }).collect();
+        let policy = Policy::simple();
+
+        let mq: MultiQueue = MultiQueue::with_loads(&loads);
+        let iterations = 20_000u32;
+        let start = Instant::now();
+        for i in 0..iterations {
+            let _ = mq.balance_once(CoreId((i as usize) % cores), &policy);
+        }
+        let optimistic_ns = start.elapsed().as_nanos() as f64 / f64::from(iterations);
+
+        let mq: MultiQueue = MultiQueue::with_loads(&loads);
+        let start = Instant::now();
+        for i in 0..iterations {
+            let _ = mq.balance_once_pessimistic(CoreId((i as usize) % cores), &policy);
+        }
+        let pessimistic_ns = start.elapsed().as_nanos() as f64 / f64::from(iterations);
+
+        let mq: MultiQueue = MultiQueue::with_loads(&loads);
+        let stats = mq.concurrent_round_synchronized(&policy);
+        let failure_rate = if stats.attempts() == 0 {
+            0.0
+        } else {
+            stats.failures() as f64 / stats.attempts() as f64
+        };
+
+        table.row(&[
+            cores.to_string(),
+            format!("{optimistic_ns:.0}"),
+            format!("{pessimistic_ns:.0}"),
+            format!("{:.2}x", pessimistic_ns / optimistic_ns.max(1.0)),
+            format!("{:.2}", failure_rate),
+        ]);
+    }
+    vec![table]
+}
+
+/// E12: hierarchical and NUMA-aware placement expressed in step 2, plus the
+/// negative result when the hierarchy is pushed into step 1.
+fn e12_hierarchical() -> Vec<Table> {
+    let topo = Arc::new(eight_node());
+    let mut table = Table::new(
+        format!(
+            "E12: one hot core per node on an 8-node ({}-core) machine — where the hierarchy lives matters",
+            topo.nr_cpus()
+        ),
+        &["policy", "work conserving", "rounds N", "cross-node migrations", "same-node migrations"],
+    );
+
+    let variants: Vec<(&str, Policy)> = vec![
+        ("flat max-load choice", Policy::simple()),
+        (
+            "NUMA-aware choice (step 2)",
+            Policy::simple().with_choice(Box::new(NumaAwareChoice::new(
+                Arc::clone(&topo),
+                LoadMetric::NrThreads,
+            ))),
+        ),
+        (
+            "group-aware choice (step 2)",
+            Policy::simple().with_choice(Box::new(GroupAwareChoice::new(
+                Arc::clone(&topo),
+                LoadMetric::NrThreads,
+            ))),
+        ),
+        (
+            "node-restricted filter (step 1, WRONG)",
+            Policy::new(
+                LoadMetric::NrThreads,
+                Box::new(NodeRestrictedFilter::new(DeltaFilter::listing1())),
+                Box::new(MaxLoadChoice::new(LoadMetric::NrThreads)),
+                Box::new(StealOne),
+            ),
+        ),
+    ];
+
+    for (name, policy) in variants {
+        let mut system = SystemState::with_topology(&topo);
+        // One hot core per node holds that node's entire share of the work,
+        // so every idle core has both local and remote victims to choose
+        // from: the filter admits all of them, and only the step-2 choice
+        // decides whether migrations stay NUMA-local.
+        let nr_nodes = topo.nr_nodes();
+        let per_node = 2 * topo.nr_cpus() as u64 / nr_nodes as u64;
+        let mut next_task = 0u64;
+        for node in 0..nr_nodes {
+            let hot_core = topo.cpus_of_node(sched_topology::NodeId(node))[0];
+            for _ in 0..per_node {
+                system.core_mut(hot_core).enqueue(Task::new(TaskId(next_task)));
+                next_task += 1;
+            }
+        }
+        let balancer = Balancer::new(policy);
+        let mut cross_node = 0u64;
+        let mut same_node = 0u64;
+        let mut rounds = None;
+        let executor = ConcurrentRound::new(&balancer);
+        let max_rounds = topo.nr_cpus() * 8;
+        for round in 0..max_rounds {
+            if system.is_work_conserving() {
+                rounds = Some(round);
+                break;
+            }
+            let report = executor.execute(&mut system, &RoundSchedule::AllSelectThenSteal);
+            for attempt in report.successes() {
+                let victim = attempt.outcome.victim().expect("successes have victims");
+                if system.core(attempt.thief).node == system.core(victim).node {
+                    same_node += attempt.outcome.nr_stolen() as u64;
+                } else {
+                    cross_node += attempt.outcome.nr_stolen() as u64;
+                }
+            }
+        }
+        if rounds.is_none() && system.is_work_conserving() {
+            rounds = Some(max_rounds);
+        }
+        table.row(&[
+            name.into(),
+            if rounds.is_some() { "yes".into() } else { "NO (idle cores starve)".into() },
+            rounds.map(|r| r.to_string()).unwrap_or_else(|| "never".into()),
+            cross_node.to_string(),
+            same_node.to_string(),
+        ]);
+    }
+
+    // The negative result: when one node holds all the work, a filter that
+    // refuses cross-node steals can never make the remote nodes non-idle.
+    let mut negative = Table::new(
+        "E12b: all work on node 0 — a node-restricted *filter* (step 1) breaks work conservation, a NUMA-aware *choice* (step 2) does not",
+        &["policy", "work conserving", "rounds N", "idle cores left"],
+    );
+    let negative_variants: Vec<(&str, Policy)> = vec![
+        (
+            "NUMA-aware choice (step 2)",
+            Policy::simple().with_choice(Box::new(NumaAwareChoice::new(
+                Arc::clone(&topo),
+                LoadMetric::NrThreads,
+            ))),
+        ),
+        (
+            "node-restricted filter (step 1, WRONG)",
+            Policy::new(
+                LoadMetric::NrThreads,
+                Box::new(NodeRestrictedFilter::new(DeltaFilter::listing1())),
+                Box::new(MaxLoadChoice::new(LoadMetric::NrThreads)),
+                Box::new(StealOne),
+            ),
+        ),
+    ];
+    for (name, policy) in negative_variants {
+        let mut system = SystemState::with_topology(&topo);
+        for t in 0..(2 * topo.nr_cpus() as u64) {
+            system.core_mut(CoreId(0)).enqueue(Task::new(TaskId(t)));
+        }
+        let balancer = Balancer::new(policy);
+        let result = converge(
+            &mut system,
+            &balancer,
+            RoundSchedule::AllSelectThenSteal,
+            topo.nr_cpus() * 8,
+        );
+        negative.row(&[
+            name.into(),
+            if result.converged() { "yes".into() } else { "NO (idle cores starve)".into() },
+            result.rounds.map(|r| r.to_string()).unwrap_or_else(|| "never".into()),
+            system.idle_cores().len().to_string(),
+        ]);
+    }
+    vec![table, negative]
+}
+
+/// E13: the DSL front-end, its phase checker and its two backends.
+fn e13_dsl() -> Vec<Table> {
+    let scope = Scope::small();
+    let mut table = Table::new(
+        "E13: DSL policies through the phase checker, the verifier and the code generator",
+        &["policy (DSL)", "phase warnings", "work conserving", "generated Rust lines"],
+    );
+    for (name, source) in sched_dsl::stdlib::all() {
+        let compiled = sched_dsl::compile_source(source).expect("stdlib policies compile");
+        let generated = sched_dsl::generate_rust(&compiled.def);
+        let verified = sched_dsl::verify_source(source, &scope).expect("stdlib policies verify");
+        table.row(&[
+            name.into(),
+            compiled.warnings.len().to_string(),
+            verdict(verified.is_work_conserving()),
+            generated.lines().count().to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_parse_and_have_titles() {
+        assert_eq!(ExperimentId::parse("e5"), Some(ExperimentId::E5));
+        assert_eq!(ExperimentId::parse("E13"), Some(ExperimentId::E13));
+        assert_eq!(ExperimentId::parse("nope"), None);
+        assert_eq!(ExperimentId::all().len(), 13);
+        for id in ExperimentId::all() {
+            assert!(!id.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn e2_and_e7_produce_tables_quickly() {
+        let tables = run_experiment(ExperimentId::E2);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].nr_rows() >= 6);
+        let tables = run_experiment(ExperimentId::E7);
+        assert_eq!(tables.len(), 2);
+    }
+
+    #[test]
+    fn e5_finds_the_pingpong_for_greedy_only() {
+        let tables = run_experiment(ExperimentId::E5);
+        let csv = tables[0].to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[1].starts_with("greedy") && lines[1].contains("YES"));
+        assert!(lines[2].starts_with("listing1") && lines[2].contains("no"));
+    }
+
+    #[test]
+    fn e9_shows_the_buggy_baseline_losing() {
+        let tables = run_experiment(ExperimentId::E9);
+        let csv = tables[0].to_csv();
+        let buggy_row = csv.lines().last().unwrap();
+        let slowdown: f64 = buggy_row
+            .split(',')
+            .nth(2)
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(slowdown > 1.3, "the wasted-cores bugs should visibly slow the fork-join workload, got {slowdown}");
+    }
+
+    #[test]
+    fn e13_verifies_listing1_and_refutes_greedy() {
+        let tables = run_experiment(ExperimentId::E13);
+        let csv = tables[0].to_csv();
+        assert!(csv.lines().any(|l| l.starts_with("listing1") && l.contains("proved")));
+        assert!(csv.lines().any(|l| l.starts_with("greedy") && l.contains("REFUTED")));
+    }
+}

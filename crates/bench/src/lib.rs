@@ -1,0 +1,13 @@
+//! Experiment harness regenerating every figure, listing and quantitative
+//! claim of the paper.
+//!
+//! Each experiment of the per-experiment index in `DESIGN.md` §4 is
+//! implemented in [`experiments`] and returns [`sched_metrics::Table`]s; the
+//! `experiments` binary prints them, and `EXPERIMENTS.md` records a captured
+//! run.  The Criterion benches under `benches/` time the same scenarios,
+//! which are built by [`scenarios`].
+
+pub mod experiments;
+pub mod scenarios;
+
+pub use experiments::{all_experiments, run_experiment, ExperimentId};

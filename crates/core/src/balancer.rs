@@ -1,0 +1,216 @@
+//! The three-step balancer of Figure 1, applied to the pure scheduler state.
+
+use crate::outcome::{BalanceAttempt, RoundReport, StealOutcome};
+use crate::policy::Policy;
+use crate::snapshot::{CoreSnapshot, SystemSnapshot};
+use crate::system::SystemState;
+use crate::CoreId;
+
+/// The result of a selection phase: the filtered candidates (step 1) and the
+/// chosen victim (step 2), both computed from a read-only snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// Cores that passed the filter, in id order.
+    pub candidates: Vec<CoreId>,
+    /// The victim chosen among the candidates, if any.
+    pub chosen: Option<CoreId>,
+}
+
+/// Executes a [`Policy`] against a [`SystemState`].
+///
+/// The balancer exposes the selection and stealing phases separately so that
+/// the concurrent-round executor ([`crate::round::ConcurrentRound`]) and the
+/// model checker can interleave them; [`Balancer::balance_core`] performs
+/// the whole round for one core in isolation (the §4.2 sequential setting).
+pub struct Balancer {
+    policy: Policy,
+}
+
+impl Balancer {
+    /// Creates a balancer executing `policy`.
+    pub fn new(policy: Policy) -> Self {
+        Balancer { policy }
+    }
+
+    /// The policy being executed.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Selection phase (steps 1 and 2): lock-less and read-only.
+    ///
+    /// Consumes only the snapshot — by construction it cannot modify any
+    /// runqueue, which is the concurrency model restriction of §3.1.
+    pub fn select(&self, snapshot: &SystemSnapshot, thief: CoreId) -> Selection {
+        let thief_snap = *snapshot.core(thief);
+        let candidates: Vec<CoreSnapshot> = snapshot
+            .others(thief)
+            .into_iter()
+            .filter(|victim| self.policy.filter.can_steal(&thief_snap, victim))
+            .collect();
+        let mut chosen = self.policy.choice.choose(&thief_snap, &candidates);
+        // Enforce Listing 1's post-condition `ensuring(res => cores.contains(res))`:
+        // a choice outside the filtered list would invalidate the proof, so it
+        // is clamped back onto the list (and flagged in debug builds).
+        if let Some(c) = chosen {
+            if !candidates.iter().any(|s| s.id == c) {
+                debug_assert!(false, "choice policy returned a core outside the candidate list");
+                chosen = candidates.first().map(|s| s.id);
+            }
+        }
+        Selection { candidates: candidates.iter().map(|c| c.id).collect(), chosen }
+    }
+
+    /// Stealing phase (step 3): atomic with respect to the two runqueues.
+    ///
+    /// Re-checks the filter against the *live* state before migrating, as in
+    /// Listing 1 line 12 — this is where optimistic selections are detected
+    /// to have gone stale.
+    pub fn steal(&self, system: &mut SystemState, thief: CoreId, victim: CoreId) -> StealOutcome {
+        let thief_snap = CoreSnapshot::capture(system.core(thief));
+        let victim_snap = CoreSnapshot::capture(system.core(victim));
+        if !self.policy.filter.can_steal(&thief_snap, &victim_snap) {
+            return StealOutcome::RecheckFailed { victim };
+        }
+        let tasks = self.policy.steal.select_tasks(system.core(thief), system.core(victim));
+        if tasks.is_empty() {
+            return StealOutcome::NothingToSteal { victim };
+        }
+        let mut moved = Vec::with_capacity(tasks.len());
+        for id in tasks {
+            if system.migrate(victim, thief, id) {
+                moved.push(id);
+            }
+        }
+        if moved.is_empty() {
+            StealOutcome::NothingToSteal { victim }
+        } else {
+            StealOutcome::Stole { victim, tasks: moved }
+        }
+    }
+
+    /// Runs all three steps for one core in isolation.
+    ///
+    /// The snapshot is taken immediately before the stealing phase, so the
+    /// selection can never be stale: this is the no-concurrency setting of
+    /// §4.2 in which failures cannot occur.
+    pub fn balance_core(&self, system: &mut SystemState, thief: CoreId, time: usize) -> BalanceAttempt {
+        let snapshot = SystemSnapshot::capture(system);
+        let selection = self.select(&snapshot, thief);
+        let outcome = match selection.chosen {
+            Some(victim) => self.steal(system, thief, victim),
+            None => StealOutcome::NoCandidates,
+        };
+        BalanceAttempt {
+            thief,
+            select_time: time,
+            steal_time: time,
+            candidates: selection.candidates,
+            chosen: selection.chosen,
+            outcome,
+        }
+    }
+
+    /// Runs a fully sequential load-balancing round: every core executes its
+    /// three steps in isolation, in core-id order.
+    ///
+    /// "In this setup, in each load-balancing round the load-balancing
+    /// operations do not overlap (i.e., core 0 first does all three
+    /// load-balancing steps in isolation, then core 1 does all three steps,
+    /// etc.)." (§4.2)
+    pub fn run_round_sequential(&self, system: &mut SystemState) -> RoundReport {
+        let ids = system.core_ids();
+        let mut report = RoundReport::default();
+        for (time, id) in ids.into_iter().enumerate() {
+            report.attempts.push(self.balance_core(system, id, time));
+        }
+        report
+    }
+}
+
+impl std::fmt::Debug for Balancer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Balancer").field("policy", &self.policy).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::load::LoadMetric;
+
+    #[test]
+    fn sequential_round_fixes_a_simple_imbalance() {
+        let mut system = SystemState::from_loads(&[0, 3, 1]);
+        let balancer = Balancer::new(Policy::simple());
+        let report = balancer.run_round_sequential(&mut system);
+        assert_eq!(report.nr_successes(), 1);
+        assert_eq!(report.nr_failures(), 0, "no failures without concurrency");
+        assert!(system.is_work_conserving());
+        assert!(system.tasks_are_unique());
+        assert_eq!(system.loads(LoadMetric::NrThreads), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn idle_system_has_no_candidates() {
+        let mut system = SystemState::from_loads(&[0, 0, 0]);
+        let balancer = Balancer::new(Policy::simple());
+        let report = balancer.run_round_sequential(&mut system);
+        assert!(report.attempts.iter().all(|a| a.outcome == StealOutcome::NoCandidates));
+    }
+
+    #[test]
+    fn selection_is_read_only() {
+        let system = SystemState::from_loads(&[0, 3]);
+        let snapshot = SystemSnapshot::capture(&system);
+        let balancer = Balancer::new(Policy::simple());
+        let before = system.clone();
+        let selection = balancer.select(&snapshot, CoreId(0));
+        assert_eq!(selection.chosen, Some(CoreId(1)));
+        assert_eq!(system, before, "the selection phase must not modify runqueues");
+    }
+
+    #[test]
+    fn steal_recheck_fails_on_stale_selection() {
+        // Core 0 selects core 2 while it is overloaded; the state then
+        // changes (someone else stole first); core 0's steal must fail.
+        let mut system = SystemState::from_loads(&[0, 0, 2]);
+        let balancer = Balancer::new(Policy::simple());
+        let snapshot = SystemSnapshot::capture(&system);
+        let selection = balancer.select(&snapshot, CoreId(0));
+        assert_eq!(selection.chosen, Some(CoreId(2)));
+
+        // A concurrent steal by core 1 empties core 2's runqueue.
+        let stolen = system.core(CoreId(2)).ready[0].id;
+        system.migrate(CoreId(2), CoreId(1), stolen);
+
+        let outcome = balancer.steal(&mut system, CoreId(0), CoreId(2));
+        assert_eq!(outcome, StealOutcome::RecheckFailed { victim: CoreId(2) });
+        assert!(system.tasks_are_unique());
+    }
+
+    #[test]
+    fn steal_never_takes_the_victims_current_thread() {
+        let mut system = SystemState::from_loads(&[0, 2]);
+        let balancer = Balancer::new(Policy::simple());
+        let running = system.core(CoreId(1)).current.as_ref().unwrap().id;
+        let attempt = balancer.balance_core(&mut system, CoreId(0), 0);
+        match attempt.outcome {
+            StealOutcome::Stole { tasks, .. } => assert!(!tasks.contains(&running)),
+            other => panic!("expected a successful steal, got {other:?}"),
+        }
+        assert!(!system.core(CoreId(1)).is_idle(), "a steal must never empty the victim");
+    }
+
+    #[test]
+    fn non_idle_cores_also_balance() {
+        // Core 0 has one thread, core 1 has four: even though core 0 is not
+        // idle, the model lets every core run balancing operations (§3.1).
+        let mut system = SystemState::from_loads(&[1, 4]);
+        let balancer = Balancer::new(Policy::simple());
+        let attempt = balancer.balance_core(&mut system, CoreId(0), 0);
+        assert!(attempt.is_success());
+        assert_eq!(system.loads(LoadMetric::NrThreads), vec![2, 3]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-core scheduler state: the current thread and the runqueue.
+
+use sched_topology::NodeId;
+
+use crate::load::LoadMetric;
+use crate::task::{Task, TaskId, Weight};
+use crate::CoreId;
+
+/// The scheduling state of one core.
+///
+/// "A scheduler is defined with reference to, for each core of the machine,
+/// the current thread, if any, that is running on that core, and a runqueue
+/// containing threads waiting to be scheduled." (§3.1)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreState {
+    /// Identity of the core.
+    pub id: CoreId,
+    /// NUMA node the core belongs to (used only by step-2 choice policies).
+    pub node: NodeId,
+    /// The thread currently running on the core, if any.
+    pub current: Option<Task>,
+    /// Threads waiting to be scheduled on this core, oldest first.
+    pub ready: Vec<Task>,
+}
+
+impl CoreState {
+    /// Creates an idle core on node 0.
+    pub fn new(id: CoreId) -> Self {
+        CoreState { id, node: NodeId(0), current: None, ready: Vec::new() }
+    }
+
+    /// Creates an idle core on the given node.
+    pub fn on_node(id: CoreId, node: NodeId) -> Self {
+        CoreState { id, node, current: None, ready: Vec::new() }
+    }
+
+    /// Number of threads on the core, counting the current thread.
+    ///
+    /// This is the `load()` of the paper's Listing 1:
+    /// `self.ready.size + self.current.size`.
+    pub fn nr_threads(&self) -> u64 {
+        self.ready.len() as u64 + u64::from(self.current.is_some())
+    }
+
+    /// Sum of the load weights of the threads on the core, counting the
+    /// current thread.
+    pub fn weighted_load(&self) -> u64 {
+        let cur = self.current.as_ref().map_or(0, |t| t.weight().raw());
+        cur + self.ready.iter().map(|t| t.weight().raw()).sum::<u64>()
+    }
+
+    /// Load of the core under the given metric.
+    pub fn load(&self, metric: LoadMetric) -> u64 {
+        match metric {
+            LoadMetric::NrThreads => self.nr_threads(),
+            LoadMetric::Weighted => self.weighted_load(),
+        }
+    }
+
+    /// Returns `true` if the core is idle.
+    ///
+    /// "We define an idle core as a core that has no current thread and no
+    /// thread in its runqueue." (§3.1)
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none() && self.ready.is_empty()
+    }
+
+    /// Returns `true` if the core is overloaded.
+    ///
+    /// "We define an overloaded core as a core that has two or more threads,
+    /// including the current thread." (§3.1) — this is also exactly the
+    /// `isOverloaded` predicate of Listing 2.
+    pub fn is_overloaded(&self) -> bool {
+        self.nr_threads() >= 2
+    }
+
+    /// Weight of the lightest thread waiting in the runqueue, if any.
+    ///
+    /// Only *waiting* threads can be stolen; the current thread never
+    /// migrates during a balancing round.
+    pub fn lightest_ready_weight(&self) -> Option<Weight> {
+        self.ready.iter().map(Task::weight).min()
+    }
+
+    /// Makes a thread runnable on this core.
+    ///
+    /// If the core has no current thread the new thread starts running
+    /// immediately, otherwise it is appended to the runqueue.
+    pub fn enqueue(&mut self, task: Task) {
+        if self.current.is_none() {
+            self.current = Some(task);
+        } else {
+            self.ready.push(task);
+        }
+    }
+
+    /// Appends a thread to the runqueue without promoting it to `current`.
+    ///
+    /// This models a migration: a stolen thread lands in the thief's
+    /// runqueue; electing it to run is the thief's own scheduling decision.
+    pub fn push_ready(&mut self, task: Task) {
+        self.ready.push(task);
+    }
+
+    /// Removes a waiting thread by id, returning it if present.
+    pub fn remove_ready(&mut self, id: TaskId) -> Option<Task> {
+        let pos = self.ready.iter().position(|t| t.id == id)?;
+        Some(self.ready.remove(pos))
+    }
+
+    /// Elects a thread to run if the core has none, FIFO order.
+    ///
+    /// Returns the elected task id, if any election happened.
+    pub fn pick_next(&mut self) -> Option<TaskId> {
+        if self.current.is_none() && !self.ready.is_empty() {
+            let task = self.ready.remove(0);
+            let id = task.id;
+            self.current = Some(task);
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// All task ids on this core, current first.
+    pub fn task_ids(&self) -> Vec<TaskId> {
+        self.current
+            .iter()
+            .map(|t| t.id)
+            .chain(self.ready.iter().map(|t| t.id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Nice;
+    use sched_topology::CpuId;
+
+    fn task(id: u64) -> Task {
+        Task::new(TaskId(id))
+    }
+
+    #[test]
+    fn fresh_core_is_idle_and_not_overloaded() {
+        let c = CoreState::new(CpuId(0));
+        assert!(c.is_idle());
+        assert!(!c.is_overloaded());
+        assert_eq!(c.nr_threads(), 0);
+        assert_eq!(c.weighted_load(), 0);
+    }
+
+    #[test]
+    fn one_running_thread_is_neither_idle_nor_overloaded() {
+        let mut c = CoreState::new(CpuId(0));
+        c.enqueue(task(1));
+        assert!(!c.is_idle());
+        assert!(!c.is_overloaded());
+        assert_eq!(c.nr_threads(), 1);
+        assert_eq!(c.current.as_ref().unwrap().id, TaskId(1));
+    }
+
+    #[test]
+    fn two_threads_make_a_core_overloaded() {
+        let mut c = CoreState::new(CpuId(0));
+        c.enqueue(task(1));
+        c.enqueue(task(2));
+        assert!(c.is_overloaded());
+        assert_eq!(c.ready.len(), 1);
+    }
+
+    #[test]
+    fn overloaded_matches_listing2_definition() {
+        // Listing 2: current.size == 1 => ready.size >= 1; else ready.size >= 2.
+        let mut running_plus_one = CoreState::new(CpuId(0));
+        running_plus_one.enqueue(task(1));
+        running_plus_one.enqueue(task(2));
+        assert!(running_plus_one.is_overloaded());
+
+        let mut two_ready_no_current = CoreState::new(CpuId(1));
+        two_ready_no_current.push_ready(task(3));
+        two_ready_no_current.push_ready(task(4));
+        assert!(two_ready_no_current.is_overloaded());
+
+        let mut one_ready_no_current = CoreState::new(CpuId(2));
+        one_ready_no_current.push_ready(task(5));
+        assert!(!one_ready_no_current.is_overloaded());
+    }
+
+    #[test]
+    fn weighted_load_sums_weights() {
+        let mut c = CoreState::new(CpuId(0));
+        c.enqueue(Task::with_nice(TaskId(1), Nice::new(0)));
+        c.enqueue(Task::with_nice(TaskId(2), Nice::new(19)));
+        assert_eq!(c.weighted_load(), 1024 + 15);
+        assert_eq!(c.load(LoadMetric::Weighted), 1024 + 15);
+        assert_eq!(c.load(LoadMetric::NrThreads), 2);
+        assert_eq!(c.lightest_ready_weight(), Some(Weight::MIN));
+    }
+
+    #[test]
+    fn remove_ready_only_touches_the_runqueue() {
+        let mut c = CoreState::new(CpuId(0));
+        c.enqueue(task(1));
+        c.enqueue(task(2));
+        assert!(c.remove_ready(TaskId(1)).is_none(), "current thread must not be stealable");
+        assert_eq!(c.remove_ready(TaskId(2)).unwrap().id, TaskId(2));
+        assert!(c.ready.is_empty());
+    }
+
+    #[test]
+    fn pick_next_elects_fifo() {
+        let mut c = CoreState::new(CpuId(0));
+        c.push_ready(task(1));
+        c.push_ready(task(2));
+        assert_eq!(c.pick_next(), Some(TaskId(1)));
+        assert_eq!(c.pick_next(), None, "already has a current thread");
+        assert_eq!(c.task_ids(), vec![TaskId(1), TaskId(2)]);
+    }
+}

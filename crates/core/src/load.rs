@@ -1,0 +1,56 @@
+//! Load metrics.
+//!
+//! "The simplest load balancers try to balance the number of threads in
+//! runqueues, but realistic schedulers usually adopt more complex load
+//! balancing strategies […] the load balancer tries to balance the number of
+//! threads weighted by their importance.  We make no assumption on the
+//! criteria used to define how the load should be balanced." (§3.1)
+//!
+//! [`LoadMetric`] captures the two criteria used throughout the
+//! reproduction; every policy and every lemma is parameterised by it.
+
+/// The quantity a balancing policy tries to equalise across cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoadMetric {
+    /// Number of threads on the core (current thread plus runqueue length).
+    ///
+    /// This is the metric of the paper's Listing 1 (`load() = ready.size +
+    /// current.size`).
+    #[default]
+    NrThreads,
+    /// Sum of the CFS load weights of the threads on the core, expressed in
+    /// `nice 0` units of 1024.
+    Weighted,
+}
+
+impl LoadMetric {
+    /// Human-readable name, used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadMetric::NrThreads => "nr_threads",
+            LoadMetric::Weighted => "weighted",
+        }
+    }
+}
+
+impl std::fmt::Display for LoadMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_metric_is_thread_count() {
+        assert_eq!(LoadMetric::default(), LoadMetric::NrThreads);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LoadMetric::NrThreads.to_string(), "nr_threads");
+        assert_eq!(LoadMetric::Weighted.to_string(), "weighted");
+    }
+}

@@ -1,0 +1,204 @@
+//! Load-balancing policies: the three user-defined steps of Figure 1.
+//!
+//! A policy is made of three independent pieces, matching the paper's
+//! abstraction exactly:
+//!
+//! 1. a [`FilterPolicy`] — *"a core uses a filter function to create a list
+//!    of other cores that it can steal from"* (step 1, `canSteal` in
+//!    Listing 1),
+//! 2. a [`ChoicePolicy`] — *"it chooses a core from this list (if any)"*
+//!    (step 2, `selectCore` in Listing 1; this is where all the complex
+//!    heuristics such as NUMA-aware placement live, and it is deliberately
+//!    irrelevant to the work-conservation proof),
+//! 3. a [`StealPolicy`] — *"the core steals thread(s) from the chosen
+//!    core"* (step 3, `stealCore`/`stealOneThread` in Listing 1).
+//!
+//! The filter and the choice run in the lock-less selection phase and only
+//! see read-only [`CoreSnapshot`]s; the steal policy runs in the locked
+//! stealing phase and sees the live [`CoreState`]s of exactly the two cores
+//! involved.
+
+pub mod choice;
+pub mod greedy;
+pub mod hierarchical;
+pub mod simple;
+pub mod steal;
+pub mod weighted;
+
+use crate::core_state::CoreState;
+use crate::load::LoadMetric;
+use crate::snapshot::CoreSnapshot;
+use crate::task::TaskId;
+use crate::CoreId;
+
+pub use choice::{FirstChoice, MaxLoadChoice, MinMigrationCostChoice, NumaAwareChoice, RandomChoice};
+pub use greedy::GreedyFilter;
+pub use hierarchical::{GroupAwareChoice, NodeRestrictedFilter};
+pub use simple::DeltaFilter;
+pub use steal::{StealHalfImbalance, StealLightest, StealOne};
+pub use weighted::WeightedDeltaFilter;
+
+/// Step 1 of a balancing round: decides which cores may be stolen from.
+///
+/// The filter is evaluated twice per attempt: once on the optimistic
+/// snapshot during the selection phase, and once more on the live state at
+/// the start of the stealing phase (Listing 1, line 12).  A filter that held
+/// during selection but no longer holds at stealing time is exactly what the
+/// paper calls a *failed* work-stealing attempt.
+pub trait FilterPolicy: Send + Sync {
+    /// Returns `true` if `thief` may steal from `victim` given these
+    /// (possibly stale) observations.
+    fn can_steal(&self, thief: &CoreSnapshot, victim: &CoreSnapshot) -> bool;
+
+    /// Human-readable name used in reports and experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Step 2 of a balancing round: picks one core from the filtered list.
+///
+/// The paper's key observation is that this step "can mostly be ignored in
+/// the work-conserving proof": any choice that returns a member of the
+/// candidate list preserves the proof, so NUMA-aware and cache-aware
+/// heuristics are free.
+pub trait ChoicePolicy: Send + Sync {
+    /// Chooses a victim among `candidates` (which never contains the thief).
+    ///
+    /// Must return the id of one of the candidates, or `None` if the list is
+    /// empty; the balancer enforces the membership post-condition
+    /// (Listing 1's `ensuring(res => cores.contains(res))`).
+    fn choose(&self, thief: &CoreSnapshot, candidates: &[CoreSnapshot]) -> Option<CoreId>;
+
+    /// Human-readable name used in reports and experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Step 3 of a balancing round: decides which waiting threads migrate.
+///
+/// Runs with both runqueues locked; it may inspect the live state of the
+/// thief and the victim but only ever selects threads from the victim's
+/// *runqueue* (the victim's current thread is never migrated, so a steal can
+/// never render the victim idle).
+pub trait StealPolicy: Send + Sync {
+    /// Returns the ids of the victim's waiting threads to migrate.
+    fn select_tasks(&self, thief: &CoreState, victim: &CoreState) -> Vec<TaskId>;
+
+    /// Human-readable name used in reports and experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// A complete balancing policy: filter + choice + steal + the load metric
+/// the potential function is computed under.
+pub struct Policy {
+    /// Load metric the policy balances (and the potential is measured in).
+    pub metric: LoadMetric,
+    /// Step 1.
+    pub filter: Box<dyn FilterPolicy>,
+    /// Step 2.
+    pub choice: Box<dyn ChoicePolicy>,
+    /// Step 3.
+    pub steal: Box<dyn StealPolicy>,
+}
+
+impl Policy {
+    /// Builds a policy from its three steps.
+    pub fn new(
+        metric: LoadMetric,
+        filter: Box<dyn FilterPolicy>,
+        choice: Box<dyn ChoicePolicy>,
+        steal: Box<dyn StealPolicy>,
+    ) -> Self {
+        Policy { metric, filter, choice, steal }
+    }
+
+    /// The paper's Listing 1 policy: steal one thread from a core whose
+    /// thread count exceeds ours by at least two, choosing the most loaded
+    /// candidate.
+    pub fn simple() -> Self {
+        Policy::new(
+            LoadMetric::NrThreads,
+            Box::new(DeltaFilter::listing1()),
+            Box::new(MaxLoadChoice::new(LoadMetric::NrThreads)),
+            Box::new(StealOne),
+        )
+    }
+
+    /// The §4.3 counterexample policy: steal from *any* overloaded core
+    /// (`canSteal(stealee) = stealee.load() >= 2`).  Not work-conserving
+    /// under concurrency.
+    pub fn greedy() -> Self {
+        Policy::new(
+            LoadMetric::NrThreads,
+            Box::new(GreedyFilter::new()),
+            Box::new(MaxLoadChoice::new(LoadMetric::NrThreads)),
+            Box::new(StealOne),
+        )
+    }
+
+    /// A niceness-aware policy balancing weighted load, as discussed in §4.2
+    /// ("a load balancer that tries to balance the number of threads weighted
+    /// by their importance").
+    pub fn weighted() -> Self {
+        Policy::new(
+            LoadMetric::Weighted,
+            Box::new(WeightedDeltaFilter::new()),
+            Box::new(MaxLoadChoice::new(LoadMetric::Weighted)),
+            Box::new(StealLightest),
+        )
+    }
+
+    /// Replaces the choice step, keeping filter and steal — the operation
+    /// the paper argues is always proof-preserving.
+    pub fn with_choice(mut self, choice: Box<dyn ChoicePolicy>) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Replaces the steal step.
+    pub fn with_steal(mut self, steal: Box<dyn StealPolicy>) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// A compact `filter/choice/steal` description for reports.
+    pub fn describe(&self) -> String {
+        format!("{}/{}/{}", self.filter.name(), self.choice.name(), self.steal.name())
+    }
+}
+
+impl std::fmt::Debug for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Policy")
+            .field("metric", &self.metric)
+            .field("filter", &self.filter.name())
+            .field("choice", &self.choice.name())
+            .field("steal", &self.steal.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_in_policies_describe_themselves() {
+        assert_eq!(Policy::simple().describe(), "delta_filter/max_load/steal_one");
+        assert_eq!(Policy::greedy().describe(), "greedy_filter/max_load/steal_one");
+        assert_eq!(Policy::weighted().describe(), "weighted_delta_filter/max_load/steal_lightest");
+    }
+
+    #[test]
+    fn with_choice_only_replaces_step_2() {
+        let p = Policy::simple().with_choice(Box::new(FirstChoice));
+        assert_eq!(p.describe(), "delta_filter/first/steal_one");
+        assert_eq!(p.metric, LoadMetric::NrThreads);
+    }
+
+    #[test]
+    fn debug_format_is_stable() {
+        let p = Policy::simple();
+        let s = format!("{p:?}");
+        assert!(s.contains("delta_filter"));
+        assert!(s.contains("NrThreads"));
+    }
+}

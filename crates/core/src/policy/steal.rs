@@ -1,0 +1,160 @@
+//! Step-3 steal policies: which waiting threads migrate once both runqueues
+//! are locked.
+
+use crate::core_state::CoreState;
+use crate::load::LoadMetric;
+use crate::policy::StealPolicy;
+use crate::task::TaskId;
+
+/// Steals exactly one thread: the most recently queued waiting thread.
+///
+/// This is Listing 1's `stealOneThread`.  Taking the newest waiting thread
+/// (rather than the oldest) keeps threads that have been waiting longest on
+/// their original core, which preserves their FIFO position there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealOne;
+
+impl StealPolicy for StealOne {
+    fn select_tasks(&self, _thief: &CoreState, victim: &CoreState) -> Vec<TaskId> {
+        victim.ready.last().map(|t| vec![t.id]).unwrap_or_default()
+    }
+
+    fn name(&self) -> &'static str {
+        "steal_one"
+    }
+}
+
+/// Steals exactly one thread: the lightest waiting thread.
+///
+/// Used by the weighted policy so that a steal can never overshoot and
+/// invert the weighted imbalance, which keeps the weighted potential
+/// strictly decreasing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealLightest;
+
+impl StealPolicy for StealLightest {
+    fn select_tasks(&self, _thief: &CoreState, victim: &CoreState) -> Vec<TaskId> {
+        victim
+            .ready
+            .iter()
+            .min_by_key(|t| (t.weight().raw(), t.id))
+            .map(|t| vec![t.id])
+            .unwrap_or_default()
+    }
+
+    fn name(&self) -> &'static str {
+        "steal_lightest"
+    }
+}
+
+/// Steals enough threads to halve the imbalance, never emptying the victim.
+///
+/// CFS migrates batches rather than single threads; this policy models that
+/// behaviour.  It steals `⌊(victim − thief) / 2⌋` threads (at least one, and
+/// never the victim's current thread), which converges in fewer rounds than
+/// [`StealOne`] at the cost of larger per-round migrations — the trade-off
+/// measured by the E8 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealHalfImbalance {
+    metric: LoadMetric,
+}
+
+impl StealHalfImbalance {
+    /// Creates the policy for the given metric.
+    pub fn new(metric: LoadMetric) -> Self {
+        StealHalfImbalance { metric }
+    }
+}
+
+impl StealPolicy for StealHalfImbalance {
+    fn select_tasks(&self, thief: &CoreState, victim: &CoreState) -> Vec<TaskId> {
+        let victim_load = victim.load(self.metric);
+        let thief_load = thief.load(self.metric);
+        if victim_load <= thief_load {
+            return Vec::new();
+        }
+        let target = match self.metric {
+            LoadMetric::NrThreads => ((victim_load - thief_load) / 2).max(1) as usize,
+            LoadMetric::Weighted => {
+                // Convert the weighted imbalance into a thread count by
+                // assuming nice-0 threads; clamp below to one thread.
+                (((victim_load - thief_load) / 2) / crate::task::Weight::NICE_0.raw()).max(1)
+                    as usize
+            }
+        };
+        // Never steal so much that the victim ends up idle: if the victim has
+        // no current thread (its work is all waiting), one waiting thread must
+        // stay behind.  This is the "does not steal too much" obligation of
+        // §4.2.
+        let keep = usize::from(victim.current.is_none());
+        let take = target.min(victim.ready.len().saturating_sub(keep));
+        victim.ready.iter().rev().take(take).map(|t| t.id).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "steal_half"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemState;
+    use crate::task::{Nice, Task};
+    use crate::CoreId;
+
+    #[test]
+    fn steal_one_takes_the_newest_waiting_thread() {
+        let s = SystemState::from_loads(&[0, 3]);
+        let thief = s.core(CoreId(0));
+        let victim = s.core(CoreId(1));
+        let picked = StealOne.select_tasks(thief, victim);
+        assert_eq!(picked, vec![victim.ready.last().unwrap().id]);
+    }
+
+    #[test]
+    fn steal_one_returns_nothing_for_an_empty_runqueue() {
+        let s = SystemState::from_loads(&[0, 1]);
+        assert!(StealOne.select_tasks(s.core(CoreId(0)), s.core(CoreId(1))).is_empty());
+    }
+
+    #[test]
+    fn steal_lightest_picks_minimum_weight() {
+        let mut s = SystemState::new(2);
+        s.core_mut(CoreId(1)).enqueue(Task::with_nice(TaskId(0), Nice::new(0)));
+        s.core_mut(CoreId(1)).enqueue(Task::with_nice(TaskId(1), Nice::new(-10)));
+        s.core_mut(CoreId(1)).enqueue(Task::with_nice(TaskId(2), Nice::new(10)));
+        let picked = StealLightest.select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
+        assert_eq!(picked, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn steal_half_halves_the_imbalance() {
+        let s = SystemState::from_loads(&[0, 7]);
+        let picked =
+            StealHalfImbalance::new(LoadMetric::NrThreads).select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
+        assert_eq!(picked.len(), 3);
+        // All picked tasks are waiting tasks of the victim.
+        for id in &picked {
+            assert!(s.core(CoreId(1)).ready.iter().any(|t| t.id == *id));
+        }
+    }
+
+    #[test]
+    fn steal_half_never_returns_more_than_the_queue() {
+        let s = SystemState::from_loads(&[0, 2]);
+        let picked =
+            StealHalfImbalance::new(LoadMetric::NrThreads).select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
+        assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn steal_half_declines_when_there_is_no_imbalance() {
+        let s = SystemState::from_loads(&[3, 3]);
+        let picked =
+            StealHalfImbalance::new(LoadMetric::NrThreads).select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
+        assert!(picked.is_empty());
+    }
+
+    use crate::task::TaskId;
+}

@@ -1,0 +1,340 @@
+//! Concurrent load-balancing rounds with interleaved phases.
+//!
+//! "The operations of a load balancing round might be performed
+//! simultaneously on multiple cores, both idle and non-idle. […] When load
+//! balancing operations happen simultaneously on multiple cores, some of
+//! them may conflict." (§3.1)
+//!
+//! A round is modelled as an interleaving of per-core *phase steps*: each
+//! core contributes a [`Phase::Select`] step (take the optimistic snapshot,
+//! run the filter and the choice) followed later by a [`Phase::Steal`] step
+//! (lock both runqueues, re-check the filter, migrate or fail).  The
+//! interleaving decides how stale each core's selection is by the time it
+//! steals; enumerating all interleavings is how `sched-verify` explores
+//! every possible conflict, and seeding them randomly is how `sched-sim`
+//! produces realistic races.
+
+use crate::balancer::{Balancer, Selection};
+use crate::outcome::{BalanceAttempt, RoundReport, StealOutcome};
+use crate::snapshot::SystemSnapshot;
+use crate::system::SystemState;
+use crate::CoreId;
+
+/// The two atomic phases of one core's balancing operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Steps 1 + 2 of Figure 1: lock-less, read-only selection.
+    Select,
+    /// Step 3 of Figure 1: the locked, atomic stealing operation.
+    Steal,
+}
+
+/// One step of a round's interleaving: a core performing one of its phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The core performing the step.
+    pub core: CoreId,
+    /// Which phase it performs.
+    pub phase: Phase,
+}
+
+impl Step {
+    /// Convenience constructor for a selection step.
+    pub fn select(core: CoreId) -> Self {
+        Step { core, phase: Phase::Select }
+    }
+
+    /// Convenience constructor for a stealing step.
+    pub fn steal(core: CoreId) -> Self {
+        Step { core, phase: Phase::Steal }
+    }
+}
+
+/// How the per-core phases of one round are interleaved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundSchedule {
+    /// Core 0 runs Select then Steal, then core 1, etc. — the no-concurrency
+    /// setting of §4.2 in which selections are never stale.
+    Sequential,
+    /// Every core runs Select (in id order), then every core runs Steal (in
+    /// id order) — the maximally stale interleaving, where every selection
+    /// observes the same initial state.  This models CFS's "load balancing
+    /// operations are performed simultaneously on all cores every 4ms".
+    AllSelectThenSteal,
+    /// An explicit interleaving, used by the model checker to enumerate every
+    /// possible conflict.
+    Explicit(Vec<Step>),
+    /// A pseudo-random valid interleaving derived from the seed, used by the
+    /// simulator; different rounds should use different seeds.
+    Seeded(u64),
+}
+
+impl RoundSchedule {
+    /// Materialises the schedule into an ordered list of steps for a system
+    /// of `nr_cores` cores.
+    pub fn steps(&self, nr_cores: usize) -> Vec<Step> {
+        match self {
+            RoundSchedule::Sequential => (0..nr_cores)
+                .flat_map(|i| [Step::select(CoreId(i)), Step::steal(CoreId(i))])
+                .collect(),
+            RoundSchedule::AllSelectThenSteal => (0..nr_cores)
+                .map(|i| Step::select(CoreId(i)))
+                .chain((0..nr_cores).map(|i| Step::steal(CoreId(i))))
+                .collect(),
+            RoundSchedule::Explicit(steps) => steps.clone(),
+            RoundSchedule::Seeded(seed) => seeded_interleaving(nr_cores, *seed),
+        }
+    }
+
+    /// Derives the schedule to use for round number `round`.
+    ///
+    /// Deterministic schedules are reused unchanged; seeded schedules derive
+    /// a fresh interleaving per round so that races differ between rounds.
+    pub fn for_round(&self, round: usize) -> RoundSchedule {
+        match self {
+            RoundSchedule::Seeded(seed) => {
+                RoundSchedule::Seeded(seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Checks that `steps` forms a valid round for `nr_cores` cores: every
+    /// core appears exactly once per phase and selects before it steals.
+    pub fn validate(steps: &[Step], nr_cores: usize) -> Result<(), String> {
+        let mut selected = vec![false; nr_cores];
+        let mut stolen = vec![false; nr_cores];
+        for step in steps {
+            let i = step.core.0;
+            if i >= nr_cores {
+                return Err(format!("step references unknown core {}", step.core));
+            }
+            match step.phase {
+                Phase::Select => {
+                    if selected[i] {
+                        return Err(format!("{} selects twice", step.core));
+                    }
+                    selected[i] = true;
+                }
+                Phase::Steal => {
+                    if !selected[i] {
+                        return Err(format!("{} steals before selecting", step.core));
+                    }
+                    if stolen[i] {
+                        return Err(format!("{} steals twice", step.core));
+                    }
+                    stolen[i] = true;
+                }
+            }
+        }
+        for i in 0..nr_cores {
+            if !selected[i] || !stolen[i] {
+                return Err(format!("core {i} did not complete its round"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a valid pseudo-random interleaving of `nr_cores` rounds.
+fn seeded_interleaving(nr_cores: usize, seed: u64) -> Vec<Step> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*: deterministic, seed-reproducible stream.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    // Start from the fully concurrent interleaving and shuffle it while
+    // preserving the per-core Select-before-Steal order.
+    let mut remaining_select: Vec<usize> = (0..nr_cores).collect();
+    let mut pending_steal: Vec<usize> = Vec::new();
+    let mut steps = Vec::with_capacity(nr_cores * 2);
+    while !remaining_select.is_empty() || !pending_steal.is_empty() {
+        let pick_select = if remaining_select.is_empty() {
+            false
+        } else if pending_steal.is_empty() {
+            true
+        } else {
+            next() % 2 == 0
+        };
+        if pick_select {
+            let idx = (next() % remaining_select.len() as u64) as usize;
+            let core = remaining_select.swap_remove(idx);
+            pending_steal.push(core);
+            steps.push(Step::select(CoreId(core)));
+        } else {
+            let idx = (next() % pending_steal.len() as u64) as usize;
+            let core = pending_steal.swap_remove(idx);
+            steps.push(Step::steal(CoreId(core)));
+        }
+    }
+    steps
+}
+
+/// Executes concurrent rounds of a [`Balancer`] under a given interleaving.
+#[derive(Debug)]
+pub struct ConcurrentRound<'a> {
+    balancer: &'a Balancer,
+}
+
+impl<'a> ConcurrentRound<'a> {
+    /// Creates an executor for `balancer`.
+    pub fn new(balancer: &'a Balancer) -> Self {
+        ConcurrentRound { balancer }
+    }
+
+    /// Executes one round under `schedule`, mutating `system` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the materialised schedule is not a valid round (see
+    /// [`RoundSchedule::validate`]).
+    pub fn execute(&self, system: &mut SystemState, schedule: &RoundSchedule) -> RoundReport {
+        let steps = schedule.steps(system.nr_cores());
+        RoundSchedule::validate(&steps, system.nr_cores())
+            .unwrap_or_else(|e| panic!("invalid round schedule: {e}"));
+        self.execute_steps(system, &steps)
+    }
+
+    /// Executes one round described by an explicit, already validated list of
+    /// steps.  Exposed separately for the model checker, which generates and
+    /// validates interleavings itself.
+    pub fn execute_steps(&self, system: &mut SystemState, steps: &[Step]) -> RoundReport {
+        let mut pending: Vec<Option<(Selection, usize)>> = vec![None; system.nr_cores()];
+        let mut report = RoundReport::default();
+        for (time, step) in steps.iter().enumerate() {
+            match step.phase {
+                Phase::Select => {
+                    // The snapshot is taken *now*: every later mutation makes
+                    // it stale, which is exactly the optimism of the model.
+                    let snapshot = SystemSnapshot::capture(system);
+                    let selection = self.balancer.select(&snapshot, step.core);
+                    pending[step.core.0] = Some((selection, time));
+                }
+                Phase::Steal => {
+                    let (selection, select_time) = pending[step.core.0]
+                        .take()
+                        .expect("validated schedule guarantees select before steal");
+                    let outcome = match selection.chosen {
+                        Some(victim) => self.balancer.steal(system, step.core, victim),
+                        None => StealOutcome::NoCandidates,
+                    };
+                    report.attempts.push(BalanceAttempt {
+                        thief: step.core,
+                        select_time,
+                        steal_time: time,
+                        candidates: selection.candidates,
+                        chosen: selection.chosen,
+                        outcome,
+                    });
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::load::LoadMetric;
+
+    #[test]
+    fn schedules_materialise_to_valid_rounds() {
+        for schedule in [
+            RoundSchedule::Sequential,
+            RoundSchedule::AllSelectThenSteal,
+            RoundSchedule::Seeded(7),
+            RoundSchedule::Seeded(u64::MAX),
+        ] {
+            for n in 1..8 {
+                let steps = schedule.steps(n);
+                assert_eq!(steps.len(), 2 * n);
+                RoundSchedule::validate(&steps, n).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_schedules() {
+        let missing = vec![Step::select(CoreId(0)), Step::steal(CoreId(0))];
+        assert!(RoundSchedule::validate(&missing, 2).is_err());
+        let reversed = vec![
+            Step::steal(CoreId(0)),
+            Step::select(CoreId(0)),
+            Step::select(CoreId(1)),
+            Step::steal(CoreId(1)),
+        ];
+        assert!(RoundSchedule::validate(&reversed, 2).is_err());
+        let double = vec![
+            Step::select(CoreId(0)),
+            Step::select(CoreId(0)),
+            Step::steal(CoreId(0)),
+            Step::steal(CoreId(0)),
+        ];
+        assert!(RoundSchedule::validate(&double, 1).is_err());
+    }
+
+    #[test]
+    fn seeded_schedules_differ_across_rounds_but_are_reproducible() {
+        let schedule = RoundSchedule::Seeded(3);
+        let a = schedule.for_round(1).steps(6);
+        let b = schedule.for_round(2).steps(6);
+        let a2 = schedule.for_round(1).steps(6);
+        assert_eq!(a, a2);
+        assert_ne!(a, b, "different rounds should race differently");
+    }
+
+    #[test]
+    fn concurrent_round_produces_the_papers_conflict() {
+        // §3.1's example: "if two cores simultaneously try to steal a thread
+        // from a third core that has only one thread waiting in its runqueue,
+        // then one of the two cores will fail to steal a thread."
+        let mut system = SystemState::from_loads(&[0, 0, 2]);
+        let balancer = Balancer::new(Policy::simple());
+        let round = ConcurrentRound::new(&balancer);
+        let report = round.execute(&mut system, &RoundSchedule::AllSelectThenSteal);
+        assert_eq!(report.nr_successes(), 1);
+        assert_eq!(report.nr_failures(), 1);
+        assert!(system.tasks_are_unique());
+        assert_eq!(system.total_threads(), 2);
+    }
+
+    #[test]
+    fn sequential_schedule_through_the_executor_matches_the_balancer() {
+        let mut a = SystemState::from_loads(&[0, 4, 1, 0]);
+        let mut b = a.clone();
+        let balancer = Balancer::new(Policy::simple());
+        let round = ConcurrentRound::new(&balancer);
+        let ra = round.execute(&mut a, &RoundSchedule::Sequential);
+        let rb = balancer.run_round_sequential(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(ra.nr_successes(), rb.nr_successes());
+        assert_eq!(a.loads(LoadMetric::NrThreads), b.loads(LoadMetric::NrThreads));
+    }
+
+    #[test]
+    fn explicit_interleavings_are_respected() {
+        // Interleave so that core 1 steals before core 0: core 0's selection
+        // becomes stale and its steal fails.
+        let steps = vec![
+            Step::select(CoreId(0)),
+            Step::select(CoreId(1)),
+            Step::steal(CoreId(1)),
+            Step::steal(CoreId(0)),
+            Step::select(CoreId(2)),
+            Step::steal(CoreId(2)),
+        ];
+        let mut system = SystemState::from_loads(&[0, 0, 2]);
+        let balancer = Balancer::new(Policy::simple());
+        let round = ConcurrentRound::new(&balancer);
+        let report = round.execute(&mut system, &RoundSchedule::Explicit(steps));
+        let core0 = report.attempts.iter().find(|a| a.thief == CoreId(0)).unwrap();
+        let core1 = report.attempts.iter().find(|a| a.thief == CoreId(1)).unwrap();
+        assert!(core1.is_success());
+        assert!(core0.is_failure());
+    }
+}

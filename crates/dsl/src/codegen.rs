@@ -1,0 +1,190 @@
+//! The Rust code generator — the analogue of the paper's "compiled to C
+//! code that can be integrated as a scheduling class into the Linux kernel".
+//!
+//! The generator emits a self-contained Rust module implementing the three
+//! `sched-core` policy traits for the given definition.  The output is plain
+//! text; it is not compiled by this crate (there is no `rustc` at run time),
+//! but the golden tests assert its shape and the emitted code mirrors the
+//! interpreter in [`crate::eval`] one-to-one, so behavioural equivalence is
+//! inherited from the interpreter tests.
+
+use crate::ast::{Actor, ChooseRule, Expr, Field, MetricSpec, PolicyDef};
+
+/// Generates a Rust module implementing `def`.
+pub fn generate_rust(def: &PolicyDef) -> String {
+    let metric = match def.metric {
+        MetricSpec::Threads => "LoadMetric::NrThreads",
+        MetricSpec::Weighted => "LoadMetric::Weighted",
+    };
+    let struct_name = camel_case(&def.name);
+    let filter_expr = gen_bool_expr(&def.filter);
+    let choose_body = match &def.choose {
+        ChooseRule::First => "candidates.first().map(|c| c.id)".to_string(),
+        ChooseRule::MaxBy(key) => format!(
+            "candidates.iter().max_by_key(|victim| ({}, std::cmp::Reverse(victim.id))).map(|c| c.id)",
+            gen_int_expr(key)
+        ),
+        ChooseRule::MinBy(key) => format!(
+            "candidates.iter().min_by_key(|victim| ({}, victim.id)).map(|c| c.id)",
+            gen_int_expr(key)
+        ),
+    };
+
+    format!(
+        r#"//! Generated from the `{name}` policy definition — do not edit by hand.
+
+use sched_core::{{ChoicePolicy, CoreId, CoreSnapshot, CoreState, FilterPolicy, LoadMetric, Policy, StealPolicy, TaskId}};
+
+/// Step 1 of `{name}`: the filter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct {struct_name}Filter;
+
+impl FilterPolicy for {struct_name}Filter {{
+    fn can_steal(&self, this: &CoreSnapshot, victim: &CoreSnapshot) -> bool {{
+        let metric = {metric};
+        {filter_expr}
+    }}
+
+    fn name(&self) -> &'static str {{
+        "{name}_filter"
+    }}
+}}
+
+/// Step 2 of `{name}`: the choice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct {struct_name}Choice;
+
+impl ChoicePolicy for {struct_name}Choice {{
+    fn choose(&self, this: &CoreSnapshot, candidates: &[CoreSnapshot]) -> Option<CoreId> {{
+        let metric = {metric};
+        let _ = (this, metric);
+        {choose_body}
+    }}
+
+    fn name(&self) -> &'static str {{
+        "{name}_choice"
+    }}
+}}
+
+/// Step 3 of `{name}`: the steal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct {struct_name}Steal;
+
+impl StealPolicy for {struct_name}Steal {{
+    fn select_tasks(&self, _thief: &CoreState, victim: &CoreState) -> Vec<TaskId> {{
+        victim.ready.iter().rev().take({steal_count}).map(|t| t.id).collect()
+    }}
+
+    fn name(&self) -> &'static str {{
+        "{name}_steal"
+    }}
+}}
+
+/// Assembles the `{name}` policy.
+pub fn policy() -> Policy {{
+    Policy::new({metric}, Box::new({struct_name}Filter), Box::new({struct_name}Choice), Box::new({struct_name}Steal))
+}}
+"#,
+        name = def.name,
+        struct_name = struct_name,
+        metric = metric,
+        filter_expr = filter_expr,
+        choose_body = choose_body,
+        steal_count = def.steal_count,
+    )
+}
+
+fn camel_case(name: &str) -> String {
+    name.split(['_', '-'])
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let mut chars = s.chars();
+            match chars.next() {
+                Some(first) => first.to_ascii_uppercase().to_string() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+fn field_access(actor: &Actor, field: &Field) -> String {
+    let base = match actor {
+        Actor::SelfCore => "this",
+        Actor::Victim => "victim",
+    };
+    match field {
+        Field::Load => format!("{base}.load(metric) as i128"),
+        Field::NrThreads => format!("{base}.nr_threads as i128"),
+        Field::WeightedLoad => format!("{base}.weighted_load as i128"),
+        Field::LightestReady => format!("{base}.lightest_ready_weight.unwrap_or(0) as i128"),
+    }
+}
+
+fn gen_int_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(v) => format!("{v}i128"),
+        Expr::Field(actor, field) => field_access(actor, field),
+        Expr::Binary(op, lhs, rhs) => {
+            format!("({} {} {})", gen_int_expr(lhs), op.symbol(), gen_int_expr(rhs))
+        }
+    }
+}
+
+fn gen_bool_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Binary(op, lhs, rhs) if op.takes_booleans() => {
+            format!("({} {} {})", gen_bool_expr(lhs), op.symbol(), gen_bool_expr(rhs))
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            format!("({} {} {})", gen_int_expr(lhs), op.symbol(), gen_int_expr(rhs))
+        }
+        other => gen_int_expr(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn generates_a_module_for_listing1() {
+        let def = parse(
+            "policy listing1 { metric threads; filter = victim.load - self.load >= 2; choose = max victim.load; steal = 1; }",
+        )
+        .unwrap();
+        let code = generate_rust(&def);
+        assert!(code.contains("pub struct Listing1Filter"));
+        assert!(code.contains("((victim.load(metric) as i128 - this.load(metric) as i128) >= 2i128)"));
+        assert!(code.contains("impl ChoicePolicy for Listing1Choice"));
+        assert!(code.contains(".take(1)"));
+        assert!(code.contains("pub fn policy() -> Policy"));
+    }
+
+    #[test]
+    fn weighted_policies_use_the_weighted_metric() {
+        let def = parse(
+            "policy weighted_fair { metric weighted; filter = victim.nr_threads >= 2 && victim.load > self.load + victim.lightest_ready; }",
+        )
+        .unwrap();
+        let code = generate_rust(&def);
+        assert!(code.contains("LoadMetric::Weighted"));
+        assert!(code.contains("WeightedFairFilter"));
+        assert!(code.contains("lightest_ready_weight.unwrap_or(0)"));
+        assert!(code.contains("&&"));
+    }
+
+    #[test]
+    fn camel_case_handles_separators() {
+        assert_eq!(camel_case("simple_policy"), "SimplePolicy");
+        assert_eq!(camel_case("a-b_c"), "ABC");
+        assert_eq!(camel_case("x"), "X");
+    }
+
+    #[test]
+    fn first_choice_degenerates_to_first_candidate() {
+        let def = parse("policy p { filter = victim.load >= 2; choose = first; }").unwrap();
+        let code = generate_rust(&def);
+        assert!(code.contains("candidates.first()"));
+    }
+}

@@ -1,0 +1,74 @@
+//! DSL front-end errors.
+
+/// An error raised while lexing, parsing or checking a policy definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DslError {
+    /// The lexer met a character it does not understand.
+    UnexpectedCharacter {
+        /// The offending character.
+        found: char,
+        /// Byte offset in the source.
+        offset: usize,
+    },
+    /// The parser expected something else.
+    Parse {
+        /// What went wrong.
+        message: String,
+    },
+    /// The expression checker rejected the policy.
+    Type {
+        /// What went wrong.
+        message: String,
+    },
+    /// The phase checker rejected the policy (it would violate the model's
+    /// structural constraints, e.g. a zero steal count).
+    Phase {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl DslError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(message: impl Into<String>) -> Self {
+        DslError::Parse { message: message.into() }
+    }
+
+    /// Convenience constructor for type errors.
+    pub fn type_error(message: impl Into<String>) -> Self {
+        DslError::Type { message: message.into() }
+    }
+
+    /// Convenience constructor for phase errors.
+    pub fn phase(message: impl Into<String>) -> Self {
+        DslError::Phase { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for DslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DslError::UnexpectedCharacter { found, offset } => {
+                write!(f, "unexpected character {found:?} at byte {offset}")
+            }
+            DslError::Parse { message } => write!(f, "parse error: {message}"),
+            DslError::Type { message } => write!(f, "type error: {message}"),
+            DslError::Phase { message } => write!(f, "phase error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_each_variant() {
+        assert!(DslError::UnexpectedCharacter { found: '@', offset: 3 }.to_string().contains("'@'"));
+        assert!(DslError::parse("x").to_string().contains("parse"));
+        assert!(DslError::type_error("x").to_string().contains("type"));
+        assert!(DslError::phase("x").to_string().contains("phase"));
+    }
+}

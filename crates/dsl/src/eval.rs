@@ -1,0 +1,231 @@
+//! The executable backend: compiling a DSL policy into `sched-core` policy
+//! objects (the analogue of the paper's "compiled to C" path).
+
+use sched_core::{ChoicePolicy, CoreId, CoreSnapshot, CoreState, FilterPolicy, LoadMetric, Policy, StealPolicy, TaskId};
+
+use crate::ast::{Actor, BinOp, ChooseRule, Expr, Field, MetricSpec, PolicyDef};
+use crate::error::DslError;
+use crate::phase_check::{phase_check, PhaseWarning};
+use crate::typecheck::typecheck;
+
+/// The result of compiling a policy definition.
+pub struct CompiledPolicy {
+    /// The executable policy.
+    pub policy: Policy,
+    /// Warnings produced by the phase checker.
+    pub warnings: Vec<PhaseWarning>,
+    /// The definition the policy was compiled from.
+    pub def: PolicyDef,
+}
+
+/// Compiles a checked policy definition into an executable [`Policy`].
+pub fn compile(def: &PolicyDef) -> Result<CompiledPolicy, DslError> {
+    typecheck(def)?;
+    let warnings = phase_check(def)?;
+    let metric = match def.metric {
+        MetricSpec::Threads => LoadMetric::NrThreads,
+        MetricSpec::Weighted => LoadMetric::Weighted,
+    };
+    let policy = Policy::new(
+        metric,
+        Box::new(DslFilter { expr: def.filter.clone(), metric }),
+        Box::new(DslChoice { rule: def.choose.clone(), metric }),
+        Box::new(DslSteal { count: def.steal_count as usize }),
+    );
+    Ok(CompiledPolicy { policy, warnings, def: def.clone() })
+}
+
+/// Parses, checks and compiles DSL source in one step.
+pub fn compile_source(source: &str) -> Result<CompiledPolicy, DslError> {
+    let def = crate::parser::parse(source)?;
+    compile(&def)
+}
+
+/// Evaluates an integer expression over the two observations.
+fn eval_int(expr: &Expr, this: &CoreSnapshot, victim: &CoreSnapshot, metric: LoadMetric) -> i128 {
+    match expr {
+        Expr::Int(v) => i128::from(*v),
+        Expr::Field(actor, field) => {
+            let snap = match actor {
+                Actor::SelfCore => this,
+                Actor::Victim => victim,
+            };
+            let value = match field {
+                Field::Load => snap.load(metric),
+                Field::NrThreads => snap.nr_threads,
+                Field::WeightedLoad => snap.weighted_load,
+                Field::LightestReady => snap.lightest_ready_weight.unwrap_or(0),
+            };
+            i128::from(value)
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let l = eval_int(lhs, this, victim, metric);
+            let r = eval_int(rhs, this, victim, metric);
+            match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                _ => unreachable!("type checker guarantees integer operators here"),
+            }
+        }
+    }
+}
+
+/// Evaluates a boolean expression over the two observations.
+fn eval_bool(expr: &Expr, this: &CoreSnapshot, victim: &CoreSnapshot, metric: LoadMetric) -> bool {
+    match expr {
+        Expr::Binary(op, lhs, rhs) if op.takes_booleans() => {
+            let l = eval_bool(lhs, this, victim, metric);
+            let r = eval_bool(rhs, this, victim, metric);
+            match op {
+                BinOp::And => l && r,
+                BinOp::Or => l || r,
+                _ => unreachable!(),
+            }
+        }
+        Expr::Binary(op, lhs, rhs) if op.is_boolean() => {
+            let l = eval_int(lhs, this, victim, metric);
+            let r = eval_int(rhs, this, victim, metric);
+            match op {
+                BinOp::Ge => l >= r,
+                BinOp::Gt => l > r,
+                BinOp::Le => l <= r,
+                BinOp::Lt => l < r,
+                BinOp::Eq => l == r,
+                BinOp::Ne => l != r,
+                _ => unreachable!(),
+            }
+        }
+        _ => unreachable!("type checker guarantees the filter is boolean"),
+    }
+}
+
+/// Step 1 compiled from a DSL filter expression.
+#[derive(Debug, Clone)]
+pub struct DslFilter {
+    expr: Expr,
+    metric: LoadMetric,
+}
+
+impl FilterPolicy for DslFilter {
+    fn can_steal(&self, thief: &CoreSnapshot, victim: &CoreSnapshot) -> bool {
+        eval_bool(&self.expr, thief, victim, self.metric)
+    }
+
+    fn name(&self) -> &'static str {
+        "dsl_filter"
+    }
+}
+
+/// Step 2 compiled from a DSL choose rule.
+#[derive(Debug, Clone)]
+pub struct DslChoice {
+    rule: ChooseRule,
+    metric: LoadMetric,
+}
+
+impl ChoicePolicy for DslChoice {
+    fn choose(&self, thief: &CoreSnapshot, candidates: &[CoreSnapshot]) -> Option<CoreId> {
+        match &self.rule {
+            ChooseRule::First => candidates.first().map(|c| c.id),
+            ChooseRule::MaxBy(key) => candidates
+                .iter()
+                .max_by_key(|c| (eval_int(key, thief, c, self.metric), std::cmp::Reverse(c.id)))
+                .map(|c| c.id),
+            ChooseRule::MinBy(key) => candidates
+                .iter()
+                .min_by_key(|c| (eval_int(key, thief, c, self.metric), c.id))
+                .map(|c| c.id),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dsl_choice"
+    }
+}
+
+/// Step 3 compiled from a DSL steal count.
+#[derive(Debug, Clone)]
+pub struct DslSteal {
+    count: usize,
+}
+
+impl StealPolicy for DslSteal {
+    fn select_tasks(&self, _thief: &CoreState, victim: &CoreState) -> Vec<TaskId> {
+        // Never steal so much that the victim ends up idle (the §4.2 "does
+        // not steal too much" obligation): if the victim has no running
+        // thread, one waiting thread must stay behind.
+        let keep = usize::from(victim.current.is_none());
+        let take = self.count.min(victim.ready.len().saturating_sub(keep));
+        victim.ready.iter().rev().take(take).map(|t| t.id).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "dsl_steal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::prelude::*;
+
+    const LISTING1: &str = "policy listing1 {\n    metric threads;\n    filter = victim.load - self.load >= 2;\n    choose = max victim.load;\n    steal  = 1;\n}";
+
+    #[test]
+    fn compiled_listing1_behaves_like_the_handwritten_policy() {
+        let compiled = compile_source(LISTING1).unwrap();
+        assert!(compiled.warnings.is_empty());
+
+        let mut via_dsl = SystemState::from_loads(&[0, 4, 1, 0]);
+        let mut via_rust = via_dsl.clone();
+        let dsl_balancer = Balancer::new(compiled.policy);
+        let rust_balancer = Balancer::new(Policy::simple());
+        let a = converge(&mut via_dsl, &dsl_balancer, RoundSchedule::Sequential, 16);
+        let b = converge(&mut via_rust, &rust_balancer, RoundSchedule::Sequential, 16);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(
+            via_dsl.loads(LoadMetric::NrThreads),
+            via_rust.loads(LoadMetric::NrThreads),
+            "the DSL backend and the handwritten policy must agree step for step"
+        );
+    }
+
+    #[test]
+    fn greedy_dsl_policy_compiles_with_a_warning() {
+        let compiled = compile_source("policy greedy { filter = stealee.load >= 2; }").unwrap();
+        assert_eq!(compiled.warnings.len(), 1);
+        assert_eq!(compiled.def.name, "greedy");
+    }
+
+    #[test]
+    fn choose_min_prefers_the_least_loaded_candidate() {
+        let compiled = compile_source(
+            "policy nearest { filter = victim.load - self.load >= 2; choose = min victim.load; }",
+        )
+        .unwrap();
+        let system = SystemState::from_loads(&[0, 3, 5]);
+        let snapshot = SystemSnapshot::capture(&system);
+        let balancer = Balancer::new(compiled.policy);
+        let selection = balancer.select(&snapshot, CoreId(0));
+        assert_eq!(selection.chosen, Some(CoreId(1)));
+    }
+
+    #[test]
+    fn steal_count_is_respected() {
+        let compiled = compile_source(
+            "policy batch { filter = victim.load - self.load >= 2; steal = 2; }",
+        )
+        .unwrap();
+        let mut system = SystemState::from_loads(&[0, 5]);
+        let balancer = Balancer::new(compiled.policy);
+        let attempt = balancer.balance_core(&mut system, CoreId(0), 0);
+        assert_eq!(attempt.outcome.nr_stolen(), 2);
+    }
+
+    #[test]
+    fn ill_typed_sources_do_not_compile() {
+        assert!(compile_source("policy p { filter = victim.load + self.load; }").is_err());
+        assert!(compile_source("policy p { filter = self.load >= 2; }").is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Tokeniser for the policy DSL.
+
+use crate::error::DslError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword (`policy`, `metric`, `self`, `victim`, …).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+}
+
+/// Tokenises `source`, skipping whitespace and `#`-to-end-of-line comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] as char != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(DslError::UnexpectedCharacter { found: '!', offset: i });
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(DslError::UnexpectedCharacter { found: '&', offset: i });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(DslError::UnexpectedCharacter { found: '|', offset: i });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|_| DslError::parse(format!("integer literal `{text}` out of range")))?;
+                tokens.push(Token::Int(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(source[start..i].to_string()));
+            }
+            other => return Err(DslError::UnexpectedCharacter { found: other, offset: i }),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_listing1_policy() {
+        let tokens = lex("policy p { filter = victim.load - self.load >= 2; }").unwrap();
+        assert!(tokens.contains(&Token::Ident("policy".into())));
+        assert!(tokens.contains(&Token::Ge));
+        assert!(tokens.contains(&Token::Int(2)));
+        assert_eq!(tokens.iter().filter(|t| **t == Token::Dot).count(), 2);
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let tokens = lex("# a comment\n  metric threads ; # trailing\n").unwrap();
+        assert_eq!(
+            tokens,
+            vec![Token::Ident("metric".into()), Token::Ident("threads".into()), Token::Semi]
+        );
+    }
+
+    #[test]
+    fn two_character_operators() {
+        let tokens = lex(">= <= == != && || > <").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ge,
+                Token::Le,
+                Token::EqEq,
+                Token::Ne,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Gt,
+                Token::Lt
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(lex("filter = $"), Err(DslError::UnexpectedCharacter { found: '$', .. })));
+        assert!(lex("a & b").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! The scheduling-policy DSL.
+//!
+//! "These abstractions are exposed to kernel developers via a
+//! domain-specific language (DSL), which is then compiled to C code that can
+//! be integrated as a scheduling class into the Linux kernel, and to Scala
+//! code that is verified by the Leon toolkit." (§1)
+//!
+//! This crate reproduces that architecture with two backends over one
+//! front-end:
+//!
+//! * **front-end** — [`lexer`], [`parser`], [`typecheck`] and
+//!   [`phase_check`]: a policy is a `filter` expression, a `choose` rule and
+//!   a `steal` count.  The phase checker enforces the §3.1 structural
+//!   constraints (the selection phase is read-only by construction, the
+//!   steal phase migrates at least one thread) and warns about greedy-style
+//!   filters;
+//! * **executable backend** — [`eval`] compiles a definition into
+//!   `sched-core` policy objects runnable by the balancer, the simulator and
+//!   the concurrent runqueues (the "C backend" analogue), and [`codegen`]
+//!   emits the equivalent stand-alone Rust source text;
+//! * **verification backend** — [`verification`] feeds the compiled policy
+//!   to the `sched-verify` lemma suite (the "Leon backend" analogue).
+//!
+//! [`stdlib`] ships the paper's policies written in the DSL: Listing 1, the
+//! §4.3 greedy counterexample, the weighted variant and a batched variant.
+//!
+//! # Example
+//!
+//! ```
+//! use sched_dsl::{compile_source, stdlib};
+//!
+//! let compiled = compile_source(stdlib::LISTING1).unwrap();
+//! assert_eq!(compiled.def.name, "listing1");
+//! assert!(compiled.warnings.is_empty());
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod phase_check;
+pub mod pretty;
+pub mod stdlib;
+pub mod typecheck;
+pub mod verification;
+
+pub use ast::{Actor, BinOp, ChooseRule, Expr, Field, MetricSpec, PolicyDef};
+pub use codegen::generate_rust;
+pub use error::DslError;
+pub use eval::{compile, compile_source, CompiledPolicy};
+pub use parser::parse;
+pub use phase_check::{phase_check, PhaseWarning};
+pub use pretty::{print_expr, print_policy};
+pub use typecheck::typecheck;
+pub use verification::{verify_definition, verify_source, VerifiedPolicy};

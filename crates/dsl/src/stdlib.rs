@@ -1,0 +1,78 @@
+//! The built-in policy library, written in the DSL itself.
+
+/// The paper's Listing 1 policy: steal one thread from a core at least two
+/// threads ahead, choosing the most loaded candidate.
+pub const LISTING1: &str = "\
+# Listing 1 of the paper: the simple, provably work-conserving balancer.
+policy listing1 {
+    metric threads;
+    filter = victim.load - self.load >= 2;
+    choose = max victim.load;
+    steal  = 1;
+}
+";
+
+/// The §4.3 counterexample: steal from any overloaded core.  Sound
+/// sequentially, not work-conserving under concurrency.
+pub const GREEDY: &str = "\
+# The concurrency counterexample of the paper's section 4.3.
+policy greedy {
+    metric threads;
+    filter = stealee.load >= 2;
+    choose = max victim.load;
+    steal  = 1;
+}
+";
+
+/// A niceness-aware policy balancing weighted load (the §4.2 variant).
+pub const WEIGHTED: &str = "\
+# Balance weighted load; steal only when moving the lightest waiting thread
+# still strictly reduces the imbalance.
+policy weighted {
+    metric weighted;
+    filter = victim.nr_threads >= 2 && victim.weighted_load > self.weighted_load + victim.lightest_ready;
+    choose = max victim.weighted_load;
+    steal  = 1;
+}
+";
+
+/// A batched variant of Listing 1 that migrates two threads per steal.
+pub const BATCHED: &str = "\
+policy batched {
+    metric threads;
+    filter = victim.load - self.load >= 2;
+    choose = max victim.load;
+    steal  = 2;
+}
+";
+
+/// All built-in policies with their names.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("listing1", LISTING1),
+        ("greedy", GREEDY),
+        ("weighted", WEIGHTED),
+        ("batched", BATCHED),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::compile_source;
+    use crate::parser::parse;
+
+    #[test]
+    fn every_stdlib_policy_parses_and_compiles() {
+        for (name, source) in super::all() {
+            let def = parse(source).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+            assert_eq!(def.name, name);
+            compile_source(source).unwrap_or_else(|e| panic!("{name} does not compile: {e}"));
+        }
+    }
+
+    #[test]
+    fn stdlib_has_the_four_reference_policies() {
+        let names: Vec<&str> = super::all().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["listing1", "greedy", "weighted", "batched"]);
+    }
+}

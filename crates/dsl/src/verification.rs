@@ -1,0 +1,70 @@
+//! The verification backend — the analogue of the paper's "compiled […] to
+//! Scala code that is verified by the Leon toolkit".
+//!
+//! A DSL policy is compiled with [`crate::eval::compile`] and handed to the
+//! `sched-verify` lemma suite; the result is the same [`VerificationReport`]
+//! the hand-written policies get, so "write the policy once, get both an
+//! executable scheduler and a verification verdict" holds end to end.
+
+use sched_core::Balancer;
+use sched_verify::{verify_policy, Scope, VerificationReport};
+
+use crate::ast::PolicyDef;
+use crate::error::DslError;
+use crate::eval::compile;
+use crate::phase_check::PhaseWarning;
+
+/// The combined result of compiling and verifying a DSL policy.
+pub struct VerifiedPolicy {
+    /// The phase-checker warnings (e.g. the greedy-filter ping-pong hint).
+    pub warnings: Vec<PhaseWarning>,
+    /// The full lemma-by-lemma verification report.
+    pub report: VerificationReport,
+}
+
+impl VerifiedPolicy {
+    /// Returns `true` if every lemma held and every execution converged.
+    pub fn is_work_conserving(&self) -> bool {
+        self.report.is_work_conserving()
+    }
+}
+
+/// Compiles `def` and runs the complete lemma suite over `scope`.
+pub fn verify_definition(def: &PolicyDef, scope: &Scope) -> Result<VerifiedPolicy, DslError> {
+    let compiled = compile(def)?;
+    let balancer = Balancer::new(compiled.policy);
+    let report = verify_policy(&balancer, scope, false);
+    Ok(VerifiedPolicy { warnings: compiled.warnings, report })
+}
+
+/// Parses, compiles and verifies DSL source in one step.
+pub fn verify_source(source: &str, scope: &Scope) -> Result<VerifiedPolicy, DslError> {
+    let def = crate::parser::parse(source)?;
+    verify_definition(&def, scope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stdlib;
+
+    #[test]
+    fn the_dsl_listing1_policy_verifies() {
+        let verified = verify_source(stdlib::LISTING1, &Scope::small()).unwrap();
+        assert!(verified.is_work_conserving(), "{}", verified.report);
+        assert!(verified.warnings.is_empty());
+    }
+
+    #[test]
+    fn the_dsl_greedy_policy_is_refuted() {
+        let verified = verify_source(stdlib::GREEDY, &Scope::small()).unwrap();
+        assert!(!verified.is_work_conserving(), "{}", verified.report);
+        assert!(!verified.warnings.is_empty(), "the phase checker should have warned");
+        assert!(verified.report.convergence.is_err(), "the ping-pong must be found");
+    }
+
+    #[test]
+    fn syntax_errors_propagate() {
+        assert!(verify_source("policy broken {", &Scope::small()).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Tracking how many rounds a system needs to become work-conserving.
+
+/// Observes a sequence of load-balancing rounds and records when the system
+/// first reached (and whether it later left) a work-conserving state.
+///
+/// This is the measurement counterpart of the §3.2 definition: the tracker
+/// reports the `N` after which no core was idle while another was
+/// overloaded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConvergenceTracker {
+    rounds_observed: usize,
+    first_conserving_round: Option<usize>,
+    violations_after_convergence: usize,
+    total_failures: u64,
+    total_successes: u64,
+}
+
+impl ConvergenceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the state observed *after* one load-balancing round.
+    pub fn observe_round(&mut self, work_conserving: bool, successes: u64, failures: u64) {
+        self.rounds_observed += 1;
+        self.total_successes += successes;
+        self.total_failures += failures;
+        if work_conserving {
+            if self.first_conserving_round.is_none() {
+                self.first_conserving_round = Some(self.rounds_observed);
+            }
+        } else if self.first_conserving_round.is_some() {
+            // The system fell back out of work conservation (e.g. new threads
+            // arrived); count it, the next conserving observation will not
+            // overwrite the original N.
+            self.violations_after_convergence += 1;
+        }
+    }
+
+    /// Number of rounds observed so far.
+    pub fn rounds_observed(&self) -> usize {
+        self.rounds_observed
+    }
+
+    /// The `N` of the work-conservation definition, if reached.
+    pub fn rounds_to_converge(&self) -> Option<usize> {
+        self.first_conserving_round
+    }
+
+    /// Rounds that were non-conserving *after* convergence was first reached.
+    pub fn violations_after_convergence(&self) -> usize {
+        self.violations_after_convergence
+    }
+
+    /// Total successful steals observed.
+    pub fn total_successes(&self) -> u64 {
+        self.total_successes
+    }
+
+    /// Total failed steal attempts observed.
+    pub fn total_failures(&self) -> u64 {
+        self.total_failures
+    }
+
+    /// Failure rate among attempts that chose a victim, in `[0, 1]`.
+    pub fn failure_rate(&self) -> f64 {
+        let attempts = self.total_successes + self.total_failures;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_failures as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_the_first_conserving_round() {
+        let mut t = ConvergenceTracker::new();
+        t.observe_round(false, 1, 0);
+        t.observe_round(false, 1, 1);
+        t.observe_round(true, 1, 0);
+        t.observe_round(true, 0, 0);
+        assert_eq!(t.rounds_to_converge(), Some(3));
+        assert_eq!(t.rounds_observed(), 4);
+        assert_eq!(t.total_successes(), 3);
+        assert_eq!(t.total_failures(), 1);
+        assert!((t.failure_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convergence_is_not_overwritten_by_later_violations() {
+        let mut t = ConvergenceTracker::new();
+        t.observe_round(true, 0, 0);
+        t.observe_round(false, 0, 0);
+        t.observe_round(true, 0, 0);
+        assert_eq!(t.rounds_to_converge(), Some(1));
+        assert_eq!(t.violations_after_convergence(), 1);
+    }
+
+    #[test]
+    fn never_converging_reports_none() {
+        let mut t = ConvergenceTracker::new();
+        for _ in 0..5 {
+            t.observe_round(false, 0, 1);
+        }
+        assert_eq!(t.rounds_to_converge(), None);
+        assert_eq!(t.failure_rate(), 1.0);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let t = ConvergenceTracker::new();
+        assert_eq!(t.rounds_observed(), 0);
+        assert_eq!(t.rounds_to_converge(), None);
+        assert_eq!(t.failure_rate(), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Measurement substrate shared by the simulator and the benchmark harness.
+//!
+//! The paper's motivation is quantitative — "we have observed many-fold
+//! performance degradation in the case of scientific applications, and up to
+//! 25% decrease in throughput for realistic database workloads" (§1) — and
+//! its correctness criterion is temporal ("over time every idle core will
+//! manage to steal work").  This crate provides the instruments those
+//! statements are measured with:
+//!
+//! * [`idle::IdleAccounting`] — per-core idle time, split into *benign* idle
+//!   time (no work anywhere) and *violating* idle time (idle while some core
+//!   is overloaded), which is the quantity a work-conserving scheduler drives
+//!   to zero,
+//! * [`convergence::ConvergenceTracker`] — rounds-until-work-conservation,
+//! * [`throughput::ThroughputMeter`] and [`latency`]/[`histogram`] — the
+//!   workload-level metrics of experiments E9/E10,
+//! * [`summary::Summary`] — mean/percentile aggregation,
+//! * [`table::Table`] — fixed-width/markdown table rendering used by the
+//!   experiment harness to print the rows recorded in `EXPERIMENTS.md`.
+
+pub mod convergence;
+pub mod histogram;
+pub mod idle;
+pub mod latency;
+pub mod summary;
+pub mod table;
+pub mod throughput;
+
+pub use convergence::ConvergenceTracker;
+pub use histogram::Histogram;
+pub use idle::IdleAccounting;
+pub use latency::LatencyRecorder;
+pub use summary::Summary;
+pub use table::Table;
+pub use throughput::ThroughputMeter;

@@ -1,0 +1,137 @@
+//! Mean / percentile summaries of sample sets.
+
+/// Summary statistics of a set of `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary of `samples` (NaN values are dropped).
+    pub fn of(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        Summary { sorted }
+    }
+
+    /// Builds a summary from integer samples.
+    pub fn of_u64(samples: &[u64]) -> Self {
+        Self::of(&samples.iter().map(|&v| v as f64).collect::<Vec<_>>())
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Sample standard deviation (0 if fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.sorted.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+            / (self.sorted.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Value at quantile `q` in `[0, 1]` using nearest-rank interpolation
+    /// (0 if empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.median(), 3.0);
+        assert!((s.stddev() - 1.5811388).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::of_u64(&[10, 20]);
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(1.0), 20.0);
+        assert_eq!(s.quantile(0.5), 15.0);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn percentile_helpers() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = Summary::of(&samples);
+        assert!(s.p95() >= 94.0 && s.p95() <= 96.0);
+        assert!(s.p99() >= 98.0 && s.p99() <= 100.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Throughput measurement over a time window.
+
+/// Counts completed units of work (transactions, jobs) over simulated time.
+///
+/// Used by the OLTP experiment (E10) to measure the "up to 25% decrease in
+/// throughput" claim: throughput is completions divided by the measurement
+/// window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThroughputMeter {
+    completions: u64,
+    window_start: u64,
+    window_end: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter with an empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts the measurement window at `now`.
+    pub fn start(&mut self, now: u64) {
+        self.window_start = now;
+        self.window_end = now;
+        self.completions = 0;
+    }
+
+    /// Records one completion at time `now`.
+    pub fn record_completion(&mut self, now: u64) {
+        self.completions += 1;
+        self.window_end = self.window_end.max(now);
+    }
+
+    /// Closes the window at `now` without recording a completion.
+    pub fn finish(&mut self, now: u64) {
+        self.window_end = self.window_end.max(now);
+    }
+
+    /// Number of completions recorded.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Length of the observation window.
+    pub fn window(&self) -> u64 {
+        self.window_end.saturating_sub(self.window_start)
+    }
+
+    /// Completions per unit of time (0 for an empty window).
+    pub fn throughput(&self) -> f64 {
+        let w = self.window();
+        if w == 0 {
+            0.0
+        } else {
+            self.completions as f64 / w as f64
+        }
+    }
+
+    /// Completions per second assuming the time unit is nanoseconds.
+    pub fn throughput_per_sec(&self) -> f64 {
+        self.throughput() * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_completions_over_window() {
+        let mut m = ThroughputMeter::new();
+        m.start(1_000);
+        for t in [2_000u64, 3_000, 4_000, 5_000] {
+            m.record_completion(t);
+        }
+        m.finish(5_000);
+        assert_eq!(m.completions(), 4);
+        assert_eq!(m.window(), 4_000);
+        assert!((m.throughput() - 0.001).abs() < 1e-9);
+        assert!((m.throughput_per_sec() - 1_000_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_window_has_zero_throughput() {
+        let mut m = ThroughputMeter::new();
+        m.start(10);
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.window(), 0);
+    }
+
+    #[test]
+    fn restarting_resets_counts() {
+        let mut m = ThroughputMeter::new();
+        m.start(0);
+        m.record_completion(5);
+        m.start(100);
+        assert_eq!(m.completions(), 0);
+        assert_eq!(m.window(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! FIFO queue discipline.
+
+use std::collections::VecDeque;
+
+use crate::entity::RqTask;
+use crate::TaskQueue;
+
+/// First-in-first-out runqueue: threads run in arrival order and the
+/// balancer steals the most recently queued thread (the one that has waited
+/// least, so the victim's oldest waiters keep their position).
+#[derive(Debug, Clone, Default)]
+pub struct FifoQueue {
+    queue: VecDeque<RqTask>,
+}
+
+impl TaskQueue for FifoQueue {
+    fn push(&mut self, task: RqTask) {
+        self.queue.push_back(task);
+    }
+
+    fn pop_next(&mut self) -> Option<RqTask> {
+        self.queue.pop_front()
+    }
+
+    fn pop_steal_candidate(&mut self) -> Option<RqTask> {
+        self.queue.pop_back()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.queue.iter().map(|t| t.weight().raw()).sum()
+    }
+
+    fn lightest_weight(&self) -> Option<u64> {
+        self.queue.iter().map(|t| t.weight().raw()).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::{Nice, TaskId};
+
+    #[test]
+    fn runs_in_arrival_order_and_steals_from_the_back() {
+        let mut q = FifoQueue::default();
+        for i in 0..3 {
+            q.push(RqTask::new(TaskId(i)));
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_steal_candidate().unwrap().id, TaskId(2));
+        assert_eq!(q.pop_next().unwrap().id, TaskId(0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn weight_accounting() {
+        let mut q = FifoQueue::default();
+        q.push(RqTask::new(TaskId(0)));
+        q.push(RqTask::with_nice(TaskId(1), Nice::new(19)));
+        assert_eq!(q.total_weight(), 1024 + 15);
+        assert_eq!(q.lightest_weight(), Some(15));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = FifoQueue::default();
+        assert!(q.is_empty());
+        assert!(q.pop_next().is_none());
+        assert!(q.pop_steal_candidate().is_none());
+        assert_eq!(q.lightest_weight(), None);
+        assert_eq!(q.total_weight(), 0);
+    }
+}

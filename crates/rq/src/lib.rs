@@ -1,0 +1,63 @@
+//! Concurrent runqueue substrate.
+//!
+//! `sched-core` models the scheduler as a pure state machine; this crate
+//! mounts the same three-step abstraction on *real* shared-memory runqueues
+//! so the concurrency claims of §3.1 can be exercised with actual threads:
+//!
+//! * one [`PerCoreRq`] per core, protected by a mutex (the paper's runqueue
+//!   lock) and publishing its load through atomics so that the **selection
+//!   phase reads no lock at all** ([`published::PublishedLoad`]),
+//! * the **stealing phase** takes the two runqueue locks in a global order
+//!   (lowest core id first) and re-checks the filter on the live state under
+//!   the locks before migrating, exactly like Figure 1's step 3
+//!   ([`steal`]),
+//! * [`MultiQueue`] assembles a machine's worth of runqueues, runs optimistic
+//!   balancing rounds from many OS threads concurrently (via crossbeam's
+//!   scoped threads) and counts successes/failures,
+//! * a deliberately pessimistic variant that holds *every* runqueue lock
+//!   during selection is provided as the baseline for the E11 overhead
+//!   experiment — it is what the paper refuses to do ("locking the runqueue
+//!   of the third core prevents that core from scheduling work").
+//!
+//! Two queue disciplines are provided: FIFO ([`fifo::FifoQueue`]) and a
+//! CFS-like virtual-runtime order ([`vruntime::VruntimeQueue`]).
+
+pub mod entity;
+pub mod fifo;
+pub mod multiqueue;
+pub mod percore;
+pub mod published;
+pub mod stats;
+pub mod steal;
+pub mod vruntime;
+
+pub use entity::RqTask;
+pub use fifo::FifoQueue;
+pub use multiqueue::MultiQueue;
+pub use percore::PerCoreRq;
+pub use published::PublishedLoad;
+pub use stats::BalanceStats;
+pub use vruntime::VruntimeQueue;
+
+/// Queue discipline used by a per-core runqueue.
+pub trait TaskQueue: Default + Send {
+    /// Adds a task to the queue.
+    fn push(&mut self, task: RqTask);
+    /// Removes and returns the next task to run, if any.
+    fn pop_next(&mut self) -> Option<RqTask>;
+    /// Removes and returns the task the balancer should migrate, if any.
+    ///
+    /// Migration candidates and execution candidates may differ (CFS steals
+    /// from the opposite end of the timeline it runs from).
+    fn pop_steal_candidate(&mut self) -> Option<RqTask>;
+    /// Number of queued tasks.
+    fn len(&self) -> usize;
+    /// Returns `true` if no task is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Sum of the weights of the queued tasks.
+    fn total_weight(&self) -> u64;
+    /// Weight of the lightest queued task, if any.
+    fn lightest_weight(&self) -> Option<u64>;
+}

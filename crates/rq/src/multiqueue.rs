@@ -1,0 +1,341 @@
+//! A machine's worth of concurrent runqueues and optimistic balancing over
+//! them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sched_core::{CoreId, CoreSnapshot, Policy, StealOutcome, TaskId};
+use sched_topology::{MachineTopology, NodeId};
+
+use crate::entity::RqTask;
+use crate::fifo::FifoQueue;
+use crate::percore::PerCoreRq;
+use crate::stats::BalanceStats;
+use crate::steal::try_steal;
+use crate::TaskQueue;
+
+/// All the per-core runqueues of one machine.
+///
+/// This is the threaded counterpart of [`sched_core::SystemState`]: the same
+/// [`Policy`] objects drive balancing here, but the selection phase reads
+/// lock-free atomics and the stealing phase really does contend on mutexes
+/// from multiple OS threads.
+#[derive(Debug)]
+pub struct MultiQueue<Q: TaskQueue = FifoQueue> {
+    cores: Vec<PerCoreRq<Q>>,
+    next_task_id: AtomicU64,
+}
+
+impl<Q: TaskQueue> MultiQueue<Q> {
+    /// Creates `nr_cores` empty runqueues, all on NUMA node 0.
+    pub fn new(nr_cores: usize) -> Self {
+        let cores = (0..nr_cores).map(|i| PerCoreRq::new(CoreId(i), NodeId(0))).collect();
+        MultiQueue { cores, next_task_id: AtomicU64::new(0) }
+    }
+
+    /// Creates one runqueue per CPU of `topo`, with matching node ids.
+    pub fn with_topology(topo: &MachineTopology) -> Self {
+        let cores = topo.cpus().iter().map(|c| PerCoreRq::new(c.id, c.node)).collect();
+        MultiQueue { cores, next_task_id: AtomicU64::new(0) }
+    }
+
+    /// Creates runqueues pre-populated so core `i` holds `loads[i]` `nice 0`
+    /// tasks.
+    pub fn with_loads(loads: &[usize]) -> Self {
+        let mq = Self::new(loads.len());
+        for (core, &n) in loads.iter().enumerate() {
+            for _ in 0..n {
+                mq.spawn_on(CoreId(core));
+            }
+        }
+        mq
+    }
+
+    /// Number of cores.
+    pub fn nr_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// One core's runqueue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn core(&self, id: CoreId) -> &PerCoreRq<Q> {
+        &self.cores[id.0]
+    }
+
+    /// All runqueues, in id order.
+    pub fn cores(&self) -> &[PerCoreRq<Q>] {
+        &self.cores
+    }
+
+    /// Creates a fresh `nice 0` task and makes it runnable on `core`.
+    pub fn spawn_on(&self, core: CoreId) -> TaskId {
+        let id = TaskId(self.next_task_id.fetch_add(1, Ordering::Relaxed));
+        self.cores[core.0].enqueue(RqTask::new(id));
+        id
+    }
+
+    /// Lock-less snapshots of every core, in id order (the selection phase's
+    /// entire view of the world).
+    pub fn snapshots(&self) -> Vec<CoreSnapshot> {
+        self.cores.iter().map(PerCoreRq::snapshot).collect()
+    }
+
+    /// Total number of threads across all runqueues (exact, takes each lock
+    /// in turn; used by invariant checks, not by balancing).
+    pub fn total_threads(&self) -> u64 {
+        self.cores.iter().map(PerCoreRq::nr_threads_exact).sum()
+    }
+
+    /// Returns `true` if no core is idle while another is overloaded,
+    /// judged on exact (locked) loads.
+    pub fn is_work_conserving(&self) -> bool {
+        let loads: Vec<u64> = self.cores.iter().map(PerCoreRq::nr_threads_exact).collect();
+        let any_idle = loads.iter().any(|&l| l == 0);
+        let any_overloaded = loads.iter().any(|&l| l >= 2);
+        !(any_idle && any_overloaded)
+    }
+
+    /// Runs the three-step optimistic balancing operation for one core.
+    ///
+    /// Steps 1 and 2 (filter + choice) read only the lock-less snapshots;
+    /// step 3 locks exactly the two runqueues involved.
+    pub fn balance_once(&self, thief: CoreId, policy: &Policy) -> StealOutcome {
+        // Selection phase: lock-less.
+        let snapshots = self.snapshots();
+        let thief_snap = snapshots[thief.0];
+        let candidates: Vec<CoreSnapshot> = snapshots
+            .into_iter()
+            .filter(|s| s.id != thief && policy.filter.can_steal(&thief_snap, s))
+            .collect();
+        let Some(victim) = policy.choice.choose(&thief_snap, &candidates) else {
+            return StealOutcome::NoCandidates;
+        };
+        // Stealing phase: locked, re-checked.
+        try_steal(&self.cores[thief.0], &self.cores[victim.0], policy.filter.as_ref(), 1)
+    }
+
+    /// The pessimistic baseline: holds **every** runqueue lock while
+    /// selecting, so selections can never be stale and steals never fail —
+    /// at the cost of stalling every core of the machine for the duration.
+    ///
+    /// This is the design the paper rejects in §1; E11 measures how much it
+    /// costs relative to [`MultiQueue::balance_once`].
+    pub fn balance_once_pessimistic(&self, thief: CoreId, policy: &Policy) -> StealOutcome {
+        // Lock all runqueues in id order (a global order, so concurrent
+        // pessimistic balancers cannot deadlock).
+        let guards: Vec<_> = self.cores.iter().map(|c| c.lock()).collect();
+        let snapshots: Vec<CoreSnapshot> = self
+            .cores
+            .iter()
+            .zip(&guards)
+            .map(|(rq, inner)| CoreSnapshot {
+                id: rq.id(),
+                node: rq.node(),
+                nr_threads: inner.nr_threads(),
+                weighted_load: inner.weighted_load(),
+                lightest_ready_weight: inner.queue.lightest_weight(),
+            })
+            .collect();
+        let thief_snap = snapshots[thief.0];
+        let candidates: Vec<CoreSnapshot> = snapshots
+            .into_iter()
+            .filter(|s| s.id != thief && policy.filter.can_steal(&thief_snap, s))
+            .collect();
+        let Some(victim) = policy.choice.choose(&thief_snap, &candidates) else {
+            return StealOutcome::NoCandidates;
+        };
+        drop(guards);
+        // Re-acquire just the two locks to perform the migration; because the
+        // selection was made under the global lock there is no staleness in a
+        // single-threaded use, and under concurrency the re-check still
+        // protects correctness.
+        try_steal(&self.cores[thief.0], &self.cores[victim.0], policy.filter.as_ref(), 1)
+    }
+
+    /// Runs one *concurrent* balancing round: every core executes
+    /// [`MultiQueue::balance_once`] from its own OS thread simultaneously,
+    /// which is how CFS runs its 4 ms balancing pass on every core at once.
+    ///
+    /// Returns the aggregated outcome counters.
+    pub fn concurrent_round(&self, policy: &Policy) -> BalanceStats
+    where
+        Q: 'static,
+    {
+        let stats = BalanceStats::new();
+        crossbeam::thread::scope(|scope| {
+            for core in &self.cores {
+                let stats = &stats;
+                let mq = &*self;
+                scope.spawn(move |_| {
+                    let outcome = mq.balance_once(core.id(), policy);
+                    stats.record(&outcome);
+                });
+            }
+        })
+        .expect("balancing threads must not panic");
+        stats
+    }
+
+    /// Like [`MultiQueue::concurrent_round`], but every thread performs its
+    /// selection phase against the *initial* state of the round: all threads
+    /// rendezvous on a barrier between selecting and stealing.
+    ///
+    /// This is the threaded equivalent of the model's
+    /// `RoundSchedule::AllSelectThenSteal` — the maximally stale
+    /// interleaving, in which conflicting optimistic selections (and hence
+    /// failed steals) are guaranteed rather than merely possible.  E11 uses
+    /// it to measure the failure rate the paper's P1/P2 lemmas are about.
+    pub fn concurrent_round_synchronized(&self, policy: &Policy) -> BalanceStats
+    where
+        Q: 'static,
+    {
+        let stats = BalanceStats::new();
+        let barrier = std::sync::Barrier::new(self.cores.len());
+        crossbeam::thread::scope(|scope| {
+            for core in &self.cores {
+                let stats = &stats;
+                let barrier = &barrier;
+                let mq = &*self;
+                scope.spawn(move |_| {
+                    // Selection phase: lock-less, on the pre-round state.
+                    let snapshots = mq.snapshots();
+                    let thief_snap = snapshots[core.id().0];
+                    let candidates: Vec<CoreSnapshot> = snapshots
+                        .into_iter()
+                        .filter(|s| s.id != core.id() && policy.filter.can_steal(&thief_snap, s))
+                        .collect();
+                    let chosen = policy.choice.choose(&thief_snap, &candidates);
+                    // Every core finishes selecting before anyone steals.
+                    barrier.wait();
+                    let outcome = match chosen {
+                        Some(victim) => try_steal(
+                            &mq.cores[core.id().0],
+                            &mq.cores[victim.0],
+                            policy.filter.as_ref(),
+                            1,
+                        ),
+                        None => StealOutcome::NoCandidates,
+                    };
+                    stats.record(&outcome);
+                });
+            }
+        })
+        .expect("balancing threads must not panic");
+        stats
+    }
+
+    /// Runs concurrent rounds until the machine is work-conserving or the
+    /// round budget is exhausted; returns the number of rounds used, if it
+    /// converged.
+    pub fn converge(&self, policy: &Policy, max_rounds: usize) -> (Option<usize>, BalanceStats)
+    where
+        Q: 'static,
+    {
+        let total = BalanceStats::new();
+        for round in 0..=max_rounds {
+            if self.is_work_conserving() {
+                return (Some(round), total);
+            }
+            if round == max_rounds {
+                break;
+            }
+            let stats = self.concurrent_round(policy);
+            // Fold the per-round counters into the total.
+            for _ in 0..stats.successes() {
+                total.record(&StealOutcome::Stole { victim: CoreId(0), tasks: vec![TaskId(0)] });
+            }
+            for _ in 0..stats.recheck_failures() {
+                total.record(&StealOutcome::RecheckFailed { victim: CoreId(0) });
+            }
+            for _ in 0..stats.nothing_to_steal() {
+                total.record(&StealOutcome::NothingToSteal { victim: CoreId(0) });
+            }
+            for _ in 0..stats.no_candidates() {
+                total.record(&StealOutcome::NoCandidates);
+            }
+        }
+        (None, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::Policy;
+
+    #[test]
+    fn balance_once_fixes_a_two_core_imbalance() {
+        let mq: MultiQueue = MultiQueue::with_loads(&[0, 3]);
+        let policy = Policy::simple();
+        let outcome = mq.balance_once(CoreId(0), &policy);
+        assert!(outcome.is_success());
+        assert_eq!(mq.core(CoreId(0)).snapshot().nr_threads, 1);
+        assert_eq!(mq.core(CoreId(1)).snapshot().nr_threads, 2);
+        assert_eq!(mq.total_threads(), 3);
+    }
+
+    #[test]
+    fn concurrent_round_preserves_every_task() {
+        let mq: MultiQueue = MultiQueue::with_loads(&[0, 8, 0, 4, 0, 0, 2, 1]);
+        let before = mq.total_threads();
+        let policy = Policy::simple();
+        let stats = mq.concurrent_round(&policy);
+        assert_eq!(mq.total_threads(), before, "steals must neither lose nor duplicate tasks");
+        assert!(stats.successes() >= 1);
+    }
+
+    #[test]
+    fn converge_reaches_work_conservation() {
+        let mq: MultiQueue = MultiQueue::with_loads(&[0, 0, 0, 0, 0, 0, 0, 16]);
+        let policy = Policy::simple();
+        let (rounds, stats) = mq.converge(&policy, 64);
+        assert!(rounds.is_some(), "optimistic balancing must converge");
+        assert!(mq.is_work_conserving());
+        assert!(stats.successes() >= 7, "at least seven cores had to obtain work");
+    }
+
+    #[test]
+    fn synchronized_round_produces_real_optimistic_failures() {
+        // Seven idle cores all select the single overloaded core against the
+        // same pre-round snapshot; only a few steals can succeed, the rest
+        // must fail their re-check — on real OS threads, not in the model.
+        let mq: MultiQueue = MultiQueue::with_loads(&[4, 0, 0, 0, 0, 0, 0, 0]);
+        let policy = Policy::simple();
+        let stats = mq.concurrent_round_synchronized(&policy);
+        assert_eq!(mq.total_threads(), 4);
+        assert!(stats.successes() >= 1);
+        assert!(
+            stats.successes() + stats.recheck_failures() >= 7,
+            "every idle core chose the hot core as its victim"
+        );
+        assert!(stats.recheck_failures() >= 1, "conflicting selections must produce failures");
+    }
+
+    #[test]
+    fn pessimistic_balancing_also_works() {
+        let mq: MultiQueue = MultiQueue::with_loads(&[0, 4]);
+        let policy = Policy::simple();
+        let outcome = mq.balance_once_pessimistic(CoreId(0), &policy);
+        assert!(outcome.is_success());
+        assert!(mq.is_work_conserving());
+    }
+
+    #[test]
+    fn topology_construction_assigns_nodes() {
+        let topo = sched_topology::TopologyBuilder::new().sockets(2).cores_per_socket(2).build();
+        let mq: MultiQueue = MultiQueue::with_topology(&topo);
+        assert_eq!(mq.nr_cores(), 4);
+        assert_ne!(mq.core(CoreId(0)).node(), mq.core(CoreId(3)).node());
+    }
+
+    #[test]
+    fn spawn_on_allocates_unique_ids() {
+        let mq: MultiQueue = MultiQueue::new(2);
+        let a = mq.spawn_on(CoreId(0));
+        let b = mq.spawn_on(CoreId(1));
+        assert_ne!(a, b);
+        assert_eq!(mq.total_threads(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! A per-core runqueue with a lock for mutation and atomics for observation.
+
+use parking_lot::{Mutex, MutexGuard};
+use sched_core::{CoreId, CoreSnapshot, TaskId};
+use sched_topology::NodeId;
+
+use crate::entity::RqTask;
+use crate::fifo::FifoQueue;
+use crate::published::PublishedLoad;
+use crate::TaskQueue;
+
+/// The lock-protected part of a runqueue: the running task and the queue of
+/// waiting tasks.
+#[derive(Debug, Default)]
+pub struct RqInner<Q: TaskQueue> {
+    /// The task currently running on the core, if any.
+    pub current: Option<RqTask>,
+    /// Tasks waiting to run.
+    pub queue: Q,
+}
+
+impl<Q: TaskQueue> RqInner<Q> {
+    /// Number of threads on the core, counting the running one.
+    pub fn nr_threads(&self) -> u64 {
+        self.queue.len() as u64 + u64::from(self.current.is_some())
+    }
+
+    /// Weighted load of the core, counting the running task.
+    pub fn weighted_load(&self) -> u64 {
+        self.current.as_ref().map_or(0, |t| t.weight().raw()) + self.queue.total_weight()
+    }
+
+    /// Returns `true` if the core has no work at all.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none() && self.queue.is_empty()
+    }
+}
+
+/// One core's runqueue: a mutex-protected [`RqInner`] plus the lock-free
+/// [`PublishedLoad`] the selection phase reads.
+#[derive(Debug)]
+pub struct PerCoreRq<Q: TaskQueue = FifoQueue> {
+    id: CoreId,
+    node: NodeId,
+    inner: Mutex<RqInner<Q>>,
+    published: PublishedLoad,
+}
+
+impl<Q: TaskQueue> PerCoreRq<Q> {
+    /// Creates an empty runqueue for core `id` on `node`.
+    pub fn new(id: CoreId, node: NodeId) -> Self {
+        PerCoreRq {
+            id,
+            node,
+            inner: Mutex::new(RqInner { current: None, queue: Q::default() }),
+            published: PublishedLoad::new(),
+        }
+    }
+
+    /// The core this runqueue belongs to.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The NUMA node of the core.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Takes the runqueue lock.  Callers that mutate the state through the
+    /// guard must call [`PerCoreRq::republish`] with the guard before
+    /// releasing it so the lock-less observers see the change.
+    pub fn lock(&self) -> MutexGuard<'_, RqInner<Q>> {
+        self.inner.lock()
+    }
+
+    /// Refreshes the published load from the locked state.
+    pub fn republish(&self, inner: &RqInner<Q>) {
+        self.published.publish(
+            inner.nr_threads(),
+            inner.weighted_load(),
+            inner.queue.lightest_weight(),
+        );
+    }
+
+    /// Lock-less, possibly stale observation of this runqueue: the only
+    /// thing the selection phase is allowed to read.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        self.published.snapshot(self.id, self.node)
+    }
+
+    /// Makes `task` runnable on this core: it starts running immediately if
+    /// the core was idle, otherwise it queues.
+    pub fn enqueue(&self, task: RqTask) {
+        let mut inner = self.lock();
+        if inner.current.is_none() {
+            inner.current = Some(task);
+        } else {
+            inner.queue.push(task);
+        }
+        self.republish(&inner);
+    }
+
+    /// Elects the next task to run if the core has none, returning its id.
+    pub fn pick_next(&self) -> Option<TaskId> {
+        let mut inner = self.lock();
+        if inner.current.is_none() {
+            if let Some(next) = inner.queue.pop_next() {
+                let id = next.id;
+                inner.current = Some(next);
+                self.republish(&inner);
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Removes the running task (e.g. it exited or blocked), electing a
+    /// successor from the queue if one is waiting.  Returns the removed task.
+    pub fn complete_current(&self) -> Option<RqTask> {
+        let mut inner = self.lock();
+        let done = inner.current.take();
+        if let Some(next) = inner.queue.pop_next() {
+            inner.current = Some(next);
+        }
+        self.republish(&inner);
+        done
+    }
+
+    /// Number of threads currently on the core (taken under the lock, exact).
+    pub fn nr_threads_exact(&self) -> u64 {
+        self.lock().nr_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::Nice;
+
+    fn rq() -> PerCoreRq<FifoQueue> {
+        PerCoreRq::new(CoreId(0), NodeId(0))
+    }
+
+    #[test]
+    fn enqueue_runs_immediately_on_an_idle_core() {
+        let q = rq();
+        assert!(q.snapshot().is_idle());
+        q.enqueue(RqTask::new(TaskId(1)));
+        let snap = q.snapshot();
+        assert_eq!(snap.nr_threads, 1);
+        assert!(!snap.is_overloaded());
+        assert_eq!(q.lock().current.as_ref().unwrap().id, TaskId(1));
+    }
+
+    #[test]
+    fn published_load_tracks_the_locked_state() {
+        let q = rq();
+        q.enqueue(RqTask::new(TaskId(1)));
+        q.enqueue(RqTask::with_nice(TaskId(2), Nice::new(19)));
+        let snap = q.snapshot();
+        assert_eq!(snap.nr_threads, 2);
+        assert_eq!(snap.weighted_load, 1024 + 15);
+        assert_eq!(snap.lightest_ready_weight, Some(15));
+        assert!(snap.is_overloaded());
+    }
+
+    #[test]
+    fn complete_current_elects_a_successor() {
+        let q = rq();
+        q.enqueue(RqTask::new(TaskId(1)));
+        q.enqueue(RqTask::new(TaskId(2)));
+        let done = q.complete_current().unwrap();
+        assert_eq!(done.id, TaskId(1));
+        assert_eq!(q.lock().current.as_ref().unwrap().id, TaskId(2));
+        assert_eq!(q.snapshot().nr_threads, 1);
+        assert!(q.complete_current().is_some());
+        assert!(q.complete_current().is_none());
+        assert!(q.snapshot().is_idle());
+    }
+
+    #[test]
+    fn pick_next_is_a_no_op_while_something_runs() {
+        let q = rq();
+        q.enqueue(RqTask::new(TaskId(1)));
+        q.enqueue(RqTask::new(TaskId(2)));
+        assert_eq!(q.pick_next(), None);
+        q.complete_current();
+        // The successor was already elected by complete_current.
+        assert_eq!(q.pick_next(), None);
+        assert_eq!(q.nr_threads_exact(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Lock-less load publication.
+//!
+//! "We think that it is desirable to allow cores to look at the other cores'
+//! states and take optimistic decisions based on these observations, without
+//! locks." (§1)  Each runqueue publishes the quantities the selection phase
+//! needs — thread count, weighted load, lightest waiting weight — through
+//! plain atomics.  Readers never take the runqueue lock; what they read may
+//! be stale by the time they act on it, which is exactly the optimism the
+//! stealing phase re-checks for.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sched_core::{CoreId, CoreSnapshot};
+use sched_topology::NodeId;
+
+/// Atomically published load of one runqueue.
+#[derive(Debug, Default)]
+pub struct PublishedLoad {
+    nr_threads: AtomicU64,
+    weighted_load: AtomicU64,
+    /// Lightest waiting weight plus one; zero encodes "nothing waiting".
+    lightest_plus_one: AtomicU64,
+}
+
+impl PublishedLoad {
+    /// Creates an all-zero publication (an idle core).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a new observation.  Called with the runqueue lock held, so
+    /// the three stores describe one consistent state; readers may observe a
+    /// mix of old and new values, which the model tolerates (the stealing
+    /// phase re-checks under the lock).
+    pub fn publish(&self, nr_threads: u64, weighted_load: u64, lightest_ready: Option<u64>) {
+        self.nr_threads.store(nr_threads, Ordering::Release);
+        self.weighted_load.store(weighted_load, Ordering::Release);
+        self.lightest_plus_one
+            .store(lightest_ready.map_or(0, |w| w + 1), Ordering::Release);
+    }
+
+    /// Number of threads last published.
+    pub fn nr_threads(&self) -> u64 {
+        self.nr_threads.load(Ordering::Acquire)
+    }
+
+    /// Weighted load last published.
+    pub fn weighted_load(&self) -> u64 {
+        self.weighted_load.load(Ordering::Acquire)
+    }
+
+    /// Lightest waiting weight last published, if anything was waiting.
+    pub fn lightest_ready(&self) -> Option<u64> {
+        match self.lightest_plus_one.load(Ordering::Acquire) {
+            0 => None,
+            w => Some(w - 1),
+        }
+    }
+
+    /// Builds a read-only [`CoreSnapshot`] for the selection phase, without
+    /// taking any lock.
+    pub fn snapshot(&self, id: CoreId, node: NodeId) -> CoreSnapshot {
+        CoreSnapshot {
+            id,
+            node,
+            nr_threads: self.nr_threads(),
+            weighted_load: self.weighted_load(),
+            lightest_ready_weight: self.lightest_ready(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishes_and_reads_back() {
+        let p = PublishedLoad::new();
+        assert_eq!(p.nr_threads(), 0);
+        assert_eq!(p.lightest_ready(), None);
+        p.publish(3, 3 * 1024, Some(1024));
+        assert_eq!(p.nr_threads(), 3);
+        assert_eq!(p.weighted_load(), 3072);
+        assert_eq!(p.lightest_ready(), Some(1024));
+    }
+
+    #[test]
+    fn snapshot_carries_identity_and_loads() {
+        let p = PublishedLoad::new();
+        p.publish(2, 2048, Some(1024));
+        let snap = p.snapshot(CoreId(5), NodeId(1));
+        assert_eq!(snap.id, CoreId(5));
+        assert_eq!(snap.node, NodeId(1));
+        assert_eq!(snap.nr_threads, 2);
+        assert!(snap.is_overloaded());
+        assert_eq!(snap.lightest_ready_weight, Some(1024));
+    }
+
+    #[test]
+    fn zero_weight_waiting_task_is_distinguishable_from_empty() {
+        let p = PublishedLoad::new();
+        p.publish(1, 0, Some(0));
+        assert_eq!(p.lightest_ready(), Some(0));
+        p.publish(1, 0, None);
+        assert_eq!(p.lightest_ready(), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Outcome counters for concurrent balancing rounds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sched_core::StealOutcome;
+
+/// Atomic counters of the outcomes of balancing attempts, shared by all the
+/// threads participating in a concurrent round.
+#[derive(Debug, Default)]
+pub struct BalanceStats {
+    successes: AtomicU64,
+    recheck_failures: AtomicU64,
+    nothing_to_steal: AtomicU64,
+    no_candidates: AtomicU64,
+    migrations: AtomicU64,
+}
+
+impl BalanceStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one balancing attempt outcome.
+    pub fn record(&self, outcome: &StealOutcome) {
+        match outcome {
+            StealOutcome::Stole { tasks, .. } => {
+                self.successes.fetch_add(1, Ordering::Relaxed);
+                self.migrations.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+            }
+            StealOutcome::RecheckFailed { .. } => {
+                self.recheck_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            StealOutcome::NothingToSteal { .. } => {
+                self.nothing_to_steal.fetch_add(1, Ordering::Relaxed);
+            }
+            StealOutcome::NoCandidates => {
+                self.no_candidates.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of successful steals.
+    pub fn successes(&self) -> u64 {
+        self.successes.load(Ordering::Relaxed)
+    }
+
+    /// Number of attempts whose filter re-check failed (stale selection).
+    pub fn recheck_failures(&self) -> u64 {
+        self.recheck_failures.load(Ordering::Relaxed)
+    }
+
+    /// Number of attempts that found nothing migratable under the locks.
+    pub fn nothing_to_steal(&self) -> u64 {
+        self.nothing_to_steal.load(Ordering::Relaxed)
+    }
+
+    /// Number of attempts that filtered out every core.
+    pub fn no_candidates(&self) -> u64 {
+        self.no_candidates.load(Ordering::Relaxed)
+    }
+
+    /// Number of threads migrated.
+    pub fn migrations(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
+    }
+
+    /// Failed attempts, in the paper's sense (a victim was chosen, nothing
+    /// was stolen).
+    pub fn failures(&self) -> u64 {
+        self.recheck_failures() + self.nothing_to_steal()
+    }
+
+    /// Attempts that chose a victim (successes plus failures).
+    pub fn attempts(&self) -> u64 {
+        self.successes() + self.failures()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::{CoreId, TaskId};
+
+    #[test]
+    fn records_each_outcome_kind() {
+        let stats = BalanceStats::new();
+        stats.record(&StealOutcome::Stole { victim: CoreId(1), tasks: vec![TaskId(0), TaskId(1)] });
+        stats.record(&StealOutcome::RecheckFailed { victim: CoreId(1) });
+        stats.record(&StealOutcome::NothingToSteal { victim: CoreId(1) });
+        stats.record(&StealOutcome::NoCandidates);
+        assert_eq!(stats.successes(), 1);
+        assert_eq!(stats.migrations(), 2);
+        assert_eq!(stats.recheck_failures(), 1);
+        assert_eq!(stats.nothing_to_steal(), 1);
+        assert_eq!(stats.no_candidates(), 1);
+        assert_eq!(stats.failures(), 2);
+        assert_eq!(stats.attempts(), 3);
+    }
+}

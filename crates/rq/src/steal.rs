@@ -1,0 +1,159 @@
+//! The locked stealing phase: ordered double-locking plus filter re-check.
+//!
+//! "The stealing phase must be done atomically for correctness (i.e., no two
+//! cores should be able to steal the same thread)." (§3.1)  Atomicity is
+//! obtained by holding both runqueue locks; deadlock between concurrent
+//! stealers is avoided by always acquiring the lower-numbered core's lock
+//! first — the same discipline Linux's `double_rq_lock` uses.
+
+use sched_core::{CoreSnapshot, FilterPolicy, StealOutcome};
+
+use crate::percore::{PerCoreRq, RqInner};
+use crate::TaskQueue;
+
+/// Builds a live snapshot of a locked runqueue.
+fn snapshot_locked<Q: TaskQueue>(rq: &PerCoreRq<Q>, inner: &RqInner<Q>) -> CoreSnapshot {
+    CoreSnapshot {
+        id: rq.id(),
+        node: rq.node(),
+        nr_threads: inner.nr_threads(),
+        weighted_load: inner.weighted_load(),
+        lightest_ready_weight: inner.queue.lightest_weight(),
+    }
+}
+
+/// Attempts to steal up to `max_tasks` waiting tasks from `victim` into
+/// `thief`, re-checking `filter` under the locks first.
+///
+/// Returns the same [`StealOutcome`] vocabulary as the pure model, so the
+/// P1/P2 reasoning applies verbatim to this implementation.
+///
+/// # Panics
+///
+/// Panics if `thief` and `victim` are the same core, which would be a
+/// balancer bug (the filter never selects the thief itself).
+pub fn try_steal<Q: TaskQueue>(
+    thief: &PerCoreRq<Q>,
+    victim: &PerCoreRq<Q>,
+    filter: &dyn FilterPolicy,
+    max_tasks: usize,
+) -> StealOutcome {
+    assert_ne!(thief.id(), victim.id(), "a core cannot steal from itself");
+
+    // Ordered double-lock: lowest core id first, so two concurrent stealers
+    // targeting each other cannot deadlock.
+    let (mut thief_guard, mut victim_guard) = if thief.id() < victim.id() {
+        let t = thief.lock();
+        let v = victim.lock();
+        (t, v)
+    } else {
+        let v = victim.lock();
+        let t = thief.lock();
+        (t, v)
+    };
+
+    // Listing 1, line 12: "Check that the filter of step 1 still holds".
+    let thief_snap = snapshot_locked(thief, &thief_guard);
+    let victim_snap = snapshot_locked(victim, &victim_guard);
+    if !filter.can_steal(&thief_snap, &victim_snap) {
+        return StealOutcome::RecheckFailed { victim: victim.id() };
+    }
+
+    let mut moved = Vec::new();
+    for _ in 0..max_tasks.max(1) {
+        match victim_guard.queue.pop_steal_candidate() {
+            Some(task) => {
+                moved.push(task.id);
+                if thief_guard.current.is_none() {
+                    thief_guard.current = Some(task);
+                } else {
+                    thief_guard.queue.push(task);
+                }
+            }
+            None => break,
+        }
+    }
+
+    thief.republish(&thief_guard);
+    victim.republish(&victim_guard);
+
+    if moved.is_empty() {
+        StealOutcome::NothingToSteal { victim: victim.id() }
+    } else {
+        StealOutcome::Stole { victim: victim.id(), tasks: moved }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::RqTask;
+    use crate::fifo::FifoQueue;
+    use sched_core::policy::DeltaFilter;
+    use sched_core::{CoreId, TaskId};
+    use sched_topology::NodeId;
+
+    fn rq(id: usize) -> PerCoreRq<FifoQueue> {
+        PerCoreRq::new(CoreId(id), NodeId(0))
+    }
+
+    #[test]
+    fn steals_one_task_when_the_filter_holds() {
+        let thief = rq(0);
+        let victim = rq(1);
+        for i in 0..3 {
+            victim.enqueue(RqTask::new(TaskId(i)));
+        }
+        let outcome = try_steal(&thief, &victim, &DeltaFilter::listing1(), 1);
+        assert!(outcome.is_success());
+        assert_eq!(thief.snapshot().nr_threads, 1);
+        assert_eq!(victim.snapshot().nr_threads, 2);
+    }
+
+    #[test]
+    fn recheck_fails_when_the_victim_was_drained_concurrently() {
+        let thief = rq(0);
+        let victim = rq(1);
+        victim.enqueue(RqTask::new(TaskId(0)));
+        // The victim only has one thread: the filter cannot hold.
+        let outcome = try_steal(&thief, &victim, &DeltaFilter::listing1(), 1);
+        assert_eq!(outcome, StealOutcome::RecheckFailed { victim: CoreId(1) });
+        assert_eq!(victim.snapshot().nr_threads, 1);
+    }
+
+    #[test]
+    fn never_steals_the_victims_running_task() {
+        let thief = rq(0);
+        let victim = rq(1);
+        victim.enqueue(RqTask::new(TaskId(0)));
+        victim.enqueue(RqTask::new(TaskId(1)));
+        let outcome = try_steal(&thief, &victim, &DeltaFilter::listing1(), 8);
+        match outcome {
+            StealOutcome::Stole { tasks, .. } => assert_eq!(tasks, vec![TaskId(1)]),
+            other => panic!("expected a steal, got {other:?}"),
+        }
+        assert_eq!(victim.lock().current.as_ref().unwrap().id, TaskId(0));
+        assert!(!victim.snapshot().is_idle());
+    }
+
+    #[test]
+    fn lock_order_is_symmetric() {
+        // Stealing in both directions works regardless of id ordering.
+        let a = rq(0);
+        let b = rq(1);
+        for i in 0..4 {
+            a.enqueue(RqTask::new(TaskId(i)));
+        }
+        let outcome = try_steal(&b, &a, &DeltaFilter::listing1(), 1);
+        assert!(outcome.is_success());
+        assert_eq!(a.snapshot().nr_threads, 3);
+        assert_eq!(b.snapshot().nr_threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot steal from itself")]
+    fn self_steal_is_a_bug() {
+        let a = rq(0);
+        let _ = try_steal(&a, &a, &DeltaFilter::listing1(), 1);
+    }
+}

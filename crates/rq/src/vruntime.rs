@@ -1,0 +1,108 @@
+//! CFS-like virtual-runtime queue discipline.
+
+use std::collections::BTreeMap;
+
+use sched_core::TaskId;
+
+use crate::entity::RqTask;
+use crate::TaskQueue;
+
+/// A queue ordered by virtual runtime, mimicking CFS's red-black timeline.
+///
+/// The next task to run is the one with the smallest vruntime (the one that
+/// has received the least weighted CPU time); the steal candidate is the one
+/// with the *largest* vruntime, i.e. the task that will not run soon anyway,
+/// which is the cheapest to migrate.
+#[derive(Debug, Clone, Default)]
+pub struct VruntimeQueue {
+    // Keyed by (vruntime, id) so identical vruntimes stay distinct.
+    timeline: BTreeMap<(u64, TaskId), RqTask>,
+}
+
+impl TaskQueue for VruntimeQueue {
+    fn push(&mut self, task: RqTask) {
+        self.timeline.insert((task.vruntime, task.id), task);
+    }
+
+    fn pop_next(&mut self) -> Option<RqTask> {
+        let key = *self.timeline.keys().next()?;
+        self.timeline.remove(&key)
+    }
+
+    fn pop_steal_candidate(&mut self) -> Option<RqTask> {
+        let key = *self.timeline.keys().next_back()?;
+        self.timeline.remove(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.timeline.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.timeline.values().map(|t| t.weight().raw()).sum()
+    }
+
+    fn lightest_weight(&self) -> Option<u64> {
+        self.timeline.values().map(|t| t.weight().raw()).min()
+    }
+}
+
+impl VruntimeQueue {
+    /// Smallest vruntime currently queued, if any (the "leftmost" of CFS).
+    pub fn min_vruntime(&self) -> Option<u64> {
+        self.timeline.keys().next().map(|(v, _)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u64, vruntime: u64) -> RqTask {
+        let mut t = RqTask::new(TaskId(id));
+        t.vruntime = vruntime;
+        t
+    }
+
+    #[test]
+    fn runs_smallest_vruntime_first() {
+        let mut q = VruntimeQueue::default();
+        q.push(task(1, 300));
+        q.push(task(2, 100));
+        q.push(task(3, 200));
+        assert_eq!(q.min_vruntime(), Some(100));
+        assert_eq!(q.pop_next().unwrap().id, TaskId(2));
+        assert_eq!(q.pop_next().unwrap().id, TaskId(3));
+        assert_eq!(q.pop_next().unwrap().id, TaskId(1));
+        assert!(q.pop_next().is_none());
+    }
+
+    #[test]
+    fn steals_largest_vruntime() {
+        let mut q = VruntimeQueue::default();
+        q.push(task(1, 300));
+        q.push(task(2, 100));
+        assert_eq!(q.pop_steal_candidate().unwrap().id, TaskId(1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn identical_vruntimes_are_kept_distinct() {
+        let mut q = VruntimeQueue::default();
+        q.push(task(1, 50));
+        q.push(task(2, 50));
+        assert_eq!(q.len(), 2);
+        let a = q.pop_next().unwrap();
+        let b = q.pop_next().unwrap();
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn weight_accounting_matches_fifo_semantics() {
+        let mut q = VruntimeQueue::default();
+        q.push(task(1, 10));
+        assert_eq!(q.total_weight(), 1024);
+        assert_eq!(q.lightest_weight(), Some(1024));
+        assert_eq!(VruntimeQueue::default().min_vruntime(), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulation configuration.
+
+/// Static parameters of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of simulated cores (ignored when a topology is supplied).
+    pub nr_cores: usize,
+    /// Preemption timeslice, in nanoseconds (round-robin within a core).
+    pub timeslice_ns: u64,
+    /// Load-balancing period, in nanoseconds.
+    ///
+    /// The paper notes that "in CFS, load balancing operations are performed
+    /// simultaneously on all cores every 4ms" (§3.1); the default matches.
+    pub balance_period_ns: u64,
+    /// Hard simulation horizon, in nanoseconds; runs that do not finish by
+    /// then are truncated (and reported as unfinished).
+    pub horizon_ns: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nr_cores: 8,
+            timeslice_ns: 1_000_000,
+            balance_period_ns: 4_000_000,
+            horizon_ns: 30_000_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Creates the default configuration with `nr_cores` cores.
+    pub fn with_cores(nr_cores: usize) -> Self {
+        SimConfig { nr_cores, ..Default::default() }
+    }
+
+    /// Overrides the balancing period.
+    pub fn balance_period(mut self, ns: u64) -> Self {
+        assert!(ns > 0, "the balancing period must be positive");
+        self.balance_period_ns = ns;
+        self
+    }
+
+    /// Overrides the preemption timeslice.
+    pub fn timeslice(mut self, ns: u64) -> Self {
+        assert!(ns > 0, "the timeslice must be positive");
+        self.timeslice_ns = ns;
+        self
+    }
+
+    /// Overrides the horizon.
+    pub fn horizon(mut self, ns: u64) -> Self {
+        self.horizon_ns = ns;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_cfs_period() {
+        let c = SimConfig::default();
+        assert_eq!(c.balance_period_ns, 4_000_000);
+        assert!(c.timeslice_ns <= c.balance_period_ns);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = SimConfig::with_cores(64).balance_period(8_000_000).timeslice(500_000).horizon(1);
+        assert_eq!(c.nr_cores, 64);
+        assert_eq!(c.balance_period_ns, 8_000_000);
+        assert_eq!(c.timeslice_ns, 500_000);
+        assert_eq!(c.horizon_ns, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_period_is_rejected() {
+        let _ = SimConfig::default().balance_period(0);
+    }
+}

@@ -1,0 +1,446 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the *mechanism* — time, runqueues, election, preemption,
+//! barriers — and delegates the two *policies* the paper studies to a
+//! [`SimScheduler`]: where waking threads are placed, and how runqueues are
+//! balanced every balancing period.  Runs are fully deterministic given the
+//! workload and the scheduler.
+
+use sched_core::CoreId;
+use sched_metrics::{IdleAccounting, LatencyRecorder};
+use sched_topology::MachineTopology;
+use sched_workloads::{Phase, Workload};
+
+use crate::barrier::SimBarrier;
+use crate::config::SimConfig;
+use crate::event::{Event, EventKind, EventQueue};
+use crate::queues::CoreQueues;
+use crate::result::SimResult;
+use crate::scheduler::{RoundStats, SimScheduler};
+use crate::thread::{SimThread, SimThreadId, ThreadState};
+
+/// The discrete-event simulator.
+pub struct Engine {
+    config: SimConfig,
+    queues: CoreQueues,
+    threads: Vec<SimThread>,
+    barriers: Vec<SimBarrier>,
+    events: EventQueue,
+    scheduler: Box<dyn SimScheduler>,
+    workload_name: String,
+    now: u64,
+    last_account: u64,
+    idle: IdleAccounting,
+    latency: LatencyRecorder,
+    balance_stats: RoundStats,
+    finished_count: usize,
+}
+
+impl Engine {
+    /// Builds an engine for `workload` under `scheduler`.
+    ///
+    /// If `topo` is given the core count and NUMA layout come from it,
+    /// otherwise `config.nr_cores` cores on a single node are used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails validation (mismatched barriers).
+    pub fn new(
+        config: SimConfig,
+        topo: Option<&MachineTopology>,
+        workload: &Workload,
+        scheduler: Box<dyn SimScheduler>,
+    ) -> Self {
+        workload.validate().unwrap_or_else(|e| panic!("invalid workload: {e}"));
+        let queues = match topo {
+            Some(t) => CoreQueues::with_topology(t),
+            None => CoreQueues::new(config.nr_cores),
+        };
+        let nr_cores = queues.nr_cores();
+
+        let threads: Vec<SimThread> = workload
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| SimThread::new(SimThreadId(i), spec.clone()))
+            .collect();
+        let barriers =
+            workload.barriers.iter().map(|&(id, n)| SimBarrier::new(id, n)).collect();
+
+        let mut events = EventQueue::new();
+        for thread in &threads {
+            events.push(thread.spec.arrival_ns, EventKind::Arrival(thread.id));
+        }
+        for core in 0..nr_cores {
+            events.push(config.timeslice_ns, EventKind::Timer(CoreId(core)));
+        }
+        events.push(config.balance_period_ns, EventKind::Balance);
+
+        Engine {
+            idle: IdleAccounting::new(nr_cores),
+            latency: LatencyRecorder::new(),
+            balance_stats: RoundStats::default(),
+            queues,
+            threads,
+            barriers,
+            events,
+            scheduler,
+            workload_name: workload.name.clone(),
+            now: 0,
+            last_account: 0,
+            finished_count: 0,
+            config,
+        }
+    }
+
+    /// Runs the simulation to completion (or to the horizon) and returns the
+    /// measurements.
+    pub fn run(mut self) -> SimResult {
+        while let Some(event) = self.events.pop() {
+            if event.time > self.config.horizon_ns {
+                break;
+            }
+            self.account_until(event.time);
+            self.now = event.time;
+            self.handle(event);
+            if self.finished_count == self.threads.len() {
+                break;
+            }
+        }
+        self.account_until(self.now);
+        let finished = self.finished_count == self.threads.len();
+        SimResult {
+            scheduler: self.scheduler.name(),
+            workload: self.workload_name,
+            makespan_ns: self.now,
+            finished,
+            operations: self.threads.iter().map(|t| t.ops_completed).sum(),
+            idle: self.idle,
+            latency: self.latency,
+            balance: self.balance_stats,
+        }
+    }
+
+    fn account_until(&mut self, t: u64) {
+        let span = t.saturating_sub(self.last_account);
+        if span == 0 {
+            return;
+        }
+        let any_overloaded = self.queues.any_overloaded();
+        for core in self.queues.cores() {
+            self.idle.account(core.id.0, span, core.is_idle(), any_overloaded);
+        }
+        self.last_account = t;
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event.kind {
+            EventKind::Arrival(tid) => {
+                debug_assert_eq!(self.threads[tid.0].state, ThreadState::NotArrived);
+                self.enter_phase(tid);
+            }
+            EventKind::SleepDone(tid) => {
+                debug_assert_eq!(self.threads[tid.0].state, ThreadState::Sleeping);
+                self.threads[tid.0].phase_idx += 1;
+                self.enter_phase(tid);
+            }
+            EventKind::PhaseDone { tid, token } => self.on_phase_done(tid, token),
+            EventKind::Timer(core) => self.on_timer(core),
+            EventKind::Balance => self.on_balance(),
+        }
+    }
+
+    /// Starts the thread's current phase (compute, sleep, barrier) or
+    /// finishes the thread if no phase remains.
+    fn enter_phase(&mut self, tid: SimThreadId) {
+        match self.threads[tid.0].current_phase() {
+            None => {
+                let thread = &mut self.threads[tid.0];
+                thread.state = ThreadState::Finished;
+                thread.finish_time = Some(self.now);
+                self.finished_count += 1;
+            }
+            Some(Phase::Compute(ns)) => {
+                self.threads[tid.0].remaining_ns = ns;
+                self.make_runnable(tid);
+            }
+            Some(Phase::Sleep(ns)) => {
+                self.threads[tid.0].state = ThreadState::Sleeping;
+                self.events.push(self.now + ns, EventKind::SleepDone(tid));
+            }
+            Some(Phase::Barrier(id)) => {
+                self.threads[tid.0].state = ThreadState::AtBarrier(id);
+                let barrier = self
+                    .barriers
+                    .iter_mut()
+                    .find(|b| b.id == id)
+                    .expect("validated workloads declare every barrier");
+                if let Some(released) = barrier.arrive(tid) {
+                    for freed in released {
+                        self.threads[freed.0].phase_idx += 1;
+                        self.enter_phase(freed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Places a runnable thread on a core, starting it immediately if the
+    /// core is idle.
+    fn make_runnable(&mut self, tid: SimThreadId) {
+        let prev = self.threads[tid.0].last_core;
+        let target = match (prev, self.threads[tid.0].spec.origin_core) {
+            // First placement of a pinned thread: honour the workload's
+            // origin core (e.g. "all workers forked on core 0").
+            (None, Some(origin)) => CoreId(origin % self.queues.nr_cores()),
+            _ => self.scheduler.place_wakeup(&self.queues, &self.threads, tid, prev),
+        };
+        let thread = &mut self.threads[tid.0];
+        thread.state = ThreadState::Runnable;
+        thread.ready_since = Some(self.now);
+        thread.last_core = Some(target);
+        if self.queues.core(target).current.is_none() {
+            self.start_running(target, tid);
+        } else {
+            self.queues.enqueue(target, tid);
+        }
+    }
+
+    /// Puts `tid` on `core` and schedules the completion of its compute
+    /// phase.
+    fn start_running(&mut self, core: CoreId, tid: SimThreadId) {
+        debug_assert!(self.queues.core(core).current.is_none());
+        self.queues.core_mut(core).current = Some(tid);
+        let thread = &mut self.threads[tid.0];
+        thread.state = ThreadState::Running;
+        thread.running_since = Some(self.now);
+        thread.last_core = Some(core);
+        thread.run_token += 1;
+        if let Some(ready_since) = thread.ready_since.take() {
+            self.latency.record(ready_since, self.now);
+        }
+        self.events.push(
+            self.now + thread.remaining_ns,
+            EventKind::PhaseDone { tid, token: thread.run_token },
+        );
+    }
+
+    /// Elects the oldest waiting thread of `core` if the core is idle.
+    fn elect_next(&mut self, core: CoreId) {
+        if self.queues.core(core).current.is_none() {
+            if let Some(next) = self.queues.pop_ready(core) {
+                self.start_running(core, next);
+            }
+        }
+    }
+
+    fn on_phase_done(&mut self, tid: SimThreadId, token: u64) {
+        if self.threads[tid.0].run_token != token {
+            // The thread was preempted or migrated since this completion was
+            // scheduled; a fresh completion event exists.
+            return;
+        }
+        debug_assert_eq!(self.threads[tid.0].state, ThreadState::Running);
+        let core = self.threads[tid.0].last_core.expect("a running thread has a core");
+        debug_assert_eq!(self.queues.core(core).current, Some(tid));
+        self.queues.core_mut(core).current = None;
+        {
+            let thread = &mut self.threads[tid.0];
+            thread.ops_completed += 1;
+            thread.remaining_ns = 0;
+            thread.run_token += 1;
+            thread.phase_idx += 1;
+        }
+        self.enter_phase(tid);
+        self.elect_next(core);
+    }
+
+    fn on_timer(&mut self, core: CoreId) {
+        // Round-robin preemption: if somebody is waiting, the running thread
+        // yields the core and requeues at the tail.
+        if let Some(running) = self.queues.core(core).current {
+            if !self.queues.core(core).ready.is_empty() {
+                let thread = &mut self.threads[running.0];
+                let ran_for = self.now - thread.running_since.expect("running thread has a start time");
+                thread.remaining_ns = thread.remaining_ns.saturating_sub(ran_for);
+                thread.run_token += 1;
+                thread.state = ThreadState::Runnable;
+                thread.ready_since = Some(self.now);
+                self.queues.core_mut(core).current = None;
+                self.queues.enqueue(core, running);
+                self.elect_next(core);
+            }
+        }
+        if self.finished_count < self.threads.len() {
+            self.events.push(self.now + self.config.timeslice_ns, EventKind::Timer(core));
+        }
+    }
+
+    fn on_balance(&mut self) {
+        let stats = self.scheduler.balance_round(&mut self.queues, &self.threads);
+        self.balance_stats.merge(stats);
+        // Any core that received work while idle starts running it now.
+        for core in 0..self.queues.nr_cores() {
+            self.elect_next(CoreId(core));
+        }
+        if self.finished_count < self.threads.len() {
+            self.events.push(self.now + self.config.balance_period_ns, EventKind::Balance);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfs::{CfsBugs, CfsLikeScheduler};
+    use crate::scheduler::OptimisticScheduler;
+    use sched_core::Policy;
+    use sched_workloads::{ScientificWorkload, ThreadSpec};
+
+    fn small_scientific() -> Workload {
+        ScientificWorkload {
+            nr_threads: 8,
+            iterations: 3,
+            phase_ns: 2_000_000,
+            jitter: 0.0,
+            seed: 1,
+            fork_on_core: Some(0),
+        }
+        .generate()
+    }
+
+    #[test]
+    fn optimistic_scheduler_finishes_the_scientific_workload() {
+        let workload = small_scientific();
+        let engine = Engine::new(
+            SimConfig::with_cores(8),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        );
+        let result = engine.run();
+        assert!(result.finished, "the workload must complete before the horizon");
+        assert_eq!(result.operations, 8 * 3);
+        // Perfectly parallel, each iteration takes ~2ms: the makespan should
+        // be within a small factor of the 6ms ideal.
+        assert!(result.makespan_ns >= 6_000_000);
+        assert!(result.makespan_ns < 30_000_000, "makespan {} too slow", result.makespan_ns);
+    }
+
+    #[test]
+    fn buggy_cfs_is_substantially_slower_on_fork_join() {
+        // A dual-socket machine; all workers fork on a core of node 0.  The
+        // group-imbalance bug keeps node 1 idle, so the barrier workload
+        // loses roughly half the machine.
+        let topo = sched_topology::TopologyBuilder::new().sockets(2).cores_per_socket(8).build();
+        let workload = ScientificWorkload {
+            nr_threads: topo.nr_cpus(),
+            iterations: 3,
+            phase_ns: 2_000_000,
+            jitter: 0.0,
+            seed: 1,
+            fork_on_core: Some(0),
+        }
+        .generate();
+        let good = Engine::new(
+            SimConfig::default(),
+            Some(&topo),
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        let bad = Engine::new(
+            SimConfig::default(),
+            Some(&topo),
+            &workload,
+            Box::new(CfsLikeScheduler::new(CfsBugs::all())),
+        )
+        .run();
+        assert!(bad.finished && good.finished);
+        assert!(
+            bad.slowdown_vs(&good) > 1.5,
+            "hiding half the machine should hurt the barrier workload (slowdown {:.2})",
+            bad.slowdown_vs(&good)
+        );
+        assert!(bad.violating_idle_fraction() > good.violating_idle_fraction());
+    }
+
+    #[test]
+    fn single_thread_workload_runs_to_completion() {
+        let mut workload = Workload::new("one");
+        workload.push(ThreadSpec::new(vec![
+            Phase::Compute(1_000_000),
+            Phase::Sleep(500_000),
+            Phase::Compute(1_000_000),
+        ]));
+        let engine = Engine::new(
+            SimConfig::with_cores(2),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        );
+        let result = engine.run();
+        assert!(result.finished);
+        assert_eq!(result.operations, 2);
+        assert!(result.makespan_ns >= 2_500_000);
+    }
+
+    #[test]
+    fn horizon_truncates_unfinished_runs() {
+        let mut workload = Workload::new("huge");
+        workload.push(ThreadSpec::new(vec![Phase::Compute(1_000_000_000)]));
+        let engine = Engine::new(
+            SimConfig::with_cores(1).horizon(10_000_000),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        );
+        let result = engine.run();
+        assert!(!result.finished);
+    }
+
+    #[test]
+    fn balancing_statistics_are_collected() {
+        let workload = ScientificWorkload {
+            nr_threads: 16,
+            iterations: 2,
+            phase_ns: 8_000_000,
+            jitter: 0.0,
+            seed: 3,
+            fork_on_core: Some(0),
+        }
+        .generate();
+        let result = Engine::new(
+            SimConfig::with_cores(8),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        assert!(result.balance.successes > 0, "forked threads must be spread by stealing");
+        assert!(result.latency.count() > 0);
+    }
+
+    #[test]
+    fn runs_with_a_numa_topology() {
+        let topo = sched_topology::TopologyBuilder::dual_socket_server();
+        let workload = ScientificWorkload {
+            nr_threads: topo.nr_cpus(),
+            iterations: 2,
+            phase_ns: 1_000_000,
+            jitter: 0.0,
+            seed: 5,
+            fork_on_core: Some(0),
+        }
+        .generate();
+        let result = Engine::new(
+            SimConfig::default(),
+            Some(&topo),
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        assert!(result.finished);
+        assert_eq!(result.idle.nr_cores(), topo.nr_cpus());
+    }
+}

@@ -1,0 +1,131 @@
+//! The discrete-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sched_core::CoreId;
+
+use crate::thread::SimThreadId;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A thread becomes runnable for the first time.
+    Arrival(SimThreadId),
+    /// A sleeping thread wakes up.
+    SleepDone(SimThreadId),
+    /// The running thread's current compute phase completes.
+    ///
+    /// The token invalidates completions scheduled before a preemption.
+    PhaseDone {
+        /// The thread whose phase completes.
+        tid: SimThreadId,
+        /// Run token captured when the completion was scheduled.
+        token: u64,
+    },
+    /// Per-core preemption timer.
+    Timer(CoreId),
+    /// The machine-wide load-balancing tick (all cores balance together,
+    /// as CFS does every 4 ms).
+    Balance,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Absolute simulation time the event fires at, in nanoseconds.
+    pub time: u64,
+    /// Tie-break sequence number (FIFO among simultaneous events).
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of events ordered by time (FIFO among equal times).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at absolute time `time`.
+    pub fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(20, EventKind::Balance);
+        q.push(10, EventKind::Timer(CoreId(0)));
+        q.push(10, EventKind::Arrival(SimThreadId(1)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(10));
+        let first = q.pop().unwrap();
+        let second = q.pop().unwrap();
+        let third = q.pop().unwrap();
+        assert_eq!(first.kind, EventKind::Timer(CoreId(0)));
+        assert_eq!(second.kind, EventKind::Arrival(SimThreadId(1)));
+        assert_eq!(third.time, 20);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn phase_done_tokens_are_part_of_the_event() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::PhaseDone { tid: SimThreadId(0), token: 3 });
+        match q.pop().unwrap().kind {
+            EventKind::PhaseDone { tid, token } => {
+                assert_eq!(tid, SimThreadId(0));
+                assert_eq!(token, 3);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-core runqueues as seen by the simulator.
+
+use std::collections::VecDeque;
+
+use sched_core::{CoreId, CoreSnapshot};
+use sched_topology::{MachineTopology, NodeId};
+
+use crate::thread::{SimThread, SimThreadId};
+
+/// One simulated core: the running thread plus a FIFO runqueue of waiting
+/// thread ids.
+#[derive(Debug, Clone)]
+pub struct SimCore {
+    /// Identity of the core.
+    pub id: CoreId,
+    /// NUMA node of the core.
+    pub node: NodeId,
+    /// The thread currently running, if any.
+    pub current: Option<SimThreadId>,
+    /// Threads waiting to run, oldest first.
+    pub ready: VecDeque<SimThreadId>,
+}
+
+impl SimCore {
+    /// Number of threads on the core (running plus waiting).
+    pub fn nr_threads(&self) -> u64 {
+        self.ready.len() as u64 + u64::from(self.current.is_some())
+    }
+
+    /// Returns `true` if the core has no work.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none() && self.ready.is_empty()
+    }
+
+    /// Returns `true` if the core has two or more threads.
+    pub fn is_overloaded(&self) -> bool {
+        self.nr_threads() >= 2
+    }
+}
+
+/// The runqueues of every simulated core.
+#[derive(Debug, Clone)]
+pub struct CoreQueues {
+    cores: Vec<SimCore>,
+}
+
+impl CoreQueues {
+    /// Creates `nr_cores` idle cores on node 0.
+    pub fn new(nr_cores: usize) -> Self {
+        let cores = (0..nr_cores)
+            .map(|i| SimCore { id: CoreId(i), node: NodeId(0), current: None, ready: VecDeque::new() })
+            .collect();
+        CoreQueues { cores }
+    }
+
+    /// Creates one idle core per CPU of `topo`, with matching nodes.
+    pub fn with_topology(topo: &MachineTopology) -> Self {
+        let cores = topo
+            .cpus()
+            .iter()
+            .map(|c| SimCore { id: c.id, node: c.node, current: None, ready: VecDeque::new() })
+            .collect();
+        CoreQueues { cores }
+    }
+
+    /// Number of cores.
+    pub fn nr_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Immutable access to one core.
+    pub fn core(&self, id: CoreId) -> &SimCore {
+        &self.cores[id.0]
+    }
+
+    /// Mutable access to one core.
+    pub fn core_mut(&mut self, id: CoreId) -> &mut SimCore {
+        &mut self.cores[id.0]
+    }
+
+    /// All cores in id order.
+    pub fn cores(&self) -> &[SimCore] {
+        &self.cores
+    }
+
+    /// Per-core thread counts.
+    pub fn loads(&self) -> Vec<u64> {
+        self.cores.iter().map(SimCore::nr_threads).collect()
+    }
+
+    /// Returns `true` if any core is overloaded.
+    pub fn any_overloaded(&self) -> bool {
+        self.cores.iter().any(SimCore::is_overloaded)
+    }
+
+    /// Returns `true` if no core is idle while another is overloaded.
+    pub fn is_work_conserving(&self) -> bool {
+        let any_idle = self.cores.iter().any(SimCore::is_idle);
+        !(any_idle && self.any_overloaded())
+    }
+
+    /// Appends `tid` to `core`'s runqueue (it does not start running; the
+    /// engine elects runnable threads explicitly).
+    pub fn enqueue(&mut self, core: CoreId, tid: SimThreadId) {
+        self.cores[core.0].ready.push_back(tid);
+    }
+
+    /// Removes `tid` from `core`'s runqueue, returning `true` if it was
+    /// there.
+    pub fn remove_ready(&mut self, core: CoreId, tid: SimThreadId) -> bool {
+        let q = &mut self.cores[core.0].ready;
+        if let Some(pos) = q.iter().position(|&t| t == tid) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the oldest waiting thread of `core`.
+    pub fn pop_ready(&mut self, core: CoreId) -> Option<SimThreadId> {
+        self.cores[core.0].ready.pop_front()
+    }
+
+    /// Steals the most recently queued waiting thread of `from` and appends
+    /// it to `to`'s runqueue, returning its id.
+    pub fn migrate_newest(&mut self, from: CoreId, to: CoreId) -> Option<SimThreadId> {
+        assert_ne!(from, to, "a core cannot steal from itself");
+        let tid = self.cores[from.0].ready.pop_back()?;
+        self.cores[to.0].ready.push_back(tid);
+        Some(tid)
+    }
+
+    /// Read-only load snapshots of every core, with weights taken from the
+    /// thread table — the selection-phase view handed to `sched-core`
+    /// policies.
+    pub fn snapshots(&self, threads: &[SimThread]) -> Vec<CoreSnapshot> {
+        self.cores
+            .iter()
+            .map(|core| {
+                let mut weighted = 0u64;
+                let mut lightest: Option<u64> = None;
+                if let Some(cur) = core.current {
+                    weighted += threads[cur.0].weight().raw();
+                }
+                for &tid in &core.ready {
+                    let w = threads[tid.0].weight().raw();
+                    weighted += w;
+                    lightest = Some(lightest.map_or(w, |l: u64| l.min(w)));
+                }
+                CoreSnapshot {
+                    id: core.id,
+                    node: core.node,
+                    nr_threads: core.nr_threads(),
+                    weighted_load: weighted,
+                    lightest_ready_weight: lightest,
+                }
+            })
+            .collect()
+    }
+
+    /// Total number of threads on all runqueues (running plus waiting).
+    pub fn total_threads(&self) -> u64 {
+        self.cores.iter().map(SimCore::nr_threads).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_workloads::{Phase, ThreadSpec};
+
+    fn threads(n: usize) -> Vec<SimThread> {
+        (0..n)
+            .map(|i| SimThread::new(SimThreadId(i), ThreadSpec::new(vec![Phase::Compute(1)])))
+            .collect()
+    }
+
+    #[test]
+    fn enqueue_and_migrate() {
+        let mut q = CoreQueues::new(2);
+        q.enqueue(CoreId(0), SimThreadId(0));
+        q.enqueue(CoreId(0), SimThreadId(1));
+        assert_eq!(q.core(CoreId(0)).nr_threads(), 2);
+        let moved = q.migrate_newest(CoreId(0), CoreId(1)).unwrap();
+        assert_eq!(moved, SimThreadId(1));
+        assert_eq!(q.loads(), vec![1, 1]);
+        assert_eq!(q.total_threads(), 2);
+    }
+
+    #[test]
+    fn work_conservation_predicate() {
+        let mut q = CoreQueues::new(2);
+        assert!(q.is_work_conserving());
+        q.enqueue(CoreId(1), SimThreadId(0));
+        q.enqueue(CoreId(1), SimThreadId(1));
+        assert!(!q.is_work_conserving());
+        q.core_mut(CoreId(0)).current = Some(SimThreadId(2));
+        assert!(q.is_work_conserving());
+    }
+
+    #[test]
+    fn snapshots_reflect_weights() {
+        let mut q = CoreQueues::new(2);
+        let table = threads(3);
+        q.core_mut(CoreId(0)).current = Some(SimThreadId(0));
+        q.enqueue(CoreId(0), SimThreadId(1));
+        let snaps = q.snapshots(&table);
+        assert_eq!(snaps[0].nr_threads, 2);
+        assert_eq!(snaps[0].weighted_load, 2048);
+        assert_eq!(snaps[0].lightest_ready_weight, Some(1024));
+        assert!(snaps[1].is_idle());
+    }
+
+    #[test]
+    fn remove_and_pop_ready() {
+        let mut q = CoreQueues::new(1);
+        q.enqueue(CoreId(0), SimThreadId(0));
+        q.enqueue(CoreId(0), SimThreadId(1));
+        assert!(q.remove_ready(CoreId(0), SimThreadId(0)));
+        assert!(!q.remove_ready(CoreId(0), SimThreadId(0)));
+        assert_eq!(q.pop_ready(CoreId(0)), Some(SimThreadId(1)));
+        assert_eq!(q.pop_ready(CoreId(0)), None);
+    }
+
+    #[test]
+    fn topology_construction_assigns_nodes() {
+        let topo = sched_topology::TopologyBuilder::new().sockets(2).cores_per_socket(2).build();
+        let q = CoreQueues::with_topology(&topo);
+        assert_eq!(q.nr_cores(), 4);
+        assert_ne!(q.core(CoreId(0)).node, q.core(CoreId(3)).node);
+    }
+}

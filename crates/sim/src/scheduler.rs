@@ -1,0 +1,206 @@
+//! The simulator's scheduler interface and the verified optimistic
+//! scheduler built from `sched-core` policies.
+
+use sched_core::{CoreId, Policy};
+
+use crate::queues::CoreQueues;
+use crate::thread::{SimThread, SimThreadId};
+
+/// Aggregate outcome of one machine-wide balancing round inside the
+/// simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Steal attempts that migrated a thread.
+    pub successes: u64,
+    /// Steal attempts that chose a victim but migrated nothing (stale
+    /// optimistic selection).
+    pub failures: u64,
+    /// Threads migrated.
+    pub migrations: u64,
+}
+
+impl RoundStats {
+    /// Adds another round's counters into this one.
+    pub fn merge(&mut self, other: RoundStats) {
+        self.successes += other.successes;
+        self.failures += other.failures;
+        self.migrations += other.migrations;
+    }
+}
+
+/// The decisions a scheduler makes inside the simulator.
+///
+/// The engine owns the mechanism (runqueues, election, preemption, time);
+/// the scheduler owns the two policies the paper is about: where waking
+/// threads are placed, and how load is balanced between runqueues.
+pub trait SimScheduler: Send {
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the core a waking (or newly arrived, unpinned) thread is
+    /// enqueued on.  `prev` is the core the thread last ran on, if any.
+    fn place_wakeup(
+        &mut self,
+        queues: &CoreQueues,
+        threads: &[SimThread],
+        tid: SimThreadId,
+        prev: Option<CoreId>,
+    ) -> CoreId;
+
+    /// Runs one machine-wide load-balancing round ("load balancing
+    /// operations are performed simultaneously on all cores", §3.1),
+    /// migrating waiting threads between runqueues.
+    fn balance_round(&mut self, queues: &mut CoreQueues, threads: &[SimThread]) -> RoundStats;
+}
+
+/// The verified optimistic scheduler: wakeups go to idle cores, balancing is
+/// the paper's three-step round driven by a [`Policy`].
+pub struct OptimisticScheduler {
+    policy: Policy,
+}
+
+impl OptimisticScheduler {
+    /// Creates the scheduler around `policy` (usually [`Policy::simple`]).
+    pub fn new(policy: Policy) -> Self {
+        OptimisticScheduler { policy }
+    }
+
+    /// The policy driving the balancing rounds.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+}
+
+impl SimScheduler for OptimisticScheduler {
+    fn name(&self) -> &'static str {
+        "optimistic"
+    }
+
+    fn place_wakeup(
+        &mut self,
+        queues: &CoreQueues,
+        _threads: &[SimThread],
+        _tid: SimThreadId,
+        prev: Option<CoreId>,
+    ) -> CoreId {
+        // Prefer the previous core if it is idle (cache affinity for free),
+        // then any idle core, then the least loaded core.
+        if let Some(prev) = prev {
+            if queues.core(prev).is_idle() {
+                return prev;
+            }
+        }
+        if let Some(idle) = queues.cores().iter().find(|c| c.is_idle()) {
+            return idle.id;
+        }
+        queues
+            .cores()
+            .iter()
+            .min_by_key(|c| (c.nr_threads(), c.id))
+            .map(|c| c.id)
+            .expect("at least one core exists")
+    }
+
+    fn balance_round(&mut self, queues: &mut CoreQueues, threads: &[SimThread]) -> RoundStats {
+        // Selection phase for every core against ONE shared snapshot: this is
+        // the "all cores balance simultaneously" interleaving, so selections
+        // made by later cores can be stale and their steals can fail —
+        // exactly the optimism of the model.
+        let snapshots = queues.snapshots(threads);
+        let mut plans: Vec<(CoreId, CoreId)> = Vec::new();
+        for thief in queues.cores().iter().map(|c| c.id) {
+            let thief_snap = snapshots[thief.0];
+            let candidates: Vec<_> = snapshots
+                .iter()
+                .filter(|s| s.id != thief && self.policy.filter.can_steal(&thief_snap, s))
+                .copied()
+                .collect();
+            if let Some(victim) = self.policy.choice.choose(&thief_snap, &candidates) {
+                plans.push((thief, victim));
+            }
+        }
+        // Stealing phase: each planned steal re-checks the filter against the
+        // live queues before migrating (Listing 1 line 12).
+        let mut stats = RoundStats::default();
+        for (thief, victim) in plans {
+            let live = queues.snapshots(threads);
+            if self.policy.filter.can_steal(&live[thief.0], &live[victim.0]) {
+                if queues.migrate_newest(victim, thief).is_some() {
+                    stats.successes += 1;
+                    stats.migrations += 1;
+                } else {
+                    stats.failures += 1;
+                }
+            } else {
+                stats.failures += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_workloads::{Phase, ThreadSpec};
+
+    fn threads(n: usize) -> Vec<SimThread> {
+        (0..n)
+            .map(|i| SimThread::new(SimThreadId(i), ThreadSpec::new(vec![Phase::Compute(1)])))
+            .collect()
+    }
+
+    #[test]
+    fn wakeups_prefer_idle_cores() {
+        let mut sched = OptimisticScheduler::new(Policy::simple());
+        let mut queues = CoreQueues::new(4);
+        let table = threads(4);
+        queues.core_mut(CoreId(0)).current = Some(SimThreadId(0));
+        queues.core_mut(CoreId(1)).current = Some(SimThreadId(1));
+        let core = sched.place_wakeup(&queues, &table, SimThreadId(2), Some(CoreId(0)));
+        assert_eq!(core, CoreId(2), "the first idle core wins when the previous core is busy");
+        let back_home = sched.place_wakeup(&queues, &table, SimThreadId(3), Some(CoreId(3)));
+        assert_eq!(back_home, CoreId(3), "an idle previous core is preferred");
+    }
+
+    #[test]
+    fn wakeups_fall_back_to_least_loaded_core() {
+        let mut sched = OptimisticScheduler::new(Policy::simple());
+        let mut queues = CoreQueues::new(2);
+        let table = threads(4);
+        queues.core_mut(CoreId(0)).current = Some(SimThreadId(0));
+        queues.enqueue(CoreId(0), SimThreadId(1));
+        queues.core_mut(CoreId(1)).current = Some(SimThreadId(2));
+        let core = sched.place_wakeup(&queues, &table, SimThreadId(3), None);
+        assert_eq!(core, CoreId(1));
+    }
+
+    #[test]
+    fn balance_round_spreads_a_pileup_and_reports_conflicts() {
+        let mut sched = OptimisticScheduler::new(Policy::simple());
+        let mut queues = CoreQueues::new(4);
+        let table = threads(5);
+        // Core 3 runs one thread and queues four; everyone else is idle.
+        queues.core_mut(CoreId(3)).current = Some(SimThreadId(0));
+        for i in 1..5 {
+            queues.enqueue(CoreId(3), SimThreadId(i));
+        }
+        let stats = sched.balance_round(&mut queues, &table);
+        assert!(stats.successes >= 3, "three idle cores should each obtain a thread");
+        assert_eq!(queues.total_threads(), 5);
+        assert!(queues.is_work_conserving());
+    }
+
+    #[test]
+    fn balance_round_failures_happen_when_selections_go_stale() {
+        let mut sched = OptimisticScheduler::new(Policy::simple());
+        let mut queues = CoreQueues::new(3);
+        let table = threads(2);
+        // One victim with exactly two threads, two idle thieves: one must fail.
+        queues.core_mut(CoreId(2)).current = Some(SimThreadId(0));
+        queues.enqueue(CoreId(2), SimThreadId(1));
+        let stats = sched.balance_round(&mut queues, &table);
+        assert_eq!(stats.successes, 1);
+        assert_eq!(stats.failures, 1);
+    }
+}

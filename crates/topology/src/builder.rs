@@ -1,0 +1,290 @@
+//! Builder for regular machine topologies.
+
+use crate::cpu::{CpuId, CpuInfo};
+use crate::distance::DistanceMatrix;
+use crate::domain::{DomainKind, DomainTree, SchedDomain};
+use crate::machine::MachineTopology;
+use crate::node::{NodeId, NodeInfo};
+
+/// Builds regular (socket × LLC × core × SMT) machine topologies.
+///
+/// # Examples
+///
+/// ```
+/// use sched_topology::TopologyBuilder;
+///
+/// let topo = TopologyBuilder::new()
+///     .sockets(2)
+///     .cores_per_socket(8)
+///     .smt(2)
+///     .build();
+/// assert_eq!(topo.nr_cpus(), 32);
+/// assert_eq!(topo.nr_nodes(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    sockets: usize,
+    cores_per_socket: usize,
+    llcs_per_socket: usize,
+    smt: usize,
+    memory_per_node_mib: u64,
+    ring_interconnect: bool,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TopologyBuilder {
+    /// Starts from a single-socket, 4-core, no-SMT machine.
+    pub fn new() -> Self {
+        Self {
+            sockets: 1,
+            cores_per_socket: 4,
+            llcs_per_socket: 1,
+            smt: 1,
+            memory_per_node_mib: 32 * 1024,
+            ring_interconnect: false,
+        }
+    }
+
+    /// Number of sockets; each socket is one NUMA node.
+    pub fn sockets(mut self, sockets: usize) -> Self {
+        assert!(sockets >= 1, "at least one socket");
+        self.sockets = sockets;
+        self
+    }
+
+    /// Physical cores per socket.
+    pub fn cores_per_socket(mut self, cores: usize) -> Self {
+        assert!(cores >= 1, "at least one core per socket");
+        self.cores_per_socket = cores;
+        self
+    }
+
+    /// Number of last-level caches per socket (e.g. CCX-style splits).
+    pub fn llcs_per_socket(mut self, llcs: usize) -> Self {
+        assert!(llcs >= 1, "at least one LLC per socket");
+        self.llcs_per_socket = llcs;
+        self
+    }
+
+    /// Hardware threads per physical core (1 = SMT off).
+    pub fn smt(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread per core");
+        self.smt = threads;
+        self
+    }
+
+    /// Memory per NUMA node in MiB.
+    pub fn memory_per_node_mib(mut self, mib: u64) -> Self {
+        self.memory_per_node_mib = mib;
+        self
+    }
+
+    /// Uses a ring interconnect (distance grows with hop count) instead of a
+    /// flat all-to-all distance matrix.
+    pub fn ring_interconnect(mut self, ring: bool) -> Self {
+        self.ring_interconnect = ring;
+        self
+    }
+
+    /// A 2-socket, 8-core-per-socket server preset, similar to the machines
+    /// used by the "wasted cores" study the paper builds its motivation on.
+    pub fn dual_socket_server() -> MachineTopology {
+        Self::new().sockets(2).cores_per_socket(8).llcs_per_socket(1).smt(2).build()
+    }
+
+    /// An 8-node NUMA machine preset (the scale at which CFS bugs appeared).
+    pub fn eight_node_numa() -> MachineTopology {
+        Self::new()
+            .sockets(8)
+            .cores_per_socket(8)
+            .llcs_per_socket(2)
+            .ring_interconnect(true)
+            .build()
+    }
+
+    /// Builds the immutable topology.
+    pub fn build(self) -> MachineTopology {
+        let cpus_per_socket = self.cores_per_socket * self.smt;
+        let nr_cpus = self.sockets * cpus_per_socket;
+        let cores_per_llc = self.cores_per_socket.div_ceil(self.llcs_per_socket);
+
+        let mut cpus = Vec::with_capacity(nr_cpus);
+        let mut nodes = Vec::with_capacity(self.sockets);
+
+        for socket in 0..self.sockets {
+            let mut node_cpus = Vec::with_capacity(cpus_per_socket);
+            for core in 0..self.cores_per_socket {
+                let physical_core = socket * self.cores_per_socket + core;
+                let llc = core / cores_per_llc;
+                let mut siblings = Vec::with_capacity(self.smt);
+                for t in 0..self.smt {
+                    let id = CpuId(socket * cpus_per_socket + core * self.smt + t);
+                    siblings.push(id);
+                }
+                for t in 0..self.smt {
+                    let id = siblings[t];
+                    node_cpus.push(id);
+                    cpus.push(CpuInfo {
+                        id,
+                        socket,
+                        node: NodeId(socket),
+                        llc,
+                        physical_core,
+                        smt_siblings: siblings.clone(),
+                    });
+                }
+            }
+            node_cpus.sort();
+            nodes.push(NodeInfo {
+                id: NodeId(socket),
+                cpus: node_cpus,
+                memory_mib: self.memory_per_node_mib,
+            });
+        }
+        cpus.sort_by_key(|c| c.id);
+
+        let distances = if self.ring_interconnect {
+            DistanceMatrix::ring(self.sockets)
+        } else {
+            DistanceMatrix::flat(self.sockets)
+        };
+
+        let domains = build_domains(&self, &cpus, &nodes);
+        MachineTopology::new(cpus, nodes, distances, domains)
+    }
+}
+
+fn build_domains(
+    builder: &TopologyBuilder,
+    cpus: &[CpuInfo],
+    nodes: &[NodeInfo],
+) -> DomainTree {
+    let all: Vec<CpuId> = cpus.iter().map(|c| c.id).collect();
+    let mut levels = Vec::new();
+
+    // SMT level: groups are individual hardware threads within a core.
+    if builder.smt > 1 {
+        levels.push(SchedDomain {
+            kind: DomainKind::Smt,
+            span: all.clone(),
+            groups: group_by(cpus, |c| c.physical_core),
+        });
+    }
+
+    // LLC level: groups are physical cores (or SMT sibling sets).
+    levels.push(SchedDomain {
+        kind: DomainKind::Llc,
+        span: all.clone(),
+        groups: group_by(cpus, |c| (c.socket, c.llc)),
+    });
+
+    // Node level: groups are LLCs within a node (only meaningful with >1 LLC).
+    if builder.llcs_per_socket > 1 {
+        levels.push(SchedDomain {
+            kind: DomainKind::Node,
+            span: all.clone(),
+            groups: group_by(cpus, |c| c.node),
+        });
+    }
+
+    // Machine level: groups are NUMA nodes.
+    if nodes.len() > 1 {
+        levels.push(SchedDomain {
+            kind: DomainKind::Machine,
+            span: all,
+            groups: nodes.iter().map(|n| n.cpus.clone()).collect(),
+        });
+    }
+
+    DomainTree::new(levels)
+}
+
+fn group_by<K: PartialEq + Copy>(cpus: &[CpuInfo], key: impl Fn(&CpuInfo) -> K) -> Vec<Vec<CpuId>> {
+    let mut groups: Vec<(K, Vec<CpuId>)> = Vec::new();
+    for cpu in cpus {
+        let k = key(cpu);
+        if let Some((_, g)) = groups.iter_mut().find(|(gk, _)| *gk == k) {
+            g.push(cpu.id);
+        } else {
+            groups.push((k, vec![cpu.id]));
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(_, mut g)| {
+            g.sort();
+            g
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smt_siblings_share_physical_core() {
+        let topo = TopologyBuilder::new().sockets(1).cores_per_socket(2).smt(2).build();
+        assert_eq!(topo.nr_cpus(), 4);
+        let c0 = topo.cpu(CpuId(0));
+        let c1 = topo.cpu(CpuId(1));
+        assert!(c0.is_smt_sibling_of(c1));
+        assert_eq!(c0.smt_siblings, vec![CpuId(0), CpuId(1)]);
+    }
+
+    #[test]
+    fn llc_split_partitions_a_socket() {
+        let topo = TopologyBuilder::new()
+            .sockets(1)
+            .cores_per_socket(8)
+            .llcs_per_socket(2)
+            .build();
+        assert!(topo.same_llc(CpuId(0), CpuId(3)));
+        assert!(!topo.same_llc(CpuId(0), CpuId(4)));
+    }
+
+    #[test]
+    fn domain_tree_has_machine_level_for_multi_socket() {
+        let topo = TopologyBuilder::dual_socket_server();
+        let top = topo.domains().top().unwrap();
+        assert_eq!(top.kind, DomainKind::Machine);
+        assert_eq!(top.groups.len(), 2);
+        assert_eq!(top.weight(), topo.nr_cpus());
+    }
+
+    #[test]
+    fn single_socket_no_smt_has_only_llc_level() {
+        let topo = TopologyBuilder::new().sockets(1).cores_per_socket(4).build();
+        assert_eq!(topo.domains().nr_levels(), 1);
+        assert_eq!(topo.domains().levels()[0].kind, DomainKind::Llc);
+    }
+
+    #[test]
+    fn eight_node_preset_uses_ring_distances() {
+        let topo = TopologyBuilder::eight_node_numa();
+        assert_eq!(topo.nr_nodes(), 8);
+        let d1 = topo.distances().distance(NodeId(0), NodeId(1));
+        let d4 = topo.distances().distance(NodeId(0), NodeId(4));
+        assert!(d4 > d1);
+    }
+
+    #[test]
+    fn groups_cover_span_exactly() {
+        let topo = TopologyBuilder::new()
+            .sockets(2)
+            .cores_per_socket(4)
+            .llcs_per_socket(2)
+            .smt(2)
+            .build();
+        for dom in topo.domains().levels() {
+            let mut covered: Vec<CpuId> = dom.groups.iter().flatten().copied().collect();
+            covered.sort();
+            assert_eq!(covered, dom.span, "groups must partition the span at {}", dom.kind);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Scheduling-domain hierarchy.
+//!
+//! Linux balances load hierarchically over a tree of *scheduling domains*
+//! (SMT siblings, then the LLC, then the NUMA node, then the whole machine).
+//! The paper's §5 proposes expressing exactly this "balance between groups of
+//! cores, then inside groups" structure on top of the verified three-step
+//! abstraction.  This module provides the static tree those policies walk.
+
+use crate::cpu::CpuId;
+
+/// The level of a scheduling domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DomainKind {
+    /// Hardware threads sharing one physical core.
+    Smt,
+    /// Cores sharing a last-level cache.
+    Llc,
+    /// Cores on one NUMA node.
+    Node,
+    /// The whole machine.
+    Machine,
+}
+
+impl std::fmt::Display for DomainKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DomainKind::Smt => "SMT",
+            DomainKind::Llc => "LLC",
+            DomainKind::Node => "NODE",
+            DomainKind::Machine => "MACHINE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduling domain: a span of CPUs partitioned into child groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedDomain {
+    /// The level of this domain.
+    pub kind: DomainKind,
+    /// All CPUs covered by this domain, in ascending order.
+    pub span: Vec<CpuId>,
+    /// Disjoint groups of CPUs; balancing at this level moves load between
+    /// groups, balancing below this level moves load inside a group.
+    pub groups: Vec<Vec<CpuId>>,
+}
+
+impl SchedDomain {
+    /// Returns `true` if `cpu` is covered by this domain.
+    pub fn contains(&self, cpu: CpuId) -> bool {
+        self.span.binary_search(&cpu).is_ok()
+    }
+
+    /// Returns the group `cpu` belongs to, if any.
+    pub fn group_of(&self, cpu: CpuId) -> Option<&[CpuId]> {
+        self.groups
+            .iter()
+            .find(|g| g.binary_search(&cpu).is_ok())
+            .map(|g| g.as_slice())
+    }
+
+    /// Number of CPUs in the domain.
+    pub fn weight(&self) -> usize {
+        self.span.len()
+    }
+}
+
+/// The per-machine stack of domains, from the innermost (SMT) outwards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DomainTree {
+    levels: Vec<SchedDomain>,
+}
+
+impl DomainTree {
+    /// Builds a tree from domains ordered innermost-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a later (outer) domain does not cover an earlier (inner)
+    /// one, i.e. if the hierarchy is not nested.
+    pub fn new(levels: Vec<SchedDomain>) -> Self {
+        for w in levels.windows(2) {
+            let (inner, outer) = (&w[0], &w[1]);
+            for cpu in &inner.span {
+                assert!(outer.contains(*cpu), "domain hierarchy is not nested");
+            }
+        }
+        Self { levels }
+    }
+
+    /// Domains ordered innermost-first.
+    pub fn levels(&self) -> &[SchedDomain] {
+        &self.levels
+    }
+
+    /// Number of levels.
+    pub fn nr_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The outermost (machine-wide) domain, if the tree is non-empty.
+    pub fn top(&self) -> Option<&SchedDomain> {
+        self.levels.last()
+    }
+
+    /// Domains that contain `cpu`, ordered innermost-first.
+    pub fn domains_of(&self, cpu: CpuId) -> impl Iterator<Item = &SchedDomain> {
+        self.levels.iter().filter(move |d| d.contains(cpu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(ids: &[usize]) -> Vec<CpuId> {
+        ids.iter().copied().map(CpuId).collect()
+    }
+
+    fn two_level_tree() -> DomainTree {
+        DomainTree::new(vec![
+            SchedDomain {
+                kind: DomainKind::Node,
+                span: span(&[0, 1]),
+                groups: vec![span(&[0]), span(&[1])],
+            },
+            SchedDomain {
+                kind: DomainKind::Machine,
+                span: span(&[0, 1, 2, 3]),
+                groups: vec![span(&[0, 1]), span(&[2, 3])],
+            },
+        ])
+    }
+
+    #[test]
+    fn group_of_finds_the_right_group() {
+        let tree = two_level_tree();
+        let top = tree.top().unwrap();
+        assert_eq!(top.group_of(CpuId(3)).unwrap(), &span(&[2, 3])[..]);
+        assert_eq!(top.group_of(CpuId(7)), None);
+    }
+
+    #[test]
+    fn domains_of_only_returns_covering_domains() {
+        let tree = two_level_tree();
+        assert_eq!(tree.domains_of(CpuId(0)).count(), 2);
+        assert_eq!(tree.domains_of(CpuId(2)).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not nested")]
+    fn non_nested_hierarchy_is_rejected() {
+        let _ = DomainTree::new(vec![
+            SchedDomain {
+                kind: DomainKind::Node,
+                span: span(&[0, 1]),
+                groups: vec![span(&[0, 1])],
+            },
+            SchedDomain {
+                kind: DomainKind::Machine,
+                span: span(&[1, 2]),
+                groups: vec![span(&[1, 2])],
+            },
+        ]);
+    }
+
+    #[test]
+    fn weight_is_span_size() {
+        let tree = two_level_tree();
+        assert_eq!(tree.top().unwrap().weight(), 4);
+        assert_eq!(tree.nr_levels(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Counterexample reporting.
+
+/// A concrete refutation of a lemma: the configuration it fails on and a
+/// step-by-step trace of how the failure unfolds.
+///
+/// Counterexamples are deterministic and reproducible: re-running the same
+/// lemma over the same scope rebuilds the same trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// One-line description of what went wrong.
+    pub summary: String,
+    /// The initial load vector the failure was found on.
+    pub initial_loads: Vec<u64>,
+    /// Human-readable steps leading to the violation.
+    pub trace: Vec<String>,
+}
+
+impl Counterexample {
+    /// Creates a counterexample with an empty trace.
+    pub fn new(summary: impl Into<String>, initial_loads: Vec<u64>) -> Self {
+        Counterexample { summary: summary.into(), initial_loads, trace: Vec::new() }
+    }
+
+    /// Appends a trace step.
+    pub fn step(mut self, step: impl Into<String>) -> Self {
+        self.trace.push(step.into());
+        self
+    }
+
+    /// Renders the counterexample as an indented multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "counterexample: {}\n  initial loads: {:?}\n",
+            self.summary, self.initial_loads
+        );
+        for (i, step) in self.trace.iter().enumerate() {
+            out.push_str(&format!("  [{i}] {step}\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_summary_loads_and_steps() {
+        let ce = Counterexample::new("idle core starves", vec![0, 1, 2])
+            .step("round 1: core1 steals from core2")
+            .step("round 2: core2 steals from core1");
+        let text = ce.render();
+        assert!(text.contains("idle core starves"));
+        assert!(text.contains("[0, 1, 2]"));
+        assert!(text.contains("[1] round 2"));
+        assert_eq!(ce.to_string(), text);
+    }
+
+    #[test]
+    fn new_counterexample_has_no_steps() {
+        let ce = Counterexample::new("x", vec![]);
+        assert!(ce.trace.is_empty());
+    }
+}

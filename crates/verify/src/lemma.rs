@@ -1,0 +1,93 @@
+//! The lemma framework: named checkable obligations with reports.
+
+use crate::counterexample::Counterexample;
+
+/// Outcome of checking one lemma over a scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LemmaStatus {
+    /// The lemma held on every enumerated instance.
+    Proved,
+    /// The lemma was refuted; the counterexample explains how.
+    Refuted(Counterexample),
+}
+
+impl LemmaStatus {
+    /// Returns `true` if the lemma held.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, LemmaStatus::Proved)
+    }
+
+    /// The counterexample, if the lemma was refuted.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            LemmaStatus::Proved => None,
+            LemmaStatus::Refuted(ce) => Some(ce),
+        }
+    }
+}
+
+/// The result of checking one lemma: its name, the number of instances
+/// (state × interleaving pairs, state × pairs of cores, …) that were
+/// checked, and the outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LemmaReport {
+    /// Name of the lemma, matching the paper's terminology.
+    pub name: &'static str,
+    /// Number of instances checked exhaustively.
+    pub instances: u64,
+    /// Whether the lemma held.
+    pub status: LemmaStatus,
+}
+
+impl LemmaReport {
+    /// Creates a proved report.
+    pub fn proved(name: &'static str, instances: u64) -> Self {
+        LemmaReport { name, instances, status: LemmaStatus::Proved }
+    }
+
+    /// Creates a refuted report.
+    pub fn refuted(name: &'static str, instances: u64, ce: Counterexample) -> Self {
+        LemmaReport { name, instances, status: LemmaStatus::Refuted(ce) }
+    }
+
+    /// Returns `true` if the lemma held.
+    pub fn is_proved(&self) -> bool {
+        self.status.is_proved()
+    }
+}
+
+impl std::fmt::Display for LemmaReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.status {
+            LemmaStatus::Proved => {
+                write!(f, "[proved ] {} ({} instances)", self.name, self.instances)
+            }
+            LemmaStatus::Refuted(ce) => {
+                write!(f, "[REFUTED] {} ({} instances)\n{}", self.name, self.instances, ce.render())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proved_report_displays_instance_count() {
+        let r = LemmaReport::proved("lemma1", 42);
+        assert!(r.is_proved());
+        assert!(r.to_string().contains("42 instances"));
+        assert!(r.status.counterexample().is_none());
+    }
+
+    #[test]
+    fn refuted_report_carries_the_counterexample() {
+        let ce = Counterexample::new("bad", vec![0, 1, 2]).step("it broke");
+        let r = LemmaReport::refuted("pingpong", 7, ce.clone());
+        assert!(!r.is_proved());
+        assert_eq!(r.status.counterexample(), Some(&ce));
+        assert!(r.to_string().contains("REFUTED"));
+        assert!(r.to_string().contains("it broke"));
+    }
+}

@@ -1,0 +1,25 @@
+//! The paper's lemmas, checked exhaustively over a bounded scope.
+//!
+//! | Module | Paper reference | Statement |
+//! |---|---|---|
+//! | [`lemma1`] | Listing 2 | An idle thief's filter selects a core iff some core is overloaded, and selects only overloaded cores. |
+//! | [`steal_sound`] | §4.2 | When the filter holds at stealing time, the steal succeeds, moves ≥ 1 thread, never empties the victim, and neither loses nor duplicates threads. |
+//! | [`seq_wc`] | §4.2 | Under sequential (non-overlapping) rounds, the system becomes work-conserving within a bounded number of rounds. |
+//! | [`failure`] | §4.3, property P1 | A failed stealing attempt implies that a concurrent stealing attempt by another core succeeded in between, touching the failed attempt's victim or thief. |
+//! | [`potential`] | §4.3, property P2 | Every successful steal strictly decreases the pairwise absolute load difference `d`. |
+//!
+//! The concurrent convergence check (bounded failures + the §3.2 `∃N`) is in
+//! [`crate::convergence`], since it explores multi-round executions rather
+//! than a single round.
+
+pub mod failure;
+pub mod lemma1;
+pub mod potential;
+pub mod seq_wc;
+pub mod steal_sound;
+
+pub use failure::check_failure_implies_concurrent_success;
+pub use lemma1::check_lemma1;
+pub use potential::check_potential_decreases;
+pub use seq_wc::check_sequential_work_conservation;
+pub use steal_sound::check_steal_soundness;

@@ -1,0 +1,112 @@
+//! Sequential work conservation (§4.2).
+//!
+//! "In a sequential setting, this proof is sufficient to ensure that, after
+//! one round of load balancing operations on an idle core, if the system had
+//! an overloaded core, then the idle core has successfully stolen a thread.
+//! Proving that stealing threads cannot make the affected cores idle is then
+//! sufficient to prove that the scheduler is work-conserving."
+
+use sched_core::{Balancer, RoundSchedule};
+
+use crate::counterexample::Counterexample;
+use crate::enumerate::states;
+use crate::lemma::LemmaReport;
+use crate::scope::Scope;
+
+/// Checks that, for every configuration in `scope`, executing sequential
+/// (non-overlapping) load-balancing rounds reaches a work-conserving state
+/// within `scope.max_rounds` rounds, with no failed attempts along the way.
+///
+/// Returns, on success, the number of `(configuration)` instances checked;
+/// the maximum number of rounds any configuration needed is reported by
+/// [`crate::convergence::max_rounds_to_converge`].
+pub fn check_sequential_work_conservation(balancer: &Balancer, scope: &Scope) -> LemmaReport {
+    let mut instances = 0u64;
+    for initial in states(scope) {
+        instances += 1;
+        let loads = initial.loads(sched_core::LoadMetric::NrThreads);
+        let mut system = initial.clone();
+        let result = sched_core::converge(
+            &mut system,
+            balancer,
+            RoundSchedule::Sequential,
+            scope.max_rounds,
+        );
+        if !result.converged() {
+            let ce = Counterexample::new(
+                "sequential rounds did not reach a work-conserving state within the budget",
+                loads,
+            )
+            .step(format!("round budget: {}", scope.max_rounds))
+            .step(format!(
+                "final loads: {}",
+                system.load_vector_string(sched_core::LoadMetric::NrThreads)
+            ));
+            return LemmaReport::refuted("sequential work conservation (§4.2)", instances, ce);
+        }
+        let failures = result.total_failures();
+        if failures > 0 {
+            let ce = Counterexample::new(
+                "a stealing attempt failed although rounds were sequential",
+                loads,
+            )
+            .step(format!("{failures} failed attempts"));
+            return LemmaReport::refuted("sequential work conservation (§4.2)", instances, ce);
+        }
+    }
+    LemmaReport::proved("sequential work conservation (§4.2)", instances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::prelude::*;
+
+    #[test]
+    fn simple_policy_is_sequentially_work_conserving() {
+        let balancer = Balancer::new(Policy::simple());
+        let report = check_sequential_work_conservation(&balancer, &Scope::small());
+        assert!(report.is_proved(), "{report}");
+    }
+
+    #[test]
+    fn greedy_policy_is_sequentially_work_conserving() {
+        // §4.2: without concurrency the greedy filter is fine.
+        let balancer = Balancer::new(Policy::greedy());
+        let report = check_sequential_work_conservation(&balancer, &Scope::small());
+        assert!(report.is_proved(), "{report}");
+    }
+
+    #[test]
+    fn weighted_policy_is_sequentially_work_conserving() {
+        let balancer = Balancer::new(Policy::weighted());
+        let report = check_sequential_work_conservation(&balancer, &Scope::small());
+        assert!(report.is_proved(), "{report}");
+    }
+
+    #[test]
+    fn every_choice_policy_preserves_the_proof() {
+        // The paper's headline simplification: step 2 is irrelevant to the
+        // proof.  Swap in several choice policies and re-check.
+        let choices: Vec<Box<dyn ChoicePolicy>> = vec![
+            Box::new(FirstChoice),
+            Box::new(MaxLoadChoice::new(LoadMetric::NrThreads)),
+            Box::new(RandomChoice::new(99)),
+        ];
+        for choice in choices {
+            let balancer = Balancer::new(Policy::simple().with_choice(choice));
+            let report = check_sequential_work_conservation(&balancer, &Scope::small());
+            assert!(report.is_proved(), "{report}");
+        }
+    }
+
+    #[test]
+    fn an_absurd_round_budget_refutes() {
+        // With a budget of zero rounds, imbalanced configurations cannot
+        // converge — the checker must report that honestly.
+        let balancer = Balancer::new(Policy::simple());
+        let scope = Scope { max_cores: 3, max_threads: 4, max_rounds: 0 };
+        let report = check_sequential_work_conservation(&balancer, &scope);
+        assert!(!report.is_proved());
+    }
+}

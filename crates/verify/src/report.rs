@@ -1,0 +1,123 @@
+//! Whole-policy verification reports.
+
+use sched_core::Balancer;
+
+use crate::convergence::{analyze_convergence, ChoiceStrategy, CycleWitness};
+use crate::lemma::LemmaReport;
+use crate::lemmas;
+use crate::scope::Scope;
+
+/// The aggregated result of checking every lemma of the paper against one
+/// policy over one scope — the equivalent of a full Leon verification run.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// Human-readable policy description (`filter/choice/steal`).
+    pub policy: String,
+    /// The scope the checks ran over.
+    pub scope: Scope,
+    /// Per-lemma reports, in the order they were checked.
+    pub lemmas: Vec<LemmaReport>,
+    /// The §3.2 convergence bound, or the violating cycle.
+    pub convergence: Result<usize, CycleWitness>,
+}
+
+impl VerificationReport {
+    /// Returns `true` if every lemma held and every execution converged.
+    pub fn is_work_conserving(&self) -> bool {
+        self.lemmas.iter().all(LemmaReport::is_proved) && self.convergence.is_ok()
+    }
+
+    /// Total number of instances checked across all lemmas.
+    pub fn total_instances(&self) -> u64 {
+        self.lemmas.iter().map(|l| l.instances).sum()
+    }
+
+    /// Renders the report as a multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = format!("verification of `{}` over scope ({}):\n", self.policy, self.scope);
+        for lemma in &self.lemmas {
+            out.push_str(&format!("  {lemma}\n"));
+        }
+        match &self.convergence {
+            Ok(n) => out.push_str(&format!(
+                "  [proved ] work conservation (§3.2): every execution converges within {n} round(s)\n"
+            )),
+            Err(cycle) => out.push_str(&format!(
+                "  [REFUTED] work conservation (§3.2):\n{}",
+                cycle.to_counterexample().render()
+            )),
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Runs the complete lemma suite against `balancer` — the drop-in replacement
+/// for the paper's "compile the DSL policy to Scala and run Leon".
+///
+/// The convergence analysis uses the policy's own choice function; pass
+/// `adversarial_choice = true` to additionally quantify over every possible
+/// victim choice (slower, strongest claim).
+pub fn verify_policy(balancer: &Balancer, scope: &Scope, adversarial_choice: bool) -> VerificationReport {
+    let lemma_reports = vec![
+        lemmas::check_lemma1(balancer, scope),
+        lemmas::check_steal_soundness(balancer, scope),
+        lemmas::check_sequential_work_conservation(balancer, scope),
+        lemmas::check_failure_implies_concurrent_success(balancer, scope),
+        lemmas::check_potential_decreases(balancer, scope),
+    ];
+    let strategy = if adversarial_choice {
+        ChoiceStrategy::Adversarial
+    } else {
+        ChoiceStrategy::PolicyChoice
+    };
+    let convergence = analyze_convergence(balancer, scope, strategy).map(|a| a.max_rounds);
+    VerificationReport {
+        policy: balancer.policy().describe(),
+        scope: *scope,
+        lemmas: lemma_reports,
+        convergence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::prelude::*;
+
+    #[test]
+    fn the_listing1_policy_verifies_end_to_end() {
+        let balancer = Balancer::new(Policy::simple());
+        let report = verify_policy(&balancer, &Scope::small(), false);
+        assert!(report.is_work_conserving(), "{report}");
+        assert_eq!(report.lemmas.len(), 5);
+        assert!(report.total_instances() > 0);
+        assert!(report.render().contains("work conservation"));
+    }
+
+    #[test]
+    fn the_greedy_policy_fails_verification() {
+        let balancer = Balancer::new(Policy::greedy());
+        let report = verify_policy(&balancer, &Scope::small(), false);
+        assert!(!report.is_work_conserving(), "{report}");
+        // Specifically, the potential lemma and the convergence analysis are
+        // what fail; Lemma 1, steal soundness and P1 still hold.
+        assert!(report.lemmas[0].is_proved(), "lemma1 holds for greedy");
+        assert!(report.lemmas[3].is_proved(), "P1 holds for greedy");
+        assert!(!report.lemmas[4].is_proved(), "P2 fails for greedy");
+        assert!(report.convergence.is_err(), "the ping-pong must be found");
+        assert!(report.render().contains("REFUTED"));
+    }
+
+    #[test]
+    fn the_weighted_policy_verifies_end_to_end() {
+        let balancer = Balancer::new(Policy::weighted());
+        let report = verify_policy(&balancer, &Scope::new(3, 4, 16), false);
+        assert!(report.is_work_conserving(), "{report}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Bounded verification scopes.
+
+/// The bounds of an exhaustive check: every configuration with up to
+/// `max_cores` cores and up to `max_threads` threads is enumerated.
+///
+/// Leon discharges unbounded ∀-quantified obligations; the exhaustive
+/// checker replaces them with "for all configurations within the scope",
+/// following the small-scope hypothesis that scheduler-model bugs (like the
+/// §4.3 ping-pong, which needs only 3 cores and 3 threads) manifest in tiny
+/// configurations.  The proptest suites then push the same properties to
+/// much larger random configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope {
+    /// Maximum number of cores enumerated (inclusive).
+    pub max_cores: usize,
+    /// Maximum total number of threads enumerated (inclusive).
+    pub max_threads: usize,
+    /// Maximum number of load-balancing rounds explored by convergence
+    /// searches before giving up.
+    pub max_rounds: usize,
+}
+
+impl Scope {
+    /// A small scope suitable for unit tests (exhaustive in milliseconds).
+    pub fn small() -> Self {
+        Scope { max_cores: 3, max_threads: 5, max_rounds: 32 }
+    }
+
+    /// The default verification scope used by the experiment harness.
+    pub fn default_scope() -> Self {
+        Scope { max_cores: 4, max_threads: 6, max_rounds: 64 }
+    }
+
+    /// A wider scope for the standalone verification runs of E3/E4.
+    pub fn wide() -> Self {
+        Scope { max_cores: 5, max_threads: 8, max_rounds: 128 }
+    }
+
+    /// Creates a custom scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cores < 2`: the scheduler model is only interesting
+    /// with at least two cores.
+    pub fn new(max_cores: usize, max_threads: usize, max_rounds: usize) -> Self {
+        assert!(max_cores >= 2, "a scope needs at least two cores");
+        Scope { max_cores, max_threads, max_rounds }
+    }
+}
+
+impl Default for Scope {
+    fn default() -> Self {
+        Self::default_scope()
+    }
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "≤{} cores, ≤{} threads, ≤{} rounds",
+            self.max_cores, self.max_threads, self.max_rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Scope::small().max_cores <= Scope::default_scope().max_cores);
+        assert!(Scope::default_scope().max_cores <= Scope::wide().max_cores);
+    }
+
+    #[test]
+    fn display_mentions_all_bounds() {
+        let s = Scope::new(4, 7, 10);
+        let text = s.to_string();
+        assert!(text.contains('4') && text.contains('7') && text.contains("10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two cores")]
+    fn degenerate_scope_is_rejected() {
+        let _ = Scope::new(1, 1, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! `make -j`-style parallel build workload.
+//!
+//! Independent compilation jobs of widely varying size arrive in waves as
+//! the build progresses.  There are no barriers, so the figure of merit is
+//! the makespan; load imbalance shows up as long tails where a few cores
+//! grind through queued jobs while the rest of the machine idles.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{Phase, ThreadSpec, Workload};
+
+/// Generator for the parallel-build workload.
+#[derive(Debug, Clone)]
+pub struct BuildWorkload {
+    /// Total number of compilation jobs.
+    pub nr_jobs: usize,
+    /// Number of waves the jobs arrive in (dependency levels of the build).
+    pub waves: usize,
+    /// Gap between waves, in nanoseconds.
+    pub wave_gap_ns: u64,
+    /// Minimum job CPU time, in nanoseconds.
+    pub min_job_ns: u64,
+    /// Maximum job CPU time, in nanoseconds.
+    pub max_job_ns: u64,
+    /// Seed for job sizing.
+    pub seed: u64,
+    /// Number of cores the build system spawns jobs onto (the `make`
+    /// process's own core plus its immediate neighbours).
+    pub spawn_spread: usize,
+}
+
+impl Default for BuildWorkload {
+    fn default() -> Self {
+        BuildWorkload {
+            nr_jobs: 64,
+            waves: 4,
+            wave_gap_ns: 2_000_000,
+            min_job_ns: 500_000,
+            max_job_ns: 8_000_000,
+            seed: 11,
+            spawn_spread: 2,
+        }
+    }
+}
+
+impl BuildWorkload {
+    /// Creates the default configuration with `nr_jobs` jobs.
+    pub fn with_jobs(nr_jobs: usize) -> Self {
+        BuildWorkload { nr_jobs, ..Default::default() }
+    }
+
+    /// Generates the workload description.
+    pub fn generate(&self) -> Workload {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut workload =
+            Workload::new(format!("build({} jobs, {} waves)", self.nr_jobs, self.waves));
+        let per_wave = self.nr_jobs.div_ceil(self.waves.max(1));
+        for job in 0..self.nr_jobs {
+            let wave = job / per_wave.max(1);
+            let cpu = rng.gen_range(self.min_job_ns..=self.max_job_ns);
+            workload.push(ThreadSpec {
+                nice: 0,
+                arrival_ns: wave as u64 * self.wave_gap_ns,
+                origin_core: Some(job % self.spawn_spread.max(1)),
+                phases: vec![Phase::Compute(cpu)],
+            });
+        }
+        workload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_the_requested_number_of_jobs() {
+        let w = BuildWorkload::with_jobs(32).generate();
+        assert_eq!(w.nr_threads(), 32);
+        assert!(w.validate().is_ok());
+        assert_eq!(w.total_operations(), 32);
+    }
+
+    #[test]
+    fn jobs_arrive_in_waves() {
+        let gen = BuildWorkload { waves: 4, ..BuildWorkload::with_jobs(16) };
+        let w = gen.generate();
+        let distinct: std::collections::BTreeSet<u64> =
+            w.threads.iter().map(|t| t.arrival_ns).collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn job_sizes_are_within_bounds() {
+        let gen = BuildWorkload::default();
+        let w = gen.generate();
+        for t in &w.threads {
+            let cpu = t.total_cpu_ns();
+            assert!(cpu >= gen.min_job_ns && cpu <= gen.max_job_ns);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(BuildWorkload::default().generate(), BuildWorkload::default().generate());
+    }
+}

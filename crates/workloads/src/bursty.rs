@@ -1,0 +1,96 @@
+//! Bursty arrival workload.
+//!
+//! Short tasks arrive in periodic bursts on a single core, repeatedly
+//! pushing the system away from work conservation; the interesting metric
+//! is how quickly the balancer restores it (violating idle time and
+//! scheduling latency).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{Phase, ThreadSpec, Workload};
+
+/// Generator for the bursty workload.
+#[derive(Debug, Clone)]
+pub struct BurstyWorkload {
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Tasks per burst.
+    pub tasks_per_burst: usize,
+    /// Gap between bursts, in nanoseconds.
+    pub burst_gap_ns: u64,
+    /// CPU time of each task, in nanoseconds.
+    pub task_ns: u64,
+    /// Relative jitter on task CPU time.
+    pub jitter: f64,
+    /// Seed for the jitter.
+    pub seed: u64,
+}
+
+impl Default for BurstyWorkload {
+    fn default() -> Self {
+        BurstyWorkload {
+            bursts: 8,
+            tasks_per_burst: 16,
+            burst_gap_ns: 10_000_000,
+            task_ns: 2_000_000,
+            jitter: 0.3,
+            seed: 23,
+        }
+    }
+}
+
+impl BurstyWorkload {
+    /// Generates the workload description.
+    pub fn generate(&self) -> Workload {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut workload = Workload::new(format!(
+            "bursty({} bursts x {} tasks)",
+            self.bursts, self.tasks_per_burst
+        ));
+        for burst in 0..self.bursts {
+            for _ in 0..self.tasks_per_burst {
+                let range = (self.task_ns as f64 * self.jitter) as i64;
+                let delta = if range > 0 { rng.gen_range(-range..=range) } else { 0 };
+                let cpu = (self.task_ns as i64 + delta).max(1) as u64;
+                workload.push(ThreadSpec {
+                    nice: 0,
+                    arrival_ns: burst as u64 * self.burst_gap_ns,
+                    // Every burst lands on core 0: the handler thread's core.
+                    origin_core: Some(0),
+                    phases: vec![Phase::Compute(cpu)],
+                });
+            }
+        }
+        workload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_bursts_on_core_zero() {
+        let w = BurstyWorkload::default().generate();
+        assert_eq!(w.nr_threads(), 8 * 16);
+        assert!(w.threads.iter().all(|t| t.origin_core == Some(0)));
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn bursts_are_spaced_by_the_gap() {
+        let gen = BurstyWorkload { bursts: 3, ..Default::default() };
+        let w = gen.generate();
+        let arrivals: std::collections::BTreeSet<u64> =
+            w.threads.iter().map(|t| t.arrival_ns).collect();
+        assert_eq!(arrivals.len(), 3);
+        let v: Vec<u64> = arrivals.into_iter().collect();
+        assert_eq!(v[1] - v[0], gen.burst_gap_ns);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(BurstyWorkload::default().generate(), BurstyWorkload::default().generate());
+    }
+}

@@ -1,0 +1,137 @@
+//! Static initial imbalances for convergence experiments.
+//!
+//! These are not simulator workloads but initial *placements*: load vectors
+//! handed directly to the pure scheduler model to measure how many
+//! load-balancing rounds (`N` in the §3.2 definition) the policy needs to
+//! restore work conservation (experiment E8).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of the initial imbalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImbalancePattern {
+    /// All threads start on core 0 (e.g. right after a fork storm).
+    SingleHot,
+    /// The first half of the cores hold two threads each, the second half
+    /// none (e.g. after half the machine finished its work).
+    Step,
+    /// Threads are scattered uniformly at random (many small imbalances).
+    Random,
+}
+
+impl ImbalancePattern {
+    /// Human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImbalancePattern::SingleHot => "single_hot",
+            ImbalancePattern::Step => "step",
+            ImbalancePattern::Random => "random",
+        }
+    }
+
+    /// All patterns, for parameter sweeps.
+    pub fn all() -> [ImbalancePattern; 3] {
+        [ImbalancePattern::SingleHot, ImbalancePattern::Step, ImbalancePattern::Random]
+    }
+}
+
+impl std::fmt::Display for ImbalancePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generator of initial load vectors.
+#[derive(Debug, Clone)]
+pub struct StaticImbalance {
+    /// Number of cores.
+    pub nr_cores: usize,
+    /// Total number of threads to distribute.
+    pub nr_threads: usize,
+    /// The imbalance shape.
+    pub pattern: ImbalancePattern,
+    /// Seed used by the random pattern.
+    pub seed: u64,
+}
+
+impl StaticImbalance {
+    /// Creates a generator.
+    pub fn new(nr_cores: usize, nr_threads: usize, pattern: ImbalancePattern) -> Self {
+        StaticImbalance { nr_cores, nr_threads, pattern, seed: 42 }
+    }
+
+    /// Generates the per-core thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nr_cores` is zero.
+    pub fn loads(&self) -> Vec<usize> {
+        assert!(self.nr_cores > 0, "need at least one core");
+        let mut loads = vec![0usize; self.nr_cores];
+        match self.pattern {
+            ImbalancePattern::SingleHot => {
+                loads[0] = self.nr_threads;
+            }
+            ImbalancePattern::Step => {
+                let busy = (self.nr_cores / 2).max(1);
+                for (i, slot) in loads.iter_mut().enumerate().take(busy) {
+                    *slot = self.nr_threads / busy + usize::from(i < self.nr_threads % busy);
+                }
+            }
+            ImbalancePattern::Random => {
+                let mut rng = SmallRng::seed_from_u64(self.seed);
+                for _ in 0..self.nr_threads {
+                    let core = rng.gen_range(0..self.nr_cores);
+                    loads[core] += 1;
+                }
+            }
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_hot_puts_everything_on_core_zero() {
+        let loads = StaticImbalance::new(8, 12, ImbalancePattern::SingleHot).loads();
+        assert_eq!(loads[0], 12);
+        assert_eq!(loads.iter().sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn step_loads_half_the_machine() {
+        let loads = StaticImbalance::new(8, 8, ImbalancePattern::Step).loads();
+        assert_eq!(loads.iter().sum::<usize>(), 8);
+        assert!(loads[4..].iter().all(|&l| l == 0));
+        assert!(loads[..4].iter().all(|&l| l == 2));
+    }
+
+    #[test]
+    fn random_distributes_every_thread() {
+        let loads = StaticImbalance::new(16, 40, ImbalancePattern::Random).loads();
+        assert_eq!(loads.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = StaticImbalance::new(8, 20, ImbalancePattern::Random).loads();
+        let b = StaticImbalance::new(8, 20, ImbalancePattern::Random).loads();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pattern_names_are_stable() {
+        assert_eq!(ImbalancePattern::SingleHot.to_string(), "single_hot");
+        assert_eq!(ImbalancePattern::all().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_is_rejected() {
+        let _ = StaticImbalance::new(0, 4, ImbalancePattern::Step).loads();
+    }
+}

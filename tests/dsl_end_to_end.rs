@@ -1,0 +1,95 @@
+//! End-to-end tests of the DSL: one policy source, two backends, identical
+//! behaviour to the hand-written policies.
+
+use optimistic_sched::core::prelude::*;
+use optimistic_sched::dsl;
+use optimistic_sched::verify::Scope;
+use proptest::prelude::*;
+
+#[test]
+fn stdlib_listing1_verifies_and_greedy_does_not() {
+    let listing1 = dsl::verify_source(dsl::stdlib::LISTING1, &Scope::small()).unwrap();
+    assert!(listing1.is_work_conserving(), "{}", listing1.report);
+    assert!(listing1.warnings.is_empty());
+
+    let greedy = dsl::verify_source(dsl::stdlib::GREEDY, &Scope::small()).unwrap();
+    assert!(!greedy.is_work_conserving(), "{}", greedy.report);
+    assert_eq!(greedy.warnings.len(), 1, "the phase checker warns about the self-free filter");
+}
+
+#[test]
+fn generated_rust_mirrors_the_interpreter() {
+    // The code generator and the interpreter share the AST; the golden
+    // strings here pin the critical expressions so the two cannot drift
+    // silently.
+    let def = dsl::parse(dsl::stdlib::LISTING1).unwrap();
+    let code = dsl::generate_rust(&def);
+    assert!(code.contains("((victim.load(metric) as i128 - this.load(metric) as i128) >= 2i128)"));
+    assert!(code.contains("LoadMetric::NrThreads"));
+
+    let weighted = dsl::parse(dsl::stdlib::WEIGHTED).unwrap();
+    let code = dsl::generate_rust(&weighted);
+    assert!(code.contains("LoadMetric::Weighted"));
+    assert!(code.contains("lightest_ready_weight.unwrap_or(0)"));
+}
+
+#[test]
+fn weighted_dsl_policy_verifies() {
+    let verified = dsl::verify_source(dsl::stdlib::WEIGHTED, &Scope::new(3, 4, 32)).unwrap();
+    assert!(verified.is_work_conserving(), "{}", verified.report);
+}
+
+proptest! {
+    /// The DSL-compiled Listing 1 policy and the hand-written one agree on
+    /// every step of every run, for random initial configurations and random
+    /// interleavings.
+    #[test]
+    fn dsl_and_handwritten_listing1_are_behaviourally_identical(
+        loads in prop::collection::vec(0usize..6, 2..16),
+        seed in any::<u64>(),
+    ) {
+        let compiled = dsl::compile_source(dsl::stdlib::LISTING1).unwrap();
+        let dsl_balancer = Balancer::new(compiled.policy);
+        let rust_balancer = Balancer::new(Policy::simple());
+
+        let mut via_dsl = SystemState::from_loads(&loads);
+        let mut via_rust = via_dsl.clone();
+        let budget = 8 * (via_dsl.total_threads() as usize + 1);
+        let a = converge(&mut via_dsl, &dsl_balancer, RoundSchedule::Seeded(seed), budget);
+        let b = converge(&mut via_rust, &rust_balancer, RoundSchedule::Seeded(seed), budget);
+
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.total_successes(), b.total_successes());
+        prop_assert_eq!(a.total_failures(), b.total_failures());
+        prop_assert_eq!(
+            via_dsl.loads(LoadMetric::NrThreads),
+            via_rust.loads(LoadMetric::NrThreads)
+        );
+    }
+
+    /// The DSL choose rule is a step-2 decision and therefore cannot affect
+    /// convergence: `first`, `max` and `min` variants of Listing 1 all reach
+    /// work conservation on random configurations.
+    #[test]
+    fn dsl_choose_rules_do_not_affect_convergence(
+        which in 0usize..3,
+        loads in prop::collection::vec(0usize..5, 2..10),
+        seed in any::<u64>(),
+    ) {
+        let choose = match which {
+            0 => "first",
+            1 => "max victim.load",
+            _ => "min victim.load",
+        };
+        let source = format!(
+            "policy variant {{ metric threads; filter = victim.load - self.load >= 2; choose = {choose}; steal = 1; }}"
+        );
+        let compiled = dsl::compile_source(&source).unwrap();
+        let balancer = Balancer::new(compiled.policy);
+        let mut system = SystemState::from_loads(&loads);
+        let budget = 8 * (system.total_threads() as usize + 1);
+        let result = converge(&mut system, &balancer, RoundSchedule::Seeded(seed), budget);
+        prop_assert!(result.converged());
+        prop_assert!(system.is_work_conserving());
+    }
+}

@@ -12,11 +12,17 @@ fn bench(c: &mut Criterion) {
         ("flat", Policy::simple()),
         (
             "numa_aware",
-            Policy::simple().with_choice(Box::new(NumaAwareChoice::new(Arc::clone(&topo), LoadMetric::NrThreads))),
+            Policy::simple().with_choice(Box::new(NumaAwareChoice::new(
+                Arc::clone(&topo),
+                LoadMetric::NrThreads,
+            ))),
         ),
         (
             "group_aware",
-            Policy::simple().with_choice(Box::new(GroupAwareChoice::new(Arc::clone(&topo), LoadMetric::NrThreads))),
+            Policy::simple().with_choice(Box::new(GroupAwareChoice::new(
+                Arc::clone(&topo),
+                LoadMetric::NrThreads,
+            ))),
         ),
     ];
     let mut group = c.benchmark_group("e12_hierarchical");
@@ -29,7 +35,12 @@ fn bench(c: &mut Criterion) {
                 for t in 0..(topo.nr_cpus() as u64 * 2) {
                     system.core_mut(CoreId(0)).enqueue(Task::new(TaskId(t)));
                 }
-                let result = converge(&mut system, balancer, RoundSchedule::AllSelectThenSteal, topo.nr_cpus() * 16);
+                let result = converge(
+                    &mut system,
+                    balancer,
+                    RoundSchedule::AllSelectThenSteal,
+                    topo.nr_cpus() * 16,
+                );
                 assert!(result.converged());
                 result.rounds
             })

@@ -14,7 +14,8 @@ fn bench(c: &mut Criterion) {
         let balancer = Balancer::new(policy);
         group.bench_with_input(BenchmarkId::from_parameter(name), &balancer, |b, balancer| {
             b.iter(|| {
-                let mut system = SystemState::from_loads(&[12, 0, 0, 0, 4, 0, 0, 0, 2, 0, 0, 0, 6, 0, 0, 0]);
+                let mut system =
+                    SystemState::from_loads(&[12, 0, 0, 0, 4, 0, 0, 0, 2, 0, 0, 0, 6, 0, 0, 0]);
                 let executor = ConcurrentRound::new(balancer);
                 executor.execute(&mut system, &RoundSchedule::AllSelectThenSteal)
             })

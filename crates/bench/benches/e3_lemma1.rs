@@ -7,7 +7,9 @@ use sched_verify::{lemmas, Scope};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_lemma1");
     group.sample_size(20);
-    for (name, scope) in [("small(3c,5t)", Scope::small()), ("default(4c,6t)", Scope::default_scope())] {
+    for (name, scope) in
+        [("small(3c,5t)", Scope::small()), ("default(4c,6t)", Scope::default_scope())]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(name), &scope, |b, scope| {
             let balancer = Balancer::new(Policy::simple());
             b.iter(|| lemmas::check_lemma1(&balancer, scope))

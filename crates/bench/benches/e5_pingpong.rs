@@ -17,7 +17,12 @@ fn bench(c: &mut Criterion) {
     group.bench_function("listing1_proved", |b| {
         let balancer = Balancer::new(Policy::simple());
         b.iter(|| {
-            assert!(find_non_conserving_cycle(&balancer, &Scope::small(), ChoiceStrategy::Adversarial).is_none())
+            assert!(find_non_conserving_cycle(
+                &balancer,
+                &Scope::small(),
+                ChoiceStrategy::Adversarial
+            )
+            .is_none())
         })
     });
     group.finish();

@@ -13,7 +13,8 @@ fn bench(c: &mut Criterion) {
             let balancer = Balancer::new(Policy::simple());
             b.iter(|| {
                 let mut system = SystemState::from_loads(&loads);
-                let result = converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, cores * 16);
+                let result =
+                    converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, cores * 16);
                 assert!(result.converged());
                 result.rounds
             })

@@ -1,4 +1,5 @@
-//! The experiment harness: regenerates every table of `EXPERIMENTS.md`.
+//! The experiment harness: regenerates every table of `EXPERIMENTS.md` and
+//! the machine-readable `BENCH_results.json`.
 //!
 //! Usage:
 //!
@@ -7,13 +8,25 @@
 //! cargo run -p sched-bench --release --bin experiments -- e5 e8
 //! cargo run -p sched-bench --release --bin experiments -- --markdown e9
 //! cargo run -p sched-bench --release --bin experiments -- list
+//! cargo run -p sched-bench --release --bin experiments -- --json
+//! cargo run -p sched-bench --release --bin experiments -- --json --out results.json
 //! ```
+//!
+//! `--json` runs the unified [`sched_bench::ExperimentRunner`] catalog —
+//! every experiment on every backend (model, sim, rq) — prints the combined
+//! table, and writes the records to `BENCH_results.json` (or `--out PATH`).
 
 use sched_bench::{all_experiments, run_experiment, ExperimentId};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
+
+    if args.iter().any(|a| a == "--json") {
+        run_unified_json(&args);
+        return;
+    }
+
     let wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
 
     if wanted.is_empty() || wanted.iter().any(|a| a == "list") {
@@ -21,13 +34,14 @@ fn main() {
         for id in ExperimentId::all() {
             eprintln!("  {}", id.title());
         }
-        eprintln!("\nrun with: cargo run -p sched-bench --release --bin experiments -- all | e<N>...");
+        eprintln!("\nrun with: cargo run -p sched-bench --release --bin experiments -- all | e<N>... | --json");
         if wanted.is_empty() || wanted.iter().all(|a| a == "list") {
             return;
         }
     }
 
-    let runs: Vec<(ExperimentId, Vec<sched_metrics::Table>)> = if wanted.iter().any(|a| a == "all") {
+    let runs: Vec<(ExperimentId, Vec<sched_metrics::Table>)> = if wanted.iter().any(|a| a == "all")
+    {
         all_experiments()
     } else {
         wanted
@@ -51,4 +65,48 @@ fn main() {
             }
         }
     }
+}
+
+/// `--json [--out PATH] [e<N>...]`: the unified runner over every backend,
+/// optionally restricted to the named experiments.
+fn run_unified_json(args: &[String]) {
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("error: --out requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_results.json".to_string(),
+    };
+    let out_skip = args.iter().position(|a| a == "--out").map(|i| i + 1);
+
+    let mut specs = sched_bench::catalog();
+    let wanted: Vec<ExperimentId> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| Some(*i) != out_skip && !a.starts_with("--"))
+        .map(|(_, a)| {
+            ExperimentId::parse(a).unwrap_or_else(|| {
+                eprintln!("error: unknown experiment `{a}` (try `list`)");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if !wanted.is_empty() {
+        specs.retain(|s| wanted.contains(&s.id));
+    }
+    let runner = sched_bench::ExperimentRunner::with_all_backends();
+    eprintln!("running {} experiments on {} backends...", specs.len(), runner.backends().len());
+    let records = runner.run_catalog(&specs);
+
+    // Write the artifact before printing the table: if stdout is a pipe
+    // that closes early (`... | head`), the records must already be on
+    // disk.
+    let json = sched_bench::records_to_json(&records);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {} records to {out_path}", records.len());
+
+    println!("{}", sched_bench::records_table(&records).to_text());
 }

@@ -109,7 +109,11 @@ pub fn all_experiments() -> Vec<(ExperimentId, Vec<Table>)> {
 }
 
 fn verdict(ok: bool) -> String {
-    if ok { "proved".into() } else { "REFUTED".into() }
+    if ok {
+        "proved".into()
+    } else {
+        "REFUTED".into()
+    }
 }
 
 /// E1: swap every choice policy into Listing 1 and re-run the whole lemma
@@ -127,7 +131,11 @@ fn e1_choice_irrelevance() -> Vec<Table> {
         let n = report.convergence.as_ref().map(|n| n.to_string()).unwrap_or_else(|_| "-".into());
         table.row(&[
             name.into(),
-            format!("{}/{}", report.lemmas.iter().filter(|l| l.is_proved()).count(), report.lemmas.len()),
+            format!(
+                "{}/{}",
+                report.lemmas.iter().filter(|l| l.is_proved()).count(),
+                report.lemmas.len()
+            ),
             verdict(report.is_work_conserving()),
             n,
             report.total_instances().to_string(),
@@ -140,7 +148,15 @@ fn e1_choice_irrelevance() -> Vec<Table> {
 fn e2_listing1() -> Vec<Table> {
     let mut table = Table::new(
         "E2: Listing 1 balancer, sequential rounds, all threads initially on core 0",
-        &["cores", "threads", "rounds to WC", "migrations", "failures", "potential before", "potential after"],
+        &[
+            "cores",
+            "threads",
+            "rounds to WC",
+            "migrations",
+            "failures",
+            "potential before",
+            "potential after",
+        ],
     );
     for &cores in &[2usize, 4, 8, 16, 32, 64] {
         let threads = cores * 2;
@@ -195,8 +211,12 @@ fn e4_sequential() -> Vec<Table> {
         format!("E4: §4.2 sequential-setting lemmas ({scope})"),
         &["policy", "steal soundness", "sequential WC", "instances"],
     );
-    let policies: Vec<(&str, fn() -> Policy)> =
-        vec![("listing1", Policy::simple), ("greedy", Policy::greedy), ("weighted", Policy::weighted)];
+    type PolicyCtor = fn() -> Policy;
+    let policies: Vec<(&str, PolicyCtor)> = vec![
+        ("listing1", Policy::simple),
+        ("greedy", Policy::greedy),
+        ("weighted", Policy::weighted),
+    ];
     for (name, make) in policies {
         let balancer = Balancer::new(make());
         let sound = lemmas::check_steal_soundness(&balancer, &scope);
@@ -218,7 +238,9 @@ fn e5_pingpong() -> Vec<Table> {
         "E5: §4.3 counterexample search (adversarial interleavings and choices)",
         &["filter", "violation found", "witness"],
     );
-    for (name, policy) in [("greedy (load >= 2)", Policy::greedy()), ("listing1 (delta >= 2)", Policy::simple())] {
+    for (name, policy) in
+        [("greedy (load >= 2)", Policy::greedy()), ("listing1 (delta >= 2)", Policy::simple())]
+    {
         let balancer = Balancer::new(policy);
         let witness = find_non_conserving_cycle(&balancer, &scope, ChoiceStrategy::Adversarial);
         let description = match &witness {
@@ -228,7 +250,11 @@ fn e5_pingpong() -> Vec<Table> {
             }
             None => "none within scope".into(),
         };
-        table.row(&[name.into(), if witness.is_some() { "YES".into() } else { "no".into() }, description]);
+        table.row(&[
+            name.into(),
+            if witness.is_some() { "YES".into() } else { "no".into() },
+            description,
+        ]);
     }
     vec![table]
 }
@@ -274,7 +300,8 @@ fn e7_potential() -> Vec<Table> {
         "E7b: potential d per concurrent round, 8 cores, 16 threads in a step imbalance (Listing 1 policy)",
         &["round", "loads", "potential d", "successes", "failures"],
     );
-    let mut system = SystemState::from_loads(&StaticImbalance::new(8, 16, ImbalancePattern::Step).loads());
+    let mut system =
+        SystemState::from_loads(&StaticImbalance::new(8, 16, ImbalancePattern::Step).loads());
     let balancer = Balancer::new(Policy::simple());
     let executor = ConcurrentRound::new(&balancer);
     trace.row(&[
@@ -312,7 +339,8 @@ fn e8_convergence() -> Vec<Table> {
             let loads = StaticImbalance::new(cores, threads, pattern).loads();
             let mut system = SystemState::from_loads(&loads);
             let balancer = Balancer::new(Policy::simple());
-            let result = converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, 8 * threads);
+            let result =
+                converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, 8 * threads);
             table.row(&[
                 cores.to_string(),
                 threads.to_string(),
@@ -390,11 +418,21 @@ fn e9_scientific() -> Vec<Table> {
     let workload = scientific_workload(topo.nr_cpus());
     let mut table = Table::new(
         format!("E9: {} on a {}-core dual-socket machine", workload.name, topo.nr_cpus()),
-        &["scheduler", "makespan (ms)", "slowdown vs optimistic", "violating idle %", "steal failures"],
+        &[
+            "scheduler",
+            "makespan (ms)",
+            "slowdown vs optimistic",
+            "violating idle %",
+            "steal failures",
+        ],
     );
     let baseline = run_sim(&topo, &workload, SchedulerKind::Optimistic);
     for kind in [SchedulerKind::Optimistic, SchedulerKind::CfsSane, SchedulerKind::CfsBuggy] {
-        let result = if kind == SchedulerKind::Optimistic { baseline.clone() } else { run_sim(&topo, &workload, kind) };
+        let result = if kind == SchedulerKind::Optimistic {
+            baseline.clone()
+        } else {
+            run_sim(&topo, &workload, kind)
+        };
         table.row(&[
             kind.name().into(),
             format!("{:.2}", result.makespan_ms()),
@@ -413,11 +451,21 @@ fn e10_database() -> Vec<Table> {
     let workload = oltp_workload(topo.nr_cpus());
     let mut table = Table::new(
         format!("E10: {} on a {}-core dual-socket machine", workload.name, topo.nr_cpus()),
-        &["scheduler", "throughput (txn/s)", "relative throughput", "violating idle %", "p99 sched latency (us)"],
+        &[
+            "scheduler",
+            "throughput (txn/s)",
+            "relative throughput",
+            "violating idle %",
+            "p99 sched latency (us)",
+        ],
     );
     let baseline = run_sim(&topo, &workload, SchedulerKind::Optimistic);
     for kind in [SchedulerKind::Optimistic, SchedulerKind::CfsSane, SchedulerKind::CfsBuggy] {
-        let result = if kind == SchedulerKind::Optimistic { baseline.clone() } else { run_sim(&topo, &workload, kind) };
+        let result = if kind == SchedulerKind::Optimistic {
+            baseline.clone()
+        } else {
+            run_sim(&topo, &workload, kind)
+        };
         table.row(&[
             kind.name().into(),
             format!("{:.0}", result.throughput_ops_per_sec()),
@@ -592,12 +640,8 @@ fn e12_hierarchical() -> Vec<Table> {
             system.core_mut(CoreId(0)).enqueue(Task::new(TaskId(t)));
         }
         let balancer = Balancer::new(policy);
-        let result = converge(
-            &mut system,
-            &balancer,
-            RoundSchedule::AllSelectThenSteal,
-            topo.nr_cpus() * 8,
-        );
+        let result =
+            converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, topo.nr_cpus() * 8);
         negative.row(&[
             name.into(),
             if result.converged() { "yes".into() } else { "NO (idle cores starve)".into() },
@@ -667,14 +711,12 @@ mod tests {
         let tables = run_experiment(ExperimentId::E9);
         let csv = tables[0].to_csv();
         let buggy_row = csv.lines().last().unwrap();
-        let slowdown: f64 = buggy_row
-            .split(',')
-            .nth(2)
-            .unwrap()
-            .trim_end_matches('x')
-            .parse()
-            .unwrap();
-        assert!(slowdown > 1.3, "the wasted-cores bugs should visibly slow the fork-join workload, got {slowdown}");
+        let slowdown: f64 =
+            buggy_row.split(',').nth(2).unwrap().trim_end_matches('x').parse().unwrap();
+        assert!(
+            slowdown > 1.3,
+            "the wasted-cores bugs should visibly slow the fork-join workload, got {slowdown}"
+        );
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Minimal JSON emission for experiment records.
+//!
+//! The workspace builds offline, so instead of `serde` this module
+//! hand-rolls the one JSON shape the harness emits: an object with a small
+//! header and an array of flat record objects.  Strings are escaped per
+//! RFC 8259; floats are emitted with enough precision to round-trip the
+//! measurements.
+
+use std::fmt::Write as _;
+
+/// A JSON value restricted to what experiment records need.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (emitted without a fraction).
+    Int(i64),
+    /// A float (emitted via Rust's shortest round-trip formatting, which
+    /// never uses exponent notation and re-parses to the same bits;
+    /// NaN/inf → null).
+    Float(f64),
+    /// A string (escaped on emission).
+    Str(String),
+    /// An ordered object.
+    Object(Vec<(String, JsonValue)>),
+    /// An array.
+    Array(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    /// Renders the value as indented JSON (two spaces per level).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize, pretty: bool) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Object(fields) => {
+                write_items(out, depth, pretty, '{', '}', fields.iter(), |out, (k, v)| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, depth + 1, pretty);
+                });
+            }
+            JsonValue::Array(items) => {
+                write_items(out, depth, pretty, '[', ']', items.iter(), |out, v| {
+                    v.write(out, depth + 1, pretty);
+                });
+            }
+        }
+    }
+}
+
+fn write_items<T>(
+    out: &mut String,
+    depth: usize,
+    pretty: bool,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T),
+) {
+    if items.len() == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    let indent = "  ".repeat(depth + 1);
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            out.push_str(&indent);
+        }
+        write_item(out, item);
+    }
+    if pretty {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Convenience: an object from key/value pairs.
+pub fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_and_nesting() {
+        let v = object(vec![
+            ("name", JsonValue::Str("quote \" slash \\ tab \t".into())),
+            ("n", JsonValue::Int(-3)),
+            ("x", JsonValue::Float(0.25)),
+            ("none", JsonValue::Null),
+            ("arr", JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Int(2)])),
+        ]);
+        let text = v.render();
+        assert_eq!(
+            text,
+            "{\"name\":\"quote \\\" slash \\\\ tab \\t\",\"n\":-3,\"x\":0.25,\"none\":null,\"arr\":[true,2]}"
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_without_truncation() {
+        // Absolute-precision truncation (`{v:.6}`) would turn these into 0.
+        let tiny = 4.2e-9;
+        let rendered = JsonValue::Float(tiny).render();
+        assert_eq!(rendered.parse::<f64>().unwrap(), tiny);
+        assert!(!rendered.contains(['e', 'E']), "JSON-safe plain decimal: {rendered}");
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented_and_balanced() {
+        let v = object(vec![("a", JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Int(2)]))]);
+        let text = v.render_pretty();
+        assert!(text.contains("\n  \"a\": [\n    1,\n    2\n  ]\n"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::Array(vec![]).render_pretty(), "[]\n");
+        assert_eq!(object(vec![]).render(), "{}");
+    }
+}

@@ -6,8 +6,22 @@
 //! `experiments` binary prints them, and `EXPERIMENTS.md` records a captured
 //! run.  The Criterion benches under `benches/` time the same scenarios,
 //! which are built by [`scenarios`].
+//!
+//! On top of the bespoke tables, [`runner`] declares every experiment once
+//! as an [`ExperimentSpec`] and executes it against three interchangeable
+//! [`Backend`]s — the pure model ([`runner::ModelBackend`]), the
+//! discrete-event simulator ([`runner::SimBackend`]) and real contending
+//! OS threads ([`runner::RqBackend`]).  `experiments --json` serializes the
+//! resulting [`ExperimentRecord`]s to `BENCH_results.json`, the workspace's
+//! machine-readable perf trajectory.
 
 pub mod experiments;
+pub mod json;
+pub mod runner;
 pub mod scenarios;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentId};
+pub use runner::{
+    catalog, records_table, records_to_json, Backend, ExperimentRecord, ExperimentRunner,
+    ExperimentSpec, ModelBackend, PolicySpec, RqBackend, SimBackend, TopoSpec, WorkloadKind,
+};

@@ -1,0 +1,755 @@
+//! The unified experiment runner: one declarative scenario description,
+//! three execution backends.
+//!
+//! The paper's claims live at three altitudes — the abstract model
+//! (`sched-core` balancing rounds), a discrete-event machine (`sched-sim`)
+//! and real contending OS threads (`sched-rq`).  Historically each
+//! experiment hand-rolled its own driver for one altitude; this module
+//! declares every experiment **once** as an [`ExperimentSpec`] and executes
+//! it against any [`Backend`], so a scenario measured in the model can be
+//! re-measured, unchanged, on the simulator and on real threads.
+//!
+//! [`ExperimentRunner::run_catalog`] produces flat [`ExperimentRecord`]s;
+//! the `experiments --json` binary serializes them to `BENCH_results.json`,
+//! which is the machine-readable perf trajectory later PRs regress against.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sched_core::prelude::*;
+use sched_metrics::Table;
+use sched_rq::MultiQueue;
+use sched_topology::{MachineTopology, NodeId, TopologyBuilder};
+use sched_workloads::{
+    ImbalancePattern, OltpWorkload, Phase as WorkloadPhase, ScientificWorkload, StaticImbalance,
+    ThreadSpec, Workload,
+};
+
+use crate::experiments::ExperimentId;
+use crate::json::{object, JsonValue};
+
+/// CPU time given to each synthetic task when a load-vector scenario is
+/// replayed on the simulator backend.
+const SYNTH_TASK_NS: u64 = 2_000_000;
+
+/// How a scenario's policy is built (policies are not `Clone`, and each
+/// backend needs its own instance, so the *recipe* is what the spec holds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// The paper's Listing 1: `delta >= 2` filter, max-load choice, steal one.
+    Listing1,
+    /// The refuted greedy filter (`victim load >= 2`, ignores the thief).
+    Greedy,
+    /// Weighted-load variant of Listing 1.
+    Weighted,
+    /// Listing 1 with a CFS-style steal-half-the-imbalance step 3.
+    StealHalf,
+    /// Listing 1 with a NUMA-aware step-2 choice over the scenario topology.
+    NumaAware,
+    /// Listing 1 compiled from its DSL source (`sched_dsl::stdlib::LISTING1`).
+    DslListing1,
+}
+
+impl PolicySpec {
+    /// Display name used in records and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicySpec::Listing1 => "listing1",
+            PolicySpec::Greedy => "greedy",
+            PolicySpec::Weighted => "weighted",
+            PolicySpec::StealHalf => "listing1+steal_half",
+            PolicySpec::NumaAware => "listing1+numa_choice",
+            PolicySpec::DslListing1 => "dsl(listing1)",
+        }
+    }
+
+    /// Builds a fresh policy instance for one backend run.
+    pub fn build(self, topo: &Arc<MachineTopology>) -> Policy {
+        match self {
+            PolicySpec::Listing1 => Policy::simple(),
+            PolicySpec::Greedy => Policy::greedy(),
+            PolicySpec::Weighted => Policy::weighted(),
+            PolicySpec::StealHalf => Policy::simple()
+                .with_steal(Box::new(StealHalfImbalance::new(LoadMetric::NrThreads))),
+            PolicySpec::NumaAware => Policy::simple().with_choice(Box::new(NumaAwareChoice::new(
+                Arc::clone(topo),
+                LoadMetric::NrThreads,
+            ))),
+            PolicySpec::DslListing1 => {
+                sched_dsl::compile_source(sched_dsl::stdlib::LISTING1)
+                    .expect("the stdlib Listing 1 source compiles")
+                    .policy
+            }
+        }
+    }
+}
+
+/// The machine a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// `cores` identical cores on one node.
+    Flat(usize),
+    /// The dual-socket 16-core server of the wasted-cores study.
+    DualSocket,
+    /// The eight-node NUMA machine of the hierarchical experiment.
+    EightNode,
+}
+
+impl TopoSpec {
+    /// Builds the topology.
+    pub fn build(self) -> MachineTopology {
+        match self {
+            TopoSpec::Flat(cores) => {
+                TopologyBuilder::new().sockets(1).cores_per_socket(cores).build()
+            }
+            TopoSpec::DualSocket => TopologyBuilder::new().sockets(2).cores_per_socket(8).build(),
+            TopoSpec::EightNode => TopologyBuilder::eight_node_numa(),
+        }
+    }
+}
+
+/// The richer simulator workloads a scenario may carry on top of its load
+/// vector (E9/E10 reproduce the paper's motivation numbers with these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Fork-join scientific workload sized to the machine.
+    Scientific,
+    /// OLTP workload sized to the machine.
+    Oltp,
+}
+
+/// One experiment, declared once, executable on every backend.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Which experiment of the per-experiment index this scenario belongs to.
+    pub id: ExperimentId,
+    /// Human-readable scenario name.
+    pub scenario: &'static str,
+    /// Initial per-core load vector (`loads[i]` threads start on core `i`).
+    pub loads: Vec<usize>,
+    /// Machine shape; `loads.len()` must equal its CPU count.
+    pub topo: TopoSpec,
+    /// Policy recipe.
+    pub policy: PolicySpec,
+    /// Simulator workload overriding the synthetic load replay, if any.
+    pub workload: Option<WorkloadKind>,
+    /// Balancing-round budget for the model and runqueue backends.
+    pub budget_rounds: usize,
+}
+
+impl ExperimentSpec {
+    /// Total threads in the initial load vector.
+    pub fn nr_threads(&self) -> u64 {
+        self.loads.iter().map(|&l| l as u64).sum()
+    }
+
+    /// The workload the simulator backend runs for this spec.
+    fn sim_workload(&self, nr_cores: usize) -> Workload {
+        match self.workload {
+            Some(WorkloadKind::Scientific) => ScientificWorkload {
+                nr_threads: nr_cores,
+                iterations: 8,
+                phase_ns: 4_000_000,
+                jitter: 0.05,
+                seed: 42,
+                fork_on_core: Some(0),
+            }
+            .generate(),
+            Some(WorkloadKind::Oltp) => OltpWorkload {
+                nr_workers: nr_cores * 2,
+                transactions: 40,
+                service_ns: 500_000,
+                think_ns: 250_000,
+                jitter: 0.2,
+                seed: 7,
+                initial_spread: 4,
+            }
+            .generate(),
+            None => {
+                // Replay the load vector: `loads[i]` independent tasks of
+                // fixed CPU time pinned to origin core `i`.
+                let mut workload = Workload::new(format!("synthetic({})", self.scenario));
+                for (core, &n) in self.loads.iter().enumerate() {
+                    for _ in 0..n {
+                        workload.push(ThreadSpec {
+                            nice: 0,
+                            arrival_ns: 0,
+                            origin_core: Some(core),
+                            phases: vec![WorkloadPhase::Compute(SYNTH_TASK_NS)],
+                        });
+                    }
+                }
+                workload
+            }
+        }
+    }
+}
+
+/// What one backend measured for one spec.
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord {
+    /// Experiment id, lowercase (`"e5"`).
+    pub experiment: String,
+    /// Scenario name from the spec.
+    pub scenario: String,
+    /// Backend name (`"model"`, `"sim"`, `"rq"`).
+    pub backend: &'static str,
+    /// Policy name from the spec.
+    pub policy: &'static str,
+    /// Machine size.
+    pub cores: usize,
+    /// Initial thread count.
+    pub threads: u64,
+    /// Backend-specific throughput (see `throughput_unit`).
+    pub throughput: f64,
+    /// What `throughput` counts: `"migrations/s"` (model, rq, wall-clock)
+    /// or `"ops/s"` (sim, simulated time).
+    pub throughput_unit: &'static str,
+    /// Fraction of core-time idle while another core was overloaded.
+    pub violating_idle: f64,
+    /// Rounds to reach work conservation, if the backend converged.
+    pub convergence_rounds: Option<usize>,
+    /// Successful steals.
+    pub migrations: u64,
+    /// Failed steal attempts (stale selections re-checked away).
+    pub failures: u64,
+    /// Wall-clock cost of the run, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ExperimentRecord {
+    /// The record as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        object(vec![
+            ("experiment", JsonValue::Str(self.experiment.clone())),
+            ("scenario", JsonValue::Str(self.scenario.clone())),
+            ("backend", JsonValue::Str(self.backend.into())),
+            ("policy", JsonValue::Str(self.policy.into())),
+            ("cores", JsonValue::Int(self.cores as i64)),
+            ("threads", JsonValue::Int(self.threads as i64)),
+            ("throughput", JsonValue::Float(self.throughput)),
+            ("throughput_unit", JsonValue::Str(self.throughput_unit.into())),
+            ("violating_idle", JsonValue::Float(self.violating_idle)),
+            (
+                "convergence_rounds",
+                match self.convergence_rounds {
+                    Some(r) => JsonValue::Int(r as i64),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("migrations", JsonValue::Int(self.migrations as i64)),
+            ("failures", JsonValue::Int(self.failures as i64)),
+            ("wall_ms", JsonValue::Float(self.wall_ms)),
+        ])
+    }
+}
+
+/// One way of executing an [`ExperimentSpec`].
+pub trait Backend {
+    /// Short name used in records (`"model"`, `"sim"`, `"rq"`).
+    fn name(&self) -> &'static str;
+
+    /// Executes the spec, or returns `None` if this backend cannot run it.
+    fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord>;
+}
+
+fn record_base(spec: &ExperimentSpec, backend: &'static str) -> ExperimentRecord {
+    ExperimentRecord {
+        experiment: format!("{:?}", spec.id).to_ascii_lowercase(),
+        scenario: spec.scenario.to_string(),
+        backend,
+        policy: spec.policy.name(),
+        cores: spec.loads.len(),
+        threads: spec.nr_threads(),
+        throughput: 0.0,
+        throughput_unit: "migrations/s",
+        violating_idle: 0.0,
+        convergence_rounds: None,
+        migrations: 0,
+        failures: 0,
+        wall_ms: 0.0,
+    }
+}
+
+/// Pure-model backend: concurrent balancing rounds on
+/// [`sched_core::SystemState`], no time, no threads — the altitude the
+/// proofs live at.
+pub struct ModelBackend;
+
+impl Backend for ModelBackend {
+    fn name(&self) -> &'static str {
+        "model"
+    }
+
+    fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        let topo = Arc::new(spec.topo.build());
+        if topo.nr_cpus() != spec.loads.len() {
+            return None;
+        }
+        let mut system = SystemState::with_topology(&topo);
+        let mut next_task = 0u64;
+        for (core, &n) in spec.loads.iter().enumerate() {
+            for _ in 0..n {
+                system.core_mut(CoreId(core)).enqueue(Task::new(TaskId(next_task)));
+                next_task += 1;
+            }
+        }
+
+        let balancer = Balancer::new(spec.policy.build(&topo));
+        let executor = ConcurrentRound::new(&balancer);
+        let mut record = record_base(spec, self.name());
+        let nr_cores = spec.loads.len();
+        let mut violating_core_rounds = 0.0f64;
+        let mut sampled_rounds = 0u64;
+
+        let start = Instant::now();
+        for round in 0..=spec.budget_rounds {
+            if system.is_work_conserving() {
+                record.convergence_rounds = Some(round);
+                break;
+            }
+            if round == spec.budget_rounds {
+                break;
+            }
+            violating_core_rounds += system.idle_cores().len() as f64 / nr_cores as f64;
+            sampled_rounds += 1;
+            let report = executor.execute(&mut system, &RoundSchedule::AllSelectThenSteal);
+            record.migrations += report.nr_stolen() as u64;
+            record.failures += report.nr_failures() as u64;
+        }
+        let wall = start.elapsed();
+
+        record.wall_ms = wall.as_secs_f64() * 1e3;
+        record.throughput = if wall.as_secs_f64() > 0.0 {
+            record.migrations as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        // Average fraction of cores sitting idle per pre-convergence round;
+        // every idle core in a non-work-conserving state is a violation by
+        // definition.
+        record.violating_idle =
+            if sampled_rounds == 0 { 0.0 } else { violating_core_rounds / sampled_rounds as f64 };
+        Some(record)
+    }
+}
+
+/// Discrete-event simulator backend: the spec's workload (or its load
+/// vector replayed as pinned tasks) on [`sched_sim::Engine`] with the
+/// optimistic scheduler driven by the spec's policy.
+pub struct SimBackend;
+
+impl Backend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        use sched_sim::{Engine, OptimisticScheduler, SimConfig};
+
+        let topo = Arc::new(spec.topo.build());
+        if topo.nr_cpus() != spec.loads.len() {
+            return None;
+        }
+        let workload = spec.sim_workload(topo.nr_cpus());
+        let scheduler = Box::new(OptimisticScheduler::new(spec.policy.build(&topo)));
+
+        let start = Instant::now();
+        let result = Engine::new(SimConfig::default(), Some(&topo), &workload, scheduler).run();
+        let wall = start.elapsed();
+
+        let mut record = record_base(spec, self.name());
+        record.threads = workload.nr_threads() as u64;
+        record.throughput = result.throughput_ops_per_sec();
+        record.throughput_unit = "ops/s";
+        record.violating_idle = result.violating_idle_fraction();
+        record.migrations = result.balance.migrations;
+        record.failures = result.balance.failures;
+        record.wall_ms = wall.as_secs_f64() * 1e3;
+        Some(record)
+    }
+}
+
+/// Real-thread backend: the spec's load vector on [`sched_rq::MultiQueue`],
+/// one OS thread per core per round, lock-less selection and genuinely
+/// contended double-lock stealing.
+pub struct RqBackend;
+
+impl Backend for RqBackend {
+    fn name(&self) -> &'static str {
+        "rq"
+    }
+
+    fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        let topo = Arc::new(spec.topo.build());
+        if topo.nr_cpus() != spec.loads.len() {
+            return None;
+        }
+        let mq: MultiQueue = MultiQueue::with_topology(&topo);
+        for (core, &n) in spec.loads.iter().enumerate() {
+            for _ in 0..n {
+                mq.spawn_on(CoreId(core));
+            }
+        }
+
+        let policy = spec.policy.build(&topo);
+        let mut record = record_base(spec, self.name());
+        let nr_cores = spec.loads.len();
+        let mut violating_core_rounds = 0.0f64;
+        let mut sampled_rounds = 0u64;
+
+        let start = Instant::now();
+        for round in 0..=spec.budget_rounds {
+            if mq.is_work_conserving() {
+                record.convergence_rounds = Some(round);
+                break;
+            }
+            if round == spec.budget_rounds {
+                break;
+            }
+            let idle = mq.snapshots().iter().filter(|s| s.nr_threads == 0).count();
+            violating_core_rounds += idle as f64 / nr_cores as f64;
+            sampled_rounds += 1;
+            let stats = mq.concurrent_round(&policy);
+            record.migrations += stats.migrations();
+            record.failures += stats.failures();
+        }
+        let wall = start.elapsed();
+
+        record.wall_ms = wall.as_secs_f64() * 1e3;
+        record.throughput = if wall.as_secs_f64() > 0.0 {
+            record.migrations as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        record.violating_idle =
+            if sampled_rounds == 0 { 0.0 } else { violating_core_rounds / sampled_rounds as f64 };
+        Some(record)
+    }
+}
+
+/// Executes specs across a set of backends.
+pub struct ExperimentRunner {
+    backends: Vec<Box<dyn Backend>>,
+}
+
+impl ExperimentRunner {
+    /// A runner over the given backends.
+    pub fn new(backends: Vec<Box<dyn Backend>>) -> Self {
+        ExperimentRunner { backends }
+    }
+
+    /// A runner over all three backends: model, sim, rq.
+    pub fn with_all_backends() -> Self {
+        ExperimentRunner::new(vec![
+            Box::new(ModelBackend),
+            Box::new(SimBackend),
+            Box::new(RqBackend),
+        ])
+    }
+
+    /// The backends, in execution order.
+    pub fn backends(&self) -> &[Box<dyn Backend>] {
+        &self.backends
+    }
+
+    /// Runs one spec on every backend that supports it.
+    pub fn run(&self, spec: &ExperimentSpec) -> Vec<ExperimentRecord> {
+        self.backends.iter().filter_map(|b| b.run(spec)).collect()
+    }
+
+    /// Runs every spec on every backend.
+    pub fn run_catalog(&self, specs: &[ExperimentSpec]) -> Vec<ExperimentRecord> {
+        specs.iter().flat_map(|spec| self.run(spec)).collect()
+    }
+}
+
+/// The per-experiment scenario catalog: e1–e13, each declared exactly once.
+pub fn catalog() -> Vec<ExperimentSpec> {
+    let eight_node = TopologyBuilder::eight_node_numa();
+    // One hot core per NUMA node holds that node's whole share of the work.
+    let mut numa_loads = vec![0usize; eight_node.nr_cpus()];
+    let per_node = 2 * eight_node.nr_cpus() / eight_node.nr_nodes();
+    for node in 0..eight_node.nr_nodes() {
+        numa_loads[eight_node.cpus_of_node(NodeId(node))[0].0] = per_node;
+    }
+
+    vec![
+        ExperimentSpec {
+            id: ExperimentId::E1,
+            scenario: "choice-irrelevance: four hot cores of sixteen",
+            loads: vec![12, 0, 0, 0, 4, 0, 0, 0, 2, 0, 0, 0, 6, 0, 0, 0],
+            topo: TopoSpec::Flat(16),
+            policy: PolicySpec::Listing1,
+            workload: None,
+            budget_rounds: 256,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E2,
+            scenario: "listing1: all threads on core 0 of 8",
+            loads: vec![16, 0, 0, 0, 0, 0, 0, 0],
+            topo: TopoSpec::Flat(8),
+            policy: PolicySpec::Listing1,
+            workload: None,
+            budget_rounds: 128,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E3,
+            scenario: "lemma1 scope: three cores, loads [4,1,0]",
+            loads: vec![4, 1, 0],
+            topo: TopoSpec::Flat(3),
+            policy: PolicySpec::Listing1,
+            workload: None,
+            budget_rounds: 64,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E4,
+            scenario: "sequential WC: step imbalance on four cores",
+            loads: StaticImbalance::new(4, 8, ImbalancePattern::Step).loads(),
+            topo: TopoSpec::Flat(4),
+            policy: PolicySpec::Weighted,
+            workload: None,
+            budget_rounds: 64,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E5,
+            scenario: "greedy filter on the ping-pong-prone shape",
+            loads: vec![4, 1, 0, 0],
+            topo: TopoSpec::Flat(4),
+            policy: PolicySpec::Greedy,
+            workload: None,
+            budget_rounds: 64,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E6,
+            scenario: "contention: one hot core, seven thieves",
+            loads: vec![8, 0, 0, 0, 0, 0, 0, 0],
+            topo: TopoSpec::Flat(8),
+            policy: PolicySpec::Listing1,
+            workload: None,
+            budget_rounds: 128,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E7,
+            scenario: "potential drain: step imbalance, 8 cores 16 threads",
+            loads: StaticImbalance::new(8, 16, ImbalancePattern::Step).loads(),
+            topo: TopoSpec::Flat(8),
+            policy: PolicySpec::Listing1,
+            workload: None,
+            budget_rounds: 128,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E8,
+            scenario: "convergence at scale: 64 cores, single hot",
+            loads: StaticImbalance::new(64, 128, ImbalancePattern::SingleHot).loads(),
+            topo: TopoSpec::Flat(64),
+            policy: PolicySpec::StealHalf,
+            workload: None,
+            budget_rounds: 1024,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E9,
+            scenario: "scientific fork-join on the dual-socket server",
+            loads: {
+                let mut loads = vec![0usize; 16];
+                loads[0] = 16;
+                loads
+            },
+            topo: TopoSpec::DualSocket,
+            policy: PolicySpec::Listing1,
+            workload: Some(WorkloadKind::Scientific),
+            budget_rounds: 256,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E10,
+            scenario: "OLTP on the dual-socket server",
+            loads: {
+                let mut loads = vec![0usize; 16];
+                for slot in loads.iter_mut().take(4) {
+                    *slot = 8;
+                }
+                loads
+            },
+            topo: TopoSpec::DualSocket,
+            policy: PolicySpec::Listing1,
+            workload: Some(WorkloadKind::Oltp),
+            budget_rounds: 256,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E11,
+            scenario: "lock-less overhead: every fourth core hot, 64 cores",
+            loads: (0..64).map(|i| if i % 4 == 0 { 6 } else { 0 }).collect(),
+            topo: TopoSpec::Flat(64),
+            policy: PolicySpec::Listing1,
+            workload: None,
+            budget_rounds: 512,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E12,
+            scenario: "hierarchical: one hot core per NUMA node",
+            loads: numa_loads,
+            topo: TopoSpec::EightNode,
+            policy: PolicySpec::NumaAware,
+            workload: None,
+            budget_rounds: 512,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E13,
+            scenario: "DSL-compiled listing1: all threads on core 0 of 8",
+            loads: vec![16, 0, 0, 0, 0, 0, 0, 0],
+            topo: TopoSpec::Flat(8),
+            policy: PolicySpec::DslListing1,
+            workload: None,
+            budget_rounds: 128,
+        },
+    ]
+}
+
+/// Serializes records (plus a small header) to the `BENCH_results.json`
+/// document.
+pub fn records_to_json(records: &[ExperimentRecord]) -> String {
+    object(vec![
+        (
+            "paper",
+            JsonValue::Str("Towards Proving Optimistic Multicore Schedulers (HotOS 2017)".into()),
+        ),
+        ("harness", JsonValue::Str("sched-bench experiments --json".into())),
+        ("schema_version", JsonValue::Int(1)),
+        ("records", JsonValue::Array(records.iter().map(ExperimentRecord::to_json).collect())),
+    ])
+    .render_pretty()
+}
+
+/// Renders records as one table for terminal display.
+pub fn records_table(records: &[ExperimentRecord]) -> Table {
+    let mut table = Table::new(
+        "Unified runner: every experiment on every backend",
+        &[
+            "experiment",
+            "scenario",
+            "backend",
+            "policy",
+            "cores",
+            "threads",
+            "throughput",
+            "violating idle %",
+            "rounds to WC",
+            "migrations",
+            "failures",
+            "wall (ms)",
+        ],
+    );
+    for r in records {
+        table.row(&[
+            r.experiment.clone(),
+            r.scenario.clone(),
+            r.backend.into(),
+            r.policy.into(),
+            r.cores.to_string(),
+            r.threads.to_string(),
+            format!("{:.0} {}", r.throughput, r.throughput_unit),
+            format!("{:.1}%", r.violating_idle * 100.0),
+            r.convergence_rounds.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            r.migrations.to_string(),
+            r.failures.to_string(),
+            format!("{:.2}", r.wall_ms),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(policy: PolicySpec) -> ExperimentSpec {
+        ExperimentSpec {
+            id: ExperimentId::E2,
+            scenario: "test: single hot of four",
+            loads: vec![8, 0, 0, 0],
+            topo: TopoSpec::Flat(4),
+            policy,
+            workload: None,
+            budget_rounds: 64,
+        }
+    }
+
+    #[test]
+    fn catalog_declares_every_experiment_once() {
+        let specs = catalog();
+        assert_eq!(specs.len(), 13);
+        let ids: std::collections::BTreeSet<String> =
+            specs.iter().map(|s| format!("{:?}", s.id)).collect();
+        assert_eq!(ids.len(), 13, "no experiment is declared twice");
+        for spec in &specs {
+            assert_eq!(
+                spec.topo.build().nr_cpus(),
+                spec.loads.len(),
+                "{}: load vector must match the machine",
+                spec.scenario
+            );
+            assert!(spec.nr_threads() > 0);
+        }
+    }
+
+    #[test]
+    fn all_three_backends_run_the_same_spec() {
+        let spec = small_spec(PolicySpec::Listing1);
+        let runner = ExperimentRunner::with_all_backends();
+        let records = runner.run(&spec);
+        assert_eq!(records.len(), 3);
+        let backends: Vec<&str> = records.iter().map(|r| r.backend).collect();
+        assert_eq!(backends, vec!["model", "sim", "rq"]);
+        for r in &records {
+            assert_eq!(r.experiment, "e2");
+            assert_eq!(r.cores, 4);
+            assert!(r.threads >= 8);
+            assert!(r.migrations > 0, "{}: balancing must migrate work", r.backend);
+        }
+        // The model and rq backends must both converge, and — single hot
+        // core, three idle thieves — need at least three migrations.
+        for r in records.iter().filter(|r| r.backend != "sim") {
+            assert!(r.convergence_rounds.is_some(), "{} did not converge", r.backend);
+            assert!(r.migrations >= 3);
+        }
+    }
+
+    #[test]
+    fn dsl_policy_behaves_like_handwritten_listing1_on_the_model() {
+        let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
+        let handwritten = &runner.run(&small_spec(PolicySpec::Listing1))[0];
+        let compiled = &runner.run(&small_spec(PolicySpec::DslListing1))[0];
+        assert_eq!(handwritten.convergence_rounds, compiled.convergence_rounds);
+        assert_eq!(handwritten.migrations, compiled.migrations);
+        assert_eq!(handwritten.failures, compiled.failures);
+    }
+
+    #[test]
+    fn json_document_has_the_required_fields() {
+        let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
+        let records = runner.run(&small_spec(PolicySpec::Listing1));
+        let json = records_to_json(&records);
+        for key in [
+            "\"experiment\"",
+            "\"scenario\"",
+            "\"backend\"",
+            "\"cores\"",
+            "\"throughput\"",
+            "\"violating_idle\"",
+            "\"convergence_rounds\"",
+            "\"records\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn records_table_has_one_row_per_record() {
+        let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
+        let records = runner
+            .run_catalog(&[small_spec(PolicySpec::Listing1), small_spec(PolicySpec::Weighted)]);
+        assert_eq!(records_table(&records).nr_rows(), 2);
+    }
+}

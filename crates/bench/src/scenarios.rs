@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use sched_core::prelude::*;
-use sched_sim::{CfsBugs, CfsLikeScheduler, Engine, OptimisticScheduler, SimConfig, SimResult, SimScheduler};
+use sched_sim::{
+    CfsBugs, CfsLikeScheduler, Engine, OptimisticScheduler, SimConfig, SimResult, SimScheduler,
+};
 use sched_topology::{MachineTopology, TopologyBuilder};
 use sched_workloads::{OltpWorkload, ScientificWorkload, Workload};
 

@@ -94,7 +94,12 @@ impl Balancer {
     /// The snapshot is taken immediately before the stealing phase, so the
     /// selection can never be stale: this is the no-concurrency setting of
     /// §4.2 in which failures cannot occur.
-    pub fn balance_core(&self, system: &mut SystemState, thief: CoreId, time: usize) -> BalanceAttempt {
+    pub fn balance_core(
+        &self,
+        system: &mut SystemState,
+        thief: CoreId,
+        time: usize,
+    ) -> BalanceAttempt {
         let snapshot = SystemSnapshot::capture(system);
         let selection = self.select(&snapshot, thief);
         let outcome = match selection.chosen {
@@ -137,8 +142,8 @@ impl std::fmt::Debug for Balancer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::Policy;
     use crate::load::LoadMetric;
+    use crate::policy::Policy;
 
     #[test]
     fn sequential_round_fixes_a_simple_imbalance() {

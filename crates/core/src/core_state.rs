@@ -124,11 +124,7 @@ impl CoreState {
 
     /// All task ids on this core, current first.
     pub fn task_ids(&self) -> Vec<TaskId> {
-        self.current
-            .iter()
-            .map(|t| t.id)
-            .chain(self.ready.iter().map(|t| t.id))
-            .collect()
+        self.current.iter().map(|t| t.id).chain(self.ready.iter().map(|t| t.id)).collect()
     }
 }
 

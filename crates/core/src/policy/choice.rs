@@ -55,11 +55,7 @@ impl ChoicePolicy for MaxLoadChoice {
     fn choose(&self, _thief: &CoreSnapshot, candidates: &[CoreSnapshot]) -> Option<CoreId> {
         candidates
             .iter()
-            .max_by(|a, b| {
-                a.load(self.metric)
-                    .cmp(&b.load(self.metric))
-                    .then(b.id.cmp(&a.id))
-            })
+            .max_by(|a, b| a.load(self.metric).cmp(&b.load(self.metric)).then(b.id.cmp(&a.id)))
             .map(|c| c.id)
     }
 
@@ -204,7 +200,10 @@ mod tests {
     #[test]
     fn max_load_picks_busiest_and_breaks_ties_low() {
         let (thief, cands) = candidates(&[0, 2, 5, 5], 0);
-        assert_eq!(MaxLoadChoice::new(LoadMetric::NrThreads).choose(&thief, &cands), Some(CoreId(2)));
+        assert_eq!(
+            MaxLoadChoice::new(LoadMetric::NrThreads).choose(&thief, &cands),
+            Some(CoreId(2))
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ use crate::snapshot::CoreSnapshot;
 use crate::task::TaskId;
 use crate::CoreId;
 
-pub use choice::{FirstChoice, MaxLoadChoice, MinMigrationCostChoice, NumaAwareChoice, RandomChoice};
+pub use choice::{
+    FirstChoice, MaxLoadChoice, MinMigrationCostChoice, NumaAwareChoice, RandomChoice,
+};
 pub use greedy::GreedyFilter;
 pub use hierarchical::{GroupAwareChoice, NodeRestrictedFilter};
 pub use simple::DeltaFilter;

@@ -131,8 +131,8 @@ mod tests {
     #[test]
     fn steal_half_halves_the_imbalance() {
         let s = SystemState::from_loads(&[0, 7]);
-        let picked =
-            StealHalfImbalance::new(LoadMetric::NrThreads).select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
+        let picked = StealHalfImbalance::new(LoadMetric::NrThreads)
+            .select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
         assert_eq!(picked.len(), 3);
         // All picked tasks are waiting tasks of the victim.
         for id in &picked {
@@ -143,16 +143,16 @@ mod tests {
     #[test]
     fn steal_half_never_returns_more_than_the_queue() {
         let s = SystemState::from_loads(&[0, 2]);
-        let picked =
-            StealHalfImbalance::new(LoadMetric::NrThreads).select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
+        let picked = StealHalfImbalance::new(LoadMetric::NrThreads)
+            .select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
         assert_eq!(picked.len(), 1);
     }
 
     #[test]
     fn steal_half_declines_when_there_is_no_imbalance() {
         let s = SystemState::from_loads(&[3, 3]);
-        let picked =
-            StealHalfImbalance::new(LoadMetric::NrThreads).select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
+        let picked = StealHalfImbalance::new(LoadMetric::NrThreads)
+            .select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
         assert!(picked.is_empty());
     }
 

@@ -45,12 +45,7 @@ pub fn potential_between(a: u64, b: u64) -> u64 {
 /// Only the terms involving the two affected cores change, so the difference
 /// can be computed locally — this is the observation that lets the verifier
 /// check the potential lemma per-steal instead of per-system.
-pub fn potential_delta_of_steal(
-    loads: &[u64],
-    thief: usize,
-    victim: usize,
-    delta: u64,
-) -> i128 {
+pub fn potential_delta_of_steal(loads: &[u64], thief: usize, victim: usize, delta: u64) -> i128 {
     assert_ne!(thief, victim, "a core cannot steal from itself");
     assert!(loads[victim] >= delta, "cannot move more load than the victim has");
     let before = potential_of_loads(loads);

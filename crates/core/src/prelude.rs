@@ -18,7 +18,9 @@ pub use crate::policy::{
     MaxLoadChoice, MinMigrationCostChoice, NodeRestrictedFilter, NumaAwareChoice, Policy,
     RandomChoice, StealHalfImbalance, StealLightest, StealOne, StealPolicy, WeightedDeltaFilter,
 };
-pub use crate::potential::{potential, potential_between, potential_delta_of_steal, potential_of_loads};
+pub use crate::potential::{
+    potential, potential_between, potential_delta_of_steal, potential_of_loads,
+};
 pub use crate::round::{ConcurrentRound, Phase, RoundSchedule, Step};
 pub use crate::snapshot::{CoreSnapshot, SystemSnapshot};
 pub use crate::system::SystemState;

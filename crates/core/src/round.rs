@@ -92,9 +92,9 @@ impl RoundSchedule {
     /// a fresh interleaving per round so that races differ between rounds.
     pub fn for_round(&self, round: usize) -> RoundSchedule {
         match self {
-            RoundSchedule::Seeded(seed) => {
-                RoundSchedule::Seeded(seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
-            }
+            RoundSchedule::Seeded(seed) => RoundSchedule::Seeded(
+                seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            ),
             other => other.clone(),
         }
     }
@@ -239,8 +239,8 @@ impl<'a> ConcurrentRound<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::Policy;
     use crate::load::LoadMetric;
+    use crate::policy::Policy;
 
     #[test]
     fn schedules_materialise_to_valid_rounds() {

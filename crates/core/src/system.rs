@@ -27,11 +27,7 @@ impl SystemState {
     /// Creates a system of idle cores whose node assignment follows the
     /// given machine topology.
     pub fn with_topology(topo: &MachineTopology) -> Self {
-        let cores = topo
-            .cpus()
-            .iter()
-            .map(|c| CoreState::on_node(c.id, c.node))
-            .collect();
+        let cores = topo.cpus().iter().map(|c| CoreState::on_node(c.id, c.node)).collect();
         SystemState { cores }
     }
 
@@ -160,11 +156,7 @@ impl SystemState {
     /// cores should be able to steal the same thread" (§3.1); this invariant
     /// is asserted throughout the test-suite and the model checker.
     pub fn tasks_are_unique(&self) -> bool {
-        let mut ids: Vec<TaskId> = self
-            .cores
-            .iter()
-            .flat_map(|c| c.task_ids())
-            .collect();
+        let mut ids: Vec<TaskId> = self.cores.iter().flat_map(|c| c.task_ids()).collect();
         let before = ids.len();
         ids.sort();
         ids.dedup();

@@ -223,7 +223,10 @@ mod tests {
     #[test]
     fn to_source_round_trips_structure() {
         assert_eq!(listing1_filter().to_source(), "((victim.load - self.load) >= 2)");
-        assert_eq!(Expr::Field(Actor::SelfCore, Field::LightestReady).to_source(), "self.lightest_ready");
+        assert_eq!(
+            Expr::Field(Actor::SelfCore, Field::LightestReady).to_source(),
+            "self.lightest_ready"
+        );
     }
 
     #[test]

@@ -155,7 +155,9 @@ mod tests {
         .unwrap();
         let code = generate_rust(&def);
         assert!(code.contains("pub struct Listing1Filter"));
-        assert!(code.contains("((victim.load(metric) as i128 - this.load(metric) as i128) >= 2i128)"));
+        assert!(
+            code.contains("((victim.load(metric) as i128 - this.load(metric) as i128) >= 2i128)")
+        );
         assert!(code.contains("impl ChoicePolicy for Listing1Choice"));
         assert!(code.contains(".take(1)"));
         assert!(code.contains("pub fn policy() -> Policy"));

@@ -66,7 +66,9 @@ mod tests {
 
     #[test]
     fn display_formats_each_variant() {
-        assert!(DslError::UnexpectedCharacter { found: '@', offset: 3 }.to_string().contains("'@'"));
+        assert!(DslError::UnexpectedCharacter { found: '@', offset: 3 }
+            .to_string()
+            .contains("'@'"));
         assert!(DslError::parse("x").to_string().contains("parse"));
         assert!(DslError::type_error("x").to_string().contains("type"));
         assert!(DslError::phase("x").to_string().contains("phase"));

@@ -1,7 +1,10 @@
 //! The executable backend: compiling a DSL policy into `sched-core` policy
 //! objects (the analogue of the paper's "compiled to C" path).
 
-use sched_core::{ChoicePolicy, CoreId, CoreSnapshot, CoreState, FilterPolicy, LoadMetric, Policy, StealPolicy, TaskId};
+use sched_core::{
+    ChoicePolicy, CoreId, CoreSnapshot, CoreState, FilterPolicy, LoadMetric, Policy, StealPolicy,
+    TaskId,
+};
 
 use crate::ast::{Actor, BinOp, ChooseRule, Expr, Field, MetricSpec, PolicyDef};
 use crate::error::DslError;
@@ -213,10 +216,9 @@ mod tests {
 
     #[test]
     fn steal_count_is_respected() {
-        let compiled = compile_source(
-            "policy batch { filter = victim.load - self.load >= 2; steal = 2; }",
-        )
-        .unwrap();
+        let compiled =
+            compile_source("policy batch { filter = victim.load - self.load >= 2; steal = 2; }")
+                .unwrap();
         let mut system = SystemState::from_loads(&[0, 5]);
         let balancer = Balancer::new(compiled.policy);
         let attempt = balancer.balance_core(&mut system, CoreId(0), 0);

@@ -154,9 +154,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                     i += 1;
                 }
                 let text = &source[start..i];
-                let value = text
-                    .parse::<i64>()
-                    .map_err(|_| DslError::parse(format!("integer literal `{text}` out of range")))?;
+                let value = text.parse::<i64>().map_err(|_| {
+                    DslError::parse(format!("integer literal `{text}` out of range"))
+                })?;
                 tokens.push(Token::Int(value));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {

@@ -108,10 +108,14 @@ impl Parser {
                     match self.next()? {
                         Token::Int(v) if v > 0 => steal = Some(v as u32),
                         Token::Int(v) => {
-                            return Err(DslError::parse(format!("steal count must be positive, got {v}")))
+                            return Err(DslError::parse(format!(
+                                "steal count must be positive, got {v}"
+                            )))
                         }
                         other => {
-                            return Err(DslError::parse(format!("expected an integer steal count, found {other:?}")))
+                            return Err(DslError::parse(format!(
+                                "expected an integer steal count, found {other:?}"
+                            )))
                         }
                     }
                 }
@@ -232,9 +236,7 @@ impl Parser {
                     "nr_threads" => Field::NrThreads,
                     "weighted_load" => Field::WeightedLoad,
                     "lightest_ready" => Field::LightestReady,
-                    other => {
-                        return Err(DslError::parse(format!("unknown field `.{other}`")))
-                    }
+                    other => return Err(DslError::parse(format!("unknown field `.{other}`"))),
                 };
                 Ok(Expr::Field(actor, field))
             }

@@ -70,7 +70,9 @@ mod tests {
 
     #[test]
     fn listing1_passes_with_no_warnings() {
-        let p = parse("policy p { filter = victim.load - self.load >= 2; choose = max victim.load; }").unwrap();
+        let p =
+            parse("policy p { filter = victim.load - self.load >= 2; choose = max victim.load; }")
+                .unwrap();
         assert_eq!(phase_check(&p).unwrap(), vec![]);
     }
 
@@ -90,7 +92,9 @@ mod tests {
 
     #[test]
     fn constant_choose_key_warns() {
-        let p = parse("policy p { filter = victim.load - self.load >= 2; choose = max self.load; }").unwrap();
+        let p =
+            parse("policy p { filter = victim.load - self.load >= 2; choose = max self.load; }")
+                .unwrap();
         let warnings = phase_check(&p).unwrap();
         assert!(warnings.iter().any(|w| w.message.contains("degenerates")));
     }

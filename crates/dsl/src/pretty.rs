@@ -68,8 +68,8 @@ mod tests {
         for (name, source) in stdlib::all() {
             let def = parse(source).unwrap();
             let printed = print_policy(&def);
-            let reparsed =
-                parse(&printed).unwrap_or_else(|e| panic!("{name} failed to re-parse: {e}\n{printed}"));
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("{name} failed to re-parse: {e}\n{printed}"));
             assert_eq!(def, reparsed, "{name} did not round-trip");
         }
     }
@@ -87,9 +87,8 @@ mod tests {
     fn arb_simple_filter() -> impl Strategy<Value = String> {
         // Generate small filters of the shape the DSL is used for and check
         // the parse → print → parse loop is the identity.
-        (1i64..6, prop_oneof![Just(">="), Just(">"), Just("==")]).prop_map(|(threshold, op)| {
-            format!("victim.load - self.load {op} {threshold}")
-        })
+        (1i64..6, prop_oneof![Just(">="), Just(">"), Just("==")])
+            .prop_map(|(threshold, op)| format!("victim.load - self.load {op} {threshold}"))
     }
 
     proptest! {

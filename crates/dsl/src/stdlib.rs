@@ -48,12 +48,7 @@ policy batched {
 
 /// All built-in policies with their names.
 pub fn all() -> Vec<(&'static str, &'static str)> {
-    vec![
-        ("listing1", LISTING1),
-        ("greedy", GREEDY),
-        ("weighted", WEIGHTED),
-        ("batched", BATCHED),
-    ]
+    vec![("listing1", LISTING1), ("greedy", GREEDY), ("weighted", WEIGHTED), ("batched", BATCHED)]
 }
 
 #[cfg(test)]

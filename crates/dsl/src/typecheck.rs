@@ -65,7 +65,9 @@ mod tests {
 
     #[test]
     fn listing1_typechecks() {
-        let p = parse("policy p { filter = victim.load - self.load >= 2; choose = max victim.load; }").unwrap();
+        let p =
+            parse("policy p { filter = victim.load - self.load >= 2; choose = max victim.load; }")
+                .unwrap();
         assert!(typecheck(&p).is_ok());
     }
 
@@ -78,7 +80,8 @@ mod tests {
 
     #[test]
     fn boolean_choose_key_is_rejected() {
-        let p = parse("policy p { filter = victim.load >= 2; choose = max victim.load >= 2; }").unwrap();
+        let p = parse("policy p { filter = victim.load >= 2; choose = max victim.load >= 2; }")
+            .unwrap();
         let err = typecheck(&p).unwrap_err();
         assert!(err.to_string().contains("integer"));
     }

@@ -35,7 +35,7 @@ impl Histogram {
 
     /// Index of the bucket `value` falls into.
     pub fn bucket_of(value: u64) -> usize {
-        (64 - value.leading_zeros()).saturating_sub(1).max(0) as usize
+        (64 - value.leading_zeros()).saturating_sub(1) as usize
     }
 
     /// Lower bound (exclusive, except for bucket 0) of bucket `i`.

@@ -12,8 +12,8 @@
 //!   the locks before migrating, exactly like Figure 1's step 3
 //!   ([`steal`]),
 //! * [`MultiQueue`] assembles a machine's worth of runqueues, runs optimistic
-//!   balancing rounds from many OS threads concurrently (via crossbeam's
-//!   scoped threads) and counts successes/failures,
+//!   balancing rounds from many OS threads concurrently (via std's scoped
+//!   threads) and counts successes/failures,
 //! * a deliberately pessimistic variant that holds *every* runqueue lock
 //!   during selection is provided as the baseline for the E11 overhead
 //!   experiment — it is what the paper refuses to do ("locking the runqueue

@@ -92,7 +92,7 @@ impl<Q: TaskQueue> MultiQueue<Q> {
     /// judged on exact (locked) loads.
     pub fn is_work_conserving(&self) -> bool {
         let loads: Vec<u64> = self.cores.iter().map(PerCoreRq::nr_threads_exact).collect();
-        let any_idle = loads.iter().any(|&l| l == 0);
+        let any_idle = loads.contains(&0);
         let any_overloaded = loads.iter().any(|&l| l >= 2);
         !(any_idle && any_overloaded)
     }
@@ -164,17 +164,16 @@ impl<Q: TaskQueue> MultiQueue<Q> {
         Q: 'static,
     {
         let stats = BalanceStats::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for core in &self.cores {
                 let stats = &stats;
                 let mq = &*self;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let outcome = mq.balance_once(core.id(), policy);
                     stats.record(&outcome);
                 });
             }
-        })
-        .expect("balancing threads must not panic");
+        });
         stats
     }
 
@@ -193,12 +192,12 @@ impl<Q: TaskQueue> MultiQueue<Q> {
     {
         let stats = BalanceStats::new();
         let barrier = std::sync::Barrier::new(self.cores.len());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for core in &self.cores {
                 let stats = &stats;
                 let barrier = &barrier;
                 let mq = &*self;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // Selection phase: lock-less, on the pre-round state.
                     let snapshots = mq.snapshots();
                     let thief_snap = snapshots[core.id().0];
@@ -221,8 +220,7 @@ impl<Q: TaskQueue> MultiQueue<Q> {
                     stats.record(&outcome);
                 });
             }
-        })
-        .expect("balancing threads must not panic");
+        });
         stats
     }
 

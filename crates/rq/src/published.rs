@@ -35,8 +35,7 @@ impl PublishedLoad {
     pub fn publish(&self, nr_threads: u64, weighted_load: u64, lightest_ready: Option<u64>) {
         self.nr_threads.store(nr_threads, Ordering::Release);
         self.weighted_load.store(weighted_load, Ordering::Release);
-        self.lightest_plus_one
-            .store(lightest_ready.map_or(0, |w| w + 1), Ordering::Release);
+        self.lightest_plus_one.store(lightest_ready.map_or(0, |w| w + 1), Ordering::Release);
     }
 
     /// Number of threads last published.

@@ -25,7 +25,10 @@ impl SimBarrier {
     /// Returns the full list of released threads if this arrival was the
     /// last one, or `None` if the barrier is still waiting.
     pub fn arrive(&mut self, tid: SimThreadId) -> Option<Vec<SimThreadId>> {
-        debug_assert!(!self.waiting.contains(&tid), "a thread cannot wait twice at the same barrier");
+        debug_assert!(
+            !self.waiting.contains(&tid),
+            "a thread cannot wait twice at the same barrier"
+        );
         self.waiting.push(tid);
         if self.waiting.len() == self.participants {
             Some(std::mem::take(&mut self.waiting))

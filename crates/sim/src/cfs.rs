@@ -198,7 +198,8 @@ mod tests {
 
     #[test]
     fn buggy_wakeup_stacks_threads_on_the_previous_core() {
-        let mut sched = CfsLikeScheduler::new(CfsBugs { overload_on_wakeup: true, ..CfsBugs::none() });
+        let mut sched =
+            CfsLikeScheduler::new(CfsBugs { overload_on_wakeup: true, ..CfsBugs::none() });
         let mut queues = CoreQueues::new(4);
         let table = threads(3);
         queues.core_mut(CoreId(1)).current = Some(SimThreadId(0));

@@ -64,8 +64,7 @@ impl Engine {
             .enumerate()
             .map(|(i, spec)| SimThread::new(SimThreadId(i), spec.clone()))
             .collect();
-        let barriers =
-            workload.barriers.iter().map(|&(id, n)| SimBarrier::new(id, n)).collect();
+        let barriers = workload.barriers.iter().map(|&(id, n)| SimBarrier::new(id, n)).collect();
 
         let mut events = EventQueue::new();
         for thread in &threads {
@@ -261,7 +260,8 @@ impl Engine {
         if let Some(running) = self.queues.core(core).current {
             if !self.queues.core(core).ready.is_empty() {
                 let thread = &mut self.threads[running.0];
-                let ran_for = self.now - thread.running_since.expect("running thread has a start time");
+                let ran_for =
+                    self.now - thread.running_since.expect("running thread has a start time");
                 thread.remaining_ns = thread.remaining_ns.saturating_sub(ran_for);
                 thread.run_token += 1;
                 thread.state = ThreadState::Runnable;

@@ -48,7 +48,12 @@ impl CoreQueues {
     /// Creates `nr_cores` idle cores on node 0.
     pub fn new(nr_cores: usize) -> Self {
         let cores = (0..nr_cores)
-            .map(|i| SimCore { id: CoreId(i), node: NodeId(0), current: None, ready: VecDeque::new() })
+            .map(|i| SimCore {
+                id: CoreId(i),
+                node: NodeId(0),
+                current: None,
+                ready: VecDeque::new(),
+            })
             .collect();
         CoreQueues { cores }
     }

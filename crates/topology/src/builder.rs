@@ -159,11 +159,7 @@ impl TopologyBuilder {
     }
 }
 
-fn build_domains(
-    builder: &TopologyBuilder,
-    cpus: &[CpuInfo],
-    nodes: &[NodeInfo],
-) -> DomainTree {
+fn build_domains(builder: &TopologyBuilder, cpus: &[CpuInfo], nodes: &[NodeInfo]) -> DomainTree {
     let all: Vec<CpuId> = cpus.iter().map(|c| c.id).collect();
     let mut levels = Vec::new();
 
@@ -239,11 +235,7 @@ mod tests {
 
     #[test]
     fn llc_split_partitions_a_socket() {
-        let topo = TopologyBuilder::new()
-            .sockets(1)
-            .cores_per_socket(8)
-            .llcs_per_socket(2)
-            .build();
+        let topo = TopologyBuilder::new().sockets(1).cores_per_socket(8).llcs_per_socket(2).build();
         assert!(topo.same_llc(CpuId(0), CpuId(3)));
         assert!(!topo.same_llc(CpuId(0), CpuId(4)));
     }
@@ -275,12 +267,8 @@ mod tests {
 
     #[test]
     fn groups_cover_span_exactly() {
-        let topo = TopologyBuilder::new()
-            .sockets(2)
-            .cores_per_socket(4)
-            .llcs_per_socket(2)
-            .smt(2)
-            .build();
+        let topo =
+            TopologyBuilder::new().sockets(2).cores_per_socket(4).llcs_per_socket(2).smt(2).build();
         for dom in topo.domains().levels() {
             let mut covered: Vec<CpuId> = dom.groups.iter().flatten().copied().collect();
             covered.sort();

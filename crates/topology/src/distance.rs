@@ -21,10 +21,7 @@ impl DistanceMatrix {
     /// Creates a matrix where every pair of distinct nodes is at
     /// [`REMOTE_DISTANCE`] and the diagonal is [`LOCAL_DISTANCE`].
     pub fn flat(nr_nodes: usize) -> Self {
-        let mut m = Self {
-            nr_nodes,
-            distances: vec![REMOTE_DISTANCE; nr_nodes * nr_nodes],
-        };
+        let mut m = Self { nr_nodes, distances: vec![REMOTE_DISTANCE; nr_nodes * nr_nodes] };
         for n in 0..nr_nodes {
             m.distances[n * nr_nodes + n] = LOCAL_DISTANCE;
         }
@@ -78,10 +75,8 @@ impl DistanceMatrix {
 
     /// Nodes sorted by distance from `from`, nearest first (excluding `from`).
     pub fn nodes_by_distance(&self, from: NodeId) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> = (0..self.nr_nodes)
-            .filter(|&n| n != from.0)
-            .map(NodeId)
-            .collect();
+        let mut nodes: Vec<NodeId> =
+            (0..self.nr_nodes).filter(|&n| n != from.0).map(NodeId).collect();
         nodes.sort_by_key(|&n| self.distance(from, n));
         nodes
     }

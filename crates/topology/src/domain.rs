@@ -53,10 +53,7 @@ impl SchedDomain {
 
     /// Returns the group `cpu` belongs to, if any.
     pub fn group_of(&self, cpu: CpuId) -> Option<&[CpuId]> {
-        self.groups
-            .iter()
-            .find(|g| g.binary_search(&cpu).is_ok())
-            .map(|g| g.as_slice())
+        self.groups.iter().find(|g| g.binary_search(&cpu).is_ok()).map(|g| g.as_slice())
     }
 
     /// Number of CPUs in the domain.

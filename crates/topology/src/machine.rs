@@ -125,16 +125,12 @@ impl MachineTopology {
 
 #[cfg(test)]
 mod tests {
-    use crate::TopologyBuilder;
     use super::*;
+    use crate::TopologyBuilder;
 
     #[test]
     fn migration_cost_ordering() {
-        let topo = TopologyBuilder::new()
-            .sockets(2)
-            .cores_per_socket(4)
-            .llcs_per_socket(2)
-            .build();
+        let topo = TopologyBuilder::new().sockets(2).cores_per_socket(4).llcs_per_socket(2).build();
         let same_llc = topo.migration_cost(CpuId(0), CpuId(1));
         let same_node = topo.migration_cost(CpuId(0), CpuId(2));
         let cross_node = topo.migration_cost(CpuId(0), CpuId(4));

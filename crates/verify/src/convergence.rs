@@ -52,7 +52,9 @@ impl CycleWitness {
             self.initial_loads.clone(),
         );
         for (i, state) in self.cycle.iter().enumerate() {
-            ce = ce.step(format!("cycle state {i}: loads {state:?} (idle core coexists with an overloaded core)"));
+            ce = ce.step(format!(
+                "cycle state {i}: loads {state:?} (idle core coexists with an overloaded core)"
+            ));
         }
         ce
     }
@@ -74,18 +76,14 @@ fn loads_of(system: &SystemState) -> Vec<u64> {
 }
 
 fn is_wc(loads: &[u64]) -> bool {
-    let any_idle = loads.iter().any(|&l| l == 0);
+    let any_idle = loads.contains(&0);
     let any_overloaded = loads.iter().any(|&l| l >= 2);
     !(any_idle && any_overloaded)
 }
 
 /// Computes every state reachable from `loads` after exactly one concurrent
 /// round, under every interleaving (and, if adversarial, every choice).
-fn successors(
-    balancer: &Balancer,
-    loads: &[u64],
-    strategy: ChoiceStrategy,
-) -> BTreeSet<Vec<u64>> {
+fn successors(balancer: &Balancer, loads: &[u64], strategy: ChoiceStrategy) -> BTreeSet<Vec<u64>> {
     let nr_cores = loads.len();
     let loads_usize: Vec<usize> = loads.iter().map(|&l| l as usize).collect();
     let mut out = BTreeSet::new();
@@ -98,7 +96,14 @@ fn successors(
                 out.insert(loads_of(&system));
             }
             ChoiceStrategy::Adversarial => {
-                explore_adversarial(balancer, SystemState::from_loads(&loads_usize), &steps, 0, &mut vec![None; nr_cores], &mut out);
+                explore_adversarial(
+                    balancer,
+                    SystemState::from_loads(&loads_usize),
+                    &steps,
+                    0,
+                    &mut vec![None; nr_cores],
+                    &mut out,
+                );
             }
         }
     }
@@ -316,11 +321,8 @@ mod tests {
             Box::new(StealOne),
         );
         let balancer = Balancer::new(policy);
-        let result = max_rounds_to_converge(
-            &balancer,
-            &Scope::new(3, 4, 16),
-            ChoiceStrategy::PolicyChoice,
-        );
+        let result =
+            max_rounds_to_converge(&balancer, &Scope::new(3, 4, 16), ChoiceStrategy::PolicyChoice);
         assert!(result.is_ok());
     }
 

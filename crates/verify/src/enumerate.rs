@@ -94,8 +94,11 @@ mod tests {
         let configs = configurations(&scope);
         assert_eq!(states.len(), configs.len());
         for (state, config) in states.iter().zip(&configs) {
-            let loads: Vec<usize> =
-                state.loads(sched_core::LoadMetric::NrThreads).iter().map(|&l| l as usize).collect();
+            let loads: Vec<usize> = state
+                .loads(sched_core::LoadMetric::NrThreads)
+                .iter()
+                .map(|&l| l as usize)
+                .collect();
             assert_eq!(&loads, config);
             assert!(state.tasks_are_unique());
         }

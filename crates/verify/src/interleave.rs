@@ -73,8 +73,10 @@ pub fn sampled_interleavings(nr_cores: usize, max: usize, seed: u64) -> Vec<Vec<
     }
     (0..max)
         .map(|i| {
-            sched_core::RoundSchedule::Seeded(seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
-                .steps(nr_cores)
+            sched_core::RoundSchedule::Seeded(
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            )
+            .steps(nr_cores)
         })
         .collect()
 }
@@ -107,7 +109,9 @@ mod tests {
             RoundSchedule::validate(steps, 3).unwrap();
         }
         let mut dedup = all.clone();
-        dedup.sort_by_key(|s| s.iter().map(|st| (st.core.0, st.phase == Phase::Steal)).collect::<Vec<_>>());
+        dedup.sort_by_key(|s| {
+            s.iter().map(|st| (st.core.0, st.phase == Phase::Steal)).collect::<Vec<_>>()
+        });
         dedup.dedup();
         assert_eq!(dedup.len(), all.len());
     }

@@ -28,10 +28,7 @@ use crate::scope::Scope;
 ///
 /// Panics if `scope.max_cores > 6` (the interleaving enumeration refuses
 /// larger rounds; use the sampled checks in `sched-bench` beyond that).
-pub fn check_failure_implies_concurrent_success(
-    balancer: &Balancer,
-    scope: &Scope,
-) -> LemmaReport {
+pub fn check_failure_implies_concurrent_success(balancer: &Balancer, scope: &Scope) -> LemmaReport {
     let executor = ConcurrentRound::new(balancer);
     let mut instances = 0u64;
     for loads in configurations(scope) {
@@ -41,10 +38,8 @@ pub fn check_failure_implies_concurrent_success(
             let mut system = sched_core::SystemState::from_loads(&loads);
             let report = executor.execute_steps(&mut system, &steps);
             for failed in report.failures() {
-                let victim = failed
-                    .outcome
-                    .victim()
-                    .expect("a failed attempt always has a chosen victim");
+                let victim =
+                    failed.outcome.victim().expect("a failed attempt always has a chosen victim");
                 let explained = report.successes().any(|s| {
                     s.thief != failed.thief
                         && s.steal_time > failed.select_time
@@ -70,7 +65,11 @@ pub fn check_failure_implies_concurrent_success(
                             .map(|s| (s.thief.0, s.outcome.victim().map(|v| v.0), s.steal_time))
                             .collect::<Vec<_>>()
                     ));
-                    return LemmaReport::refuted("failure implies concurrent success (§4.3, P1)", instances, ce);
+                    return LemmaReport::refuted(
+                        "failure implies concurrent success (§4.3, P1)",
+                        instances,
+                        ce,
+                    );
                 }
             }
         }
@@ -105,8 +104,7 @@ mod tests {
     #[test]
     fn weighted_policy_satisfies_p1() {
         let balancer = Balancer::new(Policy::weighted());
-        let report =
-            check_failure_implies_concurrent_success(&balancer, &Scope::new(3, 4, 16));
+        let report = check_failure_implies_concurrent_success(&balancer, &Scope::new(3, 4, 16));
         assert!(report.is_proved(), "{report}");
     }
 

@@ -24,7 +24,7 @@ pub fn check_lemma1(balancer: &Balancer, scope: &Scope) -> LemmaReport {
     let mut instances = 0u64;
     for state in states(scope) {
         let snapshot = SystemSnapshot::capture(&state);
-        let any_overloaded = state.overloaded_cores().iter().count() > 0;
+        let any_overloaded = !state.overloaded_cores().is_empty();
         for thief in state.idle_cores() {
             instances += 1;
             let thief_snap = *snapshot.core(thief);

@@ -95,7 +95,8 @@ mod tests {
 
     #[test]
     fn steal_half_also_decreases_the_potential() {
-        let policy = Policy::simple().with_steal(Box::new(StealHalfImbalance::new(LoadMetric::NrThreads)));
+        let policy =
+            Policy::simple().with_steal(Box::new(StealHalfImbalance::new(LoadMetric::NrThreads)));
         let balancer = Balancer::new(policy);
         let report = check_potential_decreases(&balancer, &Scope::small());
         assert!(report.is_proved(), "{report}");

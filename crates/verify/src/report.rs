@@ -63,7 +63,11 @@ impl std::fmt::Display for VerificationReport {
 /// The convergence analysis uses the policy's own choice function; pass
 /// `adversarial_choice = true` to additionally quantify over every possible
 /// victim choice (slower, strongest claim).
-pub fn verify_policy(balancer: &Balancer, scope: &Scope, adversarial_choice: bool) -> VerificationReport {
+pub fn verify_policy(
+    balancer: &Balancer,
+    scope: &Scope,
+    adversarial_choice: bool,
+) -> VerificationReport {
     let lemma_reports = vec![
         lemmas::check_lemma1(balancer, scope),
         lemmas::check_steal_soundness(balancer, scope),
@@ -71,11 +75,8 @@ pub fn verify_policy(balancer: &Balancer, scope: &Scope, adversarial_choice: boo
         lemmas::check_failure_implies_concurrent_success(balancer, scope),
         lemmas::check_potential_decreases(balancer, scope),
     ];
-    let strategy = if adversarial_choice {
-        ChoiceStrategy::Adversarial
-    } else {
-        ChoiceStrategy::PolicyChoice
-    };
+    let strategy =
+        if adversarial_choice { ChoiceStrategy::Adversarial } else { ChoiceStrategy::PolicyChoice };
     let convergence = analyze_convergence(balancer, scope, strategy).map(|a| a.max_rounds);
     VerificationReport {
         policy: balancer.policy().describe(),

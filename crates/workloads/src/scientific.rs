@@ -65,11 +65,8 @@ impl ScientificWorkload {
             let mut phases = Vec::with_capacity(self.iterations * 2);
             for barrier in 0..self.iterations {
                 let jitter_range = (self.phase_ns as f64 * self.jitter) as i64;
-                let jitter = if jitter_range > 0 {
-                    rng.gen_range(-jitter_range..=jitter_range)
-                } else {
-                    0
-                };
+                let jitter =
+                    if jitter_range > 0 { rng.gen_range(-jitter_range..=jitter_range) } else { 0 };
                 let compute = (self.phase_ns as i64 + jitter).max(1) as u64;
                 phases.push(Phase::Compute(compute));
                 phases.push(Phase::Barrier(barrier as u32));

@@ -9,7 +9,7 @@ use optimistic_sched::sim::{CfsBugs, CfsLikeScheduler, Engine, OptimisticSchedul
 use optimistic_sched::topology::TopologyBuilder;
 use optimistic_sched::workloads::OltpWorkload;
 
-fn main() {
+fn run() {
     let topo = TopologyBuilder::new().sockets(2).cores_per_socket(8).build();
     let workload = OltpWorkload {
         nr_workers: topo.nr_cpus() * 2,
@@ -51,4 +51,19 @@ fn main() {
         "\nthroughput kept by the buggy baseline: {:.0}%  (the paper reports up to a 25% decrease)",
         buggy.relative_throughput(&optimistic) * 100.0
     );
+}
+
+fn main() {
+    run();
+}
+
+#[cfg(test)]
+mod tests {
+    /// `cargo test` drives the example's whole main path (see the
+    /// `[[example]] test = true` entries in Cargo.toml), so examples
+    /// cannot silently rot.
+    #[test]
+    fn smoke() {
+        super::run();
+    }
 }

@@ -22,7 +22,7 @@ policy cautious {
 }
 ";
 
-fn main() {
+fn run() {
     // Front-end: parse + type check + phase check.
     let compiled = dsl::compile_source(MY_POLICY).expect("the policy should compile");
     println!("compiled policy `{}`", compiled.def.name);
@@ -53,9 +53,25 @@ fn main() {
     println!("... ({} lines total)", generated.lines().count());
 
     // The greedy counterexample from the standard library, for contrast.
-    let greedy = dsl::verify_source(dsl::stdlib::GREEDY, &Scope::small()).expect("verification runs");
+    let greedy =
+        dsl::verify_source(dsl::stdlib::GREEDY, &Scope::small()).expect("verification runs");
     println!(
         "\nthe stdlib `greedy` policy verifies work-conserving? {}",
         greedy.is_work_conserving()
     );
+}
+
+fn main() {
+    run();
+}
+
+#[cfg(test)]
+mod tests {
+    /// `cargo test` drives the example's whole main path (see the
+    /// `[[example]] test = true` entries in Cargo.toml), so examples
+    /// cannot silently rot.
+    #[test]
+    fn smoke() {
+        super::run();
+    }
 }

@@ -5,7 +5,7 @@
 use optimistic_sched::core::prelude::*;
 use optimistic_sched::verify::{verify_policy, Scope};
 
-fn main() {
+fn run() {
     // A four-core machine: core 1 is drowning, core 0 and 3 are idle.
     let mut system = SystemState::from_loads(&[0, 5, 1, 0]);
     println!("initial loads:   {}", system.load_vector_string(LoadMetric::NrThreads));
@@ -41,4 +41,19 @@ fn main() {
     let report = verify_policy(&greedy, &Scope::small(), false);
     println!("{report}");
     assert!(!report.is_work_conserving());
+}
+
+fn main() {
+    run();
+}
+
+#[cfg(test)]
+mod tests {
+    /// `cargo test` drives the example's whole main path (see the
+    /// `[[example]] test = true` entries in Cargo.toml), so examples
+    /// cannot silently rot.
+    #[test]
+    fn smoke() {
+        super::run();
+    }
 }

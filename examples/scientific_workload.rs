@@ -9,7 +9,7 @@ use optimistic_sched::sim::{CfsBugs, CfsLikeScheduler, Engine, OptimisticSchedul
 use optimistic_sched::topology::TopologyBuilder;
 use optimistic_sched::workloads::ScientificWorkload;
 
-fn main() {
+fn run() {
     let topo = TopologyBuilder::new().sockets(2).cores_per_socket(8).build();
     let workload = ScientificWorkload {
         nr_threads: topo.nr_cpus(),
@@ -52,4 +52,19 @@ fn main() {
         "\nslowdown of the buggy baseline: {:.2}x  (the paper reports \"many-fold\" degradation for scientific applications)",
         buggy.slowdown_vs(&optimistic)
     );
+}
+
+fn main() {
+    run();
+}
+
+#[cfg(test)]
+mod tests {
+    /// `cargo test` drives the example's whole main path (see the
+    /// `[[example]] test = true` entries in Cargo.toml), so examples
+    /// cannot silently rot.
+    #[test]
+    fn smoke() {
+        super::run();
+    }
 }

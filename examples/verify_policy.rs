@@ -9,7 +9,7 @@
 use optimistic_sched::core::prelude::*;
 use optimistic_sched::verify::{find_non_conserving_cycle, verify_policy, ChoiceStrategy, Scope};
 
-fn main() {
+fn run() {
     let scope = Scope::small();
     println!("verification scope: {scope}\n");
 
@@ -31,4 +31,19 @@ fn main() {
         .expect("the greedy filter admits a non-converging execution");
     println!("=== the §4.3 ping-pong, reconstructed automatically ===");
     println!("{}", witness.to_counterexample().render());
+}
+
+fn main() {
+    run();
+}
+
+#[cfg(test)]
+mod tests {
+    /// `cargo test` drives the example's whole main path (see the
+    /// `[[example]] test = true` entries in Cargo.toml), so examples
+    /// cannot silently rot.
+    #[test]
+    fn smoke() {
+        super::run();
+    }
 }

@@ -6,7 +6,10 @@ use std::sync::Arc;
 use optimistic_sched::core::prelude::*;
 use optimistic_sched::topology::TopologyBuilder;
 
-fn hot_core_on_node0(topo: &optimistic_sched::topology::MachineTopology, threads: u64) -> SystemState {
+fn hot_core_on_node0(
+    topo: &optimistic_sched::topology::MachineTopology,
+    threads: u64,
+) -> SystemState {
     let mut system = SystemState::with_topology(topo);
     for t in 0..threads {
         system.core_mut(CoreId(0)).enqueue(Task::new(TaskId(t)));
@@ -33,7 +36,8 @@ fn group_aware_choice_preserves_work_conservation() {
         .with_choice(Box::new(GroupAwareChoice::new(Arc::clone(&topo), LoadMetric::NrThreads)));
     let balancer = Balancer::new(policy);
     let mut system = hot_core_on_node0(&topo, 2 * topo.nr_cpus() as u64);
-    let result = converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, 16 * topo.nr_cpus());
+    let result =
+        converge(&mut system, &balancer, RoundSchedule::AllSelectThenSteal, 16 * topo.nr_cpus());
     assert!(result.converged());
 }
 

@@ -33,17 +33,18 @@ fn the_papers_three_core_pingpong_is_found_verbatim() {
     // §4.3: "consider a three-core system where core 0 is idle, core 1 has
     // 1 thread and core 2 has 2 threads".
     let balancer = Balancer::new(Policy::greedy());
-    let witness = find_non_conserving_cycle(&balancer, &Scope::small(), ChoiceStrategy::Adversarial)
-        .expect("the greedy filter is not work-conserving");
+    let witness =
+        find_non_conserving_cycle(&balancer, &Scope::small(), ChoiceStrategy::Adversarial)
+            .expect("the greedy filter is not work-conserving");
     // The witness cycle must stay within three cores and keep core counts:
     // every state has an idle core and an overloaded core simultaneously.
     for state in &witness.cycle {
-        assert!(state.iter().any(|&l| l == 0), "an idle core persists: {state:?}");
+        assert!(state.contains(&0), "an idle core persists: {state:?}");
         assert!(state.iter().any(|&l| l >= 2), "an overloaded core persists: {state:?}");
     }
     // The classic instance [0, 1, 2] is reachable in scope; the witness's
     // initial state must be one of the enumerated non-conserving states.
-    assert!(witness.initial_loads.iter().any(|&l| l == 0));
+    assert!(witness.initial_loads.contains(&0));
 }
 
 #[test]
@@ -74,7 +75,8 @@ fn exhaustive_bound_matches_executed_rounds() {
 
 #[test]
 fn batched_stealing_preserves_every_lemma() {
-    let policy = Policy::simple().with_steal(Box::new(StealHalfImbalance::new(LoadMetric::NrThreads)));
+    let policy =
+        Policy::simple().with_steal(Box::new(StealHalfImbalance::new(LoadMetric::NrThreads)));
     let balancer = Balancer::new(policy);
     let report = verify_policy(&balancer, &Scope::small(), false);
     assert!(report.is_work_conserving(), "{report}");

@@ -33,13 +33,16 @@ pub enum ExperimentId {
     E11,
     E12,
     E13,
+    E14,
+    E15,
+    E16,
 }
 
 impl ExperimentId {
     /// All experiments, in index order.
     pub fn all() -> Vec<ExperimentId> {
         use ExperimentId::*;
-        vec![E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13]
+        vec![E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16]
     }
 
     /// Parses an experiment id such as `e5` or `E12`.
@@ -59,6 +62,9 @@ impl ExperimentId {
             "e11" => E11,
             "e12" => E12,
             "e13" => E13,
+            "e14" => E14,
+            "e15" => E15,
+            "e16" => E16,
             _ => return None,
         })
     }
@@ -80,6 +86,9 @@ impl ExperimentId {
             E11 => "E11 §3.1: overhead of lock-less vs fully locked balancing",
             E12 => "E12 §5: hierarchical / NUMA-aware balancing in step 2",
             E13 => "E13 §1/§5: the DSL front-end and its two backends",
+            E14 => "E14 §5: NUMA imbalance — distance-ordered stealing drains a saturated node",
+            E15 => "E15 §5: cross-node ping-pong bait — locality of the victim search",
+            E16 => "E16 §5: hierarchical convergence — per-level balancing stays node-local",
         }
     }
 }
@@ -100,6 +109,9 @@ pub fn run_experiment(id: ExperimentId) -> Vec<Table> {
         ExperimentId::E11 => e11_overhead(),
         ExperimentId::E12 => e12_hierarchical(),
         ExperimentId::E13 => e13_dsl(),
+        ExperimentId::E14 => e14_numa_imbalance(),
+        ExperimentId::E15 => e15_cross_node_pingpong(),
+        ExperimentId::E16 => e16_hierarchical_convergence(),
     }
 }
 
@@ -652,6 +664,113 @@ fn e12_hierarchical() -> Vec<Table> {
     vec![table, negative]
 }
 
+/// Pulls one experiment's spec out of the unified catalog.
+fn unified_spec(id: ExperimentId) -> crate::runner::ExperimentSpec {
+    crate::runner::catalog().into_iter().find(|s| s.id == id).expect("catalogued experiment")
+}
+
+/// Renders one unified-runner record comparison as a locality table.
+fn locality_table(
+    title: impl Into<String>,
+    rows: Vec<(&'static str, crate::runner::ExperimentRecord)>,
+) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "policy",
+            "rounds to WC",
+            "migrations",
+            "steals smt/llc/node/remote",
+            "remote %",
+            "violating idle per node",
+        ],
+    );
+    for (name, r) in rows {
+        let levels = r.locality.counts();
+        table.row(&[
+            name.into(),
+            r.convergence_rounds.map(|n| n.to_string()).unwrap_or_else(|| "never".into()),
+            r.migrations.to_string(),
+            format!("{}/{}/{}/{}", levels[0], levels[1], levels[2], levels[3]),
+            format!("{:.0}%", r.remote_steal_rate() * 100.0),
+            r.per_node_violating_idle
+                .iter()
+                .map(|v| format!("{:.0}%", v * 100.0))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    table
+}
+
+/// E14: a saturated NUMA node next to an idle one — the victim search must
+/// cross the socket, but only as much as work conservation demands.
+fn e14_numa_imbalance() -> Vec<Table> {
+    use crate::runner::{ExperimentRunner, ModelBackend, PolicySpec};
+    let spec = unified_spec(ExperimentId::E14);
+    let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("flat max-load choice", PolicySpec::Listing1),
+        ("NUMA-aware choice", PolicySpec::NumaAware),
+        ("topology-aware (thresholds+backoff)", PolicySpec::TopoAware),
+        ("hierarchical rounds", PolicySpec::Hierarchical),
+    ] {
+        let mut spec = spec.clone();
+        spec.policy = policy;
+        rows.push((name, runner.run(&spec).remove(0)));
+    }
+    vec![locality_table(
+        "E14: node 0 saturated (4 threads/core), node 1 idle — who crosses the socket, and how often",
+        rows,
+    )]
+}
+
+/// E15: two saturated cores on ring-distant nodes — bait for distance-blind
+/// choosers, which bounce threads across the interconnect.
+fn e15_cross_node_pingpong() -> Vec<Table> {
+    use crate::runner::{ExperimentRunner, ModelBackend, PolicySpec};
+    let spec = unified_spec(ExperimentId::E15);
+    let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("flat max-load choice", PolicySpec::Listing1),
+        ("topology-aware (thresholds+backoff)", PolicySpec::TopoAware),
+        ("hierarchical rounds", PolicySpec::Hierarchical),
+    ] {
+        let mut spec = spec.clone();
+        spec.policy = policy;
+        rows.push((name, runner.run(&spec).remove(0)));
+    }
+    vec![locality_table(
+        "E15: hot cores on nodes 0 and 4 of the 8-node ring — remote steals are wasted interconnect traffic",
+        rows,
+    )]
+}
+
+/// E16: one hot core per node — hierarchical balancing must drain every
+/// node internally, with zero cross-node migrations, on the model *and* on
+/// real threads.
+fn e16_hierarchical_convergence() -> Vec<Table> {
+    use crate::runner::{ExperimentRunner, ModelBackend, RqBackend};
+    let spec = unified_spec(ExperimentId::E16);
+    let runner = ExperimentRunner::new(vec![Box::new(ModelBackend), Box::new(RqBackend)]);
+    let records = runner.run(&spec);
+    let mut rows = Vec::new();
+    for r in records {
+        let name: &'static str = if r.backend == "model" {
+            "hierarchical rounds (model)"
+        } else {
+            "hierarchical rounds (real threads)"
+        };
+        rows.push((name, r));
+    }
+    vec![locality_table(
+        "E16: one hot core per NUMA node on the 8-node machine — convergence without cross-node traffic",
+        rows,
+    )]
+}
+
 /// E13: the DSL front-end, its phase checker and its two backends.
 fn e13_dsl() -> Vec<Table> {
     let scope = Scope::small();
@@ -681,11 +800,29 @@ mod tests {
     fn experiment_ids_parse_and_have_titles() {
         assert_eq!(ExperimentId::parse("e5"), Some(ExperimentId::E5));
         assert_eq!(ExperimentId::parse("E13"), Some(ExperimentId::E13));
+        assert_eq!(ExperimentId::parse("e16"), Some(ExperimentId::E16));
         assert_eq!(ExperimentId::parse("nope"), None);
-        assert_eq!(ExperimentId::all().len(), 13);
+        assert_eq!(ExperimentId::all().len(), 16);
         for id in ExperimentId::all() {
             assert!(!id.title().is_empty());
         }
+    }
+
+    #[test]
+    fn e14_compares_four_policies() {
+        let tables = run_experiment(ExperimentId::E14);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].nr_rows(), 4);
+    }
+
+    #[test]
+    fn e16_reports_zero_remote_steals_on_the_model() {
+        // Only the model row is deterministic; the real-thread row may pick
+        // up a rare race-induced remote fallback steal.
+        let tables = run_experiment(ExperimentId::E16);
+        let csv = tables[0].to_csv();
+        let model_row = csv.lines().find(|l| l.contains("(model)")).expect("model row");
+        assert!(model_row.contains(",0%,"), "remote rate must be 0% in: {model_row}");
     }
 
     #[test]

@@ -42,11 +42,27 @@ impl Balancer {
     /// Consumes only the snapshot — by construction it cannot modify any
     /// runqueue, which is the concurrency model restriction of §3.1.
     pub fn select(&self, snapshot: &SystemSnapshot, thief: CoreId) -> Selection {
+        self.select_within(snapshot, thief, |_| true)
+    }
+
+    /// Selection phase restricted to victims for which `admit` holds.
+    ///
+    /// Used by hierarchical balancing to cap one pass at a topology level
+    /// (balance within a domain before across it).  The restriction narrows
+    /// only this pass's candidate list, never the policy's filter itself, so
+    /// an unrestricted final pass retains the full work-conservation
+    /// guarantees.
+    pub fn select_within(
+        &self,
+        snapshot: &SystemSnapshot,
+        thief: CoreId,
+        admit: impl Fn(CoreId) -> bool,
+    ) -> Selection {
         let thief_snap = *snapshot.core(thief);
         let candidates: Vec<CoreSnapshot> = snapshot
             .others(thief)
             .into_iter()
-            .filter(|victim| self.policy.filter.can_steal(&thief_snap, victim))
+            .filter(|victim| admit(victim.id) && self.policy.filter.can_steal(&thief_snap, victim))
             .collect();
         let mut chosen = self.policy.choice.choose(&thief_snap, &candidates);
         // Enforce Listing 1's post-condition `ensuring(res => cores.contains(res))`:
@@ -67,6 +83,14 @@ impl Balancer {
     /// Listing 1 line 12 — this is where optimistic selections are detected
     /// to have gone stale.
     pub fn steal(&self, system: &mut SystemState, thief: CoreId, victim: CoreId) -> StealOutcome {
+        let outcome = self.steal_inner(system, thief, victim);
+        // Adaptive choice policies (topology-aware backoff) learn from the
+        // outcome; the default observe is a no-op.
+        self.policy.choice.observe(thief, victim, outcome.is_success());
+        outcome
+    }
+
+    fn steal_inner(&self, system: &mut SystemState, thief: CoreId, victim: CoreId) -> StealOutcome {
         let thief_snap = CoreSnapshot::capture(system.core(thief));
         let victim_snap = CoreSnapshot::capture(system.core(victim));
         if !self.policy.filter.can_steal(&thief_snap, &victim_snap) {

@@ -42,6 +42,7 @@
 
 pub mod balancer;
 pub mod core_state;
+pub mod hierarchy;
 pub mod load;
 pub mod outcome;
 pub mod policy;
@@ -55,6 +56,7 @@ pub mod work_conservation;
 
 pub use balancer::Balancer;
 pub use core_state::CoreState;
+pub use hierarchy::{HierarchicalReport, HierarchicalRound, LevelPass};
 pub use load::LoadMetric;
 pub use outcome::{BalanceAttempt, RoundReport, StealOutcome};
 pub use policy::{ChoicePolicy, FilterPolicy, Policy, StealPolicy};

@@ -23,6 +23,7 @@ pub mod greedy;
 pub mod hierarchical;
 pub mod simple;
 pub mod steal;
+pub mod topology_aware;
 pub mod weighted;
 
 use crate::core_state::CoreState;
@@ -38,6 +39,7 @@ pub use greedy::GreedyFilter;
 pub use hierarchical::{GroupAwareChoice, NodeRestrictedFilter};
 pub use simple::DeltaFilter;
 pub use steal::{StealHalfImbalance, StealLightest, StealOne};
+pub use topology_aware::{LevelThresholds, TopologyAwareChoice};
 pub use weighted::WeightedDeltaFilter;
 
 /// Step 1 of a balancing round: decides which cores may be stolen from.
@@ -69,6 +71,18 @@ pub trait ChoicePolicy: Send + Sync {
     /// empty; the balancer enforces the membership post-condition
     /// (Listing 1's `ensuring(res => cores.contains(res))`).
     fn choose(&self, thief: &CoreSnapshot, candidates: &[CoreSnapshot]) -> Option<CoreId>;
+
+    /// Feedback from the stealing phase: the attempt `thief` made against
+    /// `victim` either migrated threads (`success`) or failed its re-check.
+    ///
+    /// Purely advisory — policies may use it to adapt future choices (e.g.
+    /// [`TopologyAwareChoice`] backs off distance levels whose steals keep
+    /// failing); the default implementation ignores it, and nothing in the
+    /// work-conservation proofs depends on it because it only ever
+    /// influences step 2.
+    fn observe(&self, thief: CoreId, victim: CoreId, success: bool) {
+        let _ = (thief, victim, success);
+    }
 
     /// Human-readable name used in reports and experiment tables.
     fn name(&self) -> &'static str;

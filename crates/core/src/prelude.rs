@@ -11,15 +11,18 @@
 
 pub use crate::balancer::{Balancer, Selection};
 pub use crate::core_state::CoreState;
+pub use crate::hierarchy::{HierarchicalReport, HierarchicalRound, LevelPass};
 pub use crate::load::LoadMetric;
 pub use crate::outcome::{BalanceAttempt, RoundReport, StealOutcome};
 pub use crate::policy::{
     ChoicePolicy, DeltaFilter, FilterPolicy, FirstChoice, GreedyFilter, GroupAwareChoice,
-    MaxLoadChoice, MinMigrationCostChoice, NodeRestrictedFilter, NumaAwareChoice, Policy,
-    RandomChoice, StealHalfImbalance, StealLightest, StealOne, StealPolicy, WeightedDeltaFilter,
+    LevelThresholds, MaxLoadChoice, MinMigrationCostChoice, NodeRestrictedFilter, NumaAwareChoice,
+    Policy, RandomChoice, StealHalfImbalance, StealLightest, StealOne, StealPolicy,
+    TopologyAwareChoice, WeightedDeltaFilter,
 };
 pub use crate::potential::{
-    potential, potential_between, potential_delta_of_steal, potential_of_loads,
+    level_potential, level_potential_of_system, potential, potential_between,
+    potential_delta_of_steal, potential_of_loads, region_loads,
 };
 pub use crate::round::{ConcurrentRound, Phase, RoundSchedule, Step};
 pub use crate::snapshot::{CoreSnapshot, SystemSnapshot};

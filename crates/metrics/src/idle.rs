@@ -86,6 +86,26 @@ impl IdleAccounting {
         }
     }
 
+    /// Violating-idle fraction of a subset of cores (e.g. one NUMA node),
+    /// in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `cores` is out of range.
+    pub fn violation_fraction_of(&self, cores: &[usize]) -> f64 {
+        let mut violating = 0u64;
+        let mut total = 0u64;
+        for &core in cores {
+            violating += self.idle_violating[core];
+            total += self.busy[core] + self.idle_benign[core] + self.idle_violating[core];
+        }
+        if total == 0 {
+            0.0
+        } else {
+            violating as f64 / total as f64
+        }
+    }
+
     /// Average CPU utilisation in `[0, 1]` (busy over total).
     pub fn utilization(&self) -> f64 {
         let total = self.total_busy() + self.total_idle_benign() + self.total_idle_violating();
@@ -121,6 +141,20 @@ mod tests {
         acc.account(0, 25, true, true);
         assert!((acc.violation_fraction() - 0.25).abs() < 1e-9);
         assert!((acc.utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_node_violation_breakdown() {
+        let mut acc = IdleAccounting::new(4);
+        // "Node 0" = cores 0,1 busy; "node 1" = cores 2,3 violating-idle.
+        acc.account(0, 10, false, true);
+        acc.account(1, 10, false, true);
+        acc.account(2, 10, true, true);
+        acc.account(3, 10, true, true);
+        assert_eq!(acc.violation_fraction_of(&[0, 1]), 0.0);
+        assert_eq!(acc.violation_fraction_of(&[2, 3]), 1.0);
+        assert!((acc.violation_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(acc.violation_fraction_of(&[]), 0.0);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod convergence;
 pub mod histogram;
 pub mod idle;
 pub mod latency;
+pub mod locality;
 pub mod summary;
 pub mod table;
 pub mod throughput;
@@ -30,6 +31,7 @@ pub use convergence::ConvergenceTracker;
 pub use histogram::Histogram;
 pub use idle::IdleAccounting;
 pub use latency::LatencyRecorder;
+pub use locality::StealLocality;
 pub use summary::Summary;
 pub use table::Table;
 pub use throughput::ThroughputMeter;

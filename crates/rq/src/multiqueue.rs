@@ -2,15 +2,16 @@
 //! them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use sched_core::{CoreId, CoreSnapshot, Policy, StealOutcome, TaskId};
-use sched_topology::{MachineTopology, NodeId};
+use sched_topology::{MachineTopology, NodeId, StealLevel};
 
 use crate::entity::RqTask;
 use crate::fifo::FifoQueue;
 use crate::percore::PerCoreRq;
 use crate::stats::BalanceStats;
-use crate::steal::try_steal;
+use crate::steal::{try_steal, try_steal_recorded, StealRecorder};
 use crate::TaskQueue;
 
 /// All the per-core runqueues of one machine.
@@ -19,9 +20,16 @@ use crate::TaskQueue;
 /// [`Policy`] objects drive balancing here, but the selection phase reads
 /// lock-free atomics and the stealing phase really does contend on mutexes
 /// from multiple OS threads.
+///
+/// When built over a [`MachineTopology`] the queue knows the distance class
+/// of every (thief, victim) pair: successful steals are attributed to their
+/// [`StealLevel`] in the round's [`BalanceStats`], and
+/// [`MultiQueue::hierarchical_round`] runs the domain-ordered balancing
+/// passes (SMT → LLC → node → machine) on real OS threads.
 #[derive(Debug)]
 pub struct MultiQueue<Q: TaskQueue = FifoQueue> {
     cores: Vec<PerCoreRq<Q>>,
+    topo: Option<Arc<MachineTopology>>,
     next_task_id: AtomicU64,
 }
 
@@ -29,13 +37,35 @@ impl<Q: TaskQueue> MultiQueue<Q> {
     /// Creates `nr_cores` empty runqueues, all on NUMA node 0.
     pub fn new(nr_cores: usize) -> Self {
         let cores = (0..nr_cores).map(|i| PerCoreRq::new(CoreId(i), NodeId(0))).collect();
-        MultiQueue { cores, next_task_id: AtomicU64::new(0) }
+        MultiQueue { cores, topo: None, next_task_id: AtomicU64::new(0) }
     }
 
-    /// Creates one runqueue per CPU of `topo`, with matching node ids.
+    /// Creates one runqueue per CPU of `topo`, with matching node ids; the
+    /// topology is retained for distance-ordered stealing and per-level
+    /// steal attribution.
     pub fn with_topology(topo: &MachineTopology) -> Self {
         let cores = topo.cpus().iter().map(|c| PerCoreRq::new(c.id, c.node)).collect();
-        MultiQueue { cores, next_task_id: AtomicU64::new(0) }
+        MultiQueue { cores, topo: Some(Arc::new(topo.clone())), next_task_id: AtomicU64::new(0) }
+    }
+
+    /// The machine topology, if this queue was built over one.
+    pub fn topology(&self) -> Option<&Arc<MachineTopology>> {
+        self.topo.as_ref()
+    }
+
+    /// Distance class between two distinct cores: exact when a topology is
+    /// attached, node-based (same node vs remote) otherwise.
+    pub fn steal_level_of(&self, thief: CoreId, victim: CoreId) -> StealLevel {
+        match &self.topo {
+            Some(topo) => topo.steal_level(thief, victim),
+            None => {
+                if self.cores[thief.0].node() == self.cores[victim.0].node() {
+                    StealLevel::SameNode
+                } else {
+                    StealLevel::Remote
+                }
+            }
+        }
     }
 
     /// Creates runqueues pre-populated so core `i` holds `loads[i]` `nice 0`
@@ -102,6 +132,27 @@ impl<Q: TaskQueue> MultiQueue<Q> {
     /// Steps 1 and 2 (filter + choice) read only the lock-less snapshots;
     /// step 3 locks exactly the two runqueues involved.
     pub fn balance_once(&self, thief: CoreId, policy: &Policy) -> StealOutcome {
+        self.balance_once_inner(thief, policy, None)
+    }
+
+    /// Like [`MultiQueue::balance_once`], but records the outcome (with its
+    /// steal-level attribution) into `stats` while the runqueue locks are
+    /// still held, so the counters move atomically with the dequeue.
+    pub fn balance_once_recorded(
+        &self,
+        thief: CoreId,
+        policy: &Policy,
+        stats: &BalanceStats,
+    ) -> StealOutcome {
+        self.balance_once_inner(thief, policy, Some(stats))
+    }
+
+    fn balance_once_inner(
+        &self,
+        thief: CoreId,
+        policy: &Policy,
+        stats: Option<&BalanceStats>,
+    ) -> StealOutcome {
         // Selection phase: lock-less.
         let snapshots = self.snapshots();
         let thief_snap = snapshots[thief.0];
@@ -110,10 +161,85 @@ impl<Q: TaskQueue> MultiQueue<Q> {
             .filter(|s| s.id != thief && policy.filter.can_steal(&thief_snap, s))
             .collect();
         let Some(victim) = policy.choice.choose(&thief_snap, &candidates) else {
+            if let Some(stats) = stats {
+                stats.record(&StealOutcome::NoCandidates);
+            }
             return StealOutcome::NoCandidates;
         };
-        // Stealing phase: locked, re-checked.
-        try_steal(&self.cores[thief.0], &self.cores[victim.0], policy.filter.as_ref(), 1)
+        // Stealing phase: locked, re-checked; the outcome is counted under
+        // the locks and attributed to the victim's distance class.
+        let outcome = try_steal_recorded(
+            &self.cores[thief.0],
+            &self.cores[victim.0],
+            policy.filter.as_ref(),
+            1,
+            stats.map(|stats| StealRecorder {
+                stats,
+                level: Some(self.steal_level_of(thief, victim)),
+            }),
+        );
+        // Adaptive choices (topology-aware backoff) learn from the outcome.
+        policy.choice.observe(thief, victim, outcome.is_success());
+        outcome
+    }
+
+    /// Runs the distance-ordered balancing operation for one core: victims
+    /// are searched innermost level first (SMT sibling → same LLC → same
+    /// node → remote), and a steal that fails its re-check at one level
+    /// falls back to the next level **within the same operation** — the
+    /// retry a pure step-2 choice policy cannot express, because by the
+    /// time the failure is known the selection phase is over.
+    ///
+    /// Requires a topology ([`MultiQueue::with_topology`]); without one this
+    /// is [`MultiQueue::balance_once_recorded`].
+    pub fn balance_once_hierarchical(
+        &self,
+        thief: CoreId,
+        policy: &Policy,
+        stats: &BalanceStats,
+    ) -> StealOutcome {
+        let Some(topo) = self.topo.clone() else {
+            return self.balance_once_recorded(thief, policy, stats);
+        };
+        // Selection phase: lock-less, bucketing candidates by distance.
+        let snapshots = self.snapshots();
+        let thief_snap = snapshots[thief.0];
+        let mut by_level: [Vec<CoreSnapshot>; 4] = [vec![], vec![], vec![], vec![]];
+        for s in snapshots {
+            if s.id != thief && policy.filter.can_steal(&thief_snap, &s) {
+                by_level[topo.steal_level(thief, s.id).index()].push(s);
+            }
+        }
+        if by_level.iter().all(Vec::is_empty) {
+            stats.record(&StealOutcome::NoCandidates);
+            return StealOutcome::NoCandidates;
+        }
+        // Stealing phase: walk the levels outwards, letting the policy's
+        // choice pick within each level; only the final (farthest populated)
+        // level's failure is the operation's outcome.
+        let mut last = StealOutcome::NoCandidates;
+        for level in StealLevel::ALL {
+            let group = &by_level[level.index()];
+            if group.is_empty() {
+                continue;
+            }
+            let Some(victim) = policy.choice.choose(&thief_snap, group) else {
+                continue;
+            };
+            let outcome = try_steal_recorded(
+                &self.cores[thief.0],
+                &self.cores[victim.0],
+                policy.filter.as_ref(),
+                1,
+                Some(StealRecorder { stats, level: Some(level) }),
+            );
+            policy.choice.observe(thief, victim, outcome.is_success());
+            if outcome.is_success() {
+                return outcome;
+            }
+            last = outcome;
+        }
+        last
     }
 
     /// The pessimistic baseline: holds **every** runqueue lock while
@@ -169,12 +295,59 @@ impl<Q: TaskQueue> MultiQueue<Q> {
                 let stats = &stats;
                 let mq = &*self;
                 scope.spawn(move || {
-                    let outcome = mq.balance_once(core.id(), policy);
-                    stats.record(&outcome);
+                    // The outcome is recorded inside the stealing phase's
+                    // critical section, atomically with the dequeue.
+                    let _ = mq.balance_once_recorded(core.id(), policy, stats);
                 });
             }
         });
         stats
+    }
+
+    /// Runs one *hierarchical* concurrent round: every core executes the
+    /// distance-ordered [`MultiQueue::balance_once_hierarchical`] operation
+    /// from its own OS thread simultaneously — the threaded mirror of
+    /// [`sched_core::HierarchicalRound`], so the same domain-ordered policy
+    /// runs at all three altitudes.
+    pub fn hierarchical_round(&self, policy: &Policy) -> BalanceStats
+    where
+        Q: 'static,
+    {
+        let stats = BalanceStats::new();
+        std::thread::scope(|scope| {
+            for core in &self.cores {
+                let stats = &stats;
+                let mq = &*self;
+                scope.spawn(move || {
+                    let _ = mq.balance_once_hierarchical(core.id(), policy, stats);
+                });
+            }
+        });
+        stats
+    }
+
+    /// Runs hierarchical rounds until the machine is work-conserving or the
+    /// round budget is exhausted; returns the number of rounds used, if it
+    /// converged, plus the folded outcome counters.
+    pub fn converge_hierarchical(
+        &self,
+        policy: &Policy,
+        max_rounds: usize,
+    ) -> (Option<usize>, BalanceStats)
+    where
+        Q: 'static,
+    {
+        let total = BalanceStats::new();
+        for round in 0..=max_rounds {
+            if self.is_work_conserving() {
+                return (Some(round), total);
+            }
+            if round == max_rounds {
+                break;
+            }
+            total.merge_from(&self.hierarchical_round(policy));
+        }
+        (None, total)
     }
 
     /// Like [`MultiQueue::concurrent_round`], but every thread performs its
@@ -208,16 +381,22 @@ impl<Q: TaskQueue> MultiQueue<Q> {
                     let chosen = policy.choice.choose(&thief_snap, &candidates);
                     // Every core finishes selecting before anyone steals.
                     barrier.wait();
-                    let outcome = match chosen {
-                        Some(victim) => try_steal(
-                            &mq.cores[core.id().0],
-                            &mq.cores[victim.0],
-                            policy.filter.as_ref(),
-                            1,
-                        ),
-                        None => StealOutcome::NoCandidates,
+                    match chosen {
+                        Some(victim) => {
+                            let outcome = try_steal_recorded(
+                                &mq.cores[core.id().0],
+                                &mq.cores[victim.0],
+                                policy.filter.as_ref(),
+                                1,
+                                Some(StealRecorder {
+                                    stats,
+                                    level: Some(mq.steal_level_of(core.id(), victim)),
+                                }),
+                            );
+                            policy.choice.observe(core.id(), victim, outcome.is_success());
+                        }
+                        None => stats.record(&StealOutcome::NoCandidates),
                     };
-                    stats.record(&outcome);
                 });
             }
         });
@@ -239,20 +418,9 @@ impl<Q: TaskQueue> MultiQueue<Q> {
             if round == max_rounds {
                 break;
             }
-            let stats = self.concurrent_round(policy);
-            // Fold the per-round counters into the total.
-            for _ in 0..stats.successes() {
-                total.record(&StealOutcome::Stole { victim: CoreId(0), tasks: vec![TaskId(0)] });
-            }
-            for _ in 0..stats.recheck_failures() {
-                total.record(&StealOutcome::RecheckFailed { victim: CoreId(0) });
-            }
-            for _ in 0..stats.nothing_to_steal() {
-                total.record(&StealOutcome::NothingToSteal { victim: CoreId(0) });
-            }
-            for _ in 0..stats.no_candidates() {
-                total.record(&StealOutcome::NoCandidates);
-            }
+            // Fold the per-round counters (including the per-level
+            // attribution) into the total.
+            total.merge_from(&self.concurrent_round(policy));
         }
         (None, total)
     }
@@ -335,5 +503,137 @@ mod tests {
         let b = mq.spawn_on(CoreId(1));
         assert_ne!(a, b);
         assert_eq!(mq.total_threads(), 2);
+    }
+
+    fn numa_mq() -> MultiQueue {
+        // 2 sockets × 2 cores × SMT-2 = 8 CPUs; cpu0's sibling is cpu1.
+        let topo =
+            sched_topology::TopologyBuilder::new().sockets(2).cores_per_socket(2).smt(2).build();
+        MultiQueue::with_topology(&topo)
+    }
+
+    #[test]
+    fn recorded_rounds_attribute_steal_levels() {
+        let mq = numa_mq();
+        for _ in 0..4 {
+            mq.spawn_on(CoreId(0));
+        }
+        let policy = Policy::simple();
+        let stats = BalanceStats::new();
+        // The SMT sibling of the hot core steals: a level-0 migration.
+        let outcome = mq.balance_once_recorded(CoreId(1), &policy, &stats);
+        assert!(outcome.is_success());
+        assert_eq!(stats.level_migrations(sched_topology::StealLevel::SmtSibling), 1);
+        // A remote core steals: attributed to the remote level.
+        let outcome = mq.balance_once_recorded(CoreId(4), &policy, &stats);
+        assert!(outcome.is_success());
+        assert_eq!(stats.level_migrations(sched_topology::StealLevel::Remote), 1);
+        assert_eq!(stats.level_migration_counts(), [1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn hierarchical_operation_prefers_the_nearest_victim() {
+        let mq = numa_mq();
+        // Both the SMT sibling (cpu1) and a remote core (cpu4) are
+        // overloaded; the hierarchical search must take the sibling.
+        for _ in 0..3 {
+            mq.spawn_on(CoreId(1));
+            mq.spawn_on(CoreId(4));
+        }
+        let policy = Policy::simple();
+        let stats = BalanceStats::new();
+        let outcome = mq.balance_once_hierarchical(CoreId(0), &policy, &stats);
+        assert!(outcome.is_success());
+        assert_eq!(stats.level_migrations(sched_topology::StealLevel::SmtSibling), 1);
+        assert_eq!(stats.level_migrations(sched_topology::StealLevel::Remote), 0);
+    }
+
+    #[test]
+    fn hierarchical_operation_falls_back_outwards_after_a_failed_level() {
+        let mq = numa_mq();
+        // The sibling has exactly 2 threads; a first steal drains it below
+        // the filter threshold, so a second hierarchical thief must fall
+        // back to the loaded remote core within one operation.
+        mq.spawn_on(CoreId(1));
+        mq.spawn_on(CoreId(1));
+        for _ in 0..4 {
+            mq.spawn_on(CoreId(4));
+        }
+        let policy = Policy::simple();
+        let stats = BalanceStats::new();
+        assert!(mq.balance_once_hierarchical(CoreId(0), &policy, &stats).is_success());
+        // cpu0 now has 1 thread, sibling has 1: the SMT level is exhausted.
+        let outcome = mq.balance_once_hierarchical(CoreId(2), &policy, &stats);
+        assert!(outcome.is_success());
+        assert!(
+            stats.level_migrations(sched_topology::StealLevel::Remote) >= 1,
+            "the second thief had to escalate to the remote level"
+        );
+    }
+
+    #[test]
+    fn hierarchical_convergence_reaches_work_conservation() {
+        let mq = numa_mq();
+        for _ in 0..16 {
+            mq.spawn_on(CoreId(0));
+        }
+        let policy = Policy::simple();
+        let (rounds, stats) = mq.converge_hierarchical(&policy, 64);
+        assert!(rounds.is_some(), "hierarchical balancing must converge");
+        assert!(mq.is_work_conserving());
+        assert_eq!(mq.total_threads(), 16);
+        assert!(stats.migrations() >= 7, "seven idle cores had to obtain work");
+        assert!(
+            stats.level_migrations(sched_topology::StealLevel::Remote) >= 1,
+            "work had to cross the node boundary"
+        );
+    }
+
+    #[test]
+    fn stats_stay_consistent_when_steals_race_local_wakeups() {
+        // Steals race local wakeups (enqueues) on the victim; because the
+        // counters move inside the stealing phase's critical section, the
+        // final thread count must equal spawns, and the migration counter
+        // must equal the threads that actually changed cores.
+        let mq = std::sync::Arc::new({
+            let mq: MultiQueue = MultiQueue::new(4);
+            for _ in 0..8 {
+                mq.spawn_on(CoreId(0));
+            }
+            mq
+        });
+        let policy = Policy::simple();
+        let stats = BalanceStats::new();
+        std::thread::scope(|scope| {
+            let waker = {
+                let mq = std::sync::Arc::clone(&mq);
+                scope.spawn(move || {
+                    for _ in 0..32 {
+                        mq.spawn_on(CoreId(0));
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            for _ in 0..16 {
+                let stats = &stats;
+                let policy = &policy;
+                let mq = std::sync::Arc::clone(&mq);
+                scope.spawn(move || {
+                    for thief in 1..4 {
+                        let _ = mq.balance_once_recorded(CoreId(thief), policy, stats);
+                    }
+                });
+            }
+            waker.join().unwrap();
+        });
+        assert_eq!(mq.total_threads(), 40, "8 initial + 32 woken, none lost or duplicated");
+        // Every thread residing away from its spawn core got there through
+        // a recorded migration (threads may migrate more than once, so the
+        // counter bounds the residents from above), and with `StealOne`
+        // each success accounts for exactly one migration — an entity can
+        // never be double-counted by a steal racing a wakeup.
+        let moved: u64 = (1..4).map(|c| mq.core(CoreId(c)).nr_threads_exact()).sum();
+        assert!(moved <= stats.migrations(), "{moved} residents > {} counted", stats.migrations());
+        assert_eq!(stats.migrations(), stats.successes());
     }
 }

@@ -3,9 +3,17 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use sched_core::StealOutcome;
+use sched_topology::StealLevel;
 
 /// Atomic counters of the outcomes of balancing attempts, shared by all the
 /// threads participating in a concurrent round.
+///
+/// Counter transitions for locked outcomes happen **inside** the stealing
+/// phase, while both runqueue locks are still held (see
+/// [`crate::steal::try_steal_recorded`]): the dequeue of a migrated entity
+/// and its appearance in these counters are one atomic step, so a steal
+/// racing with a local wakeup can never be double-counted by an observer
+/// that reads the counters against the published queue state.
 #[derive(Debug, Default)]
 pub struct BalanceStats {
     successes: AtomicU64,
@@ -13,6 +21,8 @@ pub struct BalanceStats {
     nothing_to_steal: AtomicU64,
     no_candidates: AtomicU64,
     migrations: AtomicU64,
+    /// Threads migrated per steal level, indexed by [`StealLevel::index`].
+    level_migrations: [AtomicU64; 4],
 }
 
 impl BalanceStats {
@@ -21,12 +31,22 @@ impl BalanceStats {
         Self::default()
     }
 
-    /// Records one balancing attempt outcome.
+    /// Records one balancing attempt outcome with no level attribution.
     pub fn record(&self, outcome: &StealOutcome) {
+        self.record_with_level(outcome, None);
+    }
+
+    /// Records one balancing attempt outcome, attributing migrated threads
+    /// to the steal level the victim was found at (if known).
+    pub fn record_with_level(&self, outcome: &StealOutcome, level: Option<StealLevel>) {
         match outcome {
             StealOutcome::Stole { tasks, .. } => {
                 self.successes.fetch_add(1, Ordering::Relaxed);
                 self.migrations.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+                if let Some(level) = level {
+                    self.level_migrations[level.index()]
+                        .fetch_add(tasks.len() as u64, Ordering::Relaxed);
+                }
             }
             StealOutcome::RecheckFailed { .. } => {
                 self.recheck_failures.fetch_add(1, Ordering::Relaxed);
@@ -37,6 +57,19 @@ impl BalanceStats {
             StealOutcome::NoCandidates => {
                 self.no_candidates.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Folds another set of counters into this one.
+    pub fn merge_from(&self, other: &BalanceStats) {
+        self.successes.fetch_add(other.successes(), Ordering::Relaxed);
+        self.recheck_failures.fetch_add(other.recheck_failures(), Ordering::Relaxed);
+        self.nothing_to_steal.fetch_add(other.nothing_to_steal(), Ordering::Relaxed);
+        self.no_candidates.fetch_add(other.no_candidates(), Ordering::Relaxed);
+        self.migrations.fetch_add(other.migrations(), Ordering::Relaxed);
+        for level in StealLevel::ALL {
+            self.level_migrations[level.index()]
+                .fetch_add(other.level_migrations(level), Ordering::Relaxed);
         }
     }
 
@@ -63,6 +96,20 @@ impl BalanceStats {
     /// Number of threads migrated.
     pub fn migrations(&self) -> u64 {
         self.migrations.load(Ordering::Relaxed)
+    }
+
+    /// Number of threads migrated across the given steal level.
+    pub fn level_migrations(&self, level: StealLevel) -> u64 {
+        self.level_migrations[level.index()].load(Ordering::Relaxed)
+    }
+
+    /// Per-level migration counts, innermost level first.
+    ///
+    /// Rate arithmetic (remote/cache-local fractions) deliberately lives in
+    /// one place — `sched_metrics::StealLocality::from_counts(counts)` —
+    /// rather than being re-derived per backend.
+    pub fn level_migration_counts(&self) -> [u64; 4] {
+        StealLevel::ALL.map(|l| self.level_migrations(l))
     }
 
     /// Failed attempts, in the paper's sense (a victim was chosen, nothing
@@ -96,5 +143,47 @@ mod tests {
         assert_eq!(stats.no_candidates(), 1);
         assert_eq!(stats.failures(), 2);
         assert_eq!(stats.attempts(), 3);
+    }
+
+    #[test]
+    fn level_attribution_buckets_migrations() {
+        let stats = BalanceStats::new();
+        let steal = |victim: usize, n: u64| StealOutcome::Stole {
+            victim: CoreId(victim),
+            tasks: (0..n).map(TaskId).collect(),
+        };
+        stats.record_with_level(&steal(1, 3), Some(StealLevel::SameLlc));
+        stats.record_with_level(&steal(2, 1), Some(StealLevel::Remote));
+        assert_eq!(stats.level_migrations(StealLevel::SameLlc), 3);
+        assert_eq!(stats.level_migrations(StealLevel::Remote), 1);
+        assert_eq!(stats.level_migration_counts(), [0, 3, 0, 1]);
+        assert_eq!(stats.level_migration_counts().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn unattributed_steals_have_no_level_counts() {
+        let stats = BalanceStats::new();
+        stats.record(&StealOutcome::Stole { victim: CoreId(1), tasks: vec![TaskId(0)] });
+        assert_eq!(stats.level_migration_counts(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn merge_from_folds_every_counter() {
+        let a = BalanceStats::new();
+        let b = BalanceStats::new();
+        a.record_with_level(
+            &StealOutcome::Stole { victim: CoreId(1), tasks: vec![TaskId(0)] },
+            Some(StealLevel::SmtSibling),
+        );
+        b.record_with_level(
+            &StealOutcome::Stole { victim: CoreId(2), tasks: vec![TaskId(1)] },
+            Some(StealLevel::Remote),
+        );
+        b.record(&StealOutcome::RecheckFailed { victim: CoreId(2) });
+        a.merge_from(&b);
+        assert_eq!(a.successes(), 2);
+        assert_eq!(a.migrations(), 2);
+        assert_eq!(a.recheck_failures(), 1);
+        assert_eq!(a.level_migration_counts(), [1, 0, 0, 1]);
     }
 }

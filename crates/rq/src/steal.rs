@@ -7,9 +7,21 @@
 //! first — the same discipline Linux's `double_rq_lock` uses.
 
 use sched_core::{CoreSnapshot, FilterPolicy, StealOutcome};
+use sched_topology::StealLevel;
 
 use crate::percore::{PerCoreRq, RqInner};
+use crate::stats::BalanceStats;
 use crate::TaskQueue;
+
+/// Where the outcome of a locked stealing phase is recorded, and which
+/// steal level the migrated threads are attributed to.
+#[derive(Debug, Clone, Copy)]
+pub struct StealRecorder<'a> {
+    /// The shared counters of the round.
+    pub stats: &'a BalanceStats,
+    /// Distance class of the victim relative to the thief, if known.
+    pub level: Option<StealLevel>,
+}
 
 /// Builds a live snapshot of a locked runqueue.
 fn snapshot_locked<Q: TaskQueue>(rq: &PerCoreRq<Q>, inner: &RqInner<Q>) -> CoreSnapshot {
@@ -38,6 +50,26 @@ pub fn try_steal<Q: TaskQueue>(
     filter: &dyn FilterPolicy,
     max_tasks: usize,
 ) -> StealOutcome {
+    try_steal_recorded(thief, victim, filter, max_tasks, None)
+}
+
+/// Like [`try_steal`], but records the outcome into `recorder`'s counters
+/// **while both runqueue locks are still held**.
+///
+/// Recording under the locks makes the counter transition atomic with the
+/// dequeue: without it, a steal that migrates an entity and a local wakeup
+/// that re-enqueues work on the victim can interleave between the unlock
+/// and the caller's stats update, so an observer comparing the counters
+/// with the published queue states sees the migrated entity counted twice
+/// (once in flight, once settled).  With the recorder, counters and queue
+/// contents always change under the same critical section.
+pub fn try_steal_recorded<Q: TaskQueue>(
+    thief: &PerCoreRq<Q>,
+    victim: &PerCoreRq<Q>,
+    filter: &dyn FilterPolicy,
+    max_tasks: usize,
+    recorder: Option<StealRecorder<'_>>,
+) -> StealOutcome {
     assert_ne!(thief.id(), victim.id(), "a core cannot steal from itself");
 
     // Ordered double-lock: lowest core id first, so two concurrent stealers
@@ -56,7 +88,11 @@ pub fn try_steal<Q: TaskQueue>(
     let thief_snap = snapshot_locked(thief, &thief_guard);
     let victim_snap = snapshot_locked(victim, &victim_guard);
     if !filter.can_steal(&thief_snap, &victim_snap) {
-        return StealOutcome::RecheckFailed { victim: victim.id() };
+        let outcome = StealOutcome::RecheckFailed { victim: victim.id() };
+        if let Some(rec) = recorder {
+            rec.stats.record_with_level(&outcome, rec.level);
+        }
+        return outcome;
     }
 
     let mut moved = Vec::new();
@@ -74,14 +110,20 @@ pub fn try_steal<Q: TaskQueue>(
         }
     }
 
-    thief.republish(&thief_guard);
-    victim.republish(&victim_guard);
-
-    if moved.is_empty() {
+    let outcome = if moved.is_empty() {
         StealOutcome::NothingToSteal { victim: victim.id() }
     } else {
         StealOutcome::Stole { victim: victim.id(), tasks: moved }
+    };
+    // Count the migration before the locks are released (and before the new
+    // loads are published): stats and queue state move as one step.
+    if let Some(rec) = recorder {
+        rec.stats.record_with_level(&outcome, rec.level);
     }
+
+    thief.republish(&thief_guard);
+    victim.republish(&victim_guard);
+    outcome
 }
 
 #[cfg(test)]
@@ -155,5 +197,43 @@ mod tests {
     fn self_steal_is_a_bug() {
         let a = rq(0);
         let _ = try_steal(&a, &a, &DeltaFilter::listing1(), 1);
+    }
+
+    #[test]
+    fn recorded_steals_count_outcomes_and_levels() {
+        use sched_topology::StealLevel;
+
+        let stats = BalanceStats::new();
+        let thief = rq(0);
+        let victim = rq(1);
+        for i in 0..3 {
+            victim.enqueue(RqTask::new(TaskId(i)));
+        }
+        let outcome = try_steal_recorded(
+            &thief,
+            &victim,
+            &DeltaFilter::listing1(),
+            1,
+            Some(StealRecorder { stats: &stats, level: Some(StealLevel::SameNode) }),
+        );
+        assert!(outcome.is_success());
+        assert_eq!(stats.successes(), 1);
+        assert_eq!(stats.migrations(), 1);
+        assert_eq!(stats.level_migrations(StealLevel::SameNode), 1);
+
+        // Draining the victim makes the next recorded attempt a re-check
+        // failure, also counted through the recorder.
+        victim.complete_current();
+        victim.complete_current();
+        let outcome = try_steal_recorded(
+            &thief,
+            &victim,
+            &DeltaFilter::listing1(),
+            1,
+            Some(StealRecorder { stats: &stats, level: Some(StealLevel::SameNode) }),
+        );
+        assert!(outcome.is_failure());
+        assert_eq!(stats.recheck_failures(), 1);
+        assert_eq!(stats.migrations(), 1, "failures must not count migrations");
     }
 }

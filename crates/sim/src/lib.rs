@@ -52,5 +52,5 @@ pub use config::SimConfig;
 pub use engine::Engine;
 pub use queues::{CoreQueues, SimCore};
 pub use result::SimResult;
-pub use scheduler::{OptimisticScheduler, RoundStats, SimScheduler};
+pub use scheduler::{HierarchicalScheduler, OptimisticScheduler, RoundStats, SimScheduler};
 pub use thread::{SimThread, SimThreadId, ThreadState};

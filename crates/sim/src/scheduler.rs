@@ -1,7 +1,10 @@
 //! The simulator's scheduler interface and the verified optimistic
 //! scheduler built from `sched-core` policies.
 
-use sched_core::{CoreId, Policy};
+use std::sync::Arc;
+
+use sched_core::{CoreId, CoreSnapshot, Policy};
+use sched_topology::{MachineTopology, StealLevel};
 
 use crate::queues::CoreQueues;
 use crate::thread::{SimThread, SimThreadId};
@@ -17,6 +20,8 @@ pub struct RoundStats {
     pub failures: u64,
     /// Threads migrated.
     pub migrations: u64,
+    /// Threads migrated per steal level, indexed by [`StealLevel::index`].
+    pub level_migrations: [u64; 4],
 }
 
 impl RoundStats {
@@ -25,6 +30,42 @@ impl RoundStats {
         self.successes += other.successes;
         self.failures += other.failures;
         self.migrations += other.migrations;
+        for (mine, theirs) in self.level_migrations.iter_mut().zip(other.level_migrations) {
+            *mine += theirs;
+        }
+    }
+
+    /// Records one successful migration across `level`.
+    pub fn record_migration(&mut self, level: StealLevel) {
+        self.successes += 1;
+        self.migrations += 1;
+        self.level_migrations[level.index()] += 1;
+    }
+
+    /// The per-level counts as a [`sched_metrics::StealLocality`], which
+    /// owns the locality-rate arithmetic (one definition for all backends).
+    pub fn locality(&self) -> sched_metrics::StealLocality {
+        sched_metrics::StealLocality::from_counts(self.level_migrations)
+    }
+}
+
+/// Distance class between two distinct cores: exact when a topology is
+/// known, node-based (same node vs remote) otherwise.
+fn steal_level_of(
+    topo: Option<&MachineTopology>,
+    snapshots: &[CoreSnapshot],
+    thief: CoreId,
+    victim: CoreId,
+) -> StealLevel {
+    match topo {
+        Some(topo) => topo.steal_level(thief, victim),
+        None => {
+            if snapshots[thief.0].node == snapshots[victim.0].node {
+                StealLevel::SameNode
+            } else {
+                StealLevel::Remote
+            }
+        }
     }
 }
 
@@ -57,12 +98,19 @@ pub trait SimScheduler: Send {
 /// the paper's three-step round driven by a [`Policy`].
 pub struct OptimisticScheduler {
     policy: Policy,
+    topo: Option<Arc<MachineTopology>>,
 }
 
 impl OptimisticScheduler {
     /// Creates the scheduler around `policy` (usually [`Policy::simple`]).
     pub fn new(policy: Policy) -> Self {
-        OptimisticScheduler { policy }
+        OptimisticScheduler { policy, topo: None }
+    }
+
+    /// Creates the scheduler with a machine topology, enabling exact
+    /// per-level attribution of migrations (SMT/LLC/node/remote).
+    pub fn with_topology(policy: Policy, topo: Arc<MachineTopology>) -> Self {
+        OptimisticScheduler { policy, topo: Some(topo) }
     }
 
     /// The policy driving the balancing rounds.
@@ -124,16 +172,132 @@ impl SimScheduler for OptimisticScheduler {
         let mut stats = RoundStats::default();
         for (thief, victim) in plans {
             let live = queues.snapshots(threads);
-            if self.policy.filter.can_steal(&live[thief.0], &live[victim.0]) {
-                if queues.migrate_newest(victim, thief).is_some() {
-                    stats.successes += 1;
-                    stats.migrations += 1;
-                } else {
-                    stats.failures += 1;
-                }
-            } else {
+            let mut success = false;
+            if self.policy.filter.can_steal(&live[thief.0], &live[victim.0])
+                && queues.migrate_newest(victim, thief).is_some()
+            {
+                stats.record_migration(steal_level_of(self.topo.as_deref(), &live, thief, victim));
+                success = true;
+            }
+            if !success {
                 stats.failures += 1;
             }
+            self.policy.choice.observe(thief, victim, success);
+        }
+        stats
+    }
+}
+
+/// Domain-ordered balancing inside the simulator: the discrete-event mirror
+/// of [`sched_core::HierarchicalRound`] and of
+/// `sched_rq::MultiQueue::hierarchical_round`, so all three altitudes run
+/// the identical domain-ordered stealing.
+///
+/// Each balancing round runs up to one level-capped pass per [`StealLevel`],
+/// innermost first; a pass only admits victims within that distance of
+/// their thief, and the round escalates to the next level only while some
+/// core is still idle next to an overloaded one.  The final pass is
+/// unrestricted, so work conservation is inherited from the flat round.
+pub struct HierarchicalScheduler {
+    policy: Policy,
+    topo: Arc<MachineTopology>,
+}
+
+impl HierarchicalScheduler {
+    /// Creates the scheduler around `policy` for the given machine.
+    pub fn new(policy: Policy, topo: Arc<MachineTopology>) -> Self {
+        HierarchicalScheduler { policy, topo }
+    }
+
+    /// One level-capped pass: plan against a shared snapshot, then steal
+    /// with the usual re-check.
+    fn level_pass(
+        &mut self,
+        queues: &mut CoreQueues,
+        threads: &[SimThread],
+        level: StealLevel,
+    ) -> RoundStats {
+        let snapshots = queues.snapshots(threads);
+        let mut plans: Vec<(CoreId, CoreId)> = Vec::new();
+        for thief in queues.cores().iter().map(|c| c.id) {
+            let thief_snap = snapshots[thief.0];
+            let candidates: Vec<_> = snapshots
+                .iter()
+                .filter(|s| {
+                    s.id != thief
+                        && self.topo.steal_level(thief, s.id) <= level
+                        && self.policy.filter.can_steal(&thief_snap, s)
+                })
+                .copied()
+                .collect();
+            if let Some(victim) = self.policy.choice.choose(&thief_snap, &candidates) {
+                plans.push((thief, victim));
+            }
+        }
+        let mut stats = RoundStats::default();
+        for (thief, victim) in plans {
+            let live = queues.snapshots(threads);
+            let mut success = false;
+            if self.policy.filter.can_steal(&live[thief.0], &live[victim.0])
+                && queues.migrate_newest(victim, thief).is_some()
+            {
+                stats.record_migration(self.topo.steal_level(thief, victim));
+                success = true;
+            }
+            if !success {
+                stats.failures += 1;
+            }
+            self.policy.choice.observe(thief, victim, success);
+        }
+        stats
+    }
+}
+
+impl SimScheduler for HierarchicalScheduler {
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+
+    fn place_wakeup(
+        &mut self,
+        queues: &CoreQueues,
+        _threads: &[SimThread],
+        _tid: SimThreadId,
+        prev: Option<CoreId>,
+    ) -> CoreId {
+        // Prefer the previous core if idle, then the topologically nearest
+        // idle core (cache/NUMA affinity), then the least loaded core.
+        if let Some(prev) = prev {
+            if queues.core(prev).is_idle() {
+                return prev;
+            }
+            if let Some(nearest) = queues
+                .cores()
+                .iter()
+                .filter(|c| c.is_idle() && c.id != prev)
+                .min_by_key(|c| (self.topo.steal_level(prev, c.id), c.id))
+            {
+                return nearest.id;
+            }
+        }
+        if let Some(idle) = queues.cores().iter().find(|c| c.is_idle()) {
+            return idle.id;
+        }
+        queues
+            .cores()
+            .iter()
+            .min_by_key(|c| (c.nr_threads(), c.id))
+            .map(|c| c.id)
+            .expect("at least one core exists")
+    }
+
+    fn balance_round(&mut self, queues: &mut CoreQueues, threads: &[SimThread]) -> RoundStats {
+        let mut stats = RoundStats::default();
+        for level in StealLevel::ALL {
+            if queues.is_work_conserving() {
+                break;
+            }
+            stats.merge(self.level_pass(queues, threads, level));
         }
         stats
     }
@@ -202,5 +366,88 @@ mod tests {
         let stats = sched.balance_round(&mut queues, &table);
         assert_eq!(stats.successes, 1);
         assert_eq!(stats.failures, 1);
+    }
+
+    /// 2 sockets × 2 cores × SMT-2 = 8 CPUs; cpu0's sibling is cpu1.
+    fn numa_topo() -> Arc<MachineTopology> {
+        Arc::new(
+            sched_topology::TopologyBuilder::new().sockets(2).cores_per_socket(2).smt(2).build(),
+        )
+    }
+
+    #[test]
+    fn flat_round_attributes_migration_levels() {
+        let topo = numa_topo();
+        let mut sched = OptimisticScheduler::with_topology(Policy::simple(), Arc::clone(&topo));
+        let mut queues = CoreQueues::with_topology(&topo);
+        let table = threads(4);
+        queues.core_mut(CoreId(0)).current = Some(SimThreadId(0));
+        for i in 1..4 {
+            queues.enqueue(CoreId(0), SimThreadId(i));
+        }
+        let stats = sched.balance_round(&mut queues, &table);
+        assert!(stats.migrations >= 1);
+        assert_eq!(stats.level_migrations.iter().sum::<u64>(), stats.migrations);
+    }
+
+    #[test]
+    fn hierarchical_round_keeps_local_imbalances_local() {
+        let topo = numa_topo();
+        let mut sched = HierarchicalScheduler::new(Policy::simple(), Arc::clone(&topo));
+        let mut queues = CoreQueues::with_topology(&topo);
+        let table = threads(2);
+        // cpu0 runs one thread and queues one; its SMT sibling must take it
+        // without any cross-node traffic.
+        queues.core_mut(CoreId(0)).current = Some(SimThreadId(0));
+        queues.enqueue(CoreId(0), SimThreadId(1));
+        let stats = sched.balance_round(&mut queues, &table);
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.level_migrations[StealLevel::SmtSibling.index()], 1);
+        assert_eq!(stats.locality().remote_rate(), 0.0);
+        assert!(queues.is_work_conserving());
+    }
+
+    #[test]
+    fn hierarchical_round_escalates_across_nodes_when_needed() {
+        let topo = numa_topo();
+        let mut sched = HierarchicalScheduler::new(Policy::simple(), Arc::clone(&topo));
+        let mut queues = CoreQueues::with_topology(&topo);
+        let table = threads(12);
+        // All 12 threads on node 0's cpu0: node 1 can only be fed by
+        // cross-node steals, but local passes still run first.
+        queues.core_mut(CoreId(0)).current = Some(SimThreadId(0));
+        for i in 1..12 {
+            queues.enqueue(CoreId(0), SimThreadId(i));
+        }
+        let mut total = RoundStats::default();
+        for _ in 0..16 {
+            if queues.is_work_conserving() {
+                break;
+            }
+            total.merge(sched.balance_round(&mut queues, &table));
+        }
+        assert!(queues.is_work_conserving());
+        assert_eq!(queues.total_threads(), 12);
+        assert!(total.level_migrations[StealLevel::Remote.index()] >= 1);
+        assert!(
+            total.level_migrations[StealLevel::SmtSibling.index()] >= 1,
+            "the sibling pass must have contributed before escalation"
+        );
+    }
+
+    #[test]
+    fn hierarchical_wakeups_prefer_topologically_near_cores() {
+        let topo = numa_topo();
+        let mut sched = HierarchicalScheduler::new(Policy::simple(), Arc::clone(&topo));
+        let mut queues = CoreQueues::with_topology(&topo);
+        let table = threads(4);
+        // cpu0 busy; its SMT sibling cpu1 idle; remote cpus idle too: the
+        // wakeup that last ran on cpu0 must land on cpu1, not on cpu4.
+        queues.core_mut(CoreId(0)).current = Some(SimThreadId(0));
+        let core = sched.place_wakeup(&queues, &table, SimThreadId(1), Some(CoreId(0)));
+        assert_eq!(core, CoreId(1));
+        // An idle previous core still wins outright.
+        let back = sched.place_wakeup(&queues, &table, SimThreadId(2), Some(CoreId(6)));
+        assert_eq!(back, CoreId(6));
     }
 }

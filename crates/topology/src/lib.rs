@@ -20,6 +20,7 @@ pub mod builder;
 pub mod cpu;
 pub mod distance;
 pub mod domain;
+pub mod level;
 pub mod machine;
 pub mod node;
 
@@ -27,6 +28,7 @@ pub use builder::TopologyBuilder;
 pub use cpu::{CpuId, CpuInfo};
 pub use distance::DistanceMatrix;
 pub use domain::{DomainKind, DomainTree, SchedDomain};
+pub use level::StealLevel;
 pub use machine::MachineTopology;
 pub use node::{NodeId, NodeInfo};
 

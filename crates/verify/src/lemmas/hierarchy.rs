@@ -1,0 +1,198 @@
+//! Per-level extensions of the potential and convergence machinery.
+//!
+//! Hierarchical balancing adds one obligation on top of the flat §4.3
+//! argument: every level must converge *without undoing* the balance
+//! already achieved at coarser levels.  Two lemmas discharge it:
+//!
+//! * **Level invariance** — a steal whose (thief, victim) pair is
+//!   classified at [`StealLevel`] `L` leaves the per-level potential
+//!   [`sched_core::potential::level_potential`] unchanged at `L` and at
+//!   every coarser level: the load moves within one region of those
+//!   partitions, so region sums — and therefore their pairwise
+//!   differences — cannot change.  Together with the flat P2 (the per-core
+//!   potential strictly decreases on every filtered steal), this bounds the
+//!   number of steals of each pass independently.
+//! * **Hierarchical work conservation** — running
+//!   [`sched_core::HierarchicalRound`]s from every configuration in scope
+//!   reaches a work-conserving state within the scope's round budget.  The
+//!   final unrestricted pass makes this a corollary of the flat result, but
+//!   the check exercises the level-capped passes and the early-exit logic
+//!   on the real executor rather than trusting the argument.
+
+use std::sync::Arc;
+
+use sched_core::potential::level_potential;
+use sched_core::{
+    Balancer, CoreId, HierarchicalRound, LoadMetric, Policy, RoundSchedule, SystemSnapshot,
+    SystemState,
+};
+use sched_topology::{MachineTopology, StealLevel};
+
+use crate::counterexample::Counterexample;
+use crate::enumerate::compositions;
+use crate::lemma::LemmaReport;
+
+/// Every load vector on `topo`'s CPUs with up to `max_threads` threads.
+fn states_on(topo: &MachineTopology, max_threads: usize) -> impl Iterator<Item = SystemState> {
+    let nr_cpus = topo.nr_cpus();
+    (0..=max_threads)
+        .flat_map(move |t| compositions(nr_cpus, t))
+        .map(|loads| SystemState::from_loads(&loads))
+}
+
+/// Checks that every filtered single-thread steal leaves the per-level
+/// potential unchanged at its own level and at every coarser one.
+pub fn check_level_potential_invariance(
+    balancer: &Balancer,
+    topo: &MachineTopology,
+    max_threads: usize,
+) -> LemmaReport {
+    let mut instances = 0u64;
+    for state in states_on(topo, max_threads) {
+        let snapshot = SystemSnapshot::capture(&state);
+        for thief in state.core_ids() {
+            for victim in state.core_ids() {
+                if thief == victim
+                    || !balancer
+                        .policy()
+                        .filter
+                        .can_steal(snapshot.core(thief), snapshot.core(victim))
+                {
+                    continue;
+                }
+                instances += 1;
+                let steal_level = topo.steal_level(thief, victim);
+                let before = state.loads(LoadMetric::NrThreads);
+                let mut working = state.clone();
+                let outcome = balancer.steal(&mut working, thief, victim);
+                if !outcome.is_success() {
+                    continue;
+                }
+                let after = working.loads(LoadMetric::NrThreads);
+                for level in StealLevel::ALL {
+                    if level < steal_level {
+                        continue;
+                    }
+                    let d_before = level_potential(&before, topo, level);
+                    let d_after = level_potential(&after, topo, level);
+                    if d_before != d_after {
+                        let ce = Counterexample::new(
+                            "an intra-region steal changed a coarser per-level potential",
+                            before.clone(),
+                        )
+                        .step(format!("steal {victim} -> {thief} is classified at {steal_level}"))
+                        .step(format!("potential at {level} changed from {d_before} to {d_after}"));
+                        return LemmaReport::refuted("level potential invariance", instances, ce);
+                    }
+                }
+            }
+        }
+    }
+    LemmaReport::proved("level potential invariance", instances)
+}
+
+/// Checks that hierarchical rounds reach work conservation from every
+/// configuration in scope within `max_rounds`.
+pub fn check_hierarchical_work_conservation(
+    make_policy: impl Fn() -> Policy,
+    topo: &Arc<MachineTopology>,
+    max_threads: usize,
+    max_rounds: usize,
+) -> LemmaReport {
+    let mut instances = 0u64;
+    for state in states_on(topo, max_threads) {
+        instances += 1;
+        let loads = state.loads(LoadMetric::NrThreads);
+        let total = state.total_threads();
+        let balancer = Balancer::new(make_policy());
+        let hier = HierarchicalRound::new(&balancer, Arc::clone(topo));
+        let mut working = state;
+        let (rounds, _) =
+            hier.converge(&mut working, &RoundSchedule::AllSelectThenSteal, max_rounds);
+        if rounds.is_none() {
+            let ce = Counterexample::new(
+                "hierarchical balancing did not reach work conservation in budget",
+                loads,
+            )
+            .step(format!("after {max_rounds} rounds the loads are {:?}", {
+                working.loads(LoadMetric::NrThreads)
+            }))
+            .step(format!(
+                "idle cores: {:?}",
+                working.idle_cores().iter().map(|c: &CoreId| c.0).collect::<Vec<_>>()
+            ));
+            return LemmaReport::refuted("hierarchical work conservation", instances, ce);
+        }
+        if working.total_threads() != total || !working.tasks_are_unique() {
+            let ce =
+                Counterexample::new("hierarchical balancing lost or duplicated threads", loads);
+            return LemmaReport::refuted("hierarchical work conservation", instances, ce);
+        }
+    }
+    LemmaReport::proved("hierarchical work conservation", instances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::policy::{LevelThresholds, TopologyAwareChoice};
+    use sched_topology::TopologyBuilder;
+
+    /// A 2-node, 4-CPU machine: small enough for exhaustive enumeration,
+    /// rich enough to have distinct LLC and node boundaries.
+    fn small_numa() -> Arc<MachineTopology> {
+        Arc::new(TopologyBuilder::new().sockets(2).cores_per_socket(2).build())
+    }
+
+    fn topo_policy(topo: &Arc<MachineTopology>) -> Policy {
+        Policy::simple().with_choice(Box::new(TopologyAwareChoice::new(
+            Arc::clone(topo),
+            LoadMetric::NrThreads,
+        )))
+    }
+
+    #[test]
+    fn listing1_steals_preserve_coarser_potentials() {
+        let topo = small_numa();
+        let balancer = Balancer::new(Policy::simple());
+        let report = check_level_potential_invariance(&balancer, &topo, 5);
+        assert!(report.is_proved(), "{report}");
+        assert!(report.instances > 100);
+    }
+
+    #[test]
+    fn weighted_steals_also_preserve_coarser_potentials() {
+        // The invariance is pure arithmetic over thread counts, so it must
+        // hold for any policy whose steals move whole threads.
+        let topo = small_numa();
+        let balancer = Balancer::new(Policy::weighted());
+        let report = check_level_potential_invariance(&balancer, &topo, 4);
+        assert!(report.is_proved(), "{report}");
+    }
+
+    #[test]
+    fn hierarchical_rounds_are_work_conserving_in_scope() {
+        let topo = small_numa();
+        let report = check_hierarchical_work_conservation(|| topo_policy(&topo), &topo, 5, 64);
+        assert!(report.is_proved(), "{report}");
+        assert!(report.instances > 100);
+    }
+
+    #[test]
+    fn hierarchical_rounds_converge_with_smt_levels_too() {
+        let topo = Arc::new(TopologyBuilder::new().sockets(2).cores_per_socket(1).smt(2).build());
+        let report = check_hierarchical_work_conservation(
+            || {
+                Policy::simple().with_choice(Box::new(TopologyAwareChoice::with_thresholds(
+                    Arc::clone(&topo),
+                    LoadMetric::NrThreads,
+                    LevelThresholds::new(2, 2, 2, 3),
+                )))
+            },
+            &topo,
+            4,
+            64,
+        );
+        assert!(report.is_proved(), "{report}");
+    }
+}

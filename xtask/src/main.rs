@@ -1,0 +1,375 @@
+//! Repo automation tasks (the `cargo xtask` pattern, no external deps).
+//!
+//! The only task so far is the **bench-regression gate**:
+//!
+//! ```text
+//! cargo run -p xtask -- bench-diff \
+//!     --baseline BENCH_results.json --current /tmp/BENCH_results.json \
+//!     [--tolerance 0.15]
+//! ```
+//!
+//! It compares two `experiments --json` documents per
+//! `(experiment, scenario, backend)` key and exits non-zero when the
+//! current run regressed beyond tolerance:
+//!
+//! * `throughput` — relative: fails when
+//!   `current < baseline × (1 − tolerance)`.  Records whose unit is
+//!   wall-clock-dependent (`migrations/s`) get **double** the tolerance and
+//!   are only compared when both runs measured at least
+//!   [`WALL_CLOCK_FLOOR_MS`] of wall time — sub-millisecond wall-clock
+//!   throughput is measurement noise, not signal, and would make the gate
+//!   flake; skipped comparisons are printed as notes.  The simulator's
+//!   `ops/s` are measured in simulated time, are deterministic, and are
+//!   always gated.
+//! * `violating_idle` — absolute: fails when
+//!   `current > baseline + tolerance` (it is a fraction in `[0, 1]`, so a
+//!   relative bound would explode around zero).
+//! * `migrations`, model backend only — relative, both directions: the
+//!   model executor is deterministic, so even though its wall-clock
+//!   throughput sits under the measurement floor, its migration count is
+//!   an exact behavioural fingerprint and any drift flags a real change.
+//! * a key present in the baseline but missing from the current run fails;
+//!   keys only in the current run are reported as re-baseline hints.
+//!
+//! Improvements never fail the gate; refresh the committed baseline with
+//! `cargo run --release -p sched-bench --bin experiments -- --json` when
+//! they accumulate.
+
+use std::process::ExitCode;
+
+mod json;
+
+use json::Json;
+
+/// Minimum wall time (ms) for a wall-clock throughput to count as a
+/// measurement rather than timer noise.
+const WALL_CLOCK_FLOOR_MS: f64 = 50.0;
+
+/// One record's metrics, keyed by (experiment, scenario, backend).
+#[derive(Debug, Clone)]
+struct Record {
+    key: String,
+    backend: String,
+    throughput: f64,
+    throughput_unit: String,
+    violating_idle: f64,
+    migrations: f64,
+    wall_ms: f64,
+}
+
+fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
+    let records = doc
+        .get("records")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: no `records` array"))?;
+    let mut out = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        let field = |name: &str| {
+            r.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{path}: record {i} lacks string `{name}`"))
+        };
+        let number = |name: &str| {
+            r.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: record {i} lacks number `{name}`"))
+        };
+        out.push(Record {
+            key: format!(
+                "{} | {} | {}",
+                field("experiment")?,
+                field("scenario")?,
+                field("backend")?
+            ),
+            backend: field("backend")?,
+            throughput: number("throughput")?,
+            throughput_unit: field("throughput_unit")?,
+            violating_idle: number("violating_idle")?,
+            migrations: number("migrations").unwrap_or(f64::NAN),
+            wall_ms: number("wall_ms").unwrap_or(f64::INFINITY),
+        });
+    }
+    Ok(out)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
+    let baseline_path =
+        flag_value(args, "--baseline").unwrap_or_else(|| "BENCH_results.json".into());
+    let current_path = flag_value(args, "--current").ok_or("missing --current PATH")?;
+    let tolerance: f64 = match flag_value(args, "--tolerance") {
+        Some(t) => t.parse().map_err(|e| format!("bad --tolerance: {e}"))?,
+        None => 0.15,
+    };
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
+    }
+
+    let read = |path: &str| -> Result<Vec<Record>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        records_of(&doc, path)
+    };
+    let baseline = read(&baseline_path)?;
+    let current = read(&current_path)?;
+
+    let mut regressions = Vec::new();
+    let mut notes = Vec::new();
+    let mut compared = 0usize;
+
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|c| c.key == base.key) else {
+            regressions.push(format!("MISSING   {}", base.key));
+            continue;
+        };
+        compared += 1;
+        // Wall-clock throughputs breathe with machine load; simulated-time
+        // throughputs are deterministic.
+        let wall_clock = base.throughput_unit == "migrations/s";
+        let tput_tol = if wall_clock { tolerance * 2.0 } else { tolerance };
+        if wall_clock && (base.wall_ms < WALL_CLOCK_FLOOR_MS || cur.wall_ms < WALL_CLOCK_FLOOR_MS) {
+            notes.push(format!(
+                "SKIP tput {} (wall {:.2}ms/{:.2}ms below the {WALL_CLOCK_FLOOR_MS:.0}ms \
+                 measurement floor)",
+                base.key, base.wall_ms, cur.wall_ms
+            ));
+        } else if cur.throughput < base.throughput * (1.0 - tput_tol) {
+            let floor = base.throughput * (1.0 - tput_tol);
+            regressions.push(format!(
+                "THROUGHPUT {}: {:.0} < {:.0} (baseline {:.0} {}, -{:.0}% tolerated)",
+                base.key,
+                cur.throughput,
+                floor,
+                base.throughput,
+                base.throughput_unit,
+                tput_tol * 100.0
+            ));
+        }
+        let ceil = base.violating_idle + tolerance;
+        if cur.violating_idle > ceil {
+            regressions.push(format!(
+                "IDLE      {}: violating idle {:.3} > {:.3} (baseline {:.3} + {:.2} abs)",
+                base.key, cur.violating_idle, ceil, base.violating_idle, tolerance
+            ));
+        }
+        // The model backend's executor is deterministic, so its wall-clock
+        // throughput being skipped above does not leave it ungated: its
+        // migration count is an exact behavioural fingerprint, and any
+        // drift beyond tolerance (in either direction — more migrations
+        // means ping-pong, fewer means lost balancing work) flags a real
+        // change that needs a deliberate re-baseline.
+        if base.backend == "model"
+            && base.migrations.is_finite()
+            && cur.migrations.is_finite()
+            && (cur.migrations - base.migrations).abs() > base.migrations * tolerance
+        {
+            regressions.push(format!(
+                "MIGRATIONS {}: {:.0} vs baseline {:.0} (deterministic backend, ±{:.0}% tolerated)",
+                base.key,
+                cur.migrations,
+                base.migrations,
+                tolerance * 100.0
+            ));
+        }
+    }
+    for cur in &current {
+        if !baseline.iter().any(|b| b.key == cur.key) {
+            notes.push(format!("NEW       {} (re-baseline to start gating it)", cur.key));
+        }
+    }
+
+    println!(
+        "bench-diff: {} baseline records, {} current, {} compared, tolerance ±{:.0}%",
+        baseline.len(),
+        current.len(),
+        compared,
+        tolerance * 100.0
+    );
+    for note in &notes {
+        println!("  note: {note}");
+    }
+    if regressions.is_empty() {
+        println!("bench-diff: OK — no regression beyond tolerance");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("bench-diff: {} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench-diff") => match bench_diff(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- bench-diff --current PATH [--baseline PATH] [--tolerance F]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(records: &str) -> String {
+        format!("{{\"schema_version\": 2, \"records\": [{records}]}}")
+    }
+
+    fn record(experiment: &str, backend: &str, throughput: f64, idle: f64, unit: &str) -> String {
+        format!(
+            "{{\"experiment\": \"{experiment}\", \"scenario\": \"s\", \"backend\": \"{backend}\", \
+             \"throughput\": {throughput}, \"throughput_unit\": \"{unit}\", \
+             \"violating_idle\": {idle}}}"
+        )
+    }
+
+    fn parse_records(text: &str) -> Vec<Record> {
+        records_of(&json::parse(text).unwrap(), "test").unwrap()
+    }
+
+    #[test]
+    fn records_parse_from_the_harness_shape() {
+        let records = parse_records(&doc(&record("e1", "sim", 2400.0, 0.25, "ops/s")));
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].key, "e1 | s | sim");
+        assert_eq!(records[0].throughput, 2400.0);
+        assert_eq!(records[0].violating_idle, 0.25);
+    }
+
+    #[test]
+    fn regression_detection_via_files() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        std::fs::write(&base, doc(&record("e1", "sim", 1000.0, 0.2, "ops/s"))).unwrap();
+        // Within tolerance: -10% throughput.
+        std::fs::write(&good, doc(&record("e1", "sim", 900.0, 0.2, "ops/s"))).unwrap();
+        // Beyond tolerance: -20% throughput.
+        std::fs::write(&bad, doc(&record("e1", "sim", 800.0, 0.2, "ops/s"))).unwrap();
+        let run = |current: &std::path::Path| {
+            bench_diff(&[
+                "--baseline".into(),
+                base.to_str().unwrap().into(),
+                "--current".into(),
+                current.to_str().unwrap().into(),
+                "--tolerance".into(),
+                "0.15".into(),
+            ])
+            .unwrap()
+        };
+        assert_eq!(run(&good), ExitCode::SUCCESS);
+        assert_eq!(run(&bad), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn model_migration_drift_is_gated_despite_the_wall_clock_floor() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-migrations");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        let model = |migrations: u64| {
+            format!(
+                "{{\"experiment\": \"e2\", \"scenario\": \"s\", \"backend\": \"model\", \
+                 \"throughput\": 100000.0, \"throughput_unit\": \"migrations/s\", \
+                 \"violating_idle\": 0.1, \"migrations\": {migrations}, \"wall_ms\": 0.05}}"
+            )
+        };
+        std::fs::write(&base, doc(&model(20))).unwrap();
+        // 25% fewer migrations from a deterministic backend: a behaviour
+        // change, caught even though the wall-clock throughput is skipped.
+        std::fs::write(&cur, doc(&model(15))).unwrap();
+        let code = bench_diff(&[
+            "--baseline".into(),
+            base.to_str().unwrap().into(),
+            "--current".into(),
+            cur.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert_eq!(code, ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn sub_floor_wall_clock_throughput_is_skipped_not_gated() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-floor");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        let noisy = |tput: f64| {
+            format!(
+                "{{\"experiment\": \"e5\", \"scenario\": \"s\", \"backend\": \"model\", \
+                 \"throughput\": {tput}, \"throughput_unit\": \"migrations/s\", \
+                 \"violating_idle\": 0.1, \"wall_ms\": 0.06}}"
+            )
+        };
+        std::fs::write(&base, doc(&noisy(1_500_000.0))).unwrap();
+        // A 3x wall-clock "regression" on a 0.06ms measurement is noise.
+        std::fs::write(&cur, doc(&noisy(500_000.0))).unwrap();
+        let code = bench_diff(&[
+            "--baseline".into(),
+            base.to_str().unwrap().into(),
+            "--current".into(),
+            cur.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn wall_clock_units_get_double_tolerance() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-wall");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, doc(&record("e2", "rq", 1000.0, 0.1, "migrations/s"))).unwrap();
+        // -20% would fail a ±15% relative gate, but wall-clock units
+        // tolerate ±30%.
+        std::fs::write(&cur, doc(&record("e2", "rq", 800.0, 0.1, "migrations/s"))).unwrap();
+        let code = bench_diff(&[
+            "--baseline".into(),
+            base.to_str().unwrap().into(),
+            "--current".into(),
+            cur.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn idle_regressions_and_missing_records_fail() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-idle");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let idle = dir.join("idle.json");
+        let missing = dir.join("missing.json");
+        std::fs::write(&base, doc(&record("e3", "model", 100.0, 0.1, "ops/s"))).unwrap();
+        std::fs::write(&idle, doc(&record("e3", "model", 100.0, 0.4, "ops/s"))).unwrap();
+        std::fs::write(&missing, doc(&record("e4", "model", 100.0, 0.1, "ops/s"))).unwrap();
+        let run = |current: &std::path::Path| {
+            bench_diff(&[
+                "--baseline".into(),
+                base.to_str().unwrap().into(),
+                "--current".into(),
+                current.to_str().unwrap().into(),
+            ])
+            .unwrap()
+        };
+        assert_eq!(run(&idle), ExitCode::FAILURE, "idle fraction rose by 0.3 > 0.15 abs");
+        assert_eq!(run(&missing), ExitCode::FAILURE, "baseline record disappeared");
+    }
+}

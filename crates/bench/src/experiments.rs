@@ -36,13 +36,16 @@ pub enum ExperimentId {
     E14,
     E15,
     E16,
+    E17,
+    E18,
+    E19,
 }
 
 impl ExperimentId {
     /// All experiments, in index order.
     pub fn all() -> Vec<ExperimentId> {
         use ExperimentId::*;
-        vec![E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16]
+        vec![E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19]
     }
 
     /// Parses an experiment id such as `e5` or `E12`.
@@ -65,6 +68,9 @@ impl ExperimentId {
             "e14" => E14,
             "e15" => E15,
             "e16" => E16,
+            "e17" => E17,
+            "e18" => E18,
+            "e19" => E19,
             _ => return None,
         })
     }
@@ -89,6 +95,11 @@ impl ExperimentId {
             E14 => "E14 §5: NUMA imbalance — distance-ordered stealing drains a saturated node",
             E15 => "E15 §5: cross-node ping-pong bait — locality of the victim search",
             E16 => "E16 §5: hierarchical convergence — per-level balancing stays node-local",
+            E17 => {
+                "E17 §3.1: bursty on/off load — instantaneous balancing thrashes, PELT converges"
+            }
+            E18 => "E18 §4.2: mixed niceness — instantaneous weighted vs PELT-decayed weighted",
+            E19 => "E19 §3.1: load-tracker overhead on the balancing hot path",
         }
     }
 }
@@ -112,6 +123,9 @@ pub fn run_experiment(id: ExperimentId) -> Vec<Table> {
         ExperimentId::E14 => e14_numa_imbalance(),
         ExperimentId::E15 => e15_cross_node_pingpong(),
         ExperimentId::E16 => e16_hierarchical_convergence(),
+        ExperimentId::E17 => e17_bursty_tracking(),
+        ExperimentId::E18 => e18_mixed_nice_tracking(),
+        ExperimentId::E19 => e19_tracker_overhead(),
     }
 }
 
@@ -771,6 +785,151 @@ fn e16_hierarchical_convergence() -> Vec<Table> {
     )]
 }
 
+/// E17: the bursty on/off scenario under instantaneous and PELT criteria,
+/// on all three backends — the load-tracking headline number.
+fn e17_bursty_tracking() -> Vec<Table> {
+    use crate::runner::ExperimentRunner;
+    use sched_metrics::MigrationChurn;
+
+    let specs: Vec<crate::runner::ExperimentSpec> =
+        crate::runner::catalog().into_iter().filter(|s| s.id == ExperimentId::E17).collect();
+    let runner = ExperimentRunner::with_all_backends();
+    let mut table = Table::new(
+        "E17: bursty on/off load — migrations are churn; a decayed criterion avoids them at the same violating idle",
+        &["criterion", "backend", "migrations", "failures", "violating idle %", "migrations/epoch"],
+    );
+    let mut churn: Vec<(String, MigrationChurn)> = Vec::new();
+    for spec in &specs {
+        for r in runner.run(spec) {
+            let epochs = spec.burst.map_or(0, |b| b.epochs as u64);
+            let c = MigrationChurn::new(r.migrations, r.failures, epochs, r.violating_idle);
+            table.row(&[
+                r.tracker.into(),
+                r.backend.into(),
+                r.migrations.to_string(),
+                r.failures.to_string(),
+                format!("{:.1}%", r.violating_idle * 100.0),
+                format!("{:.2}", c.per_epoch()),
+            ]);
+            churn.push((format!("{}|{}", r.tracker, r.backend), c));
+        }
+    }
+    let mut ratio = Table::new(
+        "E17b: churn ratio — instantaneous migrations per PELT migration, per backend",
+        &[
+            "backend",
+            "instantaneous migrations",
+            "pelt migrations",
+            "churn ratio",
+            "pelt dominates",
+        ],
+    );
+    for backend in ["model", "sim", "rq"] {
+        let find = |tracker: &str| {
+            churn.iter().find(|(k, _)| k == &format!("{tracker}|{backend}")).map(|(_, c)| *c)
+        };
+        if let (Some(inst), Some(pelt)) = (find("nr_threads"), find("pelt(nr_threads, 8ms)")) {
+            ratio.row(&[
+                backend.into(),
+                inst.migrations.to_string(),
+                pelt.migrations.to_string(),
+                format!("{:.1}x", inst.churn_ratio_vs(&pelt)),
+                if pelt.dominates(&inst, 0.02) { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    vec![table, ratio]
+}
+
+/// E18: a mixed-niceness imbalance balanced on instantaneous weighted load
+/// versus its PELT-decayed counterpart: the decayed criterion reaches the
+/// same weighted balance, paying a bounded warm-up lag.
+fn e18_mixed_nice_tracking() -> Vec<Table> {
+    use crate::runner::{ExperimentRunner, ModelBackend, PolicySpec, RqBackend};
+
+    let spec = unified_spec(ExperimentId::E18);
+    let runner = ExperimentRunner::new(vec![Box::new(ModelBackend), Box::new(RqBackend)]);
+    let mut table = Table::new(
+        "E18: single hot core, 24 mixed-nice threads — weighted balance under instantaneous vs decayed tracking",
+        &["criterion", "backend", "rounds to WC", "migrations", "failures"],
+    );
+    for policy in [PolicySpec::Weighted, PolicySpec::PeltWeighted] {
+        let mut spec = spec.clone();
+        spec.policy = policy;
+        for r in runner.run(&spec) {
+            table.row(&[
+                r.tracker.into(),
+                r.backend.into(),
+                r.convergence_rounds.map(|n| n.to_string()).unwrap_or_else(|| "never".into()),
+                r.migrations.to_string(),
+                r.failures.to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// E19: what the tracker costs on the balancing hot path — ns per
+/// lock-less balancing operation on the threaded runqueues, per criterion.
+fn e19_tracker_overhead() -> Vec<Table> {
+    use sched_rq::MultiQueue;
+    use std::sync::Arc as StdArc;
+
+    let mut table = Table::new(
+        "E19: tracker overhead — ns per balance_once on 64 threaded runqueues (lock-less selection phase)",
+        &["tracker", "balance ns/op", "tick ns/core", "slowdown vs nr_threads"],
+    );
+    let loads: Vec<usize> = (0..64).map(|i| if i % 4 == 0 { 6 } else { 0 }).collect();
+    let trackers: Vec<(StdArc<dyn sched_core::LoadTracker>, Policy)> = vec![
+        (StdArc::new(sched_core::NrThreadsTracker), Policy::simple()),
+        (StdArc::new(sched_core::WeightedTracker), Policy::weighted()),
+        (
+            StdArc::new(sched_core::PeltTracker::new(LoadMetric::NrThreads, 8_000_000)),
+            Policy::pelt(8_000_000),
+        ),
+    ];
+    let mut baseline_ns = None;
+    for (tracker, policy) in trackers {
+        let name = tracker.name();
+        let mq: MultiQueue = MultiQueue::with_tracker(loads.len(), tracker);
+        for (core, &n) in loads.iter().enumerate() {
+            for _ in 0..n {
+                mq.spawn_on(CoreId(core));
+            }
+        }
+        mq.tick(64_000_000);
+
+        let iterations = 20_000u32;
+        let start = Instant::now();
+        for i in 0..iterations {
+            let _ = mq.balance_once(CoreId((i as usize) % loads.len()), &policy);
+        }
+        let balance_ns = start.elapsed().as_nanos() as f64 / f64::from(iterations);
+
+        let ticks = 200u32;
+        let start = Instant::now();
+        for i in 0..ticks {
+            mq.tick(64_000_000 + u64::from(i + 1) * 1_000_000);
+        }
+        let tick_ns = start.elapsed().as_nanos() as f64 / f64::from(ticks) / loads.len() as f64;
+
+        let slowdown = match baseline_ns {
+            None => {
+                baseline_ns = Some(balance_ns);
+                1.0
+            }
+            Some(base) => balance_ns / base,
+        };
+        table.row(&[
+            name,
+            format!("{balance_ns:.0}"),
+            format!("{tick_ns:.0}"),
+            format!("{slowdown:.2}x"),
+        ]);
+    }
+    vec![table]
+}
+
 /// E13: the DSL front-end, its phase checker and its two backends.
 fn e13_dsl() -> Vec<Table> {
     let scope = Scope::small();
@@ -801,11 +960,63 @@ mod tests {
         assert_eq!(ExperimentId::parse("e5"), Some(ExperimentId::E5));
         assert_eq!(ExperimentId::parse("E13"), Some(ExperimentId::E13));
         assert_eq!(ExperimentId::parse("e16"), Some(ExperimentId::E16));
+        assert_eq!(ExperimentId::parse("e19"), Some(ExperimentId::E19));
         assert_eq!(ExperimentId::parse("nope"), None);
-        assert_eq!(ExperimentId::all().len(), 16);
+        assert_eq!(ExperimentId::all().len(), 19);
         for id in ExperimentId::all() {
             assert!(!id.title().is_empty());
         }
+    }
+
+    #[test]
+    fn e17_pelt_dominates_instantaneous_balancing_on_every_backend() {
+        // The load-tracking acceptance claim: on the bursty on/off scenario
+        // the PELT criterion performs measurably fewer migrations than
+        // instantaneous nr-threads balancing at equal-or-better violating
+        // idle — on the simulator AND on the real-thread runqueues.
+        let specs: Vec<crate::runner::ExperimentSpec> =
+            crate::runner::catalog().into_iter().filter(|s| s.id == ExperimentId::E17).collect();
+        assert_eq!(specs.len(), 2);
+        let runner = crate::runner::ExperimentRunner::with_all_backends();
+        let records: Vec<crate::runner::ExperimentRecord> =
+            specs.iter().flat_map(|s| runner.run(s)).collect();
+        for backend in ["model", "sim", "rq"] {
+            let find = |tracker: &str| {
+                records
+                    .iter()
+                    .find(|r| r.backend == backend && r.tracker == tracker)
+                    .unwrap_or_else(|| panic!("missing {tracker} record for {backend}"))
+            };
+            let inst = find("nr_threads");
+            let pelt = find("pelt(nr_threads, 8ms)");
+            assert!(
+                pelt.migrations * 2 < inst.migrations,
+                "{backend}: PELT must at least halve the churn ({} vs {})",
+                pelt.migrations,
+                inst.migrations
+            );
+            assert!(
+                pelt.violating_idle <= inst.violating_idle + 0.02,
+                "{backend}: PELT idle {:.3} must not exceed instantaneous idle {:.3}",
+                pelt.violating_idle,
+                inst.violating_idle
+            );
+        }
+    }
+
+    #[test]
+    fn e18_and_e19_produce_tables() {
+        let tables = run_experiment(ExperimentId::E18);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].nr_rows(), 4, "two criteria x two backends");
+        let csv = tables[0].to_csv();
+        assert!(
+            csv.lines().skip(1).all(|l| !l.contains("never")),
+            "both criteria converge:\n{csv}"
+        );
+        let tables = run_experiment(ExperimentId::E19);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].nr_rows(), 3, "one row per tracker");
     }
 
     #[test]

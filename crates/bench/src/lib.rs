@@ -16,9 +16,12 @@
 //! machine-readable perf trajectory.
 
 pub mod experiments;
-pub mod json;
 pub mod runner;
 pub mod scenarios;
+
+/// The shared JSON codec (re-exported from `sched-json`, which also backs
+/// the `xtask bench-diff` gate so writer and reader can never disagree).
+pub use sched_json as json;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentId};
 pub use runner::{

@@ -25,12 +25,25 @@ use sched_workloads::{
     ThreadSpec, Workload,
 };
 
+use sched_json::{object, JsonValue};
+
 use crate::experiments::ExperimentId;
-use crate::json::{object, JsonValue};
 
 /// CPU time given to each synthetic task when a load-vector scenario is
 /// replayed on the simulator backend.
 const SYNTH_TASK_NS: u64 = 2_000_000;
+
+/// Logical time between balancing rounds on the model and runqueue
+/// backends (CFS's balancing period is on this order); decayed trackers
+/// fold this much elapsed time per round.
+const ROUND_NS: u64 = 1_000_000;
+
+/// Half-life used by the catalogued PELT policies.
+pub const PELT_HALF_LIFE_NS: u64 = 8_000_000;
+
+/// Niceness cycle used by mixed-importance scenarios (E18): every third
+/// task is important, normal, then background.
+const MIXED_NICE: [i8; 3] = [-10, 0, 10];
 
 /// How a scenario's policy is built (policies are not `Clone`, and each
 /// backend needs its own instance, so the *recipe* is what the spec holds).
@@ -56,6 +69,12 @@ pub enum PolicySpec {
     Hierarchical,
     /// Listing 1 compiled from its DSL source (`sched_dsl::stdlib::LISTING1`).
     DslListing1,
+    /// Listing 1 over a PELT-style decayed thread count
+    /// ([`sched_core::Policy::pelt`], half-life [`PELT_HALF_LIFE_NS`]).
+    Pelt,
+    /// The weighted balancer over a PELT-style decayed weighted load
+    /// ([`sched_core::Policy::pelt_weighted`]).
+    PeltWeighted,
 }
 
 impl PolicySpec {
@@ -70,6 +89,19 @@ impl PolicySpec {
             PolicySpec::TopoAware => "listing1+topo_choice",
             PolicySpec::Hierarchical => "hierarchical(topo)",
             PolicySpec::DslListing1 => "dsl(listing1)",
+            PolicySpec::Pelt => "listing1+pelt",
+            PolicySpec::PeltWeighted => "weighted+pelt",
+        }
+    }
+
+    /// Name of the load criterion this policy balances (the `tracker` field
+    /// of the JSON records, schema v3).
+    pub fn tracker_name(self) -> &'static str {
+        match self {
+            PolicySpec::Weighted => "weighted",
+            PolicySpec::Pelt => "pelt(nr_threads, 8ms)",
+            PolicySpec::PeltWeighted => "pelt(weighted, 8ms)",
+            _ => "nr_threads",
         }
     }
 
@@ -99,6 +131,8 @@ impl PolicySpec {
                     .expect("the stdlib Listing 1 source compiles")
                     .policy
             }
+            PolicySpec::Pelt => Policy::pelt(PELT_HALF_LIFE_NS),
+            PolicySpec::PeltWeighted => Policy::pelt_weighted(PELT_HALF_LIFE_NS),
         }
     }
 }
@@ -137,6 +171,24 @@ pub enum WorkloadKind {
     Oltp,
 }
 
+/// A bursty on/off scenario layered over a spec's load vector: each epoch,
+/// one core's tasks briefly go to sleep (its instantaneous load drops to
+/// zero) and return at the epoch's end.  The time-averaged load of every
+/// core is identical, so migrations performed during the blips are pure
+/// churn — the shape experiment E17 uses to separate instantaneous from
+/// decayed load criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// Number of sleep/wake epochs (one balancing round each).
+    pub epochs: usize,
+    /// Logical time between epochs, in nanoseconds.  Kept well below the
+    /// PELT half-life so decayed loads barely move across one blip.
+    pub epoch_ns: u64,
+    /// Logical warm-up time before the first epoch, so decayed trackers
+    /// have converged to the steady per-core load when the blinking starts.
+    pub warmup_ns: u64,
+}
+
 /// One experiment, declared once, executable on every backend.
 #[derive(Debug, Clone)]
 pub struct ExperimentSpec {
@@ -154,6 +206,11 @@ pub struct ExperimentSpec {
     pub workload: Option<WorkloadKind>,
     /// Balancing-round budget for the model and runqueue backends.
     pub budget_rounds: usize,
+    /// Bursty on/off driver replacing the run-to-convergence loop, if any.
+    pub burst: Option<BurstSpec>,
+    /// Give the initial tasks mixed niceness (cycling important / normal /
+    /// background) instead of uniform `nice 0`.
+    pub mixed_nice: bool,
 }
 
 impl ExperimentSpec {
@@ -164,6 +221,21 @@ impl ExperimentSpec {
 
     /// The workload the simulator backend runs for this spec.
     fn sim_workload(&self, nr_cores: usize) -> Workload {
+        if let Some(burst) = self.burst {
+            // The simulator realises the on/off shape natively: blinker
+            // threads whose compute/sleep cycles open the same transient
+            // imbalances the model/rq drivers script by hand.
+            return sched_workloads::OnOffWorkload {
+                nr_cores,
+                blinkers_per_core: 2,
+                cycles: burst.epochs.min(24),
+                on_ns: burst.epoch_ns * 2,
+                off_ns: burst.epoch_ns * 2,
+                jitter: 0.4,
+                seed: 17,
+            }
+            .generate();
+        }
         match self.workload {
             Some(WorkloadKind::Scientific) => ScientificWorkload {
                 nr_threads: nr_cores,
@@ -188,14 +260,20 @@ impl ExperimentSpec {
                 // Replay the load vector: `loads[i]` independent tasks of
                 // fixed CPU time pinned to origin core `i`.
                 let mut workload = Workload::new(format!("synthetic({})", self.scenario));
+                let mut index = 0usize;
                 for (core, &n) in self.loads.iter().enumerate() {
                     for _ in 0..n {
                         workload.push(ThreadSpec {
-                            nice: 0,
+                            nice: if self.mixed_nice {
+                                MIXED_NICE[index % MIXED_NICE.len()]
+                            } else {
+                                0
+                            },
                             arrival_ns: 0,
                             origin_core: Some(core),
                             phases: vec![WorkloadPhase::Compute(SYNTH_TASK_NS)],
                         });
+                        index += 1;
                     }
                 }
                 workload
@@ -215,6 +293,8 @@ pub struct ExperimentRecord {
     pub backend: &'static str,
     /// Policy name from the spec.
     pub policy: &'static str,
+    /// Name of the load criterion the policy balanced (schema v3).
+    pub tracker: &'static str,
     /// Machine size.
     pub cores: usize,
     /// Initial thread count.
@@ -255,6 +335,7 @@ impl ExperimentRecord {
             ("scenario", JsonValue::Str(self.scenario.clone())),
             ("backend", JsonValue::Str(self.backend.into())),
             ("policy", JsonValue::Str(self.policy.into())),
+            ("tracker", JsonValue::Str(self.tracker.into())),
             ("cores", JsonValue::Int(self.cores as i64)),
             ("threads", JsonValue::Int(self.threads as i64)),
             ("throughput", JsonValue::Float(self.throughput)),
@@ -300,6 +381,7 @@ fn record_base(spec: &ExperimentSpec, backend: &'static str) -> ExperimentRecord
         scenario: spec.scenario.to_string(),
         backend,
         policy: spec.policy.name(),
+        tracker: spec.policy.tracker_name(),
         cores: spec.loads.len(),
         threads: spec.nr_threads(),
         throughput: 0.0,
@@ -333,10 +415,89 @@ fn finish_node_idle(acc: Vec<f64>, sampled_rounds: u64) -> Vec<f64> {
     }
 }
 
+/// Niceness of the `i`-th spawned task under a spec (uniform `nice 0`
+/// unless the spec asks for mixed importance).
+fn nice_of(spec: &ExperimentSpec, index: u64) -> Nice {
+    if spec.mixed_nice {
+        Nice::new(MIXED_NICE[(index as usize) % MIXED_NICE.len()])
+    } else {
+        Nice::NORMAL
+    }
+}
+
 /// Pure-model backend: concurrent balancing rounds on
 /// [`sched_core::SystemState`], no time, no threads — the altitude the
 /// proofs live at.
 pub struct ModelBackend;
+
+impl ModelBackend {
+    /// The bursty on/off driver: each epoch one core's tasks sleep, a
+    /// single balancing round runs against the blipped state, and the
+    /// sleepers return.  Counts the churn those blips induce.
+    fn run_burst(
+        &self,
+        spec: &ExperimentSpec,
+        burst: BurstSpec,
+        mut system: SystemState,
+        topo: &Arc<MachineTopology>,
+    ) -> ExperimentRecord {
+        let balancer = Balancer::new(spec.policy.build(topo));
+        let tracker = Arc::clone(&balancer.policy().tracker);
+        let executor = ConcurrentRound::new(&balancer);
+        let mut record = record_base(spec, "model");
+        let nr_cores = system.nr_cores();
+        let mut node_idle = vec![0.0f64; topo.nr_nodes()];
+        let mut violating_core_rounds = 0.0f64;
+
+        // Warm up: let decayed trackers converge to the steady loads.
+        let mut now = burst.warmup_ns;
+        system.tick(now, tracker.as_ref());
+
+        let start = Instant::now();
+        for epoch in 0..burst.epochs {
+            // One core's tasks go to sleep: stash them away.
+            let sleeper = CoreId(epoch % nr_cores);
+            let parked_current = system.core_mut(sleeper).current.take();
+            let parked_ready = std::mem::take(&mut system.core_mut(sleeper).ready);
+
+            now += burst.epoch_ns;
+            system.tick(now, tracker.as_ref());
+            let idle = system.idle_cores();
+            violating_core_rounds += idle.len() as f64 / nr_cores as f64;
+            sample_node_idle(&mut node_idle, topo, |c| idle.contains(&CoreId(c)));
+
+            let report = executor.execute(&mut system, &RoundSchedule::AllSelectThenSteal);
+            record.migrations += report.nr_stolen() as u64;
+            record.failures += report.nr_failures() as u64;
+            for attempt in report.successes() {
+                let victim = attempt.outcome.victim().expect("successes have victims");
+                record.locality.record(
+                    topo.steal_level(attempt.thief, victim),
+                    attempt.outcome.nr_stolen() as u64,
+                );
+            }
+
+            // The sleepers wake on their own core.
+            if let Some(task) = parked_current {
+                system.core_mut(sleeper).enqueue(task);
+            }
+            for task in parked_ready {
+                system.core_mut(sleeper).enqueue(task);
+            }
+        }
+        let wall = start.elapsed();
+
+        record.wall_ms = wall.as_secs_f64() * 1e3;
+        record.throughput = if wall.as_secs_f64() > 0.0 {
+            record.migrations as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        record.violating_idle = violating_core_rounds / burst.epochs.max(1) as f64;
+        record.per_node_violating_idle = finish_node_idle(node_idle, burst.epochs as u64);
+        record
+    }
+}
 
 impl Backend for ModelBackend {
     fn name(&self) -> &'static str {
@@ -352,12 +513,19 @@ impl Backend for ModelBackend {
         let mut next_task = 0u64;
         for (core, &n) in spec.loads.iter().enumerate() {
             for _ in 0..n {
-                system.core_mut(CoreId(core)).enqueue(Task::new(TaskId(next_task)));
+                system
+                    .core_mut(CoreId(core))
+                    .enqueue(Task::with_nice(TaskId(next_task), nice_of(spec, next_task)));
                 next_task += 1;
             }
         }
 
+        if let Some(burst) = spec.burst {
+            return Some(self.run_burst(spec, burst, system, &topo));
+        }
+
         let balancer = Balancer::new(spec.policy.build(&topo));
+        let tracker = Arc::clone(&balancer.policy().tracker);
         let hierarchical = spec
             .policy
             .is_hierarchical()
@@ -385,6 +553,9 @@ impl Backend for ModelBackend {
 
         let start = Instant::now();
         for round in 0..=spec.budget_rounds {
+            // One balancing period elapses per round; decayed criteria fold
+            // it into every core's tracked load before selecting victims.
+            system.tick((round as u64 + 1) * ROUND_NS, tracker.as_ref());
             if system.is_work_conserving() {
                 record.convergence_rounds = Some(round);
                 break;
@@ -484,6 +655,64 @@ impl Backend for SimBackend {
 /// contended double-lock stealing.
 pub struct RqBackend;
 
+impl RqBackend {
+    /// The threaded twin of [`ModelBackend::run_burst`]: per epoch, drain
+    /// one core (its tasks "sleep"), run one genuinely concurrent round
+    /// against the blipped state, then respawn the sleepers on their core.
+    fn run_burst(
+        &self,
+        spec: &ExperimentSpec,
+        burst: BurstSpec,
+        mq: MultiQueue,
+        topo: &Arc<MachineTopology>,
+    ) -> ExperimentRecord {
+        let policy = spec.policy.build(topo);
+        let mut record = record_base(spec, "rq");
+        let nr_cores = spec.loads.len();
+        let mut node_idle = vec![0.0f64; topo.nr_nodes()];
+        let mut violating_core_rounds = 0.0f64;
+
+        let mut now = burst.warmup_ns;
+        mq.tick(now);
+
+        let start = Instant::now();
+        for epoch in 0..burst.epochs {
+            let sleeper = CoreId(epoch % nr_cores);
+            let mut parked = Vec::new();
+            while let Some(task) = mq.core(sleeper).complete_current() {
+                parked.push(task.nice);
+            }
+
+            now += burst.epoch_ns;
+            mq.tick(now);
+            let snapshots = mq.snapshots();
+            let idle = snapshots.iter().filter(|s| s.nr_threads == 0).count();
+            violating_core_rounds += idle as f64 / nr_cores as f64;
+            sample_node_idle(&mut node_idle, topo, |c| snapshots[c].nr_threads == 0);
+
+            let stats = mq.concurrent_round(&policy);
+            record.migrations += stats.migrations();
+            record.failures += stats.failures();
+            record.locality.merge(&StealLocality::from_counts(stats.level_migration_counts()));
+
+            for nice in parked {
+                mq.spawn_on_with_nice(sleeper, nice);
+            }
+        }
+        let wall = start.elapsed();
+
+        record.wall_ms = wall.as_secs_f64() * 1e3;
+        record.throughput = if wall.as_secs_f64() > 0.0 {
+            record.migrations as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        record.violating_idle = violating_core_rounds / burst.epochs.max(1) as f64;
+        record.per_node_violating_idle = finish_node_idle(node_idle, burst.epochs as u64);
+        record
+    }
+}
+
 impl Backend for RqBackend {
     fn name(&self) -> &'static str {
         "rq"
@@ -494,14 +723,21 @@ impl Backend for RqBackend {
         if topo.nr_cpus() != spec.loads.len() {
             return None;
         }
-        let mq: MultiQueue = MultiQueue::with_topology(&topo);
+        let policy = spec.policy.build(&topo);
+        let mq: MultiQueue =
+            MultiQueue::with_topology_and_tracker(&topo, Arc::clone(&policy.tracker));
+        let mut next_task = 0u64;
         for (core, &n) in spec.loads.iter().enumerate() {
             for _ in 0..n {
-                mq.spawn_on(CoreId(core));
+                mq.spawn_on_with_nice(CoreId(core), nice_of(spec, next_task));
+                next_task += 1;
             }
         }
 
-        let policy = spec.policy.build(&topo);
+        if let Some(burst) = spec.burst {
+            return Some(self.run_burst(spec, burst, mq, &topo));
+        }
+
         let mut record = record_base(spec, self.name());
         let nr_cores = spec.loads.len();
         let mut violating_core_rounds = 0.0f64;
@@ -510,6 +746,9 @@ impl Backend for RqBackend {
 
         let start = Instant::now();
         for round in 0..=spec.budget_rounds {
+            // One balancing period elapses per round (decayed criteria fold
+            // it under each runqueue's lock).
+            mq.tick((round as u64 + 1) * ROUND_NS);
             if mq.is_work_conserving() {
                 record.convergence_rounds = Some(round);
                 break;
@@ -601,6 +840,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Listing1,
             workload: None,
             budget_rounds: 256,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E2,
@@ -610,6 +851,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Listing1,
             workload: None,
             budget_rounds: 128,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E3,
@@ -619,6 +862,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Listing1,
             workload: None,
             budget_rounds: 64,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E4,
@@ -628,6 +873,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Weighted,
             workload: None,
             budget_rounds: 64,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E5,
@@ -637,6 +884,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Greedy,
             workload: None,
             budget_rounds: 64,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E6,
@@ -646,6 +895,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Listing1,
             workload: None,
             budget_rounds: 128,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E7,
@@ -655,6 +906,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Listing1,
             workload: None,
             budget_rounds: 128,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E8,
@@ -664,6 +917,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::StealHalf,
             workload: None,
             budget_rounds: 1024,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E9,
@@ -677,6 +932,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Listing1,
             workload: Some(WorkloadKind::Scientific),
             budget_rounds: 256,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E10,
@@ -692,6 +949,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Listing1,
             workload: Some(WorkloadKind::Oltp),
             budget_rounds: 256,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E11,
@@ -701,6 +960,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Listing1,
             workload: None,
             budget_rounds: 512,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E12,
@@ -710,6 +971,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::NumaAware,
             workload: None,
             budget_rounds: 512,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E13,
@@ -719,6 +982,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::DslListing1,
             workload: None,
             budget_rounds: 128,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E14,
@@ -737,6 +1002,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::TopoAware,
             workload: None,
             budget_rounds: 256,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E15,
@@ -757,6 +1024,8 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::TopoAware,
             workload: None,
             budget_rounds: 512,
+            burst: None,
+            mixed_nice: false,
         },
         ExperimentSpec {
             id: ExperimentId::E16,
@@ -774,6 +1043,63 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             policy: PolicySpec::Hierarchical,
             workload: None,
             budget_rounds: 512,
+            burst: None,
+            mixed_nice: false,
+        },
+        // E17 is a *comparison*: the same bursty on/off scenario once under
+        // instantaneous thread counts and once under the PELT tracker, so
+        // the regression gate pins both sides of the churn gap.
+        ExperimentSpec {
+            id: ExperimentId::E17,
+            scenario: "bursty on/off: instantaneous balancing",
+            loads: vec![2; 8],
+            topo: TopoSpec::Flat(8),
+            policy: PolicySpec::Listing1,
+            workload: None,
+            budget_rounds: 64,
+            burst: Some(BurstSpec {
+                epochs: 32,
+                epoch_ns: 1_000_000,
+                warmup_ns: 32 * PELT_HALF_LIFE_NS,
+            }),
+            mixed_nice: false,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E17,
+            scenario: "bursty on/off: PELT balancing",
+            loads: vec![2; 8],
+            topo: TopoSpec::Flat(8),
+            policy: PolicySpec::Pelt,
+            workload: None,
+            budget_rounds: 64,
+            burst: Some(BurstSpec {
+                epochs: 32,
+                epoch_ns: 1_000_000,
+                warmup_ns: 32 * PELT_HALF_LIFE_NS,
+            }),
+            mixed_nice: false,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E18,
+            scenario: "mixed niceness: PELT-decayed weighted balancing",
+            loads: StaticImbalance::new(8, 24, ImbalancePattern::SingleHot).loads(),
+            topo: TopoSpec::Flat(8),
+            policy: PolicySpec::PeltWeighted,
+            workload: None,
+            budget_rounds: 512,
+            burst: None,
+            mixed_nice: true,
+        },
+        ExperimentSpec {
+            id: ExperimentId::E19,
+            scenario: "tracker overhead: every fourth core hot, 64 cores",
+            loads: (0..64).map(|i| if i % 4 == 0 { 6 } else { 0 }).collect(),
+            topo: TopoSpec::Flat(64),
+            policy: PolicySpec::Pelt,
+            workload: None,
+            budget_rounds: 512,
+            burst: None,
+            mixed_nice: false,
         },
     ]
 }
@@ -787,8 +1113,9 @@ pub fn records_to_json(records: &[ExperimentRecord]) -> String {
             JsonValue::Str("Towards Proving Optimistic Multicore Schedulers (HotOS 2017)".into()),
         ),
         ("harness", JsonValue::Str("sched-bench experiments --json".into())),
-        // v2: per-level steal counts, remote_steal_rate, per-node idle.
-        ("schema_version", JsonValue::Int(2)),
+        // v3: per-record `tracker` (load criterion) on top of the v2
+        // per-level steal counts, remote_steal_rate and per-node idle.
+        ("schema_version", JsonValue::Int(3)),
         ("records", JsonValue::Array(records.iter().map(ExperimentRecord::to_json).collect())),
     ])
     .render_pretty()
@@ -803,6 +1130,7 @@ pub fn records_table(records: &[ExperimentRecord]) -> Table {
             "scenario",
             "backend",
             "policy",
+            "tracker",
             "cores",
             "threads",
             "throughput",
@@ -822,6 +1150,7 @@ pub fn records_table(records: &[ExperimentRecord]) -> Table {
             r.scenario.clone(),
             r.backend.into(),
             r.policy.into(),
+            r.tracker.into(),
             r.cores.to_string(),
             r.threads.to_string(),
             format!("{:.0} {}", r.throughput, r.throughput_unit),
@@ -850,16 +1179,50 @@ mod tests {
             policy,
             workload: None,
             budget_rounds: 64,
+            burst: None,
+            mixed_nice: false,
         }
     }
 
     #[test]
-    fn catalog_declares_every_experiment_once() {
+    fn tracker_names_match_the_built_policies() {
+        // `tracker_name` is a static copy of what `build(..)` produces (the
+        // JSON records need &'static str); this pins the two together so a
+        // half-life or format change cannot silently desynchronise them.
+        let topo = Arc::new(TopoSpec::Flat(4).build());
+        for spec in [
+            PolicySpec::Listing1,
+            PolicySpec::Greedy,
+            PolicySpec::Weighted,
+            PolicySpec::StealHalf,
+            PolicySpec::NumaAware,
+            PolicySpec::TopoAware,
+            PolicySpec::Hierarchical,
+            PolicySpec::DslListing1,
+            PolicySpec::Pelt,
+            PolicySpec::PeltWeighted,
+        ] {
+            assert_eq!(
+                spec.tracker_name(),
+                spec.build(&topo).tracker.name(),
+                "{spec:?}: tracker_name drifted from the built tracker"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_covers_every_experiment() {
         let specs = catalog();
-        assert_eq!(specs.len(), 16);
+        assert_eq!(specs.len(), 20);
         let ids: std::collections::BTreeSet<String> =
             specs.iter().map(|s| format!("{:?}", s.id)).collect();
-        assert_eq!(ids.len(), 16, "no experiment is declared twice");
+        assert_eq!(ids.len(), ExperimentId::all().len(), "every experiment id appears");
+        // E17 is the one deliberate comparison pair; every other id appears
+        // exactly once, and the pair is disambiguated by scenario name.
+        assert_eq!(specs.iter().filter(|s| s.id == ExperimentId::E17).count(), 2);
+        let keys: std::collections::BTreeSet<String> =
+            specs.iter().map(|s| format!("{:?}|{}", s.id, s.scenario)).collect();
+        assert_eq!(keys.len(), specs.len(), "scenario names keep gate keys unique");
         for spec in &specs {
             assert_eq!(
                 spec.topo.build().nr_cpus(),

@@ -230,7 +230,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         size: core::ops::Range<usize>,

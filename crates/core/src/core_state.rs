@@ -4,6 +4,7 @@ use sched_topology::NodeId;
 
 use crate::load::LoadMetric;
 use crate::task::{Task, TaskId, Weight};
+use crate::tracker::{LoadTracker, TrackedLoad};
 use crate::CoreId;
 
 /// The scheduling state of one core.
@@ -21,17 +22,26 @@ pub struct CoreState {
     pub current: Option<Task>,
     /// Threads waiting to be scheduled on this core, oldest first.
     pub ready: Vec<Task>,
+    /// The tracker-maintained load average of the core (updated by
+    /// [`CoreState::track`], read through [`LoadMetric::Tracked`]).
+    pub tracked: TrackedLoad,
 }
 
 impl CoreState {
     /// Creates an idle core on node 0.
     pub fn new(id: CoreId) -> Self {
-        CoreState { id, node: NodeId(0), current: None, ready: Vec::new() }
+        CoreState {
+            id,
+            node: NodeId(0),
+            current: None,
+            ready: Vec::new(),
+            tracked: TrackedLoad::default(),
+        }
     }
 
     /// Creates an idle core on the given node.
     pub fn on_node(id: CoreId, node: NodeId) -> Self {
-        CoreState { id, node, current: None, ready: Vec::new() }
+        CoreState { id, node, current: None, ready: Vec::new(), tracked: TrackedLoad::default() }
     }
 
     /// Number of threads on the core, counting the current thread.
@@ -54,7 +64,15 @@ impl CoreState {
         match metric {
             LoadMetric::NrThreads => self.nr_threads(),
             LoadMetric::Weighted => self.weighted_load(),
+            LoadMetric::Tracked => self.tracked.load(),
         }
+    }
+
+    /// Folds the core's current instantaneous load (under `tracker`'s base
+    /// metric) into its tracked average, as observed at `now_ns`.
+    pub fn track(&mut self, now_ns: u64, tracker: &dyn LoadTracker) {
+        let inst = self.load(tracker.base());
+        tracker.update(&mut self.tracked, now_ns, inst);
     }
 
     /// Returns `true` if the core is idle.

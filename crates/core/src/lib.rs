@@ -13,7 +13,7 @@
 //! * the work-conservation definition of §3.2 and the convergence runner that
 //!   searches for the bound `N` ([`work_conservation`]),
 //! * the pairwise load-difference potential `d(c₁, …, cₙ)` of §4.3 used to
-//!   bound the number of successful steals ([`potential`]),
+//!   bound the number of successful steals ([`mod@potential`]),
 //! * a library of filter/choice/steal policies: the paper's Listing 1
 //!   balancer, the §4.3 non-work-conserving greedy filter, a weighted
 //!   (niceness-aware) balancer, and the §5 future-work NUMA-aware and
@@ -52,6 +52,7 @@ pub mod round;
 pub mod snapshot;
 pub mod system;
 pub mod task;
+pub mod tracker;
 pub mod work_conservation;
 
 pub use balancer::Balancer;
@@ -65,6 +66,10 @@ pub use round::{ConcurrentRound, Phase, RoundSchedule, Step};
 pub use snapshot::{CoreSnapshot, SystemSnapshot};
 pub use system::SystemState;
 pub use task::{Nice, Task, TaskId, Weight};
+pub use tracker::{
+    decay_scaled, LoadTracker, NrThreadsTracker, PeltTracker, TrackedLoad, TrackerSpec,
+    WeightedTracker, TRACK_SCALE,
+};
 pub use work_conservation::{converge, ConvergenceResult};
 
 /// Identifier of a core.

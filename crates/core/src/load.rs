@@ -6,8 +6,10 @@
 //! threads weighted by their importance.  We make no assumption on the
 //! criteria used to define how the load should be balanced." (§3.1)
 //!
-//! [`LoadMetric`] captures the two criteria used throughout the
-//! reproduction; every policy and every lemma is parameterised by it.
+//! [`LoadMetric`] names the *views* of a core's load that policies can
+//! read; the semantics of the [`Tracked`](LoadMetric::Tracked) view — which
+//! entities it weights and how it decays — live in the pluggable
+//! [`crate::tracker::LoadTracker`] implementations.
 
 /// The quantity a balancing policy tries to equalise across cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -21,6 +23,11 @@ pub enum LoadMetric {
     /// Sum of the CFS load weights of the threads on the core, expressed in
     /// `nice 0` units of 1024.
     Weighted,
+    /// The tracker-maintained load average of the core, rounded to base
+    /// units (see [`crate::tracker`]).  What this view *means* is defined by
+    /// whichever [`crate::tracker::LoadTracker`] maintains it — e.g. a
+    /// PELT-style decayed thread count.
+    Tracked,
 }
 
 impl LoadMetric {
@@ -29,6 +36,7 @@ impl LoadMetric {
         match self {
             LoadMetric::NrThreads => "nr_threads",
             LoadMetric::Weighted => "weighted",
+            LoadMetric::Tracked => "tracked",
         }
     }
 }
@@ -52,5 +60,6 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(LoadMetric::NrThreads.to_string(), "nr_threads");
         assert_eq!(LoadMetric::Weighted.to_string(), "weighted");
+        assert_eq!(LoadMetric::Tracked.to_string(), "tracked");
     }
 }

@@ -26,10 +26,13 @@ pub mod steal;
 pub mod topology_aware;
 pub mod weighted;
 
+use std::sync::Arc;
+
 use crate::core_state::CoreState;
 use crate::load::LoadMetric;
 use crate::snapshot::CoreSnapshot;
 use crate::task::TaskId;
+use crate::tracker::{LoadTracker, PeltTracker, TrackerSpec};
 use crate::CoreId;
 
 pub use choice::{
@@ -102,11 +105,15 @@ pub trait StealPolicy: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
-/// A complete balancing policy: filter + choice + steal + the load metric
-/// the potential function is computed under.
+/// A complete balancing policy: filter + choice + steal + the load
+/// criterion the three steps (and the potential function) are measured in.
 pub struct Policy {
-    /// Load metric the policy balances (and the potential is measured in).
+    /// The load view the policy balances (and the potential is measured in);
+    /// always equal to `tracker.view()`.
     pub metric: LoadMetric,
+    /// The criterion maintaining the loads the steps read — which entities
+    /// count, and whether/how history decays (see [`crate::tracker`]).
+    pub tracker: Arc<dyn LoadTracker>,
     /// Step 1.
     pub filter: Box<dyn FilterPolicy>,
     /// Step 2.
@@ -116,14 +123,37 @@ pub struct Policy {
 }
 
 impl Policy {
-    /// Builds a policy from its three steps.
+    /// Builds a policy balancing an instantaneous metric from its three
+    /// steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`LoadMetric::Tracked`]: a tracked view does not say which
+    /// tracker maintains it — use [`Policy::with_tracker`] instead.
     pub fn new(
         metric: LoadMetric,
         filter: Box<dyn FilterPolicy>,
         choice: Box<dyn ChoicePolicy>,
         steal: Box<dyn StealPolicy>,
     ) -> Self {
-        Policy { metric, filter, choice, steal }
+        Policy {
+            metric,
+            tracker: TrackerSpec::instantaneous(metric).build(),
+            filter,
+            choice,
+            steal,
+        }
+    }
+
+    /// Builds a policy around an explicit load tracker; the steps read the
+    /// tracker's view ([`LoadMetric::Tracked`] for decayed trackers).
+    pub fn with_tracker(
+        tracker: Arc<dyn LoadTracker>,
+        filter: Box<dyn FilterPolicy>,
+        choice: Box<dyn ChoicePolicy>,
+        steal: Box<dyn StealPolicy>,
+    ) -> Self {
+        Policy { metric: tracker.view(), tracker, filter, choice, steal }
     }
 
     /// The paper's Listing 1 policy: steal one thread from a core whose
@@ -162,6 +192,30 @@ impl Policy {
         )
     }
 
+    /// Listing 1 rebased onto a PELT-style decayed thread count: steal one
+    /// thread when the *decayed* load difference reaches two, so brief
+    /// bursts and idle blips no longer trigger migrations.
+    pub fn pelt(half_life_ns: u64) -> Self {
+        Policy::with_tracker(
+            Arc::new(PeltTracker::new(LoadMetric::NrThreads, half_life_ns)),
+            Box::new(DeltaFilter::new(LoadMetric::Tracked, 2)),
+            Box::new(MaxLoadChoice::new(LoadMetric::Tracked)),
+            Box::new(StealOne),
+        )
+    }
+
+    /// The weighted balancer rebased onto a PELT-style decayed weighted
+    /// load: steal the lightest waiting thread when the decayed weighted
+    /// difference reaches two `nice 0` units.
+    pub fn pelt_weighted(half_life_ns: u64) -> Self {
+        Policy::with_tracker(
+            Arc::new(PeltTracker::new(LoadMetric::Weighted, half_life_ns)),
+            Box::new(DeltaFilter::new(LoadMetric::Tracked, 2048)),
+            Box::new(MaxLoadChoice::new(LoadMetric::Tracked)),
+            Box::new(StealLightest),
+        )
+    }
+
     /// Replaces the choice step, keeping filter and steal — the operation
     /// the paper argues is always proof-preserving.
     pub fn with_choice(mut self, choice: Box<dyn ChoicePolicy>) -> Self {
@@ -185,6 +239,7 @@ impl std::fmt::Debug for Policy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Policy")
             .field("metric", &self.metric)
+            .field("tracker", &self.tracker.name())
             .field("filter", &self.filter.name())
             .field("choice", &self.choice.name())
             .field("steal", &self.steal.name())
@@ -216,5 +271,35 @@ mod tests {
         let s = format!("{p:?}");
         assert!(s.contains("delta_filter"));
         assert!(s.contains("NrThreads"));
+    }
+
+    #[test]
+    fn instantaneous_policies_carry_matching_trackers() {
+        assert_eq!(Policy::simple().tracker.name(), "nr_threads");
+        assert_eq!(Policy::weighted().tracker.name(), "weighted");
+        assert_eq!(Policy::simple().metric, Policy::simple().tracker.view());
+    }
+
+    #[test]
+    fn pelt_policies_balance_the_tracked_view() {
+        let p = Policy::pelt(8_000_000);
+        assert_eq!(p.metric, LoadMetric::Tracked);
+        assert!(p.tracker.is_decayed());
+        assert_eq!(p.tracker.base(), LoadMetric::NrThreads);
+        assert_eq!(p.describe(), "delta_filter/max_load/steal_one");
+        let w = Policy::pelt_weighted(8_000_000);
+        assert_eq!(w.tracker.base(), LoadMetric::Weighted);
+        assert_eq!(w.describe(), "delta_filter/max_load/steal_lightest");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not name a tracker")]
+    fn tracked_metric_needs_an_explicit_tracker() {
+        let _ = Policy::new(
+            LoadMetric::Tracked,
+            Box::new(DeltaFilter::listing1()),
+            Box::new(FirstChoice),
+            Box::new(StealOne),
+        );
     }
 }

@@ -75,12 +75,16 @@ impl StealPolicy for StealHalfImbalance {
         }
         let target = match self.metric {
             LoadMetric::NrThreads => ((victim_load - thief_load) / 2).max(1) as usize,
-            LoadMetric::Weighted => {
-                // Convert the weighted imbalance into a thread count by
-                // assuming nice-0 threads; clamp below to one thread.
-                (((victim_load - thief_load) / 2) / crate::task::Weight::NICE_0.raw()).max(1)
-                    as usize
-            }
+            // Weighted imbalances convert to a thread count by assuming
+            // nice-0 threads.  A *tracked* imbalance is in whatever units
+            // its tracker's base metric uses, which this policy cannot see,
+            // so it takes the conservative reading too: correct when the
+            // base is weighted, and a safe steal-one when the base is a
+            // thread count (a batch would need the unit).  Either way the
+            // clamp below keeps the steal from overshooting.
+            LoadMetric::Weighted | LoadMetric::Tracked => (((victim_load - thief_load) / 2)
+                / crate::task::Weight::NICE_0.raw())
+            .max(1) as usize,
         };
         // Never steal so much that the victim ends up idle: if the victim has
         // no current thread (its work is all waiting), one waiting thread must
@@ -146,6 +150,21 @@ mod tests {
         let picked = StealHalfImbalance::new(LoadMetric::NrThreads)
             .select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
         assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn steal_half_on_a_tracked_metric_never_drains_the_victim() {
+        // A tracked imbalance may be in weighted units (e.g. 4096 between
+        // two cores under a weighted-base PELT tracker): the conversion
+        // must not read it as "4096 threads" and empty the victim's queue.
+        let mut s = SystemState::from_loads(&[0, 6]);
+        let tracker = crate::tracker::PeltTracker::new(LoadMetric::Weighted, 1_000_000);
+        s.tick(64_000_000, &tracker);
+        let picked = StealHalfImbalance::new(LoadMetric::Tracked)
+            .select_tasks(s.core(CoreId(0)), s.core(CoreId(1)));
+        // Weighted imbalance 6×1024: halved and converted = 3 threads.
+        assert_eq!(picked.len(), 3);
+        assert!(picked.len() < s.core(CoreId(1)).ready.len() + 1);
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod tests {
             nr_threads: nr,
             weighted_load: weighted,
             lightest_ready_weight: lightest,
+            tracked_scaled: 0,
         }
     }
 

@@ -28,5 +28,9 @@ pub use crate::round::{ConcurrentRound, Phase, RoundSchedule, Step};
 pub use crate::snapshot::{CoreSnapshot, SystemSnapshot};
 pub use crate::system::SystemState;
 pub use crate::task::{Nice, Task, TaskId, Weight};
+pub use crate::tracker::{
+    decay_scaled, LoadTracker, NrThreadsTracker, PeltTracker, TrackedLoad, TrackerSpec,
+    WeightedTracker, TRACK_SCALE,
+};
 pub use crate::work_conservation::{converge, ConvergenceResult};
 pub use crate::CoreId;

@@ -15,6 +15,7 @@ use sched_topology::NodeId;
 use crate::core_state::CoreState;
 use crate::load::LoadMetric;
 use crate::system::SystemState;
+use crate::tracker::round_scaled;
 use crate::CoreId;
 
 /// An immutable observation of one core, taken during the selection phase.
@@ -34,6 +35,9 @@ pub struct CoreSnapshot {
     /// waiting thread still strictly reduces the weighted imbalance (the P2
     /// potential argument of §4.3).
     pub lightest_ready_weight: Option<u64>,
+    /// The tracker-maintained load average observed, scaled by
+    /// [`crate::tracker::TRACK_SCALE`] (see [`crate::tracker`]).
+    pub tracked_scaled: u64,
 }
 
 impl CoreSnapshot {
@@ -45,6 +49,7 @@ impl CoreSnapshot {
             nr_threads: core.nr_threads(),
             weighted_load: core.weighted_load(),
             lightest_ready_weight: core.lightest_ready_weight().map(|w| w.raw()),
+            tracked_scaled: core.tracked.scaled,
         }
     }
 
@@ -53,6 +58,7 @@ impl CoreSnapshot {
         match metric {
             LoadMetric::NrThreads => self.nr_threads,
             LoadMetric::Weighted => self.weighted_load,
+            LoadMetric::Tracked => round_scaled(self.tracked_scaled),
         }
     }
 

@@ -5,6 +5,7 @@ use sched_topology::MachineTopology;
 use crate::core_state::CoreState;
 use crate::load::LoadMetric;
 use crate::task::{Nice, Task, TaskId};
+use crate::tracker::LoadTracker;
 use crate::CoreId;
 
 /// The scheduling state of every core of the machine.
@@ -147,6 +148,20 @@ impl SystemState {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Advances every core's tracked load average to `now_ns` under
+    /// `tracker` — the pure model's analogue of a scheduler tick.
+    ///
+    /// The model itself is timeless; drivers that balance on a decayed
+    /// criterion ([`LoadMetric::Tracked`]) call this between balancing
+    /// rounds with whatever logical clock they maintain.  For instantaneous
+    /// trackers this simply mirrors the current loads into the tracked
+    /// accumulators.
+    pub fn tick(&mut self, now_ns: u64, tracker: &dyn LoadTracker) {
+        for core in &mut self.cores {
+            core.track(now_ns, tracker);
         }
     }
 

@@ -27,6 +27,26 @@ pub enum MetricSpec {
     Weighted,
 }
 
+/// The load-tracking criterion a policy balances (`load` clause).
+///
+/// Where [`MetricSpec`] names *which entities count*, `LoadSpec` names *how
+/// the count evolves over time*: read instantaneously, or smoothed through
+/// a PELT-style decayed average (`load pelt(<half-life ms>)`, compiled to a
+/// [`sched_core::tracker::PeltTracker`] over the policy's metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadSpec {
+    /// Instantaneous thread counts (`load nr_threads`).
+    NrThreads,
+    /// Instantaneous weighted load (`load weighted`).
+    Weighted,
+    /// PELT-style decayed average of the policy's metric with the given
+    /// half-life (`load pelt(8)` = 8 ms).
+    Pelt {
+        /// Half-life of the decay, in milliseconds.
+        half_life_ms: u32,
+    },
+}
+
 /// The core an expression field refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Actor {
@@ -188,6 +208,9 @@ pub struct PolicyDef {
     pub name: String,
     /// Metric the policy balances.
     pub metric: MetricSpec,
+    /// Load-tracking criterion, if the policy declared one (`load` clause);
+    /// `None` means the metric is read instantaneously.
+    pub load: Option<LoadSpec>,
     /// The step-1 filter: a boolean expression over `self` and `victim`.
     pub filter: Expr,
     /// The step-2 choose rule.

@@ -8,13 +8,25 @@
 //! interpreter in [`crate::eval`] one-to-one, so behavioural equivalence is
 //! inherited from the interpreter tests.
 
-use crate::ast::{Actor, ChooseRule, Expr, Field, MetricSpec, PolicyDef};
+use crate::ast::{Actor, ChooseRule, Expr, Field, LoadSpec, MetricSpec, PolicyDef};
 
 /// Generates a Rust module implementing `def`.
 pub fn generate_rust(def: &PolicyDef) -> String {
-    let metric = match def.metric {
+    let base_metric = match def.metric {
         MetricSpec::Threads => "LoadMetric::NrThreads",
         MetricSpec::Weighted => "LoadMetric::Weighted",
+    };
+    // A decayed criterion makes every `.load` read the tracked view, and the
+    // assembled policy carry the matching tracker.
+    let (metric, tracker_expr) = match def.load {
+        Some(LoadSpec::Pelt { half_life_ms }) => (
+            "LoadMetric::Tracked",
+            format!(
+                "TrackerSpec::Pelt {{ base: {base_metric}, half_life_ns: {} }}.build()",
+                u64::from(half_life_ms) * 1_000_000
+            ),
+        ),
+        _ => (base_metric, format!("TrackerSpec::instantaneous({base_metric}).build()")),
     };
     let struct_name = camel_case(&def.name);
     let filter_expr = gen_bool_expr(&def.filter);
@@ -33,7 +45,7 @@ pub fn generate_rust(def: &PolicyDef) -> String {
     format!(
         r#"//! Generated from the `{name}` policy definition — do not edit by hand.
 
-use sched_core::{{ChoicePolicy, CoreId, CoreSnapshot, CoreState, FilterPolicy, LoadMetric, Policy, StealPolicy, TaskId}};
+use sched_core::{{ChoicePolicy, CoreId, CoreSnapshot, CoreState, FilterPolicy, LoadMetric, Policy, StealPolicy, TaskId, TrackerSpec}};
 
 /// Step 1 of `{name}`: the filter.
 #[derive(Debug, Clone, Copy, Default)]
@@ -82,12 +94,13 @@ impl StealPolicy for {struct_name}Steal {{
 
 /// Assembles the `{name}` policy.
 pub fn policy() -> Policy {{
-    Policy::new({metric}, Box::new({struct_name}Filter), Box::new({struct_name}Choice), Box::new({struct_name}Steal))
+    Policy::with_tracker({tracker_expr}, Box::new({struct_name}Filter), Box::new({struct_name}Choice), Box::new({struct_name}Steal))
 }}
 "#,
         name = def.name,
         struct_name = struct_name,
         metric = metric,
+        tracker_expr = tracker_expr,
         filter_expr = filter_expr,
         choose_body = choose_body,
         steal_count = def.steal_count,
@@ -174,6 +187,20 @@ mod tests {
         assert!(code.contains("WeightedFairFilter"));
         assert!(code.contains("lightest_ready_weight.unwrap_or(0)"));
         assert!(code.contains("&&"));
+    }
+
+    #[test]
+    fn pelt_policies_generate_a_decayed_tracker() {
+        let def = parse(crate::stdlib::PELT).unwrap();
+        let code = generate_rust(&def);
+        assert!(code.contains("LoadMetric::Tracked"), "{code}");
+        assert!(
+            code.contains(
+                "TrackerSpec::Pelt { base: LoadMetric::NrThreads, half_life_ns: 8000000 }"
+            ),
+            "{code}"
+        );
+        assert!(code.contains("Policy::with_tracker("));
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! The executable backend: compiling a DSL policy into `sched-core` policy
 //! objects (the analogue of the paper's "compiled to C" path).
 
+use sched_core::tracker::TrackerSpec;
 use sched_core::{
     ChoicePolicy, CoreId, CoreSnapshot, CoreState, FilterPolicy, LoadMetric, Policy, StealPolicy,
     TaskId,
 };
 
-use crate::ast::{Actor, BinOp, ChooseRule, Expr, Field, MetricSpec, PolicyDef};
+use crate::ast::{Actor, BinOp, ChooseRule, Expr, Field, LoadSpec, MetricSpec, PolicyDef};
 use crate::error::DslError;
 use crate::phase_check::{phase_check, PhaseWarning};
 use crate::typecheck::typecheck;
@@ -25,12 +26,22 @@ pub struct CompiledPolicy {
 pub fn compile(def: &PolicyDef) -> Result<CompiledPolicy, DslError> {
     typecheck(def)?;
     let warnings = phase_check(def)?;
-    let metric = match def.metric {
+    let base = match def.metric {
         MetricSpec::Threads => LoadMetric::NrThreads,
         MetricSpec::Weighted => LoadMetric::Weighted,
     };
-    let policy = Policy::new(
-        metric,
+    // A `load pelt(h)` clause wraps the base metric in a decayed tracker and
+    // makes every `.load` in the policy read the tracked view.
+    let tracker = match def.load {
+        Some(LoadSpec::Pelt { half_life_ms }) => {
+            TrackerSpec::Pelt { base, half_life_ns: u64::from(half_life_ms) * 1_000_000 }
+        }
+        _ => TrackerSpec::instantaneous(base),
+    };
+    let built = tracker.build();
+    let metric = built.view();
+    let policy = Policy::with_tracker(
+        built,
         Box::new(DslFilter { expr: def.filter.clone(), metric }),
         Box::new(DslChoice { rule: def.choose.clone(), metric }),
         Box::new(DslSteal { count: def.steal_count as usize }),

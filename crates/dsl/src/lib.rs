@@ -8,9 +8,11 @@
 //! This crate reproduces that architecture with two backends over one
 //! front-end:
 //!
-//! * **front-end** — [`lexer`], [`parser`], [`typecheck`] and
-//!   [`phase_check`]: a policy is a `filter` expression, a `choose` rule and
-//!   a `steal` count.  The phase checker enforces the §3.1 structural
+//! * **front-end** — [`lexer`], [`parser`], [`mod@typecheck`] and
+//!   [`mod@phase_check`]: a policy is a `filter` expression, a `choose`
+//!   rule, a `steal` count and an optional `load` tracking criterion
+//!   (`load pelt(8)` balances a decayed average instead of instantaneous
+//!   queue lengths).  The phase checker enforces the §3.1 structural
 //!   constraints (the selection phase is read-only by construction, the
 //!   steal phase migrates at least one thread) and warns about greedy-style
 //!   filters;
@@ -46,7 +48,7 @@ pub mod stdlib;
 pub mod typecheck;
 pub mod verification;
 
-pub use ast::{Actor, BinOp, ChooseRule, Expr, Field, MetricSpec, PolicyDef};
+pub use ast::{Actor, BinOp, ChooseRule, Expr, Field, LoadSpec, MetricSpec, PolicyDef};
 pub use codegen::generate_rust;
 pub use error::DslError;
 pub use eval::{compile, compile_source, CompiledPolicy};

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the policy DSL.
 
-use crate::ast::{Actor, BinOp, ChooseRule, Expr, Field, MetricSpec, PolicyDef};
+use crate::ast::{Actor, BinOp, ChooseRule, Expr, Field, LoadSpec, MetricSpec, PolicyDef};
 use crate::error::DslError;
 use crate::lexer::{lex, Token};
 
@@ -76,6 +76,7 @@ impl Parser {
         self.expect(Token::LBrace)?;
 
         let mut metric = None;
+        let mut load = None;
         let mut filter = None;
         let mut choose = None;
         let mut steal = None;
@@ -91,6 +92,38 @@ impl Parser {
                         other => {
                             return Err(DslError::parse(format!(
                                 "unknown metric `{other}` (expected `threads` or `weighted`)"
+                            )))
+                        }
+                    });
+                }
+                "load" => {
+                    let which = self.expect_ident()?;
+                    load = Some(match which.as_str() {
+                        "nr_threads" => LoadSpec::NrThreads,
+                        "weighted" => LoadSpec::Weighted,
+                        "pelt" => {
+                            self.expect(Token::LParen)?;
+                            let half_life = match self.next()? {
+                                Token::Int(v) if v > 0 && v <= u32::MAX as i64 => v as u32,
+                                Token::Int(v) => {
+                                    return Err(DslError::parse(format!(
+                                        "pelt half-life must be a positive number of \
+                                         milliseconds, got {v}"
+                                    )))
+                                }
+                                other => {
+                                    return Err(DslError::parse(format!(
+                                        "expected a half-life in milliseconds, found {other:?}"
+                                    )))
+                                }
+                            };
+                            self.expect(Token::RParen)?;
+                            LoadSpec::Pelt { half_life_ms: half_life }
+                        }
+                        other => {
+                            return Err(DslError::parse(format!(
+                                "unknown load criterion `{other}` (expected `nr_threads`, \
+                                 `weighted` or `pelt(<half-life ms>)`)"
                             )))
                         }
                     });
@@ -125,9 +158,41 @@ impl Parser {
         }
         self.expect(Token::RBrace)?;
 
+        // `load nr_threads` / `load weighted` are aliases for the metric
+        // clause; only the decayed criterion stays in the `load` slot.  An
+        // alias that contradicts an explicit `metric` clause is rejected —
+        // silently letting one win would turn the policy's thresholds into
+        // comparisons against the wrong units.
+        let alias = match load {
+            Some(LoadSpec::NrThreads) => Some(MetricSpec::Threads),
+            Some(LoadSpec::Weighted) => Some(MetricSpec::Weighted),
+            _ => None,
+        };
+        let metric = match (metric, alias) {
+            (Some(m), Some(a)) if m != a => {
+                return Err(DslError::parse(format!(
+                    "conflicting criteria: `metric {}` vs `load {}`",
+                    match m {
+                        MetricSpec::Threads => "threads",
+                        MetricSpec::Weighted => "weighted",
+                    },
+                    match a {
+                        MetricSpec::Threads => "nr_threads",
+                        MetricSpec::Weighted => "weighted",
+                    },
+                )))
+            }
+            (m, a) => m.or(a),
+        };
+        let load = match load {
+            Some(LoadSpec::Pelt { half_life_ms }) => Some(LoadSpec::Pelt { half_life_ms }),
+            _ => None,
+        };
+
         Ok(PolicyDef {
             name,
             metric: metric.unwrap_or(MetricSpec::Threads),
+            load,
             filter: filter.ok_or_else(|| DslError::parse("a policy needs a `filter` clause"))?,
             choose: choose.unwrap_or(ChooseRule::First),
             steal_count: steal.unwrap_or(1),
@@ -282,6 +347,52 @@ mod tests {
             Expr::Binary(BinOp::And, _, _) => {}
             other => panic!("expected a conjunction, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_the_load_clause() {
+        let p = parse("policy p { load pelt(8); filter = victim.load - self.load >= 2; }").unwrap();
+        assert_eq!(p.load, Some(LoadSpec::Pelt { half_life_ms: 8 }));
+        assert_eq!(p.metric, MetricSpec::Threads);
+
+        // `load nr_threads` / `load weighted` are metric aliases: they land
+        // in the metric slot and leave the load slot empty.
+        let p = parse("policy p { load weighted; filter = victim.load >= 2; }").unwrap();
+        assert_eq!(p.metric, MetricSpec::Weighted);
+        assert_eq!(p.load, None);
+        let p = parse("policy p { load nr_threads; filter = victim.load >= 2; }").unwrap();
+        assert_eq!(p.metric, MetricSpec::Threads);
+
+        // A pelt criterion composes with an explicit metric: it decays that
+        // metric.
+        let p = parse(
+            "policy p { metric weighted; load pelt(32); filter = victim.load - self.load >= 2048; }",
+        )
+        .unwrap();
+        assert_eq!(p.metric, MetricSpec::Weighted);
+        assert_eq!(p.load, Some(LoadSpec::Pelt { half_life_ms: 32 }));
+    }
+
+    #[test]
+    fn bad_load_clauses_are_rejected() {
+        assert!(parse("policy p { load bogus; filter = victim.load >= 2; }").is_err());
+        assert!(parse("policy p { load pelt(0); filter = victim.load >= 2; }").is_err());
+        assert!(parse("policy p { load pelt; filter = victim.load >= 2; }").is_err());
+        assert!(parse("policy p { load pelt(x); filter = victim.load >= 2; }").is_err());
+    }
+
+    #[test]
+    fn conflicting_metric_and_load_alias_are_rejected() {
+        let err =
+            parse("policy p { metric weighted; load nr_threads; filter = victim.load >= 2; }")
+                .unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "{err}");
+        let err = parse("policy p { load weighted; metric threads; filter = victim.load >= 2; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "{err}");
+        // Agreeing spellings are fine in either order.
+        assert!(parse("policy p { metric weighted; load weighted; filter = victim.load >= 2; }")
+            .is_ok());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! assembled programmatically by tooling) storable in the same textual
 //! format that humans write.
 
-use crate::ast::{ChooseRule, Expr, MetricSpec, PolicyDef};
+use crate::ast::{ChooseRule, Expr, LoadSpec, MetricSpec, PolicyDef};
 
 /// Renders a policy definition as canonical DSL source.
 pub fn print_policy(def: &PolicyDef) -> String {
@@ -13,15 +13,24 @@ pub fn print_policy(def: &PolicyDef) -> String {
         MetricSpec::Threads => "threads",
         MetricSpec::Weighted => "weighted",
     };
+    let load = match def.load {
+        None => String::new(),
+        Some(LoadSpec::NrThreads) => "    load   nr_threads;\n".into(),
+        Some(LoadSpec::Weighted) => "    load   weighted;\n".into(),
+        Some(LoadSpec::Pelt { half_life_ms }) => {
+            format!("    load   pelt({half_life_ms});\n")
+        }
+    };
     let choose = match &def.choose {
         ChooseRule::First => "first".to_string(),
         ChooseRule::MaxBy(key) => format!("max {}", print_expr(key)),
         ChooseRule::MinBy(key) => format!("min {}", print_expr(key)),
     };
     format!(
-        "policy {name} {{\n    metric {metric};\n    filter = {filter};\n    choose = {choose};\n    steal  = {steal};\n}}\n",
+        "policy {name} {{\n    metric {metric};\n{load}    filter = {filter};\n    choose = {choose};\n    steal  = {steal};\n}}\n",
         name = def.name,
         metric = metric,
+        load = load,
         filter = print_expr(&def.filter),
         choose = choose,
         steal = def.steal_count,
@@ -72,6 +81,14 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{name} failed to re-parse: {e}\n{printed}"));
             assert_eq!(def, reparsed, "{name} did not round-trip");
         }
+    }
+
+    #[test]
+    fn pelt_policies_round_trip_through_the_printer() {
+        let def = parse(stdlib::PELT).unwrap();
+        let printed = print_policy(&def);
+        assert!(printed.contains("load   pelt(8);"), "printed:\n{printed}");
+        assert_eq!(parse(&printed).unwrap(), def);
     }
 
     #[test]

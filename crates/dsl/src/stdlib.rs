@@ -46,7 +46,27 @@ policy batched {
 }
 ";
 
-/// All built-in policies with their names.
+/// Listing 1 over a PELT-style decayed thread count: `.load` reads the
+/// tracked (half-life 8 ms) average instead of the instantaneous queue
+/// length, so brief bursts no longer trigger migrations.
+///
+/// Decayed policies are *time-coupled*: their correctness argument needs
+/// settling ticks between rounds (see `sched-verify`'s decay lemmas), so
+/// this policy is exercised by experiment E17 and the decay lemmas rather
+/// than by the untimed exhaustive verifier that covers [`all`].
+pub const PELT: &str = "\
+# Listing 1 rebased onto a decayed load average (half-life 8 ms).
+policy pelt {
+    metric threads;
+    load   pelt(8);
+    filter = victim.load - self.load >= 2;
+    choose = max victim.load;
+    steal  = 1;
+}
+";
+
+/// All built-in *instantaneous* policies with their names (the set the
+/// untimed verifier checks; [`PELT`] is verified by the decay lemmas).
 pub fn all() -> Vec<(&'static str, &'static str)> {
     vec![("listing1", LISTING1), ("greedy", GREEDY), ("weighted", WEIGHTED), ("batched", BATCHED)]
 }
@@ -63,6 +83,14 @@ mod tests {
             assert_eq!(def.name, name);
             compile_source(source).unwrap_or_else(|e| panic!("{name} does not compile: {e}"));
         }
+    }
+
+    #[test]
+    fn the_pelt_policy_compiles_to_a_decayed_tracker() {
+        let compiled = compile_source(super::PELT).unwrap();
+        assert!(compiled.policy.tracker.is_decayed());
+        assert_eq!(compiled.policy.tracker.name(), "pelt(nr_threads, 8ms)");
+        assert_eq!(compiled.policy.metric, sched_core::LoadMetric::Tracked);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Shared offline JSON codec for the experiment harness.
+//!
+//! The workspace builds with no network access, so instead of `serde` this
+//! crate hand-rolls exactly the JSON the harness needs — and, crucially, it
+//! holds **both directions in one place**: the writer the `experiments
+//! --json` runner emits `BENCH_results.json` with ([`JsonValue`]) and the
+//! reader the `xtask bench-diff` regression gate parses it back with
+//! ([`parse`]).  Keeping encoder and decoder in a single crate means the
+//! gate and the runner can never disagree on encoding details (escaping,
+//! float formatting, nesting) — the round-trip is pinned by tests here
+//! rather than by two hand-rolled implementations drifting apart.
+
+pub mod read;
+pub mod write;
+
+pub use read::{parse, Json};
+pub use write::{object, JsonValue};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The property the two halves of this crate exist to guarantee: every
+    /// document the writer can produce is parsed back by the reader into
+    /// the same values.
+    #[test]
+    fn writer_output_round_trips_through_the_reader() {
+        let doc = object(vec![
+            ("schema_version", JsonValue::Int(3)),
+            ("name", JsonValue::Str("quote \" slash \\ tab \t newline \n".into())),
+            ("tiny", JsonValue::Float(4.2e-9)),
+            ("neg", JsonValue::Int(-17)),
+            ("none", JsonValue::Null),
+            (
+                "records",
+                JsonValue::Array(vec![
+                    JsonValue::Bool(true),
+                    JsonValue::Float(0.25),
+                    object(vec![("nested", JsonValue::Array(vec![]))]),
+                ]),
+            ),
+        ]);
+        for rendered in [doc.render(), doc.render_pretty()] {
+            let parsed = parse(&rendered).expect("writer output must parse");
+            assert_eq!(parsed.get("schema_version").and_then(Json::as_f64), Some(3.0));
+            assert_eq!(
+                parsed.get("name").and_then(Json::as_str),
+                Some("quote \" slash \\ tab \t newline \n")
+            );
+            assert_eq!(parsed.get("tiny").and_then(Json::as_f64), Some(4.2e-9));
+            assert_eq!(parsed.get("neg").and_then(Json::as_f64), Some(-17.0));
+            assert_eq!(parsed.get("none"), Some(&Json::Null));
+            let records = parsed.get("records").and_then(Json::as_array).unwrap();
+            assert_eq!(records[0], Json::Bool(true));
+            assert_eq!(records[1].as_f64(), Some(0.25));
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_null() {
+        let rendered = JsonValue::Float(f64::NAN).render();
+        assert_eq!(parse(&rendered).unwrap(), Json::Null);
+    }
+}

@@ -1,8 +1,9 @@
-//! Minimal JSON reader for the bench-regression gate.
+//! JSON parsing: the reader behind the bench-regression gate.
 //!
-//! The workspace builds offline, so this is a small recursive-descent
-//! parser covering exactly the JSON the `experiments --json` writer emits
-//! (objects, arrays, strings with escapes, f64 numbers, booleans, null).
+//! A small recursive-descent parser covering exactly the JSON the
+//! [`crate::write`] writer emits (objects, arrays, strings with escapes,
+//! f64 numbers, booleans, null) — kept in the same crate as the writer so
+//! the two can never disagree on encoding.
 
 use std::collections::BTreeMap;
 

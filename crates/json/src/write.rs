@@ -1,10 +1,10 @@
-//! Minimal JSON emission for experiment records.
+//! JSON emission: the writer behind `BENCH_results.json`.
 //!
-//! The workspace builds offline, so instead of `serde` this module
-//! hand-rolls the one JSON shape the harness emits: an object with a small
+//! Hand-rolls the one JSON shape the harness emits: an object with a small
 //! header and an array of flat record objects.  Strings are escaped per
 //! RFC 8259; floats are emitted with enough precision to round-trip the
-//! measurements.
+//! measurements.  The matching reader lives in [`crate::read`], and the
+//! crate-level tests pin the round-trip.
 
 use std::fmt::Write as _;
 

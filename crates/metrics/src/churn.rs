@@ -1,0 +1,94 @@
+//! Migration-churn accounting: how much balancing work a policy performs
+//! per unit of imbalance it actually resolves.
+//!
+//! Two balancers can reach the same violating-idle figure with wildly
+//! different migration counts — an instantaneous criterion chases every
+//! transient blip, a decayed one only sustained imbalance.  The E17
+//! experiment compares criteria on exactly this axis, so the arithmetic
+//! (migrations per epoch, and the churn ratio between two runs) lives here
+//! rather than being re-derived per backend.
+
+/// Migration counters of one bounded run (a fixed number of balancing
+/// epochs), plus the violating-idle it ended with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationChurn {
+    /// Threads migrated over the run.
+    pub migrations: u64,
+    /// Failed steal attempts over the run.
+    pub failures: u64,
+    /// Balancing epochs (rounds, periods) the run spanned.
+    pub epochs: u64,
+    /// Violating-idle fraction of the run.
+    pub violating_idle: f64,
+}
+
+impl MigrationChurn {
+    /// Creates the record.
+    pub fn new(migrations: u64, failures: u64, epochs: u64, violating_idle: f64) -> Self {
+        MigrationChurn { migrations, failures, epochs, violating_idle }
+    }
+
+    /// Migrations per balancing epoch.
+    pub fn per_epoch(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.migrations as f64 / self.epochs as f64
+        }
+    }
+
+    /// How many times more migrations this run performed than `other`, at
+    /// whatever violating-idle each achieved; `f64::INFINITY` when `other`
+    /// migrated nothing and this run did.
+    pub fn churn_ratio_vs(&self, other: &MigrationChurn) -> f64 {
+        if other.migrations == 0 {
+            if self.migrations == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.migrations as f64 / other.migrations as f64
+        }
+    }
+
+    /// `true` if this run resolved imbalance at least as well as `other`
+    /// (violating idle within `tolerance`) while migrating strictly less.
+    pub fn dominates(&self, other: &MigrationChurn, tolerance: f64) -> bool {
+        self.migrations < other.migrations
+            && self.violating_idle <= other.violating_idle + tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_epoch_divides_and_handles_zero() {
+        assert_eq!(MigrationChurn::new(32, 0, 16, 0.1).per_epoch(), 2.0);
+        assert_eq!(MigrationChurn::new(5, 0, 0, 0.0).per_epoch(), 0.0);
+    }
+
+    #[test]
+    fn churn_ratio_compares_two_runs() {
+        let inst = MigrationChurn::new(40, 4, 32, 0.125);
+        let pelt = MigrationChurn::new(4, 0, 32, 0.125);
+        assert_eq!(inst.churn_ratio_vs(&pelt), 10.0);
+        assert_eq!(pelt.churn_ratio_vs(&pelt), 1.0);
+        let silent = MigrationChurn::new(0, 0, 32, 0.125);
+        assert_eq!(inst.churn_ratio_vs(&silent), f64::INFINITY);
+        assert_eq!(silent.churn_ratio_vs(&silent), 1.0);
+    }
+
+    #[test]
+    fn dominance_requires_fewer_migrations_at_no_worse_idle() {
+        let inst = MigrationChurn::new(40, 4, 32, 0.125);
+        let pelt = MigrationChurn::new(4, 0, 32, 0.125);
+        assert!(pelt.dominates(&inst, 0.01));
+        assert!(!inst.dominates(&pelt, 0.01));
+        // Worse idle beyond tolerance is not dominance, however cheap.
+        let lazy = MigrationChurn::new(0, 0, 32, 0.5);
+        assert!(!lazy.dominates(&inst, 0.01));
+    }
+}

@@ -14,10 +14,14 @@
 //! * [`convergence::ConvergenceTracker`] — rounds-until-work-conservation,
 //! * [`throughput::ThroughputMeter`] and [`latency`]/[`histogram`] — the
 //!   workload-level metrics of experiments E9/E10,
+//! * [`churn::MigrationChurn`] — migrations per epoch and churn ratios,
+//!   comparing how much balancing *work* two criteria spend to resolve the
+//!   same imbalance (experiment E17),
 //! * [`summary::Summary`] — mean/percentile aggregation,
 //! * [`table::Table`] — fixed-width/markdown table rendering used by the
 //!   experiment harness to print the rows recorded in `EXPERIMENTS.md`.
 
+pub mod churn;
 pub mod convergence;
 pub mod histogram;
 pub mod idle;
@@ -27,6 +31,7 @@ pub mod summary;
 pub mod table;
 pub mod throughput;
 
+pub use churn::MigrationChurn;
 pub use convergence::ConvergenceTracker;
 pub use histogram::Histogram;
 pub use idle::IdleAccounting;

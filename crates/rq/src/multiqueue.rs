@@ -4,7 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sched_core::{CoreId, CoreSnapshot, Policy, StealOutcome, TaskId};
+use sched_core::tracker::{LoadTracker, NrThreadsTracker};
+use sched_core::{CoreId, CoreSnapshot, Nice, Policy, StealOutcome, TaskId};
 use sched_topology::{MachineTopology, NodeId, StealLevel};
 
 use crate::entity::RqTask;
@@ -30,27 +31,95 @@ use crate::TaskQueue;
 pub struct MultiQueue<Q: TaskQueue = FifoQueue> {
     cores: Vec<PerCoreRq<Q>>,
     topo: Option<Arc<MachineTopology>>,
+    tracker: Arc<dyn LoadTracker>,
+    /// Logical machine clock, in nanoseconds: advanced by [`MultiQueue::tick`],
+    /// read by every runqueue when folding its decayed load.
+    clock: Arc<AtomicU64>,
     next_task_id: AtomicU64,
 }
 
 impl<Q: TaskQueue> MultiQueue<Q> {
-    /// Creates `nr_cores` empty runqueues, all on NUMA node 0.
+    /// Creates `nr_cores` empty runqueues, all on NUMA node 0, tracking
+    /// instantaneous thread counts.
     pub fn new(nr_cores: usize) -> Self {
-        let cores = (0..nr_cores).map(|i| PerCoreRq::new(CoreId(i), NodeId(0))).collect();
-        MultiQueue { cores, topo: None, next_task_id: AtomicU64::new(0) }
+        Self::with_tracker(nr_cores, Arc::new(NrThreadsTracker))
+    }
+
+    /// Creates `nr_cores` empty runqueues maintaining their load under
+    /// `tracker`.
+    pub fn with_tracker(nr_cores: usize, tracker: Arc<dyn LoadTracker>) -> Self {
+        let clock = Arc::new(AtomicU64::new(0));
+        let cores = (0..nr_cores)
+            .map(|i| {
+                PerCoreRq::with_tracker(
+                    CoreId(i),
+                    NodeId(0),
+                    Arc::clone(&tracker),
+                    Arc::clone(&clock),
+                )
+            })
+            .collect();
+        MultiQueue { cores, topo: None, tracker, clock, next_task_id: AtomicU64::new(0) }
     }
 
     /// Creates one runqueue per CPU of `topo`, with matching node ids; the
     /// topology is retained for distance-ordered stealing and per-level
     /// steal attribution.
     pub fn with_topology(topo: &MachineTopology) -> Self {
-        let cores = topo.cpus().iter().map(|c| PerCoreRq::new(c.id, c.node)).collect();
-        MultiQueue { cores, topo: Some(Arc::new(topo.clone())), next_task_id: AtomicU64::new(0) }
+        Self::with_topology_and_tracker(topo, Arc::new(NrThreadsTracker))
+    }
+
+    /// Creates one runqueue per CPU of `topo`, maintaining loads under
+    /// `tracker`.
+    pub fn with_topology_and_tracker(
+        topo: &MachineTopology,
+        tracker: Arc<dyn LoadTracker>,
+    ) -> Self {
+        let clock = Arc::new(AtomicU64::new(0));
+        let cores = topo
+            .cpus()
+            .iter()
+            .map(|c| {
+                PerCoreRq::with_tracker(c.id, c.node, Arc::clone(&tracker), Arc::clone(&clock))
+            })
+            .collect();
+        MultiQueue {
+            cores,
+            topo: Some(Arc::new(topo.clone())),
+            tracker,
+            clock,
+            next_task_id: AtomicU64::new(0),
+        }
     }
 
     /// The machine topology, if this queue was built over one.
     pub fn topology(&self) -> Option<&Arc<MachineTopology>> {
         self.topo.as_ref()
+    }
+
+    /// The load criterion the runqueues are maintained under.
+    pub fn tracker(&self) -> &Arc<dyn LoadTracker> {
+        &self.tracker
+    }
+
+    /// The machine's logical clock, in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    /// Advances the logical clock to `now_ns` and folds the elapsed time
+    /// into every core's tracked load — the runqueue substrate's scheduler
+    /// tick.  Each core is refreshed under its own lock, so ticks interleave
+    /// safely with concurrent balancing.
+    ///
+    /// A clock that went backwards would make decayed sums non-monotone, so
+    /// earlier timestamps are ignored.
+    pub fn tick(&self, now_ns: u64) {
+        self.clock.fetch_max(now_ns, Ordering::AcqRel);
+        for core in &self.cores {
+            let mut inner = core.lock();
+            core.republish(&mut inner);
+        }
     }
 
     /// Distance class between two distinct cores: exact when a topology is
@@ -103,6 +172,14 @@ impl<Q: TaskQueue> MultiQueue<Q> {
     pub fn spawn_on(&self, core: CoreId) -> TaskId {
         let id = TaskId(self.next_task_id.fetch_add(1, Ordering::Relaxed));
         self.cores[core.0].enqueue(RqTask::new(id));
+        id
+    }
+
+    /// Creates a fresh task with the given niceness and makes it runnable on
+    /// `core`.
+    pub fn spawn_on_with_nice(&self, core: CoreId, nice: Nice) -> TaskId {
+        let id = TaskId(self.next_task_id.fetch_add(1, Ordering::Relaxed));
+        self.cores[core.0].enqueue(RqTask::with_nice(id, nice));
         id
     }
 
@@ -262,6 +339,7 @@ impl<Q: TaskQueue> MultiQueue<Q> {
                 nr_threads: inner.nr_threads(),
                 weighted_load: inner.weighted_load(),
                 lightest_ready_weight: inner.queue.lightest_weight(),
+                tracked_scaled: inner.tracked.scaled,
             })
             .collect();
         let thief_snap = snapshots[thief.0];
@@ -503,6 +581,48 @@ mod tests {
         let b = mq.spawn_on(CoreId(1));
         assert_ne!(a, b);
         assert_eq!(mq.total_threads(), 2);
+    }
+
+    #[test]
+    fn pelt_tracked_loads_decay_on_ticks_and_gate_the_filter() {
+        use sched_core::{LoadMetric, PeltTracker};
+
+        let half_life = 8_000_000u64;
+        let mq: MultiQueue = MultiQueue::with_tracker(
+            2,
+            std::sync::Arc::new(PeltTracker::new(LoadMetric::NrThreads, half_life)),
+        );
+        for _ in 0..4 {
+            mq.spawn_on(CoreId(1));
+        }
+        // Fresh queues publish a cold (zero) tracked load: the decayed
+        // criterion has not seen any history yet.
+        assert_eq!(mq.snapshots()[1].load(LoadMetric::Tracked), 0);
+        let policy = Policy::pelt(half_life);
+        assert!(!mq.balance_once(CoreId(0), &policy).is_success(), "cold tracked loads");
+        // Many half-lives later the tracked load has converged to the
+        // instantaneous one, and balancing proceeds as Listing 1 would.
+        mq.tick(32 * half_life);
+        assert_eq!(mq.snapshots()[1].load(LoadMetric::Tracked), 4);
+        assert!(mq.balance_once(CoreId(0), &policy).is_success());
+        // The dequeue is folded at the frozen clock, so the tracked value
+        // survives the migration and only decays on the next tick.
+        assert_eq!(mq.snapshots()[1].load(LoadMetric::Tracked), 4);
+        mq.tick(33 * half_life);
+        assert!(mq.snapshots()[1].tracked_scaled < 4 * sched_core::TRACK_SCALE);
+        assert_eq!(mq.total_threads(), 4);
+    }
+
+    #[test]
+    fn instantaneous_trackers_mirror_loads_through_the_tracked_view() {
+        use sched_core::LoadMetric;
+
+        let mq: MultiQueue = MultiQueue::with_loads(&[3, 0]);
+        let snap = mq.snapshots();
+        assert_eq!(snap[0].load(LoadMetric::Tracked), 3);
+        assert_eq!(snap[1].load(LoadMetric::Tracked), 0);
+        assert_eq!(mq.tracker().name(), "nr_threads");
+        assert_eq!(mq.now_ns(), 0);
     }
 
     fn numa_mq() -> MultiQueue {

@@ -1,6 +1,10 @@
 //! A per-core runqueue with a lock for mutation and atomics for observation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use parking_lot::{Mutex, MutexGuard};
+use sched_core::tracker::{LoadTracker, NrThreadsTracker, TrackedLoad};
 use sched_core::{CoreId, CoreSnapshot, TaskId};
 use sched_topology::NodeId;
 
@@ -17,6 +21,9 @@ pub struct RqInner<Q: TaskQueue> {
     pub current: Option<RqTask>,
     /// Tasks waiting to run.
     pub queue: Q,
+    /// The tracker-maintained load average of the core, folded on every
+    /// enqueue/dequeue/tick while the runqueue lock is held.
+    pub tracked: TrackedLoad,
 }
 
 impl<Q: TaskQueue> RqInner<Q> {
@@ -44,16 +51,34 @@ pub struct PerCoreRq<Q: TaskQueue = FifoQueue> {
     node: NodeId,
     inner: Mutex<RqInner<Q>>,
     published: PublishedLoad,
+    tracker: Arc<dyn LoadTracker>,
+    /// The machine's logical clock (shared with every sibling runqueue);
+    /// decayed sums fold the elapsed time read from it.
+    clock: Arc<AtomicU64>,
 }
 
 impl<Q: TaskQueue> PerCoreRq<Q> {
-    /// Creates an empty runqueue for core `id` on `node`.
+    /// Creates an empty runqueue for core `id` on `node`, tracking
+    /// instantaneous thread counts.
     pub fn new(id: CoreId, node: NodeId) -> Self {
+        Self::with_tracker(id, node, Arc::new(NrThreadsTracker), Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Creates an empty runqueue maintaining its load under `tracker`,
+    /// reading elapsed time from the shared `clock`.
+    pub fn with_tracker(
+        id: CoreId,
+        node: NodeId,
+        tracker: Arc<dyn LoadTracker>,
+        clock: Arc<AtomicU64>,
+    ) -> Self {
         PerCoreRq {
             id,
             node,
-            inner: Mutex::new(RqInner { current: None, queue: Q::default() }),
+            inner: Mutex::new(RqInner::default()),
             published: PublishedLoad::new(),
+            tracker,
+            clock,
         }
     }
 
@@ -67,6 +92,11 @@ impl<Q: TaskQueue> PerCoreRq<Q> {
         self.node
     }
 
+    /// The load criterion this runqueue is maintained under.
+    pub fn tracker(&self) -> &Arc<dyn LoadTracker> {
+        &self.tracker
+    }
+
     /// Takes the runqueue lock.  Callers that mutate the state through the
     /// guard must call [`PerCoreRq::republish`] with the guard before
     /// releasing it so the lock-less observers see the change.
@@ -74,12 +104,25 @@ impl<Q: TaskQueue> PerCoreRq<Q> {
         self.inner.lock()
     }
 
-    /// Refreshes the published load from the locked state.
-    pub fn republish(&self, inner: &RqInner<Q>) {
+    /// Folds the current instantaneous load into the tracked average (at
+    /// the clock's current time) and refreshes the published loads from the
+    /// locked state.
+    ///
+    /// This is the single choke-point through which every mutation —
+    /// enqueue, dequeue, steal, tick — becomes visible to the lock-less
+    /// selection phase, so the decayed sum can never drift from the queue
+    /// contents it summarises.
+    pub fn republish(&self, inner: &mut RqInner<Q>) {
+        let inst = match self.tracker.base() {
+            sched_core::LoadMetric::Weighted => inner.weighted_load(),
+            _ => inner.nr_threads(),
+        };
+        self.tracker.update(&mut inner.tracked, self.clock.load(Ordering::Acquire), inst);
         self.published.publish(
             inner.nr_threads(),
             inner.weighted_load(),
             inner.queue.lightest_weight(),
+            inner.tracked.scaled,
         );
     }
 
@@ -98,7 +141,7 @@ impl<Q: TaskQueue> PerCoreRq<Q> {
         } else {
             inner.queue.push(task);
         }
-        self.republish(&inner);
+        self.republish(&mut inner);
     }
 
     /// Elects the next task to run if the core has none, returning its id.
@@ -108,7 +151,7 @@ impl<Q: TaskQueue> PerCoreRq<Q> {
             if let Some(next) = inner.queue.pop_next() {
                 let id = next.id;
                 inner.current = Some(next);
-                self.republish(&inner);
+                self.republish(&mut inner);
                 return Some(id);
             }
         }
@@ -123,7 +166,7 @@ impl<Q: TaskQueue> PerCoreRq<Q> {
         if let Some(next) = inner.queue.pop_next() {
             inner.current = Some(next);
         }
-        self.republish(&inner);
+        self.republish(&mut inner);
         done
     }
 

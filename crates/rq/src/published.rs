@@ -20,6 +20,11 @@ pub struct PublishedLoad {
     weighted_load: AtomicU64,
     /// Lightest waiting weight plus one; zero encodes "nothing waiting".
     lightest_plus_one: AtomicU64,
+    /// Tracker-maintained load average, scaled by
+    /// [`sched_core::tracker::TRACK_SCALE`] — readable lock-free so the
+    /// optimistic selection phase can balance on decayed loads without ever
+    /// taking the runqueue lock.
+    tracked_scaled: AtomicU64,
 }
 
 impl PublishedLoad {
@@ -29,13 +34,20 @@ impl PublishedLoad {
     }
 
     /// Publishes a new observation.  Called with the runqueue lock held, so
-    /// the three stores describe one consistent state; readers may observe a
+    /// the stores describe one consistent state; readers may observe a
     /// mix of old and new values, which the model tolerates (the stealing
     /// phase re-checks under the lock).
-    pub fn publish(&self, nr_threads: u64, weighted_load: u64, lightest_ready: Option<u64>) {
+    pub fn publish(
+        &self,
+        nr_threads: u64,
+        weighted_load: u64,
+        lightest_ready: Option<u64>,
+        tracked_scaled: u64,
+    ) {
         self.nr_threads.store(nr_threads, Ordering::Release);
         self.weighted_load.store(weighted_load, Ordering::Release);
         self.lightest_plus_one.store(lightest_ready.map_or(0, |w| w + 1), Ordering::Release);
+        self.tracked_scaled.store(tracked_scaled, Ordering::Release);
     }
 
     /// Number of threads last published.
@@ -56,6 +68,11 @@ impl PublishedLoad {
         }
     }
 
+    /// Tracked (scaled) load average last published.
+    pub fn tracked_scaled(&self) -> u64 {
+        self.tracked_scaled.load(Ordering::Acquire)
+    }
+
     /// Builds a read-only [`CoreSnapshot`] for the selection phase, without
     /// taking any lock.
     pub fn snapshot(&self, id: CoreId, node: NodeId) -> CoreSnapshot {
@@ -65,6 +82,7 @@ impl PublishedLoad {
             nr_threads: self.nr_threads(),
             weighted_load: self.weighted_load(),
             lightest_ready_weight: self.lightest_ready(),
+            tracked_scaled: self.tracked_scaled(),
         }
     }
 }
@@ -78,30 +96,34 @@ mod tests {
         let p = PublishedLoad::new();
         assert_eq!(p.nr_threads(), 0);
         assert_eq!(p.lightest_ready(), None);
-        p.publish(3, 3 * 1024, Some(1024));
+        p.publish(3, 3 * 1024, Some(1024), 3 * 1024);
         assert_eq!(p.nr_threads(), 3);
         assert_eq!(p.weighted_load(), 3072);
         assert_eq!(p.lightest_ready(), Some(1024));
+        assert_eq!(p.tracked_scaled(), 3072);
     }
 
     #[test]
     fn snapshot_carries_identity_and_loads() {
+        use sched_core::LoadMetric;
+
         let p = PublishedLoad::new();
-        p.publish(2, 2048, Some(1024));
+        p.publish(2, 2048, Some(1024), 2 * 1024);
         let snap = p.snapshot(CoreId(5), NodeId(1));
         assert_eq!(snap.id, CoreId(5));
         assert_eq!(snap.node, NodeId(1));
         assert_eq!(snap.nr_threads, 2);
         assert!(snap.is_overloaded());
         assert_eq!(snap.lightest_ready_weight, Some(1024));
+        assert_eq!(snap.load(LoadMetric::Tracked), 2);
     }
 
     #[test]
     fn zero_weight_waiting_task_is_distinguishable_from_empty() {
         let p = PublishedLoad::new();
-        p.publish(1, 0, Some(0));
+        p.publish(1, 0, Some(0), 0);
         assert_eq!(p.lightest_ready(), Some(0));
-        p.publish(1, 0, None);
+        p.publish(1, 0, None, 0);
         assert_eq!(p.lightest_ready(), None);
     }
 }

@@ -31,6 +31,7 @@ fn snapshot_locked<Q: TaskQueue>(rq: &PerCoreRq<Q>, inner: &RqInner<Q>) -> CoreS
         nr_threads: inner.nr_threads(),
         weighted_load: inner.weighted_load(),
         lightest_ready_weight: inner.queue.lightest_weight(),
+        tracked_scaled: inner.tracked.scaled,
     }
 }
 
@@ -121,8 +122,8 @@ pub fn try_steal_recorded<Q: TaskQueue>(
         rec.stats.record_with_level(&outcome, rec.level);
     }
 
-    thief.republish(&thief_guard);
-    victim.republish(&victim_guard);
+    thief.republish(&mut thief_guard);
+    victim.republish(&mut victim_guard);
     outcome
 }
 

@@ -6,6 +6,9 @@
 //! balanced every balancing period.  Runs are fully deterministic given the
 //! workload and the scheduler.
 
+use std::sync::Arc;
+
+use sched_core::tracker::LoadTracker;
 use sched_core::CoreId;
 use sched_metrics::{IdleAccounting, LatencyRecorder};
 use sched_topology::MachineTopology;
@@ -27,6 +30,9 @@ pub struct Engine {
     barriers: Vec<SimBarrier>,
     events: EventQueue,
     scheduler: Box<dyn SimScheduler>,
+    /// The scheduler's load criterion: the engine folds every run, sleep
+    /// and wakeup event into the per-core tracked averages under it.
+    tracker: Arc<dyn LoadTracker>,
     workload_name: String,
     now: u64,
     last_account: u64,
@@ -83,6 +89,7 @@ impl Engine {
             threads,
             barriers,
             events,
+            tracker: scheduler.tracker(),
             scheduler,
             workload_name: workload.name.clone(),
             now: 0,
@@ -90,6 +97,13 @@ impl Engine {
             finished_count: 0,
             config,
         }
+    }
+
+    /// Folds `core`'s current instantaneous load into its tracked average
+    /// at the present simulation time.  Called after every queue mutation,
+    /// so decayed criteria see each run/sleep/wakeup transition.
+    fn touch(&mut self, core: CoreId) {
+        self.queues.touch(core, self.now, self.tracker.as_ref(), &self.threads);
     }
 
     /// Runs the simulation to completion (or to the horizon) and returns the
@@ -203,6 +217,7 @@ impl Engine {
         } else {
             self.queues.enqueue(target, tid);
         }
+        self.touch(target);
     }
 
     /// Puts `tid` on `core` and schedules the completion of its compute
@@ -231,6 +246,7 @@ impl Engine {
                 self.start_running(core, next);
             }
         }
+        self.touch(core);
     }
 
     fn on_phase_done(&mut self, tid: SimThreadId, token: u64) {
@@ -277,9 +293,13 @@ impl Engine {
     }
 
     fn on_balance(&mut self) {
+        // Decay every tracked load to the present before the selection
+        // phase reads it, and refresh after the migrations settle.
+        self.queues.touch_all(self.now, self.tracker.as_ref(), &self.threads);
         let stats = self.scheduler.balance_round(&mut self.queues, &self.threads);
         self.balance_stats.merge(stats);
-        // Any core that received work while idle starts running it now.
+        // Any core that received work while idle starts running it now
+        // (elect_next also refreshes each core's tracked load).
         for core in 0..self.queues.nr_cores() {
             self.elect_next(CoreId(core));
         }
@@ -419,6 +439,29 @@ mod tests {
         .run();
         assert!(result.balance.successes > 0, "forked threads must be spread by stealing");
         assert!(result.latency.count() > 0);
+    }
+
+    #[test]
+    fn pelt_scheduler_completes_workloads_and_migrates_less_than_instantaneous() {
+        // A bursty on/off workload: the instantaneous balancer reacts to
+        // every blip, the decayed one only to sustained imbalance.
+        let workload = sched_workloads::BurstyWorkload::default().generate();
+        let run = |policy: Policy| {
+            Engine::new(SimConfig::with_cores(8), None, &workload, {
+                Box::new(OptimisticScheduler::new(policy))
+            })
+            .run()
+        };
+        let inst = run(Policy::simple());
+        let pelt = run(Policy::pelt(8_000_000));
+        assert!(inst.finished && pelt.finished);
+        assert!(
+            pelt.balance.migrations <= inst.balance.migrations,
+            "decayed balancing must not out-migrate instantaneous balancing \
+             on a bursty workload ({} vs {})",
+            pelt.balance.migrations,
+            inst.balance.migrations
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use std::collections::VecDeque;
 
-use sched_core::{CoreId, CoreSnapshot};
+use sched_core::tracker::{LoadTracker, TrackedLoad};
+use sched_core::{CoreId, CoreSnapshot, LoadMetric};
 use sched_topology::{MachineTopology, NodeId};
 
 use crate::thread::{SimThread, SimThreadId};
@@ -19,6 +20,9 @@ pub struct SimCore {
     pub current: Option<SimThreadId>,
     /// Threads waiting to run, oldest first.
     pub ready: VecDeque<SimThreadId>,
+    /// The tracker-maintained load average, updated by the engine on every
+    /// run/sleep/wakeup event.
+    pub tracked: TrackedLoad,
 }
 
 impl SimCore {
@@ -53,6 +57,7 @@ impl CoreQueues {
                 node: NodeId(0),
                 current: None,
                 ready: VecDeque::new(),
+                tracked: TrackedLoad::default(),
             })
             .collect();
         CoreQueues { cores }
@@ -63,7 +68,13 @@ impl CoreQueues {
         let cores = topo
             .cpus()
             .iter()
-            .map(|c| SimCore { id: c.id, node: c.node, current: None, ready: VecDeque::new() })
+            .map(|c| SimCore {
+                id: c.id,
+                node: c.node,
+                current: None,
+                ready: VecDeque::new(),
+                tracked: TrackedLoad::default(),
+            })
             .collect();
         CoreQueues { cores }
     }
@@ -136,6 +147,37 @@ impl CoreQueues {
         Some(tid)
     }
 
+    /// Weighted load of one core, with weights taken from the thread table.
+    pub fn weighted_load(&self, core: CoreId, threads: &[SimThread]) -> u64 {
+        let core = &self.cores[core.0];
+        let cur = core.current.map_or(0, |tid| threads[tid.0].weight().raw());
+        cur + core.ready.iter().map(|&tid| threads[tid.0].weight().raw()).sum::<u64>()
+    }
+
+    /// Folds one core's instantaneous load (under `tracker`'s base metric)
+    /// into its tracked average, as observed at `now_ns`.
+    pub fn touch(
+        &mut self,
+        core: CoreId,
+        now_ns: u64,
+        tracker: &dyn LoadTracker,
+        threads: &[SimThread],
+    ) {
+        let inst = match tracker.base() {
+            LoadMetric::Weighted => self.weighted_load(core, threads),
+            _ => self.cores[core.0].nr_threads(),
+        };
+        tracker.update(&mut self.cores[core.0].tracked, now_ns, inst);
+    }
+
+    /// [`CoreQueues::touch`] for every core — the pre-balance tick that
+    /// decays every tracked load to the current time.
+    pub fn touch_all(&mut self, now_ns: u64, tracker: &dyn LoadTracker, threads: &[SimThread]) {
+        for core in 0..self.cores.len() {
+            self.touch(CoreId(core), now_ns, tracker, threads);
+        }
+    }
+
     /// Read-only load snapshots of every core, with weights taken from the
     /// thread table — the selection-phase view handed to `sched-core`
     /// policies.
@@ -159,6 +201,7 @@ impl CoreQueues {
                     nr_threads: core.nr_threads(),
                     weighted_load: weighted,
                     lightest_ready_weight: lightest,
+                    tracked_scaled: core.tracked.scaled,
                 }
             })
             .collect()

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use sched_core::tracker::{LoadTracker, NrThreadsTracker};
 use sched_core::{CoreId, CoreSnapshot, Policy};
 use sched_topology::{MachineTopology, StealLevel};
 
@@ -78,6 +79,14 @@ pub trait SimScheduler: Send {
     /// Human-readable name used in experiment tables.
     fn name(&self) -> &'static str;
 
+    /// The load criterion the engine maintains per-core tracked averages
+    /// under (updated on every run/sleep/wakeup event).  Defaults to
+    /// instantaneous thread counts, which is what every scheduler balanced
+    /// on before trackers became pluggable.
+    fn tracker(&self) -> Arc<dyn LoadTracker> {
+        Arc::new(NrThreadsTracker)
+    }
+
     /// Chooses the core a waking (or newly arrived, unpinned) thread is
     /// enqueued on.  `prev` is the core the thread last ran on, if any.
     fn place_wakeup(
@@ -122,6 +131,10 @@ impl OptimisticScheduler {
 impl SimScheduler for OptimisticScheduler {
     fn name(&self) -> &'static str {
         "optimistic"
+    }
+
+    fn tracker(&self) -> Arc<dyn LoadTracker> {
+        Arc::clone(&self.policy.tracker)
     }
 
     fn place_wakeup(
@@ -256,6 +269,10 @@ impl HierarchicalScheduler {
 impl SimScheduler for HierarchicalScheduler {
     fn name(&self) -> &'static str {
         "hierarchical"
+    }
+
+    fn tracker(&self) -> Arc<dyn LoadTracker> {
+        Arc::clone(&self.policy.tracker)
     }
 
     fn place_wakeup(

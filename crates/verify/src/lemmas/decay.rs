@@ -1,0 +1,203 @@
+//! Lemmas about decayed (tracked) load criteria.
+//!
+//! Making the load criterion pluggable adds two obligations on top of the
+//! paper's instantaneous-load proofs:
+//!
+//! * **Decay convergence** — for a *steady* workload (queues unchanged
+//!   between ticks), the tracked load converges to the instantaneous load:
+//!   the deviation at least halves per half-life and reaches zero (after
+//!   rounding) within a bounded number of ticks.  Consequently the
+//!   balancing *potential* measured on tracked loads converges to the
+//!   potential measured on instantaneous loads — a balancer driven by a
+//!   decayed criterion eventually sees exactly the imbalances an
+//!   instantaneous balancer sees.
+//! * **Tracked work conservation** — a policy balancing any monotone
+//!   tracker still reaches work conservation, provided rounds are
+//!   interleaved with ticks (so the tracked view keeps converging toward
+//!   the instantaneous truth).  This is the "work conservation is preserved
+//!   under any monotone tracker" claim: the filter keeps firing for
+//!   persistent imbalances because a sustained difference of `k` in
+//!   instantaneous load becomes a difference of `k` in tracked load within
+//!   finitely many half-lives.
+
+use sched_core::potential::potential_of_loads;
+use sched_core::{
+    Balancer, ConcurrentRound, LoadMetric, LoadTracker, Policy, RoundSchedule, SystemState,
+    TRACK_SCALE,
+};
+
+use crate::counterexample::Counterexample;
+use crate::enumerate::configurations;
+use crate::lemma::LemmaReport;
+use crate::scope::Scope;
+
+/// Ticks `system` forward by `half_life_ns` steps under `tracker`, checking
+/// at every step that the tracked-vs-instantaneous deviation at least
+/// halves (geometric convergence) on every core.
+///
+/// Returns the number of ticks until the tracked potential equals the
+/// instantaneous potential, or an error describing the core that failed to
+/// converge.
+fn converge_steady(
+    system: &mut SystemState,
+    tracker: &dyn LoadTracker,
+    half_life_ns: u64,
+    max_ticks: usize,
+) -> Result<usize, String> {
+    let inst = system.loads(tracker.base());
+    let d_inst = potential_of_loads(&inst);
+    for tick in 1..=max_ticks {
+        let gaps_before: Vec<u64> = system
+            .cores()
+            .iter()
+            .map(|c| c.tracked.scaled.abs_diff(c.load(tracker.base()) * TRACK_SCALE))
+            .collect();
+        system.tick(tick as u64 * half_life_ns, tracker);
+        for (core, before) in system.cores().iter().zip(&gaps_before) {
+            let after = core.tracked.scaled.abs_diff(core.load(tracker.base()) * TRACK_SCALE);
+            // +1 absorbs fixed-point floor rounding.
+            if after > before / 2 + 1 {
+                return Err(format!(
+                    "core {}: deviation {after} after a half-life, was {before}",
+                    core.id.0
+                ));
+            }
+        }
+        if potential_of_loads(&system.loads(LoadMetric::Tracked)) == d_inst {
+            return Ok(tick);
+        }
+    }
+    Err(format!("tracked potential never reached the instantaneous potential {d_inst}"))
+}
+
+/// Checks that, for every configuration in `scope` held steady, the tracked
+/// load converges geometrically to the instantaneous load and the tracked
+/// potential reaches the instantaneous potential within `max_ticks`
+/// half-lives.
+pub fn check_decay_convergence(
+    tracker: &dyn LoadTracker,
+    half_life_ns: u64,
+    scope: &Scope,
+    max_ticks: usize,
+) -> LemmaReport {
+    let mut instances = 0u64;
+    for loads in configurations(scope) {
+        instances += 1;
+        let mut system = SystemState::from_loads(&loads);
+        if let Err(why) = converge_steady(&mut system, tracker, half_life_ns, max_ticks) {
+            let ce = Counterexample::new(
+                "a steady tracked load failed to converge to the instantaneous load",
+                loads.iter().map(|&l| l as u64).collect::<Vec<u64>>(),
+            )
+            .step(why);
+            return LemmaReport::refuted("decay convergence", instances, ce);
+        }
+    }
+    LemmaReport::proved("decay convergence", instances)
+}
+
+/// Checks that balancing on a (monotone) tracked criterion still reaches
+/// work conservation from every configuration in `scope`, when every
+/// concurrent round is preceded by a settling tick (the steady-state
+/// reading of the §3.2 definition: the workload holds still long enough
+/// for the decayed view to catch up).
+pub fn check_tracked_work_conservation(
+    make_policy: impl Fn() -> Policy,
+    scope: &Scope,
+    max_rounds: usize,
+) -> LemmaReport {
+    let mut instances = 0u64;
+    for loads in configurations(scope) {
+        instances += 1;
+        let policy = make_policy();
+        let tracker = std::sync::Arc::clone(&policy.tracker);
+        let balancer = Balancer::new(policy);
+        let executor = ConcurrentRound::new(&balancer);
+        let mut system = SystemState::from_loads(&loads);
+        let total = system.total_threads();
+        // One settling period per round: long enough (32 half-lives would
+        // be exact; any large multiple works) that tracked == instantaneous
+        // when the selection phase runs.
+        let settle_ns = 64_000_000u64;
+        let mut converged = None;
+        for round in 0..=max_rounds {
+            system.tick((round as u64 + 1) * settle_ns, tracker.as_ref());
+            if system.is_work_conserving() {
+                converged = Some(round);
+                break;
+            }
+            if round == max_rounds {
+                break;
+            }
+            executor.execute(&mut system, &RoundSchedule::AllSelectThenSteal);
+        }
+        if converged.is_none() || system.total_threads() != total || !system.tasks_are_unique() {
+            let ce = Counterexample::new(
+                "tracked balancing failed to reach work conservation (or lost threads)",
+                loads.iter().map(|&l| l as u64).collect::<Vec<u64>>(),
+            )
+            .step(format!(
+                "after {max_rounds} rounds the loads are {:?} (tracked {:?})",
+                system.loads(LoadMetric::NrThreads),
+                system.loads(LoadMetric::Tracked),
+            ));
+            return LemmaReport::refuted("tracked work conservation", instances, ce);
+        }
+    }
+    LemmaReport::proved("tracked work conservation", instances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::{NrThreadsTracker, PeltTracker, WeightedTracker};
+
+    const HALF_LIFE: u64 = 1_000_000;
+
+    #[test]
+    fn pelt_converges_on_every_steady_configuration_in_scope() {
+        let tracker = PeltTracker::new(LoadMetric::NrThreads, HALF_LIFE);
+        let report = check_decay_convergence(&tracker, HALF_LIFE, &Scope::small(), 32);
+        assert!(report.is_proved(), "{report}");
+        assert!(report.instances > 20);
+    }
+
+    #[test]
+    fn weighted_pelt_also_converges() {
+        let tracker = PeltTracker::new(LoadMetric::Weighted, HALF_LIFE);
+        let report = check_decay_convergence(&tracker, HALF_LIFE, &Scope::small(), 48);
+        assert!(report.is_proved(), "{report}");
+    }
+
+    #[test]
+    fn instantaneous_trackers_converge_in_one_tick() {
+        for tracker in [
+            Box::new(NrThreadsTracker) as Box<dyn LoadTracker>,
+            Box::new(WeightedTracker) as Box<dyn LoadTracker>,
+        ] {
+            let report = check_decay_convergence(tracker.as_ref(), HALF_LIFE, &Scope::small(), 1);
+            assert!(report.is_proved(), "{report}");
+        }
+    }
+
+    #[test]
+    fn pelt_policy_is_work_conserving_given_settling_ticks() {
+        let report =
+            check_tracked_work_conservation(|| Policy::pelt(HALF_LIFE), &Scope::small(), 64);
+        assert!(report.is_proved(), "{report}");
+        assert!(report.instances > 20);
+    }
+
+    #[test]
+    fn every_builtin_tracker_preserves_work_conservation() {
+        type PolicyCtor = fn() -> Policy;
+        let ctors: Vec<PolicyCtor> =
+            vec![Policy::simple, Policy::weighted, || Policy::pelt(HALF_LIFE), || {
+                Policy::pelt_weighted(HALF_LIFE)
+            }];
+        for make in ctors {
+            let report = check_tracked_work_conservation(make, &Scope::small(), 64);
+            assert!(report.is_proved(), "{report}");
+        }
+    }
+}

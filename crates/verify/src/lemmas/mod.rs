@@ -8,11 +8,13 @@
 //! | [`failure`] | §4.3, property P1 | A failed stealing attempt implies that a concurrent stealing attempt by another core succeeded in between, touching the failed attempt's victim or thief. |
 //! | [`potential`] | §4.3, property P2 | Every successful steal strictly decreases the pairwise absolute load difference `d`. |
 //! | [`hierarchy`] | §5 | A steal at one topology level leaves the per-level potential unchanged at that level and coarser, and hierarchical rounds stay work-conserving. |
+//! | [`decay`] | §3.1 ("no assumption on the criteria") | A steady tracked load converges geometrically to the instantaneous load, and balancing on any monotone tracker preserves work conservation given settling ticks. |
 //!
 //! The concurrent convergence check (bounded failures + the §3.2 `∃N`) is in
 //! [`crate::convergence`], since it explores multi-round executions rather
 //! than a single round.
 
+pub mod decay;
 pub mod failure;
 pub mod hierarchy;
 pub mod lemma1;
@@ -20,6 +22,7 @@ pub mod potential;
 pub mod seq_wc;
 pub mod steal_sound;
 
+pub use decay::{check_decay_convergence, check_tracked_work_conservation};
 pub use failure::check_failure_implies_concurrent_success;
 pub use hierarchy::{check_hierarchical_work_conservation, check_level_potential_invariance};
 pub use lemma1::check_lemma1;

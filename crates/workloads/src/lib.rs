@@ -17,12 +17,17 @@
 //! * [`build`] — a `make -j`-style stream of independent jobs,
 //! * [`bursty`] — arrival bursts that repeatedly push the system away from
 //!   work conservation,
+//! * [`on_off`] — per-core blinking loads whose instantaneous imbalance
+//!   oscillates while the time-averaged load is flat (the adversarial
+//!   shape for instantaneous balancing, used by the load-tracking
+//!   experiment E17),
 //! * [`static_imbalance`] — pure initial-placement imbalances (no arrivals)
 //!   used by the convergence experiments.
 
 pub mod build;
 pub mod bursty;
 pub mod oltp;
+pub mod on_off;
 pub mod scientific;
 pub mod spec;
 pub mod static_imbalance;
@@ -30,6 +35,7 @@ pub mod static_imbalance;
 pub use build::BuildWorkload;
 pub use bursty::BurstyWorkload;
 pub use oltp::OltpWorkload;
+pub use on_off::OnOffWorkload;
 pub use scientific::ScientificWorkload;
 pub use spec::{Phase, ThreadSpec, Workload};
 pub use static_imbalance::{ImbalancePattern, StaticImbalance};

@@ -1,0 +1,125 @@
+//! On/off (blinking) workload.
+//!
+//! Each core carries one long-running task plus a set of "blinker" tasks
+//! that alternate short compute and sleep phases.  The instantaneous load
+//! of a core therefore oscillates every few milliseconds while the
+//! *time-averaged* load of every core is identical — the adversarial shape
+//! for balancers driven by instantaneous queue lengths: every blink opens a
+//! transient imbalance that an instantaneous filter reacts to with a
+//! migration, while a decayed (PELT-style) criterion correctly sees a
+//! balanced machine and leaves the threads where they are.  Experiment E17
+//! measures exactly that difference.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{Phase, ThreadSpec, Workload};
+
+/// Generator for the on/off workload.
+#[derive(Debug, Clone)]
+pub struct OnOffWorkload {
+    /// Number of cores to pin one long task and `blinkers_per_core`
+    /// blinkers on.
+    pub nr_cores: usize,
+    /// Oscillating tasks started on each core.
+    pub blinkers_per_core: usize,
+    /// Compute/sleep cycles per blinker.
+    pub cycles: usize,
+    /// CPU time of one blinker burst, in nanoseconds.
+    pub on_ns: u64,
+    /// Sleep time between bursts, in nanoseconds.
+    pub off_ns: u64,
+    /// Relative jitter on the blinker phases (de-synchronises the blinks).
+    pub jitter: f64,
+    /// Seed for the jitter.
+    pub seed: u64,
+}
+
+impl Default for OnOffWorkload {
+    fn default() -> Self {
+        OnOffWorkload {
+            nr_cores: 8,
+            blinkers_per_core: 2,
+            cycles: 12,
+            on_ns: 2_000_000,
+            off_ns: 2_000_000,
+            jitter: 0.4,
+            seed: 17,
+        }
+    }
+}
+
+impl OnOffWorkload {
+    /// Total CPU time the blinkers of one core spread over their cycles —
+    /// the long task must outlive it so no core ever goes truly idle.
+    fn long_task_ns(&self) -> u64 {
+        (self.cycles as u64 + 2) * (self.on_ns + self.off_ns) * 2
+    }
+
+    /// Generates the workload description.
+    pub fn generate(&self) -> Workload {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut workload = Workload::new(format!(
+            "on_off({} cores x {} blinkers)",
+            self.nr_cores, self.blinkers_per_core
+        ));
+        for core in 0..self.nr_cores {
+            workload.push(ThreadSpec {
+                nice: 0,
+                arrival_ns: 0,
+                origin_core: Some(core),
+                phases: vec![Phase::Compute(self.long_task_ns())],
+            });
+            for _ in 0..self.blinkers_per_core {
+                let mut phases = Vec::with_capacity(2 * self.cycles);
+                for _ in 0..self.cycles {
+                    let jig = |base: u64, rng: &mut SmallRng| {
+                        let range = (base as f64 * self.jitter) as i64;
+                        let delta = if range > 0 { rng.gen_range(-range..=range) } else { 0 };
+                        (base as i64 + delta).max(1) as u64
+                    };
+                    phases.push(Phase::Compute(jig(self.on_ns, &mut rng)));
+                    phases.push(Phase::Sleep(jig(self.off_ns, &mut rng)));
+                }
+                workload.push(ThreadSpec {
+                    nice: 0,
+                    arrival_ns: 0,
+                    origin_core: Some(core),
+                    phases,
+                });
+            }
+        }
+        workload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_one_long_task_and_blinkers_per_core() {
+        let gen = OnOffWorkload::default();
+        let w = gen.generate();
+        assert_eq!(w.nr_threads(), 8 * (1 + 2));
+        assert!(w.validate().is_ok());
+        // Every thread is pinned to its origin core at first placement.
+        assert!(w.threads.iter().all(|t| t.origin_core.is_some()));
+    }
+
+    #[test]
+    fn long_tasks_outlive_the_blinkers() {
+        let gen = OnOffWorkload::default();
+        let w = gen.generate();
+        let long = w.threads[0].phases.iter().map(|p| p.duration_ns()).sum::<u64>();
+        for blinker in &w.threads[1..=2] {
+            let total: u64 = blinker.phases.iter().map(|p| p.duration_ns()).sum();
+            assert!(long > total, "the long task must cover the blink phase ({long} vs {total})");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(OnOffWorkload::default().generate(), OnOffWorkload::default().generate());
+    }
+}

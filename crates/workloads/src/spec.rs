@@ -19,6 +19,16 @@ impl Phase {
             _ => 0,
         }
     }
+
+    /// Returns the wall time this phase occupies on its own (compute or
+    /// sleep duration; zero for barriers, whose wait depends on the other
+    /// participants).
+    pub fn duration_ns(&self) -> u64 {
+        match self {
+            Phase::Compute(ns) | Phase::Sleep(ns) => *ns,
+            Phase::Barrier(_) => 0,
+        }
+    }
 }
 
 /// The static description of one thread.

@@ -37,7 +37,7 @@
 
 use std::process::ExitCode;
 
-mod json;
+use sched_json as json;
 
 use json::Json;
 

@@ -75,6 +75,11 @@ pub enum PolicySpec {
     /// The weighted balancer over a PELT-style decayed weighted load
     /// ([`sched_core::Policy::pelt_weighted`]).
     PeltWeighted,
+    /// Listing 1 over a PELT-decayed thread count with an explicit
+    /// half-life in milliseconds (the E21 sensitivity sweep).  Only the
+    /// swept values (1, 4, 16, 64 ms) are representable, so record names
+    /// can stay `'static`.
+    PeltHalfLife(u32),
 }
 
 impl PolicySpec {
@@ -91,6 +96,13 @@ impl PolicySpec {
             PolicySpec::DslListing1 => "dsl(listing1)",
             PolicySpec::Pelt => "listing1+pelt",
             PolicySpec::PeltWeighted => "weighted+pelt",
+            PolicySpec::PeltHalfLife(ms) => match ms {
+                1 => "listing1+pelt(1ms)",
+                4 => "listing1+pelt(4ms)",
+                16 => "listing1+pelt(16ms)",
+                64 => "listing1+pelt(64ms)",
+                other => panic!("unswept pelt half-life {other} ms (add it to the name table)"),
+            },
         }
     }
 
@@ -101,6 +113,13 @@ impl PolicySpec {
             PolicySpec::Weighted => "weighted",
             PolicySpec::Pelt => "pelt(nr_threads, 8ms)",
             PolicySpec::PeltWeighted => "pelt(weighted, 8ms)",
+            PolicySpec::PeltHalfLife(ms) => match ms {
+                1 => "pelt(nr_threads, 1ms)",
+                4 => "pelt(nr_threads, 4ms)",
+                16 => "pelt(nr_threads, 16ms)",
+                64 => "pelt(nr_threads, 64ms)",
+                other => panic!("unswept pelt half-life {other} ms (add it to the name table)"),
+            },
             _ => "nr_threads",
         }
     }
@@ -133,6 +152,7 @@ impl PolicySpec {
             }
             PolicySpec::Pelt => Policy::pelt(PELT_HALF_LIFE_NS),
             PolicySpec::PeltWeighted => Policy::pelt_weighted(PELT_HALF_LIFE_NS),
+            PolicySpec::PeltHalfLife(ms) => Policy::pelt(u64::from(ms) * 1_000_000),
         }
     }
 }
@@ -314,6 +334,13 @@ pub struct ExperimentRecord {
     pub failures: u64,
     /// Where the migrated threads came from, bucketed by steal level.
     pub locality: StealLocality,
+    /// Runqueue discipline of the backend (`"mutex"`, `"deque"`), for the
+    /// rq backends only (schema v4).
+    pub rq_backend: Option<&'static str>,
+    /// p99 scheduling latency in microseconds — the time between a thread
+    /// becoming runnable and first running (schema v4).  Only the
+    /// simulator backend carries a latency recorder; `None` elsewhere.
+    pub p99_sched_latency_us: Option<f64>,
     /// Violating-idle fraction per NUMA node, in node order.
     pub per_node_violating_idle: Vec<f64>,
     /// Wall-clock cost of the run, in milliseconds.
@@ -356,6 +383,20 @@ impl ExperimentRecord {
             ("steals_remote", JsonValue::Int(levels[3] as i64)),
             ("remote_steal_rate", JsonValue::Float(self.remote_steal_rate())),
             (
+                "rq_backend",
+                match self.rq_backend {
+                    Some(name) => JsonValue::Str(name.into()),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "p99_sched_latency_us",
+                match self.p99_sched_latency_us {
+                    Some(us) => JsonValue::Float(us),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
                 "per_node_violating_idle",
                 JsonValue::Array(
                     self.per_node_violating_idle.iter().map(|&v| JsonValue::Float(v)).collect(),
@@ -391,6 +432,8 @@ fn record_base(spec: &ExperimentSpec, backend: &'static str) -> ExperimentRecord
         migrations: 0,
         failures: 0,
         locality: StealLocality::new(),
+        rq_backend: None,
+        p99_sched_latency_us: None,
         per_node_violating_idle: Vec::new(),
         wall_ms: 0.0,
     }
@@ -639,6 +682,7 @@ impl Backend for SimBackend {
         record.migrations = result.balance.migrations;
         record.failures = result.balance.failures;
         record.locality = result.balance.locality();
+        record.p99_sched_latency_us = Some(result.latency.quantile(0.99) as f64 / 1e3);
         record.per_node_violating_idle = (0..topo.nr_nodes())
             .map(|n| {
                 let cpus: Vec<usize> = topo.cpus_of_node(NodeId(n)).iter().map(|c| c.0).collect();
@@ -650,67 +694,142 @@ impl Backend for SimBackend {
     }
 }
 
-/// Real-thread backend: the spec's load vector on [`sched_rq::MultiQueue`],
-/// one OS thread per core per round, lock-less selection and genuinely
-/// contended double-lock stealing.
+/// Real-thread backends: the spec's load vector on
+/// [`sched_rq::MultiQueue`], one OS thread per core per round, lock-less
+/// selection and a genuinely contended stealing phase.  Generic over the
+/// [`sched_rq::RqBackend`] runqueue discipline, so the mutex and the
+/// lock-free deque machines run the *identical* driver:
+///
+/// * [`RqBackend`] — record backend `"rq"`, mutex runqueues (double-lock
+///   stealing); the keys every historical baseline gates on.
+/// * [`RqDequeBackend`] — record backend `"rq-deque"`, Chase–Lev
+///   runqueues (CAS stealing).
 pub struct RqBackend;
 
-impl RqBackend {
-    /// The threaded twin of [`ModelBackend::run_burst`]: per epoch, drain
-    /// one core (its tasks "sleep"), run one genuinely concurrent round
-    /// against the blipped state, then respawn the sleepers on their core.
-    fn run_burst(
-        &self,
-        spec: &ExperimentSpec,
-        burst: BurstSpec,
-        mq: MultiQueue,
-        topo: &Arc<MachineTopology>,
-    ) -> ExperimentRecord {
-        let policy = spec.policy.build(topo);
-        let mut record = record_base(spec, "rq");
-        let nr_cores = spec.loads.len();
-        let mut node_idle = vec![0.0f64; topo.nr_nodes()];
-        let mut violating_core_rounds = 0.0f64;
+/// The lock-free flavour of the real-thread backend (see [`RqBackend`]).
+pub struct RqDequeBackend;
 
-        let mut now = burst.warmup_ns;
-        mq.tick(now);
+/// The threaded twin of [`ModelBackend::run_burst`]: per epoch, drain
+/// one core (its tasks "sleep"), run one genuinely concurrent round
+/// against the blipped state, then respawn the sleepers on their core.
+fn run_rq_burst<B: sched_rq::RqBackend>(
+    backend: &'static str,
+    spec: &ExperimentSpec,
+    burst: BurstSpec,
+    mq: MultiQueue<B>,
+    topo: &Arc<MachineTopology>,
+) -> ExperimentRecord {
+    let policy = spec.policy.build(topo);
+    let mut record = record_base(spec, backend);
+    record.rq_backend = Some(B::backend_name());
+    let nr_cores = spec.loads.len();
+    let mut node_idle = vec![0.0f64; topo.nr_nodes()];
+    let mut violating_core_rounds = 0.0f64;
 
-        let start = Instant::now();
-        for epoch in 0..burst.epochs {
-            let sleeper = CoreId(epoch % nr_cores);
-            let mut parked = Vec::new();
-            while let Some(task) = mq.core(sleeper).complete_current() {
-                parked.push(task.nice);
-            }
+    let mut now = burst.warmup_ns;
+    mq.tick(now);
 
-            now += burst.epoch_ns;
-            mq.tick(now);
-            let snapshots = mq.snapshots();
-            let idle = snapshots.iter().filter(|s| s.nr_threads == 0).count();
-            violating_core_rounds += idle as f64 / nr_cores as f64;
-            sample_node_idle(&mut node_idle, topo, |c| snapshots[c].nr_threads == 0);
-
-            let stats = mq.concurrent_round(&policy);
-            record.migrations += stats.migrations();
-            record.failures += stats.failures();
-            record.locality.merge(&StealLocality::from_counts(stats.level_migration_counts()));
-
-            for nice in parked {
-                mq.spawn_on_with_nice(sleeper, nice);
-            }
+    let start = Instant::now();
+    for epoch in 0..burst.epochs {
+        let sleeper = CoreId(epoch % nr_cores);
+        let mut parked = Vec::new();
+        while let Some(task) = mq.core(sleeper).complete_current() {
+            parked.push(task.nice);
         }
-        let wall = start.elapsed();
 
-        record.wall_ms = wall.as_secs_f64() * 1e3;
-        record.throughput = if wall.as_secs_f64() > 0.0 {
-            record.migrations as f64 / wall.as_secs_f64()
-        } else {
-            0.0
-        };
-        record.violating_idle = violating_core_rounds / burst.epochs.max(1) as f64;
-        record.per_node_violating_idle = finish_node_idle(node_idle, burst.epochs as u64);
-        record
+        now += burst.epoch_ns;
+        mq.tick(now);
+        let snapshots = mq.snapshots();
+        let idle = snapshots.iter().filter(|s| s.nr_threads == 0).count();
+        violating_core_rounds += idle as f64 / nr_cores as f64;
+        sample_node_idle(&mut node_idle, topo, |c| snapshots[c].nr_threads == 0);
+
+        let stats = mq.concurrent_round(&policy);
+        record.migrations += stats.migrations();
+        record.failures += stats.failures();
+        record.locality.merge(&StealLocality::from_counts(stats.level_migration_counts()));
+
+        for nice in parked {
+            mq.spawn_on_with_nice(sleeper, nice);
+        }
     }
+    let wall = start.elapsed();
+
+    record.wall_ms = wall.as_secs_f64() * 1e3;
+    record.throughput =
+        if wall.as_secs_f64() > 0.0 { record.migrations as f64 / wall.as_secs_f64() } else { 0.0 };
+    record.violating_idle = violating_core_rounds / burst.epochs.max(1) as f64;
+    record.per_node_violating_idle = finish_node_idle(node_idle, burst.epochs as u64);
+    record
+}
+
+/// Runs one spec on a machine of `B`-discipline runqueues, labelling the
+/// record with `backend`.
+fn run_rq_spec<B: sched_rq::RqBackend>(
+    backend: &'static str,
+    spec: &ExperimentSpec,
+) -> Option<ExperimentRecord> {
+    let topo = Arc::new(spec.topo.build());
+    if topo.nr_cpus() != spec.loads.len() {
+        return None;
+    }
+    let policy = spec.policy.build(&topo);
+    let mq: MultiQueue<B> =
+        MultiQueue::with_topology_and_tracker(&topo, Arc::clone(&policy.tracker));
+    let mut next_task = 0u64;
+    for (core, &n) in spec.loads.iter().enumerate() {
+        for _ in 0..n {
+            mq.spawn_on_with_nice(CoreId(core), nice_of(spec, next_task));
+            next_task += 1;
+        }
+    }
+
+    if let Some(burst) = spec.burst {
+        return Some(run_rq_burst(backend, spec, burst, mq, &topo));
+    }
+
+    let mut record = record_base(spec, backend);
+    record.rq_backend = Some(B::backend_name());
+    let nr_cores = spec.loads.len();
+    let mut violating_core_rounds = 0.0f64;
+    let mut node_idle = vec![0.0f64; topo.nr_nodes()];
+    let mut sampled_rounds = 0u64;
+
+    let start = Instant::now();
+    for round in 0..=spec.budget_rounds {
+        // One balancing period elapses per round (decayed criteria fold
+        // it under each runqueue's lock).
+        mq.tick((round as u64 + 1) * ROUND_NS);
+        if mq.is_work_conserving() {
+            record.convergence_rounds = Some(round);
+            break;
+        }
+        if round == spec.budget_rounds {
+            break;
+        }
+        let snapshots = mq.snapshots();
+        let idle = snapshots.iter().filter(|s| s.nr_threads == 0).count();
+        violating_core_rounds += idle as f64 / nr_cores as f64;
+        sample_node_idle(&mut node_idle, &topo, |c| snapshots[c].nr_threads == 0);
+        sampled_rounds += 1;
+        let stats = if spec.policy.is_hierarchical() {
+            mq.hierarchical_round(&policy)
+        } else {
+            mq.concurrent_round(&policy)
+        };
+        record.migrations += stats.migrations();
+        record.failures += stats.failures();
+        record.locality.merge(&StealLocality::from_counts(stats.level_migration_counts()));
+    }
+    let wall = start.elapsed();
+
+    record.wall_ms = wall.as_secs_f64() * 1e3;
+    record.throughput =
+        if wall.as_secs_f64() > 0.0 { record.migrations as f64 / wall.as_secs_f64() } else { 0.0 };
+    record.violating_idle =
+        if sampled_rounds == 0 { 0.0 } else { violating_core_rounds / sampled_rounds as f64 };
+    record.per_node_violating_idle = finish_node_idle(node_idle, sampled_rounds);
+    Some(record)
 }
 
 impl Backend for RqBackend {
@@ -719,69 +838,17 @@ impl Backend for RqBackend {
     }
 
     fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
-        let topo = Arc::new(spec.topo.build());
-        if topo.nr_cpus() != spec.loads.len() {
-            return None;
-        }
-        let policy = spec.policy.build(&topo);
-        let mq: MultiQueue =
-            MultiQueue::with_topology_and_tracker(&topo, Arc::clone(&policy.tracker));
-        let mut next_task = 0u64;
-        for (core, &n) in spec.loads.iter().enumerate() {
-            for _ in 0..n {
-                mq.spawn_on_with_nice(CoreId(core), nice_of(spec, next_task));
-                next_task += 1;
-            }
-        }
+        run_rq_spec::<sched_rq::PerCoreRq<sched_rq::FifoQueue>>(self.name(), spec)
+    }
+}
 
-        if let Some(burst) = spec.burst {
-            return Some(self.run_burst(spec, burst, mq, &topo));
-        }
+impl Backend for RqDequeBackend {
+    fn name(&self) -> &'static str {
+        "rq-deque"
+    }
 
-        let mut record = record_base(spec, self.name());
-        let nr_cores = spec.loads.len();
-        let mut violating_core_rounds = 0.0f64;
-        let mut node_idle = vec![0.0f64; topo.nr_nodes()];
-        let mut sampled_rounds = 0u64;
-
-        let start = Instant::now();
-        for round in 0..=spec.budget_rounds {
-            // One balancing period elapses per round (decayed criteria fold
-            // it under each runqueue's lock).
-            mq.tick((round as u64 + 1) * ROUND_NS);
-            if mq.is_work_conserving() {
-                record.convergence_rounds = Some(round);
-                break;
-            }
-            if round == spec.budget_rounds {
-                break;
-            }
-            let snapshots = mq.snapshots();
-            let idle = snapshots.iter().filter(|s| s.nr_threads == 0).count();
-            violating_core_rounds += idle as f64 / nr_cores as f64;
-            sample_node_idle(&mut node_idle, &topo, |c| snapshots[c].nr_threads == 0);
-            sampled_rounds += 1;
-            let stats = if spec.policy.is_hierarchical() {
-                mq.hierarchical_round(&policy)
-            } else {
-                mq.concurrent_round(&policy)
-            };
-            record.migrations += stats.migrations();
-            record.failures += stats.failures();
-            record.locality.merge(&StealLocality::from_counts(stats.level_migration_counts()));
-        }
-        let wall = start.elapsed();
-
-        record.wall_ms = wall.as_secs_f64() * 1e3;
-        record.throughput = if wall.as_secs_f64() > 0.0 {
-            record.migrations as f64 / wall.as_secs_f64()
-        } else {
-            0.0
-        };
-        record.violating_idle =
-            if sampled_rounds == 0 { 0.0 } else { violating_core_rounds / sampled_rounds as f64 };
-        record.per_node_violating_idle = finish_node_idle(node_idle, sampled_rounds);
-        Some(record)
+    fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        run_rq_spec::<sched_rq::DequeRq>(self.name(), spec)
     }
 }
 
@@ -796,12 +863,15 @@ impl ExperimentRunner {
         ExperimentRunner { backends }
     }
 
-    /// A runner over all three backends: model, sim, rq.
+    /// A runner over every backend: model, sim, and the real-thread
+    /// machine under both runqueue disciplines (mutex `rq`, lock-free
+    /// `rq-deque`).
     pub fn with_all_backends() -> Self {
         ExperimentRunner::new(vec![
             Box::new(ModelBackend),
             Box::new(SimBackend),
             Box::new(RqBackend),
+            Box::new(RqDequeBackend),
         ])
     }
 
@@ -1101,7 +1171,55 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             mixed_nice: false,
         },
+        // E20: the steal-heavy fan-out — one producer core holds all the
+        // work, fifteen thieves hammer it.  The shape maximises contention
+        // on a single victim queue, which is exactly where the lock-free
+        // backend's owner path earns its keep (the rq vs rq-deque record
+        // pair is the headline comparison).
+        ExperimentSpec {
+            id: ExperimentId::E20,
+            scenario: "steal-heavy fan-out: one producer core, fifteen thieves",
+            loads: {
+                let mut loads = vec![0usize; 16];
+                loads[0] = 64;
+                loads
+            },
+            topo: TopoSpec::Flat(16),
+            policy: PolicySpec::Listing1,
+            workload: None,
+            budget_rounds: 256,
+            burst: None,
+            mixed_nice: false,
+        },
     ]
+    .into_iter()
+    .chain(
+        // E21: the PELT half-life sensitivity sweep — E17's bursty on/off
+        // shape with the blips stretched to 4 ms, re-run per half-life.
+        // The blip length sits between the swept half-lives: a 1 ms
+        // half-life forgets a sleeping core within one blip and churns,
+        // while 4 ms and up retain enough history to hold still — the
+        // discrimination that justifies the 8 ms default (E21b's warm-up
+        // lag covers the other side of the trade-off).
+        [1u32, 4, 16, 64].into_iter().map(|half_life_ms| ExperimentSpec {
+            id: ExperimentId::E21,
+            scenario: match half_life_ms {
+                1 => "half-life sweep: pelt(1ms) vs 4ms bursts",
+                4 => "half-life sweep: pelt(4ms) vs 4ms bursts",
+                16 => "half-life sweep: pelt(16ms) vs 4ms bursts",
+                64 => "half-life sweep: pelt(64ms) vs 4ms bursts",
+                _ => unreachable!(),
+            },
+            loads: vec![2; 8],
+            topo: TopoSpec::Flat(8),
+            policy: PolicySpec::PeltHalfLife(half_life_ms),
+            workload: None,
+            budget_rounds: 64,
+            burst: Some(BurstSpec { epochs: 32, epoch_ns: 4_000_000, warmup_ns: 32 * 64_000_000 }),
+            mixed_nice: false,
+        }),
+    )
+    .collect()
 }
 
 /// Serializes records (plus a small header) to the `BENCH_results.json`
@@ -1113,9 +1231,9 @@ pub fn records_to_json(records: &[ExperimentRecord]) -> String {
             JsonValue::Str("Towards Proving Optimistic Multicore Schedulers (HotOS 2017)".into()),
         ),
         ("harness", JsonValue::Str("sched-bench experiments --json".into())),
-        // v3: per-record `tracker` (load criterion) on top of the v2
-        // per-level steal counts, remote_steal_rate and per-node idle.
-        ("schema_version", JsonValue::Int(3)),
+        // The version's meaning is documented on `sched_json::SCHEMA_VERSION`
+        // (v4: rq_backend + p99_sched_latency_us).
+        ("schema_version", JsonValue::Int(sched_json::SCHEMA_VERSION)),
         ("records", JsonValue::Array(records.iter().map(ExperimentRecord::to_json).collect())),
     ])
     .render_pretty()
@@ -1201,6 +1319,10 @@ mod tests {
             PolicySpec::DslListing1,
             PolicySpec::Pelt,
             PolicySpec::PeltWeighted,
+            PolicySpec::PeltHalfLife(1),
+            PolicySpec::PeltHalfLife(4),
+            PolicySpec::PeltHalfLife(16),
+            PolicySpec::PeltHalfLife(64),
         ] {
             assert_eq!(
                 spec.tracker_name(),
@@ -1213,13 +1335,15 @@ mod tests {
     #[test]
     fn catalog_covers_every_experiment() {
         let specs = catalog();
-        assert_eq!(specs.len(), 20);
+        assert_eq!(specs.len(), 25);
         let ids: std::collections::BTreeSet<String> =
             specs.iter().map(|s| format!("{:?}", s.id)).collect();
         assert_eq!(ids.len(), ExperimentId::all().len(), "every experiment id appears");
-        // E17 is the one deliberate comparison pair; every other id appears
-        // exactly once, and the pair is disambiguated by scenario name.
+        // E17 is a deliberate comparison pair and E21 a four-point sweep;
+        // every other id appears exactly once, and every spec is
+        // disambiguated by scenario name.
         assert_eq!(specs.iter().filter(|s| s.id == ExperimentId::E17).count(), 2);
+        assert_eq!(specs.iter().filter(|s| s.id == ExperimentId::E21).count(), 4);
         let keys: std::collections::BTreeSet<String> =
             specs.iter().map(|s| format!("{:?}|{}", s.id, s.scenario)).collect();
         assert_eq!(keys.len(), specs.len(), "scenario names keep gate keys unique");
@@ -1235,13 +1359,20 @@ mod tests {
     }
 
     #[test]
-    fn all_three_backends_run_the_same_spec() {
+    fn all_backends_run_the_same_spec() {
         let spec = small_spec(PolicySpec::Listing1);
         let runner = ExperimentRunner::with_all_backends();
         let records = runner.run(&spec);
-        assert_eq!(records.len(), 3);
+        assert_eq!(records.len(), 4);
         let backends: Vec<&str> = records.iter().map(|r| r.backend).collect();
-        assert_eq!(backends, vec!["model", "sim", "rq"]);
+        assert_eq!(backends, vec!["model", "sim", "rq", "rq-deque"]);
+        // Schema v4: the rq records carry their runqueue discipline.
+        let flavour = |backend: &str| {
+            records.iter().find(|r| r.backend == backend).and_then(|r| r.rq_backend)
+        };
+        assert_eq!(flavour("rq"), Some("mutex"));
+        assert_eq!(flavour("rq-deque"), Some("deque"));
+        assert_eq!(flavour("model"), None);
         for r in &records {
             assert_eq!(r.experiment, "e2");
             assert_eq!(r.cores, 4);
@@ -1283,6 +1414,8 @@ mod tests {
             "\"steals_remote\"",
             "\"remote_steal_rate\"",
             "\"per_node_violating_idle\"",
+            "\"rq_backend\"",
+            "\"p99_sched_latency_us\"",
             "\"records\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
@@ -1299,7 +1432,7 @@ mod tests {
     fn e14_runs_on_all_backends_and_reports_node_metrics() {
         let runner = ExperimentRunner::with_all_backends();
         let records = runner.run(&catalog_spec(ExperimentId::E14));
-        assert_eq!(records.len(), 3);
+        assert_eq!(records.len(), 4);
         for r in &records {
             assert_eq!(r.per_node_violating_idle.len(), 2, "{}: one entry per node", r.backend);
             assert!(r.migrations > 0, "{}: the imbalance must drain", r.backend);

@@ -1,0 +1,330 @@
+//! A Chase–Lev work-stealing deque over plain atomics.
+//!
+//! The paper's stealing phase "must be done atomically for correctness
+//! (i.e., no two cores should be able to steal the same thread)" (§3.1).
+//! `sched-rq`'s mutex backend obtains that atomicity by double-locking the
+//! two runqueues; this crate provides the lock-free alternative: the
+//! owner/stealer deque of Chase & Lev (*Dynamic Circular Work-Stealing
+//! Deque*, SPAA 2005), with the memory orderings of Lê et al. (*Correct and
+//! Efficient Work-Stealing for Weak Memory Models*, PPoPP 2013).
+//!
+//! * The **owner** pushes and pops at the *bottom* of the deque.  It never
+//!   contends with thieves except on the very last element, where it joins
+//!   the thieves' CAS race on `top`.
+//! * **Thieves** claim elements at the *top* with a single
+//!   compare-and-swap.  A successful CAS *is* the steal's linearization
+//!   point: `top` only ever grows, each value of `top` is CASed away at
+//!   most once, so every element is claimed by exactly one party — no task
+//!   duplicated, no task lost.
+//! * A **failed** CAS means another CAS on `top` succeeded in between —
+//!   i.e. a concurrent steal (or the owner's last-element take) claimed an
+//!   element.  This is the paper's property P1, reproduced at the
+//!   instruction level: failures imply concurrent successes.
+//!
+//! # Design choices
+//!
+//! The buffer is a **fixed-capacity** power-of-two ring of [`AtomicU64`]
+//! slots, chosen over the growable original for two reasons: growth
+//! requires reclaiming retired buffers under concurrent racy reads (epoch
+//! or hazard-pointer machinery this offline workspace does not carry), and
+//! a fixed ring keeps the whole implementation in **safe Rust** — every
+//! slot access is an atomic operation, so the "racy" reads of the classic
+//! algorithm are well-defined here and the claim argument carries over
+//! unchanged.  [`Worker::push`] reports overflow as [`Full`] instead of
+//! growing; callers spill (see `sched-rq`'s `DequeRq`) or size the ring for
+//! their workload.
+//!
+//! Elements are bare `u64` words.  Schedulers pack their task descriptors
+//! into a word (id + niceness fits comfortably); keeping the deque
+//! word-sized is what makes the slot reads atomic and the crate
+//! `forbid(unsafe_code)`-clean.
+//!
+//! # Why the stale slot read is safe
+//!
+//! A thief reads `slots[top & mask]` *before* CASing `top`.  The slot could
+//! in principle be overwritten by a later `push` wrapping around the ring —
+//! but a push only writes index `b` when `b - top < capacity`, so the
+//! overwriting push observed `top > t`, which means the thief's CAS from
+//! `t` is already doomed to fail and the stale value is discarded.  A
+//! *successful* CAS from `t` therefore proves the value read at `t & mask`
+//! was the live element `t`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared state of one deque.
+#[derive(Debug)]
+struct Inner {
+    /// Index of the oldest element; grows monotonically, advanced only by
+    /// successful CAS (thief steals and the owner's last-element take).
+    top: AtomicI64,
+    /// Index one past the newest element; written only by the owner.
+    bottom: AtomicI64,
+    /// The ring of elements; `slots.len()` is a power of two.
+    slots: Box<[AtomicU64]>,
+    /// `slots.len() - 1`, for cheap index masking.
+    mask: i64,
+}
+
+impl Inner {
+    fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Acquire);
+        let t = self.top.load(Ordering::Acquire);
+        usize::try_from((b - t).max(0)).expect("clamped to non-negative")
+    }
+}
+
+/// Error returned by [`Worker::push`] when the ring is full, carrying the
+/// rejected element back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Full(pub u64);
+
+/// Outcome of one [`Stealer::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque had no elements to steal.
+    Empty,
+    /// The claiming CAS failed: a *concurrent* claim (another thief, or the
+    /// owner taking the last element) advanced `top` in between.  The
+    /// caller may retry against the fresh state.
+    Retry,
+    /// Exactly this thief claimed the element.
+    Stolen(u64),
+}
+
+impl Steal {
+    /// Returns the stolen element, if the attempt succeeded.
+    pub fn stolen(self) -> Option<u64> {
+        match self {
+            Steal::Stolen(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The owner-side handle: push and pop at the bottom of the deque.
+///
+/// There is exactly one `Worker` per deque and its methods take `&mut
+/// self`: single ownership of the bottom end is enforced by the type
+/// system, which is the precondition the Chase–Lev proof rests on.
+#[derive(Debug)]
+pub struct Worker {
+    inner: Arc<Inner>,
+}
+
+/// The thief-side handle: claim elements at the top with a CAS.
+///
+/// Cloneable and shareable; any number of thieves may race.
+#[derive(Debug, Clone)]
+pub struct Stealer {
+    inner: Arc<Inner>,
+}
+
+/// Creates an empty deque with at least `min_capacity` slots (rounded up
+/// to a power of two), returning the unique owner handle and a cloneable
+/// stealer handle.
+///
+/// # Panics
+///
+/// Panics if `min_capacity` is zero.
+pub fn deque(min_capacity: usize) -> (Worker, Stealer) {
+    assert!(min_capacity > 0, "a deque needs at least one slot");
+    let capacity = min_capacity.next_power_of_two();
+    let slots: Box<[AtomicU64]> = (0..capacity).map(|_| AtomicU64::new(0)).collect();
+    let inner = Arc::new(Inner {
+        top: AtomicI64::new(0),
+        bottom: AtomicI64::new(0),
+        slots,
+        mask: (capacity - 1) as i64,
+    });
+    (Worker { inner: Arc::clone(&inner) }, Stealer { inner })
+}
+
+impl Worker {
+    /// Pushes `value` at the bottom of the deque.
+    ///
+    /// Returns [`Full`] (carrying the value back) when the ring has no free
+    /// slot — overflow is reported, never silently dropped, and never
+    /// overwrites an unclaimed element.
+    pub fn push(&mut self, value: u64) -> Result<(), Full> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        if b - t > inner.mask {
+            return Err(Full(value));
+        }
+        inner.slots[(b & inner.mask) as usize].store(value, Ordering::Relaxed);
+        inner.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pops the most recently pushed element (LIFO), racing thieves on the
+    /// last one.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.pop_with_probe(|| {})
+    }
+
+    /// [`Worker::pop`] with a verification probe injected after the owner
+    /// has published its claim on the bottom element but **before** the
+    /// last-element CAS race is resolved.
+    ///
+    /// See [`Stealer::steal_with_probe`]; this is the owner-side half of
+    /// the deterministic race checks.
+    pub fn pop_with_probe(&mut self, probe: impl FnOnce()) -> Option<u64> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let value = inner.slots[(b & inner.mask) as usize].load(Ordering::Relaxed);
+        if t == b {
+            probe();
+            // Last element: join the thieves' CAS race on `top`.  Winning
+            // claims the element; losing means a thief claimed it first.
+            let won =
+                inner.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok();
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(value);
+        }
+        Some(value)
+    }
+
+    /// Number of elements currently in the deque (exact when quiescent,
+    /// a snapshot otherwise).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if the deque holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// A new stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl Stealer {
+    /// Attempts to claim the oldest element with a single CAS on `top`.
+    ///
+    /// [`Steal::Stolen`] means this caller — and nobody else — owns the
+    /// element.  [`Steal::Retry`] means the CAS lost to a concurrent claim;
+    /// the state has changed, so callers re-evaluating a steal condition
+    /// (the re-check of Listing 1, line 12) must do so before retrying.
+    pub fn steal(&self) -> Steal {
+        self.steal_with_probe(|| {})
+    }
+
+    /// [`Stealer::steal`] with a verification probe injected **between**
+    /// the optimistic reads and the claiming CAS — the window every
+    /// steal-atomicity argument is about.
+    ///
+    /// Whatever the probe does concurrently (steal, pop, push), the CAS
+    /// still claims exclusively or fails: `sched-verify`'s CAS lemmas use
+    /// this to check the race *deterministically* instead of hoping the
+    /// OS scheduler preempts at the right instruction.
+    pub fn steal_with_probe(&self, probe: impl FnOnce()) -> Steal {
+        let inner = &self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let value = inner.slots[(t & inner.mask) as usize].load(Ordering::Relaxed);
+        probe();
+        if inner.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            return Steal::Retry;
+        }
+        Steal::Stolen(value)
+    }
+
+    /// Number of elements currently in the deque (a racy snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if the deque looks empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_the_owner_fifo_for_thieves() {
+        let (mut w, s) = deque(8);
+        for v in 1..=3 {
+            w.push(v).unwrap();
+        }
+        assert_eq!(w.len(), 3);
+        // Thief takes the oldest.
+        assert_eq!(s.steal(), Steal::Stolen(1));
+        // Owner takes the newest.
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_full_reports_overflow() {
+        let (mut w, s) = deque(3);
+        assert_eq!(w.capacity(), 4);
+        for v in 0..4 {
+            w.push(v).unwrap();
+        }
+        assert_eq!(w.push(99), Err(Full(99)), "the rejected element comes back");
+        // Claiming one element frees a slot.
+        assert_eq!(s.steal(), Steal::Stolen(0));
+        w.push(99).unwrap();
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots_only_after_they_are_claimed() {
+        let (mut w, s) = deque(4);
+        // Push/steal far past the capacity so indices wrap many times.
+        for round in 0..64u64 {
+            w.push(round).unwrap();
+            assert_eq!(s.steal(), Steal::Stolen(round));
+        }
+        assert!(w.is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_pop_and_steal_are_clean_noops() {
+        let (mut w, s) = deque(2);
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+        w.push(7).unwrap();
+        assert_eq!(w.pop(), Some(7));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_is_rejected() {
+        let _ = deque(0);
+    }
+}

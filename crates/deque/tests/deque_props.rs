@@ -1,0 +1,94 @@
+//! Property-based tests of the deque's edge cases: empty steals, the
+//! single-element owner-vs-thief race, and fixed-capacity overflow
+//! (the satellite's grow/shrink obligation, realised here as explicit
+//! overflow reporting on the bounded ring).
+
+use proptest::prelude::*;
+use sched_deque::{deque, Full, Steal};
+
+proptest! {
+    #[test]
+    fn empty_steal_is_always_empty_after_any_push_pop_balance(pushes in 0usize..64) {
+        let (mut w, s) = deque(64);
+        for v in 0..pushes as u64 {
+            w.push(v).unwrap();
+        }
+        for _ in 0..pushes {
+            prop_assert!(w.pop().is_some());
+        }
+        // Fully drained: both ends observe emptiness, repeatedly.
+        prop_assert_eq!(w.pop(), None);
+        prop_assert_eq!(s.steal(), Steal::Empty);
+        prop_assert_eq!(s.steal(), Steal::Empty);
+        prop_assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn overflow_rejects_exactly_beyond_capacity(min_cap in 1usize..=64, extra in 1usize..8) {
+        let (mut w, _s) = deque(min_cap);
+        let cap = w.capacity() as u64;
+        prop_assert!(cap >= min_cap as u64 && cap.is_power_of_two());
+        for v in 0..cap {
+            prop_assert_eq!(w.push(v), Ok(()));
+        }
+        // Every push past capacity reports Full and hands the value back.
+        for v in 0..extra as u64 {
+            prop_assert_eq!(w.push(1000 + v), Err(Full(1000 + v)));
+        }
+        prop_assert_eq!(w.len() as u64, cap);
+        // Draining returns exactly the accepted elements.
+        let mut drained = Vec::new();
+        while let Some(v) = w.pop() {
+            drained.push(v);
+        }
+        drained.sort_unstable();
+        prop_assert_eq!(drained, (0..cap).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_owner_and_thief_claims_partition_the_elements(
+        items in 1u64..=128,
+        thief_share in 0u64..=128,
+    ) {
+        // Sequential interleaving of bottom pops and top steals: whatever
+        // order they run in, the claims partition the pushed set.
+        let (mut w, s) = deque(128);
+        for v in 0..items {
+            w.push(v).unwrap();
+        }
+        let mut claimed = Vec::new();
+        let mut steal_next = thief_share.is_multiple_of(2);
+        let mut remaining_steals = thief_share.min(items);
+        while claimed.len() < items as usize {
+            if steal_next && remaining_steals > 0 {
+                match s.steal() {
+                    Steal::Stolen(v) => claimed.push(v),
+                    Steal::Retry => {}
+                    Steal::Empty => break,
+                }
+                remaining_steals -= 1;
+            } else if let Some(v) = w.pop() {
+                claimed.push(v);
+            } else {
+                break;
+            }
+            steal_next = !steal_next;
+        }
+        claimed.sort_unstable();
+        claimed.dedup();
+        prop_assert_eq!(claimed.len() as u64, items);
+    }
+
+    #[test]
+    fn single_element_sequential_race_has_one_winner(owner_first in proptest::arbitrary::any::<bool>()) {
+        let (mut w, s) = deque(2);
+        w.push(42).unwrap();
+        let (a, b) = if owner_first {
+            (w.pop().map(Steal::Stolen).unwrap_or(Steal::Empty), s.steal())
+        } else {
+            (s.steal(), w.pop().map(Steal::Stolen).unwrap_or(Steal::Empty))
+        };
+        let winners = [a, b].iter().filter(|o| o.stolen().is_some()).count();
+        prop_assert_eq!(winners, 1);
+    }
+}

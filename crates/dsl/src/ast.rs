@@ -82,6 +82,15 @@ pub enum Field {
     /// The weight of the lightest waiting thread, or 0 if none
     /// (`.lightest_ready`).
     LightestReady,
+    /// The tracker-maintained (decayed) load average (`.tracked_load`).
+    ///
+    /// Only meaningful when the policy configures a decayed tracker
+    /// (`load pelt(h)`); the compiler rejects it otherwise, because with
+    /// an instantaneous criterion there is no tracker history to read and
+    /// the field would silently alias `.load`.  Exposing it alongside the
+    /// instantaneous fields lets one predicate mix both views — "decayed
+    /// imbalance AND currently overloaded".
+    TrackedLoad,
 }
 
 impl std::fmt::Display for Field {
@@ -91,6 +100,7 @@ impl std::fmt::Display for Field {
             Field::NrThreads => "nr_threads",
             Field::WeightedLoad => "weighted_load",
             Field::LightestReady => "lightest_ready",
+            Field::TrackedLoad => "tracked_load",
         };
         f.write_str(s)
     }
@@ -175,6 +185,16 @@ impl Expr {
             Expr::Int(_) => false,
             Expr::Field(a, _) => *a == actor,
             Expr::Binary(_, l, r) => l.references(actor) || r.references(actor),
+        }
+    }
+
+    /// Returns `true` if the expression reads the given field (of either
+    /// actor).
+    pub fn uses_field(&self, field: Field) -> bool {
+        match self {
+            Expr::Int(_) => false,
+            Expr::Field(_, f) => *f == field,
+            Expr::Binary(_, l, r) => l.uses_field(field) || r.uses_field(field),
         }
     }
 

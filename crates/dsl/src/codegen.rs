@@ -130,6 +130,7 @@ fn field_access(actor: &Actor, field: &Field) -> String {
         Field::NrThreads => format!("{base}.nr_threads as i128"),
         Field::WeightedLoad => format!("{base}.weighted_load as i128"),
         Field::LightestReady => format!("{base}.lightest_ready_weight.unwrap_or(0) as i128"),
+        Field::TrackedLoad => format!("{base}.load(LoadMetric::Tracked) as i128"),
     }
 }
 

@@ -69,6 +69,7 @@ fn eval_int(expr: &Expr, this: &CoreSnapshot, victim: &CoreSnapshot, metric: Loa
                 Field::NrThreads => snap.nr_threads,
                 Field::WeightedLoad => snap.weighted_load,
                 Field::LightestReady => snap.lightest_ready_weight.unwrap_or(0),
+                Field::TrackedLoad => snap.load(LoadMetric::Tracked),
             };
             i128::from(value)
         }
@@ -240,5 +241,61 @@ mod tests {
     fn ill_typed_sources_do_not_compile() {
         assert!(compile_source("policy p { filter = victim.load + self.load; }").is_err());
         assert!(compile_source("policy p { filter = self.load >= 2; }").is_err());
+    }
+
+    #[test]
+    fn tracked_load_mixes_decayed_and_instantaneous_views() {
+        // "Decayed imbalance AND currently overloaded": the tracked gap
+        // alone is not enough — the victim must have threads right now.
+        let compiled = compile_source(
+            "policy hybrid { metric threads; load pelt(8); \
+             filter = victim.tracked_load - self.tracked_load >= 2 && victim.nr_threads >= 2; }",
+        )
+        .unwrap();
+        // Build live observations through the model, so the test needs no
+        // hand-rolled snapshot plumbing: core 1's tracked history warms up
+        // separately from its instantaneous queue length.
+        let warm = |tracked: u64, now: u64| {
+            let mut system = SystemState::from_loads(&[0, now as usize]);
+            system.core_mut(CoreId(1)).tracked.scaled = tracked * sched_core::TRACK_SCALE;
+            CoreSnapshot::capture(system.core(CoreId(1)))
+        };
+        let this = CoreSnapshot::capture(SystemState::from_loads(&[0]).core(CoreId(0)));
+        let filter = &compiled.policy.filter;
+        // Decayed history says hot AND the queue is hot now: steal.
+        assert!(filter.can_steal(&this, &warm(4, 4)));
+        // Decayed history says hot but the queue just drained: no steal
+        // (the instantaneous conjunct vetoes it).
+        assert!(!filter.can_steal(&this, &warm(4, 0)));
+        // Queue is hot now but the decayed view says it is a blip: no
+        // steal (the tracked conjunct vetoes it).
+        assert!(!filter.can_steal(&this, &warm(0, 4)));
+    }
+
+    #[test]
+    fn tracked_load_without_a_decayed_tracker_is_rejected() {
+        for source in [
+            // No load clause at all.
+            "policy p { filter = victim.tracked_load >= 2; }",
+            // Instantaneous load clause (an alias for the metric).
+            "policy p { load nr_threads; filter = victim.tracked_load >= 2; }",
+            // Tracked view in the choose key only.
+            "policy p { filter = victim.load >= 2; choose = max victim.tracked_load; }",
+        ] {
+            let err = match compile_source(source) {
+                Err(err) => err,
+                Ok(_) => panic!("{source}: must be rejected without a decayed tracker"),
+            };
+            assert!(
+                err.to_string().contains("pelt"),
+                "{source}: error must point at the missing tracker, got: {err}"
+            );
+        }
+        // The same expressions compile once a decayed tracker is declared.
+        assert!(compile_source(
+            "policy p { load pelt(8); filter = victim.tracked_load >= 2; \
+             choose = max victim.tracked_load; }"
+        )
+        .is_ok());
     }
 }

@@ -301,6 +301,7 @@ impl Parser {
                     "nr_threads" => Field::NrThreads,
                     "weighted_load" => Field::WeightedLoad,
                     "lightest_ready" => Field::LightestReady,
+                    "tracked_load" => Field::TrackedLoad,
                     other => return Err(DslError::parse(format!("unknown field `.{other}`"))),
                 };
                 Ok(Expr::Field(actor, field))

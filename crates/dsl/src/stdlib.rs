@@ -65,8 +65,26 @@ policy pelt {
 }
 ";
 
+/// A hybrid-criterion policy mixing both load views in one predicate: a
+/// *decayed* imbalance must exist (`.tracked_load`, so transient blips do
+/// not trigger it) **and** the victim must be instantaneously overloaded
+/// right now (`.nr_threads`, so work is actually there to take).  This is
+/// the expression shape the `.tracked_load` field exists for; with only
+/// `.load` a policy is all-decayed or all-instantaneous.
+pub const PELT_HYBRID: &str = "\
+# Steal on decayed imbalance, but only from a currently overloaded victim.
+policy pelt_hybrid {
+    metric threads;
+    load   pelt(8);
+    filter = victim.tracked_load - self.tracked_load >= 2 && victim.nr_threads >= 2;
+    choose = max victim.tracked_load;
+    steal  = 1;
+}
+";
+
 /// All built-in *instantaneous* policies with their names (the set the
-/// untimed verifier checks; [`PELT`] is verified by the decay lemmas).
+/// untimed verifier checks; [`PELT`] and [`PELT_HYBRID`] are time-coupled
+/// and verified by the decay lemmas plus E17/E21 instead).
 pub fn all() -> Vec<(&'static str, &'static str)> {
     vec![("listing1", LISTING1), ("greedy", GREEDY), ("weighted", WEIGHTED), ("batched", BATCHED)]
 }
@@ -83,6 +101,18 @@ mod tests {
             assert_eq!(def.name, name);
             compile_source(source).unwrap_or_else(|e| panic!("{name} does not compile: {e}"));
         }
+    }
+
+    #[test]
+    fn the_hybrid_policy_compiles_and_mixes_both_views() {
+        let compiled = compile_source(super::PELT_HYBRID)
+            .unwrap_or_else(|e| panic!("pelt_hybrid does not compile: {e}"));
+        assert!(compiled.policy.tracker.is_decayed());
+        assert_eq!(compiled.def.name, "pelt_hybrid");
+        // The whole point of the policy: the filter reads the tracked view
+        // AND an instantaneous field in one predicate.
+        assert!(compiled.def.filter.uses_field(crate::ast::Field::TrackedLoad));
+        assert!(compiled.def.filter.uses_field(crate::ast::Field::NrThreads));
     }
 
     #[test]

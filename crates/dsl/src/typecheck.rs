@@ -1,6 +1,7 @@
-//! Expression typing: integers vs booleans.
+//! Expression typing: integers vs booleans, and field/criterion
+//! coherence (`.tracked_load` needs a decayed tracker).
 
-use crate::ast::{ChooseRule, Expr, PolicyDef};
+use crate::ast::{ChooseRule, Expr, Field, LoadSpec, PolicyDef};
 use crate::error::DslError;
 
 /// The type of a DSL expression.
@@ -34,8 +35,11 @@ pub fn type_of(expr: &Expr) -> Result<ExprType, DslError> {
     }
 }
 
-/// Type-checks a whole policy: the filter must be boolean and the choose key
-/// must be an integer.
+/// Type-checks a whole policy: the filter must be boolean, the choose key
+/// must be an integer, and `.tracked_load` may only appear when the policy
+/// configures a decayed tracker — this rule lives here, in the checker
+/// every back-end (interpreter *and* code generator) runs through, rather
+/// than in any single back-end.
 pub fn typecheck(policy: &PolicyDef) -> Result<(), DslError> {
     if type_of(&policy.filter)? != ExprType::Bool {
         return Err(DslError::type_error(format!(
@@ -43,19 +47,29 @@ pub fn typecheck(policy: &PolicyDef) -> Result<(), DslError> {
             policy.name
         )));
     }
-    match &policy.choose {
-        ChooseRule::First => Ok(()),
+    let choose_key = match &policy.choose {
+        ChooseRule::First => None,
         ChooseRule::MaxBy(key) | ChooseRule::MinBy(key) => {
             if type_of(key)? != ExprType::Int {
-                Err(DslError::type_error(format!(
+                return Err(DslError::type_error(format!(
                     "the choose key of `{}` must be an integer expression",
                     policy.name
-                )))
-            } else {
-                Ok(())
+                )));
             }
+            Some(key)
         }
+    };
+    // `.tracked_load` reads the decayed average; without a decayed tracker
+    // there is no history to read and the field would silently alias
+    // `.load` — reject rather than mislead.
+    let uses_tracked = policy.filter.uses_field(Field::TrackedLoad)
+        || choose_key.is_some_and(|key| key.uses_field(Field::TrackedLoad));
+    if uses_tracked && !matches!(policy.load, Some(LoadSpec::Pelt { .. })) {
+        return Err(DslError::type_error(
+            "`.tracked_load` needs a decayed tracker: add a `load pelt(<half-life ms>)` clause",
+        ));
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -84,6 +98,17 @@ mod tests {
             .unwrap();
         let err = typecheck(&p).unwrap_err();
         assert!(err.to_string().contains("integer"));
+    }
+
+    #[test]
+    fn tracked_load_requires_a_decayed_tracker_in_the_shared_checker() {
+        // The rule guards both back-ends (interpreter and codegen), so it
+        // lives here rather than in either one.
+        let p = parse("policy p { filter = victim.tracked_load >= 2; }").unwrap();
+        let err = typecheck(&p).unwrap_err();
+        assert!(err.to_string().contains("pelt"), "{err}");
+        let p = parse("policy p { load pelt(8); filter = victim.tracked_load >= 2; }").unwrap();
+        assert!(typecheck(&p).is_ok());
     }
 
     #[test]

@@ -16,6 +16,20 @@ pub mod write;
 pub use read::{parse, Json};
 pub use write::{object, JsonValue};
 
+/// Schema version of the `BENCH_results.json` document.
+///
+/// Lives here — next to the codec both the writer (`sched-bench`) and the
+/// gate (`xtask bench-diff`) share — so the two sides can never disagree
+/// about what a version means.
+///
+/// * v2: per-level steal counts, `remote_steal_rate`, per-node idle.
+/// * v3: per-record `tracker` (load criterion).
+/// * v4: per-record `rq_backend` (runqueue discipline: `mutex` vs the
+///   lock-free `deque`) and `p99_sched_latency_us` (the reactivity SLO the
+///   gate's absolute p99 ceiling applies to; `null` on backends without a
+///   latency recorder).
+pub const SCHEMA_VERSION: i64 = 4;
+
 #[cfg(test)]
 mod tests {
     use super::*;

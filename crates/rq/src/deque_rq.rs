@@ -1,0 +1,648 @@
+//! The lock-free runqueue backend: a Chase–Lev owner/stealer deque per
+//! core, with the steal guard folded into the CAS loop.
+//!
+//! ## Shape
+//!
+//! * **Waiting tasks** live in a [`sched_deque`] ring.  The core's owner
+//!   operations (wakeup enqueue, `pick_next`, `complete_current`) push and
+//!   pop at the *bottom*; thieves claim at the *top* with a CAS and never
+//!   take any lock.
+//! * **The running task** is a single atomic word ([`DequeRq`] encodes the
+//!   task id and niceness into a `u64`): wakeups claim an idle core with a
+//!   CAS, completion swaps it out.  Thieves never touch it — the running
+//!   task is unstealable *by construction*, where the mutex backend
+//!   enforces the same rule by convention inside the lock.
+//! * **Published load** is not a separate copy: where [`crate::PerCoreRq`]
+//!   re-publishes a consistent snapshot after every locked mutation, the
+//!   deque backend's counters (queue length, queued weight, tracked
+//!   average) *are* the live atomics, so the owner's hot path has no
+//!   publication step at all.
+//!
+//! ## Where the double-check went
+//!
+//! The mutex backend re-checks the filter under both runqueue locks
+//! (Listing 1, line 12).  Here the same guard runs **inside the CAS
+//! loop**: before every claim attempt the thief re-evaluates the filter
+//! against the victim's live counters, and a failed CAS (another claim got
+//! there first) loops back through the filter before retrying.  The
+//! exclusivity argument narrows from "holds both locks" to "wins the CAS":
+//! no task can be claimed twice and none is lost (see `sched-verify`'s CAS
+//! lemmas and `sched-deque`'s probed race tests).  What is *weaker* than
+//! the mutex backend is the freshness of the guard: the filter may become
+//! false in the instruction window between its evaluation and the CAS.
+//! That window is exactly the staleness the paper's optimism already
+//! embraces — shrunk from a lock hold to a single CAS — and it affects
+//! only steal *quality* (a marginally late steal), never conservation.
+//!
+//! ## Owner serialisation
+//!
+//! A Chase–Lev bottom end has a single owner.  `MultiQueue` exposes
+//! `&self` APIs callable from any thread (a wakeup may enqueue onto a
+//! remote core), so the owner end sits behind a small mutex that
+//! serialises *co-located producers only*: thieves never acquire it, which
+//! is the whole point — the owner's enqueue/dequeue path no longer
+//! contends with concurrent stealers (E19/E20 measure exactly this).
+//! Overflowing the ring spills to an owner-side list that
+//! [`DequeRq::refresh`] drains back; spilled tasks are invisible to
+//! thieves until then but are never lost.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sched_core::tracker::{LoadTracker, TrackedLoad};
+use sched_core::{CoreId, CoreSnapshot, FilterPolicy, Nice, StealOutcome, TaskId};
+use sched_deque::{deque, Steal, Stealer, Worker};
+use sched_topology::NodeId;
+
+use crate::backend::RqBackend;
+use crate::entity::RqTask;
+use crate::steal::StealRecorder;
+
+/// Default ring capacity per core; large enough for every catalogued
+/// scenario, small enough to keep a 64-core machine's rings in cache.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Sentinel for "no running task" in the `current` word.
+const EMPTY: u64 = 0;
+
+/// Sentinel for "no lightest-weight watermark recorded".
+const NO_MARK: u64 = u64::MAX;
+
+/// Packs a task into one atomic word: `(id + 1) << 8 | nice as u8`.
+/// Zero is reserved for [`EMPTY`].
+fn encode(task: &RqTask) -> u64 {
+    let id = task.id.0;
+    assert!(id < (1 << 55), "task ids beyond 2^55 - 1 do not fit the packed word");
+    ((id + 1) << 8) | u64::from(task.nice.value() as u8)
+}
+
+/// Unpacks [`encode`]'s word.  The virtual runtime is not carried — the
+/// lock-free backend fixes the queue discipline to the work-stealing
+/// LIFO-owner/FIFO-thief order, which never consults vruntime.
+fn decode(word: u64) -> RqTask {
+    RqTask::with_nice(TaskId((word >> 8) - 1), Nice::new(word as u8 as i8))
+}
+
+/// Weight (in [`sched_core::Weight`] raw units) of an encoded word.
+fn weight_of(word: u64) -> u64 {
+    Nice::new(word as u8 as i8).weight().raw()
+}
+
+/// The owner end of the deque plus the overflow spill, behind the
+/// producer-serialising mutex (never taken by thieves).
+#[derive(Debug)]
+struct OwnerSide {
+    worker: Worker,
+    /// Tasks the ring had no room for; drained back by
+    /// [`DequeRq::refresh`], popped by the owner when the ring is empty.
+    spill: VecDeque<u64>,
+}
+
+/// One core's lock-free runqueue (see the module docs).
+#[derive(Debug)]
+pub struct DequeRq {
+    id: CoreId,
+    node: NodeId,
+    tracker: Arc<dyn LoadTracker>,
+    /// The machine's logical clock (shared with every sibling runqueue).
+    clock: Arc<AtomicU64>,
+    owner: Mutex<OwnerSide>,
+    stealer: Stealer,
+    /// Encoded running task, or [`EMPTY`].
+    current: AtomicU64,
+    /// Number of waiting tasks (ring + spill).
+    queued: AtomicU64,
+    /// Total weight of the waiting tasks.
+    queued_weight: AtomicU64,
+    /// Low watermark of waiting-task weights ([`NO_MARK`] = unknown).
+    /// Lowered by enqueues, retired (back to unknown) when a departing
+    /// task's weight matches it or the queue drains.  This is an advisory
+    /// bound, not an exact order statistic: after one of several
+    /// equal-weight waiters departs, later enqueues can re-bound the mark
+    /// *above* the true minimum.  Over-statement is the safe direction —
+    /// a too-large `lightest_ready` makes weighted filters demand a
+    /// larger margin (more conservative steals, P2 preserved) — whereas
+    /// the dangerous stale-low direction is what retirement eliminates.
+    /// The mutex backend remains the exact-values discipline; a lock-free
+    /// exact statistic is a ROADMAP item.
+    lightest_mark: AtomicU64,
+    /// Tracked (decayed) load, scaled — the lock-free twin of
+    /// [`TrackedLoad::scaled`].
+    tracked_scaled: AtomicU64,
+    /// Timestamp of the last tracked fold.
+    tracked_ns: AtomicU64,
+    /// Single-folder flag: a contended fold is skipped, not waited for
+    /// (decayed loads are advisory; the next mutation folds again).
+    tracked_busy: AtomicBool,
+}
+
+impl DequeRq {
+    /// Creates an empty lock-free runqueue with a custom ring capacity
+    /// (rounded up to a power of two).
+    pub fn with_queue_capacity(
+        id: CoreId,
+        node: NodeId,
+        tracker: Arc<dyn LoadTracker>,
+        clock: Arc<AtomicU64>,
+        capacity: usize,
+    ) -> Self {
+        let (worker, stealer) = deque(capacity);
+        DequeRq {
+            id,
+            node,
+            tracker,
+            clock,
+            owner: Mutex::new(OwnerSide { worker, spill: VecDeque::new() }),
+            stealer,
+            current: AtomicU64::new(EMPTY),
+            queued: AtomicU64::new(0),
+            queued_weight: AtomicU64::new(0),
+            lightest_mark: AtomicU64::new(NO_MARK),
+            tracked_scaled: AtomicU64::new(0),
+            tracked_ns: AtomicU64::new(0),
+            tracked_busy: AtomicBool::new(false),
+        }
+    }
+
+    /// Pops one waiting task at the owner end (ring first, then spill),
+    /// keeping the counters in step.  Caller holds the owner mutex.
+    fn pop_queued(&self, owner: &mut OwnerSide) -> Option<u64> {
+        let word = owner.worker.pop().or_else(|| owner.spill.pop_front())?;
+        self.retire_queued(word);
+        Some(word)
+    }
+
+    /// Counter bookkeeping shared by every path that removes a waiting
+    /// task (owner pop and thief claim): decrement length and weight, and
+    /// retire the lightest-weight watermark when it can no longer be
+    /// trusted — the departing task's weight *was* the recorded minimum,
+    /// or the queue drained entirely.  `NO_MARK` reads as "unknown"
+    /// (snapshot reports `None`) until the next enqueue re-establishes a
+    /// bound.  Retirement eliminates the dangerous stale-*low* case (a
+    /// departed light task haunting later generations); the residual
+    /// imprecision is stale-*high* with equal-weight duplicates, which
+    /// only makes weighted filters more conservative (see the field doc).
+    fn retire_queued(&self, word: u64) {
+        self.queued.fetch_sub(1, Ordering::AcqRel);
+        let weight = weight_of(word);
+        self.queued_weight.fetch_sub(weight, Ordering::AcqRel);
+        if self.queued.load(Ordering::Acquire) == 0 {
+            self.lightest_mark.store(NO_MARK, Ordering::Release);
+        } else {
+            // Ignore the result: if the mark moved concurrently it no
+            // longer equals this task's weight and keeps its own story.
+            let _ = self.lightest_mark.compare_exchange(
+                weight,
+                NO_MARK,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+        }
+    }
+
+    /// Pushes one task at the owner end (spilling on ring overflow),
+    /// keeping the counters in step.  Caller holds the owner mutex.
+    fn push_queued(&self, owner: &mut OwnerSide, word: u64) {
+        self.queued.fetch_add(1, Ordering::AcqRel);
+        self.queued_weight.fetch_add(weight_of(word), Ordering::AcqRel);
+        self.lightest_mark.fetch_min(weight_of(word), Ordering::AcqRel);
+        if let Err(sched_deque::Full(rejected)) = owner.worker.push(word) {
+            owner.spill.push_back(rejected);
+        }
+    }
+
+    /// Installs a waiting task as the running one if the core is idle.
+    /// Caller holds the owner mutex (so promotions cannot race each
+    /// other); the CAS protects against a concurrent wakeup claiming the
+    /// core directly.
+    fn promote(&self, owner: &mut OwnerSide) -> Option<TaskId> {
+        let word = self.pop_queued(owner)?;
+        match self.current.compare_exchange(EMPTY, word, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => Some(decode(word).id),
+            Err(_) => {
+                // A wakeup beat us to the core; the task goes back to wait.
+                self.push_queued(owner, word);
+                None
+            }
+        }
+    }
+
+    /// Folds the instantaneous load into the tracked average at the
+    /// clock's current time.  Lock-free: a concurrent fold makes this one
+    /// a no-op rather than a wait.
+    fn fold_tracked(&self) {
+        if self.tracked_busy.swap(true, Ordering::Acquire) {
+            return;
+        }
+        let now = self.clock.load(Ordering::Acquire);
+        let inst = match self.tracker.base() {
+            sched_core::LoadMetric::Weighted => self.weighted_load(),
+            _ => self.nr_threads(),
+        };
+        let mut state = TrackedLoad {
+            scaled: self.tracked_scaled.load(Ordering::Relaxed),
+            last_update_ns: self.tracked_ns.load(Ordering::Relaxed),
+        };
+        self.tracker.update(&mut state, now, inst);
+        self.tracked_scaled.store(state.scaled, Ordering::Release);
+        self.tracked_ns.store(state.last_update_ns, Ordering::Relaxed);
+        self.tracked_busy.store(false, Ordering::Release);
+    }
+
+    fn nr_threads(&self) -> u64 {
+        self.queued.load(Ordering::Acquire)
+            + u64::from(self.current.load(Ordering::Acquire) != EMPTY)
+    }
+
+    fn weighted_load(&self) -> u64 {
+        let current = self.current.load(Ordering::Acquire);
+        let current_weight = if current == EMPTY { 0 } else { weight_of(current) };
+        self.queued_weight.load(Ordering::Acquire) + current_weight
+    }
+
+    /// One CAS claim at the victim's top, with the filter re-checked
+    /// against live state **inside the loop**: every retry (a lost CAS)
+    /// re-evaluates the guard before the next attempt, so a steal never
+    /// commits on a condition older than its own claim race.
+    ///
+    /// The returned failure only reaches the balancer when nothing was
+    /// claimed at all (a multi-task steal that stops early still reports
+    /// `Stole` for what it got, like the mutex backend).
+    fn claim_checked(
+        &self,
+        thief: &DequeRq,
+        filter: &dyn FilterPolicy,
+    ) -> Result<u64, StealOutcome> {
+        loop {
+            let thief_snap = thief.snapshot();
+            let victim_snap = self.snapshot();
+            if !filter.can_steal(&thief_snap, &victim_snap) {
+                return Err(StealOutcome::RecheckFailed { victim: self.id });
+            }
+            match self.stealer.steal() {
+                Steal::Stolen(word) => {
+                    self.retire_queued(word);
+                    self.fold_tracked();
+                    return Ok(word);
+                }
+                Steal::Empty => {
+                    return Err(StealOutcome::NothingToSteal { victim: self.id });
+                }
+                // Lost the CAS to a concurrent claim: loop back through
+                // the filter — the double-check guard, now in the loop.
+                Steal::Retry => {}
+            }
+        }
+    }
+}
+
+impl RqBackend for DequeRq {
+    fn with_tracker(
+        id: CoreId,
+        node: NodeId,
+        tracker: Arc<dyn LoadTracker>,
+        clock: Arc<AtomicU64>,
+    ) -> Self {
+        Self::with_queue_capacity(id, node, tracker, clock, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    fn backend_name() -> &'static str {
+        "deque"
+    }
+
+    fn id(&self) -> CoreId {
+        self.id
+    }
+
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn tracker(&self) -> &Arc<dyn LoadTracker> {
+        &self.tracker
+    }
+
+    fn snapshot(&self) -> CoreSnapshot {
+        let queued = self.queued.load(Ordering::Acquire);
+        let lightest = if queued == 0 {
+            None
+        } else {
+            match self.lightest_mark.load(Ordering::Acquire) {
+                NO_MARK => None,
+                mark => Some(mark),
+            }
+        };
+        CoreSnapshot {
+            id: self.id,
+            node: self.node,
+            nr_threads: self.nr_threads(),
+            weighted_load: self.weighted_load(),
+            lightest_ready_weight: lightest,
+            tracked_scaled: self.tracked_scaled.load(Ordering::Acquire),
+        }
+    }
+
+    fn enqueue(&self, task: RqTask) {
+        let word = encode(&task);
+        // An idle core is claimed directly — the common wakeup fast path
+        // is one CAS, no lock, no publication step.
+        if self.current.compare_exchange(EMPTY, word, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            self.fold_tracked();
+            return;
+        }
+        let mut owner = self.owner.lock();
+        // Re-try under the owner mutex: the running task may have completed
+        // between the failed CAS and the lock acquisition.
+        if self.current.compare_exchange(EMPTY, word, Ordering::AcqRel, Ordering::Acquire).is_err()
+        {
+            self.push_queued(&mut owner, word);
+        }
+        drop(owner);
+        self.fold_tracked();
+    }
+
+    fn pick_next(&self) -> Option<TaskId> {
+        if self.current.load(Ordering::Acquire) != EMPTY {
+            return None;
+        }
+        let mut owner = self.owner.lock();
+        let picked = self.promote(&mut owner);
+        drop(owner);
+        if picked.is_some() {
+            self.fold_tracked();
+        }
+        picked
+    }
+
+    fn complete_current(&self) -> Option<RqTask> {
+        let mut owner = self.owner.lock();
+        let prev = self.current.swap(EMPTY, Ordering::AcqRel);
+        let _ = self.promote(&mut owner);
+        drop(owner);
+        self.fold_tracked();
+        (prev != EMPTY).then(|| decode(prev))
+    }
+
+    fn nr_threads_exact(&self) -> u64 {
+        // Exact when quiescent; under concurrency a task mid-migration
+        // (claimed from this victim, not yet delivered to its thief) is
+        // momentarily attributed to neither side.
+        self.nr_threads()
+    }
+
+    fn refresh(&self) {
+        let mut owner = self.owner.lock();
+        // Drain the overflow spill back into the ring so thieves can see
+        // those tasks again.
+        while let Some(&front) = owner.spill.front() {
+            match owner.worker.push(front) {
+                Ok(()) => {
+                    owner.spill.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+        drop(owner);
+        self.fold_tracked();
+    }
+
+    fn try_steal_recorded(
+        thief: &Self,
+        victim: &Self,
+        filter: &dyn FilterPolicy,
+        max_tasks: usize,
+        recorder: Option<StealRecorder<'_>>,
+    ) -> StealOutcome {
+        assert_ne!(thief.id(), victim.id(), "a core cannot steal from itself");
+        let mut moved = Vec::new();
+        let mut failure = None;
+        for _ in 0..max_tasks.max(1) {
+            match victim.claim_checked(thief, filter) {
+                Ok(word) => {
+                    let task = decode(word);
+                    moved.push(task.id);
+                    // Deliver to the thief's own queue: an owner-side push
+                    // (the thief owns its bottom end), never a lock shared
+                    // with other thieves.
+                    thief.enqueue(task);
+                }
+                Err(outcome) => {
+                    failure = Some(outcome);
+                    break;
+                }
+            }
+        }
+        let outcome = if moved.is_empty() {
+            failure.unwrap_or(StealOutcome::NothingToSteal { victim: victim.id() })
+        } else {
+            StealOutcome::Stole { victim: victim.id(), tasks: moved }
+        };
+        // The CAS claim is the linearization point; the counters move
+        // right after it, before the outcome is returned to the balancer.
+        if let Some(rec) = recorder {
+            rec.stats.record_with_level(&outcome, rec.level);
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::policy::DeltaFilter;
+    use sched_core::tracker::NrThreadsTracker;
+
+    fn rq(id: usize) -> DequeRq {
+        DequeRq::with_tracker(
+            CoreId(id),
+            NodeId(0),
+            Arc::new(NrThreadsTracker),
+            Arc::new(AtomicU64::new(0)),
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips_id_and_nice() {
+        for (id, nice) in [(0u64, 0i8), (1, -20), (42, 19), ((1 << 55) - 2, 5)] {
+            let task = RqTask::with_nice(TaskId(id), Nice::new(nice));
+            let decoded = decode(encode(&task));
+            assert_eq!(decoded.id, task.id);
+            assert_eq!(decoded.nice, task.nice);
+            assert_eq!(decoded.weight(), task.weight());
+        }
+        assert_ne!(encode(&RqTask::new(TaskId(0))), EMPTY, "id 0 must not collide with EMPTY");
+    }
+
+    #[test]
+    fn enqueue_runs_immediately_on_an_idle_core() {
+        let q = rq(0);
+        assert!(q.snapshot().is_idle());
+        q.enqueue(RqTask::new(TaskId(1)));
+        let snap = q.snapshot();
+        assert_eq!(snap.nr_threads, 1);
+        assert!(!snap.is_overloaded());
+        assert_eq!(q.complete_current().unwrap().id, TaskId(1));
+        assert!(q.snapshot().is_idle());
+    }
+
+    #[test]
+    fn snapshot_counts_weights_like_the_mutex_backend() {
+        let q = rq(0);
+        q.enqueue(RqTask::new(TaskId(1)));
+        q.enqueue(RqTask::with_nice(TaskId(2), Nice::new(19)));
+        let snap = q.snapshot();
+        assert_eq!(snap.nr_threads, 2);
+        assert_eq!(snap.weighted_load, 1024 + 15);
+        assert_eq!(snap.lightest_ready_weight, Some(15));
+        assert!(snap.is_overloaded());
+    }
+
+    #[test]
+    fn the_lightest_watermark_retires_when_its_task_departs() {
+        // The recorded minimum leaving — by steal or by owner pop — must
+        // not haunt later queue generations: the mark drops back to
+        // "unknown" (snapshot None) until the next enqueue re-bounds it.
+        let victim = rq(1);
+        victim.enqueue(RqTask::new(TaskId(0))); // becomes current
+        victim.enqueue(RqTask::new(TaskId(1))); // weight 1024, queued first
+        victim.enqueue(RqTask::with_nice(TaskId(2), Nice::new(19))); // weight 15
+        assert_eq!(victim.snapshot().lightest_ready_weight, Some(15));
+        // The thief claims from the top of the deque: the *oldest* waiter
+        // (1024) first, which is not the minimum — the mark survives.
+        let thief = rq(0);
+        let filter = sched_core::policy::DeltaFilter::new(sched_core::LoadMetric::NrThreads, 1);
+        assert!(DequeRq::try_steal_recorded(&thief, &victim, &filter, 1, None).is_success());
+        assert_eq!(victim.snapshot().lightest_ready_weight, Some(15));
+        // The second claim takes the recorded minimum itself: unknown now.
+        assert!(DequeRq::try_steal_recorded(&thief, &victim, &filter, 1, None).is_success());
+        assert_eq!(victim.snapshot().lightest_ready_weight, None, "queue empty");
+        // A fresh generation of heavy tasks must not inherit the old 15.
+        victim.enqueue(RqTask::new(TaskId(3)));
+        assert_eq!(victim.snapshot().lightest_ready_weight, Some(1024));
+    }
+
+    #[test]
+    fn complete_current_elects_a_successor() {
+        let q = rq(0);
+        q.enqueue(RqTask::new(TaskId(1)));
+        q.enqueue(RqTask::new(TaskId(2)));
+        let done = q.complete_current().unwrap();
+        assert_eq!(done.id, TaskId(1));
+        assert_eq!(q.snapshot().nr_threads, 1);
+        assert!(q.complete_current().is_some());
+        assert!(q.complete_current().is_none());
+        assert!(q.snapshot().is_idle());
+    }
+
+    #[test]
+    fn steal_claims_exclusively_and_delivers_to_the_thief() {
+        let thief = rq(0);
+        let victim = rq(1);
+        for i in 0..3 {
+            victim.enqueue(RqTask::new(TaskId(i)));
+        }
+        let outcome =
+            DequeRq::try_steal_recorded(&thief, &victim, &DeltaFilter::listing1(), 1, None);
+        assert!(outcome.is_success());
+        assert_eq!(thief.snapshot().nr_threads, 1);
+        assert_eq!(victim.snapshot().nr_threads, 2);
+    }
+
+    #[test]
+    fn recheck_fails_when_the_victim_is_not_worth_stealing_from() {
+        let thief = rq(0);
+        let victim = rq(1);
+        victim.enqueue(RqTask::new(TaskId(0)));
+        let outcome =
+            DequeRq::try_steal_recorded(&thief, &victim, &DeltaFilter::listing1(), 1, None);
+        assert_eq!(outcome, StealOutcome::RecheckFailed { victim: CoreId(1) });
+        assert_eq!(victim.snapshot().nr_threads, 1);
+    }
+
+    #[test]
+    fn the_running_task_is_unstealable_by_construction() {
+        let thief = rq(0);
+        let victim = rq(1);
+        victim.enqueue(RqTask::new(TaskId(0)));
+        victim.enqueue(RqTask::new(TaskId(1)));
+        let outcome =
+            DequeRq::try_steal_recorded(&thief, &victim, &DeltaFilter::listing1(), 8, None);
+        match outcome {
+            StealOutcome::Stole { tasks, .. } => assert_eq!(tasks, vec![TaskId(1)]),
+            other => panic!("expected a steal, got {other:?}"),
+        }
+        assert_eq!(victim.complete_current().unwrap().id, TaskId(0));
+    }
+
+    #[test]
+    fn overflow_spills_and_refresh_drains_it_back() {
+        let clock = Arc::new(AtomicU64::new(0));
+        let q = DequeRq::with_queue_capacity(
+            CoreId(0),
+            NodeId(0),
+            Arc::new(NrThreadsTracker),
+            clock,
+            4,
+        );
+        // 1 running + 4 in the ring + 3 spilled.
+        for i in 0..8 {
+            q.enqueue(RqTask::new(TaskId(i)));
+        }
+        assert_eq!(q.nr_threads_exact(), 8, "spilled tasks are still counted");
+        // Thieves can only see the ring: with it full, 4 tasks are
+        // stealable; a fresh (idle) thief drains each one.
+        let filter = sched_core::policy::DeltaFilter::new(sched_core::LoadMetric::NrThreads, 1);
+        let thieves: Vec<DequeRq> = (1..=6).map(rq).collect();
+        for thief in thieves.iter().take(4) {
+            assert!(DequeRq::try_steal_recorded(thief, &q, &filter, 1, None).is_success());
+        }
+        assert_eq!(
+            DequeRq::try_steal_recorded(&thieves[4], &q, &filter, 1, None),
+            StealOutcome::NothingToSteal { victim: CoreId(0) },
+            "the spill is invisible to thieves until a refresh"
+        );
+        q.refresh();
+        assert!(
+            DequeRq::try_steal_recorded(&thieves[5], &q, &filter, 1, None).is_success(),
+            "refresh must drain the spill back into the ring"
+        );
+        let resident: u64 = thieves.iter().map(DequeRq::nr_threads_exact).sum();
+        assert_eq!(q.nr_threads_exact() + resident, 8, "nothing lost");
+    }
+
+    #[test]
+    fn owner_and_thief_race_on_the_queue_conserves_tasks() {
+        let victim = Arc::new(rq(1));
+        let thief = Arc::new(rq(0));
+        for i in 0..64 {
+            victim.enqueue(RqTask::new(TaskId(i)));
+        }
+        let filter = DeltaFilter::listing1();
+        std::thread::scope(|scope| {
+            let consumer = {
+                let victim = Arc::clone(&victim);
+                scope.spawn(move || {
+                    let mut completed = 0u64;
+                    for _ in 0..32 {
+                        if victim.complete_current().is_some() {
+                            completed += 1;
+                        }
+                        std::thread::yield_now();
+                    }
+                    completed
+                })
+            };
+            for _ in 0..16 {
+                let _ = DequeRq::try_steal_recorded(&thief, &victim, &filter, 1, None);
+            }
+            let completed = consumer.join().unwrap();
+            assert_eq!(
+                completed + victim.nr_threads_exact() + thief.nr_threads_exact(),
+                64,
+                "completions, residents and migrants must account for every task"
+            );
+        });
+    }
+}

@@ -4,24 +4,35 @@
 //! mounts the same three-step abstraction on *real* shared-memory runqueues
 //! so the concurrency claims of §3.1 can be exercised with actual threads:
 //!
-//! * one [`PerCoreRq`] per core, protected by a mutex (the paper's runqueue
-//!   lock) and publishing its load through atomics so that the **selection
-//!   phase reads no lock at all** ([`published::PublishedLoad`]),
-//! * the **stealing phase** takes the two runqueue locks in a global order
-//!   (lowest core id first) and re-checks the filter on the live state under
-//!   the locks before migrating, exactly like Figure 1's step 3
-//!   ([`steal`]),
 //! * [`MultiQueue`] assembles a machine's worth of runqueues, runs optimistic
 //!   balancing rounds from many OS threads concurrently (via std's scoped
-//!   threads) and counts successes/failures,
+//!   threads) and counts successes/failures.  It is generic over the
+//!   [`RqBackend`] discipline of its per-core queues:
+//! * the **mutex backend** ([`PerCoreRq`]) protects each core with a mutex
+//!   (the paper's runqueue lock) and publishes its load through atomics so
+//!   that the **selection phase reads no lock at all**
+//!   ([`published::PublishedLoad`]); its **stealing phase** takes the two
+//!   runqueue locks in a global order (lowest core id first) and re-checks
+//!   the filter on the live state under the locks before migrating, exactly
+//!   like Figure 1's step 3 ([`steal`]),
+//! * the **lock-free backend** ([`DequeRq`]) keeps each core's waiting
+//!   tasks in a Chase–Lev owner/stealer deque (`sched-deque`): the owner
+//!   pushes and pops at the bottom without contending with thieves, thieves
+//!   claim at the top with a CAS, and the double-check steal guard runs
+//!   inside the CAS loop ([`deque_rq`]),
 //! * a deliberately pessimistic variant that holds *every* runqueue lock
-//!   during selection is provided as the baseline for the E11 overhead
-//!   experiment — it is what the paper refuses to do ("locking the runqueue
-//!   of the third core prevents that core from scheduling work").
+//!   during selection is provided (mutex backend only) as the baseline for
+//!   the E11 overhead experiment — it is what the paper refuses to do
+//!   ("locking the runqueue of the third core prevents that core from
+//!   scheduling work").
 //!
-//! Two queue disciplines are provided: FIFO ([`fifo::FifoQueue`]) and a
-//! CFS-like virtual-runtime order ([`vruntime::VruntimeQueue`]).
+//! Two queue disciplines are provided for the mutex backend: FIFO
+//! ([`fifo::FifoQueue`]) and a CFS-like virtual-runtime order
+//! ([`vruntime::VruntimeQueue`]).  The lock-free backend fixes the
+//! work-stealing order (owner LIFO, thieves FIFO).
 
+pub mod backend;
+pub mod deque_rq;
 pub mod entity;
 pub mod fifo;
 pub mod multiqueue;
@@ -31,6 +42,8 @@ pub mod stats;
 pub mod steal;
 pub mod vruntime;
 
+pub use backend::RqBackend;
+pub use deque_rq::DequeRq;
 pub use entity::RqTask;
 pub use fifo::FifoQueue;
 pub use multiqueue::MultiQueue;
@@ -38,6 +51,9 @@ pub use percore::PerCoreRq;
 pub use published::PublishedLoad;
 pub use stats::BalanceStats;
 pub use vruntime::VruntimeQueue;
+
+/// A machine of lock-free (Chase–Lev) runqueues.
+pub type DequeMultiQueue = MultiQueue<DequeRq>;
 
 /// Queue discipline used by a per-core runqueue.
 pub trait TaskQueue: Default + Send {

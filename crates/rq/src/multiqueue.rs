@@ -8,19 +8,27 @@ use sched_core::tracker::{LoadTracker, NrThreadsTracker};
 use sched_core::{CoreId, CoreSnapshot, Nice, Policy, StealOutcome, TaskId};
 use sched_topology::{MachineTopology, NodeId, StealLevel};
 
+use crate::backend::RqBackend;
 use crate::entity::RqTask;
 use crate::fifo::FifoQueue;
 use crate::percore::PerCoreRq;
 use crate::stats::BalanceStats;
-use crate::steal::{try_steal, try_steal_recorded, StealRecorder};
+use crate::steal::{try_steal, StealRecorder};
 use crate::TaskQueue;
 
 /// All the per-core runqueues of one machine.
 ///
 /// This is the threaded counterpart of [`sched_core::SystemState`]: the same
 /// [`Policy`] objects drive balancing here, but the selection phase reads
-/// lock-free atomics and the stealing phase really does contend on mutexes
-/// from multiple OS threads.
+/// lock-free atomics and the stealing phase really does contend from
+/// multiple OS threads.
+///
+/// `MultiQueue` is generic over the [`RqBackend`] discipline of its
+/// runqueues: the mutex backend ([`PerCoreRq`], the default) double-locks
+/// the stealing phase, the lock-free backend ([`crate::DequeRq`]) claims
+/// with a CAS at the top of a Chase–Lev deque.  All the balancing
+/// machinery — flat and hierarchical rounds, stats recording, tracker
+/// ticks — is this one generic implementation.
 ///
 /// When built over a [`MachineTopology`] the queue knows the distance class
 /// of every (thief, victim) pair: successful steals are attributed to their
@@ -28,8 +36,8 @@ use crate::TaskQueue;
 /// [`MultiQueue::hierarchical_round`] runs the domain-ordered balancing
 /// passes (SMT → LLC → node → machine) on real OS threads.
 #[derive(Debug)]
-pub struct MultiQueue<Q: TaskQueue = FifoQueue> {
-    cores: Vec<PerCoreRq<Q>>,
+pub struct MultiQueue<B: RqBackend = PerCoreRq<FifoQueue>> {
+    cores: Vec<B>,
     topo: Option<Arc<MachineTopology>>,
     tracker: Arc<dyn LoadTracker>,
     /// Logical machine clock, in nanoseconds: advanced by [`MultiQueue::tick`],
@@ -38,7 +46,7 @@ pub struct MultiQueue<Q: TaskQueue = FifoQueue> {
     next_task_id: AtomicU64,
 }
 
-impl<Q: TaskQueue> MultiQueue<Q> {
+impl<B: RqBackend> MultiQueue<B> {
     /// Creates `nr_cores` empty runqueues, all on NUMA node 0, tracking
     /// instantaneous thread counts.
     pub fn new(nr_cores: usize) -> Self {
@@ -51,12 +59,7 @@ impl<Q: TaskQueue> MultiQueue<Q> {
         let clock = Arc::new(AtomicU64::new(0));
         let cores = (0..nr_cores)
             .map(|i| {
-                PerCoreRq::with_tracker(
-                    CoreId(i),
-                    NodeId(0),
-                    Arc::clone(&tracker),
-                    Arc::clone(&clock),
-                )
+                B::with_tracker(CoreId(i), NodeId(0), Arc::clone(&tracker), Arc::clone(&clock))
             })
             .collect();
         MultiQueue { cores, topo: None, tracker, clock, next_task_id: AtomicU64::new(0) }
@@ -79,9 +82,7 @@ impl<Q: TaskQueue> MultiQueue<Q> {
         let cores = topo
             .cpus()
             .iter()
-            .map(|c| {
-                PerCoreRq::with_tracker(c.id, c.node, Arc::clone(&tracker), Arc::clone(&clock))
-            })
+            .map(|c| B::with_tracker(c.id, c.node, Arc::clone(&tracker), Arc::clone(&clock)))
             .collect();
         MultiQueue {
             cores,
@@ -117,8 +118,7 @@ impl<Q: TaskQueue> MultiQueue<Q> {
     pub fn tick(&self, now_ns: u64) {
         self.clock.fetch_max(now_ns, Ordering::AcqRel);
         for core in &self.cores {
-            let mut inner = core.lock();
-            core.republish(&mut inner);
+            core.refresh();
         }
     }
 
@@ -159,12 +159,12 @@ impl<Q: TaskQueue> MultiQueue<Q> {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn core(&self, id: CoreId) -> &PerCoreRq<Q> {
+    pub fn core(&self, id: CoreId) -> &B {
         &self.cores[id.0]
     }
 
     /// All runqueues, in id order.
-    pub fn cores(&self) -> &[PerCoreRq<Q>] {
+    pub fn cores(&self) -> &[B] {
         &self.cores
     }
 
@@ -186,19 +186,19 @@ impl<Q: TaskQueue> MultiQueue<Q> {
     /// Lock-less snapshots of every core, in id order (the selection phase's
     /// entire view of the world).
     pub fn snapshots(&self) -> Vec<CoreSnapshot> {
-        self.cores.iter().map(PerCoreRq::snapshot).collect()
+        self.cores.iter().map(B::snapshot).collect()
     }
 
     /// Total number of threads across all runqueues (exact, takes each lock
     /// in turn; used by invariant checks, not by balancing).
     pub fn total_threads(&self) -> u64 {
-        self.cores.iter().map(PerCoreRq::nr_threads_exact).sum()
+        self.cores.iter().map(B::nr_threads_exact).sum()
     }
 
     /// Returns `true` if no core is idle while another is overloaded,
     /// judged on exact (locked) loads.
     pub fn is_work_conserving(&self) -> bool {
-        let loads: Vec<u64> = self.cores.iter().map(PerCoreRq::nr_threads_exact).collect();
+        let loads: Vec<u64> = self.cores.iter().map(B::nr_threads_exact).collect();
         let any_idle = loads.contains(&0);
         let any_overloaded = loads.iter().any(|&l| l >= 2);
         !(any_idle && any_overloaded)
@@ -243,9 +243,10 @@ impl<Q: TaskQueue> MultiQueue<Q> {
             }
             return StealOutcome::NoCandidates;
         };
-        // Stealing phase: locked, re-checked; the outcome is counted under
-        // the locks and attributed to the victim's distance class.
-        let outcome = try_steal_recorded(
+        // Stealing phase: atomic per backend discipline (double-lock or
+        // CAS claim), re-checked; the outcome is counted with the claim
+        // and attributed to the victim's distance class.
+        let outcome = B::try_steal_recorded(
             &self.cores[thief.0],
             &self.cores[victim.0],
             policy.filter.as_ref(),
@@ -303,7 +304,7 @@ impl<Q: TaskQueue> MultiQueue<Q> {
             let Some(victim) = policy.choice.choose(&thief_snap, group) else {
                 continue;
             };
-            let outcome = try_steal_recorded(
+            let outcome = B::try_steal_recorded(
                 &self.cores[thief.0],
                 &self.cores[victim.0],
                 policy.filter.as_ref(),
@@ -319,6 +320,141 @@ impl<Q: TaskQueue> MultiQueue<Q> {
         last
     }
 
+    /// Runs one *concurrent* balancing round: every core executes
+    /// [`MultiQueue::balance_once`] from its own OS thread simultaneously,
+    /// which is how CFS runs its 4 ms balancing pass on every core at once.
+    ///
+    /// Returns the aggregated outcome counters.
+    pub fn concurrent_round(&self, policy: &Policy) -> BalanceStats {
+        let stats = BalanceStats::new();
+        std::thread::scope(|scope| {
+            for core in &self.cores {
+                let stats = &stats;
+                let mq = &*self;
+                scope.spawn(move || {
+                    // The outcome is recorded inside the stealing phase's
+                    // critical section, atomically with the dequeue.
+                    let _ = mq.balance_once_recorded(core.id(), policy, stats);
+                });
+            }
+        });
+        stats
+    }
+
+    /// Runs one *hierarchical* concurrent round: every core executes the
+    /// distance-ordered [`MultiQueue::balance_once_hierarchical`] operation
+    /// from its own OS thread simultaneously — the threaded mirror of
+    /// [`sched_core::HierarchicalRound`], so the same domain-ordered policy
+    /// runs at all three altitudes.
+    pub fn hierarchical_round(&self, policy: &Policy) -> BalanceStats {
+        let stats = BalanceStats::new();
+        std::thread::scope(|scope| {
+            for core in &self.cores {
+                let stats = &stats;
+                let mq = &*self;
+                scope.spawn(move || {
+                    let _ = mq.balance_once_hierarchical(core.id(), policy, stats);
+                });
+            }
+        });
+        stats
+    }
+
+    /// Runs hierarchical rounds until the machine is work-conserving or the
+    /// round budget is exhausted; returns the number of rounds used, if it
+    /// converged, plus the folded outcome counters.
+    pub fn converge_hierarchical(
+        &self,
+        policy: &Policy,
+        max_rounds: usize,
+    ) -> (Option<usize>, BalanceStats) {
+        let total = BalanceStats::new();
+        for round in 0..=max_rounds {
+            if self.is_work_conserving() {
+                return (Some(round), total);
+            }
+            if round == max_rounds {
+                break;
+            }
+            total.merge_from(&self.hierarchical_round(policy));
+        }
+        (None, total)
+    }
+
+    /// Like [`MultiQueue::concurrent_round`], but every thread performs its
+    /// selection phase against the *initial* state of the round: all threads
+    /// rendezvous on a barrier between selecting and stealing.
+    ///
+    /// This is the threaded equivalent of the model's
+    /// `RoundSchedule::AllSelectThenSteal` — the maximally stale
+    /// interleaving, in which conflicting optimistic selections (and hence
+    /// failed steals) are guaranteed rather than merely possible.  E11 uses
+    /// it to measure the failure rate the paper's P1/P2 lemmas are about.
+    pub fn concurrent_round_synchronized(&self, policy: &Policy) -> BalanceStats {
+        let stats = BalanceStats::new();
+        let barrier = std::sync::Barrier::new(self.cores.len());
+        std::thread::scope(|scope| {
+            for core in &self.cores {
+                let stats = &stats;
+                let barrier = &barrier;
+                let mq = &*self;
+                scope.spawn(move || {
+                    // Selection phase: lock-less, on the pre-round state.
+                    let snapshots = mq.snapshots();
+                    let thief_snap = snapshots[core.id().0];
+                    let candidates: Vec<CoreSnapshot> = snapshots
+                        .into_iter()
+                        .filter(|s| s.id != core.id() && policy.filter.can_steal(&thief_snap, s))
+                        .collect();
+                    let chosen = policy.choice.choose(&thief_snap, &candidates);
+                    // Every core finishes selecting before anyone steals.
+                    barrier.wait();
+                    match chosen {
+                        Some(victim) => {
+                            let outcome = B::try_steal_recorded(
+                                &mq.cores[core.id().0],
+                                &mq.cores[victim.0],
+                                policy.filter.as_ref(),
+                                1,
+                                Some(StealRecorder {
+                                    stats,
+                                    level: Some(mq.steal_level_of(core.id(), victim)),
+                                }),
+                            );
+                            policy.choice.observe(core.id(), victim, outcome.is_success());
+                        }
+                        None => stats.record(&StealOutcome::NoCandidates),
+                    };
+                });
+            }
+        });
+        stats
+    }
+
+    /// Runs concurrent rounds until the machine is work-conserving or the
+    /// round budget is exhausted; returns the number of rounds used, if it
+    /// converged.
+    pub fn converge(&self, policy: &Policy, max_rounds: usize) -> (Option<usize>, BalanceStats) {
+        let total = BalanceStats::new();
+        for round in 0..=max_rounds {
+            if self.is_work_conserving() {
+                return (Some(round), total);
+            }
+            if round == max_rounds {
+                break;
+            }
+            // Fold the per-round counters (including the per-level
+            // attribution) into the total.
+            total.merge_from(&self.concurrent_round(policy));
+        }
+        (None, total)
+    }
+}
+
+/// Operations that only make sense on the mutex discipline: the lock-free
+/// backend has no per-core lock to hold, so "lock everything" is not a
+/// point in its design space.
+impl<Q: TaskQueue + 'static> MultiQueue<PerCoreRq<Q>> {
     /// The pessimistic baseline: holds **every** runqueue lock while
     /// selecting, so selections can never be stale and steals never fail —
     /// at the cost of stalling every core of the machine for the duration.
@@ -357,157 +493,15 @@ impl<Q: TaskQueue> MultiQueue<Q> {
         // protects correctness.
         try_steal(&self.cores[thief.0], &self.cores[victim.0], policy.filter.as_ref(), 1)
     }
-
-    /// Runs one *concurrent* balancing round: every core executes
-    /// [`MultiQueue::balance_once`] from its own OS thread simultaneously,
-    /// which is how CFS runs its 4 ms balancing pass on every core at once.
-    ///
-    /// Returns the aggregated outcome counters.
-    pub fn concurrent_round(&self, policy: &Policy) -> BalanceStats
-    where
-        Q: 'static,
-    {
-        let stats = BalanceStats::new();
-        std::thread::scope(|scope| {
-            for core in &self.cores {
-                let stats = &stats;
-                let mq = &*self;
-                scope.spawn(move || {
-                    // The outcome is recorded inside the stealing phase's
-                    // critical section, atomically with the dequeue.
-                    let _ = mq.balance_once_recorded(core.id(), policy, stats);
-                });
-            }
-        });
-        stats
-    }
-
-    /// Runs one *hierarchical* concurrent round: every core executes the
-    /// distance-ordered [`MultiQueue::balance_once_hierarchical`] operation
-    /// from its own OS thread simultaneously — the threaded mirror of
-    /// [`sched_core::HierarchicalRound`], so the same domain-ordered policy
-    /// runs at all three altitudes.
-    pub fn hierarchical_round(&self, policy: &Policy) -> BalanceStats
-    where
-        Q: 'static,
-    {
-        let stats = BalanceStats::new();
-        std::thread::scope(|scope| {
-            for core in &self.cores {
-                let stats = &stats;
-                let mq = &*self;
-                scope.spawn(move || {
-                    let _ = mq.balance_once_hierarchical(core.id(), policy, stats);
-                });
-            }
-        });
-        stats
-    }
-
-    /// Runs hierarchical rounds until the machine is work-conserving or the
-    /// round budget is exhausted; returns the number of rounds used, if it
-    /// converged, plus the folded outcome counters.
-    pub fn converge_hierarchical(
-        &self,
-        policy: &Policy,
-        max_rounds: usize,
-    ) -> (Option<usize>, BalanceStats)
-    where
-        Q: 'static,
-    {
-        let total = BalanceStats::new();
-        for round in 0..=max_rounds {
-            if self.is_work_conserving() {
-                return (Some(round), total);
-            }
-            if round == max_rounds {
-                break;
-            }
-            total.merge_from(&self.hierarchical_round(policy));
-        }
-        (None, total)
-    }
-
-    /// Like [`MultiQueue::concurrent_round`], but every thread performs its
-    /// selection phase against the *initial* state of the round: all threads
-    /// rendezvous on a barrier between selecting and stealing.
-    ///
-    /// This is the threaded equivalent of the model's
-    /// `RoundSchedule::AllSelectThenSteal` — the maximally stale
-    /// interleaving, in which conflicting optimistic selections (and hence
-    /// failed steals) are guaranteed rather than merely possible.  E11 uses
-    /// it to measure the failure rate the paper's P1/P2 lemmas are about.
-    pub fn concurrent_round_synchronized(&self, policy: &Policy) -> BalanceStats
-    where
-        Q: 'static,
-    {
-        let stats = BalanceStats::new();
-        let barrier = std::sync::Barrier::new(self.cores.len());
-        std::thread::scope(|scope| {
-            for core in &self.cores {
-                let stats = &stats;
-                let barrier = &barrier;
-                let mq = &*self;
-                scope.spawn(move || {
-                    // Selection phase: lock-less, on the pre-round state.
-                    let snapshots = mq.snapshots();
-                    let thief_snap = snapshots[core.id().0];
-                    let candidates: Vec<CoreSnapshot> = snapshots
-                        .into_iter()
-                        .filter(|s| s.id != core.id() && policy.filter.can_steal(&thief_snap, s))
-                        .collect();
-                    let chosen = policy.choice.choose(&thief_snap, &candidates);
-                    // Every core finishes selecting before anyone steals.
-                    barrier.wait();
-                    match chosen {
-                        Some(victim) => {
-                            let outcome = try_steal_recorded(
-                                &mq.cores[core.id().0],
-                                &mq.cores[victim.0],
-                                policy.filter.as_ref(),
-                                1,
-                                Some(StealRecorder {
-                                    stats,
-                                    level: Some(mq.steal_level_of(core.id(), victim)),
-                                }),
-                            );
-                            policy.choice.observe(core.id(), victim, outcome.is_success());
-                        }
-                        None => stats.record(&StealOutcome::NoCandidates),
-                    };
-                });
-            }
-        });
-        stats
-    }
-
-    /// Runs concurrent rounds until the machine is work-conserving or the
-    /// round budget is exhausted; returns the number of rounds used, if it
-    /// converged.
-    pub fn converge(&self, policy: &Policy, max_rounds: usize) -> (Option<usize>, BalanceStats)
-    where
-        Q: 'static,
-    {
-        let total = BalanceStats::new();
-        for round in 0..=max_rounds {
-            if self.is_work_conserving() {
-                return (Some(round), total);
-            }
-            if round == max_rounds {
-                break;
-            }
-            // Fold the per-round counters (including the per-level
-            // attribution) into the total.
-            total.merge_from(&self.concurrent_round(policy));
-        }
-        (None, total)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sched_core::Policy;
+
+    /// The deque-backed machine, for the shared-behaviour tests below.
+    type DequeMq = MultiQueue<crate::DequeRq>;
 
     #[test]
     fn balance_once_fixes_a_two_core_imbalance() {
@@ -555,6 +549,78 @@ mod tests {
             "every idle core chose the hot core as its victim"
         );
         assert!(stats.recheck_failures() >= 1, "conflicting selections must produce failures");
+    }
+
+    #[test]
+    fn deque_backend_balances_and_conserves_through_the_same_api() {
+        // The identical generic machinery, on the lock-free backend.
+        let mq: DequeMq = MultiQueue::with_loads(&[0, 3]);
+        let policy = Policy::simple();
+        assert!(mq.balance_once(CoreId(0), &policy).is_success());
+        assert_eq!(mq.core(CoreId(0)).snapshot().nr_threads, 1);
+        assert_eq!(mq.total_threads(), 3);
+
+        let mq: DequeMq = MultiQueue::with_loads(&[0, 0, 0, 0, 0, 0, 0, 16]);
+        let (rounds, stats) = mq.converge(&policy, 64);
+        assert!(rounds.is_some(), "lock-free optimistic balancing must converge");
+        assert!(mq.is_work_conserving());
+        assert_eq!(mq.total_threads(), 16);
+        assert!(stats.successes() >= 7);
+    }
+
+    #[test]
+    fn deque_backend_synchronized_round_produces_optimistic_failures() {
+        // The maximally stale interleaving on the lock-free backend: the
+        // conflicting selections resolve through CAS claims instead of
+        // lock rechecks, but the P1 accounting is the same.
+        let mq: DequeMq = MultiQueue::with_loads(&[4, 0, 0, 0, 0, 0, 0, 0]);
+        let policy = Policy::simple();
+        let stats = mq.concurrent_round_synchronized(&policy);
+        assert_eq!(mq.total_threads(), 4);
+        assert!(stats.successes() >= 1);
+        assert!(
+            stats.successes() + stats.recheck_failures() + stats.nothing_to_steal() >= 7,
+            "every idle core chose the hot core as its victim"
+        );
+        assert!(stats.failures() >= 1, "conflicting selections must produce failures");
+    }
+
+    #[test]
+    fn deque_backend_hierarchical_round_attributes_levels() {
+        let topo =
+            sched_topology::TopologyBuilder::new().sockets(2).cores_per_socket(2).smt(2).build();
+        let mq: DequeMq = MultiQueue::with_topology(&topo);
+        for _ in 0..3 {
+            mq.spawn_on(CoreId(1));
+            mq.spawn_on(CoreId(4));
+        }
+        let policy = Policy::simple();
+        let stats = BalanceStats::new();
+        let outcome = mq.balance_once_hierarchical(CoreId(0), &policy, &stats);
+        assert!(outcome.is_success());
+        assert_eq!(stats.level_migrations(sched_topology::StealLevel::SmtSibling), 1);
+        assert_eq!(stats.level_migrations(sched_topology::StealLevel::Remote), 0);
+    }
+
+    #[test]
+    fn deque_backend_pelt_loads_decay_and_gate_the_filter() {
+        use sched_core::{LoadMetric, PeltTracker};
+
+        let half_life = 8_000_000u64;
+        let mq: DequeMq = MultiQueue::with_tracker(
+            2,
+            std::sync::Arc::new(PeltTracker::new(LoadMetric::NrThreads, half_life)),
+        );
+        for _ in 0..4 {
+            mq.spawn_on(CoreId(1));
+        }
+        assert_eq!(mq.snapshots()[1].load(LoadMetric::Tracked), 0, "cold tracked loads");
+        let policy = Policy::pelt(half_life);
+        assert!(!mq.balance_once(CoreId(0), &policy).is_success());
+        mq.tick(32 * half_life);
+        assert_eq!(mq.snapshots()[1].load(LoadMetric::Tracked), 4);
+        assert!(mq.balance_once(CoreId(0), &policy).is_success());
+        assert_eq!(mq.total_threads(), 4);
     }
 
     #[test]

@@ -176,6 +176,71 @@ impl<Q: TaskQueue> PerCoreRq<Q> {
     }
 }
 
+/// The mutex discipline, as a [`crate::RqBackend`]: every mutation under
+/// the per-core lock, stealing via the ordered double-lock of
+/// [`crate::steal::try_steal_recorded`].
+impl<Q: TaskQueue + 'static> crate::backend::RqBackend for PerCoreRq<Q> {
+    fn with_tracker(
+        id: CoreId,
+        node: NodeId,
+        tracker: Arc<dyn LoadTracker>,
+        clock: Arc<AtomicU64>,
+    ) -> Self {
+        PerCoreRq::with_tracker(id, node, tracker, clock)
+    }
+
+    fn backend_name() -> &'static str {
+        "mutex"
+    }
+
+    fn id(&self) -> CoreId {
+        PerCoreRq::id(self)
+    }
+
+    fn node(&self) -> NodeId {
+        PerCoreRq::node(self)
+    }
+
+    fn tracker(&self) -> &Arc<dyn LoadTracker> {
+        PerCoreRq::tracker(self)
+    }
+
+    fn snapshot(&self) -> CoreSnapshot {
+        PerCoreRq::snapshot(self)
+    }
+
+    fn enqueue(&self, task: RqTask) {
+        PerCoreRq::enqueue(self, task);
+    }
+
+    fn pick_next(&self) -> Option<TaskId> {
+        PerCoreRq::pick_next(self)
+    }
+
+    fn complete_current(&self) -> Option<RqTask> {
+        PerCoreRq::complete_current(self)
+    }
+
+    fn nr_threads_exact(&self) -> u64 {
+        PerCoreRq::nr_threads_exact(self)
+    }
+
+    fn refresh(&self) {
+        let mut inner = self.lock();
+        self.republish(&mut inner);
+    }
+
+    fn try_steal_recorded(
+        thief: &Self,
+        victim: &Self,
+        filter: &dyn sched_core::FilterPolicy,
+        max_tasks: usize,
+        recorder: Option<crate::steal::StealRecorder<'_>>,
+    ) -> sched_core::StealOutcome {
+        crate::steal::try_steal_recorded(thief, victim, filter, max_tasks, recorder)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

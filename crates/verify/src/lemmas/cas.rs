@@ -1,0 +1,235 @@
+//! Steal atomicity for the CAS path (§3.1, restated for `sched-deque`).
+//!
+//! The mutex backend's atomicity argument is "both runqueue locks are
+//! held, so the re-check and the dequeue are one critical section".  The
+//! lock-free backend replaces the locks with a single compare-and-swap on
+//! the deque's `top`; the argument becomes:
+//!
+//! 1. **Exclusivity** — `top` increases only through successful CASes and
+//!    each index is CASed away at most once, so every element is claimed
+//!    by exactly one party: *no task is duplicated*.
+//! 2. **Conservation** — a claim removes exactly the element at the old
+//!    `top` and hands it to exactly one claimant, so pushes = claims +
+//!    residue: *no task is lost*.
+//! 3. **P1 for CASes** — a failed CAS means `top` moved, and `top` only
+//!    moves through someone else's successful claim: *failures imply
+//!    concurrent successes*, which is what bounds the convergence argument
+//!    (§4.3 P1) on this backend too.
+//! 4. **Work conservation** — because claims neither lose nor duplicate
+//!    tasks, the balancing layer's work-conservation reasoning (which only
+//!    needs steals to move one real task from victim to thief) carries
+//!    over unchanged; `MultiQueue<DequeRq>`'s convergence tests pin the
+//!    end-to-end statement.
+//!
+//! Two kinds of checks pin these down.  The **probed** checks force the
+//! adversarial interleaving deterministically (`sched-deque` exposes a
+//! probe hook between the optimistic reads and the CAS), so the lemmas do
+//! not depend on the OS preempting at the right instruction — essential on
+//! single-CPU runners.  The **stress** checks hammer the same windows with
+//! real scoped threads and exact accounting.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use sched_deque::{deque, Steal};
+
+use crate::counterexample::Counterexample;
+use crate::lemma::LemmaReport;
+
+/// Checks exclusivity and conservation under an owner-pop vs. multi-thief
+/// race: over `rounds` rounds, `items` elements are drained concurrently
+/// by the owner (bottom) and `thieves` stealers (top CAS); every element
+/// must be claimed exactly once.
+///
+/// Instances are (round × element) claim checks.
+pub fn check_cas_steal_exclusivity(rounds: usize, items: u64, thieves: usize) -> LemmaReport {
+    let name = "CAS steal exclusivity (no task duplicated or lost)";
+    let mut instances = 0u64;
+    for round in 0..rounds {
+        let (mut worker, stealer) = deque(items.max(1) as usize);
+        for v in 0..items {
+            worker.push(v).unwrap();
+        }
+        let start = AtomicBool::new(false);
+        let mut claims: Vec<u64> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..thieves)
+                .map(|_| {
+                    let stealer = stealer.clone();
+                    let start = &start;
+                    scope.spawn(move || {
+                        while !start.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                        let mut claimed = Vec::new();
+                        loop {
+                            match stealer.steal() {
+                                Steal::Stolen(v) => claimed.push(v),
+                                Steal::Retry => {}
+                                Steal::Empty => break,
+                            }
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            start.store(true, Ordering::Release);
+            while let Some(v) = worker.pop() {
+                claims.push(v);
+            }
+            for handle in handles {
+                claims.extend(handle.join().unwrap());
+            }
+        });
+        claims.sort_unstable();
+        instances += items;
+        let expected: Vec<u64> = (0..items).collect();
+        if claims != expected {
+            return LemmaReport::refuted(
+                name,
+                instances,
+                Counterexample::new("an element was claimed twice or never claimed", vec![items])
+                    .step(format!(
+                        "round {round}: owner vs {thieves} thieves over {items} elements"
+                    ))
+                    .step(format!("claims after sorting: {claims:?}")),
+            );
+        }
+    }
+    LemmaReport::proved(name, instances)
+}
+
+/// Checks P1 for the CAS path *deterministically*: a probe injected in
+/// every thief's read-to-CAS window performs a rival claim, so the probed
+/// CAS must fail — and the element must end up with the rival, exactly
+/// once.  Also drives the owner-side window: once the owner publishes its
+/// claim on the bottom element, a thief arriving in the window backs off.
+///
+/// Instances are forced interleavings.
+pub fn check_cas_failure_implies_concurrent_success(rounds: usize) -> LemmaReport {
+    let name = "CAS failure implies concurrent success (P1, lock-free path)";
+    let mut instances = 0u64;
+    for round in 0..rounds {
+        // Thief-vs-thief: the rival claims inside the window.
+        let (mut worker, stealer) = deque(4);
+        worker.push(1).unwrap();
+        worker.push(2).unwrap();
+        let rival = stealer.clone();
+        let mut rival_got = None;
+        let outcome = stealer.steal_with_probe(|| {
+            rival_got = rival.steal().stolen();
+        });
+        instances += 1;
+        let fail = |instances: u64, what: &str, detail: String| {
+            LemmaReport::refuted(
+                name,
+                instances,
+                Counterexample::new(what, vec![2]).step(format!("round {round}: {detail}")),
+            )
+        };
+        if rival_got != Some(1) {
+            return fail(
+                instances,
+                "the rival's claim inside the window failed",
+                format!("{rival_got:?}"),
+            );
+        }
+        if outcome != Steal::Retry {
+            return fail(
+                instances,
+                "a CAS doomed by a concurrent claim did not fail",
+                format!("outcome {outcome:?} after the rival claimed"),
+            );
+        }
+        // The remaining element is claimable exactly once.
+        if stealer.steal() != Steal::Stolen(2) || stealer.steal() != Steal::Empty {
+            return fail(
+                instances,
+                "claims after the forced race were not exclusive",
+                String::new(),
+            );
+        }
+
+        // Owner-vs-thief on the last element: the owner takes it inside
+        // the thief's window, the thief's CAS must fail.
+        let (mut worker, stealer) = deque(4);
+        worker.push(7).unwrap();
+        let worker_cell = std::cell::RefCell::new(worker);
+        let outcome = stealer.steal_with_probe(|| {
+            let got = worker_cell.borrow_mut().pop();
+            assert_eq!(got, Some(7), "the owner wins the forced last-element race");
+        });
+        instances += 1;
+        if outcome != Steal::Retry {
+            return fail(
+                instances,
+                "the thief's CAS survived the owner's last-element take",
+                format!("outcome {outcome:?}"),
+            );
+        }
+        if stealer.steal() != Steal::Empty {
+            return fail(instances, "the claimed element was claimable twice", String::new());
+        }
+    }
+    LemmaReport::proved(name, instances)
+}
+
+/// Checks that the owner's claim on the bottom element excludes thieves:
+/// once `bottom` is lowered over the last element, a thief arriving in the
+/// owner's CAS window observes an empty deque and backs off, and the
+/// owner's take succeeds — the single-element race has exactly one winner
+/// in both forced orders.
+pub fn check_cas_single_element_winner(rounds: usize) -> LemmaReport {
+    let name = "single-element owner-vs-thief race has one winner";
+    let mut instances = 0u64;
+    for round in 0..rounds {
+        let (mut worker, stealer) = deque(2);
+        worker.push(9).unwrap();
+        let thief = stealer.clone();
+        let mut thief_saw = None;
+        let got = worker.pop_with_probe(|| {
+            thief_saw = Some(thief.steal());
+        });
+        instances += 1;
+        if got != Some(9) || thief_saw != Some(Steal::Empty) {
+            return LemmaReport::refuted(
+                name,
+                instances,
+                Counterexample::new("both parties claimed, or neither did", vec![1])
+                    .step(format!("round {round}: owner got {got:?}, thief saw {thief_saw:?}")),
+            );
+        }
+    }
+    LemmaReport::proved(name, instances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusivity_holds_under_scoped_thread_stress() {
+        let report = check_cas_steal_exclusivity(20, 128, 4);
+        assert!(report.is_proved(), "{report}");
+        assert_eq!(report.instances, 20 * 128);
+    }
+
+    #[test]
+    fn p1_holds_on_every_forced_interleaving() {
+        let report = check_cas_failure_implies_concurrent_success(50);
+        assert!(report.is_proved(), "{report}");
+        assert_eq!(report.instances, 100);
+    }
+
+    #[test]
+    fn single_element_race_is_exclusive() {
+        let report = check_cas_single_element_winner(100);
+        assert!(report.is_proved(), "{report}");
+    }
+
+    #[test]
+    #[ignore = "nightly-strength stress; run via `cargo test -- --ignored`"]
+    fn stress_exclusivity_high_iteration() {
+        let report = check_cas_steal_exclusivity(300, 1024, 8);
+        assert!(report.is_proved(), "{report}");
+    }
+}

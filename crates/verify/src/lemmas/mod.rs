@@ -9,11 +9,13 @@
 //! | [`potential`] | §4.3, property P2 | Every successful steal strictly decreases the pairwise absolute load difference `d`. |
 //! | [`hierarchy`] | §5 | A steal at one topology level leaves the per-level potential unchanged at that level and coarser, and hierarchical rounds stay work-conserving. |
 //! | [`decay`] | §3.1 ("no assumption on the criteria") | A steady tracked load converges geometrically to the instantaneous load, and balancing on any monotone tracker preserves work conservation given settling ticks. |
+//! | [`cas`] | §3.1, restated for the lock-free backend | On the Chase–Lev steal path, a successful CAS claims exclusively (no task duplicated or lost) and a failed CAS implies a concurrent claim (P1), checked on *forced* interleavings via probes and under scoped-thread stress. |
 //!
 //! The concurrent convergence check (bounded failures + the §3.2 `∃N`) is in
 //! [`crate::convergence`], since it explores multi-round executions rather
 //! than a single round.
 
+pub mod cas;
 pub mod decay;
 pub mod failure;
 pub mod hierarchy;
@@ -22,6 +24,10 @@ pub mod potential;
 pub mod seq_wc;
 pub mod steal_sound;
 
+pub use cas::{
+    check_cas_failure_implies_concurrent_success, check_cas_single_element_winner,
+    check_cas_steal_exclusivity,
+};
 pub use decay::{check_decay_convergence, check_tracked_work_conservation};
 pub use failure::check_failure_implies_concurrent_success;
 pub use hierarchy::{check_hierarchical_work_conservation, check_level_potential_invariance};

@@ -12,7 +12,8 @@
 //! |---|---|
 //! | [`core`] (`sched-core`) | the scheduler model, the three-step balancing round, policies, the work-conservation definition and the load-difference potential |
 //! | [`topology`] (`sched-topology`) | sockets, NUMA nodes, cache domains, scheduling-domain trees |
-//! | [`rq`] (`sched-rq`) | concurrent per-core runqueues: lock-less load publication, ordered double-lock stealing |
+//! | [`deque`] (`sched-deque`) | Chase–Lev work-stealing deque: lock-free owner push/pop, CAS stealing, deterministic race probes |
+//! | [`rq`] (`sched-rq`) | concurrent per-core runqueues behind one `RqBackend` API: the mutex discipline (double-lock stealing) and the lock-free Chase–Lev discipline (CAS stealing) |
 //! | [`sim`] (`sched-sim`) | deterministic discrete-event simulator with a CFS-like baseline and injectable "wasted cores" bugs |
 //! | [`workloads`] (`sched-workloads`) | fork-join, OLTP, build, bursty and static-imbalance workload generators |
 //! | [`metrics`] (`sched-metrics`) | idle-time accounting, convergence tracking, histograms, tables |
@@ -37,6 +38,7 @@
 //! ```
 
 pub use sched_core as core;
+pub use sched_deque as deque;
 pub use sched_dsl as dsl;
 pub use sched_metrics as metrics;
 pub use sched_rq as rq;

@@ -1,0 +1,181 @@
+//! End-to-end tests of the lock-free (Chase–Lev) runqueue backend: the
+//! same `MultiQueue` machinery as `tests/concurrent_rq.rs`, but with the
+//! stealing phase resolved by CAS claims instead of double locks.
+//!
+//! The mutex-backend suite pins the protocol; this suite pins that the
+//! lock-free discipline preserves every invariant the protocol needs —
+//! conservation, convergence to work conservation, consistent stats —
+//! plus the deque-specific edge cases (empty steal, single-element race,
+//! ring overflow).
+
+use optimistic_sched::core::{CoreId, Policy};
+use optimistic_sched::rq::{DequeMultiQueue, MultiQueue, RqBackend as _};
+use optimistic_sched::verify::lemmas;
+use proptest::prelude::*;
+
+#[test]
+fn concurrent_rounds_never_lose_or_duplicate_tasks() {
+    let loads: Vec<usize> = (0..16).map(|i| if i % 3 == 0 { 9 } else { 0 }).collect();
+    let mq: DequeMultiQueue = MultiQueue::with_loads(&loads);
+    let total = mq.total_threads();
+    let policy = Policy::simple();
+    for _ in 0..20 {
+        mq.concurrent_round(&policy);
+        assert_eq!(mq.total_threads(), total);
+    }
+}
+
+#[test]
+fn concurrent_balancing_converges_to_work_conservation() {
+    let mut loads = vec![0usize; 32];
+    loads[0] = 48;
+    loads[7] = 16;
+    let mq: DequeMultiQueue = MultiQueue::with_loads(&loads);
+    let policy = Policy::simple();
+    let (rounds, stats) = mq.converge(&policy, 256);
+    assert!(rounds.is_some(), "lock-free optimistic balancing must converge");
+    assert!(mq.is_work_conserving());
+    assert_eq!(mq.total_threads(), 64);
+    assert!(stats.successes() >= 31, "every idle core had to obtain work at least once");
+}
+
+#[test]
+fn hierarchical_rounds_work_identically_on_the_lock_free_backend() {
+    let topo = optimistic_sched::topology::TopologyBuilder::eight_node_numa();
+    let mq: DequeMultiQueue = MultiQueue::with_topology(&topo);
+    for _ in 0..16 {
+        mq.spawn_on(CoreId(0));
+    }
+    let policy = Policy::simple();
+    let (rounds, stats) = mq.converge_hierarchical(&policy, 128);
+    assert!(rounds.is_some(), "hierarchical balancing must converge on the deque backend");
+    assert!(mq.is_work_conserving());
+    assert_eq!(mq.total_threads(), 16);
+    assert!(stats.migrations() >= 7);
+}
+
+#[test]
+fn steals_racing_wakeups_keep_stats_consistent() {
+    // The deque twin of the mutex backend's stats race test: spawns land
+    // on the victim while sixteen waves of thieves steal from it; after
+    // the dust settles, counters and queue contents must agree.
+    let mq = std::sync::Arc::new({
+        let mq: DequeMultiQueue = MultiQueue::new(4);
+        for _ in 0..8 {
+            mq.spawn_on(CoreId(0));
+        }
+        mq
+    });
+    let policy = Policy::simple();
+    let stats = optimistic_sched::rq::BalanceStats::new();
+    std::thread::scope(|scope| {
+        let waker = {
+            let mq = std::sync::Arc::clone(&mq);
+            scope.spawn(move || {
+                for _ in 0..32 {
+                    mq.spawn_on(CoreId(0));
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for _ in 0..16 {
+            let stats = &stats;
+            let policy = &policy;
+            let mq = std::sync::Arc::clone(&mq);
+            scope.spawn(move || {
+                for thief in 1..4 {
+                    let _ = mq.balance_once_recorded(CoreId(thief), policy, stats);
+                }
+            });
+        }
+        waker.join().unwrap();
+    });
+    assert_eq!(mq.total_threads(), 40, "8 initial + 32 woken, none lost or duplicated");
+    let moved: u64 = (1..4).map(|c| mq.core(CoreId(c)).nr_threads_exact()).sum();
+    assert!(moved <= stats.migrations(), "{moved} residents > {} counted", stats.migrations());
+    assert_eq!(stats.migrations(), stats.successes(), "StealOne: one migration per success");
+}
+
+#[test]
+fn empty_steal_reports_failure_not_phantom_work() {
+    // Edge case: a victim with nothing to take.  The operation must
+    // report a clean failure and change nothing.
+    let mq: DequeMultiQueue = MultiQueue::with_loads(&[0, 0]);
+    let policy = Policy::simple();
+    let outcome = mq.balance_once(CoreId(0), &policy);
+    assert!(!outcome.is_success());
+    assert_eq!(mq.total_threads(), 0);
+}
+
+#[test]
+fn cas_lemmas_hold_at_the_integration_level() {
+    // The sched-verify CAS lemmas, exercised from the facade: the
+    // deque-level steal-atomicity argument behind this whole suite.
+    let report = lemmas::check_cas_steal_exclusivity(10, 128, 4);
+    assert!(report.is_proved(), "{report}");
+    let report = lemmas::check_cas_failure_implies_concurrent_success(25);
+    assert!(report.is_proved(), "{report}");
+    let report = lemmas::check_cas_single_element_winner(50);
+    assert!(report.is_proved(), "{report}");
+}
+
+proptest! {
+    /// Any load vector on any machine size: the deque backend converges
+    /// to work conservation and conserves every task while doing it.
+    #[test]
+    fn deque_backend_converges_and_conserves(
+        seed_loads in proptest::collection::vec(0usize..12, 2..10),
+    ) {
+        let total: usize = seed_loads.iter().sum();
+        let mq: DequeMultiQueue = MultiQueue::with_loads(&seed_loads);
+        let policy = Policy::simple();
+        let (rounds, _stats) = mq.converge(&policy, 64 + 4 * total);
+        prop_assert!(rounds.is_some());
+        prop_assert!(mq.is_work_conserving());
+        prop_assert_eq!(mq.total_threads(), total as u64);
+    }
+
+    /// Single-element owner-vs-thief race at the MultiQueue level: a
+    /// two-core machine with one waiting task; whoever wins, exactly one
+    /// task survives in exactly one place.
+    #[test]
+    fn single_waiting_task_ends_up_in_exactly_one_place(owner_first in proptest::arbitrary::any::<bool>()) {
+        let mq: DequeMultiQueue = MultiQueue::with_loads(&[2, 0]);
+        // Thief needs delta >= 1 to race the owner for the waiter.
+        let thieving = Policy::new(
+            optimistic_sched::core::LoadMetric::NrThreads,
+            Box::new(optimistic_sched::core::policy::DeltaFilter::new(
+                optimistic_sched::core::LoadMetric::NrThreads,
+                1,
+            )),
+            Box::new(optimistic_sched::core::policy::MaxLoadChoice::new(
+                optimistic_sched::core::LoadMetric::NrThreads,
+            )),
+            Box::new(optimistic_sched::core::policy::StealOne),
+        );
+        if owner_first {
+            let _ = mq.core(CoreId(0)).complete_current();
+            let _ = mq.balance_once(CoreId(1), &thieving);
+        } else {
+            let _ = mq.balance_once(CoreId(1), &thieving);
+            let _ = mq.core(CoreId(0)).complete_current();
+        }
+        // The waiter must survive exactly once, wherever the race landed it.
+        prop_assert_eq!(mq.total_threads(), 1);
+    }
+}
+
+#[test]
+#[ignore = "nightly-strength stress; run via `cargo test -- --ignored`"]
+fn stress_deque_backend_many_rounds_high_iteration() {
+    for round in 0..60 {
+        let cores = 4 + (round % 13);
+        let loads: Vec<usize> = (0..cores).map(|i| if i % 3 == 0 { 12 } else { 0 }).collect();
+        let total: u64 = loads.iter().map(|&l| l as u64).sum();
+        let mq: DequeMultiQueue = MultiQueue::with_loads(&loads);
+        let policy = Policy::simple();
+        let (rounds, _stats) = mq.converge(&policy, 512);
+        assert!(rounds.is_some(), "round {round}: must converge");
+        assert_eq!(mq.total_threads(), total, "round {round}: conservation");
+    }
+}

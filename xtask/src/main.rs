@@ -28,6 +28,12 @@
 //!   model executor is deterministic, so even though its wall-clock
 //!   throughput sits under the measurement floor, its migration count is
 //!   an exact behavioural fingerprint and any drift flags a real change.
+//! * `p99_sched_latency_us` — **absolute ceiling** (`--p99-ceiling-us F`,
+//!   schema v4): any current record carrying a p99 scheduling latency
+//!   above the ceiling fails, regardless of what the baseline said.  A
+//!   policy can converge cheaply by parking work (an over-long PELT
+//!   half-life does exactly that); throughput and idle gates would wave
+//!   it through, the latency SLO does not.
 //! * a key present in the baseline but missing from the current run fails;
 //!   keys only in the current run are reported as re-baseline hints.
 //!
@@ -55,6 +61,7 @@ struct Record {
     violating_idle: f64,
     migrations: f64,
     wall_ms: f64,
+    p99_sched_latency_us: Option<f64>,
 }
 
 fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
@@ -88,6 +95,7 @@ fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
             violating_idle: number("violating_idle")?,
             migrations: number("migrations").unwrap_or(f64::NAN),
             wall_ms: number("wall_ms").unwrap_or(f64::INFINITY),
+            p99_sched_latency_us: r.get("p99_sched_latency_us").and_then(Json::as_f64),
         });
     }
     Ok(out)
@@ -108,6 +116,16 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
     if !(0.0..1.0).contains(&tolerance) {
         return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
     }
+    let p99_ceiling_us: Option<f64> = match flag_value(args, "--p99-ceiling-us") {
+        Some(v) => {
+            let ceiling = v.parse().map_err(|e| format!("bad --p99-ceiling-us: {e}"))?;
+            if ceiling <= 0.0 {
+                return Err(format!("--p99-ceiling-us must be positive, got {ceiling}"));
+            }
+            Some(ceiling)
+        }
+        None => None,
+    };
 
     let read = |path: &str| -> Result<Vec<Record>, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -176,6 +194,31 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
             ));
         }
     }
+    // The latency SLO is absolute and applies to every *current* record
+    // that measures a p99 at all — including brand-new ones the relative
+    // gates cannot see yet.  A record that *used to* measure a p99 but no
+    // longer does also fails: a silently broken latency recorder would
+    // otherwise disable the one gate that catches work-parking policies.
+    if let Some(ceiling) = p99_ceiling_us {
+        for cur in &current {
+            if let Some(p99) = cur.p99_sched_latency_us {
+                if p99 > ceiling {
+                    regressions.push(format!(
+                        "P99       {}: {p99:.0}us > {ceiling:.0}us absolute scheduling-latency \
+                         ceiling",
+                        cur.key
+                    ));
+                }
+            } else if baseline.iter().any(|b| b.key == cur.key && b.p99_sched_latency_us.is_some())
+            {
+                regressions.push(format!(
+                    "P99       {}: the baseline measured a p99 but the current run does not \
+                     (latency recorder broken?)",
+                    cur.key
+                ));
+            }
+        }
+    }
     for cur in &current {
         if !baseline.iter().any(|b| b.key == cur.key) {
             notes.push(format!("NEW       {} (re-baseline to start gating it)", cur.key));
@@ -215,7 +258,10 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- bench-diff --current PATH [--baseline PATH] [--tolerance F]");
+            eprintln!(
+                "usage: cargo run -p xtask -- bench-diff --current PATH [--baseline PATH] \
+                 [--tolerance F] [--p99-ceiling-us F]"
+            );
             ExitCode::from(2)
         }
     }
@@ -348,6 +394,49 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(code, ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn p99_ceiling_gates_absolutely_and_only_when_measured() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-p99");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        let sim = |p99: &str| {
+            format!(
+                "{{\"experiment\": \"e10\", \"scenario\": \"s\", \"backend\": \"sim\", \
+                 \"throughput\": 1000.0, \"throughput_unit\": \"ops/s\", \
+                 \"violating_idle\": 0.1, \"p99_sched_latency_us\": {p99}}}"
+            )
+        };
+        std::fs::write(&base, doc(&sim("100.0"))).unwrap();
+        std::fs::write(&cur, doc(&sim("9000.0"))).unwrap();
+        let run = |ceiling: Option<&str>| {
+            let mut args = vec![
+                "--baseline".to_string(),
+                base.to_str().unwrap().into(),
+                "--current".into(),
+                cur.to_str().unwrap().into(),
+            ];
+            if let Some(c) = ceiling {
+                args.push("--p99-ceiling-us".into());
+                args.push(c.into());
+            }
+            bench_diff(&args).unwrap()
+        };
+        // Without the flag nothing gates on latency (old behaviour).
+        assert_eq!(run(None), ExitCode::SUCCESS);
+        // With it, 9000us busts a 5000us ceiling even though the relative
+        // throughput and idle gates are clean.
+        assert_eq!(run(Some("5000")), ExitCode::FAILURE);
+        assert_eq!(run(Some("10000")), ExitCode::SUCCESS);
+        // A p99 that *disappears* relative to the baseline is a broken
+        // recorder, not a pass: the SLO must not silently disarm.
+        std::fs::write(&cur, doc(&sim("null"))).unwrap();
+        assert_eq!(run(Some("5000")), ExitCode::FAILURE);
+        // But a record that never measured one (model/rq) is never gated.
+        std::fs::write(&base, doc(&sim("null"))).unwrap();
+        assert_eq!(run(Some("5000")), ExitCode::SUCCESS);
     }
 
     #[test]

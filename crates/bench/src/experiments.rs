@@ -41,6 +41,7 @@ pub enum ExperimentId {
     E19,
     E20,
     E21,
+    E22,
 }
 
 impl ExperimentId {
@@ -49,7 +50,7 @@ impl ExperimentId {
         use ExperimentId::*;
         vec![
             E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19,
-            E20, E21,
+            E20, E21, E22,
         ]
     }
 
@@ -78,6 +79,7 @@ impl ExperimentId {
             "e19" => E19,
             "e20" => E20,
             "e21" => E21,
+            "e22" => E22,
             _ => return None,
         })
     }
@@ -109,6 +111,9 @@ impl ExperimentId {
             E19 => "E19 §3.1: load-tracker overhead on the balancing hot path",
             E20 => "E20 §3.1: steal-heavy fan-out — the owner path under thief bombardment",
             E21 => "E21 §3.1: PELT half-life sensitivity — churn vs responsiveness at 1/4/16/64 ms",
+            E22 => {
+                "E22 §3.2: overflow storm — ring overflow must stay stealable (injector vs spill)"
+            }
         }
     }
 }
@@ -137,6 +142,7 @@ pub fn run_experiment(id: ExperimentId) -> Vec<Table> {
         ExperimentId::E19 => e19_tracker_overhead(),
         ExperimentId::E20 => e20_steal_fanout(),
         ExperimentId::E21 => e21_half_life_sweep(),
+        ExperimentId::E22 => e22_overflow_storm(),
     }
 }
 
@@ -1105,6 +1111,7 @@ fn e21_half_life_sweep() -> Vec<Table> {
             workload: None,
             budget_rounds: 1024,
             burst: None,
+            storm: None,
             mixed_nice: false,
         };
         let r = model.run(&spec).remove(0);
@@ -1115,6 +1122,42 @@ fn e21_half_life_sweep() -> Vec<Table> {
         ]);
     }
     vec![churn_table, lag_table]
+}
+
+/// E22: the overflow storm — fan-out bursts against tiny Chase–Lev rings,
+/// so nearly every enqueue overflows.  The four rows isolate *where* the
+/// overflow goes:
+///
+/// * `rq` (mutex) and `rq-deque` (1024-slot ring) are the no-overflow
+///   controls — everything waiting is reachable, idle-while-spilled ~0;
+/// * `rq-deque-tiny` overflows into the shared injector — thieves claim
+///   the overflow the moment it lands, idle-while-spilled ~0 (the fix);
+/// * `rq-deque-spill` reproduces the pre-injector owner-private spill —
+///   counted-but-unstealable work strands ~7 of 16 cores for the rest of
+///   every epoch (the hole, kept measurable as the baseline).
+fn e22_overflow_storm() -> Vec<Table> {
+    use crate::runner::ExperimentRunner;
+    use sched_metrics::MigrationChurn;
+
+    let spec = unified_spec(ExperimentId::E22);
+    let runner = ExperimentRunner::with_all_backends();
+    let mut table = Table::new(
+        "E22: overflow storm — fan-out bursts on tiny rings; where the overflow goes decides \
+         whether idle cores can reach it",
+        &["rq backend", "migrations", "failures", "idle-while-spilled %", "migrations/epoch"],
+    );
+    let epochs = spec.storm.map_or(0, |s| s.epochs as u64);
+    for r in runner.run(&spec) {
+        let churn = MigrationChurn::new(r.migrations, r.failures, epochs, r.violating_idle);
+        table.row(&[
+            r.rq_backend.unwrap_or(r.backend).into(),
+            r.migrations.to_string(),
+            r.failures.to_string(),
+            format!("{:.1}%", r.violating_idle * 100.0),
+            format!("{:.2}", churn.per_epoch()),
+        ]);
+    }
+    vec![table]
 }
 
 /// E13: the DSL front-end, its phase checker and its two backends.
@@ -1150,10 +1193,58 @@ mod tests {
         assert_eq!(ExperimentId::parse("e19"), Some(ExperimentId::E19));
         assert_eq!(ExperimentId::parse("e20"), Some(ExperimentId::E20));
         assert_eq!(ExperimentId::parse("E21"), Some(ExperimentId::E21));
+        assert_eq!(ExperimentId::parse("e22"), Some(ExperimentId::E22));
         assert_eq!(ExperimentId::parse("nope"), None);
-        assert_eq!(ExperimentId::all().len(), 21);
+        assert_eq!(ExperimentId::all().len(), 22);
         for id in ExperimentId::all() {
             assert!(!id.title().is_empty());
+        }
+    }
+
+    /// The overflow-conservation acceptance claim: on the storm scenario,
+    /// the injector-backed tiny backend pins idle-while-spilled at ~0 —
+    /// every overflowed task was reachable within its round — while the
+    /// legacy private-spill baseline reproduces a large, persistent gap,
+    /// and strands idle cores that the injector turns into migrations.
+    #[test]
+    fn e22_injector_closes_the_overflow_conservation_hole() {
+        let spec = unified_spec(ExperimentId::E22);
+        let runner = crate::runner::ExperimentRunner::with_all_backends();
+        let records = runner.run(&spec);
+        let flavours: Vec<Option<&str>> = records.iter().map(|r| r.rq_backend).collect();
+        assert_eq!(
+            flavours,
+            vec![Some("mutex"), Some("deque"), Some("deque-tiny"), Some("deque-spill")],
+            "the storm runs on the rq backends only (model/sim have no ring)"
+        );
+        let find = |flavour: &str| {
+            records.iter().find(|r| r.rq_backend == Some(flavour)).expect("flavour present")
+        };
+        let injector = find("deque-tiny");
+        let spill = find("deque-spill");
+        assert!(
+            injector.violating_idle < 0.02,
+            "injector-backed overflow must keep idle-while-spilled at ~0, got {:.3}",
+            injector.violating_idle
+        );
+        assert!(
+            spill.violating_idle > 0.2,
+            "the legacy spill must reproduce the conservation hole, got {:.3}",
+            spill.violating_idle
+        );
+        assert!(
+            injector.migrations > spill.migrations,
+            "stealable overflow must turn stranded idling into migrations ({} vs {})",
+            injector.migrations,
+            spill.migrations
+        );
+        // The no-overflow controls agree with the injector row: hiding
+        // overflow is the only thing that opens the gap.
+        for control in ["mutex", "deque"] {
+            assert!(
+                find(control).violating_idle < 0.02,
+                "{control}: a ring that never overflows has nothing to hide"
+            );
         }
     }
 

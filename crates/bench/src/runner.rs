@@ -209,6 +209,30 @@ pub struct BurstSpec {
     pub warmup_ns: u64,
 }
 
+/// An overflow-storm driver replacing the run-to-convergence loop: each
+/// epoch, a fan-out burst lands on core 0 and a fixed number of genuinely
+/// concurrent balancing rounds runs against it **without any tick** — so
+/// whatever the runqueue backend does with ring overflow is exactly what
+/// thieves see — then the machine drains and the next burst fires.
+///
+/// The headline metric is [`sched_metrics::OverflowExposure`]: the
+/// fraction of the machine left idle *after* each round while an
+/// overloaded core still held waiting work.  A backend whose overflow
+/// stays stealable (the shared injector) pins this at ~0; one that hides
+/// overflow behind the tick (the legacy private spill) strands idle cores
+/// for the rest of every epoch.  Only the runqueue backends execute storm
+/// specs — the model and simulator have no ring to overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormSpec {
+    /// Number of burst/balance/drain epochs.
+    pub epochs: usize,
+    /// Tasks spawned onto core 0 at each epoch's start — sized well past
+    /// the tiny flavours' ring capacity so most of the burst overflows.
+    pub fanout: usize,
+    /// Concurrent balancing rounds per epoch, run with no tick in between.
+    pub rounds_per_epoch: usize,
+}
+
 /// One experiment, declared once, executable on every backend.
 #[derive(Debug, Clone)]
 pub struct ExperimentSpec {
@@ -228,6 +252,9 @@ pub struct ExperimentSpec {
     pub budget_rounds: usize,
     /// Bursty on/off driver replacing the run-to-convergence loop, if any.
     pub burst: Option<BurstSpec>,
+    /// Overflow-storm driver replacing the run-to-convergence loop, if any
+    /// (runqueue backends only).
+    pub storm: Option<StormSpec>,
     /// Give the initial tasks mixed niceness (cycling important / normal /
     /// background) instead of uniform `nice 0`.
     pub mixed_nice: bool,
@@ -548,6 +575,11 @@ impl Backend for ModelBackend {
     }
 
     fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        // Overflow storms probe ring-overflow handling; the model has no
+        // ring, so there is nothing for it to measure.
+        if spec.storm.is_some() {
+            return None;
+        }
         let topo = Arc::new(spec.topo.build());
         if topo.nr_cpus() != spec.loads.len() {
             return None;
@@ -656,6 +688,11 @@ impl Backend for SimBackend {
             Engine, HierarchicalScheduler, OptimisticScheduler, SimConfig, SimScheduler,
         };
 
+        // Like the model, the simulator has no fixed-capacity ring and
+        // cannot execute an overflow storm.
+        if spec.storm.is_some() {
+            return None;
+        }
         let topo = Arc::new(spec.topo.build());
         if topo.nr_cpus() != spec.loads.len() {
             return None;
@@ -763,6 +800,70 @@ fn run_rq_burst<B: sched_rq::RqBackend>(
     record
 }
 
+/// The overflow-storm driver (see [`StormSpec`]): per epoch, a fan-out
+/// burst lands on core 0, `rounds_per_epoch` genuinely concurrent rounds
+/// run against it with **no tick** in between, and the machine drains.
+/// After every round the settled state is sampled: a core still idle while
+/// an overloaded core holds waiting work is the violation this experiment
+/// exists to measure — on a conserving overflow discipline the burst is
+/// fully reachable, so the post-round idle count is ~0; on one that hides
+/// overflow the stranded cores persist for the rest of the epoch.
+fn run_rq_storm<B: sched_rq::RqBackend>(
+    backend: &'static str,
+    spec: &ExperimentSpec,
+    storm: StormSpec,
+    mq: MultiQueue<B>,
+    topo: &Arc<MachineTopology>,
+) -> ExperimentRecord {
+    let policy = spec.policy.build(topo);
+    let mut record = record_base(spec, backend);
+    record.rq_backend = Some(B::backend_name());
+    let nr_cores = spec.loads.len();
+    let mut exposure = sched_metrics::OverflowExposure::new(nr_cores);
+    let mut node_idle = vec![0.0f64; topo.nr_nodes()];
+    let mut now = 0u64;
+
+    let start = Instant::now();
+    for _ in 0..storm.epochs {
+        // The burst: far past the tiny flavours' ring capacity, so most of
+        // it lands wherever the backend parks overflow.
+        for _ in 0..storm.fanout {
+            mq.spawn_on(CoreId(0));
+        }
+        for _ in 0..storm.rounds_per_epoch {
+            let stats = mq.concurrent_round(&policy);
+            record.migrations += stats.migrations();
+            record.failures += stats.failures();
+            record.locality.merge(&StealLocality::from_counts(stats.level_migration_counts()));
+            // Sample the *settled* state: idle-after-a-full-round while
+            // work waits is exactly the conservation violation.
+            let snapshots = mq.snapshots();
+            let idle = snapshots.iter().filter(|s| s.nr_threads == 0).count();
+            let work_waiting = snapshots.iter().any(|s| s.nr_threads >= 2);
+            exposure.record_round(idle, work_waiting);
+            if work_waiting {
+                sample_node_idle(&mut node_idle, topo, |c| snapshots[c].nr_threads == 0);
+            }
+        }
+        // Epoch boundary: the tick fires (this is where the legacy spill
+        // finally re-exposes stranded work) and the machine drains for the
+        // next burst.
+        now += ROUND_NS;
+        mq.tick(now);
+        for core in 0..nr_cores {
+            while mq.core(CoreId(core)).complete_current().is_some() {}
+        }
+    }
+    let wall = start.elapsed();
+
+    record.wall_ms = wall.as_secs_f64() * 1e3;
+    record.throughput =
+        if wall.as_secs_f64() > 0.0 { record.migrations as f64 / wall.as_secs_f64() } else { 0.0 };
+    record.violating_idle = exposure.violating_fraction();
+    record.per_node_violating_idle = finish_node_idle(node_idle, exposure.sampled_rounds());
+    record
+}
+
 /// Runs one spec on a machine of `B`-discipline runqueues, labelling the
 /// record with `backend`.
 fn run_rq_spec<B: sched_rq::RqBackend>(
@@ -784,6 +885,9 @@ fn run_rq_spec<B: sched_rq::RqBackend>(
         }
     }
 
+    if let Some(storm) = spec.storm {
+        return Some(run_rq_storm(backend, spec, storm, mq, &topo));
+    }
     if let Some(burst) = spec.burst {
         return Some(run_rq_burst(backend, spec, burst, mq, &topo));
     }
@@ -852,6 +956,42 @@ impl Backend for RqDequeBackend {
     }
 }
 
+/// Overflow-storm flavour of the lock-free backend: tiny rings
+/// ([`sched_rq::TINY_RING_CAPACITY`]) with the shared-injector overflow
+/// discipline (record backend `"rq-deque-tiny"`).  Only executes specs
+/// carrying a [`StormSpec`] — on every other scenario its behaviour is the
+/// regular `rq-deque` machine with a smaller ring, which would only
+/// duplicate rows.
+pub struct RqTinyDequeBackend;
+
+/// The storm *baseline*: tiny rings with the legacy owner-private spill
+/// (record backend `"rq-deque-spill"`).  This is the work-conservation
+/// hole kept measurable; E22's headline is the gap between this row's
+/// idle-while-spilled and `rq-deque-tiny`'s ~0.
+pub struct RqSpillDequeBackend;
+
+impl Backend for RqTinyDequeBackend {
+    fn name(&self) -> &'static str {
+        "rq-deque-tiny"
+    }
+
+    fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        spec.storm?;
+        run_rq_spec::<sched_rq::TinyDequeRq>(self.name(), spec)
+    }
+}
+
+impl Backend for RqSpillDequeBackend {
+    fn name(&self) -> &'static str {
+        "rq-deque-spill"
+    }
+
+    fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        spec.storm?;
+        run_rq_spec::<sched_rq::TinySpillDequeRq>(self.name(), spec)
+    }
+}
+
 /// Executes specs across a set of backends.
 pub struct ExperimentRunner {
     backends: Vec<Box<dyn Backend>>,
@@ -863,15 +1003,19 @@ impl ExperimentRunner {
         ExperimentRunner { backends }
     }
 
-    /// A runner over every backend: model, sim, and the real-thread
-    /// machine under both runqueue disciplines (mutex `rq`, lock-free
-    /// `rq-deque`).
+    /// A runner over every backend: model, sim, the real-thread machine
+    /// under both runqueue disciplines (mutex `rq`, lock-free `rq-deque`),
+    /// and the storm-only tiny-ring flavours (`rq-deque-tiny`,
+    /// `rq-deque-spill`), which execute nothing except overflow-storm
+    /// specs — record counts for every other experiment are unchanged.
     pub fn with_all_backends() -> Self {
         ExperimentRunner::new(vec![
             Box::new(ModelBackend),
             Box::new(SimBackend),
             Box::new(RqBackend),
             Box::new(RqDequeBackend),
+            Box::new(RqTinyDequeBackend),
+            Box::new(RqSpillDequeBackend),
         ])
     }
 
@@ -911,6 +1055,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 256,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -922,6 +1067,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 128,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -933,6 +1079,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 64,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -944,6 +1091,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 64,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -955,6 +1103,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 64,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -966,6 +1115,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 128,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -977,6 +1127,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 128,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -988,6 +1139,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 1024,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1003,6 +1155,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: Some(WorkloadKind::Scientific),
             budget_rounds: 256,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1020,6 +1173,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: Some(WorkloadKind::Oltp),
             budget_rounds: 256,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1031,6 +1185,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 512,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1042,6 +1197,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 512,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1053,6 +1209,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 128,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1073,6 +1230,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 256,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1095,6 +1253,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 512,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1114,6 +1273,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 512,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         // E17 is a *comparison*: the same bursty on/off scenario once under
@@ -1132,6 +1292,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
                 epoch_ns: 1_000_000,
                 warmup_ns: 32 * PELT_HALF_LIFE_NS,
             }),
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1147,6 +1308,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
                 epoch_ns: 1_000_000,
                 warmup_ns: 32 * PELT_HALF_LIFE_NS,
             }),
+            storm: None,
             mixed_nice: false,
         },
         ExperimentSpec {
@@ -1158,6 +1320,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 512,
             burst: None,
+            storm: None,
             mixed_nice: true,
         },
         ExperimentSpec {
@@ -1169,6 +1332,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 512,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
         // E20: the steal-heavy fan-out — one producer core holds all the
@@ -1189,6 +1353,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 256,
             burst: None,
+            storm: None,
             mixed_nice: false,
         },
     ]
@@ -1216,9 +1381,37 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             workload: None,
             budget_rounds: 64,
             burst: Some(BurstSpec { epochs: 32, epoch_ns: 4_000_000, warmup_ns: 32 * 64_000_000 }),
+            storm: None,
             mixed_nice: false,
         }),
     )
+    .chain(std::iter::once(
+        // E22: the overflow storm — a fan-out burst three times the tiny
+        // flavours' ring capacity lands on one producer core, fifteen
+        // thieves balance against it with no tick in between.  Work
+        // conservation demands every overflowed task stay stealable: the
+        // injector-backed tiny flavour pins idle-while-spilled at ~0, the
+        // legacy private-spill flavour strands ~7 of 16 cores for the rest
+        // of each epoch, and the mutex/big-ring rows are the no-overflow
+        // controls.  One resident task keeps core 0 busy so every burst
+        // task has to queue.
+        ExperimentSpec {
+            id: ExperimentId::E22,
+            scenario: "overflow storm: fan-out bursts on tiny rings",
+            loads: {
+                let mut loads = vec![0usize; 16];
+                loads[0] = 1;
+                loads
+            },
+            topo: TopoSpec::Flat(16),
+            policy: PolicySpec::Listing1,
+            workload: None,
+            budget_rounds: 0,
+            burst: None,
+            storm: Some(StormSpec { epochs: 16, fanout: 24, rounds_per_epoch: 2 }),
+            mixed_nice: false,
+        },
+    ))
     .collect()
 }
 
@@ -1298,6 +1491,7 @@ mod tests {
             workload: None,
             budget_rounds: 64,
             burst: None,
+            storm: None,
             mixed_nice: false,
         }
     }
@@ -1335,7 +1529,7 @@ mod tests {
     #[test]
     fn catalog_covers_every_experiment() {
         let specs = catalog();
-        assert_eq!(specs.len(), 25);
+        assert_eq!(specs.len(), 26);
         let ids: std::collections::BTreeSet<String> =
             specs.iter().map(|s| format!("{:?}", s.id)).collect();
         assert_eq!(ids.len(), ExperimentId::all().len(), "every experiment id appears");

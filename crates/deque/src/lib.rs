@@ -39,6 +39,14 @@
 //! word-sized is what makes the slot reads atomic and the crate
 //! `forbid(unsafe_code)`-clean.
 //!
+//! Because the ring is fixed-capacity, overflow needs a second structure
+//! that **stays visible to thieves** — an owner-private spill list would
+//! recreate the idle-while-work-waits bug class the paper targets.  The
+//! [`Injector`] (see [`injector`]) is that structure: a shared MPMC segment
+//! queue any thief may claim from the moment a rejected element is pushed,
+//! with the same [`Steal`] vocabulary and the same deterministic probe
+//! hooks as the ring.
+//!
 //! # Why the stale slot read is safe
 //!
 //! A thief reads `slots[top & mask]` *before* CASing `top`.  The slot could
@@ -51,6 +59,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod injector;
+
+pub use injector::Injector;
 
 use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;

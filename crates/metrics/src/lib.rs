@@ -17,6 +17,9 @@
 //! * [`churn::MigrationChurn`] — migrations per epoch and churn ratios,
 //!   comparing how much balancing *work* two criteria spend to resolve the
 //!   same imbalance (experiment E17),
+//! * [`overflow::OverflowExposure`] — idle-while-spilled accounting: the
+//!   fraction of the machine stranded idle while a runqueue's overflow
+//!   handling hid runnable work (experiment E22),
 //! * [`summary::Summary`] — mean/percentile aggregation,
 //! * [`table::Table`] — fixed-width/markdown table rendering used by the
 //!   experiment harness to print the rows recorded in `EXPERIMENTS.md`.
@@ -27,6 +30,7 @@ pub mod histogram;
 pub mod idle;
 pub mod latency;
 pub mod locality;
+pub mod overflow;
 pub mod summary;
 pub mod table;
 pub mod throughput;
@@ -37,6 +41,7 @@ pub use histogram::Histogram;
 pub use idle::IdleAccounting;
 pub use latency::LatencyRecorder;
 pub use locality::StealLocality;
+pub use overflow::OverflowExposure;
 pub use summary::Summary;
 pub use table::Table;
 pub use throughput::ThroughputMeter;

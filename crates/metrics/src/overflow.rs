@@ -1,0 +1,101 @@
+//! Idle-while-spilled accounting: how much core time a runqueue's overflow
+//! handling strands.
+//!
+//! A work-conserving scheduler never leaves a core idle while runnable
+//! work waits — but "waits" must mean *reachable*: a backend that parks
+//! ring overflow where thieves cannot claim it satisfies every load
+//! observer and still violates the criterion in practice.  This module
+//! measures that violation directly, the way experiment E22 samples it:
+//! after each balancing round of an overflow storm, how many cores are
+//! still idle while an overloaded core holds waiting work?  On a backend
+//! whose overflow stays stealable the answer is ~0 (every idle core found
+//! *something* within its round); on one that hides overflow the stranded
+//! fraction persists round after round until the next tick-driven drain.
+
+/// Per-round exposure accumulator for one overflow-storm run.
+///
+/// Feed it one [`OverflowExposure::record_round`] per balancing round,
+/// sampled *after* the round's steals have settled; read the
+/// [`OverflowExposure::violating_fraction`] at the end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverflowExposure {
+    nr_cores: usize,
+    sampled_rounds: u64,
+    violating_core_rounds: f64,
+}
+
+impl OverflowExposure {
+    /// A fresh accumulator for a `nr_cores`-core machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nr_cores` is zero.
+    pub fn new(nr_cores: usize) -> Self {
+        assert!(nr_cores > 0, "a machine needs at least one core");
+        OverflowExposure { nr_cores, sampled_rounds: 0, violating_core_rounds: 0.0 }
+    }
+
+    /// Records one settled round: `idle_cores` cores had nothing to run
+    /// while `work_waiting` says whether any core still held waiting
+    /// (queued) work.  Idle cores with no work waiting anywhere are benign
+    /// idle, not a violation, and contribute nothing.
+    pub fn record_round(&mut self, idle_cores: usize, work_waiting: bool) {
+        assert!(idle_cores <= self.nr_cores, "more idle cores than cores");
+        self.sampled_rounds += 1;
+        if work_waiting {
+            self.violating_core_rounds += idle_cores as f64 / self.nr_cores as f64;
+        }
+    }
+
+    /// Rounds recorded so far.
+    pub fn sampled_rounds(&self) -> u64 {
+        self.sampled_rounds
+    }
+
+    /// Mean fraction of the machine left idle-while-work-waited per round
+    /// — the quantity a work-conserving overflow discipline drives to ~0.
+    pub fn violating_fraction(&self) -> f64 {
+        if self.sampled_rounds == 0 {
+            0.0
+        } else {
+            self.violating_core_rounds / self.sampled_rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_idle_contributes_nothing() {
+        let mut exp = OverflowExposure::new(8);
+        exp.record_round(8, false); // drained machine: all idle, no work
+        exp.record_round(0, true); // busy machine
+        assert_eq!(exp.sampled_rounds(), 2);
+        assert_eq!(exp.violating_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stranded_work_accumulates_per_round() {
+        let mut exp = OverflowExposure::new(16);
+        // The E22 spill shape: 7 of 16 cores idle against hidden work,
+        // two rounds per epoch.
+        exp.record_round(7, true);
+        exp.record_round(7, true);
+        assert!((exp.violating_fraction() - 7.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zero() {
+        let exp = OverflowExposure::new(4);
+        assert_eq!(exp.violating_fraction(), 0.0);
+        assert_eq!(exp.sampled_rounds(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_is_rejected() {
+        let _ = OverflowExposure::new(0);
+    }
+}

@@ -42,9 +42,47 @@
 //! serialises *co-located producers only*: thieves never acquire it, which
 //! is the whole point — the owner's enqueue/dequeue path no longer
 //! contends with concurrent stealers (E19/E20 measure exactly this).
-//! Overflowing the ring spills to an owner-side list that
-//! [`DequeRq::refresh`] drains back; spilled tasks are invisible to
-//! thieves until then but are never lost.
+//!
+//! ## Overflow & the shared injector
+//!
+//! The ring is fixed-capacity, so overflow needs a second home — and where
+//! that home is decides whether the backend stays **work-conserving**.
+//! The backend originally spilled overflow to an owner-private list that
+//! only [`DequeRq::refresh`] drained: those tasks were *counted* by every
+//! load observer ([`DequeRq::snapshot`], [`DequeRq::nr_threads_exact`],
+//! the balancer's imbalance arithmetic) yet *unstealable* until the next
+//! tick — idle cores starved against visibly waiting work, which is
+//! exactly the bug class the paper targets.  Worse, the half-visibility
+//! self-oscillates: balancing keeps selecting the victim whose load it can
+//! see, thieves keep coming back empty-handed, and the failure backoff
+//! punishes a victim that genuinely had work to give.
+//!
+//! Overflow now goes to a **shared MPMC injector**
+//! ([`sched_deque::Injector`], one per core): the owner overflows into it,
+//! and it is claimable by *anyone* from the instant the push returns.  The
+//! owner's [`DequeRq::pick_next`] checks ring first, injector second;
+//! thieves check the victim's injector whenever the ring CAS finds it
+//! empty — an injector loss ([`Steal::Retry`]) loops back through the
+//! filter exactly like a lost ring CAS.  Every counter (`queued`,
+//! `queued_weight`, the lightest-weight watermark, the tracked average)
+//! includes injector residents, so what balancing *sees* and what thieves
+//! *can take* are the same set again.  [`DequeRq::refresh`] performs **no
+//! correctness-critical drain**: conservation and convergence hold with
+//! no tick at all, because the injector is as stealable as the ring.
+//! What the tick still does is *age* overflow — it folds injector
+//! residents into the ring's free slots, bounding how long a task that
+//! overflowed can wait behind newer ring arrivals on a core whose ring
+//! never empties (owner and thieves otherwise consult the injector only
+//! on ring-empty).  The old spill needed its drain for reachability; the
+//! new one needs it only for fairness.
+//!
+//! The pre-injector discipline survives behind
+//! [`crate::OverflowPolicy::PrivateSpill`] purely as the measurable
+//! baseline: experiment E22 reproduces the idle-while-spilled gap against
+//! it, and the conservation tests document the hole instead of specifying
+//! it.  The running-task claim is untouched by all of this: `current` is
+//! still a single CAS-claimed word thieves never read, so "never steal the
+//! running thread" holds by construction under either overflow policy.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,11 +91,12 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sched_core::tracker::{LoadTracker, TrackedLoad};
 use sched_core::{CoreId, CoreSnapshot, FilterPolicy, Nice, StealOutcome, TaskId};
-use sched_deque::{deque, Steal, Stealer, Worker};
+use sched_deque::{deque, Injector, Steal, Stealer, Worker};
 use sched_topology::NodeId;
 
 use crate::backend::RqBackend;
 use crate::entity::RqTask;
+use crate::overflow::OverflowPolicy;
 use crate::steal::StealRecorder;
 
 /// Default ring capacity per core; large enough for every catalogued
@@ -90,13 +129,14 @@ fn weight_of(word: u64) -> u64 {
     Nice::new(word as u8 as i8).weight().raw()
 }
 
-/// The owner end of the deque plus the overflow spill, behind the
-/// producer-serialising mutex (never taken by thieves).
+/// The owner end of the deque, behind the producer-serialising mutex
+/// (never taken by thieves).
 #[derive(Debug)]
 struct OwnerSide {
     worker: Worker,
-    /// Tasks the ring had no room for; drained back by
-    /// [`DequeRq::refresh`], popped by the owner when the ring is empty.
+    /// Legacy owner-private overflow, used **only** under
+    /// [`OverflowPolicy::PrivateSpill`] (E22's measurable baseline for the
+    /// work-conservation hole); the injector discipline never touches it.
     spill: VecDeque<u64>,
 }
 
@@ -110,6 +150,14 @@ pub struct DequeRq {
     clock: Arc<AtomicU64>,
     owner: Mutex<OwnerSide>,
     stealer: Stealer,
+    /// Where ring overflow goes (see the module docs); fixed at
+    /// construction.
+    overflow: OverflowPolicy,
+    /// Shared MPMC home for ring overflow under
+    /// [`OverflowPolicy::SharedInjector`]: pushed by the owner when the
+    /// ring is full, claimed by the owner (ring first, injector second)
+    /// and by thieves (whenever the ring CAS finds the ring empty).
+    injector: Injector,
     /// Encoded running task, or [`EMPTY`].
     current: AtomicU64,
     /// Number of waiting tasks (ring + spill).
@@ -140,13 +188,28 @@ pub struct DequeRq {
 
 impl DequeRq {
     /// Creates an empty lock-free runqueue with a custom ring capacity
-    /// (rounded up to a power of two).
+    /// (rounded up to a power of two) and the work-conserving
+    /// shared-injector overflow discipline.
     pub fn with_queue_capacity(
         id: CoreId,
         node: NodeId,
         tracker: Arc<dyn LoadTracker>,
         clock: Arc<AtomicU64>,
         capacity: usize,
+    ) -> Self {
+        Self::with_overflow_policy(id, node, tracker, clock, capacity, OverflowPolicy::default())
+    }
+
+    /// Creates an empty lock-free runqueue with an explicit ring capacity
+    /// **and** overflow discipline.  [`OverflowPolicy::PrivateSpill`]
+    /// exists only as E22's baseline; use the default elsewhere.
+    pub fn with_overflow_policy(
+        id: CoreId,
+        node: NodeId,
+        tracker: Arc<dyn LoadTracker>,
+        clock: Arc<AtomicU64>,
+        capacity: usize,
+        overflow: OverflowPolicy,
     ) -> Self {
         let (worker, stealer) = deque(capacity);
         DequeRq {
@@ -156,6 +219,8 @@ impl DequeRq {
             clock,
             owner: Mutex::new(OwnerSide { worker, spill: VecDeque::new() }),
             stealer,
+            overflow,
+            injector: Injector::new(),
             current: AtomicU64::new(EMPTY),
             queued: AtomicU64::new(0),
             queued_weight: AtomicU64::new(0),
@@ -166,12 +231,44 @@ impl DequeRq {
         }
     }
 
-    /// Pops one waiting task at the owner end (ring first, then spill),
+    /// The overflow discipline this runqueue was built with.
+    pub fn overflow_policy(&self) -> OverflowPolicy {
+        self.overflow
+    }
+
+    /// Number of tasks currently parked in the shared injector (zero under
+    /// the legacy spill discipline).  Exact between operations; callers
+    /// that need "is any overflow pending" get a race-free answer the same
+    /// way thieves do — by trying to claim.
+    pub fn injected_len(&self) -> usize {
+        self.injector.len()
+    }
+
+    /// Pops one waiting task at the owner end (ring first, then overflow),
     /// keeping the counters in step.  Caller holds the owner mutex.
     fn pop_queued(&self, owner: &mut OwnerSide) -> Option<u64> {
-        let word = owner.worker.pop().or_else(|| owner.spill.pop_front())?;
+        let word = owner.worker.pop().or_else(|| self.pop_overflow(owner))?;
         self.retire_queued(word);
         Some(word)
+    }
+
+    /// Claims one task from wherever this queue parks overflow.  Under the
+    /// injector discipline the owner simply joins the thieves' claim race
+    /// (a lost race means someone else got that task — loop for the next);
+    /// under the legacy spill it pops the private list.  Caller holds the
+    /// owner mutex (which the injector does not require, but every caller
+    /// already does).
+    fn pop_overflow(&self, owner: &mut OwnerSide) -> Option<u64> {
+        match self.overflow {
+            OverflowPolicy::SharedInjector => loop {
+                match self.injector.steal() {
+                    Steal::Stolen(word) => return Some(word),
+                    Steal::Empty => return None,
+                    Steal::Retry => {}
+                }
+            },
+            OverflowPolicy::PrivateSpill => owner.spill.pop_front(),
+        }
     }
 
     /// Counter bookkeeping shared by every path that removes a waiting
@@ -202,14 +299,31 @@ impl DequeRq {
         }
     }
 
-    /// Pushes one task at the owner end (spilling on ring overflow),
-    /// keeping the counters in step.  Caller holds the owner mutex.
+    /// Pushes one task at the owner end (overflowing to the injector when
+    /// the ring is full), keeping the counters in step.  Caller holds the
+    /// owner mutex.
+    ///
+    /// The counters — including the lightest-weight watermark — move
+    /// *before* the ring/injector placement is decided, so an overflowed
+    /// task is counted and watermarked identically to a ring resident.
+    /// Under the injector discipline the counted set and the claimable
+    /// set therefore agree up to the instruction-scale window of a push
+    /// in flight: a thief probing between the counter bump and the
+    /// ring/injector placement can see the task counted but not yet
+    /// claimable, which costs that thief one failed round — the same
+    /// transient as a mid-migration task — and heals on its next attempt.
+    /// What the injector eliminates is the *persistent* divergence of the
+    /// legacy spill, where counted work stayed unclaimable until the next
+    /// tick (which is why that discipline is quarantined to E22).
     fn push_queued(&self, owner: &mut OwnerSide, word: u64) {
         self.queued.fetch_add(1, Ordering::AcqRel);
         self.queued_weight.fetch_add(weight_of(word), Ordering::AcqRel);
         self.lightest_mark.fetch_min(weight_of(word), Ordering::AcqRel);
         if let Err(sched_deque::Full(rejected)) = owner.worker.push(word) {
-            owner.spill.push_back(rejected);
+            match self.overflow {
+                OverflowPolicy::SharedInjector => self.injector.push(rejected),
+                OverflowPolicy::PrivateSpill => owner.spill.push_back(rejected),
+            }
         }
     }
 
@@ -262,10 +376,16 @@ impl DequeRq {
         self.queued_weight.load(Ordering::Acquire) + current_weight
     }
 
-    /// One CAS claim at the victim's top, with the filter re-checked
-    /// against live state **inside the loop**: every retry (a lost CAS)
-    /// re-evaluates the guard before the next attempt, so a steal never
-    /// commits on a condition older than its own claim race.
+    /// One claim at the victim — ring CAS first, injector second — with
+    /// the filter re-checked against live state **inside the loop**: every
+    /// retry (a lost CAS, or a lost injector race) re-evaluates the guard
+    /// before the next attempt, so a steal never commits on a condition
+    /// older than its own claim race.
+    ///
+    /// The injector check runs exactly when the ring CAS finds the ring
+    /// empty: a victim whose waiting work has overflowed is *still* a
+    /// victim, and the work-conservation argument needs thieves to reach
+    /// that work without waiting for any owner-side drain.
     ///
     /// The returned failure only reaches the balancer when nothing was
     /// claimed at all (a multi-task steal that stops early still reports
@@ -287,9 +407,26 @@ impl DequeRq {
                     self.fold_tracked();
                     return Ok(word);
                 }
-                Steal::Empty => {
-                    return Err(StealOutcome::NothingToSteal { victim: self.id });
-                }
+                Steal::Empty => match self.overflow {
+                    // Ring empty is not queue empty: overflow lives in the
+                    // shared injector, claimable right now.
+                    OverflowPolicy::SharedInjector => match self.injector.steal() {
+                        Steal::Stolen(word) => {
+                            self.retire_queued(word);
+                            self.fold_tracked();
+                            return Ok(word);
+                        }
+                        Steal::Empty => {
+                            return Err(StealOutcome::NothingToSteal { victim: self.id });
+                        }
+                        // A concurrent claim emptied the injector under
+                        // us: back through the filter, like a lost CAS.
+                        Steal::Retry => {}
+                    },
+                    OverflowPolicy::PrivateSpill => {
+                        return Err(StealOutcome::NothingToSteal { victim: self.id });
+                    }
+                },
                 // Lost the CAS to a concurrent claim: loop back through
                 // the filter — the double-check guard, now in the loop.
                 Steal::Retry => {}
@@ -388,23 +525,67 @@ impl RqBackend for DequeRq {
     fn nr_threads_exact(&self) -> u64 {
         // Exact when quiescent; under concurrency a task mid-migration
         // (claimed from this victim, not yet delivered to its thief) is
-        // momentarily attributed to neither side.
+        // momentarily attributed to neither side.  Injector residents are
+        // included — and, under the injector discipline, everything
+        // included is also stealable, so the count balancing acts on and
+        // the set thieves can claim from are the same.
         self.nr_threads()
     }
 
     fn refresh(&self) {
-        let mut owner = self.owner.lock();
-        // Drain the overflow spill back into the ring so thieves can see
-        // those tasks again.
-        while let Some(&front) = owner.spill.front() {
-            match owner.worker.push(front) {
-                Ok(()) => {
-                    owner.spill.pop_front();
+        match self.overflow {
+            OverflowPolicy::PrivateSpill => {
+                // The legacy discipline's correctness-critical drain:
+                // spilled tasks are unstealable until they re-enter the
+                // ring, so the tick is the only thing standing between an
+                // overflow and a starved idle core.  This — the bug E22
+                // measures — is the whole reason the spill path is
+                // quarantined.
+                let mut owner = self.owner.lock();
+                while let Some(&front) = owner.spill.front() {
+                    match owner.worker.push(front) {
+                        Ok(()) => {
+                            owner.spill.pop_front();
+                        }
+                        Err(_) => break,
+                    }
                 }
-                Err(_) => break,
+                drop(owner);
+            }
+            OverflowPolicy::SharedInjector => {
+                // The *fairness* drain — deliberately not correctness-
+                // critical: injector residents are stealable the whole
+                // time, and every conservation property holds with no
+                // tick at all (the storm tests converge without one).
+                // What the drain restores is the tick-scale *aging* bound
+                // the old spill had: owner and thieves otherwise reach
+                // the injector only when the ring is empty, so on a core
+                // whose ring never drains (steady arrivals, no admitted
+                // steals) an overflowed task's wait would be unbounded.
+                // Folding residents into the ring's free slots once per
+                // tick bounds that wait; the instruction-scale window in
+                // which a moving word is reachable by neither structure
+                // is the same transient as a push in flight.
+                let mut owner = self.owner.lock();
+                while owner.worker.len() < owner.worker.capacity() {
+                    match self.injector.steal() {
+                        Steal::Stolen(word) => {
+                            if let Err(sched_deque::Full(rejected)) = owner.worker.push(word) {
+                                // Unreachable while the owner mutex is
+                                // held (thieves only shrink the ring),
+                                // but if it ever fired the word must go
+                                // back where it is stealable.
+                                self.injector.push(rejected);
+                                break;
+                            }
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                }
+                drop(owner);
             }
         }
-        drop(owner);
         self.fold_tracked();
     }
 
@@ -577,7 +758,13 @@ mod tests {
     }
 
     #[test]
-    fn overflow_spills_and_refresh_drains_it_back() {
+    fn overflow_goes_to_the_injector_and_is_stealable_immediately() {
+        // The work-conservation contract for overflow: a task the ring had
+        // no room for is claimable by thieves from the instant the enqueue
+        // returns — no refresh, no owner assistance.  (The old contract,
+        // "the spill is invisible to thieves until a refresh", is the bug
+        // this backend used to have; `OverflowPolicy::PrivateSpill` keeps
+        // it reproducible as E22's baseline.)
         let clock = Arc::new(AtomicU64::new(0));
         let q = DequeRq::with_queue_capacity(
             CoreId(0),
@@ -586,13 +773,151 @@ mod tests {
             clock,
             4,
         );
-        // 1 running + 4 in the ring + 3 spilled.
+        // 1 running + 4 in the ring + 3 in the injector.
         for i in 0..8 {
             q.enqueue(RqTask::new(TaskId(i)));
         }
-        assert_eq!(q.nr_threads_exact(), 8, "spilled tasks are still counted");
-        // Thieves can only see the ring: with it full, 4 tasks are
-        // stealable; a fresh (idle) thief drains each one.
+        assert_eq!(q.nr_threads_exact(), 8, "overflowed tasks are still counted");
+        assert_eq!(q.injected_len(), 3, "the ring held 4; the rest overflowed");
+        // Every waiting task — ring or injector — is stealable right now.
+        let filter = sched_core::policy::DeltaFilter::new(sched_core::LoadMetric::NrThreads, 1);
+        let thieves: Vec<DequeRq> = (1..=7).map(rq).collect();
+        for thief in thieves.iter().take(7) {
+            assert!(
+                DequeRq::try_steal_recorded(thief, &q, &filter, 1, None).is_success(),
+                "no waiting task may hide from thieves, wherever it is parked"
+            );
+        }
+        assert_eq!(q.injected_len(), 0);
+        assert_eq!(q.nr_threads_exact(), 1, "only the (unstealable) running task remains");
+        let resident: u64 = thieves.iter().map(DequeRq::nr_threads_exact).sum();
+        assert_eq!(q.nr_threads_exact() + resident, 8, "nothing lost");
+    }
+
+    #[test]
+    fn the_owner_picks_injected_tasks_when_the_ring_drains() {
+        // Owner-side visibility of overflow: with no thief in sight, the
+        // owner alone must run every task — ring first (LIFO), then the
+        // injector — without any refresh.
+        let clock = Arc::new(AtomicU64::new(0));
+        let q = DequeRq::with_queue_capacity(
+            CoreId(0),
+            NodeId(0),
+            Arc::new(NrThreadsTracker),
+            clock,
+            4,
+        );
+        for i in 0..9 {
+            q.enqueue(RqTask::new(TaskId(i)));
+        }
+        let mut completed = Vec::new();
+        while let Some(task) = q.complete_current() {
+            completed.push(task.id.0);
+        }
+        completed.sort_unstable();
+        assert_eq!(completed, (0..9).collect::<Vec<_>>(), "every task ran exactly once");
+        assert!(q.snapshot().is_idle());
+        assert_eq!(q.injected_len(), 0);
+    }
+
+    #[test]
+    fn the_watermark_covers_injector_residents() {
+        // Satellite of the injector change: the lightest-weight watermark
+        // must describe the *stealable* set.  A light task that overflows
+        // into the injector is stealable, so it must bound the mark — and
+        // the bound must retire when the light task departs.
+        let clock = Arc::new(AtomicU64::new(0));
+        let victim = DequeRq::with_queue_capacity(
+            CoreId(0),
+            NodeId(0),
+            Arc::new(NrThreadsTracker),
+            clock,
+            4,
+        );
+        // 1 running + 4 heavy in the ring, then a light task that can only
+        // land in the injector.
+        for i in 0..5 {
+            victim.enqueue(RqTask::new(TaskId(i)));
+        }
+        victim.enqueue(RqTask::with_nice(TaskId(5), Nice::new(19)));
+        assert_eq!(victim.injected_len(), 1);
+        assert_eq!(
+            victim.snapshot().lightest_ready_weight,
+            Some(15),
+            "the injected light task bounds the watermark"
+        );
+        // Drain the ring (4 heavy steals, a fresh idle thief each): the
+        // light task is still there, so the mark must survive…
+        let filter = sched_core::policy::DeltaFilter::new(sched_core::LoadMetric::NrThreads, 1);
+        let thieves: Vec<DequeRq> = (1..=5).map(rq).collect();
+        for thief in thieves.iter().take(4) {
+            assert!(DequeRq::try_steal_recorded(thief, &victim, &filter, 1, None).is_success());
+        }
+        assert_eq!(victim.snapshot().lightest_ready_weight, Some(15));
+        // …and the fifth steal claims it from the injector, retiring the
+        // mark (queue empty -> unknown).
+        assert!(DequeRq::try_steal_recorded(&thieves[4], &victim, &filter, 1, None).is_success());
+        assert_eq!(victim.snapshot().lightest_ready_weight, None);
+        assert_eq!(victim.injected_len(), 0);
+    }
+
+    #[test]
+    fn the_tick_ages_injector_residents_into_the_ring() {
+        // The fairness half of the overflow contract: on a core whose
+        // ring never empties (steady arrivals, no admitted steals), an
+        // overflowed task must not wait unboundedly behind newer ring
+        // arrivals — each tick folds injector residents into the ring's
+        // free slots, so the wait is tick-bounded even though reachability
+        // never depended on it.
+        let clock = Arc::new(AtomicU64::new(0));
+        let q = DequeRq::with_queue_capacity(
+            CoreId(0),
+            NodeId(0),
+            Arc::new(NrThreadsTracker),
+            clock,
+            4,
+        );
+        for i in 0..8 {
+            q.enqueue(RqTask::new(TaskId(i)));
+        }
+        assert_eq!(q.injected_len(), 3);
+        // One completion per period: the ring never empties (the promote
+        // refills `current` from the ring, which stays at three or more),
+        // so without the tick's drain the injected three would sit
+        // forever behind newer ring arrivals.  Each tick must move one
+        // into the slot the completion freed.
+        for tick in 0u64..3 {
+            assert!(q.complete_current().is_some());
+            q.refresh();
+            assert_eq!(
+                q.injected_len() as u64,
+                2 - tick,
+                "each tick must age one resident into the ring"
+            );
+        }
+        assert_eq!(q.injected_len(), 0, "the overflow wait is tick-bounded");
+        assert_eq!(q.nr_threads_exact(), 5, "8 started, 3 completed; aging loses nothing");
+    }
+
+    #[test]
+    fn legacy_private_spill_reproduces_the_conservation_hole() {
+        // The old discipline, preserved as E22's measurable baseline: the
+        // spill is counted but unstealable until a refresh.  This test
+        // *documents the bug* — it is what the shared injector fixes.
+        let clock = Arc::new(AtomicU64::new(0));
+        let q = DequeRq::with_overflow_policy(
+            CoreId(0),
+            NodeId(0),
+            Arc::new(NrThreadsTracker),
+            clock,
+            4,
+            crate::OverflowPolicy::PrivateSpill,
+        );
+        for i in 0..8 {
+            q.enqueue(RqTask::new(TaskId(i)));
+        }
+        assert_eq!(q.nr_threads_exact(), 8, "the spill is visible to load observers…");
+        assert_eq!(q.injected_len(), 0, "nothing reaches the injector in spill mode");
         let filter = sched_core::policy::DeltaFilter::new(sched_core::LoadMetric::NrThreads, 1);
         let thieves: Vec<DequeRq> = (1..=6).map(rq).collect();
         for thief in thieves.iter().take(4) {
@@ -601,15 +926,69 @@ mod tests {
         assert_eq!(
             DequeRq::try_steal_recorded(&thieves[4], &q, &filter, 1, None),
             StealOutcome::NothingToSteal { victim: CoreId(0) },
-            "the spill is invisible to thieves until a refresh"
+            "…but unstealable: an idle core starves against visibly waiting work"
         );
         q.refresh();
         assert!(
             DequeRq::try_steal_recorded(&thieves[5], &q, &filter, 1, None).is_success(),
-            "refresh must drain the spill back into the ring"
+            "only the tick's drain re-exposes the stranded work"
         );
         let resident: u64 = thieves.iter().map(DequeRq::nr_threads_exact).sum();
-        assert_eq!(q.nr_threads_exact() + resident, 8, "nothing lost");
+        assert_eq!(q.nr_threads_exact() + resident, 8, "the hole delays work; it never loses it");
+    }
+
+    #[test]
+    #[ignore = "nightly-strength stress; run via `cargo test -- --ignored`"]
+    fn stress_injector_overflow_races_high_iteration() {
+        // Overflow storms under real contention: a tiny ring forces every
+        // burst through the injector while thieves and the owner race.
+        // Conservation must hold exactly, storm after storm.
+        let filter = DeltaFilter::listing1();
+        for round in 0..200 {
+            let clock = Arc::new(AtomicU64::new(0));
+            let victim = Arc::new(DequeRq::with_queue_capacity(
+                CoreId(0),
+                NodeId(0),
+                Arc::new(NrThreadsTracker),
+                clock,
+                4,
+            ));
+            let thieves: Vec<Arc<DequeRq>> = (1..=4).map(|i| Arc::new(rq(i))).collect();
+            for i in 0..64 {
+                victim.enqueue(RqTask::new(TaskId(i)));
+            }
+            let completed = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                {
+                    let victim = Arc::clone(&victim);
+                    let completed = &completed;
+                    scope.spawn(move || {
+                        for _ in 0..24 {
+                            if victim.complete_current().is_some() {
+                                completed.fetch_add(1, Ordering::AcqRel);
+                            }
+                            std::hint::spin_loop();
+                        }
+                    });
+                }
+                for thief in &thieves {
+                    let victim = Arc::clone(&victim);
+                    let thief = Arc::clone(thief);
+                    let filter = &filter;
+                    scope.spawn(move || {
+                        for _ in 0..8 {
+                            let _ = DequeRq::try_steal_recorded(&thief, &victim, filter, 1, None);
+                        }
+                    });
+                }
+            });
+            let resident: u64 = thieves.iter().map(|t| t.nr_threads_exact()).sum();
+            assert_eq!(
+                completed.load(Ordering::Acquire) + victim.nr_threads_exact() + resident,
+                64,
+                "round {round}: completions, residents and migrants must cover every task"
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   tasks in a Chase–Lev owner/stealer deque (`sched-deque`): the owner
 //!   pushes and pops at the bottom without contending with thieves, thieves
 //!   claim at the top with a CAS, and the double-check steal guard runs
-//!   inside the CAS loop ([`deque_rq`]),
+//!   inside the CAS loop ([`deque_rq`]); ring overflow goes to a shared
+//!   MPMC injector that thieves check when the ring is empty, so spilled
+//!   work is never invisible to idle cores ([`overflow`]),
 //! * a deliberately pessimistic variant that holds *every* runqueue lock
 //!   during selection is provided (mutex backend only) as the baseline for
 //!   the E11 overhead experiment — it is what the paper refuses to do
@@ -36,6 +38,7 @@ pub mod deque_rq;
 pub mod entity;
 pub mod fifo;
 pub mod multiqueue;
+pub mod overflow;
 pub mod percore;
 pub mod published;
 pub mod stats;
@@ -47,6 +50,7 @@ pub use deque_rq::DequeRq;
 pub use entity::RqTask;
 pub use fifo::FifoQueue;
 pub use multiqueue::MultiQueue;
+pub use overflow::{OverflowPolicy, TinyDequeRq, TinySpillDequeRq, TINY_RING_CAPACITY};
 pub use percore::PerCoreRq;
 pub use published::PublishedLoad;
 pub use stats::BalanceStats;
@@ -54,6 +58,11 @@ pub use vruntime::VruntimeQueue;
 
 /// A machine of lock-free (Chase–Lev) runqueues.
 pub type DequeMultiQueue = MultiQueue<DequeRq>;
+
+/// A machine of lock-free runqueues with deliberately tiny rings — every
+/// burst overflows into the shared injector (overflow-storm experiments
+/// and proptests).
+pub type TinyDequeMultiQueue = MultiQueue<TinyDequeRq>;
 
 /// Queue discipline used by a per-core runqueue.
 pub trait TaskQueue: Default + Send {

@@ -1,0 +1,238 @@
+//! Ring-overflow disciplines for the lock-free backend, and tiny-ring
+//! [`DequeRq`] flavours that make overflow easy to provoke.
+//!
+//! A Chase–Lev ring is fixed-capacity; what happens to the element a full
+//! ring rejects decides whether the backend stays **work-conserving**:
+//!
+//! * [`OverflowPolicy::SharedInjector`] (the default) routes overflow to a
+//!   shared MPMC [`sched_deque::Injector`] that thieves check whenever the
+//!   victim's ring CAS finds it empty — spilled work is stealable from the
+//!   instant the push returns, and `refresh()` has no correctness role.
+//! * [`OverflowPolicy::PrivateSpill`] reproduces the backend's original
+//!   (buggy) discipline: overflow goes to an owner-side list that only the
+//!   owner and `refresh()` can reach.  Load observers count the spilled
+//!   tasks, thieves cannot claim them — the exact "runnable work invisible
+//!   to idle cores" hole the paper's work-conservation criterion forbids.
+//!   It is kept *only* as the measurable baseline: experiment E22 pins the
+//!   idle-while-spilled gap between the two disciplines, and the
+//!   regression tests demonstrate the hole instead of specifying it.
+//!
+//! The [`TinyDequeRq`]/[`TinySpillDequeRq`] wrappers bind a deliberately
+//! tiny ring ([`TINY_RING_CAPACITY`]) to each discipline behind the plain
+//! [`RqBackend`] constructor, so the generic `MultiQueue` machinery, the
+//! experiment runner and the proptests can drive overflow storms without
+//! growing a capacity parameter through every layer.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use sched_core::tracker::LoadTracker;
+use sched_core::{CoreId, CoreSnapshot, FilterPolicy, StealOutcome, TaskId};
+use sched_topology::NodeId;
+
+use crate::backend::RqBackend;
+use crate::deque_rq::DequeRq;
+use crate::entity::RqTask;
+use crate::steal::StealRecorder;
+
+/// Where a [`DequeRq`] parks tasks its ring has no room for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Overflow goes to the core's shared MPMC injector, claimable by any
+    /// thief the moment the push returns (work-conserving; the default).
+    #[default]
+    SharedInjector,
+    /// Overflow goes to an owner-private list only `refresh()` drains —
+    /// the pre-injector discipline, preserved as E22's measurable baseline
+    /// for the work-conservation hole it opens.  Do not use in new code.
+    PrivateSpill,
+}
+
+/// Ring capacity of the tiny flavours: small enough that a single fan-out
+/// burst overflows it, large enough that the ring path still participates.
+pub const TINY_RING_CAPACITY: usize = 8;
+
+macro_rules! delegate_backend {
+    ($name:ident, $backend_name:literal, $policy:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug)]
+        pub struct $name(DequeRq);
+
+        impl $name {
+            /// The wrapped runqueue.
+            pub fn inner(&self) -> &DequeRq {
+                &self.0
+            }
+        }
+
+        impl RqBackend for $name {
+            fn with_tracker(
+                id: CoreId,
+                node: NodeId,
+                tracker: Arc<dyn LoadTracker>,
+                clock: Arc<AtomicU64>,
+            ) -> Self {
+                $name(DequeRq::with_overflow_policy(
+                    id,
+                    node,
+                    tracker,
+                    clock,
+                    TINY_RING_CAPACITY,
+                    $policy,
+                ))
+            }
+
+            fn backend_name() -> &'static str {
+                $backend_name
+            }
+
+            fn id(&self) -> CoreId {
+                self.0.id()
+            }
+
+            fn node(&self) -> NodeId {
+                self.0.node()
+            }
+
+            fn tracker(&self) -> &Arc<dyn LoadTracker> {
+                self.0.tracker()
+            }
+
+            fn snapshot(&self) -> CoreSnapshot {
+                self.0.snapshot()
+            }
+
+            fn enqueue(&self, task: RqTask) {
+                self.0.enqueue(task);
+            }
+
+            fn pick_next(&self) -> Option<TaskId> {
+                self.0.pick_next()
+            }
+
+            fn complete_current(&self) -> Option<RqTask> {
+                self.0.complete_current()
+            }
+
+            fn nr_threads_exact(&self) -> u64 {
+                self.0.nr_threads_exact()
+            }
+
+            fn refresh(&self) {
+                self.0.refresh();
+            }
+
+            fn try_steal_recorded(
+                thief: &Self,
+                victim: &Self,
+                filter: &dyn FilterPolicy,
+                max_tasks: usize,
+                recorder: Option<StealRecorder<'_>>,
+            ) -> StealOutcome {
+                DequeRq::try_steal_recorded(&thief.0, &victim.0, filter, max_tasks, recorder)
+            }
+        }
+    };
+}
+
+delegate_backend!(
+    TinyDequeRq,
+    "deque-tiny",
+    OverflowPolicy::SharedInjector,
+    "A [`DequeRq`] with a tiny ring and the shared-injector overflow \
+     discipline: every fan-out burst overflows, and every overflowed task \
+     stays stealable.  The overflow-storm experiment (E22) and the \
+     work-conservation proptests run on this flavour."
+);
+
+delegate_backend!(
+    TinySpillDequeRq,
+    "deque-spill",
+    OverflowPolicy::PrivateSpill,
+    "A [`DequeRq`] with a tiny ring and the legacy owner-private spill: \
+     overflowed tasks are counted but unstealable until a `refresh()`.  \
+     This is E22's baseline — the work-conservation hole, kept measurable."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::policy::DeltaFilter;
+    use sched_core::tracker::NrThreadsTracker;
+    use sched_core::{LoadMetric, Nice};
+
+    fn tiny<B: RqBackend>(id: usize) -> B {
+        B::with_tracker(
+            CoreId(id),
+            NodeId(0),
+            Arc::new(NrThreadsTracker),
+            Arc::new(AtomicU64::new(0)),
+        )
+    }
+
+    #[test]
+    fn tiny_flavours_report_their_disciplines() {
+        assert_eq!(TinyDequeRq::backend_name(), "deque-tiny");
+        assert_eq!(TinySpillDequeRq::backend_name(), "deque-spill");
+        let q: TinyDequeRq = tiny(3);
+        assert_eq!(q.id(), CoreId(3));
+        assert_eq!(q.node(), NodeId(0));
+        assert_eq!(q.tracker().name(), "nr_threads");
+    }
+
+    #[test]
+    fn the_two_disciplines_differ_exactly_on_overflow_visibility() {
+        // Same storm on both flavours: 1 running + TINY_RING_CAPACITY in
+        // the ring + 4 overflowed.  A wall of fresh thieves must drain
+        // *everything* from the injector flavour without any refresh; the
+        // spill flavour strands the overflow — the hole E22 measures.
+        let filter = DeltaFilter::new(LoadMetric::NrThreads, 1);
+        let storm = 1 + TINY_RING_CAPACITY + 4;
+
+        let victim: TinyDequeRq = tiny(0);
+        for i in 0..storm {
+            victim.enqueue(RqTask::new(TaskId(i as u64)));
+        }
+        let mut stolen = 0;
+        loop {
+            let thief: TinyDequeRq = tiny(1 + stolen);
+            if !TinyDequeRq::try_steal_recorded(&thief, &victim, &filter, 1, None).is_success() {
+                break;
+            }
+            stolen += 1;
+        }
+        assert_eq!(stolen, storm - 1, "all waiting tasks stealable, only the running one is not");
+
+        let victim: TinySpillDequeRq = tiny(0);
+        for i in 0..storm {
+            victim.enqueue(RqTask::new(TaskId(i as u64)));
+        }
+        let mut stolen = 0;
+        loop {
+            let thief: TinySpillDequeRq = tiny(1 + stolen);
+            if !TinySpillDequeRq::try_steal_recorded(&thief, &victim, &filter, 1, None).is_success()
+            {
+                break;
+            }
+            stolen += 1;
+        }
+        assert_eq!(stolen, TINY_RING_CAPACITY, "the legacy spill strands overflow until refresh");
+        assert_eq!(
+            victim.nr_threads_exact(),
+            1 + 4,
+            "the stranded tasks are still counted — the imbalance observers see them"
+        );
+    }
+
+    #[test]
+    fn tiny_flavour_round_trips_the_owner_api() {
+        let q: TinyDequeRq = tiny(0);
+        q.enqueue(RqTask::with_nice(TaskId(1), Nice::new(5)));
+        assert_eq!(q.pick_next(), None, "already running");
+        assert_eq!(q.snapshot().nr_threads, 1);
+        q.refresh();
+        let done = q.complete_current().expect("the task was running");
+        assert_eq!(done.id, TaskId(1));
+        assert!(q.snapshot().is_idle());
+    }
+}

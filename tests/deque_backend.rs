@@ -9,9 +9,26 @@
 //! ring overflow).
 
 use optimistic_sched::core::{CoreId, Policy};
-use optimistic_sched::rq::{DequeMultiQueue, MultiQueue, RqBackend as _};
+use optimistic_sched::rq::{
+    DequeMultiQueue, MultiQueue, RqBackend as _, TinyDequeMultiQueue, TinySpillDequeRq,
+    TINY_RING_CAPACITY,
+};
 use optimistic_sched::verify::lemmas;
 use proptest::prelude::*;
+
+/// The `delta >= 1` sweep policy of the e22 invariant: an idle core may
+/// take from any core with at least one more thread, which is the weakest
+/// filter that still refuses to create a new imbalance.
+fn sweep_policy() -> Policy {
+    use optimistic_sched::core::policy::{DeltaFilter, MaxLoadChoice, StealOne};
+    use optimistic_sched::core::LoadMetric;
+    Policy::new(
+        LoadMetric::NrThreads,
+        Box::new(DeltaFilter::new(LoadMetric::NrThreads, 1)),
+        Box::new(MaxLoadChoice::new(LoadMetric::NrThreads)),
+        Box::new(StealOne),
+    )
+}
 
 #[test]
 fn concurrent_rounds_never_lose_or_duplicate_tasks() {
@@ -119,6 +136,67 @@ fn cas_lemmas_hold_at_the_integration_level() {
     assert!(report.is_proved(), "{report}");
 }
 
+#[test]
+fn injector_lemmas_hold_at_the_integration_level() {
+    // The overflow half of the atomicity story: overflowed work is counted
+    // AND stealable, an injector retry implies a concurrent claim (forced
+    // interleavings via the probe hooks), and storms conserve every task.
+    let report = lemmas::check_injector_visibility(10, 4, 16);
+    assert!(report.is_proved(), "{report}");
+    let report = lemmas::check_injector_retry_implies_concurrent_claim(25);
+    assert!(report.is_proved(), "{report}");
+    let report = lemmas::check_injector_conservation_under_storm(5, 4, 256, 3);
+    assert!(report.is_proved(), "{report}");
+}
+
+#[test]
+fn overflow_storm_converges_without_any_tick_on_the_injector_backend() {
+    // The tentpole claim at the MultiQueue level: a fan-out burst far past
+    // the tiny ring's capacity must reach idle cores through balancing
+    // alone — `converge` never calls `refresh`, so nothing may depend on a
+    // tick-driven drain.  (On the legacy spill discipline this exact
+    // scenario stalls; see the companion test below.)
+    let mq: TinyDequeMultiQueue = MultiQueue::new(16);
+    for _ in 0..40 {
+        mq.spawn_on(CoreId(0));
+    }
+    assert!(
+        mq.core(CoreId(0)).inner().injected_len() > 0,
+        "the burst must actually overflow the tiny ring"
+    );
+    let policy = Policy::simple();
+    let (rounds, stats) = mq.converge(&policy, 64);
+    assert!(rounds.is_some(), "every task is reachable, so balancing must converge");
+    assert!(mq.is_work_conserving());
+    assert_eq!(mq.total_threads(), 40, "conservation across the overflow path");
+    assert!(stats.successes() >= 15, "all fifteen idle cores had to obtain work");
+}
+
+#[test]
+fn the_legacy_spill_discipline_stalls_the_same_storm() {
+    // The documented hole, demonstrated end to end: same burst, same
+    // budget, but overflow parked in the owner-private spill.  Thieves
+    // drain the ring and then starve against work that every load observer
+    // can see — the machine never becomes work-conserving without a tick.
+    let mq: MultiQueue<TinySpillDequeRq> = MultiQueue::new(16);
+    for _ in 0..40 {
+        mq.spawn_on(CoreId(0));
+    }
+    let policy = Policy::simple();
+    let (rounds, _stats) = mq.converge(&policy, 64);
+    assert!(rounds.is_none(), "hidden overflow must stall convergence — that is the bug");
+    assert!(!mq.is_work_conserving(), "idle cores starve against counted work");
+    assert_eq!(mq.total_threads(), 40, "the hole delays work; it never loses it");
+    // Only the visible ring's worth of waiting tasks could move: the
+    // running task plus one ring of stealable waiters left core 0's count
+    // at burst - ring everywhere the spill stayed hidden.
+    assert_eq!(
+        mq.core(CoreId(0)).nr_threads_exact(),
+        40 - TINY_RING_CAPACITY as u64,
+        "exactly one ring's worth was stealable"
+    );
+}
+
 proptest! {
     /// Any load vector on any machine size: the deque backend converges
     /// to work conservation and conserves every task while doing it.
@@ -133,6 +211,59 @@ proptest! {
         prop_assert!(rounds.is_some());
         prop_assert!(mq.is_work_conserving());
         prop_assert_eq!(mq.total_threads(), total as u64);
+    }
+
+    /// The e22 invariant, as a property: after **any** sequence of
+    /// enqueues (including ring-overflowing bursts), completions and
+    /// balance attempts on the tiny-ring injector backend, one
+    /// balance_once per idle core suffices to reach work conservation —
+    /// no core stays idle while any core (ring *or* injector) holds
+    /// waiting work.  The legacy spill discipline refutes exactly this:
+    /// a burst parked in the private spill leaves idle cores stranded
+    /// however many rounds they attempt.
+    #[test]
+    fn no_core_idles_while_the_injector_holds_work(
+        cores in 3usize..6,
+        ops in proptest::collection::vec((0u8..4, 0usize..6, 1usize..24), 1..40),
+    ) {
+        let mq: TinyDequeMultiQueue = MultiQueue::new(cores);
+        let policy = sweep_policy();
+        let mut spawned = 0u64;
+        let mut completed = 0u64;
+        for (kind, core, amount) in ops {
+            let core = CoreId(core % cores);
+            match kind {
+                // A fan-out burst: deliberately allowed to exceed the tiny
+                // ring so the overflow path is exercised constantly.
+                0 => {
+                    for _ in 0..amount {
+                        mq.spawn_on(core);
+                        spawned += 1;
+                    }
+                }
+                1 => {
+                    if mq.core(core).complete_current().is_some() {
+                        completed += 1;
+                    }
+                }
+                _ => {
+                    let _ = mq.balance_once(core, &policy);
+                }
+            }
+        }
+        // The sweep: each idle core performs one pick_next round's worth
+        // of balancing.  After it, work conservation must hold.
+        for core in 0..cores {
+            if mq.core(CoreId(core)).snapshot().is_idle() {
+                let _ = mq.balance_once(CoreId(core), &policy);
+            }
+        }
+        prop_assert_eq!(mq.total_threads(), spawned - completed);
+        prop_assert!(
+            mq.is_work_conserving(),
+            "a core idled while waiting work existed (injected: {:?})",
+            (0..cores).map(|c| mq.core(CoreId(c)).inner().injected_len()).collect::<Vec<_>>()
+        );
     }
 
     /// Single-element owner-vs-thief race at the MultiQueue level: a
@@ -162,6 +293,28 @@ proptest! {
         }
         // The waiter must survive exactly once, wherever the race landed it.
         prop_assert_eq!(mq.total_threads(), 1);
+    }
+}
+
+#[test]
+#[ignore = "nightly-strength stress; run via `cargo test -- --ignored`"]
+fn stress_overflow_storms_high_iteration() {
+    // Repeated fan-out storms against tiny rings with genuinely concurrent
+    // rounds: every burst overflows, and every storm must drain to work
+    // conservation with exact accounting — the e22 invariant under real
+    // thread contention instead of the deterministic sweep.
+    for round in 0..40 {
+        let cores = 8 + (round % 9);
+        let mq: TinyDequeMultiQueue = MultiQueue::new(cores);
+        let burst = 3 * cores;
+        for _ in 0..burst {
+            mq.spawn_on(CoreId(round % cores));
+        }
+        let policy = Policy::simple();
+        let (rounds, _stats) = mq.converge(&policy, 256);
+        assert!(rounds.is_some(), "round {round}: the storm must converge without any tick");
+        assert!(mq.is_work_conserving(), "round {round}");
+        assert_eq!(mq.total_threads(), burst as u64, "round {round}: conservation");
     }
 }
 

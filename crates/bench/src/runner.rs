@@ -233,6 +233,53 @@ pub struct StormSpec {
     pub rounds_per_epoch: usize,
 }
 
+/// Steal-batch sizing for the E23 sweep: how many threads one successful
+/// steal decision may claim in a single queue acquisition.  Maps onto
+/// [`sched_rq::StealBatch`]; only the runqueue backends execute batch
+/// specs — the model and simulator balance one abstract thread per steal
+/// by construction, so a batched row there would measure nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchK {
+    /// A fixed batch of `k` per acquisition; `Fixed(1)` is the Listing 1
+    /// `stealOneThread` baseline every other point is compared against.
+    Fixed(usize),
+    /// Half the observed thief/victim imbalance (at least one) — the
+    /// convergence-preserving transfer that leaves neither side more
+    /// loaded than the other was.
+    HalfImbalance,
+}
+
+impl BatchK {
+    /// The swept batch sizes, in sweep order.
+    pub const SWEEP: [BatchK; 5] = [
+        BatchK::Fixed(1),
+        BatchK::Fixed(2),
+        BatchK::Fixed(4),
+        BatchK::Fixed(8),
+        BatchK::HalfImbalance,
+    ];
+
+    /// Stable record label for the JSON rows (schema v5 `steal_batch_k`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchK::Fixed(1) => "1",
+            BatchK::Fixed(2) => "2",
+            BatchK::Fixed(4) => "4",
+            BatchK::Fixed(8) => "8",
+            BatchK::Fixed(_) => "fixed",
+            BatchK::HalfImbalance => "half",
+        }
+    }
+
+    /// The runqueue-layer transfer-sizing policy this sweep point selects.
+    fn steal_batch(self) -> sched_rq::StealBatch {
+        match self {
+            BatchK::Fixed(k) => sched_rq::StealBatch::Fixed(k),
+            BatchK::HalfImbalance => sched_rq::StealBatch::HalfImbalance,
+        }
+    }
+}
+
 /// One experiment, declared once, executable on every backend.
 #[derive(Debug, Clone)]
 pub struct ExperimentSpec {
@@ -258,6 +305,9 @@ pub struct ExperimentSpec {
     /// Give the initial tasks mixed niceness (cycling important / normal /
     /// background) instead of uniform `nice 0`.
     pub mixed_nice: bool,
+    /// Steal-batch sizing override for the E23 sweep, if any (runqueue
+    /// backends only; `None` keeps the one-thread-per-steal default).
+    pub batch: Option<BatchK>,
 }
 
 impl ExperimentSpec {
@@ -368,6 +418,14 @@ pub struct ExperimentRecord {
     /// becoming runnable and first running (schema v4).  Only the
     /// simulator backend carries a latency recorder; `None` elsewhere.
     pub p99_sched_latency_us: Option<f64>,
+    /// Batch-size label of the E23 sweep (`"1"`, `"2"`, `"4"`, `"8"`,
+    /// `"half"`; schema v5).  `None` on non-batch records.
+    pub steal_batch_k: Option<&'static str>,
+    /// Threads migrated per successful steal acquisition (schema v5).
+    /// `migrations / successes`: exactly 1.0 at `k = 1`, strictly above it
+    /// when batching amortises acquisitions.  Only batch-sweep records
+    /// measure it; `None` elsewhere.
+    pub tasks_per_acquisition: Option<f64>,
     /// Violating-idle fraction per NUMA node, in node order.
     pub per_node_violating_idle: Vec<f64>,
     /// Wall-clock cost of the run, in milliseconds.
@@ -424,6 +482,20 @@ impl ExperimentRecord {
                 },
             ),
             (
+                "steal_batch_k",
+                match self.steal_batch_k {
+                    Some(k) => JsonValue::Str(k.into()),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "tasks_per_acquisition",
+                match self.tasks_per_acquisition {
+                    Some(t) => JsonValue::Float(t),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
                 "per_node_violating_idle",
                 JsonValue::Array(
                     self.per_node_violating_idle.iter().map(|&v| JsonValue::Float(v)).collect(),
@@ -461,6 +533,8 @@ fn record_base(spec: &ExperimentSpec, backend: &'static str) -> ExperimentRecord
         locality: StealLocality::new(),
         rq_backend: None,
         p99_sched_latency_us: None,
+        steal_batch_k: spec.batch.map(BatchK::name),
+        tasks_per_acquisition: None,
         per_node_violating_idle: Vec::new(),
         wall_ms: 0.0,
     }
@@ -576,8 +650,10 @@ impl Backend for ModelBackend {
 
     fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
         // Overflow storms probe ring-overflow handling; the model has no
-        // ring, so there is nothing for it to measure.
-        if spec.storm.is_some() {
+        // ring, so there is nothing for it to measure.  Batch sweeps probe
+        // how many queue acquisitions a transfer costs; the model moves one
+        // abstract thread per steal with no queue to acquire.
+        if spec.storm.is_some() || spec.batch.is_some() {
             return None;
         }
         let topo = Arc::new(spec.topo.build());
@@ -689,8 +765,9 @@ impl Backend for SimBackend {
         };
 
         // Like the model, the simulator has no fixed-capacity ring and
-        // cannot execute an overflow storm.
-        if spec.storm.is_some() {
+        // cannot execute an overflow storm, and no per-steal queue
+        // acquisition for a batch sweep to amortise.
+        if spec.storm.is_some() || spec.batch.is_some() {
             return None;
         }
         let topo = Arc::new(spec.topo.build());
@@ -818,6 +895,8 @@ fn run_rq_storm<B: sched_rq::RqBackend>(
     let policy = spec.policy.build(topo);
     let mut record = record_base(spec, backend);
     record.rq_backend = Some(B::backend_name());
+    let batch = spec.batch.map(BatchK::steal_batch).unwrap_or_default();
+    let mut successes = 0u64;
     let nr_cores = spec.loads.len();
     let mut exposure = sched_metrics::OverflowExposure::new(nr_cores);
     let mut node_idle = vec![0.0f64; topo.nr_nodes()];
@@ -831,9 +910,10 @@ fn run_rq_storm<B: sched_rq::RqBackend>(
             mq.spawn_on(CoreId(0));
         }
         for _ in 0..storm.rounds_per_epoch {
-            let stats = mq.concurrent_round(&policy);
+            let stats = mq.concurrent_round_batched(&policy, batch);
             record.migrations += stats.migrations();
             record.failures += stats.failures();
+            successes += stats.successes();
             record.locality.merge(&StealLocality::from_counts(stats.level_migration_counts()));
             // Sample the *settled* state: idle-after-a-full-round while
             // work waits is exactly the conservation violation.
@@ -861,6 +941,10 @@ fn run_rq_storm<B: sched_rq::RqBackend>(
         if wall.as_secs_f64() > 0.0 { record.migrations as f64 / wall.as_secs_f64() } else { 0.0 };
     record.violating_idle = exposure.violating_fraction();
     record.per_node_violating_idle = finish_node_idle(node_idle, exposure.sampled_rounds());
+    if spec.batch.is_some() {
+        record.tasks_per_acquisition =
+            Some(if successes > 0 { record.migrations as f64 / successes as f64 } else { 0.0 });
+    }
     record
 }
 
@@ -894,6 +978,8 @@ fn run_rq_spec<B: sched_rq::RqBackend>(
 
     let mut record = record_base(spec, backend);
     record.rq_backend = Some(B::backend_name());
+    let batch = spec.batch.map(BatchK::steal_batch).unwrap_or_default();
+    let mut successes = 0u64;
     let nr_cores = spec.loads.len();
     let mut violating_core_rounds = 0.0f64;
     let mut node_idle = vec![0.0f64; topo.nr_nodes()];
@@ -919,10 +1005,11 @@ fn run_rq_spec<B: sched_rq::RqBackend>(
         let stats = if spec.policy.is_hierarchical() {
             mq.hierarchical_round(&policy)
         } else {
-            mq.concurrent_round(&policy)
+            mq.concurrent_round_batched(&policy, batch)
         };
         record.migrations += stats.migrations();
         record.failures += stats.failures();
+        successes += stats.successes();
         record.locality.merge(&StealLocality::from_counts(stats.level_migration_counts()));
     }
     let wall = start.elapsed();
@@ -933,6 +1020,10 @@ fn run_rq_spec<B: sched_rq::RqBackend>(
     record.violating_idle =
         if sampled_rounds == 0 { 0.0 } else { violating_core_rounds / sampled_rounds as f64 };
     record.per_node_violating_idle = finish_node_idle(node_idle, sampled_rounds);
+    if spec.batch.is_some() {
+        record.tasks_per_acquisition =
+            Some(if successes > 0 { record.migrations as f64 / successes as f64 } else { 0.0 });
+    }
     Some(record)
 }
 
@@ -1057,6 +1148,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E2,
@@ -1069,6 +1161,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E3,
@@ -1081,6 +1174,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E4,
@@ -1093,6 +1187,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E5,
@@ -1105,6 +1200,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E6,
@@ -1117,6 +1213,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E7,
@@ -1129,6 +1226,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E8,
@@ -1141,6 +1239,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E9,
@@ -1157,6 +1256,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E10,
@@ -1175,6 +1275,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E11,
@@ -1187,6 +1288,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E12,
@@ -1199,6 +1301,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E13,
@@ -1211,6 +1314,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E14,
@@ -1232,6 +1336,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E15,
@@ -1255,6 +1360,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E16,
@@ -1275,6 +1381,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         // E17 is a *comparison*: the same bursty on/off scenario once under
         // instantaneous thread counts and once under the PELT tracker, so
@@ -1294,6 +1401,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             }),
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E17,
@@ -1310,6 +1418,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             }),
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E18,
@@ -1322,6 +1431,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: true,
+            batch: None,
         },
         ExperimentSpec {
             id: ExperimentId::E19,
@@ -1334,6 +1444,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
         // E20: the steal-heavy fan-out — one producer core holds all the
         // work, fifteen thieves hammer it.  The shape maximises contention
@@ -1355,6 +1466,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         },
     ]
     .into_iter()
@@ -1383,6 +1495,7 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: Some(BurstSpec { epochs: 32, epoch_ns: 4_000_000, warmup_ns: 32 * 64_000_000 }),
             storm: None,
             mixed_nice: false,
+            batch: None,
         }),
     )
     .chain(std::iter::once(
@@ -1410,8 +1523,62 @@ pub fn catalog() -> Vec<ExperimentSpec> {
             burst: None,
             storm: Some(StormSpec { epochs: 16, fanout: 24, rounds_per_epoch: 2 }),
             mixed_nice: false,
+            batch: None,
         },
     ))
+    // E23: the steal-batch sweep — how many threads one queue acquisition
+    // should claim, k ∈ {1, 2, 4, 8, half-imbalance}, on the two shapes
+    // where acquisitions dominate: E20's steal-heavy fan-out (one producer,
+    // fifteen thieves hammering a single hot ring) and E22's overflow storm
+    // (most of the burst parked in the injector, where one lock round-trip
+    // can serve the whole decision).  `Fixed(1)` is the Listing 1 baseline;
+    // every other point must beat its tasks-per-acquisition.
+    .chain(BatchK::SWEEP.into_iter().map(|k| ExperimentSpec {
+        id: ExperimentId::E23,
+        scenario: match k {
+            BatchK::Fixed(1) => "batch sweep k=1: steal-heavy fan-out",
+            BatchK::Fixed(2) => "batch sweep k=2: steal-heavy fan-out",
+            BatchK::Fixed(4) => "batch sweep k=4: steal-heavy fan-out",
+            BatchK::Fixed(8) => "batch sweep k=8: steal-heavy fan-out",
+            _ => "batch sweep k=half: steal-heavy fan-out",
+        },
+        loads: {
+            let mut loads = vec![0usize; 16];
+            loads[0] = 64;
+            loads
+        },
+        topo: TopoSpec::Flat(16),
+        policy: PolicySpec::Listing1,
+        workload: None,
+        budget_rounds: 256,
+        burst: None,
+        storm: None,
+        mixed_nice: false,
+        batch: Some(k),
+    }))
+    .chain(BatchK::SWEEP.into_iter().map(|k| ExperimentSpec {
+        id: ExperimentId::E23,
+        scenario: match k {
+            BatchK::Fixed(1) => "batch sweep k=1: overflow storm",
+            BatchK::Fixed(2) => "batch sweep k=2: overflow storm",
+            BatchK::Fixed(4) => "batch sweep k=4: overflow storm",
+            BatchK::Fixed(8) => "batch sweep k=8: overflow storm",
+            _ => "batch sweep k=half: overflow storm",
+        },
+        loads: {
+            let mut loads = vec![0usize; 16];
+            loads[0] = 1;
+            loads
+        },
+        topo: TopoSpec::Flat(16),
+        policy: PolicySpec::Listing1,
+        workload: None,
+        budget_rounds: 0,
+        burst: None,
+        storm: Some(StormSpec { epochs: 16, fanout: 24, rounds_per_epoch: 2 }),
+        mixed_nice: false,
+        batch: Some(k),
+    }))
     .collect()
 }
 
@@ -1425,7 +1592,7 @@ pub fn records_to_json(records: &[ExperimentRecord]) -> String {
         ),
         ("harness", JsonValue::Str("sched-bench experiments --json".into())),
         // The version's meaning is documented on `sched_json::SCHEMA_VERSION`
-        // (v4: rq_backend + p99_sched_latency_us).
+        // (v5: steal_batch_k + tasks_per_acquisition).
         ("schema_version", JsonValue::Int(sched_json::SCHEMA_VERSION)),
         ("records", JsonValue::Array(records.iter().map(ExperimentRecord::to_json).collect())),
     ])
@@ -1493,6 +1660,7 @@ mod tests {
             burst: None,
             storm: None,
             mixed_nice: false,
+            batch: None,
         }
     }
 
@@ -1529,15 +1697,20 @@ mod tests {
     #[test]
     fn catalog_covers_every_experiment() {
         let specs = catalog();
-        assert_eq!(specs.len(), 26);
+        assert_eq!(specs.len(), 36);
         let ids: std::collections::BTreeSet<String> =
             specs.iter().map(|s| format!("{:?}", s.id)).collect();
         assert_eq!(ids.len(), ExperimentId::all().len(), "every experiment id appears");
-        // E17 is a deliberate comparison pair and E21 a four-point sweep;
-        // every other id appears exactly once, and every spec is
-        // disambiguated by scenario name.
+        // E17 is a deliberate comparison pair, E21 a four-point sweep and
+        // E23 a five-point batch sweep on two shapes; every other id
+        // appears exactly once, and every spec is disambiguated by
+        // scenario name.
         assert_eq!(specs.iter().filter(|s| s.id == ExperimentId::E17).count(), 2);
         assert_eq!(specs.iter().filter(|s| s.id == ExperimentId::E21).count(), 4);
+        assert_eq!(specs.iter().filter(|s| s.id == ExperimentId::E23).count(), 10);
+        for spec in specs.iter().filter(|s| s.id == ExperimentId::E23) {
+            assert!(spec.batch.is_some(), "{}: batch specs carry their k", spec.scenario);
+        }
         let keys: std::collections::BTreeSet<String> =
             specs.iter().map(|s| format!("{:?}|{}", s.id, s.scenario)).collect();
         assert_eq!(keys.len(), specs.len(), "scenario names keep gate keys unique");
@@ -1582,6 +1755,33 @@ mod tests {
     }
 
     #[test]
+    fn batch_specs_run_on_the_rq_backends_only_and_measure_tasks_per_acquisition() {
+        let mut spec = small_spec(PolicySpec::Listing1);
+        spec.id = ExperimentId::E23;
+        spec.loads = vec![16, 0, 0, 0];
+        spec.batch = Some(BatchK::Fixed(1));
+        let runner = ExperimentRunner::with_all_backends();
+        let records = runner.run(&spec);
+        let backends: Vec<&str> = records.iter().map(|r| r.backend).collect();
+        assert_eq!(backends, vec!["rq", "rq-deque"], "model/sim cannot execute a batch sweep");
+        for r in &records {
+            assert_eq!(r.steal_batch_k, Some("1"));
+            let tpa = r.tasks_per_acquisition.expect("batch records measure the amortisation");
+            assert!(
+                (tpa - 1.0).abs() < 1e-9,
+                "{}: k=1 moves exactly one task per successful acquisition, got {tpa}",
+                r.backend
+            );
+        }
+        // Non-batch records keep the schema-v5 fields null.
+        let plain = runner.run(&small_spec(PolicySpec::Listing1));
+        for r in &plain {
+            assert_eq!(r.steal_batch_k, None);
+            assert_eq!(r.tasks_per_acquisition, None);
+        }
+    }
+
+    #[test]
     fn dsl_policy_behaves_like_handwritten_listing1_on_the_model() {
         let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
         let handwritten = &runner.run(&small_spec(PolicySpec::Listing1))[0];
@@ -1610,6 +1810,8 @@ mod tests {
             "\"per_node_violating_idle\"",
             "\"rq_backend\"",
             "\"p99_sched_latency_us\"",
+            "\"steal_batch_k\"",
+            "\"tasks_per_acquisition\"",
             "\"records\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");

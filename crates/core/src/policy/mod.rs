@@ -78,6 +78,13 @@ pub trait ChoicePolicy: Send + Sync {
     /// Feedback from the stealing phase: the attempt `thief` made against
     /// `victim` either migrated threads (`success`) or failed its re-check.
     ///
+    /// `success` means **any nonzero claim**: a batched steal that asked
+    /// for `k` threads and got fewer — because the victim ran short or the
+    /// per-task re-check trimmed the batch — migrated real work and must
+    /// be reported `true`.  Treating a partial batch as a failure would
+    /// feed the backoff machinery exactly backwards, deprioritising the
+    /// victims that are actually yielding work.
+    ///
     /// Purely advisory — policies may use it to adapt future choices (e.g.
     /// [`TopologyAwareChoice`] backs off distance levels whose steals keep
     /// failing); the default implementation ignores it, and nothing in the

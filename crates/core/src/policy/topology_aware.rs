@@ -120,11 +120,29 @@ impl TopologyAwareChoice {
         self.failure_streak(level) >= BACKOFF_AFTER
     }
 
-    /// The best candidate of one level: most loaded, ties to the lowest id.
+    /// The best candidate of one level: deepest injector first, then most
+    /// loaded, ties to the lowest id.
+    ///
+    /// The injector key makes the choice **injector-aware**: a victim whose
+    /// waiting work sits in its shared overflow injector is the cheapest
+    /// steal there is — a thief claims a whole batch under one uncontended
+    /// lock round-trip — while a victim whose work sits in a hot ring makes
+    /// every thief race CASes against the owner and each other.  Preferring
+    /// depth over raw load routes thieves away from those CAS storms.  On
+    /// substrates without injectors every snapshot reports `injected == 0`,
+    /// and the ordering degenerates to the original most-loaded rule, so
+    /// the model and the mutex backends are unaffected.  Like every step-2
+    /// refinement, this is proof-preserving: the returned core is still a
+    /// member of the filtered candidate list.
     fn best_of<'c>(&self, group: &[&'c CoreSnapshot]) -> Option<&'c CoreSnapshot> {
         group
             .iter()
-            .max_by(|a, b| a.load(self.metric).cmp(&b.load(self.metric)).then(b.id.cmp(&a.id)))
+            .max_by(|a, b| {
+                a.injected
+                    .cmp(&b.injected)
+                    .then(a.load(self.metric).cmp(&b.load(self.metric)))
+                    .then(b.id.cmp(&a.id))
+            })
             .copied()
     }
 }
@@ -325,6 +343,37 @@ mod tests {
             let _ = choose_for(&choice, &system, 0);
         }
         assert_eq!(choose_for(&choice, &system, 0), CoreId(1));
+    }
+
+    #[test]
+    fn a_deep_injector_outranks_a_hot_ring_within_a_level() {
+        let topo = rich_topo();
+        let choice = TopologyAwareChoice::new(Arc::clone(&topo), LoadMetric::NrThreads);
+        let snap = |id: usize, nr_threads: u64, injected: u64| CoreSnapshot {
+            id: CoreId(id),
+            node: topo.cpus()[id].node,
+            nr_threads,
+            weighted_load: nr_threads * 1024,
+            lightest_ready_weight: (nr_threads > 1).then_some(1024),
+            tracked_scaled: 0,
+            injected,
+        };
+        let thief = snap(0, 0, 0);
+        // Same LLC, both overloaded: cpu3 is *less* loaded but its waiting
+        // work sits in its injector — one uncontended batched lock claim —
+        // while cpu2's work is all in a hot ring.  The choice must route
+        // the thief to the injector.
+        let candidates = [snap(2, 6, 0), snap(3, 5, 4)];
+        assert_eq!(choice.choose(&thief, &candidates), Some(CoreId(3)));
+        // With injectors equal (here: both empty), the original
+        // most-loaded rule decides — zero-injector substrates see no
+        // behaviour change from injector awareness.
+        let candidates = [snap(2, 6, 0), snap(3, 5, 0)];
+        assert_eq!(choice.choose(&thief, &candidates), Some(CoreId(2)));
+        // Distance still dominates: a remote deep injector does not beat a
+        // local victim that meets its level threshold.
+        let candidates = [snap(2, 6, 0), snap(8, 6, 8)];
+        assert_eq!(choice.choose(&thief, &candidates), Some(CoreId(2)));
     }
 
     #[test]

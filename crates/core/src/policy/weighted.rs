@@ -69,6 +69,7 @@ mod tests {
             weighted_load: weighted,
             lightest_ready_weight: lightest,
             tracked_scaled: 0,
+            injected: 0,
         }
     }
 

@@ -38,6 +38,17 @@ pub struct CoreSnapshot {
     /// The tracker-maintained load average observed, scaled by
     /// [`crate::tracker::TRACK_SCALE`] (see [`crate::tracker`]).
     pub tracked_scaled: u64,
+    /// Number of the observed threads parked in the core's shared overflow
+    /// injector (zero on substrates without one — the model, the simulator
+    /// and the mutex runqueues).
+    ///
+    /// Injector residents are already counted in `nr_threads` /
+    /// `weighted_load`; this field only exposes *where* they sit.  Deep
+    /// injectors are the cheapest steal source there is — a thief claims a
+    /// whole batch under one uncontended lock round-trip instead of racing
+    /// CASes on a hot ring — so injector-aware choice policies prefer such
+    /// victims at equal distance.
+    pub injected: u64,
 }
 
 impl CoreSnapshot {
@@ -50,6 +61,7 @@ impl CoreSnapshot {
             weighted_load: core.weighted_load(),
             lightest_ready_weight: core.lightest_ready_weight().map(|w| w.raw()),
             tracked_scaled: core.tracked.scaled,
+            injected: 0,
         }
     }
 

@@ -56,6 +56,37 @@
 //! `t` is already doomed to fail and the stale value is discarded.  A
 //! *successful* CAS from `t` therefore proves the value read at `t & mask`
 //! was the live element `t`.
+//!
+//! The same argument covers the **multi-slot** reads of
+//! [`Stealer::steal_many`]: a push overwriting any slot in `[t, t + n)`
+//! must write at an index `≥ t + capacity`, whose capacity check observed
+//! `top > t` — so the batch CAS from `t` is doomed and every value read is
+//! discarded together.
+//!
+//! # Why a batch claim needs a reservation
+//!
+//! Pushes are not the only hazard for a multi-claim.  The owner pops at the
+//! *bottom* and only ever touches `top` for the very last element; it can
+//! therefore drain any number of elements **inside** a thief's planned
+//! range `[t, t + n)` without the thief's CAS from `t` ever noticing — the
+//! CAS would succeed and the drained elements would be claimed twice.  (A
+//! single-element claim is immune: claiming only index `t` is validated by
+//! the owner's fence-ordered `top` read, which is exactly the Chase–Lev
+//! argument.)
+//!
+//! [`Stealer::steal_many`] closes that hole with a one-word **batch
+//! reservation** (`reserved`, the exclusive upper bound of the in-flight
+//! claim).  The thief publishes the reservation, then re-reads `bottom`
+//! and shrinks its range to what is still present; the owner's pop checks
+//! `reserved` *after* its SeqCst fence.  The fence algebra leaves only two
+//! outcomes for any concurrent pop of index `x`: either the pop observed
+//! the reservation (and backs off while it is in flight), or its lowered
+//! `bottom ≤ x` is guaranteed visible to the thief's post-reservation
+//! re-read, which shrinks the claim below `x`.  Either way no element is
+//! claimed by both parties.  Only one batch reservation is in flight at a
+//! time; a thief that loses the reservation race falls back to the plain
+//! single-element CAS, so it still makes progress and `Retry` keeps
+//! meaning "a concurrent claim advanced `top`" (P1).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,6 +98,10 @@ pub use injector::Injector;
 use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Sentinel for [`Inner::reserved`]: no batch claim is in flight (no index
+/// compares below it).
+const RESERVED_NONE: i64 = i64::MIN;
+
 /// Shared state of one deque.
 #[derive(Debug)]
 struct Inner {
@@ -75,6 +110,11 @@ struct Inner {
     top: AtomicI64,
     /// Index one past the newest element; written only by the owner.
     bottom: AtomicI64,
+    /// Exclusive upper bound of the in-flight batch claim
+    /// ([`Stealer::steal_many`]), or [`RESERVED_NONE`].  The owner's pop
+    /// backs off from elements below this bound; see the module docs
+    /// ("Why a batch claim needs a reservation").
+    reserved: AtomicI64,
     /// The ring of elements; `slots.len()` is a power of two.
     slots: Box<[AtomicU64]>,
     /// `slots.len() - 1`, for cheap index masking.
@@ -117,6 +157,39 @@ impl Steal {
     }
 }
 
+/// Outcome of one [`Stealer::steal_many`] attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StealMany {
+    /// The deque had no elements to steal (or `k` was zero — a zero-sized
+    /// batch is claim-free by definition).
+    Empty,
+    /// The claiming CAS failed: a concurrent claim advanced `top` in
+    /// between (P1, exactly as for [`Steal::Retry`]).  Nothing was claimed;
+    /// the values read are discarded together.
+    Retry,
+    /// Exactly this thief claimed these elements — oldest first — with a
+    /// single CAS on `top`.
+    Stolen(Vec<u64>),
+}
+
+impl StealMany {
+    /// Returns the stolen elements, if the attempt claimed any.
+    pub fn stolen(self) -> Option<Vec<u64>> {
+        match self {
+            StealMany::Stolen(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of elements claimed by this attempt.
+    pub fn count(&self) -> usize {
+        match self {
+            StealMany::Stolen(v) => v.len(),
+            _ => 0,
+        }
+    }
+}
+
 /// The owner-side handle: push and pop at the bottom of the deque.
 ///
 /// There is exactly one `Worker` per deque and its methods take `&mut
@@ -149,6 +222,7 @@ pub fn deque(min_capacity: usize) -> (Worker, Stealer) {
     let inner = Arc::new(Inner {
         top: AtomicI64::new(0),
         bottom: AtomicI64::new(0),
+        reserved: AtomicI64::new(RESERVED_NONE),
         slots,
         mask: (capacity - 1) as i64,
     });
@@ -186,27 +260,46 @@ impl Worker {
     /// See [`Stealer::steal_with_probe`]; this is the owner-side half of
     /// the deterministic race checks.
     pub fn pop_with_probe(&mut self, probe: impl FnOnce()) -> Option<u64> {
-        let inner = &self.inner;
-        let b = inner.bottom.load(Ordering::Relaxed) - 1;
-        inner.bottom.store(b, Ordering::Relaxed);
-        fence(Ordering::SeqCst);
-        let t = inner.top.load(Ordering::Relaxed);
-        if t > b {
-            // Empty: restore bottom.
-            inner.bottom.store(b + 1, Ordering::Relaxed);
-            return None;
+        let mut probe = Some(probe);
+        loop {
+            let inner = &self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed) - 1;
+            inner.bottom.store(b, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let t = inner.top.load(Ordering::Relaxed);
+            if t > b {
+                // Empty: restore bottom.
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                return None;
+            }
+            if t < b && inner.reserved.load(Ordering::SeqCst) > b {
+                // A batch claim has reserved this element (see the module
+                // docs).  The reservation holder never waits on the owner,
+                // so it clears in a bounded number of its own steps; back
+                // off and retry against the post-batch state.  The last
+                // element (`t == b`) needs no back-off: there the owner
+                // joins the CAS race on `top`, which arbitrates against
+                // the batch CAS directly.
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                std::hint::spin_loop();
+                continue;
+            }
+            let value = inner.slots[(b & inner.mask) as usize].load(Ordering::Relaxed);
+            if t == b {
+                if let Some(probe) = probe.take() {
+                    probe();
+                }
+                // Last element: join the thieves' CAS race on `top`.  Winning
+                // claims the element; losing means a thief claimed it first.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then_some(value);
+            }
+            return Some(value);
         }
-        let value = inner.slots[(b & inner.mask) as usize].load(Ordering::Relaxed);
-        if t == b {
-            probe();
-            // Last element: join the thieves' CAS race on `top`.  Winning
-            // claims the element; losing means a thief claimed it first.
-            let won =
-                inner.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok();
-            inner.bottom.store(b + 1, Ordering::Relaxed);
-            return won.then_some(value);
-        }
-        Some(value)
     }
 
     /// Number of elements currently in the deque (exact when quiescent,
@@ -264,6 +357,83 @@ impl Stealer {
             return Steal::Retry;
         }
         Steal::Stolen(value)
+    }
+
+    /// Attempts to claim up to `k` of the oldest elements with a **single**
+    /// CAS on `top` — one acquisition amortized over the whole batch,
+    /// instead of one CAS race per element.
+    ///
+    /// The claim is protected against concurrent owner pops by the batch
+    /// reservation described in the module docs; the per-slot reads happen
+    /// before the CAS and are covered by the same overwrite-safety argument
+    /// as the single-element steal.  `k == 0` returns
+    /// [`StealMany::Empty`] without touching the deque, and a contended
+    /// reservation falls back to the single-element path (claiming at most
+    /// one), so [`StealMany::Retry`] still means a concurrent claim
+    /// advanced `top`.
+    pub fn steal_many(&self, k: usize) -> StealMany {
+        self.steal_many_with_probe(k, || {})
+    }
+
+    /// [`Stealer::steal_many`] with a verification probe injected between
+    /// the batched slot reads and the claiming CAS — the multi-claim
+    /// window `sched-verify`'s batch lemmas force interleavings into.
+    pub fn steal_many_with_probe(&self, k: usize, probe: impl FnOnce()) -> StealMany {
+        // A zero-sized batch claims nothing and must not touch the deque.
+        if k == 0 {
+            return StealMany::Empty;
+        }
+        let single = |outcome: Steal| match outcome {
+            Steal::Empty => StealMany::Empty,
+            Steal::Retry => StealMany::Retry,
+            Steal::Stolen(v) => StealMany::Stolen(vec![v]),
+        };
+        if k == 1 {
+            // A batch of one is the plain CAS; no reservation needed.
+            return single(self.steal_with_probe(probe));
+        }
+        let inner = &self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return StealMany::Empty;
+        }
+        let mut n = (b - t).min(i64::try_from(k).unwrap_or(i64::MAX));
+        // Publish the reservation.  At most one batch claim is in flight
+        // per deque; a loser falls back to the single-element path so the
+        // attempt still makes progress without waiting.
+        if inner
+            .reserved
+            .compare_exchange(RESERVED_NONE, t + n, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return single(self.steal_with_probe(probe));
+        }
+        // Re-read `bottom` under the reservation and shrink the claim to
+        // what is still present: any owner pop that did not observe the
+        // reservation is fence-ordered to have its lowered `bottom` visible
+        // here, so the shrunk range excludes every element the owner took.
+        fence(Ordering::SeqCst);
+        let b2 = inner.bottom.load(Ordering::Acquire);
+        if b2 <= t {
+            inner.reserved.store(RESERVED_NONE, Ordering::SeqCst);
+            return StealMany::Empty;
+        }
+        n = n.min(b2 - t);
+        let mut values = Vec::with_capacity(usize::try_from(n).expect("positive batch"));
+        for i in 0..n {
+            values.push(inner.slots[((t + i) & inner.mask) as usize].load(Ordering::Relaxed));
+        }
+        probe();
+        let claimed =
+            inner.top.compare_exchange(t, t + n, Ordering::SeqCst, Ordering::Relaxed).is_ok();
+        inner.reserved.store(RESERVED_NONE, Ordering::SeqCst);
+        if claimed {
+            StealMany::Stolen(values)
+        } else {
+            StealMany::Retry
+        }
     }
 
     /// Number of elements currently in the deque (a racy snapshot).
@@ -338,5 +508,128 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_capacity_is_rejected() {
         let _ = deque(0);
+    }
+
+    #[test]
+    fn steal_many_claims_the_oldest_elements_in_order() {
+        let (mut w, s) = deque(8);
+        for v in 0..6 {
+            w.push(v).unwrap();
+        }
+        assert_eq!(s.steal_many(3), StealMany::Stolen(vec![0, 1, 2]));
+        // The remainder is untouched: owner still pops LIFO, thief FIFO.
+        assert_eq!(w.pop(), Some(5));
+        assert_eq!(s.steal(), Steal::Stolen(3));
+        assert_eq!(s.steal_many(8), StealMany::Stolen(vec![4]));
+        assert_eq!(s.steal_many(2), StealMany::Empty);
+    }
+
+    #[test]
+    fn steal_many_k_larger_than_len_claims_everything_present() {
+        let (mut w, s) = deque(4);
+        for v in 10..13 {
+            w.push(v).unwrap();
+        }
+        assert_eq!(s.steal_many(64), StealMany::Stolen(vec![10, 11, 12]));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn steal_many_zero_is_claim_free() {
+        let (mut w, s) = deque(2);
+        w.push(5).unwrap();
+        assert_eq!(s.steal_many(0), StealMany::Empty);
+        assert_eq!(w.len(), 1, "a zero-sized batch must not claim");
+        assert_eq!(s.steal_many(0), StealMany::Empty);
+        assert_eq!(s.steal(), Steal::Stolen(5));
+    }
+
+    #[test]
+    fn steal_many_on_an_empty_deque_is_empty() {
+        let (_w, s) = deque(4);
+        assert_eq!(s.steal_many(4), StealMany::Empty);
+    }
+
+    #[test]
+    fn steal_many_at_the_overflow_boundary_frees_the_whole_batch() {
+        // Fill the ring to capacity, batch-claim, and verify the freed
+        // slots are immediately reusable — the wraparound indices the
+        // multi-slot overwrite argument is about.
+        let (mut w, s) = deque(4);
+        for v in 0..4 {
+            w.push(v).unwrap();
+        }
+        assert_eq!(w.push(99), Err(Full(99)));
+        assert_eq!(s.steal_many(3), StealMany::Stolen(vec![0, 1, 2]));
+        for v in 4..7 {
+            w.push(v).unwrap();
+        }
+        assert_eq!(w.push(99), Err(Full(99)), "capacity is honoured after the batch");
+        assert_eq!(s.steal_many(8), StealMany::Stolen(vec![3, 4, 5, 6]));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn steal_many_wraparound_stays_exact() {
+        let (mut w, s) = deque(4);
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for round in 0..32u64 {
+            w.push(2 * round).unwrap();
+            w.push(2 * round + 1).unwrap();
+            expected.extend([2 * round, 2 * round + 1]);
+            got.extend(s.steal_many(2).stolen().unwrap());
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn probed_rival_claim_dooms_the_batch_cas() {
+        let (mut w, s) = deque(8);
+        for v in 0..4 {
+            w.push(v).unwrap();
+        }
+        let rival = s.clone();
+        let mut rival_got = None;
+        let outcome = s.steal_many_with_probe(3, || {
+            rival_got = rival.steal().stolen();
+        });
+        assert_eq!(rival_got, Some(0), "the rival claims inside the window");
+        assert_eq!(outcome, StealMany::Retry, "the doomed batch CAS must fail");
+        // Nothing was lost or duplicated: the remainder drains exactly once.
+        assert_eq!(s.steal_many(8), StealMany::Stolen(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn owner_pop_above_the_reservation_proceeds_during_a_batch() {
+        let (mut w, s) = deque(8);
+        for v in 0..4 {
+            w.push(v).unwrap();
+        }
+        let worker = std::cell::RefCell::new(w);
+        // The batch reserves [0, 2); the owner's pop of index 3 is outside
+        // the reservation and must not block or conflict.
+        let outcome = s.steal_many_with_probe(2, || {
+            assert_eq!(worker.borrow_mut().pop(), Some(3));
+        });
+        assert_eq!(outcome, StealMany::Stolen(vec![0, 1]));
+        assert_eq!(worker.borrow_mut().pop(), Some(2));
+        assert_eq!(worker.borrow_mut().pop(), None);
+    }
+
+    #[test]
+    fn owner_pop_inside_its_probe_sees_the_lowered_bottom() {
+        // The owner lowers `bottom` over the last element; a batch arriving
+        // in the owner's CAS window observes the lowered bottom and backs
+        // off empty — the single-element race keeps exactly one winner.
+        let (mut w, s) = deque(2);
+        w.push(9).unwrap();
+        let thief = s.clone();
+        let mut thief_saw = None;
+        let got = w.pop_with_probe(|| {
+            thief_saw = Some(thief.steal_many(4));
+        });
+        assert_eq!(got, Some(9));
+        assert_eq!(thief_saw, Some(StealMany::Empty));
     }
 }

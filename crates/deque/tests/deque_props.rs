@@ -4,7 +4,7 @@
 //! overflow reporting on the bounded ring).
 
 use proptest::prelude::*;
-use sched_deque::{deque, Full, Steal};
+use sched_deque::{deque, Full, Steal, StealMany};
 
 proptest! {
     #[test]
@@ -77,6 +77,86 @@ proptest! {
         claimed.sort_unstable();
         claimed.dedup();
         prop_assert_eq!(claimed.len() as u64, items);
+    }
+
+    #[test]
+    fn steal_many_claims_min_k_len_oldest_first(
+        items in 0u64..=48,
+        k in 0usize..=64,
+    ) {
+        let (mut w, s) = deque(64);
+        for v in 0..items {
+            w.push(v).unwrap();
+        }
+        match s.steal_many(k) {
+            StealMany::Stolen(batch) => {
+                let expect = (items as usize).min(k);
+                prop_assert_eq!(batch.clone(), (0..expect as u64).collect::<Vec<_>>());
+            }
+            StealMany::Empty => {
+                prop_assert!(k == 0 || items == 0, "a nonzero claim was available");
+                // Empty must be claim-free.
+                prop_assert_eq!(w.len() as u64, items);
+            }
+            StealMany::Retry => prop_assert!(false, "no concurrency, no Retry"),
+        }
+    }
+
+    #[test]
+    fn steal_many_partitions_against_owner_pops_sequentially(
+        items in 1u64..=64,
+        k in 1usize..=16,
+        owner_pops in 0usize..=64,
+    ) {
+        // Alternate batch claims and owner pops in one thread: the claims
+        // must partition the pushed set regardless of interleaving order.
+        let (mut w, s) = deque(64);
+        for v in 0..items {
+            w.push(v).unwrap();
+        }
+        let mut claimed = Vec::new();
+        let mut pops_left = owner_pops;
+        loop {
+            match s.steal_many(k) {
+                StealMany::Stolen(batch) => claimed.extend(batch),
+                StealMany::Empty => break,
+                StealMany::Retry => {}
+            }
+            if pops_left > 0 {
+                if let Some(v) = w.pop() {
+                    claimed.push(v);
+                }
+                pops_left -= 1;
+            }
+        }
+        while let Some(v) = w.pop() {
+            claimed.push(v);
+        }
+        claimed.sort_unstable();
+        prop_assert_eq!(claimed, (0..items).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steal_many_at_the_overflow_boundary_conserves_capacity(
+        min_cap in 1usize..=32,
+        k in 1usize..=40,
+    ) {
+        // Fill to capacity (ring full), batch-claim, refill: the number of
+        // accepted pushes equals the number of claimed slots, exactly.
+        let (mut w, s) = deque(min_cap);
+        let cap = w.capacity() as u64;
+        for v in 0..cap {
+            prop_assert_eq!(w.push(v), Ok(()));
+        }
+        prop_assert_eq!(w.push(777), Err(Full(777)));
+        let batch = s.steal_many(k).stolen().unwrap_or_default();
+        let freed = batch.len() as u64;
+        prop_assert_eq!(batch, (0..freed).collect::<Vec<_>>());
+        for v in 0..freed {
+            prop_assert_eq!(w.push(cap + v), Ok(()));
+        }
+        // The freed slot count is exact.
+        prop_assert_eq!(w.push(888), Err(Full(888)));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use sched_deque::{deque, Steal};
+use sched_deque::{deque, Steal, StealMany};
 
 /// Runs one owner-pop vs. `thieves`-way steal race over `items` elements
 /// and returns (owner claims, per-thief claims, per-thief retry counts).
@@ -222,6 +222,127 @@ fn concurrent_pushes_and_steals_conserve_elements() {
         produced,
         "production and claims must balance exactly"
     );
+}
+
+/// Runs one owner-pop vs. multi-thief **batch** race: each thief claims
+/// with `steal_many(k)` (k varied per thief) while the owner drains from
+/// the bottom; returns (owner claims, per-thief claims).
+fn batch_race_once(items: u64, thieves: usize, k: usize) -> (Vec<u64>, Vec<Vec<u64>>) {
+    let (mut worker, stealer) = deque(items.max(1) as usize);
+    for v in 0..items {
+        worker.push(v).unwrap();
+    }
+    let start = AtomicBool::new(false);
+    let mut owner_claims = Vec::new();
+    let mut thief_claims: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..thieves)
+            .map(|i| {
+                let stealer = stealer.clone();
+                let start = &start;
+                // Mix batch sizes so reservation winners and single-path
+                // fallback losers race each other every round.
+                let k = 1 + (k + i) % 8;
+                scope.spawn(move || {
+                    while !start.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    let mut claimed = Vec::new();
+                    loop {
+                        match stealer.steal_many(k) {
+                            StealMany::Stolen(batch) => claimed.extend(batch),
+                            StealMany::Retry => {}
+                            StealMany::Empty => break,
+                        }
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        start.store(true, Ordering::Release);
+        while let Some(v) = worker.pop() {
+            owner_claims.push(v);
+        }
+        for handle in handles {
+            thief_claims.push(handle.join().unwrap());
+        }
+    });
+    (owner_claims, thief_claims)
+}
+
+#[test]
+fn batched_steals_race_owner_pops_without_loss_or_duplication() {
+    for round in 0..50 {
+        let items = 256;
+        let (owner, thieves) = batch_race_once(items, 4, round % 8);
+        assert_exclusive(items, &owner, &thieves);
+    }
+}
+
+#[test]
+fn batched_steals_race_owner_pushes_and_pops_conserving_elements() {
+    // The owner keeps producing (and helps drain on overflow) while batch
+    // thieves claim multi-element ranges: production and claims balance.
+    let (mut worker, stealer) = deque(32);
+    let produced = 4_096u64;
+    let stop = AtomicBool::new(false);
+    let mut owner_claims: Vec<u64> = Vec::new();
+    let mut thief_claims: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let stealer = stealer.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut claimed = Vec::new();
+                    loop {
+                        match stealer.steal_many(2 + i * 3) {
+                            StealMany::Stolen(batch) => claimed.extend(batch),
+                            StealMany::Retry => {}
+                            StealMany::Empty => {
+                                if stop.load(Ordering::Acquire) && stealer.is_empty() {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        let mut next = 0u64;
+        while next < produced {
+            match worker.push(next) {
+                Ok(()) => next += 1,
+                Err(_) => {
+                    if let Some(v) = worker.pop() {
+                        owner_claims.push(v);
+                    }
+                }
+            }
+        }
+        stop.store(true, Ordering::Release);
+        for handle in handles {
+            thief_claims.extend(handle.join().unwrap());
+        }
+    });
+    let mut all = owner_claims;
+    all.extend(thief_claims);
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len() as u64, produced, "no element lost or claimed twice");
+}
+
+#[test]
+#[ignore = "nightly-strength stress; run via `cargo test -- --ignored`"]
+fn stress_batched_steal_races_high_iteration() {
+    for round in 0..400 {
+        let items = 1_024;
+        let thieves = 2 + (round % 7);
+        let (owner, thief_claims) = batch_race_once(items, thieves, round);
+        assert_exclusive(items, &owner, &thief_claims);
+    }
 }
 
 #[test]

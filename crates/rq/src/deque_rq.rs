@@ -91,7 +91,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sched_core::tracker::{LoadTracker, TrackedLoad};
 use sched_core::{CoreId, CoreSnapshot, FilterPolicy, Nice, StealOutcome, TaskId};
-use sched_deque::{deque, Injector, Steal, Stealer, Worker};
+use sched_deque::{deque, Injector, Steal, StealMany, Stealer, Worker};
 use sched_topology::NodeId;
 
 use crate::backend::RqBackend;
@@ -376,62 +376,81 @@ impl DequeRq {
         self.queued_weight.load(Ordering::Acquire) + current_weight
     }
 
-    /// One claim at the victim — ring CAS first, injector second — with
-    /// the filter re-checked against live state **inside the loop**: every
-    /// retry (a lost CAS, or a lost injector race) re-evaluates the guard
-    /// before the next attempt, so a steal never commits on a condition
-    /// older than its own claim race.
+    /// One *batch* claim at the victim — ring first (a multi-claim CAS that
+    /// moves `top` by up to `want` in one acquisition), injector second (a
+    /// [`Injector::steal_batch`] that serves the whole decision under **one
+    /// lock round-trip** instead of one per element) — with the filter
+    /// re-checked against live state **inside the loop**: every retry (a
+    /// lost batch CAS that fell back to the single path and lost again)
+    /// re-evaluates the guard before the next attempt, so a claim never
+    /// commits on a condition older than its own race.
     ///
-    /// The injector check runs exactly when the ring CAS finds the ring
+    /// The injector check runs exactly when the ring claim finds the ring
     /// empty: a victim whose waiting work has overflowed is *still* a
     /// victim, and the work-conservation argument needs thieves to reach
-    /// that work without waiting for any owner-side drain.
-    ///
-    /// The returned failure only reaches the balancer when nothing was
-    /// claimed at all (a multi-task steal that stops early still reports
-    /// `Stole` for what it got, like the mutex backend).
-    fn claim_checked(
+    /// that work without waiting for any owner-side drain.  `steal_batch`
+    /// absorbs lost injector races internally (its `0` is a genuine empty,
+    /// pinned claim-free by the injector's own tests), so the failure this
+    /// returns only reaches the balancer when nothing was claimable at all.
+    fn claim_checked_many(
         &self,
         thief: &DequeRq,
         filter: &dyn FilterPolicy,
-    ) -> Result<u64, StealOutcome> {
+        want: usize,
+    ) -> Result<Vec<u64>, StealOutcome> {
+        let want = want.max(1);
         loop {
             let thief_snap = thief.snapshot();
             let victim_snap = self.snapshot();
             if !filter.can_steal(&thief_snap, &victim_snap) {
                 return Err(StealOutcome::RecheckFailed { victim: self.id });
             }
-            match self.stealer.steal() {
-                Steal::Stolen(word) => {
-                    self.retire_queued(word);
+            match self.stealer.steal_many(want) {
+                StealMany::Stolen(words) => {
+                    for &word in &words {
+                        self.retire_queued(word);
+                    }
                     self.fold_tracked();
-                    return Ok(word);
+                    return Ok(words);
                 }
-                Steal::Empty => match self.overflow {
+                StealMany::Empty => match self.overflow {
                     // Ring empty is not queue empty: overflow lives in the
-                    // shared injector, claimable right now.
-                    OverflowPolicy::SharedInjector => match self.injector.steal() {
-                        Steal::Stolen(word) => {
-                            self.retire_queued(word);
-                            self.fold_tracked();
-                            return Ok(word);
-                        }
-                        Steal::Empty => {
+                    // shared injector, claimable right now — and claimed as
+                    // a batch, one lock acquisition per steal decision.
+                    OverflowPolicy::SharedInjector => {
+                        let mut words = Vec::new();
+                        let claimed = self.injector.steal_batch(want, |word| words.push(word));
+                        if claimed == 0 {
                             return Err(StealOutcome::NothingToSteal { victim: self.id });
                         }
-                        // A concurrent claim emptied the injector under
-                        // us: back through the filter, like a lost CAS.
-                        Steal::Retry => {}
-                    },
+                        for &word in &words {
+                            self.retire_queued(word);
+                        }
+                        self.fold_tracked();
+                        return Ok(words);
+                    }
                     OverflowPolicy::PrivateSpill => {
                         return Err(StealOutcome::NothingToSteal { victim: self.id });
                     }
                 },
-                // Lost the CAS to a concurrent claim: loop back through
-                // the filter — the double-check guard, now in the loop.
-                Steal::Retry => {}
+                // Lost the claim race: loop back through the filter — the
+                // double-check guard, now in the loop.
+                StealMany::Retry => {}
             }
         }
+    }
+
+    /// Returns a claimed-but-undelivered word to this (victim) queue's
+    /// stealable set — the batch path's "loser" loop-back.  The word is
+    /// re-counted exactly like an enqueue and parked in the shared
+    /// injector, where the owner and any claimant reach it without the
+    /// owner mutex (which thieves never take, by design).
+    fn requeue_overflow(&self, word: u64) {
+        self.queued.fetch_add(1, Ordering::AcqRel);
+        self.queued_weight.fetch_add(weight_of(word), Ordering::AcqRel);
+        self.lightest_mark.fetch_min(weight_of(word), Ordering::AcqRel);
+        self.injector.push(word);
+        self.fold_tracked();
     }
 }
 
@@ -478,6 +497,7 @@ impl RqBackend for DequeRq {
             weighted_load: self.weighted_load(),
             lightest_ready_weight: lightest,
             tracked_scaled: self.tracked_scaled.load(Ordering::Acquire),
+            injected: self.injected_len() as u64,
         }
     }
 
@@ -597,17 +617,52 @@ impl RqBackend for DequeRq {
         recorder: Option<StealRecorder<'_>>,
     ) -> StealOutcome {
         assert_ne!(thief.id(), victim.id(), "a core cannot steal from itself");
+        let want = max_tasks.max(1);
         let mut moved = Vec::new();
         let mut failure = None;
-        for _ in 0..max_tasks.max(1) {
-            match victim.claim_checked(thief, filter) {
-                Ok(word) => {
-                    let task = decode(word);
-                    moved.push(task.id);
-                    // Deliver to the thief's own queue: an owner-side push
-                    // (the thief owns its bottom end), never a lock shared
-                    // with other thieves.
-                    thief.enqueue(task);
+        let mut trimmed = false;
+        while moved.len() < want && !trimmed {
+            match victim.claim_checked_many(thief, filter, want - moved.len()) {
+                Ok(words) => {
+                    let total = words.len();
+                    let mut words = words.into_iter();
+                    let mut delivered = 0u64;
+                    while let Some(word) = words.next() {
+                        // The first claim is always delivered — the filter
+                        // approved it at claim time.  After that, each task
+                        // gets a re-check against *live* counters before it
+                        // moves: stop once delivering one more would leave
+                        // the thief more loaded than the victim would be
+                        // with the rest returned — the batch must never
+                        // *invert* the imbalance it was sized against (the
+                        // P2 direction), however stale the sizing snapshot
+                        // was.  Undelivered claims are losers, looped back
+                        // to the victim's injector where they are stealable
+                        // by anyone again.  The legacy spill discipline has
+                        // no stealable home a thief may reach, so it
+                        // delivers the whole batch (it is E22's quarantined
+                        // baseline either way).
+                        let undelivered = total as u64 - delivered;
+                        if delivered > 0
+                            && victim.overflow == OverflowPolicy::SharedInjector
+                            && thief.snapshot().nr_threads + 1
+                                > victim.snapshot().nr_threads + undelivered - 1
+                        {
+                            victim.requeue_overflow(word);
+                            for loser in words.by_ref() {
+                                victim.requeue_overflow(loser);
+                            }
+                            trimmed = true;
+                            break;
+                        }
+                        let task = decode(word);
+                        moved.push(task.id);
+                        // Deliver to the thief's own queue: an owner-side
+                        // push (the thief owns its bottom end), never a
+                        // lock shared with other thieves.
+                        thief.enqueue(task);
+                        delivered += 1;
+                    }
                 }
                 Err(outcome) => {
                     failure = Some(outcome);
@@ -755,6 +810,40 @@ mod tests {
             other => panic!("expected a steal, got {other:?}"),
         }
         assert_eq!(victim.complete_current().unwrap().id, TaskId(0));
+    }
+
+    #[test]
+    fn batch_steal_trims_to_the_balanced_split_and_loops_losers_back() {
+        // A greedy batch (ask for everything) against a victim with 1
+        // running + 5 waiting: the multi-claim CAS takes the whole ring,
+        // but the per-task non-inversion re-check delivers only up to the
+        // balanced split and loops the losers back to the victim's
+        // injector — where they are immediately stealable again.
+        let thief = rq(0);
+        let victim = rq(1);
+        for i in 0..6 {
+            victim.enqueue(RqTask::new(TaskId(i)));
+        }
+        let filter = DeltaFilter::listing1();
+        let outcome = DequeRq::try_steal_recorded(&thief, &victim, &filter, 8, None);
+        match outcome {
+            StealOutcome::Stole { ref tasks, .. } => {
+                assert_eq!(tasks.len(), 3, "delivery stops at the balanced split")
+            }
+            ref other => panic!("expected a batch steal, got {other:?}"),
+        }
+        assert_eq!(thief.nr_threads_exact(), 3);
+        assert_eq!(victim.nr_threads_exact(), 3, "losers are the victim's again");
+        assert_eq!(victim.injected_len(), 2, "looped back through the injector");
+        assert_eq!(victim.snapshot().injected, 2, "…and visible to injector-aware choices");
+        // Nothing lost, nothing duplicated, and the loop-backed tasks are
+        // claimable without any refresh.
+        let mut drained = Vec::new();
+        while let Some(task) = victim.complete_current() {
+            drained.push(task.id);
+        }
+        assert_eq!(drained.len(), 3);
+        assert_eq!(victim.injected_len(), 0);
     }
 
     #[test]

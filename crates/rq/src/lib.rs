@@ -49,7 +49,7 @@ pub use backend::RqBackend;
 pub use deque_rq::DequeRq;
 pub use entity::RqTask;
 pub use fifo::FifoQueue;
-pub use multiqueue::MultiQueue;
+pub use multiqueue::{MultiQueue, StealBatch};
 pub use overflow::{OverflowPolicy, TinyDequeRq, TinySpillDequeRq, TINY_RING_CAPACITY};
 pub use percore::PerCoreRq;
 pub use published::PublishedLoad;

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sched_core::tracker::{LoadTracker, NrThreadsTracker};
-use sched_core::{CoreId, CoreSnapshot, Nice, Policy, StealOutcome, TaskId};
+use sched_core::{CoreId, CoreSnapshot, LoadMetric, Nice, Policy, StealOutcome, TaskId, Weight};
 use sched_topology::{MachineTopology, NodeId, StealLevel};
 
 use crate::backend::RqBackend;
@@ -15,6 +15,52 @@ use crate::percore::PerCoreRq;
 use crate::stats::BalanceStats;
 use crate::steal::{try_steal, StealRecorder};
 use crate::TaskQueue;
+
+/// How many tasks one steal decision asks the stealing phase for.
+///
+/// Sizing happens in the *selection* phase, from the same lock-less
+/// snapshots the filter and choice read: by the time the claim runs the
+/// observation may be stale, which is fine — the backend claims at most
+/// what the victim still has, the per-task re-check trims a batch that
+/// would overshoot, and a partial batch is still a success (see
+/// [`sched_core::ChoicePolicy::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealBatch {
+    /// One task per steal decision — Listing 1's `stealOneThread`, and the
+    /// default everywhere batching is not explicitly requested.
+    #[default]
+    One,
+    /// A fixed number of tasks per decision (clamped to at least one).
+    Fixed(usize),
+    /// Half the observed imbalance, in whole tasks of the policy's load
+    /// unit — the [`sched_core::StealHalfImbalance`] rule, applied to the
+    /// claim size instead of a locked task-by-task selection.  Moving half
+    /// the surplus converges like binary search while never inverting the
+    /// imbalance the filter approved (the P2 potential argument).
+    HalfImbalance,
+}
+
+impl StealBatch {
+    /// Sizes the claim for one (thief, victim) pair from their
+    /// selection-phase snapshots; always at least one.
+    pub fn size(self, policy: &Policy, thief: &CoreSnapshot, victim: &CoreSnapshot) -> usize {
+        match self {
+            StealBatch::One => 1,
+            StealBatch::Fixed(k) => k.max(1),
+            StealBatch::HalfImbalance => {
+                // One "task" of surplus is one load unit of the tracked
+                // base: a raw thread for thread counts, a `nice 0` weight
+                // for weighted loads (matching `StealHalfImbalance`).
+                let unit = match policy.tracker.base() {
+                    LoadMetric::Weighted => Weight::NICE_0.raw(),
+                    _ => 1,
+                };
+                let surplus = victim.load(policy.metric).saturating_sub(thief.load(policy.metric));
+                usize::try_from(surplus / unit / 2).unwrap_or(usize::MAX).max(1)
+            }
+        }
+    }
+}
 
 /// All the per-core runqueues of one machine.
 ///
@@ -209,7 +255,7 @@ impl<B: RqBackend> MultiQueue<B> {
     /// Steps 1 and 2 (filter + choice) read only the lock-less snapshots;
     /// step 3 locks exactly the two runqueues involved.
     pub fn balance_once(&self, thief: CoreId, policy: &Policy) -> StealOutcome {
-        self.balance_once_inner(thief, policy, None)
+        self.balance_once_inner(thief, policy, None, StealBatch::One)
     }
 
     /// Like [`MultiQueue::balance_once`], but records the outcome (with its
@@ -221,7 +267,21 @@ impl<B: RqBackend> MultiQueue<B> {
         policy: &Policy,
         stats: &BalanceStats,
     ) -> StealOutcome {
-        self.balance_once_inner(thief, policy, Some(stats))
+        self.balance_once_inner(thief, policy, Some(stats), StealBatch::One)
+    }
+
+    /// Like [`MultiQueue::balance_once_recorded`], with the stealing phase
+    /// sized by `batch` instead of fixed at one task: the thief claims up
+    /// to `batch.size(...)` threads in one decision (one multi-claim CAS on
+    /// the deque backend, one lock hold on the mutex backend).
+    pub fn balance_once_batched(
+        &self,
+        thief: CoreId,
+        policy: &Policy,
+        batch: StealBatch,
+        stats: &BalanceStats,
+    ) -> StealOutcome {
+        self.balance_once_inner(thief, policy, Some(stats), batch)
     }
 
     fn balance_once_inner(
@@ -229,6 +289,7 @@ impl<B: RqBackend> MultiQueue<B> {
         thief: CoreId,
         policy: &Policy,
         stats: Option<&BalanceStats>,
+        batch: StealBatch,
     ) -> StealOutcome {
         // Selection phase: lock-less.
         let snapshots = self.snapshots();
@@ -243,6 +304,11 @@ impl<B: RqBackend> MultiQueue<B> {
             }
             return StealOutcome::NoCandidates;
         };
+        // The claim is sized from the same optimistic observations the
+        // choice just used (the victim is a member of `candidates` by the
+        // choice post-condition).
+        let victim_snap = candidates.iter().find(|s| s.id == victim).expect("choice membership");
+        let max_tasks = batch.size(policy, &thief_snap, victim_snap);
         // Stealing phase: atomic per backend discipline (double-lock or
         // CAS claim), re-checked; the outcome is counted with the claim
         // and attributed to the victim's distance class.
@@ -250,13 +316,15 @@ impl<B: RqBackend> MultiQueue<B> {
             &self.cores[thief.0],
             &self.cores[victim.0],
             policy.filter.as_ref(),
-            1,
+            max_tasks,
             stats.map(|stats| StealRecorder {
                 stats,
                 level: Some(self.steal_level_of(thief, victim)),
             }),
         );
         // Adaptive choices (topology-aware backoff) learn from the outcome.
+        // `is_success()` is true for *any* nonzero claim: a partial batch
+        // migrated real work and must not feed the failure backoff.
         policy.choice.observe(thief, victim, outcome.is_success());
         outcome
     }
@@ -326,6 +394,15 @@ impl<B: RqBackend> MultiQueue<B> {
     ///
     /// Returns the aggregated outcome counters.
     pub fn concurrent_round(&self, policy: &Policy) -> BalanceStats {
+        self.concurrent_round_batched(policy, StealBatch::One)
+    }
+
+    /// Like [`MultiQueue::concurrent_round`], with every core's steal
+    /// decision sized by `batch`: one acquisition (multi-claim CAS, batched
+    /// injector lock, or one mutex hold) moves up to `batch.size(...)`
+    /// threads.  [`StealBatch::One`] makes this exactly
+    /// [`MultiQueue::concurrent_round`].
+    pub fn concurrent_round_batched(&self, policy: &Policy, batch: StealBatch) -> BalanceStats {
         let stats = BalanceStats::new();
         std::thread::scope(|scope| {
             for core in &self.cores {
@@ -334,7 +411,7 @@ impl<B: RqBackend> MultiQueue<B> {
                 scope.spawn(move || {
                     // The outcome is recorded inside the stealing phase's
                     // critical section, atomically with the dequeue.
-                    let _ = mq.balance_once_recorded(core.id(), policy, stats);
+                    let _ = mq.balance_once_inner(core.id(), policy, Some(stats), batch);
                 });
             }
         });
@@ -476,6 +553,7 @@ impl<Q: TaskQueue + 'static> MultiQueue<PerCoreRq<Q>> {
                 weighted_load: inner.weighted_load(),
                 lightest_ready_weight: inner.queue.lightest_weight(),
                 tracked_scaled: inner.tracked.scaled,
+                injected: 0,
             })
             .collect();
         let thief_snap = snapshots[thief.0];
@@ -773,6 +851,107 @@ mod tests {
             stats.level_migrations(sched_topology::StealLevel::Remote) >= 1,
             "work had to cross the node boundary"
         );
+    }
+
+    #[test]
+    fn half_imbalance_batches_size_from_the_observed_surplus() {
+        let policy = Policy::simple();
+        let snap = |id: usize, nr: u64| CoreSnapshot {
+            id: CoreId(id),
+            node: NodeId(0),
+            nr_threads: nr,
+            weighted_load: nr * 1024,
+            lightest_ready_weight: (nr > 1).then_some(1024),
+            tracked_scaled: 0,
+            injected: 0,
+        };
+        let idle = snap(0, 0);
+        assert_eq!(StealBatch::One.size(&policy, &idle, &snap(1, 9)), 1);
+        assert_eq!(StealBatch::Fixed(4).size(&policy, &idle, &snap(1, 9)), 4);
+        assert_eq!(StealBatch::Fixed(0).size(&policy, &idle, &snap(1, 9)), 1, "clamped");
+        assert_eq!(StealBatch::HalfImbalance.size(&policy, &idle, &snap(1, 9)), 4);
+        assert_eq!(StealBatch::HalfImbalance.size(&policy, &snap(0, 3), &snap(1, 9)), 3);
+        assert_eq!(StealBatch::HalfImbalance.size(&policy, &snap(0, 2), &snap(1, 3)), 1, "≥ 1");
+        // Weighted policies size in nice-0 units, like StealHalfImbalance.
+        let weighted = Policy::weighted();
+        assert_eq!(StealBatch::HalfImbalance.size(&weighted, &idle, &snap(1, 8)), 4);
+    }
+
+    #[test]
+    fn batched_round_moves_the_fan_out_in_fewer_acquisitions() {
+        // One hot core, seven idle thieves, k sized from the imbalance:
+        // each successful decision must migrate *more* than one task, so
+        // the round reaches work conservation with fewer successes than
+        // migrations — the tasks-per-acquisition win E23 measures.
+        let mq: DequeMq = MultiQueue::with_loads(&[32, 0, 0, 0, 0, 0, 0, 0]);
+        let policy = Policy::simple();
+        let mut successes = 0u64;
+        let mut rounds = 0;
+        while !mq.is_work_conserving() && rounds < 64 {
+            let stats = mq.concurrent_round_batched(&policy, StealBatch::HalfImbalance);
+            successes += stats.successes();
+            assert!(
+                stats.migrations() >= stats.successes(),
+                "a batched success moves at least one task"
+            );
+            rounds += 1;
+        }
+        assert!(mq.is_work_conserving());
+        assert_eq!(mq.total_threads(), 32, "batched claims neither lose nor duplicate");
+        let moved: u64 = (1..8).map(|c| mq.core(CoreId(c)).nr_threads_exact()).sum();
+        assert!(moved >= 7, "every idle core obtained work");
+        assert!(
+            successes < moved,
+            "{successes} acquisitions moved {moved} tasks: batching must beat one-per-claim"
+        );
+    }
+
+    #[test]
+    fn a_partial_batch_is_observed_as_a_success() {
+        use std::sync::atomic::AtomicBool;
+
+        // The backoff-feeding satellite: a thief that asked for eight and
+        // got three still migrated real work — `observe` must see success,
+        // or the choice machinery would deprioritise its best victims.
+        #[derive(Debug)]
+        struct Recording {
+            observed_success: Arc<AtomicBool>,
+            observed_failure: Arc<AtomicBool>,
+        }
+        impl sched_core::ChoicePolicy for Recording {
+            fn choose(&self, _thief: &CoreSnapshot, candidates: &[CoreSnapshot]) -> Option<CoreId> {
+                candidates.first().map(|c| c.id)
+            }
+            fn observe(&self, _thief: CoreId, _victim: CoreId, success: bool) {
+                if success {
+                    self.observed_success.store(true, Ordering::Release);
+                } else {
+                    self.observed_failure.store(true, Ordering::Release);
+                }
+            }
+            fn name(&self) -> &'static str {
+                "recording"
+            }
+        }
+
+        let observed_success = Arc::new(AtomicBool::new(false));
+        let observed_failure = Arc::new(AtomicBool::new(false));
+        let mq: DequeMq = MultiQueue::with_loads(&[0, 4]);
+        let policy = Policy::simple().with_choice(Box::new(Recording {
+            observed_success: Arc::clone(&observed_success),
+            observed_failure: Arc::clone(&observed_failure),
+        }));
+        let stats = BalanceStats::new();
+        // The victim has 3 waiting tasks; ask for 8.
+        let outcome = mq.balance_once_batched(CoreId(0), &policy, StealBatch::Fixed(8), &stats);
+        match outcome {
+            StealOutcome::Stole { ref tasks, .. } => assert!(tasks.len() >= 2, "a real batch"),
+            ref other => panic!("expected a (partial) batch steal, got {other:?}"),
+        }
+        assert!(outcome.is_success(), "partial batch ≠ failure");
+        assert!(observed_success.load(Ordering::Acquire), "the choice saw the partial success");
+        assert!(!observed_failure.load(Ordering::Acquire), "…and no spurious failure");
+        assert_eq!(mq.total_threads(), 4);
     }
 
     #[test]

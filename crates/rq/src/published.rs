@@ -83,6 +83,7 @@ impl PublishedLoad {
             weighted_load: self.weighted_load(),
             lightest_ready_weight: self.lightest_ready(),
             tracked_scaled: self.tracked_scaled(),
+            injected: 0,
         }
     }
 }

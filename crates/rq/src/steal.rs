@@ -32,6 +32,7 @@ fn snapshot_locked<Q: TaskQueue>(rq: &PerCoreRq<Q>, inner: &RqInner<Q>) -> CoreS
         weighted_load: inner.weighted_load(),
         lightest_ready_weight: inner.queue.lightest_weight(),
         tracked_scaled: inner.tracked.scaled,
+        injected: 0,
     }
 }
 

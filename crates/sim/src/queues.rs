@@ -202,6 +202,7 @@ impl CoreQueues {
                     weighted_load: weighted,
                     lightest_ready_weight: lightest,
                     tracked_scaled: core.tracked.scaled,
+                    injected: 0,
                 }
             })
             .collect()

@@ -30,7 +30,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use sched_deque::{deque, Steal};
+use sched_deque::{deque, Steal, StealMany};
 
 use crate::counterexample::Counterexample;
 use crate::lemma::LemmaReport;
@@ -173,6 +173,176 @@ pub fn check_cas_failure_implies_concurrent_success(rounds: usize) -> LemmaRepor
     LemmaReport::proved(name, instances)
 }
 
+/// Checks exclusivity and conservation for the **multi-claim** CAS path:
+/// over `rounds` rounds, `items` elements are drained concurrently by the
+/// owner (bottom pops) and `thieves` batch stealers (`steal_many` with
+/// mixed batch sizes, so reservation winners race single-path fallback
+/// losers); every element must be claimed exactly once — a batch CAS that
+/// advanced `top` by `n` must account for exactly `n` elements nobody else
+/// (owner included) obtained.
+///
+/// Instances are (round × element) claim checks.
+pub fn check_multi_claim_exclusivity(rounds: usize, items: u64, thieves: usize) -> LemmaReport {
+    let name = "multi-claim CAS exclusivity (steal_many duplicates or loses no task)";
+    let mut instances = 0u64;
+    for round in 0..rounds {
+        let (mut worker, stealer) = deque(items.max(1) as usize);
+        for v in 0..items {
+            worker.push(v).unwrap();
+        }
+        let start = AtomicBool::new(false);
+        let mut claims: Vec<u64> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..thieves)
+                .map(|i| {
+                    let stealer = stealer.clone();
+                    let start = &start;
+                    let k = 1 + (round + i) % 8;
+                    scope.spawn(move || {
+                        while !start.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                        let mut claimed = Vec::new();
+                        loop {
+                            match stealer.steal_many(k) {
+                                StealMany::Stolen(batch) => claimed.extend(batch),
+                                StealMany::Retry => {}
+                                StealMany::Empty => break,
+                            }
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            start.store(true, Ordering::Release);
+            while let Some(v) = worker.pop() {
+                claims.push(v);
+            }
+            for handle in handles {
+                claims.extend(handle.join().unwrap());
+            }
+        });
+        claims.sort_unstable();
+        instances += items;
+        let expected: Vec<u64> = (0..items).collect();
+        if claims != expected {
+            return LemmaReport::refuted(
+                name,
+                instances,
+                Counterexample::new("a batch claim duplicated or lost an element", vec![items])
+                    .step(format!(
+                    "round {round}: owner pops vs {thieves} batch thieves over {items} elements"
+                ))
+                    .step(format!("claims after sorting: {claims:?}")),
+            );
+        }
+    }
+    LemmaReport::proved(name, instances)
+}
+
+/// Checks P1 and claim-atomicity for the multi-claim path
+/// *deterministically*, via probes forced into the batched
+/// read-to-CAS window:
+///
+/// 1. a rival single claim inside the window dooms the whole batch CAS —
+///    the batch returns [`StealMany::Retry`] with **nothing** claimed
+///    (all-or-nothing), and the rival's element plus the remainder drain
+///    exactly once;
+/// 2. an owner pop *above* the batch reservation proceeds concurrently and
+///    both parties' claims partition the deque;
+/// 3. an owner claiming the last element inside its own CAS window forces
+///    an arriving batch to back off empty — one winner, as in the
+///    single-claim lemma.
+///
+/// Instances are forced interleavings.
+pub fn check_multi_claim_failure_implies_concurrent_success(rounds: usize) -> LemmaReport {
+    let name = "multi-claim CAS failure implies concurrent success (P1, batched path)";
+    let mut instances = 0u64;
+    for round in 0..rounds {
+        let fail = |instances: u64, what: &str, detail: String| {
+            LemmaReport::refuted(
+                name,
+                instances,
+                Counterexample::new(what, vec![4]).step(format!("round {round}: {detail}")),
+            )
+        };
+
+        // 1. Rival-vs-batch: the rival claims inside the batched window.
+        let (mut worker, stealer) = deque(8);
+        for v in 1..=4 {
+            worker.push(v).unwrap();
+        }
+        let rival = stealer.clone();
+        let mut rival_got = None;
+        let outcome = stealer.steal_many_with_probe(3, || {
+            rival_got = rival.steal().stolen();
+        });
+        instances += 1;
+        if rival_got != Some(1) {
+            return fail(
+                instances,
+                "the rival's claim inside the batched window failed",
+                format!("{rival_got:?}"),
+            );
+        }
+        if outcome != StealMany::Retry {
+            return fail(
+                instances,
+                "a batch CAS doomed by a concurrent claim did not fail whole",
+                format!("outcome {outcome:?} after the rival claimed"),
+            );
+        }
+        if stealer.steal_many(8) != StealMany::Stolen(vec![2, 3, 4]) {
+            return fail(
+                instances,
+                "claims after the doomed batch were not exclusive",
+                String::new(),
+            );
+        }
+
+        // 2. Owner pop above the reservation: batch and owner partition.
+        let (mut worker, stealer) = deque(8);
+        for v in 0..4 {
+            worker.push(v).unwrap();
+        }
+        let worker_cell = std::cell::RefCell::new(worker);
+        let outcome = stealer.steal_many_with_probe(2, || {
+            let got = worker_cell.borrow_mut().pop();
+            assert_eq!(got, Some(3), "the owner's pop above the reservation proceeds");
+        });
+        instances += 1;
+        if outcome != StealMany::Stolen(vec![0, 1]) {
+            return fail(
+                instances,
+                "a batch below the owner's pop did not claim its reserved range",
+                format!("outcome {outcome:?}"),
+            );
+        }
+        if worker_cell.borrow_mut().pop() != Some(2) || worker_cell.borrow_mut().pop().is_some() {
+            return fail(instances, "batch and owner claims did not partition", String::new());
+        }
+
+        // 3. Owner takes the last element inside its window: the batch
+        // observes the lowered bottom and backs off empty.
+        let (mut worker, stealer) = deque(4);
+        worker.push(7).unwrap();
+        let thief = stealer.clone();
+        let mut thief_saw = None;
+        let got = worker.pop_with_probe(|| {
+            thief_saw = Some(thief.steal_many(4));
+        });
+        instances += 1;
+        if got != Some(7) || thief_saw != Some(StealMany::Empty) {
+            return fail(
+                instances,
+                "the last-element race against a batch had two winners or none",
+                format!("owner got {got:?}, batch saw {thief_saw:?}"),
+            );
+        }
+    }
+    LemmaReport::proved(name, instances)
+}
+
 /// Checks that the owner's claim on the bottom element excludes thieves:
 /// once `bottom` is lowered over the last element, a thief arriving in the
 /// owner's CAS window observes an empty deque and backs off, and the
@@ -227,9 +397,30 @@ mod tests {
     }
 
     #[test]
+    fn multi_claim_exclusivity_holds_under_scoped_thread_stress() {
+        let report = check_multi_claim_exclusivity(20, 128, 4);
+        assert!(report.is_proved(), "{report}");
+        assert_eq!(report.instances, 20 * 128);
+    }
+
+    #[test]
+    fn multi_claim_p1_holds_on_every_forced_interleaving() {
+        let report = check_multi_claim_failure_implies_concurrent_success(50);
+        assert!(report.is_proved(), "{report}");
+        assert_eq!(report.instances, 150);
+    }
+
+    #[test]
     #[ignore = "nightly-strength stress; run via `cargo test -- --ignored`"]
     fn stress_exclusivity_high_iteration() {
         let report = check_cas_steal_exclusivity(300, 1024, 8);
+        assert!(report.is_proved(), "{report}");
+    }
+
+    #[test]
+    #[ignore = "nightly-strength stress; run via `cargo test -- --ignored`"]
+    fn stress_multi_claim_exclusivity_high_iteration() {
+        let report = check_multi_claim_exclusivity(300, 1024, 8);
         assert!(report.is_proved(), "{report}");
     }
 }

@@ -9,7 +9,7 @@
 //! | [`potential`] | §4.3, property P2 | Every successful steal strictly decreases the pairwise absolute load difference `d`. |
 //! | [`hierarchy`] | §5 | A steal at one topology level leaves the per-level potential unchanged at that level and coarser, and hierarchical rounds stay work-conserving. |
 //! | [`decay`] | §3.1 ("no assumption on the criteria") | A steady tracked load converges geometrically to the instantaneous load, and balancing on any monotone tracker preserves work conservation given settling ticks. |
-//! | [`cas`] | §3.1, restated for the lock-free backend | On the Chase–Lev steal path, a successful CAS claims exclusively (no task duplicated or lost) and a failed CAS implies a concurrent claim (P1), checked on *forced* interleavings via probes and under scoped-thread stress. |
+//! | [`cas`] | §3.1, restated for the lock-free backend | On the Chase–Lev steal path, a successful CAS claims exclusively (no task duplicated or lost) and a failed CAS implies a concurrent claim (P1), checked on *forced* interleavings via probes and under scoped-thread stress — including the **multi-claim** `steal_many` path, where one CAS moves `top` by a whole batch racing owner pops and rival thieves. |
 //! | [`injector`] | work conservation across ring overflow | Overflowed work routed to the shared injector is counted **and** stealable (never simultaneously visible to balancing and invisible to thieves), an injector `Retry` implies a concurrent successful claim (P1 on the overflow path, via probes), and overflow storms neither lose nor duplicate work under scoped-thread stress. |
 //!
 //! The concurrent convergence check (bounded failures + the §3.2 `∃N`) is in
@@ -28,7 +28,8 @@ pub mod steal_sound;
 
 pub use cas::{
     check_cas_failure_implies_concurrent_success, check_cas_single_element_winner,
-    check_cas_steal_exclusivity,
+    check_cas_steal_exclusivity, check_multi_claim_exclusivity,
+    check_multi_claim_failure_implies_concurrent_success,
 };
 pub use decay::{check_decay_convergence, check_tracked_work_conservation};
 pub use failure::check_failure_implies_concurrent_success;

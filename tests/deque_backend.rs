@@ -137,6 +137,17 @@ fn cas_lemmas_hold_at_the_integration_level() {
 }
 
 #[test]
+fn multi_claim_lemmas_hold_at_the_integration_level() {
+    // The batched half of the atomicity story: `steal_many(k)` claims are
+    // pairwise disjoint across racing thieves and the owner, and a batch
+    // that observes interference only fails when a rival actually won.
+    let report = lemmas::check_multi_claim_exclusivity(10, 96, 4);
+    assert!(report.is_proved(), "{report}");
+    let report = lemmas::check_multi_claim_failure_implies_concurrent_success(25);
+    assert!(report.is_proved(), "{report}");
+}
+
+#[test]
 fn injector_lemmas_hold_at_the_integration_level() {
     // The overflow half of the atomicity story: overflowed work is counted
     // AND stealable, an injector retry implies a concurrent claim (forced
@@ -266,6 +277,52 @@ proptest! {
         );
     }
 
+    /// Batched rounds on any fan-out: whatever `k` each acquisition asks
+    /// for, concurrent batched balancing conserves every task and still
+    /// reaches work conservation — the non-inversion trim can loop losers
+    /// through the injector but may never hide or duplicate them.
+    #[test]
+    fn batched_rounds_conserve_and_converge_for_any_k(
+        hot in 8usize..40,
+        k in 1usize..9,
+    ) {
+        let mut loads = vec![0usize; 8];
+        loads[0] = hot;
+        let mq: DequeMultiQueue = MultiQueue::with_loads(&loads);
+        let policy = Policy::simple();
+        let batch = optimistic_sched::rq::StealBatch::Fixed(k);
+        let mut converged = false;
+        for _ in 0..(64 + hot) {
+            if mq.is_work_conserving() {
+                converged = true;
+                break;
+            }
+            mq.concurrent_round_batched(&policy, batch);
+            prop_assert_eq!(mq.total_threads(), hot as u64);
+        }
+        prop_assert!(converged || mq.is_work_conserving(), "batched balancing must converge");
+        prop_assert_eq!(mq.total_threads(), hot as u64);
+    }
+
+    /// The imbalance-sized batch on the same sweep: `HalfImbalance` may
+    /// claim large batches early, yet conservation and convergence hold.
+    #[test]
+    fn half_imbalance_batches_conserve_and_converge(hot in 8usize..48) {
+        let mut loads = vec![0usize; 8];
+        loads[0] = hot;
+        let mq: DequeMultiQueue = MultiQueue::with_loads(&loads);
+        let policy = Policy::simple();
+        let batch = optimistic_sched::rq::StealBatch::HalfImbalance;
+        for _ in 0..(64 + hot) {
+            if mq.is_work_conserving() {
+                break;
+            }
+            mq.concurrent_round_batched(&policy, batch);
+            prop_assert_eq!(mq.total_threads(), hot as u64);
+        }
+        prop_assert!(mq.is_work_conserving(), "half-imbalance batching must converge");
+    }
+
     /// Single-element owner-vs-thief race at the MultiQueue level: a
     /// two-core machine with one waiting task; whoever wins, exactly one
     /// task survives in exactly one place.
@@ -315,6 +372,44 @@ fn stress_overflow_storms_high_iteration() {
         assert!(rounds.is_some(), "round {round}: the storm must converge without any tick");
         assert!(mq.is_work_conserving(), "round {round}");
         assert_eq!(mq.total_threads(), burst as u64, "round {round}: conservation");
+    }
+}
+
+#[test]
+#[ignore = "nightly-strength stress; run via `cargo test -- --ignored`"]
+fn stress_batched_steal_races_high_iteration() {
+    // Batched claims under genuine thief contention, across machine sizes
+    // and batch policies: every round of every storm must conserve the
+    // exact task count while multi-claim CASes, injector batches and the
+    // non-inversion trim race each other.
+    use optimistic_sched::rq::StealBatch;
+    for round in 0..40 {
+        let cores = 8 + (round % 9);
+        let burst = 6 * cores;
+        let batch = match round % 3 {
+            0 => StealBatch::Fixed(4),
+            1 => StealBatch::Fixed(8),
+            _ => StealBatch::HalfImbalance,
+        };
+        let mq: TinyDequeMultiQueue = MultiQueue::new(cores);
+        for _ in 0..burst {
+            mq.spawn_on(CoreId(round % cores));
+        }
+        let policy = Policy::simple();
+        let mut converged = false;
+        for _ in 0..256 {
+            if mq.is_work_conserving() {
+                converged = true;
+                break;
+            }
+            mq.concurrent_round_batched(&policy, batch);
+            assert_eq!(
+                mq.total_threads(),
+                burst as u64,
+                "round {round}: batched races must conserve"
+            );
+        }
+        assert!(converged, "round {round}: batched storm must converge ({batch:?})");
     }
 }
 

@@ -34,6 +34,11 @@
 //!   policy can converge cheaply by parking work (an over-long PELT
 //!   half-life does exactly that); throughput and idle gates would wave
 //!   it through, the latency SLO does not.
+//! * `tasks_per_acquisition` (schema v5, the E23 batch sweep) — relative
+//!   floor at **double** tolerance when both runs measured it: the batched
+//!   rows' amortisation breathes with steal races, but a collapse back
+//!   towards one task per acquisition means batching silently stopped
+//!   working and fails the gate.
 //! * a key present in the baseline but missing from the current run fails;
 //!   keys only in the current run are reported as re-baseline hints.
 //!
@@ -62,6 +67,8 @@ struct Record {
     migrations: f64,
     wall_ms: f64,
     p99_sched_latency_us: Option<f64>,
+    steal_batch_k: Option<String>,
+    tasks_per_acquisition: Option<f64>,
 }
 
 fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
@@ -96,6 +103,8 @@ fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
             migrations: number("migrations").unwrap_or(f64::NAN),
             wall_ms: number("wall_ms").unwrap_or(f64::INFINITY),
             p99_sched_latency_us: r.get("p99_sched_latency_us").and_then(Json::as_f64),
+            steal_batch_k: r.get("steal_batch_k").and_then(Json::as_str).map(str::to_string),
+            tasks_per_acquisition: r.get("tasks_per_acquisition").and_then(Json::as_f64),
         });
     }
     Ok(out)
@@ -180,6 +189,27 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
         // drift beyond tolerance (in either direction — more migrations
         // means ping-pong, fewer means lost balancing work) flags a real
         // change that needs a deliberate re-baseline.
+        // The E23 batch sweep's amortisation metric: race-dependent like
+        // wall-clock numbers (hence double tolerance), but a current run
+        // that claims far fewer tasks per acquisition than the baseline
+        // means batching degenerated back to one-at-a-time stealing.
+        if let (Some(base_tpa), Some(cur_tpa)) =
+            (base.tasks_per_acquisition, cur.tasks_per_acquisition)
+        {
+            let floor = base_tpa * (1.0 - tolerance * 2.0);
+            if cur_tpa < floor {
+                regressions.push(format!(
+                    "BATCH     {}: {:.2} tasks/acquisition < {:.2} (baseline {:.2}, k={}, \
+                     -{:.0}% tolerated)",
+                    base.key,
+                    cur_tpa,
+                    floor,
+                    base_tpa,
+                    cur.steal_batch_k.as_deref().unwrap_or("?"),
+                    tolerance * 200.0
+                ));
+            }
+        }
         if base.backend == "model"
             && base.migrations.is_finite()
             && cur.migrations.is_finite()
@@ -437,6 +467,40 @@ mod tests {
         // But a record that never measured one (model/rq) is never gated.
         std::fs::write(&base, doc(&sim("null"))).unwrap();
         assert_eq!(run(Some("5000")), ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn tasks_per_acquisition_collapse_is_gated_relatively() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        // Sub-floor wall clock, so only the batch gate can catch this row.
+        let batch = |tpa: &str| {
+            format!(
+                "{{\"experiment\": \"e23\", \"scenario\": \"s\", \"backend\": \"rq-deque\", \
+                 \"throughput\": 100000.0, \"throughput_unit\": \"migrations/s\", \
+                 \"violating_idle\": 0.0, \"wall_ms\": 0.05, \"steal_batch_k\": \"8\", \
+                 \"tasks_per_acquisition\": {tpa}}}"
+            )
+        };
+        let run = |baseline: &str, current: &str| {
+            std::fs::write(&base, doc(baseline)).unwrap();
+            std::fs::write(&cur, doc(current)).unwrap();
+            bench_diff(&[
+                "--baseline".into(),
+                base.to_str().unwrap().into(),
+                "--current".into(),
+                cur.to_str().unwrap().into(),
+            ])
+            .unwrap()
+        };
+        // Breathing within double tolerance (±30%) passes...
+        assert_eq!(run(&batch("3.0"), &batch("2.2")), ExitCode::SUCCESS);
+        // ...a collapse towards one-at-a-time stealing fails...
+        assert_eq!(run(&batch("3.0"), &batch("1.1")), ExitCode::FAILURE);
+        // ...and rows that never measured it (schema v5 null) are not gated.
+        assert_eq!(run(&batch("null"), &batch("null")), ExitCode::SUCCESS);
     }
 
     #[test]

@@ -77,16 +77,40 @@
 //! [`Stealer::steal_many`] closes that hole with a one-word **batch
 //! reservation** (`reserved`, the exclusive upper bound of the in-flight
 //! claim).  The thief publishes the reservation, then re-reads `bottom`
-//! and shrinks its range to what is still present; the owner's pop checks
-//! `reserved` *after* its SeqCst fence.  The fence algebra leaves only two
-//! outcomes for any concurrent pop of index `x`: either the pop observed
-//! the reservation (and backs off while it is in flight), or its lowered
-//! `bottom ≤ x` is guaranteed visible to the thief's post-reservation
-//! re-read, which shrinks the claim below `x`.  Either way no element is
-//! claimed by both parties.  Only one batch reservation is in flight at a
-//! time; a thief that loses the reservation race falls back to the plain
-//! single-element CAS, so it still makes progress and `Retry` keeps
-//! meaning "a concurrent claim advanced `top`" (P1).
+//! and shrinks its range to what is still present; the owner's pop loads
+//! `reserved` and then `top` — **in that order**, both SeqCst, after its
+//! SeqCst fence.  Place the pop's `reserved` load in the SeqCst total
+//! order against the lifetime of any batch that claims the popped index
+//! `x` (reservation CAS → `top` CAS → clear) and exactly three cases
+//! remain:
+//!
+//! 1. *before the reservation CAS* — the batch's post-reservation
+//!    `bottom` re-read is fence-ordered after the pop's lowered
+//!    `bottom ≤ x`, so the claim shrinks below `x`;
+//! 2. *between the CAS and the clear* — the pop observes the reservation
+//!    covering `x` and backs off while it is in flight;
+//! 3. *after the clear* — the batch's `top` CAS already committed, and
+//!    the pop's **later** `top` load observes it, so the pop sees `x`
+//!    as already gone.
+//!
+//! Either way no element is claimed by both parties.  The load order is
+//! load-bearing: reading `top` before `reserved` re-opens a window where
+//! an entire batch (reserve → CAS → clear) commits between the two loads
+//! and the pop sees both a stale `top` and a cleared reservation —
+//! `lemmas::cas` forces exactly that straddle deterministically via
+//! [`Worker::pop_with_window_probe`].
+//!
+//! The reservation bound is cleared through a drop guard, so it cannot
+//! leak even if the claim attempt unwinds (a panicking probe, a failed
+//! allocation); a pop backing off under case 2 therefore waits a bounded
+//! number of the reservation holder's own steps — the holder never waits
+//! on the owner — though the owner's pop below an in-flight reservation
+//! is *blocking* in that window (e.g. if the holder is preempted), which
+//! is the one non-blocking concession the batch path makes.  Only one
+//! batch reservation is in flight at a time; a thief that loses the
+//! reservation race falls back to the plain single-element CAS, so it
+//! still makes progress and `Retry` keeps meaning "a concurrent claim
+//! advanced `top`" (P1).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -101,6 +125,20 @@ use std::sync::Arc;
 /// Sentinel for [`Inner::reserved`]: no batch claim is in flight (no index
 /// compares below it).
 const RESERVED_NONE: i64 = i64::MIN;
+
+/// Clears the batch reservation when dropped, so the bound is reset on
+/// *every* exit from [`Stealer::steal_many_with_probe`] — including an
+/// unwind out of the user-supplied probe or the batch allocation.  Owner
+/// pops below a stale bound would otherwise back off forever.
+struct BatchReservation<'a> {
+    reserved: &'a AtomicI64,
+}
+
+impl Drop for BatchReservation<'_> {
+    fn drop(&mut self) {
+        self.reserved.store(RESERVED_NONE, Ordering::SeqCst);
+    }
+}
 
 /// Shared state of one deque.
 #[derive(Debug)]
@@ -260,23 +298,53 @@ impl Worker {
     /// See [`Stealer::steal_with_probe`]; this is the owner-side half of
     /// the deterministic race checks.
     pub fn pop_with_probe(&mut self, probe: impl FnOnce()) -> Option<u64> {
-        let mut probe = Some(probe);
+        self.pop_impl(|| {}, probe)
+    }
+
+    /// [`Worker::pop`] with a verification probe injected **between** the
+    /// pop's `reserved` load and its `top` load — the window in which a
+    /// batch claim can run to completion (reserve → CAS → clear) entirely
+    /// inside one pop.  The pop must still observe the batch's advanced
+    /// `top` (the load-order argument in the module docs); `lemmas::cas`
+    /// uses this hook to force that straddle deterministically.
+    ///
+    /// The probe may fire once per retry of the pop's back-off loop, hence
+    /// `FnMut`.
+    pub fn pop_with_window_probe(&mut self, window_probe: impl FnMut()) -> Option<u64> {
+        self.pop_impl(window_probe, || {})
+    }
+
+    fn pop_impl(
+        &mut self,
+        mut window_probe: impl FnMut(),
+        claim_probe: impl FnOnce(),
+    ) -> Option<u64> {
+        let mut claim_probe = Some(claim_probe);
         loop {
             let inner = &self.inner;
             let b = inner.bottom.load(Ordering::Relaxed) - 1;
             inner.bottom.store(b, Ordering::Relaxed);
             fence(Ordering::SeqCst);
-            let t = inner.top.load(Ordering::Relaxed);
+            // `reserved` strictly before `top`, both SeqCst: observing a
+            // cleared reservation must imply observing the batch's CAS'd
+            // `top` (case 3 of the module docs).  Loading `top` first
+            // admits a straddle where a whole batch commits between the
+            // two loads and this pop claims an element the batch already
+            // took.
+            let r = inner.reserved.load(Ordering::SeqCst);
+            window_probe();
+            let t = inner.top.load(Ordering::SeqCst);
             if t > b {
                 // Empty: restore bottom.
                 inner.bottom.store(b + 1, Ordering::Relaxed);
                 return None;
             }
-            if t < b && inner.reserved.load(Ordering::SeqCst) > b {
+            if t < b && r > b {
                 // A batch claim has reserved this element (see the module
-                // docs).  The reservation holder never waits on the owner,
-                // so it clears in a bounded number of its own steps; back
-                // off and retry against the post-batch state.  The last
+                // docs).  The reservation holder never waits on the owner
+                // and clears its bound even on unwind (drop guard), so it
+                // clears in a bounded number of its own steps; back off
+                // and retry against the post-batch state.  The last
                 // element (`t == b`) needs no back-off: there the owner
                 // joins the CAS race on `top`, which arbitrates against
                 // the batch CAS directly.
@@ -286,7 +354,7 @@ impl Worker {
             }
             let value = inner.slots[(b & inner.mask) as usize].load(Ordering::Relaxed);
             if t == b {
-                if let Some(probe) = probe.take() {
+                if let Some(probe) = claim_probe.take() {
                     probe();
                 }
                 // Last element: join the thieves' CAS race on `top`.  Winning
@@ -410,6 +478,12 @@ impl Stealer {
         {
             return single(self.steal_with_probe(probe));
         }
+        // Held from here to every exit — return, lost CAS, or an unwind
+        // out of the probe or the Vec allocation.  A leaked reservation
+        // would pin owner pops below the stale bound in their back-off
+        // loop forever, so clearing must not depend on reaching any
+        // particular line below.
+        let _reservation = BatchReservation { reserved: &inner.reserved };
         // Re-read `bottom` under the reservation and shrink the claim to
         // what is still present: any owner pop that did not observe the
         // reservation is fence-ordered to have its lowered `bottom` visible
@@ -417,7 +491,6 @@ impl Stealer {
         fence(Ordering::SeqCst);
         let b2 = inner.bottom.load(Ordering::Acquire);
         if b2 <= t {
-            inner.reserved.store(RESERVED_NONE, Ordering::SeqCst);
             return StealMany::Empty;
         }
         n = n.min(b2 - t);
@@ -428,7 +501,6 @@ impl Stealer {
         probe();
         let claimed =
             inner.top.compare_exchange(t, t + n, Ordering::SeqCst, Ordering::Relaxed).is_ok();
-        inner.reserved.store(RESERVED_NONE, Ordering::SeqCst);
         if claimed {
             StealMany::Stolen(values)
         } else {
@@ -615,6 +687,52 @@ mod tests {
         assert_eq!(outcome, StealMany::Stolen(vec![0, 1]));
         assert_eq!(worker.borrow_mut().pop(), Some(2));
         assert_eq!(worker.borrow_mut().pop(), None);
+    }
+
+    #[test]
+    fn a_panicking_probe_clears_the_batch_reservation() {
+        // The reservation is cleared by a drop guard, so an unwind out of
+        // the probe must not leave a stale bound pinning owner pops in
+        // their back-off loop.
+        let (mut w, s) = deque(8);
+        for v in 0..4 {
+            w.push(v).unwrap();
+        }
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.steal_many_with_probe(3, || panic!("probe unwinds mid-claim"));
+        }));
+        assert!(attempt.is_err(), "the probe's panic propagates");
+        // Nothing was claimed (the CAS never ran), the owner's pop below
+        // the dead reservation's bound does not spin, and fresh batches
+        // claim normally.
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal_many(8), StealMany::Stolen(vec![0, 1, 2]));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn a_batch_completing_inside_the_pop_window_is_observed() {
+        // A whole batch (reserve -> CAS -> clear) runs between the pop's
+        // `reserved` load and its `top` load: the pop's later `top` load
+        // must see the batch's claim, so the parties partition the deque.
+        // (With the loads in the reverse order the pop would see a stale
+        // `top` and a cleared reservation and double-claim.)
+        let (mut w, s) = deque(8);
+        for v in 0..3 {
+            w.push(v).unwrap();
+        }
+        let thief = s.clone();
+        let mut batch = None;
+        let got = w.pop_with_window_probe(|| {
+            if batch.is_none() {
+                batch = Some(thief.steal_many(8));
+            }
+        });
+        // The batch saw the pop's lowered bottom and claimed [0, 1]; the
+        // pop then won the last-element race on 2.
+        assert_eq!(batch, Some(StealMany::Stolen(vec![0, 1])));
+        assert_eq!(got, Some(2));
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -627,6 +627,10 @@ impl RqBackend for DequeRq {
                     let total = words.len();
                     let mut words = words.into_iter();
                     let mut delivered = 0u64;
+                    // Whether losers have a stealable home to loop back to
+                    // is fixed at construction — hoisted out of the
+                    // per-word loop.
+                    let loop_back = victim.overflow == OverflowPolicy::SharedInjector;
                     while let Some(word) = words.next() {
                         // The first claim is always delivered — the filter
                         // approved it at claim time.  After that, each task
@@ -636,7 +640,11 @@ impl RqBackend for DequeRq {
                         // with the rest returned — the batch must never
                         // *invert* the imbalance it was sized against (the
                         // P2 direction), however stale the sizing snapshot
-                        // was.  Undelivered claims are losers, looped back
+                        // was.  Only the two thread counters are consulted
+                        // (the inversion test needs nothing else); building
+                        // full snapshots here would pay several atomic
+                        // loads plus an injector-length walk per delivered
+                        // word.  Undelivered claims are losers, looped back
                         // to the victim's injector where they are stealable
                         // by anyone again.  The legacy spill discipline has
                         // no stealable home a thief may reach, so it
@@ -644,9 +652,8 @@ impl RqBackend for DequeRq {
                         // baseline either way).
                         let undelivered = total as u64 - delivered;
                         if delivered > 0
-                            && victim.overflow == OverflowPolicy::SharedInjector
-                            && thief.snapshot().nr_threads + 1
-                                > victim.snapshot().nr_threads + undelivered - 1
+                            && loop_back
+                            && thief.nr_threads() + 1 > victim.nr_threads() + undelivered - 1
                         {
                             victim.requeue_overflow(word);
                             for loser in words.by_ref() {

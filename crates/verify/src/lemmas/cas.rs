@@ -343,6 +343,78 @@ pub fn check_multi_claim_failure_implies_concurrent_success(rounds: usize) -> Le
     LemmaReport::proved(name, instances)
 }
 
+/// Checks, deterministically, the one interleaving the batch reservation's
+/// two-case fence argument used to miss: a **complete** batch claim
+/// (reserve → `top` CAS → clear) commits entirely inside a single owner
+/// pop's validation window, while the batch's own `bottom` re-read
+/// predates that pop — so neither the reservation back-off nor the
+/// shrunken claim protects the popped index, and only the pop's load
+/// order (`reserved` strictly before `top`, both SeqCst) keeps the claim
+/// exclusive.  A pop reading `top` first sees a stale `top` and a cleared
+/// reservation here, and hands out an element the batch already took.
+///
+/// Two probes rendezvous real threads at exactly those points: the thief
+/// parks between its batched slot reads and its CAS until the owner is
+/// inside its window, and the owner parks inside the window until the
+/// whole batch has committed and cleared.  The pop must then observe the
+/// batch's advanced `top` and come back empty-handed.
+///
+/// Instances are forced straddles.
+pub fn check_pop_straddling_batch_commit(rounds: usize) -> LemmaReport {
+    let name = "a batch committing inside the pop window is observed, not double-claimed";
+    let mut instances = 0u64;
+    for round in 0..rounds {
+        let (mut worker, stealer) = deque(8);
+        for v in 0..3 {
+            worker.push(v).unwrap();
+        }
+        let thief_staged = AtomicBool::new(false);
+        let owner_in_window = AtomicBool::new(false);
+        let batch_done = AtomicBool::new(false);
+        let mut popped = None;
+        let mut batch = None;
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                // Staged against bottom = 3: the reservation is published
+                // and all three slots are read *before* the owner's pop
+                // lowers bottom — the probe then parks the thief one step
+                // short of its CAS until the owner sits inside its window.
+                let out = stealer.steal_many_with_probe(3, || {
+                    thief_staged.store(true, Ordering::Release);
+                    while !owner_in_window.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                });
+                batch_done.store(true, Ordering::Release);
+                out
+            });
+            while !thief_staged.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            popped = Some(worker.pop_with_window_probe(|| {
+                owner_in_window.store(true, Ordering::Release);
+                while !batch_done.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+            }));
+            batch = Some(handle.join().unwrap());
+        });
+        instances += 1;
+        if batch != Some(StealMany::Stolen(vec![0, 1, 2])) || popped != Some(None) {
+            return LemmaReport::refuted(
+                name,
+                instances,
+                Counterexample::new(
+                    "the pop straddled by a committed batch claimed a stolen element",
+                    vec![3],
+                )
+                .step(format!("round {round}: batch got {batch:?}, owner popped {popped:?}")),
+            );
+        }
+    }
+    LemmaReport::proved(name, instances)
+}
+
 /// Checks that the owner's claim on the bottom element excludes thieves:
 /// once `bottom` is lowered over the last element, a thief arriving in the
 /// owner's CAS window observes an empty deque and backs off, and the
@@ -408,6 +480,13 @@ mod tests {
         let report = check_multi_claim_failure_implies_concurrent_success(50);
         assert!(report.is_proved(), "{report}");
         assert_eq!(report.instances, 150);
+    }
+
+    #[test]
+    fn a_pop_straddled_by_a_committed_batch_stays_exclusive() {
+        let report = check_pop_straddling_batch_commit(50);
+        assert!(report.is_proved(), "{report}");
+        assert_eq!(report.instances, 50);
     }
 
     #[test]

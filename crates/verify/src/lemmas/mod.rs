@@ -29,7 +29,7 @@ pub mod steal_sound;
 pub use cas::{
     check_cas_failure_implies_concurrent_success, check_cas_single_element_winner,
     check_cas_steal_exclusivity, check_multi_claim_exclusivity,
-    check_multi_claim_failure_implies_concurrent_success,
+    check_multi_claim_failure_implies_concurrent_success, check_pop_straddling_batch_commit,
 };
 pub use decay::{check_decay_convergence, check_tracked_work_conservation};
 pub use failure::check_failure_implies_concurrent_success;

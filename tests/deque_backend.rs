@@ -145,6 +145,8 @@ fn multi_claim_lemmas_hold_at_the_integration_level() {
     assert!(report.is_proved(), "{report}");
     let report = lemmas::check_multi_claim_failure_implies_concurrent_success(25);
     assert!(report.is_proved(), "{report}");
+    let report = lemmas::check_pop_straddling_batch_commit(25);
+    assert!(report.is_proved(), "{report}");
 }
 
 #[test]

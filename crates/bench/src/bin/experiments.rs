@@ -67,26 +67,44 @@ fn main() {
     }
 }
 
-/// `--json [--out PATH] [e<N>...]`: the unified runner over every backend,
-/// optionally restricted to the named experiments.
+/// `--json [--out PATH] [--scenarios DIR] [e<N>...]`: the unified runner
+/// over every backend, optionally restricted to the named experiments.
+/// `--scenarios DIR` runs the `.scn` documents found in `DIR` instead of
+/// the builtin catalog.
 fn run_unified_json(args: &[String]) {
-    let out_path = match args.iter().position(|a| a == "--out") {
-        Some(i) => match args.get(i + 1) {
-            Some(path) if !path.starts_with("--") => path.clone(),
-            _ => {
-                eprintln!("error: --out requires a path argument");
-                std::process::exit(2);
-            }
-        },
-        None => "BENCH_results.json".to_string(),
+    let flag_value = |flag: &str| -> Option<String> {
+        match args.iter().position(|a| a == flag) {
+            Some(i) => match args.get(i + 1) {
+                Some(path) if !path.starts_with("--") => Some(path.clone()),
+                _ => {
+                    eprintln!("error: {flag} requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            None => None,
+        }
     };
-    let out_skip = args.iter().position(|a| a == "--out").map(|i| i + 1);
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_results.json".to_string());
+    let skip: Vec<usize> = ["--out", "--scenarios"]
+        .iter()
+        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+        .collect();
 
-    let mut specs = sched_bench::catalog();
+    let mut specs = match flag_value("--scenarios") {
+        Some(dir) => sched_bench::load_dir(std::path::Path::new(&dir))
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot load scenarios from {dir}: {e}");
+                std::process::exit(2);
+            })
+            .into_iter()
+            .map(|s| s.spec)
+            .collect(),
+        None => sched_bench::catalog(),
+    };
     let wanted: Vec<ExperimentId> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| Some(*i) != out_skip && !a.starts_with("--"))
+        .filter(|(i, a)| !skip.contains(i) && !a.starts_with("--"))
         .map(|(_, a)| {
             ExperimentId::parse(a).unwrap_or_else(|| {
                 eprintln!("error: unknown experiment `{a}` (try `list`)");
@@ -99,7 +117,7 @@ fn run_unified_json(args: &[String]) {
     }
     let runner = sched_bench::ExperimentRunner::with_all_backends();
     eprintln!("running {} experiments on {} backends...", specs.len(), runner.backends().len());
-    let records = runner.run_catalog(&specs);
+    let records = runner.run_catalog(specs);
 
     // Write the artifact before printing the table: if stdout is a pipe
     // that closes early (`... | head`), the records must already be on

@@ -1,0 +1,878 @@
+//! The experiment catalog, loaded from declarative scenario documents.
+//!
+//! Every catalogued experiment lives in `experiments/eN.scn` at the
+//! workspace root: a [`ScenarioDoc`] embedding the scenario's topology,
+//! load vector, policy (named or an inline DSL program), backend matrix,
+//! arrival driver and expected-invariant block.  This module is the bridge
+//! between those documents and the executable [`ExperimentSpec`]s of
+//! [`crate::runner`]:
+//!
+//! * [`builtin`] parses the embedded copies of the workspace documents
+//!   (compiled in with `include_str!`, so the binary needs no filesystem)
+//!   into [`LoadedScenario`]s — the catalog every harness entry point runs;
+//! * [`load_dir`]/[`load_str`] load *external* documents at runtime, which
+//!   is how `experiments --scenarios DIR` and the fuzzer's repro files
+//!   execute scenarios that were never compiled in;
+//! * [`from_doc`]/[`to_doc`] convert one scenario each way; conversion into
+//!   a spec funnels through [`ExperimentSpec::builder`], so a document
+//!   cannot express a combination the builder would reject.
+//!
+//! The expected-invariant block (`expect { … }`) is carried on the
+//! [`LoadedScenario`], not the spec: invariants are claims *about* a run,
+//! checked by [`crate::fuzz`] after the fact, not inputs to it.
+
+use std::path::Path;
+
+use sched_dsl::{DocBatch, DocDriver, DocInvariant, DocPolicy, DocTopology, ScenarioDoc};
+
+use crate::experiments::ExperimentId;
+use crate::runner::{
+    BatchK, BurstSpec, Driver, ExperimentSpec, PolicySpec, SpecError, StormSpec, TopoSpec,
+    WorkloadKind, WorkloadSpec,
+};
+
+/// One scenario as loaded from a document: the parsed document (carrying
+/// the name, backend matrix and expected invariants) plus the validated,
+/// executable spec built from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedScenario {
+    /// The declarative form, as parsed.
+    pub doc: ScenarioDoc,
+    /// The executable form, validated by [`ExperimentSpec::builder`].
+    pub spec: ExperimentSpec,
+}
+
+impl LoadedScenario {
+    /// The invariants this scenario's records are expected to satisfy.
+    pub fn expectations(&self) -> &[DocInvariant] {
+        &self.doc.expect
+    }
+}
+
+/// The embedded sources of the builtin catalog, one `(file name, source)`
+/// pair per experiment, in index order.  These are compiled-in copies of
+/// the workspace's `experiments/*.scn` files.
+pub fn builtin_sources() -> Vec<(&'static str, &'static str)> {
+    macro_rules! sources {
+        ($($name:literal),* $(,)?) => {
+            vec![$(($name, include_str!(concat!("../../../experiments/", $name)))),*]
+        };
+    }
+    sources![
+        "e1.scn", "e2.scn", "e3.scn", "e4.scn", "e5.scn", "e6.scn", "e7.scn", "e8.scn", "e9.scn",
+        "e10.scn", "e11.scn", "e12.scn", "e13.scn", "e14.scn", "e15.scn", "e16.scn", "e17.scn",
+        "e18.scn", "e19.scn", "e20.scn", "e21.scn", "e22.scn", "e23.scn",
+    ]
+}
+
+/// Parses the builtin catalog.  Panics if an embedded document is invalid —
+/// the workspace's own scenario files are part of the build, and a broken
+/// one is a build defect, not a runtime condition.
+pub fn builtin() -> Vec<LoadedScenario> {
+    builtin_sources()
+        .into_iter()
+        .flat_map(|(name, source)| {
+            load_str(source, name).unwrap_or_else(|e| panic!("builtin scenario {name}: {e}"))
+        })
+        .collect()
+}
+
+/// The catalogued specs, in catalog order — the unified runner's input.
+pub fn catalog() -> Vec<ExperimentSpec> {
+    builtin().into_iter().map(|s| s.spec).collect()
+}
+
+/// The first catalogued spec of one experiment (E17/E21/E23 have several;
+/// use [`specs_of`] for the full sweep).
+pub fn spec(id: ExperimentId) -> ExperimentSpec {
+    specs_of(id).into_iter().next().expect("catalogued experiment")
+}
+
+/// Every catalogued spec of one experiment, in catalog order.
+pub fn specs_of(id: ExperimentId) -> Vec<ExperimentSpec> {
+    catalog().into_iter().filter(|s| s.id == id).collect()
+}
+
+/// Parses scenario documents from `source` (one or more `scenario` blocks)
+/// and validates each into a spec.  `origin` labels errors.
+pub fn load_str(source: &str, origin: &str) -> Result<Vec<LoadedScenario>, SpecError> {
+    let docs =
+        sched_dsl::parse_doc(source).map_err(|e| SpecError::new(format!("{origin}: {e}")))?;
+    let mut loaded = Vec::with_capacity(docs.len());
+    for doc in docs {
+        let spec = from_doc(&doc).map_err(|e| SpecError::new(format!("{origin}: {e}")))?;
+        let duplicate = loaded
+            .iter()
+            .any(|prior: &LoadedScenario| prior.spec.id == spec.id && prior.doc.name == doc.name);
+        if duplicate {
+            // Records are keyed `experiment | scenario | backend`; two
+            // scenarios with the same key would collide silently in the
+            // bench-diff gate.
+            return Err(SpecError::new(format!(
+                "{origin}: duplicate scenario `{}` for {:?}",
+                doc.name, spec.id
+            )));
+        }
+        loaded.push(LoadedScenario { doc, spec });
+    }
+    Ok(loaded)
+}
+
+/// Loads every `*.scn` document in `dir` (sorted by file name).
+pub fn load_dir(dir: &Path) -> Result<Vec<LoadedScenario>, SpecError> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| SpecError::new(format!("{}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "scn"))
+        .collect();
+    paths.sort();
+    let mut loaded = Vec::new();
+    for path in paths {
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| SpecError::new(format!("{}: {e}", path.display())))?;
+        loaded.extend(load_str(&source, &path.display().to_string())?);
+    }
+    Ok(loaded)
+}
+
+/// Builds the executable spec one document describes.  All structural
+/// validation funnels through [`ExperimentSpec::builder`].
+pub fn from_doc(doc: &ScenarioDoc) -> Result<ExperimentSpec, SpecError> {
+    let name = &doc.name;
+    let id = ExperimentId::parse(&doc.experiment).ok_or_else(|| {
+        SpecError::new(format!("{name}: unknown experiment `{}`", doc.experiment))
+    })?;
+    let topo = match doc.topology {
+        DocTopology::Flat(cores) => TopoSpec::Flat(cores as usize),
+        DocTopology::DualSocket => TopoSpec::DualSocket,
+        DocTopology::EightNode => TopoSpec::EightNode,
+    };
+    let policy = policy_from_doc(name, &doc.policy)?;
+    let driver = driver_from_doc(name, &doc.driver)?;
+
+    let mut builder = ExperimentSpec::builder(id, doc.name.clone())
+        .loads(doc.loads.iter().map(|&l| l as usize).collect())
+        .topo(topo)
+        .policy(policy)
+        .driver(driver)
+        .budget_rounds(doc.budget as usize)
+        .mixed_nice(doc.mixed_nice);
+    if let Some(batch) = doc.batch {
+        builder = builder.batch(match batch {
+            DocBatch::Fixed(k) if k >= 1 => BatchK::Fixed(k as usize),
+            DocBatch::Fixed(k) => {
+                return Err(SpecError::new(format!("{name}: batch size {k} must be at least 1")))
+            }
+            DocBatch::Half => BatchK::HalfImbalance,
+        });
+    }
+    if let Some(backends) = &doc.backends {
+        builder = builder.backends(backends.clone());
+    }
+    builder.build()
+}
+
+fn policy_from_doc(scenario: &str, policy: &DocPolicy) -> Result<PolicySpec, SpecError> {
+    let named = match policy {
+        DocPolicy::Inline(def) => return Ok(PolicySpec::Dsl(def.clone())),
+        DocPolicy::Named { name, arg } => match (name.as_str(), arg) {
+            ("listing1", None) => PolicySpec::Listing1,
+            ("greedy", None) => PolicySpec::Greedy,
+            ("weighted", None) => PolicySpec::Weighted,
+            ("steal_half", None) => PolicySpec::StealHalf,
+            ("numa_aware", None) => PolicySpec::NumaAware,
+            ("topo_aware", None) => PolicySpec::TopoAware,
+            ("hierarchical", None) => PolicySpec::Hierarchical,
+            ("pelt", None) => PolicySpec::Pelt,
+            ("pelt_weighted", None) => PolicySpec::PeltWeighted,
+            ("pelt_half_life", Some(ms)) if (1..=3_600_000).contains(ms) => {
+                PolicySpec::PeltHalfLife(*ms as u32)
+            }
+            ("pelt_half_life", arg) => {
+                return Err(SpecError::new(format!(
+                    "{scenario}: pelt_half_life needs a half-life in milliseconds, got {arg:?}"
+                )))
+            }
+            (other, Some(arg)) => {
+                return Err(SpecError::new(format!(
+                    "{scenario}: policy `{other}` takes no argument (got {arg})"
+                )))
+            }
+            (other, None) => {
+                return Err(SpecError::new(format!(
+                "{scenario}: unknown policy `{other}` (write an inline `policy {other} {{ … }}` \
+                     block to define one)"
+            )))
+            }
+        },
+    };
+    Ok(named)
+}
+
+fn driver_from_doc(scenario: &str, driver: &DocDriver) -> Result<Driver, SpecError> {
+    Ok(match driver {
+        DocDriver::Replay => Driver::Replay,
+        DocDriver::Workload { kind, seed, jitter_pct } => {
+            let kind = match kind.as_str() {
+                "scientific" => WorkloadKind::Scientific,
+                "oltp" => WorkloadKind::Oltp,
+                other => {
+                    return Err(SpecError::new(format!(
+                        "{scenario}: unknown workload `{other}` (scientific, oltp)"
+                    )))
+                }
+            };
+            let mut spec = WorkloadSpec::new(kind);
+            if let Some(seed) = seed {
+                spec.seed = *seed;
+            }
+            if let Some(jitter) = jitter_pct {
+                spec.jitter_pct = *jitter;
+            }
+            Driver::Workload(spec)
+        }
+        DocDriver::Burst { epochs, epoch_ns, warmup_ns, seed, jitter_pct } => {
+            let mut spec = BurstSpec::new(*epochs as usize, *epoch_ns, *warmup_ns);
+            if let Some(seed) = seed {
+                spec.seed = *seed;
+            }
+            if let Some(jitter) = jitter_pct {
+                spec.jitter_pct = *jitter;
+            }
+            Driver::Burst(spec)
+        }
+        DocDriver::Storm { epochs, fanout, rounds } => Driver::Storm(StormSpec {
+            epochs: *epochs as usize,
+            fanout: *fanout as usize,
+            rounds_per_epoch: *rounds as usize,
+        }),
+    })
+}
+
+/// Renders one spec back into its declarative form, attaching `expect` as
+/// the document's invariant block.  `from_doc(&to_doc(spec, _))` rebuilds
+/// an equal spec — the regeneration path the builtin documents were
+/// originally produced with.
+pub fn to_doc(spec: &ExperimentSpec, expect: &[DocInvariant]) -> ScenarioDoc {
+    let policy = match &spec.policy {
+        PolicySpec::Listing1 => named("listing1"),
+        PolicySpec::Greedy => named("greedy"),
+        PolicySpec::Weighted => named("weighted"),
+        PolicySpec::StealHalf => named("steal_half"),
+        PolicySpec::NumaAware => named("numa_aware"),
+        PolicySpec::TopoAware => named("topo_aware"),
+        PolicySpec::Hierarchical => named("hierarchical"),
+        PolicySpec::Pelt => named("pelt"),
+        PolicySpec::PeltWeighted => named("pelt_weighted"),
+        PolicySpec::PeltHalfLife(ms) => {
+            DocPolicy::Named { name: "pelt_half_life".into(), arg: Some(i64::from(*ms)) }
+        }
+        PolicySpec::Dsl(def) => DocPolicy::Inline(def.clone()),
+    };
+    let driver = match spec.driver {
+        Driver::Replay => DocDriver::Replay,
+        Driver::Workload(w) => DocDriver::Workload {
+            kind: match w.kind {
+                WorkloadKind::Scientific => "scientific".into(),
+                WorkloadKind::Oltp => "oltp".into(),
+            },
+            seed: Some(w.seed),
+            jitter_pct: Some(w.jitter_pct),
+        },
+        Driver::Burst(b) => DocDriver::Burst {
+            epochs: b.epochs as u64,
+            epoch_ns: b.epoch_ns,
+            warmup_ns: b.warmup_ns,
+            seed: Some(b.seed),
+            jitter_pct: Some(b.jitter_pct),
+        },
+        Driver::Storm(s) => DocDriver::Storm {
+            epochs: s.epochs as u64,
+            fanout: s.fanout as u64,
+            rounds: s.rounds_per_epoch as u64,
+        },
+    };
+    ScenarioDoc {
+        name: spec.scenario.clone(),
+        experiment: format!("{:?}", spec.id).to_ascii_lowercase(),
+        topology: match spec.topo {
+            TopoSpec::Flat(cores) => DocTopology::Flat(cores as u64),
+            TopoSpec::DualSocket => DocTopology::DualSocket,
+            TopoSpec::EightNode => DocTopology::EightNode,
+        },
+        loads: spec.loads.iter().map(|&l| l as u64).collect(),
+        policy,
+        backends: spec.backends.clone(),
+        driver,
+        budget: spec.budget_rounds as u64,
+        batch: spec.batch.map(|b| match b {
+            BatchK::Fixed(k) => DocBatch::Fixed(k as i64),
+            BatchK::HalfImbalance => DocBatch::Half,
+        }),
+        mixed_nice: spec.mixed_nice,
+        expect: expect.to_vec(),
+    }
+}
+
+fn named(name: &str) -> DocPolicy {
+    DocPolicy::Named { name: name.into(), arg: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PELT_HALF_LIFE_NS;
+    use sched_workloads::{ImbalancePattern, StaticImbalance};
+
+    /// The catalog as it was hardcoded before the declarative documents
+    /// existed — the parity fixture the builtin `.scn` files are pinned
+    /// against, spec for spec.  (This is also the source the documents were
+    /// generated from; see `regenerate_builtin_documents`.)
+    fn legacy_catalog() -> Vec<ExperimentSpec> {
+        use ExperimentId::*;
+        let build = |id,
+                     scenario: &str,
+                     loads: Vec<usize>,
+                     topo,
+                     policy,
+                     driver,
+                     budget: usize,
+                     mixed: bool,
+                     batch: Option<BatchK>| {
+            let mut b = ExperimentSpec::builder(id, scenario)
+                .loads(loads)
+                .topo(topo)
+                .policy(policy)
+                .driver(driver)
+                .budget_rounds(budget)
+                .mixed_nice(mixed);
+            if let Some(batch) = batch {
+                b = b.batch(batch);
+            }
+            b.build().expect("legacy catalog specs are valid")
+        };
+        let replay = Driver::Replay;
+        let mut specs = vec![
+            build(
+                E1,
+                "choice-irrelevance: four hot cores of sixteen",
+                vec![12, 0, 0, 0, 4, 0, 0, 0, 2, 0, 0, 0, 6, 0, 0, 0],
+                TopoSpec::Flat(16),
+                PolicySpec::Listing1,
+                replay,
+                256,
+                false,
+                None,
+            ),
+            build(
+                E2,
+                "listing1: all threads on core 0 of 8",
+                vec![16, 0, 0, 0, 0, 0, 0, 0],
+                TopoSpec::Flat(8),
+                PolicySpec::Listing1,
+                replay,
+                128,
+                false,
+                None,
+            ),
+            build(
+                E3,
+                "lemma1 scope: three cores, loads [4,1,0]",
+                vec![4, 1, 0],
+                TopoSpec::Flat(3),
+                PolicySpec::Listing1,
+                replay,
+                64,
+                false,
+                None,
+            ),
+            build(
+                E4,
+                "sequential WC: step imbalance on four cores",
+                StaticImbalance::new(4, 8, ImbalancePattern::Step).loads(),
+                TopoSpec::Flat(4),
+                PolicySpec::Weighted,
+                replay,
+                64,
+                false,
+                None,
+            ),
+            build(
+                E5,
+                "greedy filter on the ping-pong-prone shape",
+                vec![4, 1, 0, 0],
+                TopoSpec::Flat(4),
+                PolicySpec::Greedy,
+                replay,
+                64,
+                false,
+                None,
+            ),
+            build(
+                E6,
+                "contention: one hot core, seven thieves",
+                vec![8, 0, 0, 0, 0, 0, 0, 0],
+                TopoSpec::Flat(8),
+                PolicySpec::Listing1,
+                replay,
+                128,
+                false,
+                None,
+            ),
+            build(
+                E7,
+                "potential drain: step imbalance, 8 cores 16 threads",
+                StaticImbalance::new(8, 16, ImbalancePattern::Step).loads(),
+                TopoSpec::Flat(8),
+                PolicySpec::Listing1,
+                replay,
+                128,
+                false,
+                None,
+            ),
+            build(
+                E8,
+                "convergence at scale: 64 cores, single hot",
+                StaticImbalance::new(64, 128, ImbalancePattern::SingleHot).loads(),
+                TopoSpec::Flat(64),
+                PolicySpec::StealHalf,
+                replay,
+                1024,
+                false,
+                None,
+            ),
+            build(
+                E9,
+                "scientific fork-join on the dual-socket server",
+                {
+                    let mut loads = vec![0; 16];
+                    loads[0] = 16;
+                    loads
+                },
+                TopoSpec::DualSocket,
+                PolicySpec::Listing1,
+                Driver::Workload(WorkloadSpec::new(WorkloadKind::Scientific)),
+                256,
+                false,
+                None,
+            ),
+            build(
+                E10,
+                "OLTP on the dual-socket server",
+                {
+                    let mut loads = vec![0; 16];
+                    for slot in loads.iter_mut().take(4) {
+                        *slot = 8;
+                    }
+                    loads
+                },
+                TopoSpec::DualSocket,
+                PolicySpec::Listing1,
+                Driver::Workload(WorkloadSpec::new(WorkloadKind::Oltp)),
+                256,
+                false,
+                None,
+            ),
+            build(
+                E11,
+                "lock-less overhead: every fourth core hot, 64 cores",
+                (0..64).map(|i| if i % 4 == 0 { 6 } else { 0 }).collect(),
+                TopoSpec::Flat(64),
+                PolicySpec::Listing1,
+                replay,
+                512,
+                false,
+                None,
+            ),
+            build(
+                E12,
+                "hierarchical: one hot core per NUMA node",
+                numa_loads(),
+                TopoSpec::EightNode,
+                PolicySpec::NumaAware,
+                replay,
+                512,
+                false,
+                None,
+            ),
+            build(
+                E13,
+                "DSL-compiled listing1: all threads on core 0 of 8",
+                vec![16, 0, 0, 0, 0, 0, 0, 0],
+                TopoSpec::Flat(8),
+                PolicySpec::dsl_listing1(),
+                replay,
+                128,
+                false,
+                None,
+            ),
+            build(
+                E14,
+                "NUMA imbalance: node 0 saturated, node 1 idle",
+                {
+                    let mut loads = vec![0; 16];
+                    for slot in loads.iter_mut().take(8) {
+                        *slot = 4;
+                    }
+                    loads
+                },
+                TopoSpec::DualSocket,
+                PolicySpec::TopoAware,
+                replay,
+                256,
+                false,
+                None,
+            ),
+            build(
+                E15,
+                "cross-node ping-pong bait: hot cores on distant nodes",
+                distant_hot_loads(),
+                TopoSpec::EightNode,
+                PolicySpec::TopoAware,
+                replay,
+                512,
+                false,
+                None,
+            ),
+            build(
+                E16,
+                "hierarchical convergence: one hot core per NUMA node",
+                numa_loads(),
+                TopoSpec::EightNode,
+                PolicySpec::Hierarchical,
+                replay,
+                512,
+                false,
+                None,
+            ),
+        ];
+        for (policy, scenario) in [
+            (PolicySpec::Listing1, "bursty on/off: instantaneous balancing"),
+            (PolicySpec::Pelt, "bursty on/off: PELT balancing"),
+        ] {
+            specs.push(build(
+                E17,
+                scenario,
+                vec![2; 8],
+                TopoSpec::Flat(8),
+                policy,
+                Driver::Burst(BurstSpec::new(32, 1_000_000, 32 * PELT_HALF_LIFE_NS)),
+                64,
+                false,
+                None,
+            ));
+        }
+        specs.push(build(
+            E18,
+            "mixed niceness: PELT-decayed weighted balancing",
+            StaticImbalance::new(8, 24, ImbalancePattern::SingleHot).loads(),
+            TopoSpec::Flat(8),
+            PolicySpec::PeltWeighted,
+            replay,
+            512,
+            true,
+            None,
+        ));
+        specs.push(build(
+            E19,
+            "tracker overhead: every fourth core hot, 64 cores",
+            (0..64).map(|i| if i % 4 == 0 { 6 } else { 0 }).collect(),
+            TopoSpec::Flat(64),
+            PolicySpec::Pelt,
+            replay,
+            512,
+            false,
+            None,
+        ));
+        specs.push(build(
+            E20,
+            "steal-heavy fan-out: one producer core, fifteen thieves",
+            fan_out_loads(64),
+            TopoSpec::Flat(16),
+            PolicySpec::Listing1,
+            replay,
+            256,
+            false,
+            None,
+        ));
+        for half_life_ms in [1u32, 4, 16, 64] {
+            specs.push(build(
+                E21,
+                &format!("half-life sweep: pelt({half_life_ms}ms) vs 4ms bursts"),
+                vec![2; 8],
+                TopoSpec::Flat(8),
+                PolicySpec::PeltHalfLife(half_life_ms),
+                Driver::Burst(BurstSpec::new(32, 4_000_000, 32 * 64_000_000)),
+                64,
+                false,
+                None,
+            ));
+        }
+        specs.push(build(
+            E22,
+            "overflow storm: fan-out bursts on tiny rings",
+            fan_out_loads(1),
+            TopoSpec::Flat(16),
+            PolicySpec::Listing1,
+            Driver::Storm(StormSpec { epochs: 16, fanout: 24, rounds_per_epoch: 2 }),
+            0,
+            false,
+            None,
+        ));
+        for batch in BatchK::SWEEP {
+            specs.push(build(
+                E23,
+                &format!("batch sweep k={}: steal-heavy fan-out", batch.name()),
+                fan_out_loads(64),
+                TopoSpec::Flat(16),
+                PolicySpec::Listing1,
+                replay,
+                256,
+                false,
+                Some(batch),
+            ));
+        }
+        for batch in BatchK::SWEEP {
+            specs.push(build(
+                E23,
+                &format!("batch sweep k={}: overflow storm", batch.name()),
+                fan_out_loads(1),
+                TopoSpec::Flat(16),
+                PolicySpec::Listing1,
+                Driver::Storm(StormSpec { epochs: 16, fanout: 24, rounds_per_epoch: 2 }),
+                0,
+                false,
+                Some(batch),
+            ));
+        }
+        specs
+    }
+
+    /// One hot core per NUMA node of the eight-node machine, holding the
+    /// node's entire 2x-cores share.
+    fn numa_loads() -> Vec<usize> {
+        let topo = TopoSpec::EightNode.build();
+        let mut loads = vec![0; topo.nr_cpus()];
+        let per_node = 2 * topo.nr_cpus() / topo.nr_nodes();
+        for node in 0..topo.nr_nodes() {
+            loads[topo.cpus_of_node(sched_topology::NodeId(node))[0].0] = per_node;
+        }
+        loads
+    }
+
+    /// Hot cores on ring-distant nodes 0 and 4 of the eight-node machine.
+    fn distant_hot_loads() -> Vec<usize> {
+        let topo = TopoSpec::EightNode.build();
+        let mut loads = vec![0; topo.nr_cpus()];
+        let per_node = topo.nr_cpus() / topo.nr_nodes();
+        for node in [0usize, 4] {
+            loads[topo.cpus_of_node(sched_topology::NodeId(node))[0].0] = 2 * per_node;
+        }
+        loads
+    }
+
+    /// `n` threads on core 0 of a 16-core flat machine.
+    fn fan_out_loads(n: usize) -> Vec<usize> {
+        let mut loads = vec![0; 16];
+        loads[0] = n;
+        loads
+    }
+
+    /// The invariants each legacy scenario's records are expected to
+    /// satisfy — the `expect` blocks of the generated documents.
+    fn legacy_expectations(spec: &ExperimentSpec) -> Vec<DocInvariant> {
+        match spec.driver {
+            // Storm epochs *measure* a conservation hole on the spill
+            // baseline, and burst blips park tasks outside the system, so
+            // only task conservation is claimed there.
+            Driver::Storm(_) | Driver::Burst(_) => vec![DocInvariant::ConservationOfTasks],
+            // The greedy filter is the refuted baseline: it may ping-pong
+            // forever, so work conservation is deliberately not claimed.
+            _ if spec.policy == PolicySpec::Greedy => {
+                vec![DocInvariant::ConservationOfTasks, DocInvariant::NonInversion]
+            }
+            _ => vec![
+                DocInvariant::WorkConservation,
+                DocInvariant::ConservationOfTasks,
+                DocInvariant::NonInversion,
+            ],
+        }
+    }
+
+    #[test]
+    fn builtin_documents_reproduce_the_legacy_catalog_exactly() {
+        let legacy = legacy_catalog();
+        let loaded = builtin();
+        assert_eq!(
+            loaded.len(),
+            legacy.len(),
+            "the declarative catalog must have one scenario per legacy spec"
+        );
+        for (scenario, want) in loaded.iter().zip(&legacy) {
+            assert_eq!(
+                &scenario.spec, want,
+                "scenario `{}` drifted from the legacy catalog",
+                scenario.doc.name
+            );
+            assert!(
+                !scenario.doc.expect.is_empty(),
+                "scenario `{}` must claim at least one invariant",
+                scenario.doc.name
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_covers_every_experiment() {
+        let specs = catalog();
+        assert_eq!(specs.len(), 36);
+        let mut seen = std::collections::BTreeSet::new();
+        for spec in &specs {
+            assert!(
+                seen.insert(format!("{:?}|{}", spec.id, spec.scenario)),
+                "duplicate scenario {:?} `{}`",
+                spec.id,
+                spec.scenario
+            );
+            assert_eq!(
+                spec.topo.build().nr_cpus(),
+                spec.loads.len(),
+                "{:?}: load vector must match the machine",
+                spec.id
+            );
+            assert!(spec.nr_threads() > 0, "{:?}: a scenario needs threads", spec.id);
+        }
+        let ids: std::collections::BTreeSet<String> =
+            specs.iter().map(|s| format!("{:?}", s.id)).collect();
+        assert_eq!(ids.len(), ExperimentId::all().len(), "every experiment is catalogued");
+        let count = |id| specs.iter().filter(|s| s.id == id).count();
+        assert_eq!(count(ExperimentId::E17), 2, "E17 sweeps two criteria");
+        assert_eq!(count(ExperimentId::E21), 4, "E21 sweeps four half-lives");
+        assert_eq!(count(ExperimentId::E23), 10, "E23 sweeps five batch sizes on two shapes");
+        for spec in specs.iter().filter(|s| s.id == ExperimentId::E23) {
+            assert!(spec.batch.is_some(), "E23 specs carry a batch size");
+        }
+    }
+
+    #[test]
+    fn every_builtin_document_round_trips_through_to_doc() {
+        for scenario in builtin() {
+            let doc = to_doc(&scenario.spec, &scenario.doc.expect);
+            let spec = from_doc(&doc).expect("regenerated documents stay valid");
+            assert_eq!(spec, scenario.spec, "{}: to_doc changed the spec", scenario.doc.name);
+        }
+    }
+
+    #[test]
+    fn committed_results_match_the_declarative_catalog() {
+        // The parity pin against the *records*: the committed
+        // BENCH_results.json was produced by the hardcoded catalog; its
+        // deterministic fields must be exactly what the declarative catalog
+        // predicts, record for record, in order.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_results.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_results.json");
+        let json = sched_json::parse(&text).expect("valid JSON");
+        let records = json.get("records").and_then(|r| r.as_array()).expect("records array");
+
+        let mut predicted: Vec<(String, String, &'static str, String, String, usize)> = Vec::new();
+        for spec in catalog() {
+            let backends: &[&'static str] = if spec.driver.storm().is_some() {
+                &["rq", "rq-deque", "rq-deque-tiny", "rq-deque-spill"]
+            } else if spec.batch.is_some() {
+                &["rq", "rq-deque"]
+            } else {
+                &["model", "sim", "rq", "rq-deque"]
+            };
+            let experiment = format!("{:?}", spec.id).to_ascii_lowercase();
+            for backend in backends {
+                predicted.push((
+                    experiment.clone(),
+                    spec.scenario.clone(),
+                    backend,
+                    spec.policy.name(),
+                    spec.policy.tracker_name(),
+                    spec.loads.len(),
+                ));
+            }
+        }
+        assert_eq!(records.len(), predicted.len(), "record count must match the catalog");
+        for (record, want) in records.iter().zip(&predicted) {
+            let field = |k: &str| record.get(k).and_then(|v| v.as_str()).unwrap_or_default();
+            let got = (
+                field("experiment").to_string(),
+                field("scenario").to_string(),
+                field("backend"),
+                field("policy").to_string(),
+                field("tracker").to_string(),
+                record.get("cores").and_then(|v| v.as_f64()).unwrap_or_default() as usize,
+            );
+            assert_eq!(
+                (got.0.as_str(), got.1.as_str(), got.2, got.3.as_str(), got.4.as_str(), got.5),
+                (
+                    want.0.as_str(),
+                    want.1.as_str(),
+                    want.2,
+                    want.3.as_str(),
+                    want.4.as_str(),
+                    want.5
+                ),
+                "committed record {} diverges from the declarative catalog",
+                sched_json::record_key(&want.0, &want.1, want.2)
+            );
+        }
+    }
+
+    #[test]
+    fn loader_rejects_duplicates_and_bad_documents() {
+        let duplicate = r#"
+scenario "twin" { experiment e2; topology flat(2); loads [2, 0]; policy listing1; budget 8; }
+scenario "twin" { experiment e2; topology flat(2); loads [2, 0]; policy listing1; budget 8; }
+"#;
+        let err = load_str(duplicate, "test").unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+
+        let unknown_policy =
+            r#"scenario "x" { experiment e2; topology flat(2); loads [2, 0]; policy bogus; }"#;
+        let err = load_str(unknown_policy, "test").unwrap_err();
+        assert!(err.to_string().contains("unknown policy"), "{err}");
+
+        let unknown_experiment =
+            r#"scenario "x" { experiment e99; topology flat(2); loads [2, 0]; policy listing1; }"#;
+        let err = load_str(unknown_experiment, "test").unwrap_err();
+        assert!(err.to_string().contains("unknown experiment"), "{err}");
+
+        let wrong_size =
+            r#"scenario "x" { experiment e2; topology flat(4); loads [2, 0]; policy listing1; }"#;
+        let err = load_str(wrong_size, "test").unwrap_err();
+        assert!(err.to_string().contains("cores"), "{err}");
+    }
+
+    /// Regenerates `experiments/*.scn` from the legacy fixture.  Run once
+    /// by hand (`cargo test -p sched-bench regenerate_builtin -- --ignored`)
+    /// whenever the fixture changes; the parity tests above then pin the
+    /// files.
+    #[test]
+    #[ignore = "writes the workspace scenario documents; run by hand"]
+    fn regenerate_builtin_documents() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../experiments");
+        std::fs::create_dir_all(root).expect("experiments directory");
+        let legacy = legacy_catalog();
+        for id in ExperimentId::all() {
+            let docs: Vec<ScenarioDoc> = legacy
+                .iter()
+                .filter(|s| s.id == id)
+                .map(|s| to_doc(s, &legacy_expectations(s)))
+                .collect();
+            assert!(!docs.is_empty(), "{id:?} missing from the legacy fixture");
+            let name = format!("{id:?}").to_ascii_lowercase();
+            let header = format!(
+                "# {}\n# {}\n\n",
+                id.title().trim(),
+                "Declarative scenario document; the sched-bench catalog loads this at build time."
+            );
+            let path = format!("{root}/{name}.scn");
+            std::fs::write(&path, format!("{header}{}", sched_dsl::print_doc(&docs)))
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        }
+    }
+}

@@ -699,11 +699,6 @@ fn e12_hierarchical() -> Vec<Table> {
     vec![table, negative]
 }
 
-/// Pulls one experiment's spec out of the unified catalog.
-fn unified_spec(id: ExperimentId) -> crate::runner::ExperimentSpec {
-    crate::runner::catalog().into_iter().find(|s| s.id == id).expect("catalogued experiment")
-}
-
 /// Renders one unified-runner record comparison as a locality table.
 fn locality_table(
     title: impl Into<String>,
@@ -742,7 +737,7 @@ fn locality_table(
 /// cross the socket, but only as much as work conservation demands.
 fn e14_numa_imbalance() -> Vec<Table> {
     use crate::runner::{ExperimentRunner, ModelBackend, PolicySpec};
-    let spec = unified_spec(ExperimentId::E14);
+    let spec = crate::catalog::spec(ExperimentId::E14);
     let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
     let mut rows = Vec::new();
     for (name, policy) in [
@@ -753,7 +748,7 @@ fn e14_numa_imbalance() -> Vec<Table> {
     ] {
         let mut spec = spec.clone();
         spec.policy = policy;
-        rows.push((name, runner.run(&spec).remove(0)));
+        rows.push((name, runner.run(spec).remove(0)));
     }
     vec![locality_table(
         "E14: node 0 saturated (4 threads/core), node 1 idle — who crosses the socket, and how often",
@@ -765,7 +760,7 @@ fn e14_numa_imbalance() -> Vec<Table> {
 /// choosers, which bounce threads across the interconnect.
 fn e15_cross_node_pingpong() -> Vec<Table> {
     use crate::runner::{ExperimentRunner, ModelBackend, PolicySpec};
-    let spec = unified_spec(ExperimentId::E15);
+    let spec = crate::catalog::spec(ExperimentId::E15);
     let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
     let mut rows = Vec::new();
     for (name, policy) in [
@@ -775,7 +770,7 @@ fn e15_cross_node_pingpong() -> Vec<Table> {
     ] {
         let mut spec = spec.clone();
         spec.policy = policy;
-        rows.push((name, runner.run(&spec).remove(0)));
+        rows.push((name, runner.run(spec).remove(0)));
     }
     vec![locality_table(
         "E15: hot cores on nodes 0 and 4 of the 8-node ring — remote steals are wasted interconnect traffic",
@@ -788,9 +783,9 @@ fn e15_cross_node_pingpong() -> Vec<Table> {
 /// real threads.
 fn e16_hierarchical_convergence() -> Vec<Table> {
     use crate::runner::{ExperimentRunner, ModelBackend, RqBackend};
-    let spec = unified_spec(ExperimentId::E16);
+    let spec = crate::catalog::spec(ExperimentId::E16);
     let runner = ExperimentRunner::new(vec![Box::new(ModelBackend), Box::new(RqBackend)]);
-    let records = runner.run(&spec);
+    let records = runner.run(spec);
     let mut rows = Vec::new();
     for r in records {
         let name: &'static str = if r.backend == "model" {
@@ -812,8 +807,7 @@ fn e17_bursty_tracking() -> Vec<Table> {
     use crate::runner::ExperimentRunner;
     use sched_metrics::MigrationChurn;
 
-    let specs: Vec<crate::runner::ExperimentSpec> =
-        crate::runner::catalog().into_iter().filter(|s| s.id == ExperimentId::E17).collect();
+    let specs = crate::catalog::specs_of(ExperimentId::E17);
     let runner = ExperimentRunner::with_all_backends();
     let mut table = Table::new(
         "E17: bursty on/off load — migrations are churn; a decayed criterion avoids them at the same violating idle",
@@ -821,11 +815,11 @@ fn e17_bursty_tracking() -> Vec<Table> {
     );
     let mut churn: Vec<(String, MigrationChurn)> = Vec::new();
     for spec in &specs {
-        for r in runner.run(spec) {
-            let epochs = spec.burst.map_or(0, |b| b.epochs as u64);
+        for r in runner.run(spec.clone()) {
+            let epochs = spec.driver.burst().map_or(0, |b| b.epochs as u64);
             let c = MigrationChurn::new(r.migrations, r.failures, epochs, r.violating_idle);
             table.row(&[
-                r.tracker.into(),
+                r.tracker.clone(),
                 r.backend.into(),
                 r.migrations.to_string(),
                 r.failures.to_string(),
@@ -868,7 +862,7 @@ fn e17_bursty_tracking() -> Vec<Table> {
 fn e18_mixed_nice_tracking() -> Vec<Table> {
     use crate::runner::{ExperimentRunner, ModelBackend, PolicySpec, RqBackend};
 
-    let spec = unified_spec(ExperimentId::E18);
+    let spec = crate::catalog::spec(ExperimentId::E18);
     let runner = ExperimentRunner::new(vec![Box::new(ModelBackend), Box::new(RqBackend)]);
     let mut table = Table::new(
         "E18: single hot core, 24 mixed-nice threads — weighted balance under instantaneous vs decayed tracking",
@@ -877,9 +871,9 @@ fn e18_mixed_nice_tracking() -> Vec<Table> {
     for policy in [PolicySpec::Weighted, PolicySpec::PeltWeighted] {
         let mut spec = spec.clone();
         spec.policy = policy;
-        for r in runner.run(&spec) {
+        for r in runner.run(spec) {
             table.row(&[
-                r.tracker.into(),
+                r.tracker.clone(),
                 r.backend.into(),
                 r.convergence_rounds.map(|n| n.to_string()).unwrap_or_else(|| "never".into()),
                 r.migrations.to_string(),
@@ -1078,19 +1072,18 @@ fn e21_half_life_sweep() -> Vec<Table> {
     use crate::runner::{ExperimentRunner, ModelBackend, PolicySpec, RqBackend, TopoSpec};
     use sched_metrics::MigrationChurn;
 
-    let specs: Vec<crate::runner::ExperimentSpec> =
-        crate::runner::catalog().into_iter().filter(|s| s.id == ExperimentId::E21).collect();
+    let specs = crate::catalog::specs_of(ExperimentId::E21);
     let runner = ExperimentRunner::new(vec![Box::new(ModelBackend), Box::new(RqBackend)]);
     let mut churn_table = Table::new(
         "E21a: PELT half-life sweep against 4ms bursts — churn vs violating idle per half-life",
         &["half-life", "backend", "migrations", "failures", "violating idle %", "migrations/epoch"],
     );
     for spec in &specs {
-        for r in runner.run(spec) {
-            let epochs = spec.burst.map_or(0, |b| b.epochs as u64);
+        for r in runner.run(spec.clone()) {
+            let epochs = spec.driver.burst().map_or(0, |b| b.epochs as u64);
             let churn = MigrationChurn::new(r.migrations, r.failures, epochs, r.violating_idle);
             churn_table.row(&[
-                r.tracker.into(),
+                r.tracker.clone(),
                 r.backend.into(),
                 r.migrations.to_string(),
                 r.failures.to_string(),
@@ -1106,22 +1099,19 @@ fn e21_half_life_sweep() -> Vec<Table> {
     );
     let model = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
     for half_life_ms in [1u32, 4, 16, 64] {
-        let spec = crate::runner::ExperimentSpec {
-            id: ExperimentId::E21,
-            scenario: "half-life sweep: warm-up lag",
-            loads: vec![16, 0, 0, 0, 0, 0, 0, 0],
-            topo: TopoSpec::Flat(8),
-            policy: PolicySpec::PeltHalfLife(half_life_ms),
-            workload: None,
-            budget_rounds: 1024,
-            burst: None,
-            storm: None,
-            mixed_nice: false,
-            batch: None,
-        };
-        let r = model.run(&spec).remove(0);
+        let spec = crate::runner::ExperimentSpec::builder(
+            ExperimentId::E21,
+            "half-life sweep: warm-up lag",
+        )
+        .loads(vec![16, 0, 0, 0, 0, 0, 0, 0])
+        .topo(TopoSpec::Flat(8))
+        .policy(PolicySpec::PeltHalfLife(half_life_ms))
+        .budget_rounds(1024)
+        .build()
+        .expect("a valid warm-up-lag spec");
+        let r = model.run(spec).remove(0);
         lag_table.row(&[
-            r.tracker.into(),
+            r.tracker.clone(),
             r.convergence_rounds.map(|n| n.to_string()).unwrap_or_else(|| "never".into()),
             r.migrations.to_string(),
         ]);
@@ -1144,15 +1134,15 @@ fn e22_overflow_storm() -> Vec<Table> {
     use crate::runner::ExperimentRunner;
     use sched_metrics::MigrationChurn;
 
-    let spec = unified_spec(ExperimentId::E22);
+    let spec = crate::catalog::spec(ExperimentId::E22);
     let runner = ExperimentRunner::with_all_backends();
     let mut table = Table::new(
         "E22: overflow storm — fan-out bursts on tiny rings; where the overflow goes decides \
          whether idle cores can reach it",
         &["rq backend", "migrations", "failures", "idle-while-spilled %", "migrations/epoch"],
     );
-    let epochs = spec.storm.map_or(0, |s| s.epochs as u64);
-    for r in runner.run(&spec) {
+    let epochs = spec.driver.storm().map_or(0, |s| s.epochs as u64);
+    for r in runner.run(spec) {
         let churn = MigrationChurn::new(r.migrations, r.failures, epochs, r.violating_idle);
         table.row(&[
             r.rq_backend.unwrap_or(r.backend).into(),
@@ -1176,8 +1166,7 @@ fn e22_overflow_storm() -> Vec<Table> {
 fn e23_batched_stealing() -> Vec<Table> {
     use crate::runner::ExperimentRunner;
 
-    let specs: Vec<crate::runner::ExperimentSpec> =
-        crate::runner::catalog().into_iter().filter(|s| s.id == ExperimentId::E23).collect();
+    let specs = crate::catalog::specs_of(ExperimentId::E23);
     let runner = ExperimentRunner::with_all_backends();
     let mut table = Table::new(
         "E23: batched stealing — claims per acquisition and the amortisation it buys, per batch \
@@ -1193,9 +1182,9 @@ fn e23_batched_stealing() -> Vec<Table> {
         ],
     );
     for spec in &specs {
-        for r in runner.run(spec) {
+        for r in runner.run(spec.clone()) {
             table.row(&[
-                if spec.storm.is_some() { "storm".into() } else { "fan-out".into() },
+                if spec.driver.storm().is_some() { "storm".into() } else { "fan-out".into() },
                 r.rq_backend.unwrap_or(r.backend).into(),
                 r.steal_batch_k.unwrap_or("?").into(),
                 r.migrations.to_string(),
@@ -1257,9 +1246,9 @@ mod tests {
     /// and strands idle cores that the injector turns into migrations.
     #[test]
     fn e22_injector_closes_the_overflow_conservation_hole() {
-        let spec = unified_spec(ExperimentId::E22);
+        let spec = crate::catalog::spec(ExperimentId::E22);
         let runner = crate::runner::ExperimentRunner::with_all_backends();
-        let records = runner.run(&spec);
+        let records = runner.run(spec);
         let flavours: Vec<Option<&str>> = records.iter().map(|r| r.rq_backend).collect();
         assert_eq!(
             flavours,
@@ -1306,15 +1295,15 @@ mod tests {
     fn e23_batching_amortises_acquisitions_on_the_fan_out() {
         use crate::runner::{BatchK, ExperimentRunner, RqDequeBackend};
 
-        let specs: Vec<crate::runner::ExperimentSpec> = crate::runner::catalog()
+        let specs: Vec<crate::runner::ExperimentSpec> = crate::catalog::specs_of(ExperimentId::E23)
             .into_iter()
-            .filter(|s| s.id == ExperimentId::E23 && s.storm.is_none())
+            .filter(|s| s.driver.storm().is_none())
             .collect();
         assert_eq!(specs.len(), 5, "the fan-out half of the sweep");
         let runner = ExperimentRunner::new(vec![Box::new(RqDequeBackend)]);
         let tpa = |batch: BatchK| -> f64 {
             let spec = specs.iter().find(|s| s.batch == Some(batch)).expect("swept k");
-            let record = runner.run(spec).remove(0);
+            let record = runner.run(spec.clone()).remove(0);
             assert_eq!(record.steal_batch_k, Some(batch.name()));
             record.tasks_per_acquisition.expect("batch records measure the amortisation")
         };
@@ -1345,14 +1334,14 @@ mod tests {
     fn e23_batched_stealing_raises_fan_out_throughput() {
         use crate::runner::{BatchK, ExperimentRunner, RqDequeBackend};
 
-        let specs: Vec<crate::runner::ExperimentSpec> = crate::runner::catalog()
+        let specs: Vec<crate::runner::ExperimentSpec> = crate::catalog::specs_of(ExperimentId::E23)
             .into_iter()
-            .filter(|s| s.id == ExperimentId::E23 && s.storm.is_none())
+            .filter(|s| s.driver.storm().is_none())
             .collect();
         let runner = ExperimentRunner::new(vec![Box::new(RqDequeBackend)]);
         let best = |batch: BatchK| -> f64 {
             let spec = specs.iter().find(|s| s.batch == Some(batch)).expect("swept k");
-            (0..3).map(|_| runner.run(spec).remove(0).throughput).fold(0.0, f64::max)
+            (0..3).map(|_| runner.run(spec.clone()).remove(0).throughput).fold(0.0, f64::max)
         };
         let k1 = best(BatchK::Fixed(1));
         let half = best(BatchK::HalfImbalance);
@@ -1369,12 +1358,11 @@ mod tests {
         // the PELT criterion performs measurably fewer migrations than
         // instantaneous nr-threads balancing at equal-or-better violating
         // idle — on the simulator AND on the real-thread runqueues.
-        let specs: Vec<crate::runner::ExperimentSpec> =
-            crate::runner::catalog().into_iter().filter(|s| s.id == ExperimentId::E17).collect();
+        let specs = crate::catalog::specs_of(ExperimentId::E17);
         assert_eq!(specs.len(), 2);
         let runner = crate::runner::ExperimentRunner::with_all_backends();
         let records: Vec<crate::runner::ExperimentRecord> =
-            specs.iter().flat_map(|s| runner.run(s)).collect();
+            specs.into_iter().flat_map(|s| runner.run(s)).collect();
         for backend in ["model", "sim", "rq"] {
             let find = |tracker: &str| {
                 records

@@ -1,0 +1,488 @@
+//! The seeded scenario fuzzer: random declarative scenarios, executed and
+//! checked against the invariant block they declare.
+//!
+//! The declarative catalog makes experiments *data*, and data can be
+//! generated: [`fuzz_scenarios`] derives a deterministic stream of
+//! [`ScenarioDoc`]s from one seed — topologies x load vectors x arrival
+//! drivers x nice mixes x policies (including inline DSL programs) — runs
+//! each through the unified runner, and checks every produced record
+//! against the scenario's `expect` block with [`check_records`]:
+//!
+//! * **work conservation** — a replayed scenario must converge (or end in
+//!   a work-conserving final state): no core idle while another holds
+//!   waiting threads;
+//! * **conservation of tasks** — balancing moves threads, it must not
+//!   create or destroy them (a storm drains, so its final count is zero);
+//! * **non-inversion** — stealing must never make any core more loaded
+//!   than the most loaded core initially was.
+//!
+//! Each generated document is also round-tripped through the printer and
+//! parser, so the fuzzer doubles as a grammar fuzzer for
+//! [`sched_dsl::parse_doc`].  Failing scenarios are returned as documents —
+//! `xtask fuzz-scenarios` writes them to `experiments/repro/*.scn`, and
+//! `--repro FILE` replays such a file through the same checker.
+
+use sched_dsl::{DocDriver, DocInvariant, DocPolicy, DocTopology, ScenarioDoc};
+
+use crate::catalog::{from_doc, LoadedScenario};
+use crate::runner::{
+    Driver, ExperimentRecord, ExperimentRunner, ExperimentSpec, ModelBackend, RqBackend,
+    RqDequeBackend,
+};
+
+/// What to fuzz: the seed pins the whole scenario stream, the count bounds
+/// it.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed; the same seed reproduces the same scenarios.
+    pub seed: u64,
+    /// Number of scenarios to generate and check.
+    pub count: usize,
+}
+
+/// One invariant violation (or structural failure) observed for one
+/// generated scenario.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Scenario name.
+    pub scenario: String,
+    /// Backend whose record violated, or `"-"` for structural failures.
+    pub backend: String,
+    /// What was violated: an invariant keyword (`work_conservation`, …),
+    /// `round_trip`, or `load`.
+    pub kind: String,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} on {}: {}", self.kind, self.scenario, self.backend, self.detail)
+    }
+}
+
+/// One failing scenario: the document (replayable via `--repro`) and
+/// everything that went wrong with it.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The generated document, exactly as it would print.
+    pub doc: ScenarioDoc,
+    /// The violations its run produced.
+    pub violations: Vec<Violation>,
+}
+
+/// The outcome of one fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Scenarios generated and executed.
+    pub generated: usize,
+    /// Records produced and checked across all scenarios.
+    pub records_checked: usize,
+    /// Scenarios that violated at least one expectation.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// `true` when every scenario satisfied its invariant block.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// splitmix64: tiny, seedable, statistically fine for scenario generation,
+/// and dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Value in `lo..=hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `pct`%.
+    fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+/// Generates the `index`-th scenario of a seed's stream.
+fn generate_doc(master_seed: u64, index: usize) -> ScenarioDoc {
+    // Decorrelate per-scenario streams: one splitmix step over the index.
+    let mut rng = Rng::new(master_seed ^ Rng::new(index as u64).next());
+
+    let (topology, cores) = if rng.chance(10) {
+        (DocTopology::DualSocket, 16u64)
+    } else {
+        let cores = rng.range(2, 12);
+        (DocTopology::Flat(cores), cores)
+    };
+
+    let loads: Vec<u64> = match rng.below(3) {
+        0 => {
+            // Single hot core holding a 2x-cores pile.
+            let hot = rng.below(cores) as usize;
+            let mut loads = vec![0; cores as usize];
+            loads[hot] = 2 * cores;
+            loads
+        }
+        1 => {
+            // A descending step.
+            (0..cores).map(|i| cores.saturating_sub(i) / 2 + u64::from(i == 0)).collect()
+        }
+        _ => {
+            // Bounded random vector, at least one thread.
+            let mut loads: Vec<u64> = (0..cores).map(|_| rng.below(5)).collect();
+            if loads.iter().sum::<u64>() == 0 {
+                loads[0] = 1;
+            }
+            loads
+        }
+    };
+    let threads: u64 = loads.iter().sum();
+
+    // Arrival driver.  Budgets are generous: the fuzzer checks invariants,
+    // not convergence speed, and a decayed tracker pays a warm-up lag.
+    let (driver, budget) = match rng.below(100) {
+        0..=54 => (DocDriver::Replay, 8 * threads + 256),
+        55..=69 => (
+            DocDriver::Burst {
+                epochs: rng.range(4, 16),
+                epoch_ns: 1_000_000,
+                warmup_ns: 32_000_000,
+                seed: Some(rng.below(1_000)),
+                jitter_pct: Some(rng.below(61) as u32),
+            },
+            0,
+        ),
+        70..=84 => (
+            DocDriver::Storm {
+                // At least two waiting tasks per thief, so a couple of
+                // settled rounds reach every idle core.
+                epochs: rng.range(2, 5),
+                fanout: rng.range(2 * cores, 4 * cores),
+                rounds: rng.range(2, 3),
+            },
+            0,
+        ),
+        _ => (
+            DocDriver::Workload {
+                kind: if rng.chance(50) { "scientific".into() } else { "oltp".into() },
+                seed: Some(rng.below(10_000)),
+                jitter_pct: Some(rng.below(41) as u32),
+            },
+            8 * threads + 256,
+        ),
+    };
+
+    // Policies that provably converge on thread counts.  The choice step is
+    // irrelevant to the proofs (E1), so the inline programs vary it freely;
+    // the filter stays Listing 1's `delta >= 2`, which is what makes the
+    // work-conservation expectation sound.
+    let policy = match rng.below(100) {
+        0..=44 => DocPolicy::Named { name: "listing1".into(), arg: None },
+        45..=64 => DocPolicy::Named { name: "steal_half".into(), arg: None },
+        65..=79 => DocPolicy::Named { name: "pelt".into(), arg: None },
+        _ => {
+            let choose = ["max victim.load", "min victim.load", "first"][rng.below(3) as usize];
+            let source = format!(
+                "policy fuzzed {{\n    metric threads;\n    filter = victim.load - self.load >= 2;\n    choose = {choose};\n    steal = 1;\n}}"
+            );
+            DocPolicy::Inline(sched_dsl::parse(&source).expect("generated policies parse"))
+        }
+    };
+
+    let is_storm = matches!(driver, DocDriver::Storm { .. });
+    let is_burst = matches!(driver, DocDriver::Burst { .. });
+    let batch_pct = if is_storm {
+        30
+    } else if matches!(driver, DocDriver::Replay) {
+        20
+    } else {
+        0
+    };
+    let batch =
+        if batch_pct > 0 && rng.chance(batch_pct) { Some(pick_batch(&mut rng)) } else { None };
+
+    // The tiny-ring flavours only run storms and the simulator neither
+    // replays deterministically nor reports final loads, so the fuzzer
+    // pins an explicit backend matrix per driver shape.
+    let backends = if is_storm {
+        vec!["rq".to_string(), "rq-deque".to_string()]
+    } else {
+        vec!["model".to_string(), "rq".to_string(), "rq-deque".to_string()]
+    };
+
+    let expect = if is_storm || is_burst {
+        // Storm epochs drain, burst blips park tasks outside the system
+        // mid-run; only task conservation is claimed, as in the builtin
+        // E17/E22 documents.
+        vec![DocInvariant::ConservationOfTasks]
+    } else {
+        vec![
+            DocInvariant::WorkConservation,
+            DocInvariant::ConservationOfTasks,
+            DocInvariant::NonInversion,
+        ]
+    };
+
+    ScenarioDoc {
+        name: format!("fuzz seed {master_seed} #{index}"),
+        experiment: "e1".into(),
+        topology,
+        loads,
+        policy,
+        backends: Some(backends),
+        driver,
+        budget,
+        batch,
+        mixed_nice: rng.chance(25),
+        expect,
+    }
+}
+
+fn pick_batch(rng: &mut Rng) -> sched_dsl::DocBatch {
+    match rng.below(5) {
+        0 => sched_dsl::DocBatch::Fixed(1),
+        1 => sched_dsl::DocBatch::Fixed(2),
+        2 => sched_dsl::DocBatch::Fixed(4),
+        3 => sched_dsl::DocBatch::Fixed(8),
+        _ => sched_dsl::DocBatch::Half,
+    }
+}
+
+/// Is `loads` a work-conserving final state — no core idle while another
+/// holds more than one thread?
+fn is_work_conserving(loads: &[usize]) -> bool {
+    !(loads.contains(&0) && loads.iter().any(|&l| l >= 2))
+}
+
+/// Checks one scenario's records against its invariant block.  Records
+/// without final-load residency (the simulator's: its tasks run to
+/// completion) are skipped where residency is what's checked.
+pub fn check_records(
+    spec: &ExperimentSpec,
+    expect: &[DocInvariant],
+    records: &[ExperimentRecord],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut violate = |backend: &str, inv: DocInvariant, detail: String| {
+        violations.push(Violation {
+            scenario: spec.scenario.clone(),
+            backend: backend.to_string(),
+            kind: inv.keyword().to_string(),
+            detail,
+        });
+    };
+    let initial_total = spec.nr_threads() as usize;
+    let initial_max = spec.loads.iter().copied().max().unwrap_or(0);
+    for record in records {
+        for &inv in expect {
+            match inv {
+                DocInvariant::WorkConservation => match spec.driver {
+                    Driver::Replay | Driver::Workload(_) => {
+                        if record.backend == "sim" {
+                            continue;
+                        }
+                        let converged = record.convergence_rounds.is_some();
+                        let settled = !record.final_loads.is_empty()
+                            && is_work_conserving(&record.final_loads);
+                        if !converged && !settled {
+                            violate(
+                                record.backend,
+                                inv,
+                                format!(
+                                    "did not converge within {} rounds; final loads {:?}",
+                                    spec.budget_rounds, record.final_loads
+                                ),
+                            );
+                        }
+                    }
+                    // Burst blips and storm epochs are transient by design;
+                    // the builtin documents do not claim WC there and the
+                    // fuzzer does not generate such claims.
+                    _ => {}
+                },
+                DocInvariant::ConservationOfTasks => {
+                    if record.final_loads.is_empty() {
+                        continue;
+                    }
+                    let final_total: usize = record.final_loads.iter().sum();
+                    // A storm drains the machine at every epoch boundary, so
+                    // conservation there means "nothing left behind".
+                    let want = if spec.driver.storm().is_some() { 0 } else { initial_total };
+                    if final_total != want {
+                        violate(
+                            record.backend,
+                            inv,
+                            format!(
+                                "{final_total} threads at the end, expected {want} (final loads {:?})",
+                                record.final_loads
+                            ),
+                        );
+                    }
+                }
+                DocInvariant::NonInversion => {
+                    if record.final_loads.is_empty() || !matches!(spec.driver, Driver::Replay) {
+                        continue;
+                    }
+                    let final_max = record.final_loads.iter().copied().max().unwrap_or(0);
+                    if final_max > initial_max {
+                        violate(
+                            record.backend,
+                            inv,
+                            format!(
+                                "a core ended with {final_max} threads, above the initial maximum \
+                                 {initial_max} (final loads {:?})",
+                                record.final_loads
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Runs one loaded scenario through the runner and its invariant block.
+pub fn check_scenario(scenario: &LoadedScenario) -> (usize, Vec<Violation>) {
+    let runner = ExperimentRunner::new(vec![
+        Box::new(ModelBackend),
+        Box::new(RqBackend),
+        Box::new(RqDequeBackend),
+    ]);
+    let records = runner.run(scenario.spec.clone());
+    let violations = check_records(&scenario.spec, scenario.expectations(), &records);
+    (records.len(), violations)
+}
+
+/// Generates, executes and checks `config.count` scenarios from
+/// `config.seed`.
+pub fn fuzz_scenarios(config: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for index in 0..config.count {
+        let doc = generate_doc(config.seed, index);
+        report.generated += 1;
+        let mut violations = Vec::new();
+
+        // The grammar leg: every generated document must survive
+        // print -> parse unchanged.
+        let printed = sched_dsl::print_scenario(&doc);
+        match sched_dsl::parse_doc(&printed) {
+            Ok(parsed) if parsed == vec![doc.clone()] => {}
+            Ok(_) => violations.push(Violation {
+                scenario: doc.name.clone(),
+                backend: "-".into(),
+                kind: "round_trip".into(),
+                detail: "printing and re-parsing changed the document".into(),
+            }),
+            Err(e) => violations.push(Violation {
+                scenario: doc.name.clone(),
+                backend: "-".into(),
+                kind: "round_trip".into(),
+                detail: format!("printed document does not parse: {e}"),
+            }),
+        }
+
+        // The execution leg.
+        match from_doc(&doc) {
+            Ok(spec) => {
+                let scenario = LoadedScenario { doc: doc.clone(), spec };
+                let (nr_records, mut run_violations) = check_scenario(&scenario);
+                report.records_checked += nr_records;
+                violations.append(&mut run_violations);
+            }
+            Err(e) => violations.push(Violation {
+                scenario: doc.name.clone(),
+                backend: "-".into(),
+                kind: "load".into(),
+                detail: format!("generated document does not load: {e}"),
+            }),
+        }
+
+        if !violations.is_empty() {
+            report.failures.push(FuzzFailure { doc, violations });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_stream_is_deterministic() {
+        let a = generate_doc(7, 3);
+        let b = generate_doc(7, 3);
+        assert_eq!(a, b);
+        let c = generate_doc(8, 3);
+        assert_ne!(a, c, "different seeds must give different scenarios");
+    }
+
+    #[test]
+    fn a_small_fuzz_run_is_clean() {
+        let report = fuzz_scenarios(&FuzzConfig { seed: 7, count: 4 });
+        assert_eq!(report.generated, 4);
+        assert!(report.records_checked > 0);
+        let rendered: Vec<String> = report
+            .failures
+            .iter()
+            .flat_map(|f| f.violations.iter().map(|v| v.to_string()))
+            .collect();
+        assert!(report.is_clean(), "violations: {rendered:#?}");
+    }
+
+    #[test]
+    fn the_checker_flags_planted_violations() {
+        let doc = generate_doc(1, 0);
+        let spec = from_doc(&doc).expect("generated docs load");
+        // A fabricated record that conserves nothing and inverts the load.
+        let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
+        let mut record = runner.run(crate::catalog::spec(crate::ExperimentId::E2)).remove(0);
+        record.convergence_rounds = None;
+        record.final_loads = vec![spec.nr_threads() as usize + 3; spec.loads.len()];
+        let violations = check_records(
+            &spec,
+            &[
+                DocInvariant::WorkConservation,
+                DocInvariant::ConservationOfTasks,
+                DocInvariant::NonInversion,
+            ],
+            &[record],
+        );
+        let kinds: Vec<&str> = violations.iter().map(|v| v.kind.as_str()).collect();
+        assert!(kinds.contains(&"conservation_of_tasks"), "{kinds:?}");
+    }
+
+    #[test]
+    fn builtin_scenarios_satisfy_their_own_invariant_blocks() {
+        // The declared expectations are not decorative: the catalogued e2
+        // and e5 scenarios (fast, deterministic) must pass their own blocks.
+        for scenario in crate::catalog::builtin()
+            .into_iter()
+            .filter(|s| matches!(s.spec.id, crate::ExperimentId::E2 | crate::ExperimentId::E5))
+        {
+            let (_, violations) = check_scenario(&scenario);
+            let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            assert!(violations.is_empty(), "{}: {rendered:#?}", scenario.doc.name);
+        }
+    }
+}

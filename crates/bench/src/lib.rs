@@ -15,7 +15,9 @@
 //! resulting [`ExperimentRecord`]s to `BENCH_results.json`, the workspace's
 //! machine-readable perf trajectory.
 
+pub mod catalog;
 pub mod experiments;
+pub mod fuzz;
 pub mod runner;
 pub mod scenarios;
 
@@ -23,8 +25,11 @@ pub mod scenarios;
 /// the `xtask bench-diff` gate so writer and reader can never disagree).
 pub use sched_json as json;
 
+pub use catalog::{builtin, catalog, from_doc, load_dir, load_str, to_doc, LoadedScenario};
 pub use experiments::{all_experiments, run_experiment, ExperimentId};
+pub use fuzz::{check_records, fuzz_scenarios, FuzzConfig, FuzzReport, Violation};
 pub use runner::{
-    catalog, records_table, records_to_json, Backend, ExperimentRecord, ExperimentRunner,
-    ExperimentSpec, ModelBackend, PolicySpec, RqBackend, SimBackend, TopoSpec, WorkloadKind,
+    records_table, records_to_json, Backend, BatchK, BurstSpec, Driver, ExperimentRecord,
+    ExperimentRunner, ExperimentSpec, ModelBackend, PolicySpec, RqBackend, SimBackend, SpecError,
+    StormSpec, TopoSpec, WorkloadKind, WorkloadSpec,
 };

@@ -1,0 +1,861 @@
+//! Scenario documents: the declarative experiment file format (`*.scn`).
+//!
+//! A scenario document turns an experiment into *data*: one file holds one
+//! or more `scenario` blocks, each naming a topology, an initial load
+//! vector, a balancing policy (either a named recipe or an inline policy
+//! program in the same DSL the rest of this crate parses), a **driver**
+//! describing how work arrives (replay / workload / burst / storm — the
+//! grammar admits exactly one, so the mutually-exclusive combinations the
+//! old builder API allowed are unrepresentable), an optional backend
+//! matrix, and an `expect` block stating which paper invariants the
+//! scenario must uphold.
+//!
+//! The parser ([`parse_doc`]) and printer ([`print_doc`]) form a
+//! round-trip pair (`parse(print(docs)) == docs`), which is what lets
+//! tooling — the catalog generator and the scenario fuzzer in
+//! `sched-bench` — emit files in the same textual format humans author.
+//!
+//! ```text
+//! scenario "single hot core: Listing 1" {
+//!     experiment e2;
+//!     topology flat(8);
+//!     loads [16, 0, 0, 0, 0, 0, 0, 0];
+//!     policy listing1;
+//!     driver replay;
+//!     budget 128;
+//!     expect {
+//!         work_conservation;
+//!         conservation_of_tasks;
+//!         non_inversion;
+//!     }
+//! }
+//! ```
+
+use crate::ast::PolicyDef;
+use crate::ast::{ChooseRule, LoadSpec, MetricSpec};
+use crate::error::DslError;
+use crate::lexer::{lex, Token};
+use crate::parser::Parser;
+use crate::pretty::print_expr;
+
+/// The machine shape a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocTopology {
+    /// A flat machine with `n` identical cores.
+    Flat(u64),
+    /// The canonical 2-socket × 8-core NUMA box.
+    DualSocket,
+    /// The 8-node × 8-core box.
+    EightNode,
+}
+
+/// The balancing policy a scenario uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocPolicy {
+    /// A named recipe resolved by the harness (`listing1`, `greedy`,
+    /// `pelt_half_life(4)`, …).
+    Named {
+        /// Recipe name.
+        name: String,
+        /// Optional integer argument (`pelt_half_life(<ms>)`).
+        arg: Option<i64>,
+    },
+    /// An inline policy program embedded in the document.
+    Inline(PolicyDef),
+}
+
+/// How work arrives while the balancer runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocDriver {
+    /// Replay the initial load vector: spawn `loads`, balance for `budget`
+    /// rounds.
+    Replay,
+    /// Drive the simulator with a named workload generator.
+    Workload {
+        /// Generator name (`scientific`, `oltp`).
+        kind: String,
+        /// RNG seed; the harness default for the kind applies when absent.
+        seed: Option<u64>,
+        /// Service-time jitter in percent; harness default when absent.
+        jitter_pct: Option<u32>,
+    },
+    /// On/off blinker epochs (the PELT probes).
+    Burst {
+        /// Number of on/off epochs.
+        epochs: u64,
+        /// Epoch length in nanoseconds.
+        epoch_ns: u64,
+        /// Tracker warm-up before measurement starts, in nanoseconds.
+        warmup_ns: u64,
+        /// Blinker RNG seed; harness default when absent.
+        seed: Option<u64>,
+        /// On/off jitter in percent; harness default when absent.
+        jitter_pct: Option<u32>,
+    },
+    /// Overflow storms: fan-out bursts against tiny rings.
+    Storm {
+        /// Number of storm epochs.
+        epochs: u64,
+        /// Tasks spawned per epoch.
+        fanout: u64,
+        /// Balancing rounds per epoch.
+        rounds: u64,
+    },
+}
+
+/// Steal batch size for the runqueue backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocBatch {
+    /// Claim up to `k` tasks per acquisition.
+    Fixed(i64),
+    /// Claim half the observed imbalance.
+    Half,
+}
+
+/// An invariant the scenario is expected to uphold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocInvariant {
+    /// No core ends (or stays) idle while another has waiting work.
+    WorkConservation,
+    /// No task is lost or duplicated by balancing.
+    ConservationOfTasks,
+    /// Balancing never makes any core more loaded than the initial maximum.
+    NonInversion,
+}
+
+impl DocInvariant {
+    /// The clause keyword for this invariant.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DocInvariant::WorkConservation => "work_conservation",
+            DocInvariant::ConservationOfTasks => "conservation_of_tasks",
+            DocInvariant::NonInversion => "non_inversion",
+        }
+    }
+}
+
+/// One parsed `scenario` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioDoc {
+    /// Human-readable scenario name (the `scenario` record column).
+    pub name: String,
+    /// Experiment this scenario belongs to (`e1` … `e23`).
+    pub experiment: String,
+    /// Machine shape.
+    pub topology: DocTopology,
+    /// Initial per-core thread counts; length must match the topology.
+    pub loads: Vec<u64>,
+    /// Balancing policy.
+    pub policy: DocPolicy,
+    /// Backend matrix; `None` means "every applicable backend".
+    pub backends: Option<Vec<String>>,
+    /// Arrival driver.
+    pub driver: DocDriver,
+    /// Balancing-round budget for replay-shaped drivers.
+    pub budget: u64,
+    /// Steal batch size, if the scenario sweeps batching.
+    pub batch: Option<DocBatch>,
+    /// Cycle nice values −10/0/10 across spawned threads.
+    pub mixed_nice: bool,
+    /// Invariants the scenario must uphold.
+    pub expect: Vec<DocInvariant>,
+}
+
+/// Parses a scenario document: a sequence of one or more `scenario` blocks.
+///
+/// # Examples
+///
+/// ```
+/// let docs = sched_dsl::doc::parse_doc(
+///     "scenario \"probe\" {\n\
+///          experiment e1;\n\
+///          topology flat(2);\n\
+///          loads [3, 0];\n\
+///          policy listing1;\n\
+///          driver replay;\n\
+///          budget 16;\n\
+///      }",
+/// )
+/// .unwrap();
+/// assert_eq!(docs.len(), 1);
+/// assert_eq!(docs[0].experiment, "e1");
+/// ```
+pub fn parse_doc(source: &str) -> Result<Vec<ScenarioDoc>, DslError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut docs = Vec::new();
+    while parser.peek().is_some() {
+        docs.push(scenario(&mut parser)?);
+    }
+    if docs.is_empty() {
+        return Err(DslError::parse("a scenario document needs at least one `scenario` block"));
+    }
+    Ok(docs)
+}
+
+fn scenario(p: &mut Parser) -> Result<ScenarioDoc, DslError> {
+    p.expect_keyword("scenario")?;
+    let name = match p.next()? {
+        Token::Str(s) => s,
+        other => {
+            return Err(DslError::parse(format!(
+                "expected a quoted scenario name, found {other:?}"
+            )))
+        }
+    };
+    p.expect(Token::LBrace)?;
+
+    let mut experiment = None;
+    let mut topology = None;
+    let mut loads = None;
+    let mut policy = None;
+    let mut backends = None;
+    let mut driver = None;
+    let mut budget = None;
+    let mut batch = None;
+    let mut mixed_nice = false;
+    let mut expect = None;
+
+    while p.peek() != Some(&Token::RBrace) {
+        let keyword = p.expect_ident()?;
+        let dup = |slot_taken: bool| {
+            if slot_taken {
+                Err(DslError::parse(format!("duplicate `{keyword}` clause in scenario `{name}`")))
+            } else {
+                Ok(())
+            }
+        };
+        match keyword.as_str() {
+            "experiment" => {
+                dup(experiment.is_some())?;
+                experiment = Some(p.expect_ident()?);
+                p.expect(Token::Semi)?;
+            }
+            "topology" => {
+                dup(topology.is_some())?;
+                topology = Some(topo(p)?);
+                p.expect(Token::Semi)?;
+            }
+            "loads" => {
+                dup(loads.is_some())?;
+                loads = Some(int_list(p)?);
+                p.expect(Token::Semi)?;
+            }
+            "policy" => {
+                dup(policy.is_some())?;
+                policy = Some(policy_clause(p)?);
+            }
+            "backends" => {
+                dup(backends.is_some())?;
+                backends = Some(backend_list(p)?);
+                p.expect(Token::Semi)?;
+            }
+            "driver" => {
+                dup(driver.is_some())?;
+                driver = Some(driver_clause(p)?);
+            }
+            "budget" => {
+                dup(budget.is_some())?;
+                budget = Some(unsigned(p, "budget")?);
+                p.expect(Token::Semi)?;
+            }
+            "batch" => {
+                dup(batch.is_some())?;
+                batch = Some(match p.next()? {
+                    Token::Int(k) if k > 0 => DocBatch::Fixed(k),
+                    Token::Ident(word) if word == "half" => DocBatch::Half,
+                    other => {
+                        return Err(DslError::parse(format!(
+                            "expected a positive batch size or `half`, found {other:?}"
+                        )))
+                    }
+                });
+                p.expect(Token::Semi)?;
+            }
+            "mixed_nice" => {
+                dup(mixed_nice)?;
+                mixed_nice = true;
+                p.expect(Token::Semi)?;
+            }
+            "expect" => {
+                dup(expect.is_some())?;
+                expect = Some(expect_block(p)?);
+            }
+            other => {
+                return Err(DslError::parse(format!(
+                    "unknown scenario clause `{other}` in scenario `{name}`"
+                )))
+            }
+        }
+    }
+    p.expect(Token::RBrace)?;
+
+    let require =
+        |what: &str| DslError::parse(format!("scenario `{name}` needs a `{what}` clause"));
+    Ok(ScenarioDoc {
+        experiment: experiment.ok_or_else(|| require("experiment"))?,
+        topology: topology.ok_or_else(|| require("topology"))?,
+        loads: loads.ok_or_else(|| require("loads"))?,
+        policy: policy.ok_or_else(|| require("policy"))?,
+        backends,
+        driver: driver.unwrap_or(DocDriver::Replay),
+        budget: budget.unwrap_or(0),
+        batch,
+        mixed_nice,
+        expect: expect.unwrap_or_default(),
+        name,
+    })
+}
+
+fn topo(p: &mut Parser) -> Result<DocTopology, DslError> {
+    match p.expect_ident()?.as_str() {
+        "flat" => {
+            p.expect(Token::LParen)?;
+            let n = unsigned(p, "core count")?;
+            p.expect(Token::RParen)?;
+            if n == 0 {
+                return Err(DslError::parse("a flat topology needs at least one core"));
+            }
+            Ok(DocTopology::Flat(n))
+        }
+        "dual_socket" => Ok(DocTopology::DualSocket),
+        "eight_node" => Ok(DocTopology::EightNode),
+        other => Err(DslError::parse(format!(
+            "unknown topology `{other}` (expected `flat(<cores>)`, `dual_socket` or `eight_node`)"
+        ))),
+    }
+}
+
+fn int_list(p: &mut Parser) -> Result<Vec<u64>, DslError> {
+    p.expect(Token::LBracket)?;
+    let mut items = Vec::new();
+    if p.peek() != Some(&Token::RBracket) {
+        loop {
+            items.push(unsigned(p, "load")?);
+            match p.next()? {
+                Token::Comma => continue,
+                Token::RBracket => return Ok(items),
+                other => {
+                    return Err(DslError::parse(format!(
+                        "expected `,` or `]` in a load list, found {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+    p.expect(Token::RBracket)?;
+    Ok(items)
+}
+
+fn backend_list(p: &mut Parser) -> Result<Vec<String>, DslError> {
+    p.expect(Token::LBracket)?;
+    let mut items = Vec::new();
+    if p.peek() != Some(&Token::RBracket) {
+        loop {
+            match p.next()? {
+                Token::Str(s) => items.push(s),
+                other => {
+                    return Err(DslError::parse(format!(
+                        "expected a quoted backend name, found {other:?}"
+                    )))
+                }
+            }
+            match p.next()? {
+                Token::Comma => continue,
+                Token::RBracket => return Ok(items),
+                other => {
+                    return Err(DslError::parse(format!(
+                        "expected `,` or `]` in a backend list, found {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+    p.expect(Token::RBracket)?;
+    Ok(items)
+}
+
+fn policy_clause(p: &mut Parser) -> Result<DocPolicy, DslError> {
+    let name = p.expect_ident()?;
+    match p.peek() {
+        // `policy <name> { … }` — an inline policy program; the brace block
+        // is the same grammar `sched_dsl::parse` accepts after the header.
+        Some(Token::LBrace) => Ok(DocPolicy::Inline(p.policy_body(name)?)),
+        Some(Token::LParen) => {
+            p.next()?;
+            let arg = match p.next()? {
+                Token::Int(v) => v,
+                other => {
+                    return Err(DslError::parse(format!(
+                        "expected an integer policy argument, found {other:?}"
+                    )))
+                }
+            };
+            p.expect(Token::RParen)?;
+            p.expect(Token::Semi)?;
+            Ok(DocPolicy::Named { name, arg: Some(arg) })
+        }
+        _ => {
+            p.expect(Token::Semi)?;
+            Ok(DocPolicy::Named { name, arg: None })
+        }
+    }
+}
+
+fn driver_clause(p: &mut Parser) -> Result<DocDriver, DslError> {
+    match p.expect_ident()?.as_str() {
+        "replay" => {
+            p.expect(Token::Semi)?;
+            Ok(DocDriver::Replay)
+        }
+        "workload" => {
+            let kind = p.expect_ident()?;
+            let (mut seed, mut jitter_pct) = (None, None);
+            if p.peek() == Some(&Token::Semi) {
+                p.next()?;
+            } else {
+                block(p, "workload", |p, key| match key {
+                    "seed" => set_once(&mut seed, unsigned(p, "seed")?, key),
+                    "jitter_pct" => set_once(&mut jitter_pct, percent(p)?, key),
+                    other => Err(DslError::parse(format!("unknown workload clause `{other}`"))),
+                })?;
+            }
+            Ok(DocDriver::Workload { kind, seed, jitter_pct })
+        }
+        "burst" => {
+            let (mut epochs, mut epoch_ns, mut warmup_ns) = (None, None, None);
+            let (mut seed, mut jitter_pct) = (None, None);
+            block(p, "burst", |p, key| match key {
+                "epochs" => set_once(&mut epochs, unsigned(p, key)?, key),
+                "epoch_ns" => set_once(&mut epoch_ns, unsigned(p, key)?, key),
+                "warmup_ns" => set_once(&mut warmup_ns, unsigned(p, key)?, key),
+                "seed" => set_once(&mut seed, unsigned(p, key)?, key),
+                "jitter_pct" => set_once(&mut jitter_pct, percent(p)?, key),
+                other => Err(DslError::parse(format!("unknown burst clause `{other}`"))),
+            })?;
+            let need = |what: &str| DslError::parse(format!("a burst driver needs `{what}`"));
+            Ok(DocDriver::Burst {
+                epochs: epochs.ok_or_else(|| need("epochs"))?,
+                epoch_ns: epoch_ns.ok_or_else(|| need("epoch_ns"))?,
+                warmup_ns: warmup_ns.ok_or_else(|| need("warmup_ns"))?,
+                seed,
+                jitter_pct,
+            })
+        }
+        "storm" => {
+            let (mut epochs, mut fanout, mut rounds) = (None, None, None);
+            block(p, "storm", |p, key| match key {
+                "epochs" => set_once(&mut epochs, unsigned(p, key)?, key),
+                "fanout" => set_once(&mut fanout, unsigned(p, key)?, key),
+                "rounds" => set_once(&mut rounds, unsigned(p, key)?, key),
+                other => Err(DslError::parse(format!("unknown storm clause `{other}`"))),
+            })?;
+            let need = |what: &str| DslError::parse(format!("a storm driver needs `{what}`"));
+            Ok(DocDriver::Storm {
+                epochs: epochs.ok_or_else(|| need("epochs"))?,
+                fanout: fanout.ok_or_else(|| need("fanout"))?,
+                rounds: rounds.ok_or_else(|| need("rounds"))?,
+            })
+        }
+        other => Err(DslError::parse(format!(
+            "unknown driver `{other}` (expected `replay`, `workload`, `burst` or `storm`)"
+        ))),
+    }
+}
+
+/// Parses a `{ key value; … }` block, dispatching each key to `clause`.
+fn block(
+    p: &mut Parser,
+    what: &str,
+    mut clause: impl FnMut(&mut Parser, &str) -> Result<(), DslError>,
+) -> Result<(), DslError> {
+    p.expect(Token::LBrace)?;
+    while p.peek() != Some(&Token::RBrace) {
+        let key = p.expect_ident()?;
+        clause(p, &key).map_err(|e| DslError::parse(format!("in `{what}` block: {e}")))?;
+        p.expect(Token::Semi)?;
+    }
+    p.expect(Token::RBrace)?;
+    Ok(())
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, key: &str) -> Result<(), DslError> {
+    if slot.is_some() {
+        return Err(DslError::parse(format!("duplicate `{key}`")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn unsigned(p: &mut Parser, what: &str) -> Result<u64, DslError> {
+    match p.next()? {
+        Token::Int(v) if v >= 0 => Ok(v as u64),
+        Token::Int(v) => Err(DslError::parse(format!("{what} must be non-negative, got {v}"))),
+        other => Err(DslError::parse(format!("expected an integer {what}, found {other:?}"))),
+    }
+}
+
+fn percent(p: &mut Parser) -> Result<u32, DslError> {
+    match p.next()? {
+        Token::Int(v) if (0..=100).contains(&v) => Ok(v as u32),
+        Token::Int(v) => Err(DslError::parse(format!("jitter_pct must be 0–100, got {v}"))),
+        other => Err(DslError::parse(format!("expected a jitter percentage, found {other:?}"))),
+    }
+}
+
+fn expect_block(p: &mut Parser) -> Result<Vec<DocInvariant>, DslError> {
+    let mut invariants = Vec::new();
+    block(p, "expect", |_, key| {
+        let inv = match key {
+            "work_conservation" => DocInvariant::WorkConservation,
+            "conservation_of_tasks" => DocInvariant::ConservationOfTasks,
+            "non_inversion" => DocInvariant::NonInversion,
+            other => return Err(DslError::parse(format!("unknown invariant `{other}`"))),
+        };
+        if invariants.contains(&inv) {
+            return Err(DslError::parse(format!("duplicate invariant `{key}`")));
+        }
+        invariants.push(inv);
+        Ok(())
+    })?;
+    Ok(invariants)
+}
+
+/// Renders a whole document (blank line between scenarios).
+pub fn print_doc(docs: &[ScenarioDoc]) -> String {
+    docs.iter().map(print_scenario).collect::<Vec<_>>().join("\n")
+}
+
+/// Renders one scenario block as canonical source.
+///
+/// Forms a round-trip pair with [`parse_doc`]:
+/// `parse_doc(&print_scenario(&doc)) == vec![doc]`.
+pub fn print_scenario(doc: &ScenarioDoc) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("scenario \"{}\" {{\n", escape(&doc.name)));
+    out.push_str(&format!("    experiment {};\n", doc.experiment));
+    out.push_str(&format!(
+        "    topology {};\n",
+        match doc.topology {
+            DocTopology::Flat(n) => format!("flat({n})"),
+            DocTopology::DualSocket => "dual_socket".into(),
+            DocTopology::EightNode => "eight_node".into(),
+        }
+    ));
+    let loads: Vec<String> = doc.loads.iter().map(u64::to_string).collect();
+    out.push_str(&format!("    loads [{}];\n", loads.join(", ")));
+    match &doc.policy {
+        DocPolicy::Named { name, arg: None } => out.push_str(&format!("    policy {name};\n")),
+        DocPolicy::Named { name, arg: Some(v) } => {
+            out.push_str(&format!("    policy {name}({v});\n"))
+        }
+        DocPolicy::Inline(def) => out.push_str(&print_inline_policy(def)),
+    }
+    if let Some(backends) = &doc.backends {
+        let quoted: Vec<String> = backends.iter().map(|b| format!("\"{}\"", escape(b))).collect();
+        out.push_str(&format!("    backends [{}];\n", quoted.join(", ")));
+    }
+    out.push_str(&print_driver(&doc.driver));
+    out.push_str(&format!("    budget {};\n", doc.budget));
+    match doc.batch {
+        None => {}
+        Some(DocBatch::Fixed(k)) => out.push_str(&format!("    batch {k};\n")),
+        Some(DocBatch::Half) => out.push_str("    batch half;\n"),
+    }
+    if doc.mixed_nice {
+        out.push_str("    mixed_nice;\n");
+    }
+    if !doc.expect.is_empty() {
+        out.push_str("    expect {\n");
+        for inv in &doc.expect {
+            out.push_str(&format!("        {};\n", inv.keyword()));
+        }
+        out.push_str("    }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_driver(driver: &DocDriver) -> String {
+    match driver {
+        DocDriver::Replay => "    driver replay;\n".into(),
+        DocDriver::Workload { kind, seed: None, jitter_pct: None } => {
+            format!("    driver workload {kind};\n")
+        }
+        DocDriver::Workload { kind, seed, jitter_pct } => {
+            let mut s = format!("    driver workload {kind} {{\n");
+            if let Some(seed) = seed {
+                s.push_str(&format!("        seed {seed};\n"));
+            }
+            if let Some(j) = jitter_pct {
+                s.push_str(&format!("        jitter_pct {j};\n"));
+            }
+            s.push_str("    }\n");
+            s
+        }
+        DocDriver::Burst { epochs, epoch_ns, warmup_ns, seed, jitter_pct } => {
+            let mut s = "    driver burst {\n".to_string();
+            s.push_str(&format!("        epochs {epochs};\n"));
+            s.push_str(&format!("        epoch_ns {epoch_ns};\n"));
+            s.push_str(&format!("        warmup_ns {warmup_ns};\n"));
+            if let Some(seed) = seed {
+                s.push_str(&format!("        seed {seed};\n"));
+            }
+            if let Some(j) = jitter_pct {
+                s.push_str(&format!("        jitter_pct {j};\n"));
+            }
+            s.push_str("    }\n");
+            s
+        }
+        DocDriver::Storm { epochs, fanout, rounds } => format!(
+            "    driver storm {{\n        epochs {epochs};\n        fanout {fanout};\n        rounds {rounds};\n    }}\n"
+        ),
+    }
+}
+
+/// Renders an inline policy at scenario indent, mirroring
+/// [`crate::pretty::print_policy`]'s clause layout.
+fn print_inline_policy(def: &PolicyDef) -> String {
+    let mut s = format!("    policy {} {{\n", def.name);
+    s.push_str(&format!(
+        "        metric {};\n",
+        match def.metric {
+            MetricSpec::Threads => "threads",
+            MetricSpec::Weighted => "weighted",
+        }
+    ));
+    if let Some(LoadSpec::Pelt { half_life_ms }) = def.load {
+        s.push_str(&format!("        load   pelt({half_life_ms});\n"));
+    }
+    s.push_str(&format!("        filter = {};\n", print_expr(&def.filter)));
+    let choose = match &def.choose {
+        ChooseRule::First => "first".to_string(),
+        ChooseRule::MaxBy(key) => format!("max {}", print_expr(key)),
+        ChooseRule::MinBy(key) => format!("min {}", print_expr(key)),
+    };
+    s.push_str(&format!("        choose = {choose};\n"));
+    s.push_str(&format!("        steal  = {};\n", def.steal_count));
+    s.push_str("    }\n");
+    s
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn replay_doc() -> ScenarioDoc {
+        ScenarioDoc {
+            name: "single hot core".into(),
+            experiment: "e2".into(),
+            topology: DocTopology::Flat(8),
+            loads: vec![16, 0, 0, 0, 0, 0, 0, 0],
+            policy: DocPolicy::Named { name: "listing1".into(), arg: None },
+            backends: None,
+            driver: DocDriver::Replay,
+            budget: 128,
+            batch: None,
+            mixed_nice: false,
+            expect: vec![
+                DocInvariant::WorkConservation,
+                DocInvariant::ConservationOfTasks,
+                DocInvariant::NonInversion,
+            ],
+        }
+    }
+
+    #[test]
+    fn replay_scenario_round_trips() {
+        let doc = replay_doc();
+        let printed = print_scenario(&doc);
+        let parsed = parse_doc(&printed).unwrap();
+        assert_eq!(parsed, vec![doc], "printed source:\n{printed}");
+    }
+
+    #[test]
+    fn every_driver_shape_round_trips() {
+        let mut burst = replay_doc();
+        burst.driver = DocDriver::Burst {
+            epochs: 32,
+            epoch_ns: 1_000_000,
+            warmup_ns: 256_000_000,
+            seed: Some(17),
+            jitter_pct: Some(40),
+        };
+        let mut storm = replay_doc();
+        storm.driver = DocDriver::Storm { epochs: 16, fanout: 24, rounds: 2 };
+        storm.batch = Some(DocBatch::Half);
+        storm.budget = 0;
+        let mut workload = replay_doc();
+        workload.driver =
+            DocDriver::Workload { kind: "scientific".into(), seed: Some(42), jitter_pct: Some(5) };
+        workload.topology = DocTopology::DualSocket;
+        workload.backends = Some(vec!["model".into(), "sim".into(), "rq-deque".into()]);
+        workload.mixed_nice = true;
+        let docs = vec![replay_doc(), burst, storm, workload];
+        let printed = print_doc(&docs);
+        assert_eq!(parse_doc(&printed).unwrap(), docs, "printed source:\n{printed}");
+    }
+
+    #[test]
+    fn inline_policies_embed_the_policy_grammar() {
+        let source = "scenario \"inline\" {\n\
+                          experiment e13;\n\
+                          topology flat(4);\n\
+                          loads [8, 0, 0, 0];\n\
+                          policy listing1 {\n\
+                              metric threads;\n\
+                              filter = victim.load - self.load >= 2;\n\
+                              choose = max victim.load;\n\
+                              steal  = 1;\n\
+                          }\n\
+                          driver replay;\n\
+                          budget 64;\n\
+                      }";
+        let docs = parse_doc(source).unwrap();
+        let DocPolicy::Inline(def) = &docs[0].policy else {
+            panic!("expected an inline policy, got {:?}", docs[0].policy)
+        };
+        assert_eq!(def, &crate::parser::parse(crate::stdlib::LISTING1).unwrap());
+        let reparsed = parse_doc(&print_scenario(&docs[0])).unwrap();
+        assert_eq!(reparsed, docs);
+    }
+
+    #[test]
+    fn named_policy_arguments_round_trip() {
+        let mut doc = replay_doc();
+        doc.policy = DocPolicy::Named { name: "pelt_half_life".into(), arg: Some(4) };
+        assert_eq!(parse_doc(&print_scenario(&doc)).unwrap(), vec![doc]);
+    }
+
+    #[test]
+    fn missing_required_clauses_are_rejected() {
+        let err =
+            parse_doc("scenario \"x\" { topology flat(2); loads [1, 0]; policy p; }").unwrap_err();
+        assert!(err.to_string().contains("experiment"), "{err}");
+        let err =
+            parse_doc("scenario \"x\" { experiment e1; loads [1, 0]; policy p; }").unwrap_err();
+        assert!(err.to_string().contains("topology"), "{err}");
+        assert!(parse_doc("").is_err());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_clauses_are_rejected() {
+        let base = "experiment e1; topology flat(2); loads [1, 0]; policy p;";
+        let err = parse_doc(&format!("scenario \"x\" {{ {base} driver replay; driver storm {{ epochs 1; fanout 2; rounds 1; }} }}"))
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate `driver`"), "{err}");
+        let err = parse_doc(&format!("scenario \"x\" {{ {base} frobnicate 3; }}")).unwrap_err();
+        assert!(err.to_string().contains("unknown scenario clause"), "{err}");
+        let err =
+            parse_doc(&format!("scenario \"x\" {{ {base} expect {{ conservation_of_mass; }} }}"))
+                .unwrap_err();
+        assert!(err.to_string().contains("unknown invariant"), "{err}");
+    }
+
+    #[test]
+    fn incomplete_driver_blocks_are_rejected() {
+        let base = "experiment e1; topology flat(2); loads [1, 0]; policy p;";
+        let err = parse_doc(&format!(
+            "scenario \"x\" {{ {base} driver storm {{ epochs 4; fanout 8; }} }}"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("rounds"), "{err}");
+        let err = parse_doc(&format!(
+            "scenario \"x\" {{ {base} driver burst {{ epochs 4; epoch_ns 1000; }} }}"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("warmup_ns"), "{err}");
+    }
+
+    fn arb_driver() -> impl Strategy<Value = DocDriver> {
+        prop_oneof![
+            Just(DocDriver::Replay),
+            (1u64..40, 1u64..5_000_000u64, 0u32..=100, any::<bool>()).prop_map(
+                |(epochs, epoch_ns, jitter, with_jitter)| DocDriver::Burst {
+                    epochs,
+                    epoch_ns,
+                    warmup_ns: epoch_ns * 8,
+                    seed: Some(17),
+                    jitter_pct: with_jitter.then_some(jitter),
+                }
+            ),
+            (1u64..20, 1u64..64, 1u64..5).prop_map(|(epochs, fanout, rounds)| {
+                DocDriver::Storm { epochs, fanout, rounds }
+            }),
+            (1u64..100, 0u32..=100, any::<bool>(), any::<bool>()).prop_map(
+                |(seed, jitter, with_seed, with_jitter)| DocDriver::Workload {
+                    kind: "oltp".into(),
+                    seed: with_seed.then_some(seed),
+                    jitter_pct: with_jitter.then_some(jitter),
+                }
+            ),
+        ]
+    }
+
+    fn arb_doc() -> impl Strategy<Value = ScenarioDoc> {
+        let topo = prop_oneof![
+            (1u64..12).prop_map(DocTopology::Flat),
+            Just(DocTopology::DualSocket),
+            Just(DocTopology::EightNode),
+        ];
+        let policy = prop_oneof![
+            Just(DocPolicy::Named { name: "listing1".into(), arg: None }),
+            (1i64..64)
+                .prop_map(|ms| DocPolicy::Named { name: "pelt_half_life".into(), arg: Some(ms) }),
+        ];
+        let batch = prop_oneof![
+            Just(None),
+            (1i64..16).prop_map(|k| Some(DocBatch::Fixed(k))),
+            Just(Some(DocBatch::Half)),
+        ];
+        let head = (0u64..1000, 1u64..24, topo, prop::collection::vec(0u64..20, 1..16));
+        let mid = (policy, arb_driver(), 0u64..2048, batch);
+        let tail = (any::<bool>(), 0u8..8);
+        (head, mid, tail).prop_map(
+            |(
+                (name_nr, exp, topology, loads),
+                (policy, driver, budget, batch),
+                (mixed_nice, invariant_mask),
+            )| {
+                let all = [
+                    DocInvariant::WorkConservation,
+                    DocInvariant::ConservationOfTasks,
+                    DocInvariant::NonInversion,
+                ];
+                let expect = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| invariant_mask & (1 << i) != 0)
+                    .map(|(_, inv)| *inv)
+                    .collect();
+                ScenarioDoc {
+                    name: format!("generated scenario #{name_nr}: a \"quoted\" name"),
+                    experiment: format!("e{exp}"),
+                    topology,
+                    loads,
+                    policy,
+                    backends: None,
+                    driver,
+                    budget,
+                    batch,
+                    mixed_nice,
+                    expect,
+                }
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn random_documents_round_trip(doc in arb_doc()) {
+            let printed = print_scenario(&doc);
+            let parsed = parse_doc(&printed).unwrap();
+            prop_assert!(parsed == vec![doc], "round trip changed the document; printed source:\n{}", printed);
+        }
+    }
+}

@@ -9,6 +9,8 @@ pub enum Token {
     Ident(String),
     /// An integer literal.
     Int(i64),
+    /// A double-quoted string literal (scenario names in [`crate::doc`]).
+    Str(String),
     /// `{`
     LBrace,
     /// `}`
@@ -17,6 +19,12 @@ pub enum Token {
     LParen,
     /// `)`
     RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
     /// `;`
     Semi,
     /// `=`
@@ -76,6 +84,55 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
             ')' => {
                 tokens.push(Token::RParen);
                 i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '"' => {
+                i += 1;
+                let mut text = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(DslError::parse("unterminated string literal"))
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            // Only the two escapes the printer emits.
+                            match bytes.get(i + 1) {
+                                Some(b'"') => text.push('"'),
+                                Some(b'\\') => text.push('\\'),
+                                other => {
+                                    return Err(DslError::parse(format!(
+                                        "unknown string escape `\\{}`",
+                                        other.map(|b| *b as char).unwrap_or(' ')
+                                    )))
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Strings are UTF-8: take the whole scalar value.
+                            let rest = &source[i..];
+                            let c = rest.chars().next().expect("in-bounds char");
+                            text.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token::Str(text));
             }
             ';' => {
                 tokens.push(Token::Semi);
@@ -212,6 +269,33 @@ mod tests {
                 Token::Lt
             ]
         );
+    }
+
+    #[test]
+    fn lexes_scenario_document_tokens() {
+        let tokens =
+            lex("loads [12, 0]; scenario \"hot core: a \\\"quoted\\\" name\\\\\"").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("loads".into()),
+                Token::LBracket,
+                Token::Int(12),
+                Token::Comma,
+                Token::Int(0),
+                Token::RBracket,
+                Token::Semi,
+                Token::Ident("scenario".into()),
+                Token::Str("hot core: a \"quoted\" name\\".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_strings() {
+        assert!(lex("\"no closing quote").is_err());
+        assert!(lex("\"line\nbreak\"").is_err());
+        assert!(lex("\"bad \\q escape\"").is_err());
     }
 
     #[test]

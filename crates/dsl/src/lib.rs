@@ -38,6 +38,7 @@
 
 pub mod ast;
 pub mod codegen;
+pub mod doc;
 pub mod error;
 pub mod eval;
 pub mod lexer;
@@ -50,6 +51,10 @@ pub mod verification;
 
 pub use ast::{Actor, BinOp, ChooseRule, Expr, Field, LoadSpec, MetricSpec, PolicyDef};
 pub use codegen::generate_rust;
+pub use doc::{
+    parse_doc, print_doc, print_scenario, DocBatch, DocDriver, DocInvariant, DocPolicy,
+    DocTopology, ScenarioDoc,
+};
 pub use error::DslError;
 pub use eval::{compile, compile_source, CompiledPolicy};
 pub use parser::parse;

@@ -25,17 +25,20 @@ pub fn parse(source: &str) -> Result<PolicyDef, DslError> {
     Parser { tokens, pos: 0 }.policy()
 }
 
-struct Parser {
-    tokens: Vec<Token>,
-    pos: usize,
+/// Shared cursor over the token stream.  `pub(crate)` so the scenario
+/// document parser in [`crate::doc`] can reuse the policy grammar (and its
+/// expression precedence) for inline `policy <name> { … }` blocks.
+pub(crate) struct Parser {
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) pos: usize,
 }
 
 impl Parser {
-    fn peek(&self) -> Option<&Token> {
+    pub(crate) fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
     }
 
-    fn next(&mut self) -> Result<Token, DslError> {
+    pub(crate) fn next(&mut self) -> Result<Token, DslError> {
         let t = self
             .tokens
             .get(self.pos)
@@ -45,7 +48,7 @@ impl Parser {
         Ok(t)
     }
 
-    fn expect(&mut self, expected: Token) -> Result<(), DslError> {
+    pub(crate) fn expect(&mut self, expected: Token) -> Result<(), DslError> {
         let got = self.next()?;
         if got == expected {
             Ok(())
@@ -54,14 +57,14 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, DslError> {
+    pub(crate) fn expect_ident(&mut self) -> Result<String, DslError> {
         match self.next()? {
             Token::Ident(name) => Ok(name),
             other => Err(DslError::parse(format!("expected an identifier, found {other:?}"))),
         }
     }
 
-    fn expect_keyword(&mut self, keyword: &str) -> Result<(), DslError> {
+    pub(crate) fn expect_keyword(&mut self, keyword: &str) -> Result<(), DslError> {
         let name = self.expect_ident()?;
         if name == keyword {
             Ok(())
@@ -73,6 +76,13 @@ impl Parser {
     fn policy(&mut self) -> Result<PolicyDef, DslError> {
         self.expect_keyword("policy")?;
         let name = self.expect_ident()?;
+        self.policy_body(name)
+    }
+
+    /// Parses a policy body (`{ metric …; filter = …; }`) once the header
+    /// (`policy <name>`) has already been consumed.  The document grammar
+    /// enters here for inline policies.
+    pub(crate) fn policy_body(&mut self, name: String) -> Result<PolicyDef, DslError> {
         self.expect(Token::LBrace)?;
 
         let mut metric = None;

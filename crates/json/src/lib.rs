@@ -35,6 +35,19 @@ pub use write::{object, JsonValue};
 ///   relatively).  Both `null` outside the batch sweep.
 pub const SCHEMA_VERSION: i64 = 5;
 
+/// The identity of one `BENCH_results.json` record.
+///
+/// Both sides of the pipeline key records the same way: the `sched-bench`
+/// catalog-parity tests match committed records against declarative
+/// scenario documents with it, and the `xtask bench-diff` gate pairs
+/// baseline and current runs (and rejects duplicate keys) with it.  Living
+/// here, next to the codec, the two ends can never drift apart on what
+/// makes a record unique.
+#[must_use]
+pub fn record_key(experiment: &str, scenario: &str, backend: &str) -> String {
+    format!("{experiment} | {scenario} | {backend}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,7 +33,7 @@ pub enum StealBatch {
     /// A fixed number of tasks per decision (clamped to at least one).
     Fixed(usize),
     /// Half the observed imbalance, in whole tasks of the policy's load
-    /// unit — the [`sched_core::StealHalfImbalance`] rule, applied to the
+    /// unit — the [`sched_core::policy::steal::StealHalfImbalance`] rule, applied to the
     /// claim size instead of a locked task-by-task selection.  Moving half
     /// the surplus converges like binary search while never inverting the
     /// imbalance the filter approved (the P2 potential argument).

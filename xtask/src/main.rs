@@ -1,15 +1,27 @@
 //! Repo automation tasks (the `cargo xtask` pattern, no external deps).
 //!
-//! The only task so far is the **bench-regression gate**:
+//! Two tasks: the **bench-regression gate** and the **scenario fuzzer**.
 //!
 //! ```text
 //! cargo run -p xtask -- bench-diff \
 //!     --baseline BENCH_results.json --current /tmp/BENCH_results.json \
 //!     [--tolerance 0.15]
+//! cargo run -p xtask -- fuzz-scenarios --seed 7 --count 50
+//! cargo run -p xtask -- fuzz-scenarios --repro experiments/repro/fuzz-seed7-3.scn
 //! ```
 //!
-//! It compares two `experiments --json` documents per
-//! `(experiment, scenario, backend)` key and exits non-zero when the
+//! `fuzz-scenarios` generates a deterministic stream of declarative
+//! scenario documents from the seed, runs each through the experiment
+//! runner, and checks the records against the invariants the document
+//! declares (work conservation, conservation of tasks, non-inversion).
+//! Failing scenarios are written to `experiments/repro/*.scn` so a failure
+//! is a file you can re-run with `--repro` (or check in as a regression
+//! scenario), not a log line you have to reconstruct.
+//!
+//! `bench-diff` compares two `experiments --json` documents per
+//! `(experiment, scenario, backend)` key — [`sched_json::record_key`], the
+//! same identity the writer's parity tests use, and duplicate keys in
+//! either document are an error — and exits non-zero when the
 //! current run regressed beyond tolerance:
 //!
 //! * `throughput` — relative: fails when
@@ -90,12 +102,7 @@ fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
                 .ok_or_else(|| format!("{path}: record {i} lacks number `{name}`"))
         };
         out.push(Record {
-            key: format!(
-                "{} | {} | {}",
-                field("experiment")?,
-                field("scenario")?,
-                field("backend")?
-            ),
+            key: json::record_key(&field("experiment")?, &field("scenario")?, &field("backend")?),
             backend: field("backend")?,
             throughput: number("throughput")?,
             throughput_unit: field("throughput_unit")?,
@@ -106,6 +113,14 @@ fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
             steal_batch_k: r.get("steal_batch_k").and_then(Json::as_str).map(str::to_string),
             tasks_per_acquisition: r.get("tasks_per_acquisition").and_then(Json::as_f64),
         });
+    }
+    // A duplicate key would make the gate compare against whichever record
+    // `find` happens to hit first — reject the document instead.
+    let mut seen = std::collections::BTreeSet::new();
+    for record in &out {
+        if !seen.insert(record.key.as_str()) {
+            return Err(format!("{path}: duplicate record key `{}`", record.key));
+        }
     }
     Ok(out)
 }
@@ -277,20 +292,110 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// `fuzz-scenarios --seed N --count M [--repro-dir DIR]` or
+/// `fuzz-scenarios --repro FILE...`: the seeded scenario fuzzer.
+///
+/// The seeded form generates, runs and checks `M` scenarios; every failing
+/// one is written to `DIR` (default `experiments/repro/`) as a `.scn`
+/// document.  The `--repro` form loads the given document(s) and replays
+/// them through the same runner and invariant checker.
+fn fuzz_scenarios_task(args: &[String]) -> Result<ExitCode, String> {
+    let repro_files: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| *a == "--repro" || (*i > 0 && args[i - 1] == "--repro"))
+        .filter(|(_, a)| *a != "--repro")
+        .map(|(_, a)| a.clone())
+        .collect();
+    if args.iter().any(|a| a == "--repro") && repro_files.is_empty() {
+        return Err("--repro requires a .scn file argument".into());
+    }
+
+    if !repro_files.is_empty() {
+        let mut violations = Vec::new();
+        let mut records = 0usize;
+        for path in &repro_files {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let scenarios =
+                sched_bench::load_str(&text, path).map_err(|e| format!("{path}: {e}"))?;
+            for scenario in &scenarios {
+                println!("replaying `{}` from {path}...", scenario.doc.name);
+                let (n, mut v) = sched_bench::fuzz::check_scenario(scenario);
+                records += n;
+                violations.append(&mut v);
+            }
+        }
+        return if violations.is_empty() {
+            println!("fuzz-scenarios: OK — {records} records, all declared invariants hold");
+            Ok(ExitCode::SUCCESS)
+        } else {
+            eprintln!("fuzz-scenarios: {} violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            Ok(ExitCode::FAILURE)
+        };
+    }
+
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => s.parse().map_err(|e| format!("bad --seed: {e}"))?,
+        None => 7,
+    };
+    let count: usize = match flag_value(args, "--count") {
+        Some(c) => c.parse().map_err(|e| format!("bad --count: {e}"))?,
+        None => 50,
+    };
+    let repro_dir =
+        flag_value(args, "--repro-dir").unwrap_or_else(|| "experiments/repro".to_string());
+
+    println!("fuzz-scenarios: seed {seed}, {count} scenarios...");
+    let report = sched_bench::fuzz_scenarios(&sched_bench::FuzzConfig { seed, count });
+    println!(
+        "fuzz-scenarios: {} scenarios generated, {} records checked",
+        report.generated, report.records_checked
+    );
+    if report.is_clean() {
+        println!("fuzz-scenarios: OK — all declared invariants hold");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    std::fs::create_dir_all(&repro_dir).map_err(|e| format!("cannot create {repro_dir}: {e}"))?;
+    eprintln!("fuzz-scenarios: {} failing scenario(s):", report.failures.len());
+    for (i, failure) in report.failures.iter().enumerate() {
+        for v in &failure.violations {
+            eprintln!("  {v}");
+        }
+        let path = format!("{repro_dir}/fuzz-seed{seed}-{i}.scn");
+        let doc = format!(
+            "# Failing scenario emitted by `xtask fuzz-scenarios --seed {seed}`.\n\
+             # Replay with: cargo run -p xtask -- fuzz-scenarios --repro {path}\n\n{}",
+            sched_dsl::print_scenario(&failure.doc)
+        );
+        std::fs::write(&path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("  wrote {path}");
+    }
+    Ok(ExitCode::FAILURE)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = |result: Result<ExitCode, String>| match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    };
     match args.first().map(String::as_str) {
-        Some("bench-diff") => match bench_diff(&args[1..]) {
-            Ok(code) => code,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::from(2)
-            }
-        },
+        Some("bench-diff") => run(bench_diff(&args[1..])),
+        Some("fuzz-scenarios") => run(fuzz_scenarios_task(&args[1..])),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- bench-diff --current PATH [--baseline PATH] \
-                 [--tolerance F] [--p99-ceiling-us F]"
+                 [--tolerance F] [--p99-ceiling-us F]\n       \
+                 cargo run -p xtask -- fuzz-scenarios [--seed N] [--count M] [--repro-dir DIR] \
+                 | --repro FILE..."
             );
             ExitCode::from(2)
         }
@@ -324,6 +429,15 @@ mod tests {
         assert_eq!(records[0].key, "e1 | s | sim");
         assert_eq!(records[0].throughput, 2400.0);
         assert_eq!(records[0].violating_idle, 0.25);
+    }
+
+    #[test]
+    fn duplicate_record_keys_are_rejected() {
+        let twin = record("e1", "sim", 2400.0, 0.25, "ops/s");
+        let text = doc(&format!("{twin}, {twin}"));
+        let err = records_of(&json::parse(&text).unwrap(), "test").unwrap_err();
+        assert!(err.contains("duplicate record key"), "{err}");
+        assert!(err.contains("e1 | s | sim"), "{err}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub enum ExperimentId {
     E21,
     E22,
     E23,
+    E24,
 }
 
 impl ExperimentId {
@@ -51,7 +52,7 @@ impl ExperimentId {
         use ExperimentId::*;
         vec![
             E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19,
-            E20, E21, E22, E23,
+            E20, E21, E22, E23, E24,
         ]
     }
 
@@ -82,6 +83,7 @@ impl ExperimentId {
             "e21" => E21,
             "e22" => E22,
             "e23" => E23,
+            "e24" => E24,
             _ => return None,
         })
     }
@@ -117,6 +119,7 @@ impl ExperimentId {
                 "E22 §3.2: overflow storm — ring overflow must stay stealable (injector vs spill)"
             }
             E23 => "E23 §3.1: batched stealing — tasks claimed per acquisition, k=1..8 vs half",
+            E24 => "E24 §2: event-driven simulation — O(events) vs O(cores x horizon) at 1M tasks",
         }
     }
 }
@@ -147,6 +150,7 @@ pub fn run_experiment(id: ExperimentId) -> Vec<Table> {
         ExperimentId::E21 => e21_half_life_sweep(),
         ExperimentId::E22 => e22_overflow_storm(),
         ExperimentId::E23 => e23_batched_stealing(),
+        ExperimentId::E24 => e24_event_engine_scaling(),
     }
 }
 
@@ -1197,6 +1201,39 @@ fn e23_batched_stealing() -> Vec<Table> {
     vec![table]
 }
 
+/// E24: event-driven simulation at scale — one million mostly-sleeping
+/// tasks with sparse compute bursts on 256 flat cores.  The tick engine
+/// pays `cores × horizon / timeslice` timer events whether or not anything
+/// is runnable, so it exhausts the scenario's declared event budget long
+/// before the 20-second sleeps expire (its row records exactly the cap);
+/// the event engine pays two events per sleeping task plus a handful per
+/// burst and finishes with most of the budget unspent.  This is the
+/// asymptotic claim of ROADMAP item 1 as a table: the ratio of the two
+/// `events processed` columns is the work the calendar queue never does.
+fn e24_event_engine_scaling() -> Vec<Table> {
+    use crate::runner::ExperimentRunner;
+
+    let spec = crate::catalog::spec(ExperimentId::E24);
+    let budget = spec.events.expect("e24 declares an event budget");
+    let runner = ExperimentRunner::with_all_backends();
+    let mut table = Table::new(
+        "E24: event-driven simulation — events to run 1M mostly-sleeping tasks (the budget caps \
+         the tick engine)",
+        &["engine", "events processed", "event budget", "outcome", "wall ms"],
+    );
+    for r in runner.run(spec) {
+        let events = r.events_processed.unwrap_or(0);
+        table.row(&[
+            r.sim_engine.unwrap_or(r.backend).into(),
+            events.to_string(),
+            budget.to_string(),
+            if events >= budget { "capped: budget exhausted".into() } else { "finished".into() },
+            format!("{:.1}", r.wall_ms),
+        ]);
+    }
+    vec![table]
+}
+
 /// E13: the DSL front-end, its phase checker and its two backends.
 fn e13_dsl() -> Vec<Table> {
     let scope = Scope::small();
@@ -1232,8 +1269,9 @@ mod tests {
         assert_eq!(ExperimentId::parse("E21"), Some(ExperimentId::E21));
         assert_eq!(ExperimentId::parse("e22"), Some(ExperimentId::E22));
         assert_eq!(ExperimentId::parse("e23"), Some(ExperimentId::E23));
+        assert_eq!(ExperimentId::parse("e24"), Some(ExperimentId::E24));
         assert_eq!(ExperimentId::parse("nope"), None);
-        assert_eq!(ExperimentId::all().len(), 23);
+        assert_eq!(ExperimentId::all().len(), 24);
         for id in ExperimentId::all() {
             assert!(!id.title().is_empty());
         }

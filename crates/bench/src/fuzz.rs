@@ -26,8 +26,8 @@ use sched_dsl::{DocDriver, DocInvariant, DocPolicy, DocTopology, ScenarioDoc};
 
 use crate::catalog::{from_doc, LoadedScenario};
 use crate::runner::{
-    Driver, ExperimentRecord, ExperimentRunner, ExperimentSpec, ModelBackend, RqBackend,
-    RqDequeBackend,
+    run_sim_result, Driver, ExperimentRecord, ExperimentRunner, ExperimentSpec, ModelBackend,
+    RqBackend, RqDequeBackend, SimEngine, SimEventBackend,
 };
 
 /// What to fuzz: the seed pins the whole scenario stream, the count bounds
@@ -38,6 +38,14 @@ pub struct FuzzConfig {
     pub seed: u64,
     /// Number of scenarios to generate and check.
     pub count: usize,
+    /// Seeded same-time orderings to sweep per scenario on the event-driven
+    /// simulator (0 disables the sweep).  Each order re-runs the scenario
+    /// under a different [`sched_sim::OrderingPolicy::Seeded`] tie-break
+    /// and checks the outcome against the priority-ordered baseline:
+    /// same-time reordering must not change whether the run finishes or
+    /// how many operations complete (the choice-irrelevance and
+    /// conservation lemmas, exercised on the engine itself).
+    pub orders: usize,
 }
 
 /// One invariant violation (or structural failure) observed for one
@@ -78,6 +86,8 @@ pub struct FuzzReport {
     pub generated: usize,
     /// Records produced and checked across all scenarios.
     pub records_checked: usize,
+    /// Seeded same-time orderings executed on the event engine.
+    pub orders_checked: usize,
     /// Scenarios that violated at least one expectation.
     pub failures: Vec<FuzzFailure>,
 }
@@ -220,11 +230,14 @@ fn generate_doc(master_seed: u64, index: usize) -> ScenarioDoc {
     let batch =
         if batch_pct > 0 && rng.chance(batch_pct) { Some(pick_batch(&mut rng)) } else { None };
 
-    // The tiny-ring flavours only run storms and the simulator neither
-    // replays deterministically nor reports final loads, so the fuzzer
-    // pins an explicit backend matrix per driver shape.
+    // The tiny-ring flavours only run storms and the simulator cannot
+    // execute storms or batch sweeps, so the fuzzer pins an explicit
+    // backend matrix per driver shape.  Sim-compatible scenarios include
+    // the event engine, which the ordering sweep then reorders.
     let backends = if is_storm {
         vec!["rq".to_string(), "rq-deque".to_string()]
+    } else if batch.is_none() {
+        vec!["model".to_string(), "sim-event".to_string(), "rq".to_string(), "rq-deque".to_string()]
     } else {
         vec!["model".to_string(), "rq".to_string(), "rq-deque".to_string()]
     };
@@ -251,6 +264,8 @@ fn generate_doc(master_seed: u64, index: usize) -> ScenarioDoc {
         backends: Some(backends),
         driver,
         budget,
+        events: None,
+        order: None,
         batch,
         mixed_nice: rng.chance(25),
         expect,
@@ -297,7 +312,10 @@ pub fn check_records(
             match inv {
                 DocInvariant::WorkConservation => match spec.driver {
                     Driver::Replay | Driver::Workload(_) => {
-                        if record.backend == "sim" {
+                        // Both sim engines run their tasks to completion and
+                        // report no final residency; WC there is the ordering
+                        // sweep's finished/operations check instead.
+                        if record.backend.starts_with("sim") {
                             continue;
                         }
                         let converged = record.convergence_rounds.is_some();
@@ -361,15 +379,69 @@ pub fn check_records(
     violations
 }
 
+/// Checks one seeded same-time ordering of a scenario on the event engine
+/// against its priority-ordered baseline: the reordering must not change
+/// whether the run finishes or how many operations complete.  `baseline`
+/// is the result of `run_sim_result(SimEngine::Event, spec)` with no
+/// `order` set.
+pub fn check_ordering(
+    spec: &ExperimentSpec,
+    baseline: &sched_sim::SimResult,
+    order_seed: u64,
+) -> Vec<Violation> {
+    let mut seeded_spec = spec.clone();
+    seeded_spec.order = Some(order_seed);
+    let Some(seeded) = run_sim_result(SimEngine::Event, &seeded_spec) else {
+        return vec![Violation {
+            scenario: spec.scenario.clone(),
+            backend: "sim-event".into(),
+            kind: "ordering".into(),
+            detail: format!("order {order_seed}: the event engine declined the spec"),
+        }];
+    };
+    let mut violations = Vec::new();
+    let mut violate = |detail: String| {
+        violations.push(Violation {
+            scenario: spec.scenario.clone(),
+            backend: "sim-event".into(),
+            kind: "ordering".into(),
+            detail,
+        });
+    };
+    if seeded.finished != baseline.finished {
+        violate(format!(
+            "order {order_seed}: finished = {} but the priority-ordered baseline finished = {}",
+            seeded.finished, baseline.finished
+        ));
+    }
+    if seeded.operations != baseline.operations {
+        violate(format!(
+            "order {order_seed}: {} operations completed, baseline completed {}",
+            seeded.operations, baseline.operations
+        ));
+    }
+    violations
+}
+
 /// Runs one loaded scenario through the runner and its invariant block.
+/// A document carrying an `order` seed (an ordering-sweep repro) is
+/// additionally re-checked against its priority-ordered baseline.
 pub fn check_scenario(scenario: &LoadedScenario) -> (usize, Vec<Violation>) {
     let runner = ExperimentRunner::new(vec![
         Box::new(ModelBackend),
+        Box::new(SimEventBackend),
         Box::new(RqBackend),
         Box::new(RqDequeBackend),
     ]);
     let records = runner.run(scenario.spec.clone());
-    let violations = check_records(&scenario.spec, scenario.expectations(), &records);
+    let mut violations = check_records(&scenario.spec, scenario.expectations(), &records);
+    if let Some(order_seed) = scenario.spec.order {
+        let mut baseline_spec = scenario.spec.clone();
+        baseline_spec.order = None;
+        if let Some(baseline) = run_sim_result(SimEngine::Event, &baseline_spec) {
+            violations.extend(check_ordering(&baseline_spec, &baseline, order_seed));
+        }
+    }
     (records.len(), violations)
 }
 
@@ -408,6 +480,32 @@ pub fn fuzz_scenarios(config: &FuzzConfig) -> FuzzReport {
                 let (nr_records, mut run_violations) = check_scenario(&scenario);
                 report.records_checked += nr_records;
                 violations.append(&mut run_violations);
+
+                // The ordering-sweep leg: re-run the scenario on the event
+                // engine under `config.orders` seeded same-time tie-breaks
+                // and demand the priority-ordered outcome.  A failing order
+                // becomes its own repro document pinning the order seed, so
+                // `--repro` replays exactly the permutation that broke.
+                if config.orders > 0 {
+                    if let Some(baseline) = run_sim_result(SimEngine::Event, &scenario.spec) {
+                        for k in 0..config.orders {
+                            let order_seed =
+                                Rng::new(config.seed ^ ((index as u64) << 32) ^ k as u64).next();
+                            report.orders_checked += 1;
+                            let order_violations =
+                                check_ordering(&scenario.spec, &baseline, order_seed);
+                            if !order_violations.is_empty() {
+                                let mut repro = doc.clone();
+                                repro.name = format!("{} order {order_seed}", doc.name);
+                                repro.order = Some(order_seed);
+                                repro.backends = Some(vec!["sim-event".to_string()]);
+                                report
+                                    .failures
+                                    .push(FuzzFailure { doc: repro, violations: order_violations });
+                            }
+                        }
+                    }
+                }
             }
             Err(e) => violations.push(Violation {
                 scenario: doc.name.clone(),
@@ -439,15 +537,52 @@ mod tests {
 
     #[test]
     fn a_small_fuzz_run_is_clean() {
-        let report = fuzz_scenarios(&FuzzConfig { seed: 7, count: 4 });
+        let report = fuzz_scenarios(&FuzzConfig { seed: 7, count: 4, orders: 0 });
         assert_eq!(report.generated, 4);
         assert!(report.records_checked > 0);
+        assert_eq!(report.orders_checked, 0, "orders: 0 must disable the sweep");
         let rendered: Vec<String> = report
             .failures
             .iter()
             .flat_map(|f| f.violations.iter().map(|v| v.to_string()))
             .collect();
         assert!(report.is_clean(), "violations: {rendered:#?}");
+    }
+
+    #[test]
+    fn a_seeded_ordering_sweep_is_clean() {
+        // The CI sweep in miniature: every sim-compatible scenario re-runs
+        // under seeded same-time permutations, and none of them may change
+        // the outcome.
+        let report = fuzz_scenarios(&FuzzConfig { seed: 7, count: 3, orders: 2 });
+        assert!(report.orders_checked > 0, "seed 7 generates sim-compatible scenarios");
+        let rendered: Vec<String> = report
+            .failures
+            .iter()
+            .flat_map(|f| f.violations.iter().map(|v| v.to_string()))
+            .collect();
+        assert!(report.is_clean(), "violations: {rendered:#?}");
+    }
+
+    #[test]
+    fn an_ordering_repro_document_replays_through_the_checker() {
+        // A failure doc produced by the sweep pins `order <seed>` and the
+        // sim-event backend; `--repro` feeds it back through
+        // check_scenario, which must re-run the ordering comparison.
+        let mut doc = (0..64)
+            .map(|index| generate_doc(7, index))
+            .find(|d| !matches!(d.driver, DocDriver::Storm { .. }) && d.batch.is_none())
+            .expect("seed 7 generates a sim-compatible scenario");
+        doc.order = Some(12345);
+        doc.backends = Some(vec!["sim-event".to_string()]);
+        let printed = sched_dsl::print_scenario(&doc);
+        let parsed = sched_dsl::parse_doc(&printed).expect("repro docs parse");
+        assert_eq!(parsed, vec![doc.clone()]);
+        let spec = from_doc(&doc).expect("repro docs load");
+        let (nr_records, violations) = check_scenario(&LoadedScenario { doc, spec });
+        assert_eq!(nr_records, 1, "only the sim-event backend runs a repro doc");
+        let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        assert!(violations.is_empty(), "{rendered:#?}");
     }
 
     #[test]

@@ -27,9 +27,10 @@ pub use sched_json as json;
 
 pub use catalog::{builtin, catalog, from_doc, load_dir, load_str, to_doc, LoadedScenario};
 pub use experiments::{all_experiments, run_experiment, ExperimentId};
-pub use fuzz::{check_records, fuzz_scenarios, FuzzConfig, FuzzReport, Violation};
+pub use fuzz::{check_ordering, check_records, fuzz_scenarios, FuzzConfig, FuzzReport, Violation};
 pub use runner::{
-    records_table, records_to_json, Backend, BatchK, BurstSpec, Driver, ExperimentRecord,
-    ExperimentRunner, ExperimentSpec, ModelBackend, PolicySpec, RqBackend, SimBackend, SpecError,
-    StormSpec, TopoSpec, WorkloadKind, WorkloadSpec,
+    records_table, records_to_json, run_sim_result, Backend, BatchK, BurstSpec, Driver,
+    ExperimentRecord, ExperimentRunner, ExperimentSpec, ModelBackend, PolicySpec, RqBackend,
+    SimBackend, SimEngine, SimEventBackend, SpecError, StormSpec, TopoSpec, WorkloadKind,
+    WorkloadSpec,
 };

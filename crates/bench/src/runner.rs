@@ -202,6 +202,9 @@ pub enum WorkloadKind {
     Scientific,
     /// OLTP workload sized to the machine.
     Oltp,
+    /// Huge mostly-sleeping population with sparse bursts (E24) — sized to
+    /// stress the asymptotic gap between the tick and event engines.
+    Sleepers,
 }
 
 /// A simulator workload driver: the named generator plus its seed and
@@ -219,11 +222,13 @@ pub struct WorkloadSpec {
 
 impl WorkloadSpec {
     /// A workload spec with the historical default seed/jitter for `kind`
-    /// (scientific: seed 42, 5% jitter; OLTP: seed 7, 20% jitter).
+    /// (scientific: seed 42, 5% jitter; OLTP: seed 7, 20% jitter;
+    /// sleepers: seed 24, 20% jitter).
     pub fn new(kind: WorkloadKind) -> Self {
         match kind {
             WorkloadKind::Scientific => WorkloadSpec { kind, seed: 42, jitter_pct: 5 },
             WorkloadKind::Oltp => WorkloadSpec { kind, seed: 7, jitter_pct: 20 },
+            WorkloadKind::Sleepers => WorkloadSpec { kind, seed: 24, jitter_pct: 20 },
         }
     }
 }
@@ -421,6 +426,16 @@ pub struct ExperimentSpec {
     /// appears here execute the spec.  `None` means every applicable
     /// backend (a backend may still decline, e.g. the model on storms).
     pub backends: Option<Vec<String>>,
+    /// Driver-level event budget for the simulator backends (schema v6):
+    /// both sim engines stop after this many processed events and report
+    /// the run as truncated.  E24 uses it to cap the tick engine where the
+    /// event engine finishes comfortably.  `None` means unbounded.
+    pub events: Option<u64>,
+    /// Same-time tie-break seed for the event-driven simulator backend
+    /// (`OrderingPolicy::Seeded`); `None` keeps the parity-preserving
+    /// priority ordering.  Recorded in repro scenarios emitted by the
+    /// ordering sweep.
+    pub order: Option<u64>,
 }
 
 impl ExperimentSpec {
@@ -437,6 +452,8 @@ impl ExperimentSpec {
             mixed_nice: false,
             batch: None,
             backends: None,
+            events: None,
+            order: None,
         }
     }
 
@@ -446,7 +463,7 @@ impl ExperimentSpec {
     }
 
     /// The workload the simulator backend runs for this spec.
-    fn sim_workload(&self, nr_cores: usize) -> Workload {
+    pub(crate) fn sim_workload(&self, nr_cores: usize) -> Workload {
         match self.driver {
             Driver::Burst(burst) => {
                 // The simulator realises the on/off shape natively: blinker
@@ -481,6 +498,15 @@ impl ExperimentSpec {
                     jitter: f64::from(w.jitter_pct) / 100.0,
                     seed: w.seed,
                     initial_spread: 4,
+                }
+                .generate(),
+                WorkloadKind::Sleepers => sched_workloads::SleeperWorkload {
+                    nr_tasks: 1_000_000,
+                    sleep_ns: 20_000_000_000,
+                    jitter: f64::from(w.jitter_pct) / 100.0,
+                    burst_percent: 2,
+                    burst_ns: 500_000,
+                    seed: w.seed,
                 }
                 .generate(),
             },
@@ -525,6 +551,8 @@ pub struct ExperimentSpecBuilder {
     mixed_nice: bool,
     batch: Option<BatchK>,
     backends: Option<Vec<String>>,
+    events: Option<u64>,
+    order: Option<u64>,
 }
 
 impl ExperimentSpecBuilder {
@@ -576,6 +604,18 @@ impl ExperimentSpecBuilder {
         self
     }
 
+    /// Event budget for the simulator backends.
+    pub fn events(mut self, events: u64) -> Self {
+        self.events = Some(events);
+        self
+    }
+
+    /// Same-time tie-break seed for the event-driven simulator backend.
+    pub fn order(mut self, seed: u64) -> Self {
+        self.order = Some(seed);
+        self
+    }
+
     /// Validates and builds the spec.
     pub fn build(self) -> Result<ExperimentSpec, SpecError> {
         let scenario = &self.scenario;
@@ -605,6 +645,25 @@ impl ExperimentSpecBuilder {
                 SpecError::new(format!("{scenario}: inline policy does not compile: {e}"))
             })?;
         }
+        // The simulator backends have no ring to overflow and no per-steal
+        // queue acquisition: a backend matrix that *names* one of them on a
+        // storm or batch spec is a contradiction, rejected here instead of
+        // silently producing no record at run time.
+        if let Some(backends) = &self.backends {
+            if backends.iter().any(|b| b.starts_with("sim"))
+                && (matches!(self.driver, Driver::Storm(_)) || self.batch.is_some())
+            {
+                return Err(SpecError::new(format!(
+                    "{scenario}: the simulator backends cannot execute storm or batch specs"
+                )));
+            }
+        }
+        if self.events.is_some() && matches!(self.driver, Driver::Storm(_)) {
+            return Err(SpecError::new(format!(
+                "{scenario}: an event budget applies to the simulator backends only, \
+                 which cannot execute a storm"
+            )));
+        }
         Ok(ExperimentSpec {
             id: self.id,
             scenario: self.scenario,
@@ -616,6 +675,8 @@ impl ExperimentSpecBuilder {
             mixed_nice: self.mixed_nice,
             batch: self.batch,
             backends: self.backends,
+            events: self.events,
+            order: self.order,
         })
     }
 }
@@ -669,6 +730,12 @@ pub struct ExperimentRecord {
     pub tasks_per_acquisition: Option<f64>,
     /// Violating-idle fraction per NUMA node, in node order.
     pub per_node_violating_idle: Vec<f64>,
+    /// Which simulation engine produced this record (`"tick"` or
+    /// `"event"`; schema v6).  `None` on non-simulator backends.
+    pub sim_engine: Option<&'static str>,
+    /// Discrete events the simulation engine processed (schema v6).
+    /// `None` on non-simulator backends.
+    pub events_processed: Option<u64>,
     /// Final per-core thread counts when the backend finished, for
     /// invariant checking (conservation of tasks, non-inversion).  **Not
     /// serialized** — the JSON schema is unchanged; the simulator leaves it
@@ -748,6 +815,20 @@ impl ExperimentRecord {
                     self.per_node_violating_idle.iter().map(|&v| JsonValue::Float(v)).collect(),
                 ),
             ),
+            (
+                "sim_engine",
+                match self.sim_engine {
+                    Some(engine) => JsonValue::Str(engine.into()),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "events_processed",
+                match self.events_processed {
+                    Some(n) => JsonValue::Int(n as i64),
+                    None => JsonValue::Null,
+                },
+            ),
             ("wall_ms", JsonValue::Float(self.wall_ms)),
         ])
     }
@@ -783,6 +864,8 @@ fn record_base(spec: &ExperimentSpec, backend: &'static str) -> ExperimentRecord
         steal_batch_k: spec.batch.map(BatchK::name),
         tasks_per_acquisition: None,
         per_node_violating_idle: Vec::new(),
+        sim_engine: None,
+        events_processed: None,
         final_loads: Vec::new(),
         wall_ms: 0.0,
     }
@@ -1014,57 +1097,151 @@ impl Backend for ModelBackend {
 /// optimistic scheduler driven by the spec's policy.
 pub struct SimBackend;
 
+/// Event-driven flavour of the simulator backend (record backend
+/// `"sim-event"`): the identical scenario on [`sched_sim::EventEngine`],
+/// whose cost scales with the number of events rather than `cores ×
+/// horizon`.  Under the default priority tie-break its records match the
+/// tick engine's exactly (pinned by the parity tests); a spec carrying an
+/// `order` seed instead runs it under a seeded same-time permutation.
+pub struct SimEventBackend;
+
+/// Which simulation engine a sim backend drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEngine {
+    /// The cycle-accurate tick engine ([`sched_sim::Engine`]).
+    Tick,
+    /// The event-driven engine ([`sched_sim::EventEngine`]).
+    Event,
+}
+
+/// Runs one spec on the chosen simulation engine and returns the raw
+/// simulator result, honouring the spec's `events` budget and (on the
+/// event engine) its `order` seed.  This is the hook the scenario fuzzer's
+/// ordering sweep and the engine-parity tests drive: they compare result
+/// quantities (`finished`, `operations`, `makespan_ns`, …) that record
+/// stamping would discard.  Returns `None` for specs the simulator cannot
+/// execute (storms, batch sweeps, mis-sized load vectors).
+pub fn run_sim_result(engine: SimEngine, spec: &ExperimentSpec) -> Option<sched_sim::SimResult> {
+    use sched_sim::{
+        Engine, EventEngine, HierarchicalScheduler, OptimisticScheduler, OrderingPolicy, SimConfig,
+        SimScheduler,
+    };
+
+    if spec.driver.storm().is_some() || spec.batch.is_some() {
+        return None;
+    }
+    let topo = Arc::new(spec.topo.build());
+    if topo.nr_cpus() != spec.loads.len() {
+        return None;
+    }
+    let workload = spec.sim_workload(topo.nr_cpus());
+    let scheduler: Box<dyn SimScheduler> = if spec.policy.is_hierarchical() {
+        Box::new(HierarchicalScheduler::new(spec.policy.build(&topo), Arc::clone(&topo)))
+    } else {
+        Box::new(OptimisticScheduler::with_topology(spec.policy.build(&topo), Arc::clone(&topo)))
+    };
+    let mut config = SimConfig::default();
+    if let Some(budget) = spec.events {
+        config = config.with_event_budget(budget);
+    }
+    if engine == SimEngine::Event {
+        if let Some(seed) = spec.order {
+            config = config.with_ordering(OrderingPolicy::Seeded(seed));
+        }
+    }
+    Some(match engine {
+        SimEngine::Tick => Engine::new(config, Some(&topo), &workload, scheduler).run(),
+        SimEngine::Event => EventEngine::new(config, Some(&topo), &workload, scheduler).run(),
+    })
+}
+
+/// Runs one spec on the chosen simulation engine, labelling the record
+/// with `backend`.  Both engines share the scenario construction, the
+/// measured quantities and the schema-v6 engine columns.
+fn run_sim_spec(
+    engine: SimEngine,
+    backend: &'static str,
+    spec: &ExperimentSpec,
+) -> Option<ExperimentRecord> {
+    use sched_sim::{
+        Engine, EventEngine, HierarchicalScheduler, OptimisticScheduler, OrderingPolicy, SimConfig,
+        SimScheduler,
+    };
+
+    // Like the model, the simulator has no fixed-capacity ring and
+    // cannot execute an overflow storm, and no per-steal queue
+    // acquisition for a batch sweep to amortise.
+    if spec.driver.storm().is_some() || spec.batch.is_some() {
+        return None;
+    }
+    let topo = Arc::new(spec.topo.build());
+    if topo.nr_cpus() != spec.loads.len() {
+        return None;
+    }
+    let workload = spec.sim_workload(topo.nr_cpus());
+    let scheduler: Box<dyn SimScheduler> = if spec.policy.is_hierarchical() {
+        Box::new(HierarchicalScheduler::new(spec.policy.build(&topo), Arc::clone(&topo)))
+    } else {
+        Box::new(OptimisticScheduler::with_topology(spec.policy.build(&topo), Arc::clone(&topo)))
+    };
+    let mut config = SimConfig::default();
+    if let Some(budget) = spec.events {
+        config = config.with_event_budget(budget);
+    }
+    if engine == SimEngine::Event {
+        if let Some(seed) = spec.order {
+            config = config.with_ordering(OrderingPolicy::Seeded(seed));
+        }
+    }
+
+    let start = Instant::now();
+    let result = match engine {
+        SimEngine::Tick => Engine::new(config, Some(&topo), &workload, scheduler).run(),
+        SimEngine::Event => EventEngine::new(config, Some(&topo), &workload, scheduler).run(),
+    };
+    let wall = start.elapsed();
+
+    let mut record = record_base(spec, backend);
+    record.threads = workload.nr_threads() as u64;
+    record.throughput = result.throughput_ops_per_sec();
+    record.throughput_unit = "ops/s";
+    record.violating_idle = result.violating_idle_fraction();
+    record.migrations = result.balance.migrations;
+    record.failures = result.balance.failures;
+    record.locality = result.balance.locality();
+    record.p99_sched_latency_us = Some(result.latency.quantile(0.99) as f64 / 1e3);
+    record.per_node_violating_idle = (0..topo.nr_nodes())
+        .map(|n| {
+            let cpus: Vec<usize> = topo.cpus_of_node(NodeId(n)).iter().map(|c| c.0).collect();
+            result.idle.violation_fraction_of(&cpus)
+        })
+        .collect();
+    record.sim_engine = Some(match engine {
+        SimEngine::Tick => "tick",
+        SimEngine::Event => "event",
+    });
+    record.events_processed = Some(result.events_processed);
+    record.wall_ms = wall.as_secs_f64() * 1e3;
+    Some(record)
+}
+
 impl Backend for SimBackend {
     fn name(&self) -> &'static str {
         "sim"
     }
 
     fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
-        use sched_sim::{
-            Engine, HierarchicalScheduler, OptimisticScheduler, SimConfig, SimScheduler,
-        };
+        run_sim_spec(SimEngine::Tick, self.name(), spec)
+    }
+}
 
-        // Like the model, the simulator has no fixed-capacity ring and
-        // cannot execute an overflow storm, and no per-steal queue
-        // acquisition for a batch sweep to amortise.
-        if spec.driver.storm().is_some() || spec.batch.is_some() {
-            return None;
-        }
-        let topo = Arc::new(spec.topo.build());
-        if topo.nr_cpus() != spec.loads.len() {
-            return None;
-        }
-        let workload = spec.sim_workload(topo.nr_cpus());
-        let scheduler: Box<dyn SimScheduler> = if spec.policy.is_hierarchical() {
-            Box::new(HierarchicalScheduler::new(spec.policy.build(&topo), Arc::clone(&topo)))
-        } else {
-            Box::new(OptimisticScheduler::with_topology(
-                spec.policy.build(&topo),
-                Arc::clone(&topo),
-            ))
-        };
+impl Backend for SimEventBackend {
+    fn name(&self) -> &'static str {
+        "sim-event"
+    }
 
-        let start = Instant::now();
-        let result = Engine::new(SimConfig::default(), Some(&topo), &workload, scheduler).run();
-        let wall = start.elapsed();
-
-        let mut record = record_base(spec, self.name());
-        record.threads = workload.nr_threads() as u64;
-        record.throughput = result.throughput_ops_per_sec();
-        record.throughput_unit = "ops/s";
-        record.violating_idle = result.violating_idle_fraction();
-        record.migrations = result.balance.migrations;
-        record.failures = result.balance.failures;
-        record.locality = result.balance.locality();
-        record.p99_sched_latency_us = Some(result.latency.quantile(0.99) as f64 / 1e3);
-        record.per_node_violating_idle = (0..topo.nr_nodes())
-            .map(|n| {
-                let cpus: Vec<usize> = topo.cpus_of_node(NodeId(n)).iter().map(|c| c.0).collect();
-                result.idle.violation_fraction_of(&cpus)
-            })
-            .collect();
-        record.wall_ms = wall.as_secs_f64() * 1e3;
-        Some(record)
+    fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        run_sim_spec(SimEngine::Event, self.name(), spec)
     }
 }
 
@@ -1357,15 +1534,17 @@ impl ExperimentRunner {
         ExperimentRunner { backends }
     }
 
-    /// A runner over every backend: model, sim, the real-thread machine
-    /// under both runqueue disciplines (mutex `rq`, lock-free `rq-deque`),
-    /// and the storm-only tiny-ring flavours (`rq-deque-tiny`,
+    /// A runner over every backend: model, the simulator under both of its
+    /// engines (tick `sim`, event-driven `sim-event`), the real-thread
+    /// machine under both runqueue disciplines (mutex `rq`, lock-free
+    /// `rq-deque`), and the storm-only tiny-ring flavours (`rq-deque-tiny`,
     /// `rq-deque-spill`), which execute nothing except overflow-storm
     /// specs — record counts for every other experiment are unchanged.
     pub fn with_all_backends() -> Self {
         ExperimentRunner::new(vec![
             Box::new(ModelBackend),
             Box::new(SimBackend),
+            Box::new(SimEventBackend),
             Box::new(RqBackend),
             Box::new(RqDequeBackend),
             Box::new(RqTinyDequeBackend),
@@ -1408,7 +1587,7 @@ pub fn records_to_json(records: &[ExperimentRecord]) -> String {
         ),
         ("harness", JsonValue::Str("sched-bench experiments --json".into())),
         // The version's meaning is documented on `sched_json::SCHEMA_VERSION`
-        // (v5: steal_batch_k + tasks_per_acquisition).
+        // (v6: sim_engine + events_processed).
         ("schema_version", JsonValue::Int(sched_json::SCHEMA_VERSION)),
         ("records", JsonValue::Array(records.iter().map(ExperimentRecord::to_json).collect())),
     ])
@@ -1543,6 +1722,36 @@ mod tests {
             .build()
             .is_ok());
 
+        // A backend matrix naming a simulator backend on a storm or batch
+        // spec is rejected at build time (the sim engines cannot execute
+        // either), instead of silently producing no record.
+        let err = ExperimentSpec::builder(ExperimentId::E22, "sim-event storm")
+            .loads(vec![1, 0, 0, 0])
+            .topo(TopoSpec::Flat(4))
+            .driver(Driver::Storm(StormSpec { epochs: 2, fanout: 8, rounds_per_epoch: 1 }))
+            .backends(vec!["sim-event".into()])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("simulator backends"), "{err}");
+        let err = ExperimentSpec::builder(ExperimentId::E23, "sim batch")
+            .loads(vec![8, 0, 0, 0])
+            .topo(TopoSpec::Flat(4))
+            .batch(BatchK::Fixed(2))
+            .backends(vec!["sim".into(), "rq".into()])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("simulator backends"), "{err}");
+
+        // An event budget on a storm driver has no backend to apply to.
+        let err = ExperimentSpec::builder(ExperimentId::E22, "budget storm")
+            .loads(vec![1, 0, 0, 0])
+            .topo(TopoSpec::Flat(4))
+            .driver(Driver::Storm(StormSpec { epochs: 2, fanout: 8, rounds_per_epoch: 1 }))
+            .events(1_000)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("event budget"), "{err}");
+
         // An inline policy that does not compile is rejected at build time.
         let bogus = sched_dsl::parse(
             "policy bogus { filter = victim.load + 1; choose = first; steal = 1; }",
@@ -1563,9 +1772,9 @@ mod tests {
         let spec = small_spec(PolicySpec::Listing1);
         let runner = ExperimentRunner::with_all_backends();
         let records = runner.run(spec);
-        assert_eq!(records.len(), 4);
+        assert_eq!(records.len(), 5);
         let backends: Vec<&str> = records.iter().map(|r| r.backend).collect();
-        assert_eq!(backends, vec!["model", "sim", "rq", "rq-deque"]);
+        assert_eq!(backends, vec!["model", "sim", "sim-event", "rq", "rq-deque"]);
         // Schema v4: the rq records carry their runqueue discipline.
         let flavour = |backend: &str| {
             records.iter().find(|r| r.backend == backend).and_then(|r| r.rq_backend)
@@ -1573,15 +1782,29 @@ mod tests {
         assert_eq!(flavour("rq"), Some("mutex"));
         assert_eq!(flavour("rq-deque"), Some("deque"));
         assert_eq!(flavour("model"), None);
+        // Schema v6: only the sim records carry their engine and event count.
+        let engine = |backend: &str| {
+            records.iter().find(|r| r.backend == backend).and_then(|r| r.sim_engine)
+        };
+        assert_eq!(engine("sim"), Some("tick"));
+        assert_eq!(engine("sim-event"), Some("event"));
+        assert_eq!(engine("model"), None);
+        assert_eq!(engine("rq"), None);
         for r in &records {
             assert_eq!(r.experiment, "e2");
             assert_eq!(r.cores, 4);
             assert!(r.threads >= 8);
             assert!(r.migrations > 0, "{}: balancing must migrate work", r.backend);
+            if r.backend.starts_with("sim") {
+                let events = r.events_processed.expect("sim records count events");
+                assert!(events > 0, "{}: a run processes events", r.backend);
+            } else {
+                assert_eq!(r.events_processed, None);
+            }
         }
         // The model and rq backends must both converge, and — single hot
         // core, three idle thieves — need at least three migrations.
-        for r in records.iter().filter(|r| r.backend != "sim") {
+        for r in records.iter().filter(|r| !r.backend.starts_with("sim")) {
             assert!(r.convergence_rounds.is_some(), "{} did not converge", r.backend);
             assert!(r.migrations >= 3);
             // The replayed tasks must all still be there, spread out.
@@ -1592,6 +1815,75 @@ mod tests {
                 r.backend
             );
         }
+    }
+
+    #[test]
+    fn sim_engines_agree_record_for_record() {
+        // Tick/event parity at the record level: same workload, same
+        // scheduler, same measured quantities.  (The sim crate pins the
+        // engines against each other on richer scenarios; this pins the
+        // runner's plumbing — config, workload construction, stamping.)
+        let runner = ExperimentRunner::with_all_backends();
+        for policy in [PolicySpec::Listing1, PolicySpec::Pelt, PolicySpec::Hierarchical] {
+            let mut spec = small_spec(policy);
+            spec.backends = Some(vec!["sim".into(), "sim-event".into()]);
+            let records = runner.run(spec);
+            assert_eq!(records.len(), 2);
+            let (tick, event) = (&records[0], &records[1]);
+            assert_eq!(tick.backend, "sim");
+            assert_eq!(event.backend, "sim-event");
+            assert_eq!(tick.throughput, event.throughput, "{}", tick.policy);
+            assert_eq!(tick.violating_idle, event.violating_idle, "{}", tick.policy);
+            assert_eq!(tick.migrations, event.migrations, "{}", tick.policy);
+            assert_eq!(tick.failures, event.failures, "{}", tick.policy);
+            assert_eq!(tick.locality.counts(), event.locality.counts(), "{}", tick.policy);
+            assert_eq!(tick.p99_sched_latency_us, event.p99_sched_latency_us, "{}", tick.policy);
+            assert_eq!(
+                tick.per_node_violating_idle, event.per_node_violating_idle,
+                "{}",
+                tick.policy
+            );
+            // The event engine must do strictly less bookkeeping.
+            assert!(
+                event.events_processed.unwrap() < tick.events_processed.unwrap(),
+                "{}: event engine must process fewer events ({:?} vs {:?})",
+                tick.policy,
+                event.events_processed,
+                tick.events_processed
+            );
+        }
+    }
+
+    #[test]
+    fn an_event_budget_truncates_both_sim_engines() {
+        let mut spec = small_spec(PolicySpec::Listing1);
+        spec.backends = Some(vec!["sim".into(), "sim-event".into()]);
+        spec.events = Some(10);
+        let runner = ExperimentRunner::with_all_backends();
+        let records = runner.run(spec);
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.events_processed, Some(10), "{}: the cap is recorded", r.backend);
+        }
+    }
+
+    #[test]
+    fn an_order_seed_reorders_only_the_event_engine() {
+        // The `order` seed changes the same-time tie-break of the event
+        // engine; the tick engine ignores it.  Task conservation holds
+        // under any order: all eight tasks finish either way.
+        let runner = ExperimentRunner::with_all_backends();
+        let mut spec = small_spec(PolicySpec::Listing1);
+        spec.backends = Some(vec!["sim".into(), "sim-event".into()]);
+        let baseline = runner.run(spec.clone());
+        spec.order = Some(7);
+        let seeded = runner.run(spec);
+        // Tick records are untouched by the seed.
+        assert_eq!(baseline[0].migrations, seeded[0].migrations);
+        assert_eq!(baseline[0].throughput, seeded[0].throughput);
+        // The seeded event run still finishes every task (throughput is
+        // ops over simulated time, and every op completes).
+        assert!(seeded[1].throughput > 0.0);
     }
 
     #[test]
@@ -1666,6 +1958,8 @@ mod tests {
             "\"p99_sched_latency_us\"",
             "\"steal_batch_k\"",
             "\"tasks_per_acquisition\"",
+            "\"sim_engine\"",
+            "\"events_processed\"",
             "\"records\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");

@@ -1,0 +1,90 @@
+//! Tick-vs-event engine parity, pinned exactly.
+//!
+//! The event-driven engine is an *optimisation*, not a different model:
+//! under the default priority tie-break it must reproduce the cycle-accurate
+//! tick engine's results bit for bit — same completion, same operation
+//! count, same makespan, same migration and failure counts, same idle and
+//! latency accounting.  Two legs pin that claim:
+//!
+//! * a **catalog sweep** over every sim-compatible E1–E16 scenario — the
+//!   replay and workload shapes the paper's experiments actually run;
+//! * a **property leg** over random small replay specs, so the parity does
+//!   not silently hold only on the hand-picked catalog shapes.
+//!
+//! Equality here is `assert_eq!`, not a tolerance: both engines are
+//! deterministic, so any divergence is an ordering or decay bug in one of
+//! them, found at the exact scenario that triggers it.
+
+use proptest::prelude::*;
+
+use sched_bench::{run_sim_result, ExperimentId, ExperimentSpec, PolicySpec, SimEngine, TopoSpec};
+
+/// Runs `spec` on both engines and asserts exact result parity.  Returns
+/// `false` when the simulator declines the spec (storm or batch shapes).
+fn engines_agree(spec: &ExperimentSpec) -> bool {
+    let Some(tick) = run_sim_result(SimEngine::Tick, spec) else {
+        return false;
+    };
+    let event = run_sim_result(SimEngine::Event, spec).expect("engines decline the same specs");
+    let name = &spec.scenario;
+    assert_eq!(tick.finished, event.finished, "{name}: completion diverged");
+    assert_eq!(tick.operations, event.operations, "{name}: operation counts diverged");
+    assert_eq!(tick.makespan_ns, event.makespan_ns, "{name}: makespans diverged");
+    assert_eq!(
+        tick.balance.migrations, event.balance.migrations,
+        "{name}: migration counts diverged"
+    );
+    assert_eq!(tick.balance.failures, event.balance.failures, "{name}: failure counts diverged");
+    assert_eq!(
+        tick.violating_idle_fraction(),
+        event.violating_idle_fraction(),
+        "{name}: violating-idle accounting diverged"
+    );
+    for q in [0.5, 0.99, 1.0] {
+        assert_eq!(
+            tick.latency.quantile(q),
+            event.latency.quantile(q),
+            "{name}: p{} scheduling latency diverged",
+            q * 100.0
+        );
+    }
+    true
+}
+
+/// The catalog sweep: every sim-compatible E1–E16 scenario, exact parity.
+#[test]
+fn the_catalogued_e1_to_e16_scenarios_agree_across_engines() {
+    let first_sixteen: Vec<ExperimentId> = ExperimentId::all().into_iter().take(16).collect();
+    assert_eq!(first_sixteen.last(), Some(&ExperimentId::E16));
+    let mut checked = 0;
+    for spec in sched_bench::catalog() {
+        if first_sixteen.contains(&spec.id) && engines_agree(&spec) {
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 16, "every E1-E16 scenario is sim-compatible and must be swept");
+}
+
+proptest! {
+    /// The property leg: random small replay imbalances agree exactly too.
+    #[test]
+    fn random_replay_specs_agree_across_engines(
+        loads in prop::collection::vec(0usize..5, 2..8),
+        hot in 0usize..8,
+        steal_half in any::<bool>(),
+    ) {
+        let mut loads = loads;
+        let slot = hot % loads.len();
+        loads[slot] += 2 * loads.len(); // one hot core, so balancing has work to do
+        let cores = loads.len();
+        let policy = if steal_half { PolicySpec::StealHalf } else { PolicySpec::Listing1 };
+        let spec = ExperimentSpec::builder(ExperimentId::E1, "random replay parity")
+            .loads(loads)
+            .topo(TopoSpec::Flat(cores))
+            .policy(policy)
+            .budget_rounds(8 * cores + 256)
+            .build()
+            .expect("random replay specs are valid");
+        prop_assert!(engines_agree(&spec));
+    }
+}

@@ -153,6 +153,12 @@ pub struct ScenarioDoc {
     pub driver: DocDriver,
     /// Balancing-round budget for replay-shaped drivers.
     pub budget: u64,
+    /// Event budget for the simulator backends: both sim engines stop after
+    /// this many processed events.  `None` means unbounded.
+    pub events: Option<u64>,
+    /// Same-time tie-break seed for the event-driven simulator backend
+    /// (repro documents emitted by the ordering sweep carry it).
+    pub order: Option<u64>,
     /// Steal batch size, if the scenario sweeps batching.
     pub batch: Option<DocBatch>,
     /// Cycle nice values −10/0/10 across spawned threads.
@@ -212,6 +218,8 @@ fn scenario(p: &mut Parser) -> Result<ScenarioDoc, DslError> {
     let mut backends = None;
     let mut driver = None;
     let mut budget = None;
+    let mut events = None;
+    let mut order = None;
     let mut batch = None;
     let mut mixed_nice = false;
     let mut expect = None;
@@ -259,6 +267,16 @@ fn scenario(p: &mut Parser) -> Result<ScenarioDoc, DslError> {
                 budget = Some(unsigned(p, "budget")?);
                 p.expect(Token::Semi)?;
             }
+            "events" => {
+                dup(events.is_some())?;
+                events = Some(unsigned(p, "events")?);
+                p.expect(Token::Semi)?;
+            }
+            "order" => {
+                dup(order.is_some())?;
+                order = Some(unsigned(p, "order")?);
+                p.expect(Token::Semi)?;
+            }
             "batch" => {
                 dup(batch.is_some())?;
                 batch = Some(match p.next()? {
@@ -300,6 +318,8 @@ fn scenario(p: &mut Parser) -> Result<ScenarioDoc, DslError> {
         backends,
         driver: driver.unwrap_or(DocDriver::Replay),
         budget: budget.unwrap_or(0),
+        events,
+        order,
         batch,
         mixed_nice,
         expect: expect.unwrap_or_default(),
@@ -557,6 +577,12 @@ pub fn print_scenario(doc: &ScenarioDoc) -> String {
     }
     out.push_str(&print_driver(&doc.driver));
     out.push_str(&format!("    budget {};\n", doc.budget));
+    if let Some(events) = doc.events {
+        out.push_str(&format!("    events {events};\n"));
+    }
+    if let Some(order) = doc.order {
+        out.push_str(&format!("    order {order};\n"));
+    }
     match doc.batch {
         None => {}
         Some(DocBatch::Fixed(k)) => out.push_str(&format!("    batch {k};\n")),
@@ -658,6 +684,8 @@ mod tests {
             backends: None,
             driver: DocDriver::Replay,
             budget: 128,
+            events: None,
+            order: None,
             batch: None,
             mixed_nice: false,
             expect: vec![
@@ -696,7 +724,11 @@ mod tests {
         workload.topology = DocTopology::DualSocket;
         workload.backends = Some(vec!["model".into(), "sim".into(), "rq-deque".into()]);
         workload.mixed_nice = true;
-        let docs = vec![replay_doc(), burst, storm, workload];
+        let mut event = replay_doc();
+        event.backends = Some(vec!["sim".into(), "sim-event".into()]);
+        event.events = Some(4_000_000);
+        event.order = Some(7);
+        let docs = vec![replay_doc(), burst, storm, workload, event];
         let printed = print_doc(&docs);
         assert_eq!(parse_doc(&printed).unwrap(), docs, "printed source:\n{printed}");
     }
@@ -815,12 +847,14 @@ mod tests {
         ];
         let head = (0u64..1000, 1u64..24, topo, prop::collection::vec(0u64..20, 1..16));
         let mid = (policy, arb_driver(), 0u64..2048, batch);
-        let tail = (any::<bool>(), 0u8..8);
+        let events = prop_oneof![Just(None), (1u64..10_000_000).prop_map(Some)];
+        let order = prop_oneof![Just(None), (0u64..1_000).prop_map(Some)];
+        let tail = (any::<bool>(), 0u8..8, events, order);
         (head, mid, tail).prop_map(
             |(
                 (name_nr, exp, topology, loads),
                 (policy, driver, budget, batch),
-                (mixed_nice, invariant_mask),
+                (mixed_nice, invariant_mask, events, order),
             )| {
                 let all = [
                     DocInvariant::WorkConservation,
@@ -842,6 +876,8 @@ mod tests {
                     backends: None,
                     driver,
                     budget,
+                    events,
+                    order,
                     batch,
                     mixed_nice,
                     expect,

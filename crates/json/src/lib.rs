@@ -33,7 +33,12 @@ pub use write::{object, JsonValue};
 ///   (threads migrated per successful steal acquisition — exactly 1.0 at
 ///   `k = 1`, above it when batching amortises; the gate compares it
 ///   relatively).  Both `null` outside the batch sweep.
-pub const SCHEMA_VERSION: i64 = 5;
+/// * v6: per-record `sim_engine` (`"tick"` for the cycle-accurate
+///   simulator, `"event"` for the event-driven one) and
+///   `events_processed` (events the engine handled before finishing or
+///   exhausting the scenario's event budget; the gate compares it
+///   relatively).  Both `null` on non-simulator backends.
+pub const SCHEMA_VERSION: i64 = 6;
 
 /// The identity of one `BENCH_results.json` record.
 ///

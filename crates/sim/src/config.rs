@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use crate::event::OrderingPolicy;
+
 /// Static parameters of one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
@@ -15,6 +17,16 @@ pub struct SimConfig {
     /// Hard simulation horizon, in nanoseconds; runs that do not finish by
     /// then are truncated (and reported as unfinished).
     pub horizon_ns: u64,
+    /// Tie-break policy among simultaneous events.
+    ///
+    /// [`OrderingPolicy::Priority`] is the default: it is the only policy
+    /// under which the tick engine and the event engine agree tie-for-tie
+    /// (FIFO ties depend on push order, which differs once idle timer ticks
+    /// are elided). [`OrderingPolicy::Seeded`] is the verification mode.
+    pub ordering: OrderingPolicy,
+    /// Optional hard cap on processed events; runs hitting the cap stop and
+    /// are reported as unfinished. `None` means unbounded.
+    pub event_budget: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -24,6 +36,8 @@ impl Default for SimConfig {
             timeslice_ns: 1_000_000,
             balance_period_ns: 4_000_000,
             horizon_ns: 30_000_000_000,
+            ordering: OrderingPolicy::Priority,
+            event_budget: None,
         }
     }
 }
@@ -53,6 +67,18 @@ impl SimConfig {
         self.horizon_ns = ns;
         self
     }
+
+    /// Overrides the same-time event ordering policy.
+    pub fn with_ordering(mut self, ordering: OrderingPolicy) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Caps the number of processed events.
+    pub fn with_event_budget(mut self, events: u64) -> Self {
+        self.event_budget = Some(events);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -64,15 +90,24 @@ mod tests {
         let c = SimConfig::default();
         assert_eq!(c.balance_period_ns, 4_000_000);
         assert!(c.timeslice_ns <= c.balance_period_ns);
+        assert_eq!(c.ordering, OrderingPolicy::Priority);
+        assert_eq!(c.event_budget, None);
     }
 
     #[test]
     fn builders_override_fields() {
-        let c = SimConfig::with_cores(64).balance_period(8_000_000).timeslice(500_000).horizon(1);
+        let c = SimConfig::with_cores(64)
+            .balance_period(8_000_000)
+            .timeslice(500_000)
+            .horizon(1)
+            .with_ordering(OrderingPolicy::Seeded(9))
+            .with_event_budget(100);
         assert_eq!(c.nr_cores, 64);
         assert_eq!(c.balance_period_ns, 8_000_000);
         assert_eq!(c.timeslice_ns, 500_000);
         assert_eq!(c.horizon_ns, 1);
+        assert_eq!(c.ordering, OrderingPolicy::Seeded(9));
+        assert_eq!(c.event_budget, Some(100));
     }
 
     #[test]

@@ -1,10 +1,19 @@
-//! The discrete-event simulation engine.
+//! The tick-driven simulation engine.
 //!
 //! The engine owns the *mechanism* — time, runqueues, election, preemption,
 //! barriers — and delegates the two *policies* the paper studies to a
 //! [`SimScheduler`]: where waking threads are placed, and how runqueues are
 //! balanced every balancing period.  Runs are fully deterministic given the
-//! workload and the scheduler.
+//! workload, the scheduler and the configured [`OrderingPolicy`].
+//!
+//! This engine keeps every core on the calendar: each core re-arms its
+//! preemption timer every timeslice whether or not it has work, so a run
+//! costs O(cores × rounds) even when the machine is mostly asleep.  The
+//! [`crate::event_engine::EventEngine`] reproduces exactly the same schedule
+//! (pinned by parity tests) while only paying for cores that actually have
+//! something to do.
+//!
+//! [`OrderingPolicy`]: crate::event::OrderingPolicy
 
 use std::sync::Arc;
 
@@ -40,6 +49,7 @@ pub struct Engine {
     latency: LatencyRecorder,
     balance_stats: RoundStats,
     finished_count: usize,
+    events_processed: u64,
 }
 
 impl Engine {
@@ -72,7 +82,7 @@ impl Engine {
             .collect();
         let barriers = workload.barriers.iter().map(|&(id, n)| SimBarrier::new(id, n)).collect();
 
-        let mut events = EventQueue::new();
+        let mut events = EventQueue::with_ordering(config.ordering);
         for thread in &threads {
             events.push(thread.spec.arrival_ns, EventKind::Arrival(thread.id));
         }
@@ -95,6 +105,7 @@ impl Engine {
             now: 0,
             last_account: 0,
             finished_count: 0,
+            events_processed: 0,
             config,
         }
     }
@@ -113,6 +124,12 @@ impl Engine {
             if event.time > self.config.horizon_ns {
                 break;
             }
+            if let Some(budget) = self.config.event_budget {
+                if self.events_processed >= budget {
+                    break;
+                }
+            }
+            self.events_processed += 1;
             self.account_until(event.time);
             self.now = event.time;
             self.handle(event);
@@ -128,6 +145,7 @@ impl Engine {
             makespan_ns: self.now,
             finished,
             operations: self.threads.iter().map(|t| t.ops_completed).sum(),
+            events_processed: self.events_processed,
             idle: self.idle,
             latency: self.latency,
             balance: self.balance_stats,

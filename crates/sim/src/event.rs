@@ -30,12 +30,58 @@ pub enum EventKind {
     Balance,
 }
 
+/// How simultaneous events are ordered relative to each other.
+///
+/// Both engines drain events in `(time, rank, seq)` order; the policy decides
+/// the rank. `Priority` is the default and the only policy under which the
+/// tick engine and the event engine are tie-for-tie identical (FIFO ties
+/// depend on *push* order, which differs once the event engine elides idle
+/// timer ticks). `Seeded` turns the tie-break into a seeded permutation and
+/// is the verification mode: sweeping seeds explores same-time schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingPolicy {
+    /// First pushed fires first (the legacy tick-engine tie-break).
+    Fifo,
+    /// Balance first, then wakeups (arrival / sleep-done / phase-done) in
+    /// push order, then per-core timers in core order.
+    #[default]
+    Priority,
+    /// Seeded pseudo-random permutation of simultaneous events.
+    Seeded(u64),
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl OrderingPolicy {
+    /// Rank of `kind` for a push carrying sequence number `seq`.
+    fn rank(self, kind: EventKind, seq: u64) -> u64 {
+        match self {
+            OrderingPolicy::Fifo => 0,
+            OrderingPolicy::Priority => match kind {
+                EventKind::Balance => 0,
+                EventKind::Arrival(_) | EventKind::SleepDone(_) | EventKind::PhaseDone { .. } => {
+                    1 << 32
+                }
+                EventKind::Timer(core) => (1 << 33) + core.0 as u64,
+            },
+            OrderingPolicy::Seeded(seed) => splitmix64(seed ^ splitmix64(seq)),
+        }
+    }
+}
+
 /// A scheduled event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Absolute simulation time the event fires at, in nanoseconds.
     pub time: u64,
-    /// Tie-break sequence number (FIFO among simultaneous events).
+    /// Same-time ordering rank assigned by the queue's [`OrderingPolicy`].
+    pub rank: u64,
+    /// Tie-break sequence number (FIFO among simultaneous equal-rank events).
     pub seq: u64,
     /// The event payload.
     pub kind: EventKind,
@@ -43,7 +89,7 @@ pub struct Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.rank, self.seq).cmp(&(other.time, other.rank, other.seq))
     }
 }
 
@@ -53,24 +99,37 @@ impl PartialOrd for Event {
     }
 }
 
-/// A min-heap of events ordered by time (FIFO among equal times).
-#[derive(Debug, Default)]
+/// A min-heap of events ordered by `(time, rank, seq)`.
+#[derive(Debug)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<Event>>,
     next_seq: u64,
+    ordering: OrderingPolicy,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the legacy FIFO tie-break.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_ordering(OrderingPolicy::Fifo)
+    }
+
+    /// Creates an empty queue resolving same-time ties with `ordering`.
+    pub fn with_ordering(ordering: OrderingPolicy) -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, ordering }
     }
 
     /// Schedules `kind` at absolute time `time`.
     pub fn push(&mut self, time: u64, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Event { time, seq, kind }));
+        let rank = self.ordering.rank(kind, seq);
+        self.heap.push(Reverse(Event { time, rank, seq, kind }));
     }
 
     /// Removes and returns the earliest event.
@@ -100,7 +159,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order_with_fifo_ties() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::with_ordering(OrderingPolicy::Fifo);
         q.push(20, EventKind::Balance);
         q.push(10, EventKind::Timer(CoreId(0)));
         q.push(10, EventKind::Arrival(SimThreadId(1)));
@@ -114,6 +173,50 @@ mod tests {
         assert_eq!(third.time, 20);
         assert!(q.pop().is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn priority_ranks_balance_then_wakeups_then_timers() {
+        let mut q = EventQueue::with_ordering(OrderingPolicy::Priority);
+        q.push(10, EventKind::Timer(CoreId(1)));
+        q.push(10, EventKind::Timer(CoreId(0)));
+        q.push(10, EventKind::Arrival(SimThreadId(1)));
+        q.push(10, EventKind::Balance);
+        q.push(10, EventKind::SleepDone(SimThreadId(2)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Balance);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Arrival(SimThreadId(1)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::SleepDone(SimThreadId(2)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Timer(CoreId(0)));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Timer(CoreId(1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn seeded_ordering_is_a_deterministic_permutation() {
+        let drain = |seed: u64| {
+            let mut q = EventQueue::with_ordering(OrderingPolicy::Seeded(seed));
+            for i in 0..16 {
+                q.push(10, EventKind::Arrival(SimThreadId(i)));
+            }
+            let mut kinds = Vec::new();
+            while let Some(e) = q.pop() {
+                kinds.push(e.kind);
+            }
+            kinds
+        };
+        let a = drain(7);
+        assert_eq!(a, drain(7), "same seed must replay the same order");
+        assert_eq!(a.len(), 16);
+        let mut sorted: Vec<_> = a
+            .iter()
+            .map(|k| match k {
+                EventKind::Arrival(t) => t.0,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "must be a permutation");
+        assert_ne!(a, drain(8), "different seeds should usually disagree");
     }
 
     #[test]

@@ -1,0 +1,752 @@
+//! The event-driven simulation engine: O(events) instead of O(cores × ticks).
+//!
+//! The tick engine ([`crate::engine::Engine`]) keeps every core on the
+//! calendar: per-core preemption timers re-arm every timeslice whether or not
+//! the core has anything to preempt, and every balance tick eagerly folds
+//! every core's tracked load (`touch_all`).  A machine that is 99% asleep
+//! still pays for 100% of its cores, which is exactly backwards for the
+//! idle-while-overloaded scenarios the paper cares about.
+//!
+//! This engine runs the *same* simulation — same handlers, same scheduler
+//! callbacks, same accounting totals — while only paying for cores that have
+//! something to do:
+//!
+//! * **Timer elision** — a core's preemption timer is on the calendar only
+//!   while the core is preemptible (someone running *and* someone waiting).
+//!   Timers still fire on the tick engine's timeslice grid, so preemptions
+//!   land at identical times.
+//! * **Balance parking** — once a balance round finds the machine fully
+//!   asleep (no queued threads, every tracked load decayed to zero, a no-op
+//!   round), the machine-wide balance event leaves the calendar; the next
+//!   wakeup re-schedules it on the next balance-grid point.  Every skipped
+//!   round is provably a no-op, so the schedule is unchanged.
+//! * **Lazy tracker decay** — instead of the O(cores) pre-balance
+//!   `touch_all`, each core's tracked load is caught up on demand by
+//!   replaying the balance-grid folds it missed
+//!   ([`CoreQueues::catch_up`]; decay folds do not compose, so the replay
+//!   is fold-for-fold).
+//! * **O(1) idle accounting** — the tick engine charges every core on every
+//!   event; here a global "some core is overloaded" time integral plus
+//!   per-core change timestamps settle each core lazily, producing the same
+//!   per-core busy / benign-idle / violating-idle totals.
+//!
+//! Under the default [`OrderingPolicy::Priority`] the two engines produce
+//! bit-identical results (pinned by parity tests in `sched-bench`): ranks
+//! order simultaneous events as balance, then wakeups in push order, then
+//! timers in core order, which is engine-independent.  Exact FIFO parity is
+//! impossible by construction — FIFO ties depend on push order, and eliding
+//! a timer push renumbers every later event.  [`OrderingPolicy::Seeded`]
+//! permutes same-time events instead and is the verification mode: sweeping
+//! seeds explores alternative same-time schedules, with every run replayable
+//! from its seed.
+//!
+//! [`OrderingPolicy::Priority`]: crate::event::OrderingPolicy::Priority
+//! [`OrderingPolicy::Seeded`]: crate::event::OrderingPolicy::Seeded
+//! [`CoreQueues::catch_up`]: crate::queues::CoreQueues::catch_up
+
+use std::sync::Arc;
+
+use sched_core::tracker::LoadTracker;
+use sched_core::CoreId;
+use sched_metrics::{IdleAccounting, LatencyRecorder};
+use sched_topology::MachineTopology;
+use sched_workloads::{Phase, Workload};
+
+use crate::barrier::SimBarrier;
+use crate::config::SimConfig;
+use crate::event::{Event, EventKind, EventQueue};
+use crate::queues::CoreQueues;
+use crate::result::SimResult;
+use crate::scheduler::{RoundStats, SimScheduler};
+use crate::thread::{SimThread, SimThreadId, ThreadState};
+
+/// Per-core bookkeeping the event engine keeps off the calendar.
+#[derive(Debug, Clone)]
+struct CoreMeta {
+    /// A preemption timer for this core is currently on the calendar.
+    timer_armed: bool,
+    /// Time this core's timer last fired; guards against arming a second
+    /// timer at a timestamp whose timer already fired.  `u64::MAX` = never.
+    last_timer_fired_ns: u64,
+    /// When the core's idle/busy status last changed (accounting settled).
+    last_change_ns: u64,
+    /// Idle status over `[last_change_ns, now)`.
+    was_idle: bool,
+    /// Overload status as currently folded into `nr_overloaded`.
+    was_overloaded: bool,
+    /// Value of the violation integral at `last_change_ns`.
+    v_snapshot: u64,
+}
+
+/// The event-driven simulator.  Construction and results are drop-in
+/// compatible with [`crate::engine::Engine`].
+pub struct EventEngine {
+    config: SimConfig,
+    queues: CoreQueues,
+    threads: Vec<SimThread>,
+    barriers: Vec<SimBarrier>,
+    events: EventQueue,
+    scheduler: Box<dyn SimScheduler>,
+    tracker: Arc<dyn LoadTracker>,
+    workload_name: String,
+    now: u64,
+    idle: IdleAccounting,
+    latency: LatencyRecorder,
+    balance_stats: RoundStats,
+    finished_count: usize,
+    events_processed: u64,
+    meta: Vec<CoreMeta>,
+    /// Number of cores currently holding two or more threads.
+    nr_overloaded: usize,
+    /// Total simulated time during which some core was overloaded, advanced
+    /// to `v_last_ns`.
+    v_total: u64,
+    v_last_ns: u64,
+    /// The machine-wide balance event is off the calendar (machine asleep).
+    balance_parked: bool,
+    budget_exhausted: bool,
+}
+
+impl EventEngine {
+    /// Builds an engine for `workload` under `scheduler`.
+    ///
+    /// If `topo` is given the core count and NUMA layout come from it,
+    /// otherwise `config.nr_cores` cores on a single node are used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails validation (mismatched barriers).
+    pub fn new(
+        config: SimConfig,
+        topo: Option<&MachineTopology>,
+        workload: &Workload,
+        scheduler: Box<dyn SimScheduler>,
+    ) -> Self {
+        workload.validate().unwrap_or_else(|e| panic!("invalid workload: {e}"));
+        let queues = match topo {
+            Some(t) => CoreQueues::with_topology(t),
+            None => CoreQueues::new(config.nr_cores),
+        };
+        let nr_cores = queues.nr_cores();
+
+        let threads: Vec<SimThread> = workload
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| SimThread::new(SimThreadId(i), spec.clone()))
+            .collect();
+        let barriers = workload.barriers.iter().map(|&(id, n)| SimBarrier::new(id, n)).collect();
+
+        let mut events = EventQueue::with_ordering(config.ordering);
+        for thread in &threads {
+            events.push(thread.spec.arrival_ns, EventKind::Arrival(thread.id));
+        }
+        // No per-core timers: they are armed on demand.  The balance tick
+        // starts live and parks itself once the machine is asleep.
+        events.push(config.balance_period_ns, EventKind::Balance);
+
+        EventEngine {
+            idle: IdleAccounting::new(nr_cores),
+            latency: LatencyRecorder::new(),
+            balance_stats: RoundStats::default(),
+            queues,
+            threads,
+            barriers,
+            events,
+            tracker: scheduler.tracker(),
+            scheduler,
+            workload_name: workload.name.clone(),
+            now: 0,
+            finished_count: 0,
+            events_processed: 0,
+            meta: vec![
+                CoreMeta {
+                    timer_armed: false,
+                    last_timer_fired_ns: u64::MAX,
+                    last_change_ns: 0,
+                    was_idle: true,
+                    was_overloaded: false,
+                    v_snapshot: 0,
+                };
+                nr_cores
+            ],
+            nr_overloaded: 0,
+            v_total: 0,
+            v_last_ns: 0,
+            balance_parked: false,
+            budget_exhausted: false,
+            config,
+        }
+    }
+
+    /// Runs the simulation to completion (or to the horizon / event budget)
+    /// and returns the measurements.
+    pub fn run(mut self) -> SimResult {
+        while let Some(event) = self.events.pop() {
+            if event.time > self.config.horizon_ns {
+                break;
+            }
+            if let Some(budget) = self.config.event_budget {
+                if self.events_processed >= budget {
+                    self.budget_exhausted = true;
+                    break;
+                }
+            }
+            self.events_processed += 1;
+            self.advance_violation(event.time);
+            self.now = event.time;
+            self.handle(event);
+            if self.finished_count == self.threads.len() {
+                break;
+            }
+        }
+        if self.finished_count < self.threads.len() && !self.budget_exhausted {
+            // The tick engine keeps every timer and the balance tick on the
+            // calendar until the horizon, so its truncated makespan is the
+            // last grid point within it; reproduce that without the events.
+            let ts = self.config.timeslice_ns;
+            let bp = self.config.balance_period_ns;
+            let h = self.config.horizon_ns;
+            self.now = self.now.max(h / ts * ts).max(h / bp * bp);
+        }
+        self.advance_violation(self.now);
+        for core in 0..self.queues.nr_cores() {
+            self.settle(CoreId(core));
+        }
+        let finished = self.finished_count == self.threads.len();
+        SimResult {
+            scheduler: self.scheduler.name(),
+            workload: self.workload_name,
+            makespan_ns: self.now,
+            finished,
+            operations: self.threads.iter().map(|t| t.ops_completed).sum(),
+            events_processed: self.events_processed,
+            idle: self.idle,
+            latency: self.latency,
+            balance: self.balance_stats,
+        }
+    }
+
+    /// Advances the machine-wide violation integral to `to` using the state
+    /// that held since the previous event.
+    fn advance_violation(&mut self, to: u64) {
+        let span = to.saturating_sub(self.v_last_ns);
+        if span > 0 && self.nr_overloaded > 0 {
+            self.v_total += span;
+        }
+        self.v_last_ns = to;
+    }
+
+    /// Flushes `core`'s idle accounting up to the present using the status
+    /// flags stored at its last change (the violation integral must already
+    /// be advanced to `self.now`).
+    fn settle(&mut self, core: CoreId) {
+        let m = &mut self.meta[core.0];
+        let span = self.now.saturating_sub(m.last_change_ns);
+        if span > 0 {
+            if m.was_idle {
+                let violating = self.v_total - m.v_snapshot;
+                self.idle.account(core.0, violating, true, true);
+                self.idle.account(core.0, span - violating, true, false);
+            } else {
+                self.idle.account(core.0, span, false, false);
+            }
+        }
+        m.last_change_ns = self.now;
+        m.v_snapshot = self.v_total;
+    }
+
+    /// Re-reads `core`'s live status into its meta and the overload count.
+    fn refresh(&mut self, core: CoreId) {
+        let (is_idle, is_over) = {
+            let c = self.queues.core(core);
+            (c.is_idle(), c.is_overloaded())
+        };
+        let was_over = self.meta[core.0].was_overloaded;
+        if is_over && !was_over {
+            self.nr_overloaded += 1;
+        } else if !is_over && was_over {
+            self.nr_overloaded -= 1;
+        }
+        let m = &mut self.meta[core.0];
+        m.was_idle = is_idle;
+        m.was_overloaded = is_over;
+    }
+
+    /// Settles and refreshes `core` after a mutation at the present time.
+    fn note_change(&mut self, core: CoreId) {
+        self.settle(core);
+        self.refresh(core);
+    }
+
+    /// Replays the balance-grid tracker folds `core` missed while it was off
+    /// the calendar.  Must run *before* mutating the core.
+    fn catch_up_core(&mut self, core: CoreId) {
+        self.queues.catch_up(
+            core,
+            self.now,
+            self.config.balance_period_ns,
+            self.tracker.as_ref(),
+            &self.threads,
+        );
+    }
+
+    /// Folds `core`'s instantaneous load into its tracked average now.
+    fn touch(&mut self, core: CoreId) {
+        self.queues.touch(core, self.now, self.tracker.as_ref(), &self.threads);
+    }
+
+    /// Puts a preemption timer for `core` on the calendar if the core is
+    /// preemptible and none is pending.  Timers land on the tick engine's
+    /// timeslice grid; a grid point whose timer already fired is skipped.
+    fn maybe_arm_timer(&mut self, core: CoreId) {
+        if self.meta[core.0].timer_armed {
+            return;
+        }
+        {
+            let c = self.queues.core(core);
+            if c.current.is_none() || c.ready.is_empty() {
+                return;
+            }
+        }
+        let ts = self.config.timeslice_ns;
+        let at = if self.now > 0
+            && self.now.is_multiple_of(ts)
+            && self.meta[core.0].last_timer_fired_ns != self.now
+        {
+            self.now
+        } else {
+            (self.now / ts + 1) * ts
+        };
+        self.events.push(at, EventKind::Timer(core));
+        self.meta[core.0].timer_armed = true;
+    }
+
+    /// Puts the machine-wide balance event back on its grid after a wakeup
+    /// ended a fully-asleep episode.
+    fn unpark_balance(&mut self) {
+        if !self.balance_parked {
+            return;
+        }
+        self.balance_parked = false;
+        let bp = self.config.balance_period_ns;
+        self.events.push((self.now / bp + 1) * bp, EventKind::Balance);
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event.kind {
+            EventKind::Arrival(tid) => {
+                debug_assert_eq!(self.threads[tid.0].state, ThreadState::NotArrived);
+                self.enter_phase(tid);
+            }
+            EventKind::SleepDone(tid) => {
+                debug_assert_eq!(self.threads[tid.0].state, ThreadState::Sleeping);
+                self.threads[tid.0].phase_idx += 1;
+                self.enter_phase(tid);
+            }
+            EventKind::PhaseDone { tid, token } => self.on_phase_done(tid, token),
+            EventKind::Timer(core) => self.on_timer(core),
+            EventKind::Balance => self.on_balance(),
+        }
+    }
+
+    /// Starts the thread's current phase (compute, sleep, barrier) or
+    /// finishes the thread if no phase remains.
+    fn enter_phase(&mut self, tid: SimThreadId) {
+        match self.threads[tid.0].current_phase() {
+            None => {
+                let thread = &mut self.threads[tid.0];
+                thread.state = ThreadState::Finished;
+                thread.finish_time = Some(self.now);
+                self.finished_count += 1;
+            }
+            Some(Phase::Compute(ns)) => {
+                self.threads[tid.0].remaining_ns = ns;
+                self.make_runnable(tid);
+            }
+            Some(Phase::Sleep(ns)) => {
+                self.threads[tid.0].state = ThreadState::Sleeping;
+                self.events.push(self.now + ns, EventKind::SleepDone(tid));
+            }
+            Some(Phase::Barrier(id)) => {
+                self.threads[tid.0].state = ThreadState::AtBarrier(id);
+                let barrier = self
+                    .barriers
+                    .iter_mut()
+                    .find(|b| b.id == id)
+                    .expect("validated workloads declare every barrier");
+                if let Some(released) = barrier.arrive(tid) {
+                    for freed in released {
+                        self.threads[freed.0].phase_idx += 1;
+                        self.enter_phase(freed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Places a runnable thread on a core, starting it immediately if the
+    /// core is idle.
+    fn make_runnable(&mut self, tid: SimThreadId) {
+        let prev = self.threads[tid.0].last_core;
+        let target = match (prev, self.threads[tid.0].spec.origin_core) {
+            // First placement of a pinned thread: honour the workload's
+            // origin core (e.g. "all workers forked on core 0").
+            (None, Some(origin)) => CoreId(origin % self.queues.nr_cores()),
+            _ => self.scheduler.place_wakeup(&self.queues, &self.threads, tid, prev),
+        };
+        self.catch_up_core(target);
+        let thread = &mut self.threads[tid.0];
+        thread.state = ThreadState::Runnable;
+        thread.ready_since = Some(self.now);
+        thread.last_core = Some(target);
+        if self.queues.core(target).current.is_none() {
+            self.start_running(target, tid);
+        } else {
+            self.queues.enqueue(target, tid);
+        }
+        self.note_change(target);
+        self.touch(target);
+        self.maybe_arm_timer(target);
+        self.unpark_balance();
+    }
+
+    /// Puts `tid` on `core` and schedules the completion of its compute
+    /// phase.
+    fn start_running(&mut self, core: CoreId, tid: SimThreadId) {
+        debug_assert!(self.queues.core(core).current.is_none());
+        self.queues.core_mut(core).current = Some(tid);
+        let thread = &mut self.threads[tid.0];
+        thread.state = ThreadState::Running;
+        thread.running_since = Some(self.now);
+        thread.last_core = Some(core);
+        thread.run_token += 1;
+        if let Some(ready_since) = thread.ready_since.take() {
+            self.latency.record(ready_since, self.now);
+        }
+        self.events.push(
+            self.now + thread.remaining_ns,
+            EventKind::PhaseDone { tid, token: thread.run_token },
+        );
+    }
+
+    /// Elects the oldest waiting thread of `core` if the core is idle.
+    fn elect_next(&mut self, core: CoreId) {
+        if self.queues.core(core).current.is_none() {
+            if let Some(next) = self.queues.pop_ready(core) {
+                self.start_running(core, next);
+            }
+        }
+        self.touch(core);
+    }
+
+    fn on_phase_done(&mut self, tid: SimThreadId, token: u64) {
+        if self.threads[tid.0].run_token != token {
+            // The thread was preempted or migrated since this completion was
+            // scheduled; a fresh completion event exists.
+            return;
+        }
+        debug_assert_eq!(self.threads[tid.0].state, ThreadState::Running);
+        let core = self.threads[tid.0].last_core.expect("a running thread has a core");
+        debug_assert_eq!(self.queues.core(core).current, Some(tid));
+        self.catch_up_core(core);
+        self.queues.core_mut(core).current = None;
+        {
+            let thread = &mut self.threads[tid.0];
+            thread.ops_completed += 1;
+            thread.remaining_ns = 0;
+            thread.run_token += 1;
+            thread.phase_idx += 1;
+        }
+        self.enter_phase(tid);
+        self.elect_next(core);
+        self.note_change(core);
+        self.maybe_arm_timer(core);
+    }
+
+    fn on_timer(&mut self, core: CoreId) {
+        self.meta[core.0].timer_armed = false;
+        self.meta[core.0].last_timer_fired_ns = self.now;
+        // Round-robin preemption: if somebody is waiting, the running thread
+        // yields the core and requeues at the tail.  A timer that went stale
+        // while on the calendar fires as a no-op.
+        if let Some(running) = self.queues.core(core).current {
+            if !self.queues.core(core).ready.is_empty() {
+                self.catch_up_core(core);
+                let thread = &mut self.threads[running.0];
+                let ran_for =
+                    self.now - thread.running_since.expect("running thread has a start time");
+                thread.remaining_ns = thread.remaining_ns.saturating_sub(ran_for);
+                thread.run_token += 1;
+                thread.state = ThreadState::Runnable;
+                thread.ready_since = Some(self.now);
+                self.queues.core_mut(core).current = None;
+                self.queues.enqueue(core, running);
+                self.elect_next(core);
+                self.note_change(core);
+            }
+        }
+        self.maybe_arm_timer(core);
+    }
+
+    fn on_balance(&mut self) {
+        // Bring every core to the present before the selection phase reads
+        // it: replay missed grid folds, fold at the present (the tick
+        // engine's `touch_all`), and flush idle accounting so the round's
+        // mutations settle from a clean slate.  O(cores) here is free —
+        // `balance_round` itself snapshots every core anyway.
+        for core in 0..self.queues.nr_cores() {
+            let id = CoreId(core);
+            self.catch_up_core(id);
+            self.touch(id);
+            self.settle(id);
+        }
+        self.queues.enable_mutation_log();
+        let stats = self.scheduler.balance_round(&mut self.queues, &self.threads);
+        let mutated = self.queues.drain_mutation_log();
+        let round_was_noop = stats.successes == 0 && stats.failures == 0 && stats.migrations == 0;
+        self.balance_stats.merge(stats);
+        // Only cores the round actually moved work between need election
+        // (the tick engine elects every core, but an untouched core's
+        // election is a no-op by the runqueue invariant).
+        for &core in &mutated {
+            self.elect_next(core);
+            self.note_change(core);
+            self.maybe_arm_timer(core);
+        }
+        if self.finished_count < self.threads.len() {
+            let asleep = round_was_noop
+                && self.queues.total_threads() == 0
+                && self.queues.cores().iter().all(|c| c.tracked.scaled == 0);
+            if asleep {
+                // Every future round would be a no-op over unchanged queues
+                // and fully-decayed loads: park until the next wakeup.
+                self.balance_parked = true;
+            } else {
+                self.events.push(self.now + self.config.balance_period_ns, EventKind::Balance);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfs::{CfsBugs, CfsLikeScheduler};
+    use crate::engine::Engine;
+    use crate::scheduler::{HierarchicalScheduler, OptimisticScheduler};
+    use sched_core::Policy;
+    use sched_workloads::{ScientificWorkload, ThreadSpec};
+
+    fn assert_parity(tick: &SimResult, event: &SimResult) {
+        assert_eq!(event.makespan_ns, tick.makespan_ns, "makespan");
+        assert_eq!(event.finished, tick.finished, "finished");
+        assert_eq!(event.operations, tick.operations, "operations");
+        assert_eq!(event.balance.successes, tick.balance.successes, "successes");
+        assert_eq!(event.balance.failures, tick.balance.failures, "failures");
+        assert_eq!(event.balance.migrations, tick.balance.migrations, "migrations");
+        assert_eq!(event.balance.level_migrations, tick.balance.level_migrations, "levels");
+        assert_eq!(event.latency.count(), tick.latency.count(), "latency samples");
+        assert_eq!(event.idle.total_busy(), tick.idle.total_busy(), "busy time");
+        assert_eq!(event.idle.total_idle_benign(), tick.idle.total_idle_benign(), "benign idle");
+        assert_eq!(
+            event.idle.total_idle_violating(),
+            tick.idle.total_idle_violating(),
+            "violating idle"
+        );
+        for core in 0..tick.idle.nr_cores() {
+            assert_eq!(event.idle.busy(core), tick.idle.busy(core), "busy of core {core}");
+            assert_eq!(
+                event.idle.idle_violating(core),
+                tick.idle.idle_violating(core),
+                "violating idle of core {core}"
+            );
+        }
+    }
+
+    fn scientific(nr_threads: usize) -> Workload {
+        ScientificWorkload {
+            nr_threads,
+            iterations: 3,
+            phase_ns: 2_000_000,
+            jitter: 0.0,
+            seed: 1,
+            fork_on_core: Some(0),
+        }
+        .generate()
+    }
+
+    #[test]
+    fn matches_the_tick_engine_on_a_fork_join_workload() {
+        let workload = scientific(8);
+        let tick = Engine::new(
+            SimConfig::with_cores(8),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        let event = EventEngine::new(
+            SimConfig::with_cores(8),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        assert_parity(&tick, &event);
+        assert!(
+            event.events_processed < tick.events_processed,
+            "timer elision must shrink the event count ({} vs {})",
+            event.events_processed,
+            tick.events_processed
+        );
+    }
+
+    #[test]
+    fn matches_the_tick_engine_under_pelt_decay() {
+        let workload = sched_workloads::BurstyWorkload::default().generate();
+        let run_tick = |policy: Policy| {
+            Engine::new(
+                SimConfig::with_cores(8),
+                None,
+                &workload,
+                Box::new(OptimisticScheduler::new(policy)),
+            )
+            .run()
+        };
+        let run_event = |policy: Policy| {
+            EventEngine::new(
+                SimConfig::with_cores(8),
+                None,
+                &workload,
+                Box::new(OptimisticScheduler::new(policy)),
+            )
+            .run()
+        };
+        assert_parity(&run_tick(Policy::simple()), &run_event(Policy::simple()));
+        assert_parity(&run_tick(Policy::pelt(8_000_000)), &run_event(Policy::pelt(8_000_000)));
+    }
+
+    #[test]
+    fn matches_the_tick_engine_on_numa_topologies_and_buggy_cfs() {
+        let topo = sched_topology::TopologyBuilder::new().sockets(2).cores_per_socket(8).build();
+        let arc = Arc::new(topo.clone());
+        let workload = scientific(topo.nr_cpus());
+        let schedulers: Vec<Box<dyn Fn() -> Box<dyn SimScheduler>>> = vec![
+            Box::new(|| Box::new(OptimisticScheduler::new(Policy::simple()))),
+            Box::new(|| Box::new(CfsLikeScheduler::new(CfsBugs::all()))),
+            Box::new({
+                let arc = Arc::clone(&arc);
+                move || Box::new(HierarchicalScheduler::new(Policy::simple(), Arc::clone(&arc)))
+            }),
+        ];
+        for make in schedulers {
+            let tick = Engine::new(SimConfig::default(), Some(&topo), &workload, make()).run();
+            let event =
+                EventEngine::new(SimConfig::default(), Some(&topo), &workload, make()).run();
+            assert_parity(&tick, &event);
+        }
+    }
+
+    #[test]
+    fn a_mostly_sleeping_machine_stays_off_the_calendar() {
+        // 64 threads that sleep almost the whole run: the tick engine pays
+        // for every core every timeslice, the event engine only for the
+        // sparse bursts.
+        let mut workload = Workload::new("sleepy");
+        for i in 0..64u64 {
+            let mut spec = ThreadSpec::new(vec![
+                Phase::Compute(100_000),
+                Phase::Sleep(2_000_000_000 + i * 1_000),
+                Phase::Compute(100_000),
+            ]);
+            spec.arrival_ns = i * 7_000;
+            workload.push(spec);
+        }
+        let config = SimConfig::with_cores(64);
+        let tick = Engine::new(
+            config.clone(),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        let event = EventEngine::new(
+            config,
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        assert_parity(&tick, &event);
+        assert!(
+            event.events_processed * 20 < tick.events_processed,
+            "a sleeping machine must cost events proportional to work, not cores × time \
+             ({} vs {})",
+            event.events_processed,
+            tick.events_processed
+        );
+    }
+
+    #[test]
+    fn event_budget_truncates_the_run() {
+        let workload = scientific(8);
+        let result = EventEngine::new(
+            SimConfig::with_cores(8).with_event_budget(10),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        assert!(!result.finished);
+        assert_eq!(result.events_processed, 10);
+    }
+
+    #[test]
+    fn seeded_ordering_still_satisfies_conservation() {
+        // Same-time permutations change the schedule but never lose or
+        // duplicate work: every seed completes all operations.
+        let workload = scientific(8);
+        let baseline = EventEngine::new(
+            SimConfig::with_cores(8),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        for seed in 0..8u64 {
+            let result = EventEngine::new(
+                SimConfig::with_cores(8).with_ordering(crate::event::OrderingPolicy::Seeded(seed)),
+                None,
+                &workload,
+                Box::new(OptimisticScheduler::new(Policy::simple())),
+            )
+            .run();
+            assert!(result.finished, "seed {seed} must still finish");
+            assert_eq!(result.operations, baseline.operations, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn horizon_truncation_matches_the_tick_engine() {
+        let mut workload = Workload::new("huge");
+        workload.push(ThreadSpec::new(vec![Phase::Compute(1_000_000_000)]));
+        let config = SimConfig::with_cores(2).horizon(10_500_000);
+        let tick = Engine::new(
+            config.clone(),
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        let event = EventEngine::new(
+            config,
+            None,
+            &workload,
+            Box::new(OptimisticScheduler::new(Policy::simple())),
+        )
+        .run();
+        assert!(!tick.finished && !event.finished);
+        assert_parity(&tick, &event);
+    }
+}

@@ -1,13 +1,28 @@
-//! Deterministic discrete-event multicore scheduler simulator.
+//! Deterministic multicore scheduler simulator.
 //!
 //! The paper's authors evaluate scheduling policies by generating a Linux
 //! scheduling class and running real applications on real multicore
 //! hardware.  Neither is available here, so this crate provides the
-//! substitute substrate (DESIGN.md §2): a discrete-event simulator of a
-//! multicore machine with per-core runqueues, preemption, sleeping, barriers
-//! and periodic machine-wide load-balancing rounds.
+//! substitute substrate (DESIGN.md §2): a simulator of a multicore machine
+//! with per-core runqueues, preemption, sleeping, barriers and periodic
+//! machine-wide load-balancing rounds.
 //!
-//! Two schedulers plug into the engine:
+//! Two engines drive the same simulation:
+//!
+//! * [`engine::Engine`] — the tick-driven engine: every core re-arms its
+//!   preemption timer every timeslice and every balance tick folds every
+//!   core's tracked load, so a run costs O(cores × rounds);
+//! * [`event_engine::EventEngine`] — the event-driven engine: cores sleep
+//!   off the calendar until a wakeup, balance or timer event targets them,
+//!   tracker decay is replayed lazily, and the machine-wide balance tick
+//!   parks while the machine is asleep, so a run costs O(events).
+//!
+//! Under the default [`event::OrderingPolicy::Priority`] tie-break the two
+//! engines produce identical results (pinned by parity tests);
+//! [`event::OrderingPolicy::Seeded`] turns the same-time tie-break into a
+//! seeded permutation for systematic schedule exploration.
+//!
+//! Two schedulers plug into either engine:
 //!
 //! * [`scheduler::OptimisticScheduler`] — the paper's verified three-step
 //!   balancer, driven by any [`sched_core::Policy`];
@@ -15,9 +30,10 @@
 //!   "wasted cores" bugs (overload-on-wakeup, group imbalance) injectable,
 //!   reproducing the §1 motivation numbers in shape.
 //!
-//! The engine measures exactly the quantities the paper talks about:
+//! The engines measure exactly the quantities the paper talks about:
 //! violating idle time (idle while another core is overloaded), makespan,
-//! throughput, scheduling latency, and steal success/failure counts.
+//! throughput, scheduling latency, steal success/failure counts, and the
+//! number of discrete events processed.
 //!
 //! # Example
 //!
@@ -42,6 +58,7 @@ pub mod cfs;
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod event_engine;
 pub mod queues;
 pub mod result;
 pub mod scheduler;
@@ -50,6 +67,8 @@ pub mod thread;
 pub use cfs::{CfsBugs, CfsLikeScheduler};
 pub use config::SimConfig;
 pub use engine::Engine;
+pub use event::OrderingPolicy;
+pub use event_engine::EventEngine;
 pub use queues::{CoreQueues, SimCore};
 pub use result::SimResult;
 pub use scheduler::{HierarchicalScheduler, OptimisticScheduler, RoundStats, SimScheduler};

@@ -46,6 +46,10 @@ impl SimCore {
 #[derive(Debug, Clone)]
 pub struct CoreQueues {
     cores: Vec<SimCore>,
+    /// When enabled, records every core whose runqueue a mutation touched.
+    /// The event engine wraps `balance_round` in it so only cores the
+    /// scheduler actually moved work between need settling afterwards.
+    mutation_log: Option<Vec<CoreId>>,
 }
 
 impl CoreQueues {
@@ -60,7 +64,7 @@ impl CoreQueues {
                 tracked: TrackedLoad::default(),
             })
             .collect();
-        CoreQueues { cores }
+        CoreQueues { cores, mutation_log: None }
     }
 
     /// Creates one idle core per CPU of `topo`, with matching nodes.
@@ -76,7 +80,27 @@ impl CoreQueues {
                 tracked: TrackedLoad::default(),
             })
             .collect();
-        CoreQueues { cores }
+        CoreQueues { cores, mutation_log: None }
+    }
+
+    /// Starts recording the cores mutated by subsequent queue operations.
+    pub fn enable_mutation_log(&mut self) {
+        self.mutation_log = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the mutated cores, deduplicated, in id
+    /// order.
+    pub fn drain_mutation_log(&mut self) -> Vec<CoreId> {
+        let mut log = self.mutation_log.take().unwrap_or_default();
+        log.sort_unstable_by_key(|c| c.0);
+        log.dedup();
+        log
+    }
+
+    fn log_mutation(&mut self, core: CoreId) {
+        if let Some(log) = &mut self.mutation_log {
+            log.push(core);
+        }
     }
 
     /// Number of cores.
@@ -119,6 +143,7 @@ impl CoreQueues {
     /// engine elects runnable threads explicitly).
     pub fn enqueue(&mut self, core: CoreId, tid: SimThreadId) {
         self.cores[core.0].ready.push_back(tid);
+        self.log_mutation(core);
     }
 
     /// Removes `tid` from `core`'s runqueue, returning `true` if it was
@@ -127,6 +152,7 @@ impl CoreQueues {
         let q = &mut self.cores[core.0].ready;
         if let Some(pos) = q.iter().position(|&t| t == tid) {
             q.remove(pos);
+            self.log_mutation(core);
             true
         } else {
             false
@@ -135,7 +161,11 @@ impl CoreQueues {
 
     /// Pops the oldest waiting thread of `core`.
     pub fn pop_ready(&mut self, core: CoreId) -> Option<SimThreadId> {
-        self.cores[core.0].ready.pop_front()
+        let popped = self.cores[core.0].ready.pop_front();
+        if popped.is_some() {
+            self.log_mutation(core);
+        }
+        popped
     }
 
     /// Steals the most recently queued waiting thread of `from` and appends
@@ -144,6 +174,8 @@ impl CoreQueues {
         assert_ne!(from, to, "a core cannot steal from itself");
         let tid = self.cores[from.0].ready.pop_back()?;
         self.cores[to.0].ready.push_back(tid);
+        self.log_mutation(from);
+        self.log_mutation(to);
         Some(tid)
     }
 
@@ -175,6 +207,53 @@ impl CoreQueues {
     pub fn touch_all(&mut self, now_ns: u64, tracker: &dyn LoadTracker, threads: &[SimThread]) {
         for core in 0..self.cores.len() {
             self.touch(CoreId(core), now_ns, tracker, threads);
+        }
+    }
+
+    /// Replays the balance-grid folds a core missed while it was off the
+    /// calendar, up to and including a grid point at `now_ns` itself (the
+    /// machine-wide balance fold fires before same-time wakeups).
+    ///
+    /// Decay is linearly interpolated within a half-life, so folds do not
+    /// compose: one update over `k` periods is not `k` updates over one
+    /// period.  The tick engine folds every core at every balance tick
+    /// (`touch_all`); a lazily maintained core must therefore replay those
+    /// folds one grid point at a time — with the pre-mutation instantaneous
+    /// load, so call this *before* mutating the core at `now_ns`.  Once a
+    /// fold stops changing the tracked value the remaining folds are
+    /// identical, so the replay jumps straight to the last grid point.
+    pub fn catch_up(
+        &mut self,
+        core: CoreId,
+        now_ns: u64,
+        balance_period_ns: u64,
+        tracker: &dyn LoadTracker,
+        threads: &[SimThread],
+    ) {
+        if !tracker.is_decayed() {
+            // Elapsed-insensitive trackers: one fold at `now_ns` (done by
+            // the caller) is identical to folding at every grid point.
+            return;
+        }
+        let inst = match tracker.base() {
+            LoadMetric::Weighted => self.weighted_load(core, threads),
+            _ => self.cores[core.0].nr_threads(),
+        };
+        let last = self.cores[core.0].tracked.last_update_ns;
+        let mut grid = (last / balance_period_ns + 1) * balance_period_ns;
+        while grid <= now_ns {
+            let before = self.cores[core.0].tracked.scaled;
+            tracker.update(&mut self.cores[core.0].tracked, grid, inst);
+            if self.cores[core.0].tracked.scaled == before {
+                // Fixed point: every remaining period-sized fold leaves the
+                // value unchanged; only the timestamp advances.
+                let final_grid = now_ns / balance_period_ns * balance_period_ns;
+                if final_grid > grid {
+                    self.cores[core.0].tracked.last_update_ns = final_grid;
+                }
+                break;
+            }
+            grid += balance_period_ns;
         }
     }
 
@@ -270,6 +349,54 @@ mod tests {
         assert!(!q.remove_ready(CoreId(0), SimThreadId(0)));
         assert_eq!(q.pop_ready(CoreId(0)), Some(SimThreadId(1)));
         assert_eq!(q.pop_ready(CoreId(0)), None);
+    }
+
+    #[test]
+    fn mutation_log_records_touched_cores_in_order() {
+        let mut q = CoreQueues::new(3);
+        q.enqueue(CoreId(2), SimThreadId(0));
+        q.enqueue(CoreId(2), SimThreadId(1));
+        q.enable_mutation_log();
+        assert!(q.migrate_newest(CoreId(2), CoreId(0)).is_some());
+        assert!(q.pop_ready(CoreId(0)).is_some());
+        assert_eq!(q.drain_mutation_log(), vec![CoreId(0), CoreId(2)]);
+        // Draining disables the log again.
+        q.enqueue(CoreId(1), SimThreadId(2));
+        assert_eq!(q.drain_mutation_log(), Vec::<CoreId>::new());
+    }
+
+    #[test]
+    fn lazy_catch_up_matches_eager_per_grid_folds() {
+        use sched_core::tracker::PeltTracker;
+        use sched_core::LoadMetric;
+
+        let tracker = PeltTracker::new(LoadMetric::NrThreads, 8_000_000);
+        let period = 4_000_000u64;
+        let table = threads(3);
+        // One wakeup off-grid, one exactly on a balance tick.
+        for wakeup in [30 * period + 1_234_567, 30 * period] {
+            let mut eager = CoreQueues::new(1);
+            // Seed a non-zero tracked value, then let the queue sit idle.
+            eager.core_mut(CoreId(0)).current = Some(SimThreadId(0));
+            eager.touch(CoreId(0), 1_000_000, &tracker, &table);
+            eager.core_mut(CoreId(0)).current = None;
+            eager.touch(CoreId(0), 1_500_000, &tracker, &table);
+            let mut lazy = eager.clone();
+
+            // The tick engine folds at every balance tick (including one
+            // landing exactly at the wakeup); the lazy replica must
+            // reproduce those folds exactly.
+            let mut t = period;
+            while t <= wakeup {
+                eager.touch(CoreId(0), t, &tracker, &table);
+                t += period;
+            }
+            eager.touch(CoreId(0), wakeup, &tracker, &table);
+
+            lazy.catch_up(CoreId(0), wakeup, period, &tracker, &table);
+            lazy.touch(CoreId(0), wakeup, &tracker, &table);
+            assert_eq!(lazy.core(CoreId(0)).tracked, eager.core(CoreId(0)).tracked);
+        }
     }
 
     #[test]

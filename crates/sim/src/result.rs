@@ -17,6 +17,9 @@ pub struct SimResult {
     pub finished: bool,
     /// Number of completed compute phases ("operations" / transactions).
     pub operations: u64,
+    /// Number of discrete events the engine processed to produce the run —
+    /// the cost metric the event-driven engine optimises.
+    pub events_processed: u64,
     /// Per-core busy / benign-idle / violating-idle accounting.
     pub idle: IdleAccounting,
     /// Scheduling latency (runnable → running) distribution.
@@ -75,6 +78,7 @@ mod tests {
             makespan_ns,
             finished: true,
             operations,
+            events_processed: 0,
             idle: IdleAccounting::new(1),
             latency: LatencyRecorder::new(),
             balance: RoundStats::default(),

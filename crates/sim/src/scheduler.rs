@@ -1,5 +1,12 @@
 //! The simulator's scheduler interface and the verified optimistic
 //! scheduler built from `sched-core` policies.
+//!
+//! A [`SimScheduler`] is engine-agnostic: the tick-driven
+//! [`crate::engine::Engine`] and the event-driven
+//! [`crate::event_engine::EventEngine`] invoke the same two callbacks —
+//! [`SimScheduler::place_wakeup`] on every wakeup and
+//! [`SimScheduler::balance_round`] every balancing period — at the same
+//! simulated times, so one implementation serves both.
 
 use std::sync::Arc;
 

@@ -25,7 +25,11 @@
 //!     computed,
 //! * failures are reported as step-by-step [`counterexample::Counterexample`]s
 //!   — running the checker against the §4.3 greedy filter reproduces the
-//!   three-core ping-pong exactly.
+//!   three-core ping-pong exactly,
+//! * the event-driven simulator's own degree of freedom — the order in
+//!   which same-timestamp events are processed — is discharged the same
+//!   way by [`ordering`]: seeded permutations of every same-time group
+//!   must reproduce the priority-ordered baseline's outcome.
 
 pub mod convergence;
 pub mod counterexample;
@@ -33,6 +37,7 @@ pub mod enumerate;
 pub mod interleave;
 pub mod lemma;
 pub mod lemmas;
+pub mod ordering;
 pub mod report;
 pub mod scope;
 
@@ -44,5 +49,6 @@ pub use counterexample::Counterexample;
 pub use enumerate::{configurations, states};
 pub use interleave::{all_interleavings, interleaving_count};
 pub use lemma::{LemmaReport, LemmaStatus};
+pub use ordering::{check_ordering_independence, OrderingReport, OrderingViolation};
 pub use report::{verify_policy, VerificationReport};
 pub use scope::Scope;

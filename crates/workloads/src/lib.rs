@@ -22,13 +22,17 @@
 //!   shape for instantaneous balancing, used by the load-tracking
 //!   experiment E17),
 //! * [`static_imbalance`] — pure initial-placement imbalances (no arrivals)
-//!   used by the convergence experiments.
+//!   used by the convergence experiments,
+//! * [`sleepers`] — a huge mostly-sleeping population with sparse compute
+//!   bursts, the adversarial shape for a tick-driven simulator (used by the
+//!   event-engine scaling experiment E24).
 
 pub mod build;
 pub mod bursty;
 pub mod oltp;
 pub mod on_off;
 pub mod scientific;
+pub mod sleepers;
 pub mod spec;
 pub mod static_imbalance;
 
@@ -37,5 +41,6 @@ pub use bursty::BurstyWorkload;
 pub use oltp::OltpWorkload;
 pub use on_off::OnOffWorkload;
 pub use scientific::ScientificWorkload;
+pub use sleepers::SleeperWorkload;
 pub use spec::{Phase, ThreadSpec, Workload};
 pub use static_imbalance::{ImbalancePattern, StaticImbalance};

@@ -1,0 +1,116 @@
+//! Mostly-sleeping workload with sparse compute bursts.
+//!
+//! A very large population of tasks arrives at time zero and immediately
+//! goes to sleep for a long, jittered interval; only a small fraction wakes
+//! into a short compute burst before finishing.  The machine is therefore
+//! asleep almost all of the time: the interesting schedule is a handful of
+//! sparse bursts scattered across a huge quiet calendar.
+//!
+//! This is the adversarial shape for a tick-driven simulator — it pays a
+//! per-core timer and a machine-wide balance fold on every tick of the
+//! quiet calendar, so its cost scales with `cores × horizon` even though
+//! almost nothing happens.  An event-driven simulator pays only for the
+//! arrivals, the sleep expiries and the bursts, so its cost scales with the
+//! number of events.  Experiment E24 uses this workload to demonstrate that
+//! asymptotic gap.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{Phase, ThreadSpec, Workload};
+
+/// Generator for the mostly-sleeping workload.
+#[derive(Debug, Clone)]
+pub struct SleeperWorkload {
+    /// Total number of tasks (all arrive at time zero).
+    pub nr_tasks: usize,
+    /// Base duration of the initial sleep, in nanoseconds.
+    pub sleep_ns: u64,
+    /// Relative jitter on the sleep (spreads the wakeups out in time).
+    pub jitter: f64,
+    /// Percentage (0..=100) of tasks that wake into a compute burst instead
+    /// of finishing silently.
+    pub burst_percent: u32,
+    /// CPU time of one burst, in nanoseconds.
+    pub burst_ns: u64,
+    /// Seed for the jitter and the burst selection.
+    pub seed: u64,
+}
+
+impl Default for SleeperWorkload {
+    fn default() -> Self {
+        SleeperWorkload {
+            nr_tasks: 10_000,
+            sleep_ns: 20_000_000_000,
+            jitter: 0.2,
+            burst_percent: 2,
+            burst_ns: 500_000,
+            seed: 24,
+        }
+    }
+}
+
+impl SleeperWorkload {
+    /// Generates the workload description.
+    pub fn generate(&self) -> Workload {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut workload = Workload::new(format!(
+            "sleepers({} tasks, {}% bursting)",
+            self.nr_tasks, self.burst_percent
+        ));
+        workload.threads.reserve(self.nr_tasks);
+        for _ in 0..self.nr_tasks {
+            let jig = |base: u64, rng: &mut SmallRng| {
+                let range = (base as f64 * self.jitter) as i64;
+                let delta = if range > 0 { rng.gen_range(-range..=range) } else { 0 };
+                (base as i64 + delta).max(1) as u64
+            };
+            let sleep = jig(self.sleep_ns, &mut rng);
+            let phases = if rng.gen_range(0..100) < self.burst_percent {
+                vec![Phase::Sleep(sleep), Phase::Compute(jig(self.burst_ns, &mut rng))]
+            } else {
+                vec![Phase::Sleep(sleep)]
+            };
+            workload.push(ThreadSpec { nice: 0, arrival_ns: 0, origin_core: None, phases });
+        }
+        workload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_tasks_only_sleep() {
+        let gen = SleeperWorkload::default();
+        let w = gen.generate();
+        assert_eq!(w.nr_threads(), gen.nr_tasks);
+        assert!(w.validate().is_ok());
+        let bursting = w.threads.iter().filter(|t| t.nr_operations() > 0).count();
+        // Around burst_percent of the population, with generous slack.
+        assert!(bursting > 0 && bursting < gen.nr_tasks / 10, "{bursting} bursting tasks");
+        assert!(w.threads.iter().all(|t| matches!(t.phases[0], Phase::Sleep(_))));
+    }
+
+    #[test]
+    fn sleeps_are_jittered_around_the_base() {
+        let gen = SleeperWorkload::default();
+        let w = gen.generate();
+        let lo = (gen.sleep_ns as f64 * (1.0 - gen.jitter)) as u64;
+        let hi = (gen.sleep_ns as f64 * (1.0 + gen.jitter)) as u64;
+        for t in &w.threads {
+            match t.phases[0] {
+                Phase::Sleep(ns) => {
+                    assert!(ns >= lo && ns <= hi, "sleep {ns} outside [{lo}, {hi}]")
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(SleeperWorkload::default().generate(), SleeperWorkload::default().generate());
+    }
+}

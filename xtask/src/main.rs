@@ -6,7 +6,7 @@
 //! cargo run -p xtask -- bench-diff \
 //!     --baseline BENCH_results.json --current /tmp/BENCH_results.json \
 //!     [--tolerance 0.15]
-//! cargo run -p xtask -- fuzz-scenarios --seed 7 --count 50
+//! cargo run -p xtask -- fuzz-scenarios --seed 7 --count 50 --orders 3
 //! cargo run -p xtask -- fuzz-scenarios --repro experiments/repro/fuzz-seed7-3.scn
 //! ```
 //!
@@ -14,9 +14,14 @@
 //! scenario documents from the seed, runs each through the experiment
 //! runner, and checks the records against the invariants the document
 //! declares (work conservation, conservation of tasks, non-inversion).
-//! Failing scenarios are written to `experiments/repro/*.scn` so a failure
-//! is a file you can re-run with `--repro` (or check in as a regression
-//! scenario), not a log line you have to reconstruct.
+//! `--orders N` additionally sweeps N seeded same-time orderings of each
+//! sim-compatible scenario on the event-driven simulator: reordering
+//! simultaneous events must not change whether the run finishes or how
+//! many operations complete.  Failing scenarios — including failing
+//! orderings, whose documents pin the offending `order` seed — are written
+//! to `experiments/repro/*.scn` so a failure is a file you can re-run with
+//! `--repro` (or check in as a regression scenario), not a log line you
+//! have to reconstruct.
 //!
 //! `bench-diff` compares two `experiments --json` documents per
 //! `(experiment, scenario, backend)` key — [`sched_json::record_key`], the
@@ -51,6 +56,12 @@
 //!   rows' amortisation breathes with steal races, but a collapse back
 //!   towards one task per acquisition means batching silently stopped
 //!   working and fails the gate.
+//! * `events_processed` (schema v6, the simulator backends) — relative
+//!   **ceiling** when both runs measured it: the simulators are
+//!   deterministic, so an event count climbing beyond tolerance means the
+//!   engine started doing asymptotically more work per scenario (the
+//!   regression the event-driven engine exists to prevent).  Processing
+//!   fewer events is an improvement and never fails.
 //! * a key present in the baseline but missing from the current run fails;
 //!   keys only in the current run are reported as re-baseline hints.
 //!
@@ -81,6 +92,8 @@ struct Record {
     p99_sched_latency_us: Option<f64>,
     steal_batch_k: Option<String>,
     tasks_per_acquisition: Option<f64>,
+    sim_engine: Option<String>,
+    events_processed: Option<f64>,
 }
 
 fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
@@ -112,6 +125,8 @@ fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
             p99_sched_latency_us: r.get("p99_sched_latency_us").and_then(Json::as_f64),
             steal_batch_k: r.get("steal_batch_k").and_then(Json::as_str).map(str::to_string),
             tasks_per_acquisition: r.get("tasks_per_acquisition").and_then(Json::as_f64),
+            sim_engine: r.get("sim_engine").and_then(Json::as_str).map(str::to_string),
+            events_processed: r.get("events_processed").and_then(Json::as_f64),
         });
     }
     // A duplicate key would make the gate compare against whichever record
@@ -225,6 +240,27 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
                 ));
             }
         }
+        // The simulators are deterministic, so their event counts are an
+        // exact cost fingerprint (schema v6): climbing beyond tolerance
+        // means a scenario got asymptotically more expensive to simulate.
+        // Fewer events is the improvement the event engine exists for and
+        // never fails the gate.
+        if let (Some(base_events), Some(cur_events)) = (base.events_processed, cur.events_processed)
+        {
+            let ceil = base_events * (1.0 + tolerance);
+            if cur_events > ceil {
+                regressions.push(format!(
+                    "EVENTS    {}: {:.0} events > {:.0} (baseline {:.0}, engine {}, +{:.0}% \
+                     tolerated)",
+                    base.key,
+                    cur_events,
+                    ceil,
+                    base_events,
+                    cur.sim_engine.as_deref().unwrap_or("?"),
+                    tolerance * 100.0
+                ));
+            }
+        }
         if base.backend == "model"
             && base.migrations.is_finite()
             && cur.migrations.is_finite()
@@ -292,13 +328,16 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-/// `fuzz-scenarios --seed N --count M [--repro-dir DIR]` or
+/// `fuzz-scenarios --seed N --count M [--orders K] [--repro-dir DIR]` or
 /// `fuzz-scenarios --repro FILE...`: the seeded scenario fuzzer.
 ///
-/// The seeded form generates, runs and checks `M` scenarios; every failing
-/// one is written to `DIR` (default `experiments/repro/`) as a `.scn`
-/// document.  The `--repro` form loads the given document(s) and replays
-/// them through the same runner and invariant checker.
+/// The seeded form generates, runs and checks `M` scenarios, sweeping `K`
+/// seeded same-time orderings of each on the event-driven simulator; every
+/// failing one is written to `DIR` (default `experiments/repro/`) as a
+/// `.scn` document (a failing ordering's document pins its `order` seed).
+/// The `--repro` form loads the given document(s) and replays them through
+/// the same runner, invariant checker and — when the document carries an
+/// `order` seed — the ordering comparison.
 fn fuzz_scenarios_task(args: &[String]) -> Result<ExitCode, String> {
     let repro_files: Vec<String> = args
         .iter()
@@ -346,14 +385,18 @@ fn fuzz_scenarios_task(args: &[String]) -> Result<ExitCode, String> {
         Some(c) => c.parse().map_err(|e| format!("bad --count: {e}"))?,
         None => 50,
     };
+    let orders: usize = match flag_value(args, "--orders") {
+        Some(o) => o.parse().map_err(|e| format!("bad --orders: {e}"))?,
+        None => 0,
+    };
     let repro_dir =
         flag_value(args, "--repro-dir").unwrap_or_else(|| "experiments/repro".to_string());
 
-    println!("fuzz-scenarios: seed {seed}, {count} scenarios...");
-    let report = sched_bench::fuzz_scenarios(&sched_bench::FuzzConfig { seed, count });
+    println!("fuzz-scenarios: seed {seed}, {count} scenarios, {orders} orderings each...");
+    let report = sched_bench::fuzz_scenarios(&sched_bench::FuzzConfig { seed, count, orders });
     println!(
-        "fuzz-scenarios: {} scenarios generated, {} records checked",
-        report.generated, report.records_checked
+        "fuzz-scenarios: {} scenarios generated, {} records checked, {} orderings swept",
+        report.generated, report.records_checked, report.orders_checked
     );
     if report.is_clean() {
         println!("fuzz-scenarios: OK — all declared invariants hold");
@@ -394,8 +437,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cargo run -p xtask -- bench-diff --current PATH [--baseline PATH] \
                  [--tolerance F] [--p99-ceiling-us F]\n       \
-                 cargo run -p xtask -- fuzz-scenarios [--seed N] [--count M] [--repro-dir DIR] \
-                 | --repro FILE..."
+                 cargo run -p xtask -- fuzz-scenarios [--seed N] [--count M] [--orders K] \
+                 [--repro-dir DIR] | --repro FILE..."
             );
             ExitCode::from(2)
         }
@@ -615,6 +658,42 @@ mod tests {
         assert_eq!(run(&batch("3.0"), &batch("1.1")), ExitCode::FAILURE);
         // ...and rows that never measured it (schema v5 null) are not gated.
         assert_eq!(run(&batch("null"), &batch("null")), ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn event_count_growth_is_gated_and_shrinkage_is_not() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-events");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        // Sub-floor wall clock: only the events gate can catch this row.
+        let sim = |events: &str| {
+            format!(
+                "{{\"experiment\": \"e24\", \"scenario\": \"s\", \"backend\": \"sim-event\", \
+                 \"throughput\": 100000.0, \"throughput_unit\": \"migrations/s\", \
+                 \"violating_idle\": 0.0, \"wall_ms\": 0.05, \"sim_engine\": \"event\", \
+                 \"events_processed\": {events}}}"
+            )
+        };
+        let run = |baseline: &str, current: &str| {
+            std::fs::write(&base, doc(baseline)).unwrap();
+            std::fs::write(&cur, doc(current)).unwrap();
+            bench_diff(&[
+                "--baseline".into(),
+                base.to_str().unwrap().into(),
+                "--current".into(),
+                cur.to_str().unwrap().into(),
+            ])
+            .unwrap()
+        };
+        // Within +15% passes...
+        assert_eq!(run(&sim("2000000"), &sim("2100000")), ExitCode::SUCCESS);
+        // ...an asymptotic blow-up fails...
+        assert_eq!(run(&sim("2000000"), &sim("6000000")), ExitCode::FAILURE);
+        // ...processing fewer events is an improvement, never gated...
+        assert_eq!(run(&sim("6000000"), &sim("2000000")), ExitCode::SUCCESS);
+        // ...and rows that never measured it (schema v6 null) are not gated.
+        assert_eq!(run(&sim("null"), &sim("null")), ExitCode::SUCCESS);
     }
 
     #[test]

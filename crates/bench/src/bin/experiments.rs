@@ -10,7 +10,11 @@
 //! cargo run -p sched-bench --release --bin experiments -- list
 //! cargo run -p sched-bench --release --bin experiments -- --json
 //! cargo run -p sched-bench --release --bin experiments -- --json --out results.json
+//! cargo run -p sched-bench --release --bin experiments -- --trace traces/ e9
 //! ```
+//!
+//! `--trace DIR` (any mode) exports one Chrome/Perfetto `*.trace.json` per
+//! traced sim/rq run into `DIR` — open them at <https://ui.perfetto.dev>.
 //!
 //! `--json` runs the unified [`sched_bench::ExperimentRunner`] catalog —
 //! every experiment on every backend (model, sim, rq) — prints the combined
@@ -19,7 +23,22 @@
 use sched_bench::{all_experiments, run_experiment, ExperimentId};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace DIR` enables decision tracing for the whole invocation:
+    // every sim/rq run exports a Chrome/Perfetto `*.trace.json` into DIR.
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        match args.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => {
+                sched_bench::set_trace_dir(std::path::Path::new(dir));
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                eprintln!("error: --trace requires a directory argument");
+                std::process::exit(2);
+            }
+        }
+    }
+    let args = args;
     let markdown = args.iter().any(|a| a == "--markdown");
 
     if args.iter().any(|a| a == "--json") {
@@ -67,10 +86,11 @@ fn main() {
     }
 }
 
-/// `--json [--out PATH] [--scenarios DIR] [e<N>...]`: the unified runner
-/// over every backend, optionally restricted to the named experiments.
-/// `--scenarios DIR` runs the `.scn` documents found in `DIR` instead of
-/// the builtin catalog.
+/// `--json [--out PATH] [--scenarios DIR] [--full-records] [e<N>...]`:
+/// the unified runner over every backend, optionally restricted to the
+/// named experiments.  `--scenarios DIR` runs the `.scn` documents found
+/// in `DIR` instead of the builtin catalog; `--full-records` additionally
+/// serializes each record's `final_loads` vector (schema v7).
 fn run_unified_json(args: &[String]) {
     let flag_value = |flag: &str| -> Option<String> {
         match args.iter().position(|a| a == flag) {
@@ -122,7 +142,11 @@ fn run_unified_json(args: &[String]) {
     // Write the artifact before printing the table: if stdout is a pipe
     // that closes early (`... | head`), the records must already be on
     // disk.
-    let json = sched_bench::records_to_json(&records);
+    let json = if args.iter().any(|a| a == "--full-records") {
+        sched_bench::records_to_json_full(&records)
+    } else {
+        sched_bench::records_to_json(&records)
+    };
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {} records to {out_path}", records.len());
 

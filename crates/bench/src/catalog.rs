@@ -61,7 +61,7 @@ pub fn builtin_sources() -> Vec<(&'static str, &'static str)> {
     sources![
         "e1.scn", "e2.scn", "e3.scn", "e4.scn", "e5.scn", "e6.scn", "e7.scn", "e8.scn", "e9.scn",
         "e10.scn", "e11.scn", "e12.scn", "e13.scn", "e14.scn", "e15.scn", "e16.scn", "e17.scn",
-        "e18.scn", "e19.scn", "e20.scn", "e21.scn", "e22.scn", "e23.scn", "e24.scn",
+        "e18.scn", "e19.scn", "e20.scn", "e21.scn", "e22.scn", "e23.scn", "e24.scn", "e25.scn",
     ]
 }
 
@@ -673,6 +673,24 @@ mod tests {
                 .build()
                 .expect("legacy catalog specs are valid"),
         );
+        // E25: the E22 storm re-shaped for the trace-only verdict.  The
+        // fan-out (128) exceeds what fifteen one-task thieves can claim in
+        // six rounds (90), so the injector never runs dry mid-epoch and a
+        // conserving discipline's trace carries no suspicious failure
+        // window; the spill baseline strands the same thieves for all six
+        // rounds, which is past the checker's consecutive-failure
+        // threshold.
+        specs.push(build(
+            E25,
+            "trace-only detection: overflow storm under the sanity checker",
+            fan_out_loads(1),
+            TopoSpec::Flat(16),
+            PolicySpec::Listing1,
+            Driver::Storm(StormSpec { epochs: 8, fanout: 128, rounds_per_epoch: 6 }),
+            0,
+            false,
+            None,
+        ));
         specs
     }
 
@@ -760,7 +778,7 @@ mod tests {
     #[test]
     fn catalog_covers_every_experiment() {
         let specs = catalog();
-        assert_eq!(specs.len(), 37);
+        assert_eq!(specs.len(), 38);
         let mut seen = std::collections::BTreeSet::new();
         for spec in &specs {
             assert!(
@@ -791,6 +809,7 @@ mod tests {
         assert_eq!(count(ExperimentId::E21), 4, "E21 sweeps four half-lives");
         assert_eq!(count(ExperimentId::E23), 10, "E23 sweeps five batch sizes on two shapes");
         assert_eq!(count(ExperimentId::E24), 1, "E24 is the event-engine scaling scenario");
+        assert_eq!(count(ExperimentId::E25), 1, "E25 is the trace-only detection storm");
         for spec in specs.iter().filter(|s| s.id == ExperimentId::E24) {
             assert_eq!(
                 spec.backends.as_deref(),

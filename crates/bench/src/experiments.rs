@@ -44,6 +44,7 @@ pub enum ExperimentId {
     E22,
     E23,
     E24,
+    E25,
 }
 
 impl ExperimentId {
@@ -52,7 +53,7 @@ impl ExperimentId {
         use ExperimentId::*;
         vec![
             E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19,
-            E20, E21, E22, E23, E24,
+            E20, E21, E22, E23, E24, E25,
         ]
     }
 
@@ -84,6 +85,7 @@ impl ExperimentId {
             "e22" => E22,
             "e23" => E23,
             "e24" => E24,
+            "e25" => E25,
             _ => return None,
         })
     }
@@ -120,6 +122,7 @@ impl ExperimentId {
             }
             E23 => "E23 §3.1: batched stealing — tasks claimed per acquisition, k=1..8 vs half",
             E24 => "E24 §2: event-driven simulation — O(events) vs O(cores x horizon) at 1M tasks",
+            E25 => "E25 §3.2: trace-only detection — the sanity checker finds the spill hole",
         }
     }
 }
@@ -151,6 +154,7 @@ pub fn run_experiment(id: ExperimentId) -> Vec<Table> {
         ExperimentId::E22 => e22_overflow_storm(),
         ExperimentId::E23 => e23_batched_stealing(),
         ExperimentId::E24 => e24_event_engine_scaling(),
+        ExperimentId::E25 => e25_trace_sanity(),
     }
 }
 
@@ -1234,6 +1238,53 @@ fn e24_event_engine_scaling() -> Vec<Table> {
     vec![table]
 }
 
+/// E25: the conservation hole found from a trace alone.  Both tiny-ring
+/// flavours run the identical overflow storm with a recording sink
+/// attached; the sanity checker then reads nothing but the drained
+/// decision stream — no counters, no snapshots, no knowledge of which
+/// overflow discipline produced it.  On the private-spill baseline the
+/// overflowed tasks are invisible to thieves, so idle cores rack up
+/// consecutive empty-handed steal attempts against a victim whose derived
+/// occupancy shows plenty of waiting work, and the checker flags
+/// idle-while-overloaded windows with the offending event span.  On the
+/// injector flavour every overflowed task stays reachable — the storm is
+/// sized so the injector never runs dry mid-epoch — and the same checker
+/// stays silent.
+fn e25_trace_sanity() -> Vec<Table> {
+    use crate::runner::run_rq_traced;
+    use sched_rq::{TinyDequeRq, TinySpillDequeRq};
+    use sched_trace::{SanityChecker, SanityKind};
+
+    let spec = crate::catalog::spec(ExperimentId::E25);
+    let mut table = Table::new(
+        "E25: trace-only detection — idle-while-overloaded windows flagged by the sanity checker",
+        &["overflow discipline", "events", "dropped", "flagged windows", "verdict"],
+    );
+    let runs = [
+        ("injector", run_rq_traced::<TinyDequeRq>("rq-deque-tiny", &spec)),
+        ("private spill", run_rq_traced::<TinySpillDequeRq>("rq-deque-spill", &spec)),
+    ];
+    for (flavour, run) in runs {
+        let (_, trace) = run.expect("the storm scenario runs on the tiny backends");
+        let windows = SanityChecker::check_trace(&trace, false, None)
+            .into_iter()
+            .filter(|v| v.kind == SanityKind::IdleWhileOverloaded)
+            .count();
+        table.row(&[
+            flavour.into(),
+            trace.events.len().to_string(),
+            trace.dropped.to_string(),
+            windows.to_string(),
+            if windows == 0 {
+                "clean: every overflowed task stayed reachable".into()
+            } else {
+                "hole: idle cores starved beside hidden work".into()
+            },
+        ]);
+    }
+    vec![table]
+}
+
 /// E13: the DSL front-end, its phase checker and its two backends.
 fn e13_dsl() -> Vec<Table> {
     let scope = Scope::small();
@@ -1270,8 +1321,9 @@ mod tests {
         assert_eq!(ExperimentId::parse("e22"), Some(ExperimentId::E22));
         assert_eq!(ExperimentId::parse("e23"), Some(ExperimentId::E23));
         assert_eq!(ExperimentId::parse("e24"), Some(ExperimentId::E24));
+        assert_eq!(ExperimentId::parse("e25"), Some(ExperimentId::E25));
         assert_eq!(ExperimentId::parse("nope"), None);
-        assert_eq!(ExperimentId::all().len(), 24);
+        assert_eq!(ExperimentId::all().len(), 25);
         for id in ExperimentId::all() {
             assert!(!id.title().is_empty());
         }
@@ -1321,6 +1373,41 @@ mod tests {
                 find(control).violating_idle < 0.02,
                 "{control}: a ring that never overflows has nothing to hide"
             );
+        }
+    }
+
+    /// The trace-only acceptance claim: on the E25 storm the sanity
+    /// checker flags the private-spill conservation hole from the decision
+    /// trace alone — no counters, no snapshots — while the injector
+    /// flavour's trace of the identical storm comes back clean.
+    #[test]
+    fn e25_checker_flags_the_spill_hole_from_the_trace_alone() {
+        use crate::runner::run_rq_traced;
+        use sched_rq::{TinyDequeRq, TinySpillDequeRq};
+        use sched_trace::{SanityChecker, SanityKind};
+
+        let spec = crate::catalog::spec(ExperimentId::E25);
+        let (_, clean) =
+            run_rq_traced::<TinyDequeRq>("rq-deque-tiny", &spec).expect("the storm runs");
+        let (_, holed) =
+            run_rq_traced::<TinySpillDequeRq>("rq-deque-spill", &spec).expect("the storm runs");
+        assert_eq!(clean.dropped, 0, "the storm must fit the rings for a meaningful verdict");
+        assert_eq!(holed.dropped, 0);
+        let windows = |trace: &sched_trace::Trace| -> Vec<_> {
+            SanityChecker::check_trace(trace, false, None)
+                .into_iter()
+                .filter(|v| v.kind == SanityKind::IdleWhileOverloaded)
+                .collect()
+        };
+        assert_eq!(windows(&clean).len(), 0, "a conserving overflow discipline must trace clean");
+        let flagged = windows(&holed);
+        assert!(!flagged.is_empty(), "the spill hole must be visible from the trace alone");
+        for violation in &flagged {
+            assert!(
+                violation.last_event > violation.first_event,
+                "a flagged window carries its offending event span"
+            );
+            assert!(!violation.excerpt(&holed, 2).is_empty());
         }
     }
 

@@ -24,10 +24,12 @@
 
 use sched_dsl::{DocDriver, DocInvariant, DocPolicy, DocTopology, ScenarioDoc};
 
+use sched_trace::{SanityChecker, SanityKind, SanityViolation, Trace};
+
 use crate::catalog::{from_doc, LoadedScenario};
 use crate::runner::{
-    run_sim_result, Driver, ExperimentRecord, ExperimentRunner, ExperimentSpec, ModelBackend,
-    RqBackend, RqDequeBackend, SimEngine, SimEventBackend,
+    run_rq_traced, run_sim_result, run_sim_traced, Driver, ExperimentRecord, ExperimentRunner,
+    ExperimentSpec, ModelBackend, RqBackend, RqDequeBackend, SimEngine, SimEventBackend,
 };
 
 /// What to fuzz: the seed pins the whole scenario stream, the count bounds
@@ -423,6 +425,61 @@ pub fn check_ordering(
     violations
 }
 
+/// The trace-driven sanity leg: re-runs the scenario with a decision
+/// recorder attached and folds the event stream through the online
+/// invariant checker ([`sched_trace::sanity`]).
+///
+/// Two substrates are checked, each at the strictness its trace can bear:
+///
+/// * the **event-driven simulator** is deterministic and runs every task
+///   to completion, so its trace is checked in full (relaxed mode — the
+///   drain still interleaves same-timestamp events across cores) and,
+///   when the run finished, cross-checked against an all-idle final
+///   machine;
+/// * the **lock-free runqueue machine** is genuinely concurrent, so only
+///   the order-insensitive conservation cross-check is trustworthy there:
+///   the per-core occupancy derived from placements and migrations must
+///   match the loads the machine itself reports at the end.  Storm and
+///   burst drivers complete tasks mid-run (events the runqueue backends
+///   do not emit), so the rq leg covers the converge-driver scenarios.
+///
+/// Each violation ships the offending event span as its detail — the
+/// repro document tells you *what* to re-run, the excerpt shows *where*
+/// in the decision stream it went wrong.
+pub fn check_sanity(scenario: &LoadedScenario) -> Vec<Violation> {
+    let spec = &scenario.spec;
+    let mut violations = Vec::new();
+    let mut push = |backend: &str, trace: &Trace, v: &SanityViolation| {
+        violations.push(Violation {
+            scenario: scenario.doc.name.clone(),
+            backend: backend.into(),
+            kind: format!("sanity-{}", v.kind),
+            detail: format!("the decision trace breaks an invariant\n{}", v.excerpt(trace, 2)),
+        });
+    };
+
+    let finished = run_sim_result(SimEngine::Event, spec).is_some_and(|r| r.finished);
+    if let Some((_, trace)) = run_sim_traced(SimEngine::Event, spec) {
+        let all_idle = vec![0u64; spec.loads.len()];
+        let final_loads = if finished { Some(&all_idle[..]) } else { None };
+        for v in &SanityChecker::check_trace(&trace, false, final_loads) {
+            push("sim-event", &trace, v);
+        }
+    }
+
+    if spec.driver.storm().is_none() && spec.driver.burst().is_none() {
+        if let Some((record, trace)) = run_rq_traced::<sched_rq::DequeRq>("rq-deque", spec) {
+            let final_loads: Vec<u64> = record.final_loads.iter().map(|&n| n as u64).collect();
+            for v in &SanityChecker::check_trace(&trace, false, Some(&final_loads)) {
+                if matches!(v.kind, SanityKind::TaskLost | SanityKind::TaskDuplicated) {
+                    push("rq-deque", &trace, v);
+                }
+            }
+        }
+    }
+    violations
+}
+
 /// Runs one loaded scenario through the runner and its invariant block.
 /// A document carrying an `order` seed (an ordering-sweep repro) is
 /// additionally re-checked against its priority-ordered baseline.
@@ -435,6 +492,7 @@ pub fn check_scenario(scenario: &LoadedScenario) -> (usize, Vec<Violation>) {
     ]);
     let records = runner.run(scenario.spec.clone());
     let mut violations = check_records(&scenario.spec, scenario.expectations(), &records);
+    violations.extend(check_sanity(scenario));
     if let Some(order_seed) = scenario.spec.order {
         let mut baseline_spec = scenario.spec.clone();
         baseline_spec.order = None;

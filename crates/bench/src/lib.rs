@@ -18,6 +18,7 @@
 pub mod catalog;
 pub mod experiments;
 pub mod fuzz;
+pub mod report;
 pub mod runner;
 pub mod scenarios;
 
@@ -27,10 +28,13 @@ pub use sched_json as json;
 
 pub use catalog::{builtin, catalog, from_doc, load_dir, load_str, to_doc, LoadedScenario};
 pub use experiments::{all_experiments, run_experiment, ExperimentId};
-pub use fuzz::{check_ordering, check_records, fuzz_scenarios, FuzzConfig, FuzzReport, Violation};
+pub use fuzz::{
+    check_ordering, check_records, check_sanity, fuzz_scenarios, FuzzConfig, FuzzReport, Violation,
+};
+pub use report::{run_traced_backend, trace_report, TRACEABLE_BACKENDS};
 pub use runner::{
-    records_table, records_to_json, run_sim_result, Backend, BatchK, BurstSpec, Driver,
-    ExperimentRecord, ExperimentRunner, ExperimentSpec, ModelBackend, PolicySpec, RqBackend,
-    SimBackend, SimEngine, SimEventBackend, SpecError, StormSpec, TopoSpec, WorkloadKind,
-    WorkloadSpec,
+    records_table, records_to_json, records_to_json_full, run_rq_traced, run_sim_result,
+    run_sim_traced, set_trace_dir, Backend, BatchK, BurstSpec, Driver, ExperimentRecord,
+    ExperimentRunner, ExperimentSpec, ModelBackend, PolicySpec, RqBackend, SimBackend, SimEngine,
+    SimEventBackend, SpecError, StormSpec, TopoSpec, WorkloadKind, WorkloadSpec,
 };

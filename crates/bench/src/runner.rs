@@ -19,7 +19,8 @@
 //! the `experiments --json` binary serializes them to `BENCH_results.json`,
 //! which is the machine-readable perf trajectory later PRs regress against.
 
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use sched_core::prelude::*;
@@ -50,6 +51,50 @@ pub const PELT_HALF_LIFE_NS: u64 = 8_000_000;
 /// Niceness cycle used by mixed-importance scenarios (E18): every third
 /// task is important, normal, then background.
 const MIXED_NICE: [i8; 3] = [-10, 0, 10];
+
+/// Where `--trace DIR` asked traced runs to land, once set.
+static TRACE_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Enables decision tracing for every subsequent sim/rq run in this
+/// process: each traced spec×backend execution exports a Chrome/Perfetto
+/// `*.trace.json` into `dir` (created on first export).  Set once — this
+/// is the `experiments --trace DIR` switch; later calls are ignored.
+pub fn set_trace_dir(dir: &Path) {
+    let _ = TRACE_DIR.set(dir.to_path_buf());
+}
+
+/// A recording sink for the next run, iff tracing was enabled.
+fn trace_sink_for(nr_cores: usize) -> Option<sched_trace::TraceSink> {
+    TRACE_DIR.get().map(|_| sched_trace::TraceSink::recording(nr_cores))
+}
+
+/// Drains `sink` and writes the Chrome trace for `spec` on `backend`.
+/// Export failures are reported, not fatal — tracing must never sink an
+/// experiment run.
+fn export_trace(spec: &ExperimentSpec, backend: &str, sink: &sched_trace::TraceSink) {
+    let Some(dir) = TRACE_DIR.get() else { return };
+    let trace = sink.drain();
+    if trace.events.is_empty() {
+        return;
+    }
+    let slug: String = format!("{:?}-{}-{}", spec.id, spec.scenario, backend)
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("{slug}.trace.json"));
+    let write = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&path, sched_trace::to_chrome_json(&trace)));
+    match write {
+        Ok(()) => eprintln!(
+            "trace: wrote {} ({} events{})",
+            path.display(),
+            trace.events.len(),
+            if trace.dropped > 0 { format!(", {} dropped", trace.dropped) } else { String::new() }
+        ),
+        Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+    }
+}
 
 /// How a scenario's policy is built (policies are not `Clone`, and each
 /// backend needs its own instance, so the *recipe* is what the spec holds).
@@ -737,10 +782,11 @@ pub struct ExperimentRecord {
     /// `None` on non-simulator backends.
     pub events_processed: Option<u64>,
     /// Final per-core thread counts when the backend finished, for
-    /// invariant checking (conservation of tasks, non-inversion).  **Not
-    /// serialized** — the JSON schema is unchanged; the simulator leaves it
-    /// empty (its tasks run to completion, so there is no final residency
-    /// to conserve).
+    /// invariant checking (conservation of tasks, non-inversion).
+    /// Serialized only by [`records_to_json_full`] (`--full-records`,
+    /// schema v7); default documents omit the key entirely.  The simulator
+    /// leaves it empty (its tasks run to completion, so there is no final
+    /// residency to conserve).
     pub final_loads: Vec<usize>,
     /// Wall-clock cost of the run, in milliseconds.
     pub wall_ms: f64,
@@ -753,10 +799,16 @@ impl ExperimentRecord {
         self.locality.remote_rate()
     }
 
-    /// The record as a JSON object.
+    /// The record as a JSON object (the default, v6-shaped record).
     pub fn to_json(&self) -> JsonValue {
+        self.to_json_opts(false)
+    }
+
+    /// The record as a JSON object; `full` additionally serializes the
+    /// `final_loads` vector (schema v7, the `--full-records` flag).
+    pub fn to_json_opts(&self, full: bool) -> JsonValue {
         let levels = self.locality.counts();
-        object(vec![
+        let mut fields = vec![
             ("experiment", JsonValue::Str(self.experiment.clone())),
             ("scenario", JsonValue::Str(self.scenario.clone())),
             ("backend", JsonValue::Str(self.backend.into())),
@@ -830,7 +882,16 @@ impl ExperimentRecord {
                 },
             ),
             ("wall_ms", JsonValue::Float(self.wall_ms)),
-        ])
+        ];
+        if full {
+            fields.push((
+                "final_loads",
+                JsonValue::Array(
+                    self.final_loads.iter().map(|&n| JsonValue::Int(n as i64)).collect(),
+                ),
+            ));
+        }
+        object(fields)
     }
 }
 
@@ -1156,12 +1217,45 @@ pub fn run_sim_result(engine: SimEngine, spec: &ExperimentSpec) -> Option<sched_
 }
 
 /// Runs one spec on the chosen simulation engine, labelling the record
-/// with `backend`.  Both engines share the scenario construction, the
-/// measured quantities and the schema-v6 engine columns.
+/// with `backend`; with `--trace DIR` set the run is recorded and
+/// exported.  Both engines share the scenario construction, the measured
+/// quantities and the schema-v6 engine columns.
 fn run_sim_spec(
     engine: SimEngine,
     backend: &'static str,
     spec: &ExperimentSpec,
+) -> Option<ExperimentRecord> {
+    let sink = trace_sink_for(spec.loads.len());
+    let record = run_sim_spec_with_sink(engine, backend, spec, sink.as_ref())?;
+    if let Some(sink) = &sink {
+        export_trace(spec, backend, sink);
+    }
+    Some(record)
+}
+
+/// Runs `spec` on the chosen simulation engine with a recording
+/// [`sched_trace::TraceSink`] attached, returning the record together
+/// with the drained decision trace.  This is the entry point the
+/// fuzzer's sanity leg and the E25 experiment use; `--trace DIR` instead
+/// routes through the process-global export directory.
+pub fn run_sim_traced(
+    engine: SimEngine,
+    spec: &ExperimentSpec,
+) -> Option<(ExperimentRecord, sched_trace::Trace)> {
+    let backend = match engine {
+        SimEngine::Tick => "sim",
+        SimEngine::Event => "sim-event",
+    };
+    let sink = sched_trace::TraceSink::recording(spec.loads.len());
+    let record = run_sim_spec_with_sink(engine, backend, spec, Some(&sink))?;
+    Some((record, sink.drain()))
+}
+
+fn run_sim_spec_with_sink(
+    engine: SimEngine,
+    backend: &'static str,
+    spec: &ExperimentSpec,
+    sink: Option<&sched_trace::TraceSink>,
 ) -> Option<ExperimentRecord> {
     use sched_sim::{
         Engine, EventEngine, HierarchicalScheduler, OptimisticScheduler, OrderingPolicy, SimConfig,
@@ -1196,8 +1290,20 @@ fn run_sim_spec(
 
     let start = Instant::now();
     let result = match engine {
-        SimEngine::Tick => Engine::new(config, Some(&topo), &workload, scheduler).run(),
-        SimEngine::Event => EventEngine::new(config, Some(&topo), &workload, scheduler).run(),
+        SimEngine::Tick => {
+            let mut driver = Engine::new(config, Some(&topo), &workload, scheduler);
+            if let Some(sink) = sink {
+                driver.set_trace_sink(sink.clone());
+            }
+            driver.run()
+        }
+        SimEngine::Event => {
+            let mut driver = EventEngine::new(config, Some(&topo), &workload, scheduler);
+            if let Some(sink) = sink {
+                driver.set_trace_sink(sink.clone());
+            }
+            driver.run()
+        }
     };
     let wall = start.elapsed();
 
@@ -1388,18 +1494,47 @@ fn run_rq_storm<B: sched_rq::RqBackend>(
 }
 
 /// Runs one spec on a machine of `B`-discipline runqueues, labelling the
-/// record with `backend`.
+/// record with `backend`; with `--trace DIR` set the run is recorded and
+/// exported.
 fn run_rq_spec<B: sched_rq::RqBackend>(
     backend: &'static str,
     spec: &ExperimentSpec,
+) -> Option<ExperimentRecord> {
+    let sink = trace_sink_for(spec.loads.len());
+    let record = run_rq_spec_with_sink::<B>(backend, spec, sink.as_ref())?;
+    if let Some(sink) = &sink {
+        export_trace(spec, backend, sink);
+    }
+    Some(record)
+}
+
+/// Runs `spec` on a machine of `B`-discipline runqueues with a recording
+/// [`sched_trace::TraceSink`] attached, returning the record together
+/// with the drained decision trace (see [`run_sim_traced`]).
+pub fn run_rq_traced<B: sched_rq::RqBackend>(
+    backend: &'static str,
+    spec: &ExperimentSpec,
+) -> Option<(ExperimentRecord, sched_trace::Trace)> {
+    let sink = sched_trace::TraceSink::recording(spec.loads.len());
+    let record = run_rq_spec_with_sink::<B>(backend, spec, Some(&sink))?;
+    Some((record, sink.drain()))
+}
+
+fn run_rq_spec_with_sink<B: sched_rq::RqBackend>(
+    backend: &'static str,
+    spec: &ExperimentSpec,
+    sink: Option<&sched_trace::TraceSink>,
 ) -> Option<ExperimentRecord> {
     let topo = Arc::new(spec.topo.build());
     if topo.nr_cpus() != spec.loads.len() {
         return None;
     }
     let policy = spec.policy.build(&topo);
-    let mq: MultiQueue<B> =
+    let mut mq: MultiQueue<B> =
         MultiQueue::with_topology_and_tracker(&topo, Arc::clone(&policy.tracker));
+    if let Some(sink) = sink {
+        mq.set_trace_sink(sink.clone());
+    }
     let mut next_task = 0u64;
     for (core, &n) in spec.loads.iter().enumerate() {
         for _ in 0..n {
@@ -1580,6 +1715,16 @@ impl ExperimentRunner {
 /// Serializes records (plus a small header) to the `BENCH_results.json`
 /// document.
 pub fn records_to_json(records: &[ExperimentRecord]) -> String {
+    records_to_json_opts(records, false)
+}
+
+/// Like [`records_to_json`], but each record also carries its
+/// `final_loads` vector — the `--full-records` document (schema v7).
+pub fn records_to_json_full(records: &[ExperimentRecord]) -> String {
+    records_to_json_opts(records, true)
+}
+
+fn records_to_json_opts(records: &[ExperimentRecord], full: bool) -> String {
     object(vec![
         (
             "paper",
@@ -1587,9 +1732,9 @@ pub fn records_to_json(records: &[ExperimentRecord]) -> String {
         ),
         ("harness", JsonValue::Str("sched-bench experiments --json".into())),
         // The version's meaning is documented on `sched_json::SCHEMA_VERSION`
-        // (v6: sim_engine + events_processed).
+        // (v7: optional final_loads behind --full-records).
         ("schema_version", JsonValue::Int(sched_json::SCHEMA_VERSION)),
-        ("records", JsonValue::Array(records.iter().map(ExperimentRecord::to_json).collect())),
+        ("records", JsonValue::Array(records.iter().map(|r| r.to_json_opts(full)).collect())),
     ])
     .render_pretty()
 }
@@ -1969,6 +2114,34 @@ mod tests {
         assert!(!json.contains("final_loads"), "final_loads must not be serialized");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    /// The `--full-records` document (schema v7) serializes `final_loads`
+    /// and round-trips through the workspace JSON parser exactly.
+    #[test]
+    fn full_records_serialize_final_loads_and_round_trip() {
+        let runner = ExperimentRunner::new(vec![Box::new(ModelBackend)]);
+        let records = runner.run(small_spec(PolicySpec::Listing1));
+        assert!(records.iter().all(|r| !r.final_loads.is_empty()), "the model reports loads");
+        let json = records_to_json_full(&records);
+        assert!(json.contains("\"final_loads\""));
+        let parsed = sched_json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema_version").and_then(|v| v.as_f64()),
+            Some(sched_json::SCHEMA_VERSION as f64)
+        );
+        let rows = parsed.get("records").and_then(|r| r.as_array()).expect("records array");
+        assert_eq!(rows.len(), records.len());
+        for (row, record) in rows.iter().zip(&records) {
+            let loads: Vec<usize> = row
+                .get("final_loads")
+                .and_then(|l| l.as_array())
+                .expect("final_loads array")
+                .iter()
+                .map(|v| v.as_f64().expect("numeric load") as usize)
+                .collect();
+            assert_eq!(&loads, &record.final_loads, "final loads round-trip");
+        }
     }
 
     #[test]

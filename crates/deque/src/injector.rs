@@ -41,9 +41,10 @@
 //! under the lock lost a race to a **concurrent successful claim** — that
 //! attempt returns [`Steal::Retry`], never a false [`Steal::Empty`].
 //! `sched-verify`'s injector lemmas pin this deterministically through the
-//! probe hooks ([`Injector::steal_with_probe`], [`Injector::push_with_probe`]),
-//! which force the adversarial interleaving instead of hoping the OS
-//! preempts between the counter read and the lock.
+//! probe hooks ([`Injector::steal_with_probe`], [`Injector::push_with_probe`],
+//! [`Injector::steal_batch_with_probe`]), which force the adversarial
+//! interleaving instead of hoping the OS preempts between the counter read
+//! and the lock.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -215,14 +216,36 @@ impl Injector {
     /// misreported [`Steal::Retry`] that would read as "no work" to a
     /// backing-off balancer.  Callers that need the per-claim retry
     /// signal to re-evaluate a steal condition use [`Injector::steal`].
-    pub fn steal_batch(&self, max: usize, mut sink: impl FnMut(u64)) -> usize {
+    pub fn steal_batch(&self, max: usize, sink: impl FnMut(u64)) -> usize {
+        self.steal_batch_with_probe(max, sink, || {})
+    }
+
+    /// [`Injector::steal_batch`] with a verification probe injected once,
+    /// between the first resident check and the lock — the same lost-race
+    /// window as [`Injector::steal_with_probe`].
+    ///
+    /// A probe that performs rival claims shrinks (or empties) what the
+    /// batch can take; whoever wins each element, the resident counter is
+    /// decremented exactly once per element — a partial batch never
+    /// double-counts the elements a rival took, and a fully raced-out
+    /// attempt returns `0` having decremented nothing.
+    pub fn steal_batch_with_probe(
+        &self,
+        max: usize,
+        mut sink: impl FnMut(u64),
+        probe: impl FnOnce(),
+    ) -> usize {
         if max == 0 {
             return 0;
         }
+        let mut probe = Some(probe);
         let mut batch = Vec::new();
         loop {
             if self.len.load(Ordering::Acquire) == 0 {
                 return 0;
+            }
+            if let Some(probe) = probe.take() {
+                probe();
             }
             let mut chain = self.lock();
             while batch.len() < max {
@@ -320,6 +343,62 @@ mod tests {
         assert_eq!(got.len(), 10);
         assert_eq!(inj.steal_batch(1, |_| panic!("empty batch must not claim")), 0);
         assert_eq!(inj.steal_batch(0, |_| panic!("max 0 must not claim")), 0);
+    }
+
+    #[test]
+    fn batch_raced_by_a_partial_rival_drain_decrements_exactly_once() {
+        // A rival claims most of the queue inside the check-to-lock
+        // window.  The batch takes what is left, and every element —
+        // whoever won it — moved the resident counter exactly once: the
+        // final count is zero, not negative wrap and not stale residue.
+        let inj = Injector::new();
+        for v in 0..8 {
+            inj.push(v);
+        }
+        let mut rival = Vec::new();
+        let mut got = Vec::new();
+        let claimed = inj.steal_batch_with_probe(
+            4,
+            |v| got.push(v),
+            || {
+                for _ in 0..6 {
+                    rival.push(inj.steal().stolen().expect("rival wins its claims"));
+                }
+            },
+        );
+        assert_eq!(claimed, 2, "the batch takes what the rival left");
+        assert_eq!(got, vec![6, 7]);
+        assert_eq!(rival, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(inj.len(), 0, "8 elements, 8 decrements — nothing double-counted");
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn batch_raced_out_entirely_reports_a_true_empty_with_an_intact_counter() {
+        // The rival drains *everything* in the window: the batch claims
+        // nothing, returns the genuine-empty 0, and must not have touched
+        // the counter — the next push/claim cycle sees exact counts.
+        let inj = Injector::new();
+        for v in 0..3 {
+            inj.push(v);
+        }
+        let mut rival = 0;
+        let claimed = inj.steal_batch_with_probe(
+            8,
+            |_| panic!("a raced-out batch must not deliver"),
+            || {
+                while inj.steal().stolen().is_some() {
+                    rival += 1;
+                }
+            },
+        );
+        assert_eq!(claimed, 0);
+        assert_eq!(rival, 3);
+        assert_eq!(inj.len(), 0);
+        inj.push(9);
+        assert_eq!(inj.len(), 1, "the counter survives the raced cycle intact");
+        assert_eq!(inj.steal(), Steal::Stolen(9));
+        assert_eq!(inj.len(), 0);
     }
 
     #[test]

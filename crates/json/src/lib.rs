@@ -38,7 +38,12 @@ pub use write::{object, JsonValue};
 ///   `events_processed` (events the engine handled before finishing or
 ///   exhausting the scenario's event budget; the gate compares it
 ///   relatively).  Both `null` on non-simulator backends.
-pub const SCHEMA_VERSION: i64 = 6;
+/// * v7: optional per-record `final_loads` (the final per-core thread
+///   counts the invariant checks run against), emitted only when the
+///   harness is invoked with `--full-records`; the key is omitted
+///   entirely — not `null` — on default runs, so default documents keep
+///   their v6 shape byte for byte.
+pub const SCHEMA_VERSION: i64 = 7;
 
 /// The identity of one `BENCH_results.json` record.
 ///

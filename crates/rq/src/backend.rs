@@ -85,6 +85,15 @@ pub trait RqBackend: Send + Sync + 'static {
     /// read — the runqueue substrate's per-core scheduler tick.
     fn refresh(&self);
 
+    /// Attaches a trace sink for backend-internal decisions (overflow
+    /// spills, injector drains, batch trims).  The default keeps the
+    /// backend silent: the generic balancing machinery still traces steal
+    /// attempts through the [`StealRecorder`], so backends only override
+    /// this when they have private structure worth narrating.
+    fn attach_trace(&mut self, sink: sched_trace::TraceSink) {
+        let _ = sink;
+    }
+
     /// Attempts to steal up to `max_tasks` waiting tasks from `victim` into
     /// `thief`, re-checking `filter` against live state before committing,
     /// and recording the outcome into `recorder` (if any) atomically with

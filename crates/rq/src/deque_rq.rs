@@ -93,6 +93,7 @@ use sched_core::tracker::{LoadTracker, TrackedLoad};
 use sched_core::{CoreId, CoreSnapshot, FilterPolicy, Nice, StealOutcome, TaskId};
 use sched_deque::{deque, Injector, Steal, StealMany, Stealer, Worker};
 use sched_topology::NodeId;
+use sched_trace::{TraceEvent, TraceSink};
 
 use crate::backend::RqBackend;
 use crate::entity::RqTask;
@@ -184,6 +185,12 @@ pub struct DequeRq {
     /// Single-folder flag: a contended fold is skipped, not waited for
     /// (decayed loads are advisory; the next mutation folds again).
     tracked_busy: AtomicBool,
+    /// Trace sink for backend-internal decisions (overflow placement,
+    /// injector drains, batch trims).  Disabled by default: every record
+    /// site is gated on [`TraceSink::is_enabled`], so the owner's hot path
+    /// pays one branch and **zero** atomic operations when not tracing
+    /// (pinned by the `write_ops` tier-1 test).
+    trace: TraceSink,
 }
 
 impl DequeRq {
@@ -228,6 +235,15 @@ impl DequeRq {
             tracked_scaled: AtomicU64::new(0),
             tracked_ns: AtomicU64::new(0),
             tracked_busy: AtomicBool::new(false),
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Records `event` on this core's ring at the machine clock's current
+    /// time.  One branch (and no clock load) when tracing is disabled.
+    fn trace_event(&self, event: &TraceEvent) {
+        if self.trace.is_enabled() {
+            self.trace.record(self.id, self.clock.load(Ordering::Acquire), event);
         }
     }
 
@@ -262,7 +278,13 @@ impl DequeRq {
         match self.overflow {
             OverflowPolicy::SharedInjector => loop {
                 match self.injector.steal() {
-                    Steal::Stolen(word) => return Some(word),
+                    Steal::Stolen(word) => {
+                        // Every injector exit is narrated: the trace-derived
+                        // injector population (pushes + trim loop-backs −
+                        // drains) must match the live resident count.
+                        self.trace_event(&TraceEvent::InjectorDrain { moved: 1 });
+                        return Some(word);
+                    }
                     Steal::Empty => return None,
                     Steal::Retry => {}
                 }
@@ -321,8 +343,14 @@ impl DequeRq {
         self.lightest_mark.fetch_min(weight_of(word), Ordering::AcqRel);
         if let Err(sched_deque::Full(rejected)) = owner.worker.push(word) {
             match self.overflow {
-                OverflowPolicy::SharedInjector => self.injector.push(rejected),
-                OverflowPolicy::PrivateSpill => owner.spill.push_back(rejected),
+                OverflowPolicy::SharedInjector => {
+                    self.injector.push(rejected);
+                    self.trace_event(&TraceEvent::InjectorPush { task: decode(rejected).id });
+                }
+                OverflowPolicy::PrivateSpill => {
+                    owner.spill.push_back(rejected);
+                    self.trace_event(&TraceEvent::OverflowSpill { task: decode(rejected).id });
+                }
             }
         }
     }
@@ -423,6 +451,10 @@ impl DequeRq {
                         if claimed == 0 {
                             return Err(StealOutcome::NothingToSteal { victim: self.id });
                         }
+                        // Narrated on the victim's ring like every other
+                        // injector exit, so a trace-derived resident count
+                        // stays exact under thief batch claims.
+                        self.trace_event(&TraceEvent::InjectorDrain { moved: claimed as u64 });
                         for &word in &words {
                             self.retire_queued(word);
                         }
@@ -562,15 +594,20 @@ impl RqBackend for DequeRq {
                 // measures — is the whole reason the spill path is
                 // quarantined.
                 let mut owner = self.owner.lock();
+                let mut moved = 0u64;
                 while let Some(&front) = owner.spill.front() {
                     match owner.worker.push(front) {
                         Ok(()) => {
                             owner.spill.pop_front();
+                            moved += 1;
                         }
                         Err(_) => break,
                     }
                 }
                 drop(owner);
+                if moved > 0 {
+                    self.trace_event(&TraceEvent::InjectorDrain { moved });
+                }
             }
             OverflowPolicy::SharedInjector => {
                 // The *fairness* drain — deliberately not correctness-
@@ -587,6 +624,7 @@ impl RqBackend for DequeRq {
                 // which a moving word is reachable by neither structure
                 // is the same transient as a push in flight.
                 let mut owner = self.owner.lock();
+                let mut moved = 0u64;
                 while owner.worker.len() < owner.worker.capacity() {
                     match self.injector.steal() {
                         Steal::Stolen(word) => {
@@ -598,12 +636,16 @@ impl RqBackend for DequeRq {
                                 self.injector.push(rejected);
                                 break;
                             }
+                            moved += 1;
                         }
                         Steal::Empty => break,
                         Steal::Retry => {}
                     }
                 }
                 drop(owner);
+                if moved > 0 {
+                    self.trace_event(&TraceEvent::InjectorDrain { moved });
+                }
             }
         }
         self.fold_tracked();
@@ -655,10 +697,15 @@ impl RqBackend for DequeRq {
                             && loop_back
                             && thief.nr_threads() + 1 > victim.nr_threads() + undelivered - 1
                         {
+                            let mut returned = 1u64;
                             victim.requeue_overflow(word);
                             for loser in words.by_ref() {
                                 victim.requeue_overflow(loser);
+                                returned += 1;
                             }
+                            // The trim is the victim's story: its tasks
+                            // came back, on its ring.
+                            victim.trace_event(&TraceEvent::BatchTrim { returned });
                             trimmed = true;
                             break;
                         }
@@ -685,9 +732,13 @@ impl RqBackend for DequeRq {
         // The CAS claim is the linearization point; the counters move
         // right after it, before the outcome is returned to the balancer.
         if let Some(rec) = recorder {
-            rec.stats.record_with_level(&outcome, rec.level);
+            rec.record_attempt(&outcome, want);
         }
         outcome
+    }
+
+    fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 }
 

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use sched_core::tracker::{LoadTracker, NrThreadsTracker};
 use sched_core::{CoreId, CoreSnapshot, LoadMetric, Nice, Policy, StealOutcome, TaskId, Weight};
 use sched_topology::{MachineTopology, NodeId, StealLevel};
+use sched_trace::{TraceEvent, TraceSink};
 
 use crate::backend::RqBackend;
 use crate::entity::RqTask;
@@ -90,6 +91,9 @@ pub struct MultiQueue<B: RqBackend = PerCoreRq<FifoQueue>> {
     /// read by every runqueue when folding its decayed load.
     clock: Arc<AtomicU64>,
     next_task_id: AtomicU64,
+    /// Decision trace sink; disabled (one branch per would-be record, zero
+    /// atomics) unless [`MultiQueue::set_trace_sink`] attached one.
+    trace: TraceSink,
 }
 
 impl<B: RqBackend> MultiQueue<B> {
@@ -108,7 +112,14 @@ impl<B: RqBackend> MultiQueue<B> {
                 B::with_tracker(CoreId(i), NodeId(0), Arc::clone(&tracker), Arc::clone(&clock))
             })
             .collect();
-        MultiQueue { cores, topo: None, tracker, clock, next_task_id: AtomicU64::new(0) }
+        MultiQueue {
+            cores,
+            topo: None,
+            tracker,
+            clock,
+            next_task_id: AtomicU64::new(0),
+            trace: TraceSink::disabled(),
+        }
     }
 
     /// Creates one runqueue per CPU of `topo`, with matching node ids; the
@@ -136,6 +147,40 @@ impl<B: RqBackend> MultiQueue<B> {
             tracker,
             clock,
             next_task_id: AtomicU64::new(0),
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Attaches a trace sink: balancing decisions (steal attempts with
+    /// their level attribution, migrations, no-candidate rounds) and task
+    /// placements are recorded from here on, and each backend gets a clone
+    /// for its internal events (overflow spills, injector drains, batch
+    /// trims).  Recording happens at exactly the program points where
+    /// [`BalanceStats`] counters move, so a drained trace folds back to
+    /// the stats (`sched_trace::FoldedStats`) bit for bit.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        for core in &mut self.cores {
+            core.attach_trace(sink.clone());
+        }
+        self.trace = sink;
+    }
+
+    /// The attached trace sink (disabled unless
+    /// [`MultiQueue::set_trace_sink`] was called).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Counts — and, when tracing, records — a selection phase that chose
+    /// no victim at all, on `thief`'s ring.
+    fn record_no_candidates(&self, thief: CoreId, stats: &BalanceStats) {
+        stats.record(&StealOutcome::NoCandidates);
+        if self.trace.is_enabled() {
+            self.trace.record(
+                thief,
+                self.now_ns(),
+                &TraceEvent::steal_attempt(&StealOutcome::NoCandidates, None, 1),
+            );
         }
     }
 
@@ -217,6 +262,7 @@ impl<B: RqBackend> MultiQueue<B> {
     /// Creates a fresh `nice 0` task and makes it runnable on `core`.
     pub fn spawn_on(&self, core: CoreId) -> TaskId {
         let id = TaskId(self.next_task_id.fetch_add(1, Ordering::Relaxed));
+        self.trace_placement(id, core);
         self.cores[core.0].enqueue(RqTask::new(id));
         id
     }
@@ -225,8 +271,18 @@ impl<B: RqBackend> MultiQueue<B> {
     /// `core`.
     pub fn spawn_on_with_nice(&self, core: CoreId, nice: Nice) -> TaskId {
         let id = TaskId(self.next_task_id.fetch_add(1, Ordering::Relaxed));
+        self.trace_placement(id, core);
         self.cores[core.0].enqueue(RqTask::with_nice(id, nice));
         id
+    }
+
+    /// Records a wakeup and its placement on the placed core's ring.
+    fn trace_placement(&self, task: TaskId, core: CoreId) {
+        if self.trace.is_enabled() {
+            let now = self.now_ns();
+            self.trace.record(core, now, &TraceEvent::TaskWake { task });
+            self.trace.record(core, now, &TraceEvent::PlaceDecision { task, core });
+        }
     }
 
     /// Lock-less snapshots of every core, in id order (the selection phase's
@@ -300,7 +356,7 @@ impl<B: RqBackend> MultiQueue<B> {
             .collect();
         let Some(victim) = policy.choice.choose(&thief_snap, &candidates) else {
             if let Some(stats) = stats {
-                stats.record(&StealOutcome::NoCandidates);
+                self.record_no_candidates(thief, stats);
             }
             return StealOutcome::NoCandidates;
         };
@@ -317,9 +373,12 @@ impl<B: RqBackend> MultiQueue<B> {
             &self.cores[victim.0],
             policy.filter.as_ref(),
             max_tasks,
-            stats.map(|stats| StealRecorder {
-                stats,
-                level: Some(self.steal_level_of(thief, victim)),
+            stats.map(|stats| {
+                StealRecorder::new(stats, Some(self.steal_level_of(thief, victim))).with_trace(
+                    &self.trace,
+                    thief,
+                    self.now_ns(),
+                )
             }),
         );
         // Adaptive choices (topology-aware backoff) learn from the outcome.
@@ -357,7 +416,7 @@ impl<B: RqBackend> MultiQueue<B> {
             }
         }
         if by_level.iter().all(Vec::is_empty) {
-            stats.record(&StealOutcome::NoCandidates);
+            self.record_no_candidates(thief, stats);
             return StealOutcome::NoCandidates;
         }
         // Stealing phase: walk the levels outwards, letting the policy's
@@ -377,7 +436,11 @@ impl<B: RqBackend> MultiQueue<B> {
                 &self.cores[victim.0],
                 policy.filter.as_ref(),
                 1,
-                Some(StealRecorder { stats, level: Some(level) }),
+                Some(StealRecorder::new(stats, Some(level)).with_trace(
+                    &self.trace,
+                    thief,
+                    self.now_ns(),
+                )),
             );
             policy.choice.observe(thief, victim, outcome.is_success());
             if outcome.is_success() {
@@ -493,14 +556,21 @@ impl<B: RqBackend> MultiQueue<B> {
                                 &mq.cores[victim.0],
                                 policy.filter.as_ref(),
                                 1,
-                                Some(StealRecorder {
-                                    stats,
-                                    level: Some(mq.steal_level_of(core.id(), victim)),
-                                }),
+                                Some(
+                                    StealRecorder::new(
+                                        stats,
+                                        Some(mq.steal_level_of(core.id(), victim)),
+                                    )
+                                    .with_trace(
+                                        &mq.trace,
+                                        core.id(),
+                                        mq.now_ns(),
+                                    ),
+                                ),
                             );
                             policy.choice.observe(core.id(), victim, outcome.is_success());
                         }
-                        None => stats.record(&StealOutcome::NoCandidates),
+                        None => mq.record_no_candidates(core.id(), stats),
                     };
                 });
             }

@@ -122,6 +122,10 @@ macro_rules! delegate_backend {
                 self.0.refresh();
             }
 
+            fn attach_trace(&mut self, sink: sched_trace::TraceSink) {
+                self.0.attach_trace(sink);
+            }
+
             fn try_steal_recorded(
                 thief: &Self,
                 victim: &Self,

@@ -6,8 +6,9 @@
 //! stealers is avoided by always acquiring the lower-numbered core's lock
 //! first — the same discipline Linux's `double_rq_lock` uses.
 
-use sched_core::{CoreSnapshot, FilterPolicy, StealOutcome};
+use sched_core::{CoreId, CoreSnapshot, FilterPolicy, StealOutcome};
 use sched_topology::StealLevel;
+use sched_trace::{TraceEvent, TraceSink};
 
 use crate::percore::{PerCoreRq, RqInner};
 use crate::stats::BalanceStats;
@@ -15,12 +16,53 @@ use crate::TaskQueue;
 
 /// Where the outcome of a locked stealing phase is recorded, and which
 /// steal level the migrated threads are attributed to.
+///
+/// The recorder optionally carries a [`TraceSink`] context: when present,
+/// every counted outcome is also recorded as a
+/// [`TraceEvent::StealAttempt`] (plus one [`TraceEvent::Migration`] per
+/// moved task) on the thief's ring, at the same program point where the
+/// counters move — which is what lets the `stats == fold(trace)` parity
+/// tests treat the trace as a complete record of the round.
 #[derive(Debug, Clone, Copy)]
 pub struct StealRecorder<'a> {
     /// The shared counters of the round.
     pub stats: &'a BalanceStats,
     /// Distance class of the victim relative to the thief, if known.
     pub level: Option<StealLevel>,
+    /// Trace context: the sink, the thief (recording) core, and the
+    /// logical timestamp to stamp events with.
+    trace: Option<(&'a TraceSink, CoreId, u64)>,
+}
+
+impl<'a> StealRecorder<'a> {
+    /// A recorder that counts into `stats` (attributing migrations to
+    /// `level`) without tracing.
+    pub fn new(stats: &'a BalanceStats, level: Option<StealLevel>) -> Self {
+        StealRecorder { stats, level, trace: None }
+    }
+
+    /// Adds a trace context: recorded outcomes also land on `thief`'s ring
+    /// of `sink`, stamped `now`.  A disabled sink costs one branch.
+    pub fn with_trace(self, sink: &'a TraceSink, thief: CoreId, now: u64) -> Self {
+        StealRecorder { trace: Some((sink, thief, now)), ..self }
+    }
+
+    /// Counts `outcome` into the stats **and** traces it, in one call —
+    /// the single program point every backend's stealing phase funnels
+    /// through, so counters and trace can never disagree.  `k` is the
+    /// claim size the decision asked for.
+    pub fn record_attempt(&self, outcome: &StealOutcome, k: usize) {
+        self.stats.record_with_level(outcome, self.level);
+        let Some((sink, thief, now)) = self.trace else {
+            return;
+        };
+        sink.record(thief, now, &TraceEvent::steal_attempt(outcome, self.level, k));
+        if let StealOutcome::Stole { victim, tasks } = outcome {
+            for &task in tasks {
+                sink.record(thief, now, &TraceEvent::Migration { task, from: *victim });
+            }
+        }
+    }
 }
 
 /// Builds a live snapshot of a locked runqueue.
@@ -92,7 +134,7 @@ pub fn try_steal_recorded<Q: TaskQueue>(
     if !filter.can_steal(&thief_snap, &victim_snap) {
         let outcome = StealOutcome::RecheckFailed { victim: victim.id() };
         if let Some(rec) = recorder {
-            rec.stats.record_with_level(&outcome, rec.level);
+            rec.record_attempt(&outcome, max_tasks.max(1));
         }
         return outcome;
     }
@@ -120,7 +162,7 @@ pub fn try_steal_recorded<Q: TaskQueue>(
     // Count the migration before the locks are released (and before the new
     // loads are published): stats and queue state move as one step.
     if let Some(rec) = recorder {
-        rec.stats.record_with_level(&outcome, rec.level);
+        rec.record_attempt(&outcome, max_tasks.max(1));
     }
 
     thief.republish(&mut thief_guard);
@@ -216,7 +258,7 @@ mod tests {
             &victim,
             &DeltaFilter::listing1(),
             1,
-            Some(StealRecorder { stats: &stats, level: Some(StealLevel::SameNode) }),
+            Some(StealRecorder::new(&stats, Some(StealLevel::SameNode))),
         );
         assert!(outcome.is_success());
         assert_eq!(stats.successes(), 1);
@@ -232,7 +274,7 @@ mod tests {
             &victim,
             &DeltaFilter::listing1(),
             1,
-            Some(StealRecorder { stats: &stats, level: Some(StealLevel::SameNode) }),
+            Some(StealRecorder::new(&stats, Some(StealLevel::SameNode))),
         );
         assert!(outcome.is_failure());
         assert_eq!(stats.recheck_failures(), 1);

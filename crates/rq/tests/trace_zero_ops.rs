@@ -1,0 +1,51 @@
+//! The zero-overhead contract of a disabled trace sink, pinned by the
+//! write-probe: driving the `DequeRq` owner path — and a whole balancing
+//! round — with no sink attached must not move
+//! [`sched_trace::write_ops`], i.e. tracing-disabled builds add **zero**
+//! atomic operations of trace traffic to the hot paths.  (The probe only
+//! counts enabled-sink ring writes, so any accidental record on the
+//! disabled path would move it.)
+//!
+//! This is deliberately the *only* test in this binary: the probe is
+//! process-global, and a concurrently running traced test would make the
+//! "no movement" half of the assertion flaky.
+
+use sched_core::{CoreId, Policy};
+use sched_rq::{DequeRq, MultiQueue, RqBackend};
+use sched_trace::{write_ops, TraceSink};
+
+type DequeMq = MultiQueue<DequeRq>;
+
+#[test]
+fn a_disabled_sink_adds_zero_trace_writes_to_the_owner_path() {
+    // Tiny rings so the owner path includes the overflow branch — the one
+    // place the untraced hot path comes closest to a record site.
+    let mq: DequeMq = MultiQueue::new(4);
+    let before = write_ops();
+    for _ in 0..256 {
+        mq.spawn_on(CoreId(0));
+    }
+    let policy = Policy::simple();
+    let (rounds, stats) = mq.converge(&policy, 64);
+    assert!(rounds.is_some());
+    assert!(stats.successes() >= 1, "the untraced run did real work");
+    for c in 0..4 {
+        while mq.core(CoreId(c)).complete_current().is_some() {}
+    }
+    assert_eq!(
+        write_ops(),
+        before,
+        "an unattached sink must add zero trace writes to owner or steal paths"
+    );
+
+    // Control: the identical drive with a sink attached moves the probe,
+    // so the zero above is the disabled branch, not a dead probe.
+    let mut mq: DequeMq = MultiQueue::new(4);
+    mq.set_trace_sink(TraceSink::recording(4));
+    let before = write_ops();
+    for _ in 0..8 {
+        mq.spawn_on(CoreId(0));
+    }
+    let _ = mq.converge(&policy, 16);
+    assert!(write_ops() > before, "the probe must see the enabled sink's writes");
+}

@@ -18,9 +18,10 @@
 use std::sync::Arc;
 
 use sched_core::tracker::LoadTracker;
-use sched_core::CoreId;
+use sched_core::{CoreId, TaskId};
 use sched_metrics::{IdleAccounting, LatencyRecorder};
 use sched_topology::MachineTopology;
+use sched_trace::{TraceEvent, TraceSink};
 use sched_workloads::{Phase, Workload};
 
 use crate::barrier::SimBarrier;
@@ -50,6 +51,11 @@ pub struct Engine {
     balance_stats: RoundStats,
     finished_count: usize,
     events_processed: u64,
+    trace: TraceSink,
+    /// Last narrated busy-state per core, so Park/Unpark events fire only
+    /// on transitions (the trace is edge-, not level-triggered).
+    core_busy: Vec<bool>,
+    balance_rounds: u64,
 }
 
 impl Engine {
@@ -106,7 +112,40 @@ impl Engine {
             last_account: 0,
             finished_count: 0,
             events_processed: 0,
+            trace: TraceSink::disabled(),
+            core_busy: vec![false; nr_cores],
+            balance_rounds: 0,
             config,
+        }
+    }
+
+    /// Attaches `sink` so the run narrates its decisions: placements,
+    /// parking transitions and balancing rounds from the engine, steal
+    /// attempts from the scheduler (forwarded a clone).  Recording is
+    /// write-only — an attached sink never changes the schedule.  Call
+    /// before [`Engine::run`] and keep a clone of the sink to drain.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.scheduler.set_trace_sink(sink.clone());
+        self.trace = sink;
+        self.trace.set_now(self.now);
+        if self.trace.is_enabled() {
+            // Every core starts parked; the first election narrates Unpark.
+            for core in 0..self.queues.nr_cores() {
+                self.trace.record_now(CoreId(core), &TraceEvent::Park);
+            }
+        }
+    }
+
+    /// Narrates `core`'s idle/busy transition, if its state changed since
+    /// the last narration.
+    fn trace_core_state(&mut self, core: CoreId) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let busy = self.queues.core(core).current.is_some();
+        if busy != self.core_busy[core.0] {
+            self.core_busy[core.0] = busy;
+            self.trace.record_now(core, if busy { &TraceEvent::Unpark } else { &TraceEvent::Park });
         }
     }
 
@@ -132,6 +171,7 @@ impl Engine {
             self.events_processed += 1;
             self.account_until(event.time);
             self.now = event.time;
+            self.trace.set_now(self.now);
             self.handle(event);
             if self.finished_count == self.threads.len() {
                 break;
@@ -181,6 +221,16 @@ impl Engine {
         }
     }
 
+    /// Records that `tid` voluntarily left the runnable population (a
+    /// sleep phase or a barrier wait), so trace consumers stop counting
+    /// it against its last core's occupancy until it wakes again.
+    fn trace_task_sleep(&mut self, tid: SimThreadId) {
+        if self.trace.is_enabled() {
+            let core = self.threads[tid.0].last_core.unwrap_or(CoreId(0));
+            self.trace.record_now(core, &TraceEvent::TaskSleep { task: TaskId(tid.0 as u64) });
+        }
+    }
+
     /// Starts the thread's current phase (compute, sleep, barrier) or
     /// finishes the thread if no phase remains.
     fn enter_phase(&mut self, tid: SimThreadId) {
@@ -189,7 +239,14 @@ impl Engine {
                 let thread = &mut self.threads[tid.0];
                 thread.state = ThreadState::Finished;
                 thread.finish_time = Some(self.now);
+                let last = thread.last_core;
                 self.finished_count += 1;
+                if self.trace.is_enabled() {
+                    self.trace.record_now(
+                        last.unwrap_or(CoreId(0)),
+                        &TraceEvent::TaskDone { task: TaskId(tid.0 as u64) },
+                    );
+                }
             }
             Some(Phase::Compute(ns)) => {
                 self.threads[tid.0].remaining_ns = ns;
@@ -197,10 +254,12 @@ impl Engine {
             }
             Some(Phase::Sleep(ns)) => {
                 self.threads[tid.0].state = ThreadState::Sleeping;
+                self.trace_task_sleep(tid);
                 self.events.push(self.now + ns, EventKind::SleepDone(tid));
             }
             Some(Phase::Barrier(id)) => {
                 self.threads[tid.0].state = ThreadState::AtBarrier(id);
+                self.trace_task_sleep(tid);
                 let barrier = self
                     .barriers
                     .iter_mut()
@@ -226,6 +285,11 @@ impl Engine {
             (None, Some(origin)) => CoreId(origin % self.queues.nr_cores()),
             _ => self.scheduler.place_wakeup(&self.queues, &self.threads, tid, prev),
         };
+        if self.trace.is_enabled() {
+            let task = TaskId(tid.0 as u64);
+            self.trace.record_now(target, &TraceEvent::TaskWake { task });
+            self.trace.record_now(target, &TraceEvent::PlaceDecision { task, core: target });
+        }
         let thread = &mut self.threads[tid.0];
         thread.state = ThreadState::Runnable;
         thread.ready_since = Some(self.now);
@@ -236,6 +300,7 @@ impl Engine {
             self.queues.enqueue(target, tid);
         }
         self.touch(target);
+        self.trace_core_state(target);
     }
 
     /// Puts `tid` on `core` and schedules the completion of its compute
@@ -265,6 +330,7 @@ impl Engine {
             }
         }
         self.touch(core);
+        self.trace_core_state(core);
     }
 
     fn on_phase_done(&mut self, tid: SimThreadId, token: u64) {
@@ -314,6 +380,11 @@ impl Engine {
         // Decay every tracked load to the present before the selection
         // phase reads it, and refresh after the migrations settle.
         self.queues.touch_all(self.now, self.tracker.as_ref(), &self.threads);
+        if self.trace.is_enabled() {
+            self.trace
+                .record_now(CoreId(0), &TraceEvent::BalanceRound { round: self.balance_rounds });
+        }
+        self.balance_rounds += 1;
         let stats = self.scheduler.balance_round(&mut self.queues, &self.threads);
         self.balance_stats.merge(stats);
         // Any core that received work while idle starts running it now

@@ -47,9 +47,10 @@
 use std::sync::Arc;
 
 use sched_core::tracker::LoadTracker;
-use sched_core::CoreId;
+use sched_core::{CoreId, TaskId};
 use sched_metrics::{IdleAccounting, LatencyRecorder};
 use sched_topology::MachineTopology;
+use sched_trace::{TraceEvent, TraceSink};
 use sched_workloads::{Phase, Workload};
 
 use crate::barrier::SimBarrier;
@@ -105,6 +106,11 @@ pub struct EventEngine {
     /// The machine-wide balance event is off the calendar (machine asleep).
     balance_parked: bool,
     budget_exhausted: bool,
+    trace: TraceSink,
+    /// Last narrated busy-state per core, so Park/Unpark events fire only
+    /// on transitions (the trace is edge-, not level-triggered).
+    core_busy: Vec<bool>,
+    balance_rounds: u64,
 }
 
 impl EventEngine {
@@ -175,7 +181,41 @@ impl EventEngine {
             v_last_ns: 0,
             balance_parked: false,
             budget_exhausted: false,
+            trace: TraceSink::disabled(),
+            core_busy: vec![false; nr_cores],
+            balance_rounds: 0,
             config,
+        }
+    }
+
+    /// Attaches `sink` so the run narrates its decisions: placements,
+    /// parking transitions and balancing rounds from the engine, steal
+    /// attempts from the scheduler (forwarded a clone).  Recording is
+    /// write-only — an attached sink never changes the schedule, so the
+    /// tick-engine parity is unaffected.  Call before [`EventEngine::run`]
+    /// and keep a clone of the sink to drain.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.scheduler.set_trace_sink(sink.clone());
+        self.trace = sink;
+        self.trace.set_now(self.now);
+        if self.trace.is_enabled() {
+            // Every core starts parked; the first election narrates Unpark.
+            for core in 0..self.queues.nr_cores() {
+                self.trace.record_now(CoreId(core), &TraceEvent::Park);
+            }
+        }
+    }
+
+    /// Narrates `core`'s idle/busy transition, if its state changed since
+    /// the last narration.
+    fn trace_core_state(&mut self, core: CoreId) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let busy = self.queues.core(core).current.is_some();
+        if busy != self.core_busy[core.0] {
+            self.core_busy[core.0] = busy;
+            self.trace.record_now(core, if busy { &TraceEvent::Unpark } else { &TraceEvent::Park });
         }
     }
 
@@ -195,6 +235,7 @@ impl EventEngine {
             self.events_processed += 1;
             self.advance_violation(event.time);
             self.now = event.time;
+            self.trace.set_now(self.now);
             self.handle(event);
             if self.finished_count == self.threads.len() {
                 break;
@@ -277,6 +318,7 @@ impl EventEngine {
     fn note_change(&mut self, core: CoreId) {
         self.settle(core);
         self.refresh(core);
+        self.trace_core_state(core);
     }
 
     /// Replays the balance-grid tracker folds `core` missed while it was off
@@ -350,6 +392,16 @@ impl EventEngine {
         }
     }
 
+    /// Records that `tid` voluntarily left the runnable population (a
+    /// sleep phase or a barrier wait), so trace consumers stop counting
+    /// it against its last core's occupancy until it wakes again.
+    fn trace_task_sleep(&mut self, tid: SimThreadId) {
+        if self.trace.is_enabled() {
+            let core = self.threads[tid.0].last_core.unwrap_or(CoreId(0));
+            self.trace.record_now(core, &TraceEvent::TaskSleep { task: TaskId(tid.0 as u64) });
+        }
+    }
+
     /// Starts the thread's current phase (compute, sleep, barrier) or
     /// finishes the thread if no phase remains.
     fn enter_phase(&mut self, tid: SimThreadId) {
@@ -358,7 +410,14 @@ impl EventEngine {
                 let thread = &mut self.threads[tid.0];
                 thread.state = ThreadState::Finished;
                 thread.finish_time = Some(self.now);
+                let last = thread.last_core;
                 self.finished_count += 1;
+                if self.trace.is_enabled() {
+                    self.trace.record_now(
+                        last.unwrap_or(CoreId(0)),
+                        &TraceEvent::TaskDone { task: TaskId(tid.0 as u64) },
+                    );
+                }
             }
             Some(Phase::Compute(ns)) => {
                 self.threads[tid.0].remaining_ns = ns;
@@ -366,10 +425,12 @@ impl EventEngine {
             }
             Some(Phase::Sleep(ns)) => {
                 self.threads[tid.0].state = ThreadState::Sleeping;
+                self.trace_task_sleep(tid);
                 self.events.push(self.now + ns, EventKind::SleepDone(tid));
             }
             Some(Phase::Barrier(id)) => {
                 self.threads[tid.0].state = ThreadState::AtBarrier(id);
+                self.trace_task_sleep(tid);
                 let barrier = self
                     .barriers
                     .iter_mut()
@@ -396,6 +457,11 @@ impl EventEngine {
             _ => self.scheduler.place_wakeup(&self.queues, &self.threads, tid, prev),
         };
         self.catch_up_core(target);
+        if self.trace.is_enabled() {
+            let task = TaskId(tid.0 as u64);
+            self.trace.record_now(target, &TraceEvent::TaskWake { task });
+            self.trace.record_now(target, &TraceEvent::PlaceDecision { task, core: target });
+        }
         let thread = &mut self.threads[tid.0];
         thread.state = ThreadState::Runnable;
         thread.ready_since = Some(self.now);
@@ -501,6 +567,11 @@ impl EventEngine {
             self.touch(id);
             self.settle(id);
         }
+        if self.trace.is_enabled() {
+            self.trace
+                .record_now(CoreId(0), &TraceEvent::BalanceRound { round: self.balance_rounds });
+        }
+        self.balance_rounds += 1;
         self.queues.enable_mutation_log();
         let stats = self.scheduler.balance_round(&mut self.queues, &self.threads);
         let mutated = self.queues.drain_mutation_log();

@@ -11,8 +11,9 @@
 use std::sync::Arc;
 
 use sched_core::tracker::{LoadTracker, NrThreadsTracker};
-use sched_core::{CoreId, CoreSnapshot, Policy};
+use sched_core::{CoreId, CoreSnapshot, Policy, TaskId};
 use sched_topology::{MachineTopology, StealLevel};
+use sched_trace::{StealOutcomeKind, TraceEvent, TraceSink};
 
 use crate::queues::CoreQueues;
 use crate::thread::{SimThread, SimThreadId};
@@ -77,6 +78,52 @@ fn steal_level_of(
     }
 }
 
+/// Records the outcome of one simulated steal attempt on the thief's ring,
+/// using the engine-published clock ([`TraceSink::record_now`]).  Success
+/// carries the per-task [`TraceEvent::Migration`] that parity folding and
+/// the sanity checker consume; every failure class in the simulator is a
+/// stale optimistic selection, so failures map to
+/// [`StealOutcomeKind::RecheckFailed`] (matching how [`RoundStats`] folds
+/// them into one `failures` counter).
+fn trace_steal(
+    trace: &TraceSink,
+    thief: CoreId,
+    victim: CoreId,
+    migrated: Option<(SimThreadId, StealLevel)>,
+) {
+    if !trace.is_enabled() {
+        return;
+    }
+    match migrated {
+        Some((tid, level)) => {
+            trace.record_now(
+                thief,
+                &TraceEvent::StealAttempt {
+                    victim: Some(victim),
+                    level: Some(level),
+                    outcome: StealOutcomeKind::Stole,
+                    k: 1,
+                    moved: 1,
+                },
+            );
+            trace.record_now(
+                thief,
+                &TraceEvent::Migration { task: TaskId(tid.0 as u64), from: victim },
+            );
+        }
+        None => trace.record_now(
+            thief,
+            &TraceEvent::StealAttempt {
+                victim: Some(victim),
+                level: None,
+                outcome: StealOutcomeKind::RecheckFailed,
+                k: 1,
+                moved: 0,
+            },
+        ),
+    }
+}
+
 /// The decisions a scheduler makes inside the simulator.
 ///
 /// The engine owns the mechanism (runqueues, election, preemption, time);
@@ -108,6 +155,14 @@ pub trait SimScheduler: Send {
     /// operations are performed simultaneously on all cores", §3.1),
     /// migrating waiting threads between runqueues.
     fn balance_round(&mut self, queues: &mut CoreQueues, threads: &[SimThread]) -> RoundStats;
+
+    /// Attaches a trace sink so the scheduler narrates its steal decisions
+    /// ([`TraceEvent::StealAttempt`] / [`TraceEvent::Migration`]).  The
+    /// default ignores it: schedulers without recording still work, they
+    /// just leave the steal lane of the trace empty.
+    fn set_trace_sink(&mut self, sink: TraceSink) {
+        let _ = sink;
+    }
 }
 
 /// The verified optimistic scheduler: wakeups go to idle cores, balancing is
@@ -115,18 +170,19 @@ pub trait SimScheduler: Send {
 pub struct OptimisticScheduler {
     policy: Policy,
     topo: Option<Arc<MachineTopology>>,
+    trace: TraceSink,
 }
 
 impl OptimisticScheduler {
     /// Creates the scheduler around `policy` (usually [`Policy::simple`]).
     pub fn new(policy: Policy) -> Self {
-        OptimisticScheduler { policy, topo: None }
+        OptimisticScheduler { policy, topo: None, trace: TraceSink::disabled() }
     }
 
     /// Creates the scheduler with a machine topology, enabling exact
     /// per-level attribution of migrations (SMT/LLC/node/remote).
     pub fn with_topology(policy: Policy, topo: Arc<MachineTopology>) -> Self {
-        OptimisticScheduler { policy, topo: Some(topo) }
+        OptimisticScheduler { policy, topo: Some(topo), trace: TraceSink::disabled() }
     }
 
     /// The policy driving the balancing rounds.
@@ -192,19 +248,25 @@ impl SimScheduler for OptimisticScheduler {
         let mut stats = RoundStats::default();
         for (thief, victim) in plans {
             let live = queues.snapshots(threads);
-            let mut success = false;
-            if self.policy.filter.can_steal(&live[thief.0], &live[victim.0])
-                && queues.migrate_newest(victim, thief).is_some()
-            {
-                stats.record_migration(steal_level_of(self.topo.as_deref(), &live, thief, victim));
-                success = true;
+            let mut migrated = None;
+            if self.policy.filter.can_steal(&live[thief.0], &live[victim.0]) {
+                if let Some(tid) = queues.migrate_newest(victim, thief) {
+                    let level = steal_level_of(self.topo.as_deref(), &live, thief, victim);
+                    stats.record_migration(level);
+                    migrated = Some((tid, level));
+                }
             }
-            if !success {
+            if migrated.is_none() {
                 stats.failures += 1;
             }
-            self.policy.choice.observe(thief, victim, success);
+            trace_steal(&self.trace, thief, victim, migrated);
+            self.policy.choice.observe(thief, victim, migrated.is_some());
         }
         stats
+    }
+
+    fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 }
 
@@ -221,12 +283,13 @@ impl SimScheduler for OptimisticScheduler {
 pub struct HierarchicalScheduler {
     policy: Policy,
     topo: Arc<MachineTopology>,
+    trace: TraceSink,
 }
 
 impl HierarchicalScheduler {
     /// Creates the scheduler around `policy` for the given machine.
     pub fn new(policy: Policy, topo: Arc<MachineTopology>) -> Self {
-        HierarchicalScheduler { policy, topo }
+        HierarchicalScheduler { policy, topo, trace: TraceSink::disabled() }
     }
 
     /// One level-capped pass: plan against a shared snapshot, then steal
@@ -257,17 +320,19 @@ impl HierarchicalScheduler {
         let mut stats = RoundStats::default();
         for (thief, victim) in plans {
             let live = queues.snapshots(threads);
-            let mut success = false;
-            if self.policy.filter.can_steal(&live[thief.0], &live[victim.0])
-                && queues.migrate_newest(victim, thief).is_some()
-            {
-                stats.record_migration(self.topo.steal_level(thief, victim));
-                success = true;
+            let mut migrated = None;
+            if self.policy.filter.can_steal(&live[thief.0], &live[victim.0]) {
+                if let Some(tid) = queues.migrate_newest(victim, thief) {
+                    let stolen_across = self.topo.steal_level(thief, victim);
+                    stats.record_migration(stolen_across);
+                    migrated = Some((tid, stolen_across));
+                }
             }
-            if !success {
+            if migrated.is_none() {
                 stats.failures += 1;
             }
-            self.policy.choice.observe(thief, victim, success);
+            trace_steal(&self.trace, thief, victim, migrated);
+            self.policy.choice.observe(thief, victim, migrated.is_some());
         }
         stats
     }
@@ -324,6 +389,10 @@ impl SimScheduler for HierarchicalScheduler {
             stats.merge(self.level_pass(queues, threads, level));
         }
         stats
+    }
+
+    fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 }
 

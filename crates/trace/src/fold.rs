@@ -1,0 +1,121 @@
+//! Re-deriving the aggregate balance counters from the event stream.
+//!
+//! The substrates keep aggregate counters (`sched-rq`'s `BalanceStats`,
+//! `sched-sim`'s `RoundStats`) incremented at exactly the points where a
+//! [`TraceEvent::StealAttempt`] is now recorded.  Folding a trace must
+//! therefore reproduce those counters bit for bit — the `stats ==
+//! fold(trace)` parity tests in each substrate pin that the trace is a
+//! complete record of the decisions the counters summarise, not a lossy
+//! echo of them.
+
+use crate::event::{StealOutcomeKind, TraceEvent};
+use crate::sink::Trace;
+
+/// The balance counters derivable from a trace — the common shape of
+/// `BalanceStats` and `RoundStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldedStats {
+    /// Steal attempts that migrated at least one task.
+    pub successes: u64,
+    /// Attempts whose filter re-check failed on the live state.
+    pub recheck_failures: u64,
+    /// Attempts whose filter held but found nothing migratable.
+    pub nothing_to_steal: u64,
+    /// Attempts whose selection produced no victim at all.
+    pub no_candidates: u64,
+    /// Tasks migrated.
+    pub migrations: u64,
+    /// Tasks migrated per steal level, indexed by [`sched_topology::StealLevel::index`].
+    pub level_migrations: [u64; 4],
+}
+
+impl FoldedStats {
+    /// Folds a drained trace into the aggregate counters.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut stats = FoldedStats::default();
+        for recorded in &trace.events {
+            stats.observe(&recorded.event);
+        }
+        stats
+    }
+
+    /// Folds one event into the counters (the incremental half used by the
+    /// online checker).
+    pub fn observe(&mut self, event: &TraceEvent) {
+        if let TraceEvent::StealAttempt { level, outcome, moved, .. } = event {
+            match outcome {
+                StealOutcomeKind::Stole => {
+                    self.successes += 1;
+                    self.migrations += u64::from(*moved);
+                    if let Some(level) = level {
+                        self.level_migrations[level.index()] += u64::from(*moved);
+                    }
+                }
+                StealOutcomeKind::RecheckFailed => self.recheck_failures += 1,
+                StealOutcomeKind::NothingToSteal => self.nothing_to_steal += 1,
+                StealOutcomeKind::NoCandidates => self.no_candidates += 1,
+            }
+        }
+    }
+
+    /// Failed attempts in the paper's sense (a victim was chosen, nothing
+    /// was stolen) — mirrors `BalanceStats::failures`.
+    pub fn failures(&self) -> u64 {
+        self.recheck_failures + self.nothing_to_steal
+    }
+
+    /// Attempts that chose a victim (successes plus failures).
+    pub fn attempts(&self) -> u64 {
+        self.successes + self.failures()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+    use sched_core::{CoreId, StealOutcome, TaskId};
+    use sched_topology::StealLevel;
+
+    #[test]
+    fn folding_reproduces_the_stats_semantics() {
+        let sink = TraceSink::with_capacity(2, 32);
+        let stole = StealOutcome::Stole { victim: CoreId(1), tasks: vec![TaskId(1), TaskId(2)] };
+        sink.record(CoreId(0), 1, &TraceEvent::steal_attempt(&stole, Some(StealLevel::SameLlc), 4));
+        sink.record(CoreId(0), 1, &TraceEvent::Migration { task: TaskId(1), from: CoreId(1) });
+        sink.record(CoreId(0), 1, &TraceEvent::Migration { task: TaskId(2), from: CoreId(1) });
+        sink.record(
+            CoreId(0),
+            2,
+            &TraceEvent::steal_attempt(&StealOutcome::RecheckFailed { victim: CoreId(1) }, None, 1),
+        );
+        sink.record(
+            CoreId(1),
+            2,
+            &TraceEvent::steal_attempt(
+                &StealOutcome::NothingToSteal { victim: CoreId(0) },
+                None,
+                1,
+            ),
+        );
+        sink.record(CoreId(1), 3, &TraceEvent::steal_attempt(&StealOutcome::NoCandidates, None, 1));
+        let stats = FoldedStats::from_trace(&sink.drain());
+        assert_eq!(stats.successes, 1);
+        assert_eq!(stats.migrations, 2);
+        assert_eq!(stats.level_migrations, [0, 2, 0, 0]);
+        assert_eq!(stats.recheck_failures, 1);
+        assert_eq!(stats.nothing_to_steal, 1);
+        assert_eq!(stats.no_candidates, 1);
+        assert_eq!(stats.failures(), 2);
+        assert_eq!(stats.attempts(), 3, "no-candidates chose no victim");
+    }
+
+    #[test]
+    fn non_steal_events_do_not_move_the_counters() {
+        let sink = TraceSink::with_capacity(1, 8);
+        sink.record(CoreId(0), 0, &TraceEvent::TaskWake { task: TaskId(0) });
+        sink.record(CoreId(0), 0, &TraceEvent::Park);
+        sink.record(CoreId(0), 0, &TraceEvent::InjectorPush { task: TaskId(0) });
+        assert_eq!(FoldedStats::from_trace(&sink.drain()), FoldedStats::default());
+    }
+}

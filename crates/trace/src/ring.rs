@@ -1,0 +1,210 @@
+//! The per-core recorder: a fixed-capacity, lock-free, overwrite-oldest
+//! ring of seqlock-stamped slots.
+//!
+//! Writers (there may be several per ring — a wakeup enqueues onto a
+//! remote core, so a remote thread records on that core's ring) claim a
+//! monotonically increasing *ticket* with one `fetch_add` and write the
+//! slot `ticket % capacity`; they never wait, never allocate, and never
+//! see each other.  Each slot carries a sequence word in the classic
+//! seqlock discipline — `2·ticket + 1` while the write is in flight,
+//! `2·ticket + 2` once the payload is published — so a reader re-reads
+//! the sequence around the payload and rejects any slot that was torn by
+//! a concurrent (or wrapping) writer instead of ever surfacing a mangled
+//! event.  The sequence transitions use `fetch_max`, which keeps a stale
+//! writer that was lapped by a full ring revolution from regressing the
+//! sequence under a newer writer's feet.
+//!
+//! A full ring simply keeps going: ticket `t` overwrites the event of
+//! ticket `t − capacity`, and [`Ring::dropped`] reports how many events
+//! were lost that way.  Loss is visible, never silent.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Default per-core slot count used by the recording sinks.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// One seqlock-stamped slot: the sequence word plus five payload words
+/// (timestamp, global record sequence, tag word, and two operands — see
+/// [`crate::event`]).
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; 5],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// One core's event ring (see the module docs).
+#[derive(Debug)]
+pub struct Ring {
+    /// Next ticket to hand out; `head − capacity … head` are the live slots.
+    head: AtomicU64,
+    mask: usize,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    /// Creates a ring with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        Ring {
+            head: AtomicU64::new(0),
+            mask: capacity - 1,
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one event.  Never blocks: a full ring overwrites its oldest
+    /// slot (counted by [`Ring::dropped`]).  `seq` is the writer's global
+    /// record sequence — the cross-ring merge uses it to order
+    /// same-timestamp events by commit order rather than by ring index.
+    pub fn push(&self, ts: u64, seq: u64, tag: u64, a: u64, b: u64) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) & self.mask];
+        // Mark the write in flight *before* any payload store becomes
+        // visible; `fetch_max` so a lapped writer cannot regress a newer
+        // writer's sequence.
+        slot.seq.fetch_max(2 * ticket + 1, Ordering::AcqRel);
+        fence(Ordering::Release);
+        slot.words[0].store(ts, Ordering::Relaxed);
+        slot.words[1].store(seq, Ordering::Relaxed);
+        slot.words[2].store(tag, Ordering::Relaxed);
+        slot.words[3].store(a, Ordering::Relaxed);
+        slot.words[4].store(b, Ordering::Relaxed);
+        slot.seq.fetch_max(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to overwrite-oldest so far.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Reads the surviving events in record order as raw
+    /// `(ts, seq, tag, a, b)` payloads.
+    ///
+    /// Intended for a quiescent ring (all writers done); a slot whose
+    /// write is still in flight — or that a racing writer overwrote while
+    /// this read was underway — fails its seqlock re-read and is skipped,
+    /// so a torn payload is never returned.
+    pub fn drain(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(self.capacity() as u64);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for ticket in start..head {
+            let slot = &self.slots[(ticket as usize) & self.mask];
+            let want = 2 * ticket + 2;
+            if slot.seq.load(Ordering::Acquire) != want {
+                continue;
+            }
+            let payload = (
+                slot.words[0].load(Ordering::Relaxed),
+                slot.words[1].load(Ordering::Relaxed),
+                slot.words[2].load(Ordering::Relaxed),
+                slot.words[3].load(Ordering::Relaxed),
+                slot.words[4].load(Ordering::Relaxed),
+            );
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != want {
+                continue;
+            }
+            out.push(payload);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        let ring = Ring::with_capacity(8);
+        for i in 0..5u64 {
+            ring.push(i, 50 + i, 100 + i, i, 2 * i);
+        }
+        assert_eq!(ring.dropped(), 0);
+        let events = ring.drain();
+        assert_eq!(events.len(), 5);
+        for (i, &(ts, seq, tag, a, b)) in events.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!((ts, seq, tag, a, b), (i, 50 + i, 100 + i, i, 2 * i));
+        }
+    }
+
+    #[test]
+    fn overwrites_oldest_and_counts_the_loss() {
+        let ring = Ring::with_capacity(4);
+        for i in 0..11u64 {
+            ring.push(i, i, i, 0, 0);
+        }
+        assert_eq!(ring.dropped(), 7, "11 recorded into 4 slots");
+        let events = ring.drain();
+        assert_eq!(events.len(), 4);
+        let ts: Vec<u64> = events.iter().map(|e| e.0).collect();
+        assert_eq!(ts, vec![7, 8, 9, 10], "the newest events survive, in order");
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(Ring::with_capacity(0).capacity(), 2);
+        assert_eq!(Ring::with_capacity(3).capacity(), 4);
+        assert_eq!(Ring::with_capacity(4096).capacity(), 4096);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_a_torn_event() {
+        // Hammer one small ring from several threads, each writing slots
+        // whose four words are derived from one value; any mix-and-match
+        // of two writes would break the derivation and be a torn read.
+        let ring = Ring::with_capacity(16);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..2048u64 {
+                        let v = t * 1_000_000 + i;
+                        ring.push(
+                            v,
+                            v.wrapping_mul(3),
+                            v.wrapping_mul(5),
+                            v.wrapping_mul(7),
+                            v.wrapping_mul(11),
+                        );
+                    }
+                });
+            }
+        });
+        for (ts, seq, tag, a, b) in ring.drain() {
+            assert_eq!(seq, ts.wrapping_mul(3), "slot words from different writes");
+            assert_eq!(tag, ts.wrapping_mul(5), "slot words from different writes");
+            assert_eq!(a, ts.wrapping_mul(7), "slot words from different writes");
+            assert_eq!(b, ts.wrapping_mul(11), "slot words from different writes");
+        }
+        assert_eq!(ring.recorded(), 4 * 2048);
+    }
+}

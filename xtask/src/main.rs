@@ -1,6 +1,7 @@
 //! Repo automation tasks (the `cargo xtask` pattern, no external deps).
 //!
-//! Two tasks: the **bench-regression gate** and the **scenario fuzzer**.
+//! Three tasks: the **bench-regression gate**, the **scenario fuzzer**,
+//! and the **trace reporter**.
 //!
 //! ```text
 //! cargo run -p xtask -- bench-diff \
@@ -8,6 +9,7 @@
 //!     [--tolerance 0.15]
 //! cargo run -p xtask -- fuzz-scenarios --seed 7 --count 50 --orders 3
 //! cargo run -p xtask -- fuzz-scenarios --repro experiments/repro/fuzz-seed7-3.scn
+//! cargo run -p xtask -- trace-report --experiment e16 --backend sim
 //! ```
 //!
 //! `fuzz-scenarios` generates a deterministic stream of declarative
@@ -22,6 +24,12 @@
 //! to `experiments/repro/*.scn` so a failure is a file you can re-run with
 //! `--repro` (or check in as a regression scenario), not a log line you
 //! have to reconstruct.
+//!
+//! `trace-report` runs one catalog experiment with decision tracing on
+//! and folds the drained trace into per-level steal-latency histograms,
+//! an idle-interval attribution table, and the tasks-per-acquisition
+//! timeline — the offline counterpart of the online sanity checker, for
+//! when the question is "how did it behave" rather than "was it wrong".
 //!
 //! `bench-diff` compares two `experiments --json` documents per
 //! `(experiment, scenario, backend)` key — [`sched_json::record_key`], the
@@ -404,6 +412,11 @@ fn fuzz_scenarios_task(args: &[String]) -> Result<ExitCode, String> {
     }
 
     std::fs::create_dir_all(&repro_dir).map_err(|e| format!("cannot create {repro_dir}: {e}"))?;
+    // Every further traced run (the diagnostic re-runs below) exports its
+    // Perfetto trace next to the repro documents, so the CI artifact is
+    // self-contained: the document to replay, the violations with their
+    // sanity excerpts, and the decision timeline to open in the viewer.
+    sched_bench::set_trace_dir(std::path::Path::new(&repro_dir));
     eprintln!("fuzz-scenarios: {} failing scenario(s):", report.failures.len());
     for (i, failure) in report.failures.iter().enumerate() {
         for v in &failure.violations {
@@ -416,9 +429,66 @@ fn fuzz_scenarios_task(args: &[String]) -> Result<ExitCode, String> {
             sched_dsl::print_scenario(&failure.doc)
         );
         std::fs::write(&path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("  wrote {path}");
+        let violations_path = format!("{repro_dir}/fuzz-seed{seed}-{i}.violations.txt");
+        let rendered: String = failure.violations.iter().map(|v| format!("{v}\n\n")).collect();
+        std::fs::write(&violations_path, rendered)
+            .map_err(|e| format!("cannot write {violations_path}: {e}"))?;
+        // The diagnostic re-run: same document, but now with the trace
+        // exporter armed, so each backend's `*.trace.json` lands in the
+        // repro directory.
+        if let Ok(spec) = sched_bench::from_doc(&failure.doc) {
+            let _ = sched_bench::fuzz::check_scenario(&sched_bench::LoadedScenario {
+                doc: failure.doc.clone(),
+                spec,
+            });
+        }
+        eprintln!("  wrote {path} (+ violations and *.trace.json exports)");
     }
     Ok(ExitCode::FAILURE)
+}
+
+/// `trace-report [--experiment eN] [--backend NAME]`: runs the chosen
+/// catalog experiment on one backend with decision tracing on, then folds
+/// the drained trace into the three offline reports
+/// ([`sched_bench::trace_report`]): per-level steal-latency histograms,
+/// the idle-interval attribution table, and tasks-per-acquisition over
+/// time.  Defaults to E16 (hierarchical convergence on the eight-node
+/// topology) on the tick simulator — the one catalog entry that exercises
+/// every report column: leveled steals, real park/unpark spans, and a
+/// draining backlog.
+fn trace_report_task(args: &[String]) -> Result<ExitCode, String> {
+    let id = match flag_value(args, "--experiment") {
+        Some(e) => sched_bench::ExperimentId::parse(&e)
+            .ok_or_else(|| format!("unknown experiment `{e}`"))?,
+        None => sched_bench::ExperimentId::E16,
+    };
+    let backend = flag_value(args, "--backend").unwrap_or_else(|| "sim".to_string());
+    let mut reported = 0usize;
+    for spec in sched_bench::catalog::specs_of(id) {
+        let Some((record, trace)) = sched_bench::run_traced_backend(&backend, &spec)? else {
+            continue;
+        };
+        println!(
+            "trace-report: `{}` on {backend}: {} events across {} cores ({} dropped)\n",
+            record.scenario,
+            trace.events.len(),
+            trace.nr_cores,
+            trace.dropped,
+        );
+        for table in sched_bench::trace_report(&trace) {
+            println!("{}", table.to_text());
+        }
+        reported += 1;
+    }
+    if reported == 0 {
+        return Err(format!(
+            "backend `{backend}` cannot execute any `{}` scenario \
+             (backends: {})",
+            id.title(),
+            sched_bench::TRACEABLE_BACKENDS.join(", ")
+        ));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
@@ -433,12 +503,14 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("bench-diff") => run(bench_diff(&args[1..])),
         Some("fuzz-scenarios") => run(fuzz_scenarios_task(&args[1..])),
+        Some("trace-report") => run(trace_report_task(&args[1..])),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- bench-diff --current PATH [--baseline PATH] \
                  [--tolerance F] [--p99-ceiling-us F]\n       \
                  cargo run -p xtask -- fuzz-scenarios [--seed N] [--count M] [--orders K] \
-                 [--repro-dir DIR] | --repro FILE..."
+                 [--repro-dir DIR] | --repro FILE...\n       \
+                 cargo run -p xtask -- trace-report [--experiment eN] [--backend NAME]"
             );
             ExitCode::from(2)
         }

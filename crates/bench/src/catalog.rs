@@ -23,12 +23,15 @@
 
 use std::path::Path;
 
-use sched_dsl::{DocBatch, DocDriver, DocInvariant, DocPolicy, DocTopology, ScenarioDoc};
+use sched_dsl::{
+    DocBatch, DocDriver, DocInvariant, DocPolicy, DocService, DocTopology, ScenarioDoc,
+};
+use sched_exec::ServiceMix;
 
 use crate::experiments::ExperimentId;
 use crate::runner::{
-    BatchK, BurstSpec, Driver, ExperimentSpec, PolicySpec, SpecError, StormSpec, TopoSpec,
-    WorkloadKind, WorkloadSpec,
+    BatchK, BurstSpec, Driver, ExperimentSpec, OpenLoopDriverSpec, PolicySpec, SpecError,
+    StormSpec, TopoSpec, WorkloadKind, WorkloadSpec,
 };
 
 /// One scenario as loaded from a document: the parsed document (carrying
@@ -62,6 +65,7 @@ pub fn builtin_sources() -> Vec<(&'static str, &'static str)> {
         "e1.scn", "e2.scn", "e3.scn", "e4.scn", "e5.scn", "e6.scn", "e7.scn", "e8.scn", "e9.scn",
         "e10.scn", "e11.scn", "e12.scn", "e13.scn", "e14.scn", "e15.scn", "e16.scn", "e17.scn",
         "e18.scn", "e19.scn", "e20.scn", "e21.scn", "e22.scn", "e23.scn", "e24.scn", "e25.scn",
+        "e26.scn",
     ]
 }
 
@@ -253,6 +257,23 @@ fn driver_from_doc(scenario: &str, driver: &DocDriver) -> Result<Driver, SpecErr
             fanout: *fanout as usize,
             rounds_per_epoch: *rounds as usize,
         }),
+        DocDriver::OpenLoop { rate_hz, duration_ms, service, seed } => {
+            let service = match service {
+                DocService::Fixed(ns) => ServiceMix::Fixed { ns: *ns },
+                DocService::Exp(mean_ns) => ServiceMix::Exp { mean_ns: *mean_ns },
+                // The document parser bounds the percentage to 0–100.
+                DocService::Bimodal(short_ns, long_ns, long_pct) => ServiceMix::Bimodal {
+                    short_ns: *short_ns,
+                    long_ns: *long_ns,
+                    long_pct: *long_pct as u8,
+                },
+            };
+            let mut spec = OpenLoopDriverSpec::new(*rate_hz, *duration_ms, service);
+            if let Some(seed) = seed {
+                spec.seed = *seed;
+            }
+            Driver::OpenLoop(spec)
+        }
     })
 }
 
@@ -298,6 +319,18 @@ pub fn to_doc(spec: &ExperimentSpec, expect: &[DocInvariant]) -> ScenarioDoc {
             epochs: s.epochs as u64,
             fanout: s.fanout as u64,
             rounds: s.rounds_per_epoch as u64,
+        },
+        Driver::OpenLoop(o) => DocDriver::OpenLoop {
+            rate_hz: o.rate_hz,
+            duration_ms: o.duration_ms,
+            service: match o.service {
+                ServiceMix::Fixed { ns } => DocService::Fixed(ns),
+                ServiceMix::Exp { mean_ns } => DocService::Exp(mean_ns),
+                ServiceMix::Bimodal { short_ns, long_ns, long_pct } => {
+                    DocService::Bimodal(short_ns, long_ns, u64::from(long_pct))
+                }
+            },
+            seed: Some(o.seed),
         },
     };
     ScenarioDoc {
@@ -691,6 +724,34 @@ mod tests {
             false,
             None,
         ));
+        // E26: the open-loop latency ladder on the real executor.  Three
+        // rungs of rising offered rate, each far below the machine's
+        // service capacity, so the measured p99/p999 is queueing-plus-
+        // wakeup cost rather than overload collapse.  The load vector is
+        // all-zero — every request arrives through the generator — and
+        // the matrix names the executor alone, the only backend with OS
+        // worker threads and a wall clock to measure against.
+        for (rate_hz, service, rung) in [
+            (2_000, ServiceMix::Fixed { ns: 3_000 }, "fixed 3us"),
+            (6_000, ServiceMix::Exp { mean_ns: 4_000 }, "exp 4us"),
+            (
+                12_000,
+                ServiceMix::Bimodal { short_ns: 2_000, long_ns: 20_000, long_pct: 5 },
+                "bimodal 2us/20us/5%",
+            ),
+        ] {
+            specs.push(
+                ExperimentSpec::builder(E26, format!("open-loop ladder: {rate_hz}/s, {rung}"))
+                    .loads(vec![0; 4])
+                    .topo(TopoSpec::Flat(4))
+                    .policy(PolicySpec::TopoAware)
+                    .driver(Driver::OpenLoop(OpenLoopDriverSpec::new(rate_hz, 150, service)))
+                    .budget_rounds(0)
+                    .backends(vec!["exec".into()])
+                    .build()
+                    .expect("legacy catalog specs are valid"),
+            );
+        }
         specs
     }
 
@@ -731,7 +792,14 @@ mod tests {
         // simulator tasks run to completion, so only task conservation —
         // vacuously satisfied by design, checked by the ordering sweep's
         // finished/operations comparison instead — is claimed.
-        if spec.backends.as_ref().is_some_and(|b| b.iter().all(|x| x.starts_with("sim"))) {
+        // The same applies to the executor-only ladder (E26): its requests
+        // run to completion, so `final_loads` stays empty and only the
+        // vacuously-satisfied task conservation is claimed.
+        if spec
+            .backends
+            .as_ref()
+            .is_some_and(|b| b.iter().all(|x| x.starts_with("sim") || x == "exec"))
+        {
             return vec![DocInvariant::ConservationOfTasks];
         }
         match spec.driver {
@@ -778,7 +846,7 @@ mod tests {
     #[test]
     fn catalog_covers_every_experiment() {
         let specs = catalog();
-        assert_eq!(specs.len(), 38);
+        assert_eq!(specs.len(), 41);
         let mut seen = std::collections::BTreeSet::new();
         for spec in &specs {
             assert!(
@@ -793,10 +861,13 @@ mod tests {
                 "{:?}: load vector must match the machine",
                 spec.id
             );
-            // A workload driver generates its threads itself; every other
-            // driver replays the load vector, which must hold some.
+            // A workload driver generates its threads itself, and an
+            // open-loop stream arrives entirely through the generator;
+            // every other driver replays the load vector, which must hold
+            // some.
             assert!(
-                spec.nr_threads() > 0 || matches!(spec.driver, Driver::Workload(_)),
+                spec.nr_threads() > 0
+                    || matches!(spec.driver, Driver::Workload(_) | Driver::OpenLoop(_)),
                 "{:?}: a scenario needs threads",
                 spec.id
             );
@@ -810,6 +881,15 @@ mod tests {
         assert_eq!(count(ExperimentId::E23), 10, "E23 sweeps five batch sizes on two shapes");
         assert_eq!(count(ExperimentId::E24), 1, "E24 is the event-engine scaling scenario");
         assert_eq!(count(ExperimentId::E25), 1, "E25 is the trace-only detection storm");
+        assert_eq!(count(ExperimentId::E26), 3, "E26 climbs three open-loop rungs");
+        for spec in specs.iter().filter(|s| s.id == ExperimentId::E26) {
+            assert_eq!(
+                spec.backends.as_deref(),
+                Some(&["exec".to_string()][..]),
+                "E26 runs on the executor alone"
+            );
+            assert!(spec.driver.openloop().is_some(), "E26 rungs are open-loop");
+        }
         for spec in specs.iter().filter(|s| s.id == ExperimentId::E24) {
             assert_eq!(
                 spec.backends.as_deref(),

@@ -45,6 +45,7 @@ pub enum ExperimentId {
     E23,
     E24,
     E25,
+    E26,
 }
 
 impl ExperimentId {
@@ -53,7 +54,7 @@ impl ExperimentId {
         use ExperimentId::*;
         vec![
             E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16, E17, E18, E19,
-            E20, E21, E22, E23, E24, E25,
+            E20, E21, E22, E23, E24, E25, E26,
         ]
     }
 
@@ -86,6 +87,7 @@ impl ExperimentId {
             "e23" => E23,
             "e24" => E24,
             "e25" => E25,
+            "e26" => E26,
             _ => return None,
         })
     }
@@ -123,6 +125,9 @@ impl ExperimentId {
             E23 => "E23 §3.1: batched stealing — tasks claimed per acquisition, k=1..8 vs half",
             E24 => "E24 §2: event-driven simulation — O(events) vs O(cores x horizon) at 1M tasks",
             E25 => "E25 §3.2: trace-only detection — the sanity checker finds the spill hole",
+            E26 => {
+                "E26 §4: the real executor — open-loop latency ladder, measured end-to-end p99/p999"
+            }
         }
     }
 }
@@ -155,6 +160,7 @@ pub fn run_experiment(id: ExperimentId) -> Vec<Table> {
         ExperimentId::E23 => e23_batched_stealing(),
         ExperimentId::E24 => e24_event_engine_scaling(),
         ExperimentId::E25 => e25_trace_sanity(),
+        ExperimentId::E26 => e26_executor_ladder(),
     }
 }
 
@@ -1285,6 +1291,54 @@ fn e25_trace_sanity() -> Vec<Table> {
     vec![table]
 }
 
+/// E26: the open-loop latency ladder on the real executor.  Each
+/// catalogued rung offers a fixed Poisson arrival rate to
+/// [`sched_exec::Executor`] — OS worker threads on the verified
+/// ring+injector runqueues, parking when idle — and measures wall-clock
+/// end-to-end latency per request.  Every rung sits below the saturation
+/// knee, so the measured p99/p999 is queueing-plus-wakeup cost, not
+/// overload collapse; alongside the latency columns the drained decision
+/// trace is fed to the sanity checker, which must find zero
+/// idle-while-overloaded windows — parked workers may never sleep beside
+/// reachable work.
+fn e26_executor_ladder() -> Vec<Table> {
+    use crate::runner::run_exec_traced;
+    use sched_trace::{SanityChecker, SanityKind};
+
+    let mut table = Table::new(
+        "E26: open-loop latency ladder on the real executor (wall-clock end-to-end)",
+        &[
+            "rung",
+            "rate (req/s)",
+            "submitted",
+            "completed",
+            "migrations",
+            "e2e p99 (us)",
+            "e2e p999 (us)",
+            "IWO windows",
+        ],
+    );
+    for spec in crate::catalog::specs_of(ExperimentId::E26) {
+        let (record, trace) = run_exec_traced(&spec).expect("the ladder runs on the executor");
+        let windows = SanityChecker::check_trace(&trace, false, None)
+            .into_iter()
+            .filter(|v| v.kind == SanityKind::IdleWhileOverloaded)
+            .count();
+        let rate = spec.driver.openloop().expect("E26 rungs are open-loop").rate_hz;
+        table.row(&[
+            spec.scenario.clone(),
+            rate.to_string(),
+            record.threads.to_string(),
+            format!("{:.0}", record.throughput * record.wall_ms / 1e3),
+            record.migrations.to_string(),
+            format!("{:.0}", record.e2e_p99_us.expect("exec records measure e2e latency")),
+            format!("{:.0}", record.e2e_p999_us.expect("exec records measure e2e latency")),
+            windows.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
 /// E13: the DSL front-end, its phase checker and its two backends.
 fn e13_dsl() -> Vec<Table> {
     let scope = Scope::small();
@@ -1322,8 +1376,9 @@ mod tests {
         assert_eq!(ExperimentId::parse("e23"), Some(ExperimentId::E23));
         assert_eq!(ExperimentId::parse("e24"), Some(ExperimentId::E24));
         assert_eq!(ExperimentId::parse("e25"), Some(ExperimentId::E25));
+        assert_eq!(ExperimentId::parse("e26"), Some(ExperimentId::E26));
         assert_eq!(ExperimentId::parse("nope"), None);
-        assert_eq!(ExperimentId::all().len(), 25);
+        assert_eq!(ExperimentId::all().len(), 26);
         for id in ExperimentId::all() {
             assert!(!id.title().is_empty());
         }
@@ -1408,6 +1463,50 @@ mod tests {
                 "a flagged window carries its offending event span"
             );
             assert!(!violation.excerpt(&holed, 2).is_empty());
+        }
+    }
+
+    /// The executor acceptance claim: every E26 rung sits below the
+    /// saturation knee, so (a) the generator's full schedule is submitted
+    /// and completed, (b) the measured end-to-end p999 stays well below
+    /// the run horizon — an overloaded executor's tail grows toward the
+    /// full duration as requests queue behind the backlog — and (c) the
+    /// drained decision trace carries zero idle-while-overloaded windows:
+    /// a parked worker never slept beside reachable work.
+    #[test]
+    fn e26_ladder_stays_below_the_knee_with_no_idle_while_overloaded() {
+        use crate::runner::run_exec_traced;
+        use sched_trace::{SanityChecker, SanityKind};
+
+        let specs = crate::catalog::specs_of(ExperimentId::E26);
+        assert_eq!(specs.len(), 3, "the ladder has three rungs");
+        for spec in specs {
+            let openloop = spec.driver.openloop().expect("E26 rungs are open-loop");
+            let (record, trace) = run_exec_traced(&spec).expect("the ladder runs");
+            assert_eq!(trace.dropped, 0, "{}: the sink must capture every event", spec.scenario);
+            assert!(record.threads > 0, "{}: the generator submitted requests", spec.scenario);
+            let p999 = record.e2e_p999_us.expect("exec records measure e2e latency");
+            let p99 = record.e2e_p99_us.expect("exec records measure e2e latency");
+            assert!(p99 <= p999, "{}: quantiles are ordered", spec.scenario);
+            // Below the knee the tail is queueing-plus-wakeup jitter; at
+            // or past it, requests queue behind an ever-growing backlog
+            // and the p999 climbs toward the full horizon.
+            let horizon_us = openloop.duration_ms as f64 * 1e3;
+            assert!(
+                p999 < horizon_us / 2.0,
+                "{}: p999 of {p999}us has collapsed toward the {horizon_us}us horizon",
+                spec.scenario
+            );
+            let windows: Vec<_> = SanityChecker::check_trace(&trace, false, None)
+                .into_iter()
+                .filter(|v| v.kind == SanityKind::IdleWhileOverloaded)
+                .collect();
+            assert!(
+                windows.is_empty(),
+                "{}: a parked worker slept beside reachable work: {:?}",
+                spec.scenario,
+                windows
+            );
         }
     }
 

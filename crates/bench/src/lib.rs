@@ -33,8 +33,9 @@ pub use fuzz::{
 };
 pub use report::{run_traced_backend, trace_report, TRACEABLE_BACKENDS};
 pub use runner::{
-    records_table, records_to_json, records_to_json_full, run_rq_traced, run_sim_result,
-    run_sim_traced, set_trace_dir, Backend, BatchK, BurstSpec, Driver, ExperimentRecord,
-    ExperimentRunner, ExperimentSpec, ModelBackend, PolicySpec, RqBackend, SimBackend, SimEngine,
-    SimEventBackend, SpecError, StormSpec, TopoSpec, WorkloadKind, WorkloadSpec,
+    records_table, records_to_json, records_to_json_full, run_exec_traced, run_rq_traced,
+    run_sim_result, run_sim_traced, set_trace_dir, Backend, BatchK, BurstSpec, Driver, ExecBackend,
+    ExperimentRecord, ExperimentRunner, ExperimentSpec, ModelBackend, OpenLoopDriverSpec,
+    PolicySpec, RqBackend, SimBackend, SimEngine, SimEventBackend, SpecError, StormSpec, TopoSpec,
+    WorkloadKind, WorkloadSpec,
 };

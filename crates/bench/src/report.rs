@@ -31,12 +31,14 @@ use sched_metrics::{Histogram, Table};
 use sched_topology::StealLevel;
 use sched_trace::{StealOutcomeKind, Trace, TraceEvent};
 
-use crate::runner::{run_rq_traced, run_sim_traced, ExperimentRecord, ExperimentSpec, SimEngine};
+use crate::runner::{
+    run_exec_traced, run_rq_traced, run_sim_traced, ExperimentRecord, ExperimentSpec, SimEngine,
+};
 
 /// Record-backend names [`run_traced_backend`] accepts, in the catalog's
 /// canonical order.
-pub const TRACEABLE_BACKENDS: [&str; 6] =
-    ["sim", "sim-event", "rq", "rq-deque", "rq-deque-tiny", "rq-deque-spill"];
+pub const TRACEABLE_BACKENDS: [&str; 7] =
+    ["sim", "sim-event", "rq", "rq-deque", "rq-deque-tiny", "rq-deque-spill", "exec"];
 
 /// Runs one catalog spec on the named backend with a recording trace
 /// sink attached, returning the record and the drained trace.
@@ -61,6 +63,9 @@ pub fn run_traced_backend(
         "rq-deque" => run_rq_traced::<sched_rq::DequeRq>("rq-deque", spec),
         "rq-deque-tiny" => run_rq_traced::<sched_rq::TinyDequeRq>("rq-deque-tiny", spec),
         "rq-deque-spill" => run_rq_traced::<sched_rq::TinySpillDequeRq>("rq-deque-spill", spec),
+        // The executor runs open-loop streams alone (the same rule its
+        // unified-runner backend applies via `Driver::openloop`).
+        "exec" => run_exec_traced(spec),
         other => {
             return Err(format!(
                 "unknown backend `{other}` (expected one of: {})",

@@ -332,7 +332,47 @@ pub struct StormSpec {
     pub rounds_per_epoch: usize,
 }
 
-/// How work arrives while the balancer runs — exactly one of the four
+/// An open-loop arrival driver for the real executor backend: Poisson
+/// arrivals at a fixed offered rate, each request costing a sampled
+/// service time, submitted on the generator's clock *regardless of
+/// completions* — the load shape under which queueing delay (and so the
+/// measured end-to-end p99/p999) is honest rather than self-throttled.
+/// Only the `exec` backend executes open-loop specs: the model and
+/// simulators have no wall clock to measure against, and the runqueue
+/// harnesses drive balancing rounds, not request streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenLoopDriverSpec {
+    /// Offered arrival rate, in requests per second.
+    pub rate_hz: u64,
+    /// Generator horizon, in milliseconds of wall-clock time.
+    pub duration_ms: u64,
+    /// Per-request service-time distribution.
+    pub service: sched_exec::ServiceMix,
+    /// RNG seed for the arrival/service draws.
+    pub seed: u64,
+}
+
+impl OpenLoopDriverSpec {
+    /// The historical default generator seed.
+    pub const DEFAULT_SEED: u64 = 11;
+
+    /// An open-loop spec with the default seed.
+    pub fn new(rate_hz: u64, duration_ms: u64, service: sched_exec::ServiceMix) -> Self {
+        OpenLoopDriverSpec { rate_hz, duration_ms, service, seed: Self::DEFAULT_SEED }
+    }
+
+    /// The executor-crate form of this driver.
+    pub fn exec_spec(&self) -> sched_exec::OpenLoopSpec {
+        sched_exec::OpenLoopSpec {
+            rate_hz: self.rate_hz,
+            duration_ms: self.duration_ms,
+            service: self.service,
+            seed: self.seed,
+        }
+    }
+}
+
+/// How work arrives while the balancer runs — exactly one of the five
 /// shapes.  The old spec carried `workload`/`burst`/`storm` as three
 /// independent `Option`s whose illegal combinations were resolved by
 /// backend-dependent precedence; as an enum those combinations are
@@ -349,6 +389,8 @@ pub enum Driver {
     Burst(BurstSpec),
     /// Overflow storms (runqueue backends only).
     Storm(StormSpec),
+    /// Open-loop request stream on the real executor (`exec` backend only).
+    OpenLoop(OpenLoopDriverSpec),
 }
 
 impl Driver {
@@ -372,6 +414,14 @@ impl Driver {
     pub fn workload(&self) -> Option<WorkloadSpec> {
         match self {
             Driver::Workload(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// The open-loop parameters, if this is an open-loop driver.
+    pub fn openloop(&self) -> Option<OpenLoopDriverSpec> {
+        match self {
+            Driver::OpenLoop(o) => Some(*o),
             _ => None,
         }
     }
@@ -555,7 +605,10 @@ impl ExperimentSpec {
                 }
                 .generate(),
             },
-            Driver::Replay | Driver::Storm(_) => {
+            // Open-loop specs never reach a simulator (every non-exec
+            // backend declines them), so replaying the (empty) load vector
+            // here is dead code kept only for match exhaustiveness.
+            Driver::Replay | Driver::Storm(_) | Driver::OpenLoop(_) => {
                 // Replay the load vector: `loads[i]` independent tasks of
                 // fixed CPU time pinned to origin core `i`.
                 let mut workload = Workload::new(format!("synthetic({})", self.scenario));
@@ -703,10 +756,29 @@ impl ExperimentSpecBuilder {
                 )));
             }
         }
-        if self.events.is_some() && matches!(self.driver, Driver::Storm(_)) {
+        // Open-loop streams run on the real executor alone: any other
+        // backend named in the matrix would silently produce no record,
+        // and with no matrix at all the intent is ambiguous, so the spec
+        // must say `backends ["exec"]` explicitly.
+        if matches!(self.driver, Driver::OpenLoop(_)) {
+            match &self.backends {
+                Some(backends) if backends.iter().all(|b| b == "exec") && !backends.is_empty() => {}
+                Some(_) => {
+                    return Err(SpecError::new(format!(
+                        "{scenario}: an open-loop driver runs on the `exec` backend only"
+                    )))
+                }
+                None => {
+                    return Err(SpecError::new(format!(
+                        "{scenario}: an open-loop spec must declare `backends [\"exec\"]`"
+                    )))
+                }
+            }
+        }
+        if self.events.is_some() && matches!(self.driver, Driver::Storm(_) | Driver::OpenLoop(_)) {
             return Err(SpecError::new(format!(
                 "{scenario}: an event budget applies to the simulator backends only, \
-                 which cannot execute a storm"
+                 which cannot execute this driver"
             )));
         }
         Ok(ExperimentSpec {
@@ -765,6 +837,13 @@ pub struct ExperimentRecord {
     /// becoming runnable and first running (schema v4).  Only the
     /// simulator backend carries a latency recorder; `None` elsewhere.
     pub p99_sched_latency_us: Option<f64>,
+    /// Measured wall-clock end-to-end p99 request latency in microseconds
+    /// — submit to completion on the real executor, open-loop arrivals
+    /// (schema v8).  Only the `exec` backend measures it; `None` elsewhere.
+    pub e2e_p99_us: Option<f64>,
+    /// Measured wall-clock end-to-end p999 request latency in microseconds
+    /// (schema v8; see `e2e_p99_us`).
+    pub e2e_p999_us: Option<f64>,
     /// Batch-size label of the E23 sweep (`"1"`, `"2"`, `"4"`, `"8"`,
     /// `"half"`; schema v5).  `None` on non-batch records.
     pub steal_batch_k: Option<&'static str>,
@@ -881,6 +960,20 @@ impl ExperimentRecord {
                     None => JsonValue::Null,
                 },
             ),
+            (
+                "e2e_p99_us",
+                match self.e2e_p99_us {
+                    Some(us) => JsonValue::Float(us),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "e2e_p999_us",
+                match self.e2e_p999_us {
+                    Some(us) => JsonValue::Float(us),
+                    None => JsonValue::Null,
+                },
+            ),
             ("wall_ms", JsonValue::Float(self.wall_ms)),
         ];
         if full {
@@ -922,6 +1015,8 @@ fn record_base(spec: &ExperimentSpec, backend: &'static str) -> ExperimentRecord
         locality: StealLocality::new(),
         rq_backend: None,
         p99_sched_latency_us: None,
+        e2e_p99_us: None,
+        e2e_p999_us: None,
         steal_batch_k: spec.batch.map(BatchK::name),
         tasks_per_acquisition: None,
         per_node_violating_idle: Vec::new(),
@@ -1056,7 +1151,8 @@ impl Backend for ModelBackend {
         // ring, so there is nothing for it to measure.  Batch sweeps probe
         // how many queue acquisitions a transfer costs; the model moves one
         // abstract thread per steal with no queue to acquire.
-        if spec.driver.storm().is_some() || spec.batch.is_some() {
+        if spec.driver.storm().is_some() || spec.driver.openloop().is_some() || spec.batch.is_some()
+        {
             return None;
         }
         let topo = Arc::new(spec.topo.build());
@@ -1188,7 +1284,7 @@ pub fn run_sim_result(engine: SimEngine, spec: &ExperimentSpec) -> Option<sched_
         SimScheduler,
     };
 
-    if spec.driver.storm().is_some() || spec.batch.is_some() {
+    if spec.driver.storm().is_some() || spec.driver.openloop().is_some() || spec.batch.is_some() {
         return None;
     }
     let topo = Arc::new(spec.topo.build());
@@ -1265,7 +1361,7 @@ fn run_sim_spec_with_sink(
     // Like the model, the simulator has no fixed-capacity ring and
     // cannot execute an overflow storm, and no per-steal queue
     // acquisition for a batch sweep to amortise.
-    if spec.driver.storm().is_some() || spec.batch.is_some() {
+    if spec.driver.storm().is_some() || spec.driver.openloop().is_some() || spec.batch.is_some() {
         return None;
     }
     let topo = Arc::new(spec.topo.build());
@@ -1525,6 +1621,11 @@ fn run_rq_spec_with_sink<B: sched_rq::RqBackend>(
     spec: &ExperimentSpec,
     sink: Option<&sched_trace::TraceSink>,
 ) -> Option<ExperimentRecord> {
+    // An open-loop stream needs real worker threads pulling work as it
+    // arrives; the round-driven runqueue harness has none.
+    if spec.driver.openloop().is_some() {
+        return None;
+    }
     let topo = Arc::new(spec.topo.build());
     if topo.nr_cpus() != spec.loads.len() {
         return None;
@@ -1658,6 +1759,88 @@ impl Backend for RqSpillDequeBackend {
     }
 }
 
+/// The real-executor backend (record backend `"exec"`): OS worker threads
+/// on [`sched_exec::Executor`] — the verified ring+injector runqueues with
+/// parking/unparking — driven by an open-loop request stream and measuring
+/// wall-clock end-to-end latency into the schema-v8 `e2e_p99_us` /
+/// `e2e_p999_us` columns.  Only executes specs carrying an
+/// [`OpenLoopDriverSpec`]; every other driver shape is round-paced and
+/// already covered by the runqueue backends.
+pub struct ExecBackend;
+
+/// Ring capacity of the executor backend's per-worker runqueues: far past
+/// any queue depth the catalogued open-loop rungs can build, so `dropped`
+/// overflow never pollutes a latency measurement.
+const EXEC_RING_CAPACITY: usize = 1 << 16;
+
+impl Backend for ExecBackend {
+    fn name(&self) -> &'static str {
+        "exec"
+    }
+
+    fn run(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        spec.driver.openloop()?;
+        let sink = trace_sink_for(spec.loads.len());
+        let record = run_exec_spec_with_sink(self.name(), spec, sink.as_ref())?;
+        if let Some(sink) = &sink {
+            export_trace(spec, self.name(), sink);
+        }
+        Some(record)
+    }
+}
+
+/// Runs `spec` on the real executor with a recording
+/// [`sched_trace::TraceSink`] attached, returning the record together with
+/// the drained decision trace (see [`run_rq_traced`]).  The sink is sized
+/// well past the event volume of the catalogued rungs so the sanity
+/// checker sees a complete, drop-free trace.
+pub fn run_exec_traced(spec: &ExperimentSpec) -> Option<(ExperimentRecord, sched_trace::Trace)> {
+    let sink = sched_trace::TraceSink::with_capacity(spec.loads.len(), 1 << 17);
+    let record = run_exec_spec_with_sink("exec", spec, Some(&sink))?;
+    Some((record, sink.drain()))
+}
+
+fn run_exec_spec_with_sink(
+    backend: &'static str,
+    spec: &ExperimentSpec,
+    sink: Option<&sched_trace::TraceSink>,
+) -> Option<ExperimentRecord> {
+    let openloop = spec.driver.openloop()?;
+    let topo = Arc::new(spec.topo.build());
+    if topo.nr_cpus() != spec.loads.len() {
+        return None;
+    }
+    let policy = spec.policy.build(&topo);
+    let mut config = sched_exec::ExecConfig::new(Arc::clone(&topo), policy)
+        .with_ring_capacity(EXEC_RING_CAPACITY);
+    if let Some(sink) = sink {
+        config = config.with_trace(sink.clone());
+    }
+
+    let start = Instant::now();
+    let exec = sched_exec::Executor::start(config);
+    let generated = sched_exec::drive(&exec, openloop.exec_spec());
+    exec.drain();
+    let report = exec.shutdown();
+    let wall = start.elapsed();
+
+    let mut record = record_base(spec, backend);
+    record.threads = generated.submitted;
+    record.throughput =
+        if wall.as_secs_f64() > 0.0 { report.completed as f64 / wall.as_secs_f64() } else { 0.0 };
+    record.throughput_unit = "reqs/s";
+    record.migrations = report.stats.migrations();
+    record.failures = report.stats.failures();
+    record.locality = StealLocality::from_counts(report.stats.level_migration_counts());
+    record.e2e_p99_us = Some(report.latency_us.quantile(0.99) as f64);
+    record.e2e_p999_us = Some(report.latency_us.quantile(0.999) as f64);
+    // Like the simulator, the executor runs its requests to completion —
+    // there is no final residency to conserve, so `final_loads` stays
+    // empty.
+    record.wall_ms = wall.as_secs_f64() * 1e3;
+    Some(record)
+}
+
 /// Executes specs across a set of backends.
 pub struct ExperimentRunner {
     backends: Vec<Box<dyn Backend>>,
@@ -1672,9 +1855,10 @@ impl ExperimentRunner {
     /// A runner over every backend: model, the simulator under both of its
     /// engines (tick `sim`, event-driven `sim-event`), the real-thread
     /// machine under both runqueue disciplines (mutex `rq`, lock-free
-    /// `rq-deque`), and the storm-only tiny-ring flavours (`rq-deque-tiny`,
+    /// `rq-deque`), the storm-only tiny-ring flavours (`rq-deque-tiny`,
     /// `rq-deque-spill`), which execute nothing except overflow-storm
-    /// specs — record counts for every other experiment are unchanged.
+    /// specs, and the open-loop-only real executor (`exec`) — record
+    /// counts for every other experiment are unchanged.
     pub fn with_all_backends() -> Self {
         ExperimentRunner::new(vec![
             Box::new(ModelBackend),
@@ -1684,6 +1868,7 @@ impl ExperimentRunner {
             Box::new(RqDequeBackend),
             Box::new(RqTinyDequeBackend),
             Box::new(RqSpillDequeBackend),
+            Box::new(ExecBackend),
         ])
     }
 

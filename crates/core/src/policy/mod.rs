@@ -94,6 +94,30 @@ pub trait ChoicePolicy: Send + Sync {
         let _ = (thief, victim, success);
     }
 
+    /// Places a waking task: picks the core a wakeup should land on, given
+    /// the waker's view of the machine.
+    ///
+    /// This is the dual of [`ChoicePolicy::choose`] — instead of a loaded
+    /// victim to take work *from*, it wants the emptiest target to hand work
+    /// *to*.  The default prefers the task's previous core while it is idle
+    /// (cache affinity for free), then any idle core, then the least-loaded
+    /// one.  Idleness ties break on the lowest **tracked** load, not the
+    /// instantaneous queue length: two cores that are both momentarily idle
+    /// can carry very different decayed histories, and placing on the one
+    /// that has genuinely been idle avoids churning on transient blips.
+    /// Remaining ties break on the lowest core id for determinism.
+    fn place_wakeup(&self, prev: CoreId, candidates: &[CoreSnapshot]) -> Option<CoreId> {
+        if candidates.iter().any(|c| c.id == prev && c.is_idle()) {
+            return Some(prev);
+        }
+        candidates
+            .iter()
+            .filter(|c| c.is_idle())
+            .min_by_key(|c| (c.tracked_scaled, c.id.0))
+            .or_else(|| candidates.iter().min_by_key(|c| (c.tracked_scaled, c.id.0)))
+            .map(|c| c.id)
+    }
+
     /// Human-readable name used in reports and experiment tables.
     fn name(&self) -> &'static str;
 }

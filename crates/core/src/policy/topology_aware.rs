@@ -205,6 +205,40 @@ impl ChoicePolicy for TopologyAwareChoice {
         unreachable!("candidates is non-empty, so some level has a best candidate")
     }
 
+    /// Topology-aware wakeup placement: the previous core while it is idle
+    /// (cache warmth is worth more than any balance heuristic), then the
+    /// *nearest* idle core in distance order — SMT sibling → LLC → node →
+    /// remote — with idleness ties inside a level broken by the lowest
+    /// **tracked** load, then the lowest id.  The tracked tie-break is the
+    /// point: an instantaneously idle core that was busy a millisecond ago
+    /// still carries decayed load, and a waking task placed there just
+    /// collides with the next blip; the core whose tracked load is lowest
+    /// has genuinely been idle.  With no idle core at all, fall back to the
+    /// least-tracked-loaded candidate anywhere.
+    fn place_wakeup(&self, prev: CoreId, candidates: &[CoreSnapshot]) -> Option<CoreId> {
+        if candidates.iter().any(|c| c.id == prev && c.is_idle()) {
+            return Some(prev);
+        }
+        let mut by_level: [Vec<&CoreSnapshot>; 4] = [vec![], vec![], vec![], vec![]];
+        for c in candidates {
+            // `prev` itself is not idle (checked above); it re-enters only
+            // through the no-idle-core fallback, where distance is moot.
+            if c.id != prev {
+                by_level[self.topo.steal_level(prev, c.id).index()].push(c);
+            }
+        }
+        for level in StealLevel::ALL {
+            if let Some(best) = by_level[level.index()]
+                .iter()
+                .filter(|c| c.is_idle())
+                .min_by_key(|c| (c.tracked_scaled, c.id.0))
+            {
+                return Some(best.id);
+            }
+        }
+        candidates.iter().min_by_key(|c| (c.tracked_scaled, c.id.0)).map(|c| c.id)
+    }
+
     fn observe(&self, thief: CoreId, victim: CoreId, success: bool) {
         if thief == victim {
             return;
@@ -374,6 +408,54 @@ mod tests {
         // local victim that meets its level threshold.
         let candidates = [snap(2, 6, 0), snap(8, 6, 8)];
         assert_eq!(choice.choose(&thief, &candidates), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn place_wakeup_breaks_idleness_ties_by_tracked_load() {
+        let topo = rich_topo();
+        let choice = TopologyAwareChoice::new(Arc::clone(&topo), LoadMetric::NrThreads);
+        let snap = |id: usize, nr_threads: u64, tracked_scaled: u64| CoreSnapshot {
+            id: CoreId(id),
+            node: topo.cpus()[id].node,
+            nr_threads,
+            weighted_load: nr_threads * 1024,
+            lightest_ready_weight: None,
+            tracked_scaled,
+            injected: 0,
+        };
+        // cpu2 and cpu3 share cpu0's LLC and both look idle *right now*,
+        // but cpu2 was busy a moment ago (high decayed load) while cpu3 has
+        // genuinely been idle.  The instantaneous queue length cannot tell
+        // them apart; the tracked load must.
+        let candidates = [snap(2, 0, 900), snap(3, 0, 10)];
+        assert_eq!(choice.place_wakeup(CoreId(0), &candidates), Some(CoreId(3)));
+        // The previous core wins outright while idle, whatever its history.
+        let candidates = [snap(0, 0, 900), snap(3, 0, 10)];
+        assert_eq!(choice.place_wakeup(CoreId(0), &candidates), Some(CoreId(0)));
+        // Distance outranks the tie-break: a same-LLC idle core beats a
+        // remote one that is even quieter.
+        let candidates = [snap(2, 0, 100), snap(8, 0, 0)];
+        assert_eq!(choice.place_wakeup(CoreId(0), &candidates), Some(CoreId(2)));
+        // No idle core at all: least tracked load anywhere.
+        let candidates = [snap(2, 2, 500), snap(8, 1, 50)];
+        assert_eq!(choice.place_wakeup(CoreId(0), &candidates), Some(CoreId(8)));
+    }
+
+    #[test]
+    fn default_place_wakeup_also_prefers_tracked_idleness() {
+        use crate::policy::FirstChoice;
+        let mk = |id: usize, nr_threads: u64, tracked_scaled: u64| CoreSnapshot {
+            id: CoreId(id),
+            node: sched_topology::NodeId(0),
+            nr_threads,
+            weighted_load: nr_threads * 1024,
+            lightest_ready_weight: None,
+            tracked_scaled,
+            injected: 0,
+        };
+        let candidates = [mk(1, 0, 700), mk(2, 0, 3)];
+        assert_eq!(FirstChoice.place_wakeup(CoreId(0), &candidates), Some(CoreId(2)));
+        assert_eq!(FirstChoice.place_wakeup(CoreId(0), &[]), None);
     }
 
     #[test]

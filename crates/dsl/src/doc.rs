@@ -101,6 +101,30 @@ pub enum DocDriver {
         /// Balancing rounds per epoch.
         rounds: u64,
     },
+    /// Open-loop request generation against the real executor: Poisson
+    /// arrivals at a configured rate, seeded service-time mix, measured
+    /// end-to-end latency.
+    OpenLoop {
+        /// Mean arrival rate, requests per second.
+        rate_hz: u64,
+        /// Length of the arrival schedule, milliseconds.
+        duration_ms: u64,
+        /// Per-request service-time distribution.
+        service: DocService,
+        /// Arrival/service RNG seed; harness default when absent.
+        seed: Option<u64>,
+    },
+}
+
+/// The service-time distribution of an open-loop driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocService {
+    /// Every request costs exactly this many nanoseconds.
+    Fixed(u64),
+    /// Exponentially distributed with the given mean, in nanoseconds.
+    Exp(u64),
+    /// `pct` percent of requests cost `long_ns`, the rest `short_ns`.
+    Bimodal(u64, u64, u64),
 }
 
 /// Steal batch size for the runqueue backends.
@@ -477,8 +501,56 @@ fn driver_clause(p: &mut Parser) -> Result<DocDriver, DslError> {
                 rounds: rounds.ok_or_else(|| need("rounds"))?,
             })
         }
+        "openloop" => {
+            let (mut rate_hz, mut duration_ms) = (None, None);
+            let (mut service, mut seed) = (None, None);
+            block(p, "openloop", |p, key| match key {
+                "rate_hz" => set_once(&mut rate_hz, unsigned(p, key)?, key),
+                "duration_ms" => set_once(&mut duration_ms, unsigned(p, key)?, key),
+                "service" => set_once(&mut service, service_clause(p)?, key),
+                "seed" => set_once(&mut seed, unsigned(p, key)?, key),
+                other => Err(DslError::parse(format!("unknown openloop clause `{other}`"))),
+            })?;
+            let need = |what: &str| DslError::parse(format!("an openloop driver needs `{what}`"));
+            Ok(DocDriver::OpenLoop {
+                rate_hz: rate_hz.ok_or_else(|| need("rate_hz"))?,
+                duration_ms: duration_ms.ok_or_else(|| need("duration_ms"))?,
+                service: service.ok_or_else(|| need("service"))?,
+                seed,
+            })
+        }
         other => Err(DslError::parse(format!(
-            "unknown driver `{other}` (expected `replay`, `workload`, `burst` or `storm`)"
+            "unknown driver `{other}` (expected `replay`, `workload`, `burst`, `storm` or `openloop`)"
+        ))),
+    }
+}
+
+/// Parses a `service fixed(NS) | exp(NS) | bimodal(SHORT, LONG, PCT)`
+/// distribution (the clause's trailing `;` belongs to the enclosing block).
+fn service_clause(p: &mut Parser) -> Result<DocService, DslError> {
+    let kind = p.expect_ident()?;
+    p.expect(Token::LParen)?;
+    let mut args = vec![unsigned(p, "service argument")?];
+    while p.peek() == Some(&Token::Comma) {
+        p.next()?;
+        args.push(unsigned(p, "service argument")?);
+    }
+    p.expect(Token::RParen)?;
+    match (kind.as_str(), args.as_slice()) {
+        ("fixed", [ns]) => Ok(DocService::Fixed(*ns)),
+        ("exp", [mean_ns]) => Ok(DocService::Exp(*mean_ns)),
+        ("bimodal", [short_ns, long_ns, pct]) if *pct <= 100 => {
+            Ok(DocService::Bimodal(*short_ns, *long_ns, *pct))
+        }
+        ("bimodal", [_, _, pct]) => {
+            Err(DslError::parse(format!("bimodal percentage must be 0–100, got {pct}")))
+        }
+        ("fixed" | "exp" | "bimodal", args) => Err(DslError::parse(format!(
+            "wrong number of `{kind}` service arguments ({})",
+            args.len()
+        ))),
+        (other, _) => Err(DslError::parse(format!(
+            "unknown service mix `{other}` (expected `fixed`, `exp` or `bimodal`)"
         ))),
     }
 }
@@ -636,6 +708,24 @@ fn print_driver(driver: &DocDriver) -> String {
         DocDriver::Storm { epochs, fanout, rounds } => format!(
             "    driver storm {{\n        epochs {epochs};\n        fanout {fanout};\n        rounds {rounds};\n    }}\n"
         ),
+        DocDriver::OpenLoop { rate_hz, duration_ms, service, seed } => {
+            let mut s = "    driver openloop {\n".to_string();
+            s.push_str(&format!("        rate_hz {rate_hz};\n"));
+            s.push_str(&format!("        duration_ms {duration_ms};\n"));
+            let mix = match service {
+                DocService::Fixed(ns) => format!("fixed({ns})"),
+                DocService::Exp(mean_ns) => format!("exp({mean_ns})"),
+                DocService::Bimodal(short_ns, long_ns, pct) => {
+                    format!("bimodal({short_ns}, {long_ns}, {pct})")
+                }
+            };
+            s.push_str(&format!("        service {mix};\n"));
+            if let Some(seed) = seed {
+                s.push_str(&format!("        seed {seed};\n"));
+            }
+            s.push_str("    }\n");
+            s
+        }
     }
 }
 
@@ -804,6 +894,50 @@ mod tests {
         assert!(err.to_string().contains("warmup_ns"), "{err}");
     }
 
+    #[test]
+    fn openloop_drivers_parse_and_round_trip() {
+        let base = "experiment e26; topology flat(4); loads [0, 0, 0, 0]; policy p;";
+        let source = format!(
+            "scenario \"ladder\" {{ {base} driver openloop {{ rate_hz 6000; duration_ms 120; \
+             service bimodal(2000, 20000, 5); seed 42; }} }}"
+        );
+        let docs = parse_doc(&source).unwrap();
+        assert_eq!(
+            docs[0].driver,
+            DocDriver::OpenLoop {
+                rate_hz: 6000,
+                duration_ms: 120,
+                service: DocService::Bimodal(2000, 20_000, 5),
+                seed: Some(42),
+            }
+        );
+        assert_eq!(parse_doc(&print_scenario(&docs[0])).unwrap(), docs);
+
+        let err = parse_doc(&format!(
+            "scenario \"x\" {{ {base} driver openloop {{ rate_hz 100; service fixed(10); }} }}"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("duration_ms"), "{err}");
+        let err = parse_doc(&format!(
+            "scenario \"x\" {{ {base} driver openloop {{ rate_hz 100; duration_ms 10; \
+             service trimodal(1, 2, 3); }} }}"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown service mix"), "{err}");
+        let err = parse_doc(&format!(
+            "scenario \"x\" {{ {base} driver openloop {{ rate_hz 100; duration_ms 10; \
+             service bimodal(1, 2, 150); }} }}"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("0–100"), "{err}");
+        let err = parse_doc(&format!(
+            "scenario \"x\" {{ {base} driver openloop {{ rate_hz 100; duration_ms 10; \
+             service exp(1, 2); }} }}"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("wrong number"), "{err}");
+    }
+
     fn arb_driver() -> impl Strategy<Value = DocDriver> {
         prop_oneof![
             Just(DocDriver::Replay),
@@ -826,6 +960,23 @@ mod tests {
                     jitter_pct: with_jitter.then_some(jitter),
                 }
             ),
+            (1u64..100_000, 1u64..2_000, arb_service(), any::<bool>()).prop_map(
+                |(rate_hz, duration_ms, service, with_seed)| DocDriver::OpenLoop {
+                    rate_hz,
+                    duration_ms,
+                    service,
+                    seed: with_seed.then_some(23),
+                }
+            ),
+        ]
+    }
+
+    fn arb_service() -> impl Strategy<Value = DocService> {
+        prop_oneof![
+            (1u64..1_000_000).prop_map(DocService::Fixed),
+            (1u64..1_000_000).prop_map(DocService::Exp),
+            (1u64..100_000, 1u64..1_000_000, 0u64..=100)
+                .prop_map(|(s, l, p)| DocService::Bimodal(s, l, p)),
         ]
     }
 

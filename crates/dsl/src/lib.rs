@@ -52,7 +52,7 @@ pub mod verification;
 pub use ast::{Actor, BinOp, ChooseRule, Expr, Field, LoadSpec, MetricSpec, PolicyDef};
 pub use codegen::generate_rust;
 pub use doc::{
-    parse_doc, print_doc, print_scenario, DocBatch, DocDriver, DocInvariant, DocPolicy,
+    parse_doc, print_doc, print_scenario, DocBatch, DocDriver, DocInvariant, DocPolicy, DocService,
     DocTopology, ScenarioDoc,
 };
 pub use error::DslError;

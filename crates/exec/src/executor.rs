@@ -1,0 +1,743 @@
+//! The work-stealing executor: OS threads over the verified runqueues.
+//!
+//! Everything below this crate schedules *abstract task words*; this module
+//! finally makes them real.  An [`Executor`] spawns one OS worker thread
+//! per CPU of a [`MachineTopology`], each owning a lock-free
+//! [`DequeRq`] (Chase–Lev ring plus the shared overflow injector), and runs
+//! submitted jobs through exactly the machinery the rest of the repository
+//! verifies: wakeup placement via [`sched_core::ChoicePolicy::place_wakeup`],
+//! batched CAS stealing via [`DequeRq::try_steal_recorded`] with the same
+//! [`StealRecorder`] program point the `stats == fold(trace)` parity proofs
+//! rely on, and per-decision tracing through [`sched_trace`].
+//!
+//! # The worker loop
+//!
+//! ```text
+//!          ┌────────────────────────────────────────────────┐
+//!          ▼                                                │
+//!   run own core ──empty──▶ steal (searching++) ──stole──▶──┤
+//!   (current/ring/                  │                       │
+//!    injector)                   nothing                    │
+//!          ▲                        ▼                       │
+//!          │              register on idle stack            │
+//!          │                        │                       │
+//!          │               re-check own queue ──work──▶─────┘
+//!          │                        │
+//!          │                      empty
+//!          │                        ▼
+//!          └──token/timeout──  park (blocked)
+//! ```
+//!
+//! # Parking protocol
+//!
+//! Idle workers park on a per-worker token [`Parker`] and register on a
+//! shared [`IdleStack`] (last parked, first woken).  Producers wake the
+//! *specific* worker whose runqueue just received a task if it is parked;
+//! otherwise, if no worker is currently searching for work (the global
+//! `searching` counter), they pop one parked worker to go steal.  Bounding
+//! undirected wakeups by `searching == 0` is what prevents wakeup storms:
+//! one submission wakes at most one thief, and a thief that finds work
+//! will wake the next one through its own submissions' completions.  The
+//! register → re-check → block ordering closes the classic lost-wakeup
+//! race (see [`crate::parker`]); a short timed backstop on the park makes
+//! even a missed edge self-heal.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sched_core::{CoreId, CoreSnapshot, Policy, StealOutcome, TaskId};
+use sched_metrics::Histogram;
+use sched_rq::steal::StealRecorder;
+use sched_rq::{BalanceStats, DequeRq, RqBackend, RqTask, StealBatch};
+use sched_topology::MachineTopology;
+use sched_trace::{TraceEvent, TraceSink};
+
+use crate::parker::{IdleStack, Parker};
+
+/// Fallback park duration: a parked worker re-checks the world this often
+/// even if no token arrives.  Purely a backstop — the token protocol is
+/// what wakes workers — but it turns any missed edge (or a descheduled
+/// producer on an oversubscribed machine) into bounded latency instead of
+/// a hang.
+const PARK_BACKSTOP: Duration = Duration::from_millis(2);
+
+/// Number of job-table shards; a power of two so the modulo is a mask.
+const JOB_SHARDS: usize = 16;
+
+/// How the executor is built: machine shape, policy, and knobs.
+#[derive(Debug)]
+pub struct ExecConfig {
+    /// One worker (and one runqueue) per CPU of this machine.
+    pub topo: Arc<MachineTopology>,
+    /// The balancing policy: its filter/choice drive stealing, its
+    /// [`sched_core::ChoicePolicy::place_wakeup`] drives submission placement, and its
+    /// tracker maintains the loads both read.
+    pub policy: Policy,
+    /// Claim size of one steal decision.
+    pub batch: StealBatch,
+    /// Capacity of each worker's ring (overflow spills to the shared
+    /// injector, so this bounds memory, not admission).
+    pub ring_capacity: usize,
+    /// Decision trace sink; keep a clone to drain it after shutdown.
+    pub trace: TraceSink,
+}
+
+impl ExecConfig {
+    /// A configuration with the default ring capacity, one-task steals and
+    /// no tracing.
+    pub fn new(topo: Arc<MachineTopology>, policy: Policy) -> Self {
+        ExecConfig {
+            topo,
+            policy,
+            batch: StealBatch::One,
+            ring_capacity: 1024,
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Sets the steal batch size.
+    pub fn with_batch(mut self, batch: StealBatch) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Attaches a decision trace sink.
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the per-worker ring capacity.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+}
+
+/// What one submitted task actually does when a worker runs it.
+enum Job {
+    /// Run a closure (the `spawn` API).
+    Closure(Box<dyn FnOnce() + Send + 'static>),
+    /// Spin for a sampled service time and record the end-to-end latency
+    /// since submission (the open-loop benchmark API).
+    Request {
+        /// Nanoseconds of CPU to burn.
+        service_ns: u64,
+        /// Submission time, nanoseconds since the executor started.
+        submitted_ns: u64,
+    },
+}
+
+/// The id → job side table.  Runqueues carry task *words* (id, nice); the
+/// payload rides here, inserted before the enqueue so a worker that claims
+/// the id always finds it.
+struct JobTable {
+    shards: Vec<Mutex<HashMap<u64, Job>>>,
+}
+
+impl JobTable {
+    fn new() -> Self {
+        JobTable { shards: (0..JOB_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn insert(&self, id: u64, job: Job) {
+        let mut shard = self.shards[id as usize % JOB_SHARDS].lock().expect("job shard poisoned");
+        shard.insert(id, job);
+    }
+
+    fn take(&self, id: u64) -> Option<Job> {
+        let mut shard = self.shards[id as usize % JOB_SHARDS].lock().expect("job shard poisoned");
+        shard.remove(&id)
+    }
+}
+
+/// One spawned job's result slot (see [`Executor::spawn`]).
+struct JoinCell<T> {
+    slot: Mutex<Option<T>>,
+    done: Condvar,
+}
+
+/// Waits for one spawned closure's result.
+pub struct JoinHandle<T> {
+    cell: Arc<JoinCell<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the job has run and returns its result.
+    pub fn join(self) -> T {
+        let mut slot = self.cell.slot.lock().expect("join cell poisoned");
+        loop {
+            match slot.take() {
+                Some(out) => return out,
+                None => slot = self.cell.done.wait(slot).expect("join cell poisoned"),
+            }
+        }
+    }
+
+    /// `true` once the job has completed (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.cell.slot.lock().expect("join cell poisoned").is_some()
+    }
+}
+
+/// Everything the worker threads share.
+struct Shared {
+    cores: Vec<DequeRq>,
+    policy: Policy,
+    batch: StealBatch,
+    topo: Arc<MachineTopology>,
+    /// Logical machine clock in nanoseconds since `start`; workers and
+    /// producers advance it with `fetch_max` so it never goes backwards.
+    clock: Arc<AtomicU64>,
+    start: Instant,
+    stats: BalanceStats,
+    trace: TraceSink,
+    jobs: JobTable,
+    parkers: Vec<Parker>,
+    idle: IdleStack,
+    /// Workers currently in their stealing phase; producers skip the
+    /// undirected wakeup while this is nonzero (storm bound).
+    searching: AtomicUsize,
+    /// Jobs submitted and not yet completed.
+    pending: AtomicU64,
+    shutdown: AtomicBool,
+    next_task: AtomicU64,
+    /// Round-robin previous-core hint for submissions from outside the
+    /// executor (a fresh request has no meaningful "previous core").
+    rr: AtomicUsize,
+    /// Per-worker latency histograms merge here as workers exit.
+    latency: Mutex<Histogram>,
+    completed: AtomicU64,
+}
+
+impl Shared {
+    fn now_wall_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Advances the logical clock to wall time and publishes it to the
+    /// trace, so events across workers are stamped on one timeline.
+    fn advance_clock(&self) -> u64 {
+        let now = self.now_wall_ns();
+        self.clock.fetch_max(now, Ordering::AcqRel);
+        self.trace.set_now(now);
+        now
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    fn should_exit(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire) && self.pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Wakes whoever should handle a task just seated on `target`'s queue:
+    /// the target's own worker if it is parked, else — when nobody is
+    /// already out stealing — the most recently parked worker to go steal.
+    fn notify(&self, target: usize) {
+        if self.idle.pop_specific(target) {
+            self.parkers[target].unpark();
+            return;
+        }
+        if self.searching.load(Ordering::Acquire) == 0 {
+            if let Some(worker) = self.idle.pop_any() {
+                self.parkers[worker].unpark();
+            }
+        }
+    }
+
+    /// One three-step balancing operation for `thief` — the same
+    /// selection/steal split as `MultiQueue::balance_once_batched`, with
+    /// the outcome counted and traced through the shared [`StealRecorder`]
+    /// program point (which is what keeps `stats == fold(trace)` exact for
+    /// this substrate too).
+    fn balance_once(&self, thief: CoreId) -> StealOutcome {
+        let snapshots: Vec<CoreSnapshot> = self.cores.iter().map(DequeRq::snapshot).collect();
+        let thief_snap = snapshots[thief.0];
+        let candidates: Vec<CoreSnapshot> = snapshots
+            .into_iter()
+            .filter(|s| s.id != thief && self.policy.filter.can_steal(&thief_snap, s))
+            .collect();
+        let Some(victim) = self.policy.choice.choose(&thief_snap, &candidates) else {
+            self.stats.record(&StealOutcome::NoCandidates);
+            if self.trace.is_enabled() {
+                self.trace.record(
+                    thief,
+                    self.now_ns(),
+                    &TraceEvent::steal_attempt(&StealOutcome::NoCandidates, None, 1),
+                );
+            }
+            return StealOutcome::NoCandidates;
+        };
+        let victim_snap = candidates.iter().find(|s| s.id == victim).expect("choice membership");
+        let max_tasks = self.batch.size(&self.policy, &thief_snap, victim_snap);
+        let level = self.topo.steal_level(thief, victim);
+        let outcome = DequeRq::try_steal_recorded(
+            &self.cores[thief.0],
+            &self.cores[victim.0],
+            self.policy.filter.as_ref(),
+            max_tasks,
+            Some(StealRecorder::new(&self.stats, Some(level)).with_trace(
+                &self.trace,
+                thief,
+                self.now_ns(),
+            )),
+        );
+        self.policy.choice.observe(thief, victim, outcome.is_success());
+        outcome
+    }
+
+    /// Runs one claimed task to completion on worker `me`.
+    fn execute(&self, task: TaskId, me: usize, latency: &mut Histogram) {
+        match self.jobs.take(task.0) {
+            Some(Job::Closure(f)) => f(),
+            Some(Job::Request { service_ns, submitted_ns }) => {
+                spin_for(service_ns);
+                let e2e_ns = self.now_wall_ns().saturating_sub(submitted_ns);
+                latency.record(e2e_ns / 1_000);
+            }
+            // Jobs are inserted before their id is enqueued, so a claimed
+            // id always resolves; tolerate (and count) a miss anyway
+            // rather than poisoning the worker.
+            None => debug_assert!(false, "task {task:?} has no job"),
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(CoreId(me), self.now_ns(), &TraceEvent::TaskDone { task });
+        }
+        let removed = self.cores[me].complete_current();
+        debug_assert_eq!(removed.as_ref().map(|t| t.id), Some(task));
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 && self.shutdown.load(Ordering::Acquire)
+        {
+            // Last job out during shutdown: wake everyone so they observe
+            // `should_exit` and leave.
+            for worker in self.idle.drain() {
+                self.parkers[worker].unpark();
+            }
+        }
+    }
+
+    /// The body of one worker thread.
+    fn worker_loop(&self, me: usize) {
+        let rq = &self.cores[me];
+        let mut latency = Histogram::new();
+        loop {
+            self.advance_clock();
+            rq.refresh();
+            // Run everything reachable from the own core: the seated task
+            // (a wakeup may have claimed the idle core directly), then
+            // ring and injector via `pick_next`.
+            while let Some(task) = rq.current_task().or_else(|| rq.pick_next()) {
+                self.execute(task, me, &mut latency);
+                self.advance_clock();
+            }
+            // Own sources empty: go stealing.  The `searching` counter is
+            // up only around the attempt — producers seeing it nonzero
+            // trust this thief to find their work.
+            self.searching.fetch_add(1, Ordering::AcqRel);
+            let outcome = self.balance_once(CoreId(me));
+            self.searching.fetch_sub(1, Ordering::AcqRel);
+            if outcome.is_success() {
+                continue;
+            }
+            if self.should_exit() {
+                break;
+            }
+            // Register → re-check → block.  A producer enqueueing after
+            // the re-check sees the registration and deposits the token.
+            self.idle.push(me);
+            if !rq.snapshot().is_idle() || rq.injected_len() > 0 || self.should_exit() {
+                if !self.idle.remove(me) {
+                    // A producer popped us concurrently and deposited a
+                    // token; consume it so it cannot ghost-wake a later
+                    // park.
+                    self.parkers[me].park_timeout(Duration::ZERO);
+                }
+                continue;
+            }
+            self.trace.record(CoreId(me), self.now_ns(), &TraceEvent::Park);
+            let woken = self.parkers[me].park_timeout(PARK_BACKSTOP);
+            if !woken && !self.idle.remove(me) {
+                // Timed out, but a producer popped us in the window before
+                // the deregistration — its token is deposited; eat it.
+                self.parkers[me].park_timeout(Duration::ZERO);
+            }
+            self.advance_clock();
+            self.trace.record(CoreId(me), self.now_ns(), &TraceEvent::Unpark);
+        }
+        self.latency.lock().expect("latency histogram poisoned").merge(&latency);
+    }
+}
+
+/// Burns roughly `ns` nanoseconds of CPU (the "service" of a benchmark
+/// request).  Spinning, not sleeping: a request occupies its core exactly
+/// the way real work would, which is what makes the measured queueing
+/// delays honest.
+fn spin_for(ns: u64) {
+    let end = Instant::now() + Duration::from_nanos(ns);
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// Everything a finished run measured, returned by [`Executor::shutdown`].
+#[derive(Debug)]
+pub struct ExecReport {
+    /// End-to-end request latency (submission → completion), microseconds.
+    pub latency_us: Histogram,
+    /// Jobs completed over the executor's lifetime.
+    pub completed: u64,
+    /// The balancing counters of the run (steals, failures, migrations,
+    /// per-level attribution) — fold the drained trace to reproduce them.
+    pub stats: BalanceStats,
+}
+
+/// The work-stealing executor (see the module docs).
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Builds the runqueues and spawns one worker thread per CPU of the
+    /// configured topology.
+    pub fn start(config: ExecConfig) -> Self {
+        let ExecConfig { topo, policy, batch, ring_capacity, trace } = config;
+        let clock = Arc::new(AtomicU64::new(0));
+        let cores: Vec<DequeRq> = topo
+            .cpus()
+            .iter()
+            .map(|c| {
+                let mut rq = DequeRq::with_queue_capacity(
+                    c.id,
+                    c.node,
+                    Arc::clone(&policy.tracker),
+                    Arc::clone(&clock),
+                    ring_capacity,
+                );
+                rq.attach_trace(trace.clone());
+                rq
+            })
+            .collect();
+        let nr_workers = cores.len();
+        let shared = Arc::new(Shared {
+            cores,
+            policy,
+            batch,
+            topo,
+            clock,
+            start: Instant::now(),
+            stats: BalanceStats::new(),
+            trace,
+            jobs: JobTable::new(),
+            parkers: (0..nr_workers).map(|_| Parker::new()).collect(),
+            idle: IdleStack::new(),
+            searching: AtomicUsize::new(0),
+            pending: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            next_task: AtomicU64::new(0),
+            rr: AtomicUsize::new(0),
+            latency: Mutex::new(Histogram::new()),
+            completed: AtomicU64::new(0),
+        });
+        let workers = (0..nr_workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sched-exec-{me}"))
+                    .spawn(move || shared.worker_loop(me))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// Number of worker threads (= CPUs of the configured topology).
+    pub fn nr_workers(&self) -> usize {
+        self.shared.cores.len()
+    }
+
+    /// Submits a closure and returns a handle to its result.
+    ///
+    /// The closure becomes a task word on a real runqueue: it is placed by
+    /// the policy's [`sched_core::ChoicePolicy::place_wakeup`], may be stolen between
+    /// cores before it runs, and executes on whichever worker claims it.
+    pub fn spawn<F, T>(&self, f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let cell = Arc::new(JoinCell { slot: Mutex::new(None), done: Condvar::new() });
+        let out = Arc::clone(&cell);
+        self.submit_job(Job::Closure(Box::new(move || {
+            let result = f();
+            *out.slot.lock().expect("join cell poisoned") = Some(result);
+            out.done.notify_all();
+        })));
+        JoinHandle { cell }
+    }
+
+    /// Submits one open-loop benchmark request costing `service_ns` of
+    /// CPU; its end-to-end latency (now → completion) lands in the
+    /// report's histogram.
+    pub fn submit_request(&self, service_ns: u64) {
+        let submitted_ns = self.shared.now_wall_ns();
+        self.submit_job(Job::Request { service_ns, submitted_ns });
+    }
+
+    fn submit_job(&self, job: Job) -> TaskId {
+        let shared = &self.shared;
+        let id = TaskId(shared.next_task.fetch_add(1, Ordering::Relaxed));
+        shared.pending.fetch_add(1, Ordering::AcqRel);
+        shared.jobs.insert(id.0, job);
+        // Place the wakeup: the policy reads the same lock-less snapshots
+        // the stealing side does.  External submissions have no meaningful
+        // previous core, so a rotating hint spreads the "prev is idle"
+        // fast path instead of herding everything onto core 0.
+        let prev = CoreId(shared.rr.fetch_add(1, Ordering::Relaxed) % shared.cores.len());
+        let snapshots: Vec<CoreSnapshot> = shared.cores.iter().map(DequeRq::snapshot).collect();
+        let target = shared.policy.choice.place_wakeup(prev, &snapshots).unwrap_or(prev);
+        let now = shared.advance_clock();
+        if shared.trace.is_enabled() {
+            shared.trace.record(target, now, &TraceEvent::TaskWake { task: id });
+            shared.trace.record(target, now, &TraceEvent::PlaceDecision { task: id, core: target });
+        }
+        shared.cores[target.0].enqueue(RqTask::new(id));
+        shared.notify(target.0);
+        id
+    }
+
+    /// Blocks until every submitted job has completed.  Open-loop runs
+    /// call this after the generator finishes so the histogram covers the
+    /// whole schedule, including the backlog.
+    pub fn drain(&self) {
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// The run's balancing counters (live; also returned by value in the
+    /// final [`ExecReport`]).
+    pub fn stats(&self) -> &BalanceStats {
+        &self.shared.stats
+    }
+
+    /// Lock-less snapshots of every worker's runqueue, in id order.
+    pub fn snapshots(&self) -> Vec<CoreSnapshot> {
+        self.shared.cores.iter().map(DequeRq::snapshot).collect()
+    }
+
+    /// Stops accepting progress, waits for the queues to empty, joins all
+    /// workers, and returns what the run measured.
+    pub fn shutdown(self) -> ExecReport {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for worker in self.shared.idle.drain() {
+            self.shared.parkers[worker].unpark();
+        }
+        // Belt and braces: a worker may have been between the drain and
+        // its own park registration.
+        for parker in &self.shared.parkers {
+            parker.unpark();
+        }
+        for handle in self.workers {
+            handle.join().expect("worker thread panicked");
+        }
+        let shared = &self.shared;
+        let stats = BalanceStats::new();
+        stats.merge_from(&shared.stats);
+        ExecReport {
+            latency_us: shared.latency.lock().expect("latency histogram poisoned").clone(),
+            completed: shared.completed.load(Ordering::Relaxed),
+            stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers.len())
+            .field("pending", &self.shared.pending.load(Ordering::Relaxed))
+            .field("completed", &self.shared.completed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openloop::{drive, OpenLoopSpec, ServiceMix};
+    use sched_core::policy::TopologyAwareChoice;
+    use sched_core::LoadMetric;
+    use sched_topology::TopologyBuilder;
+    use sched_trace::FoldedStats;
+
+    fn small_topo() -> Arc<MachineTopology> {
+        Arc::new(TopologyBuilder::new().sockets(1).cores_per_socket(4).llcs_per_socket(1).build())
+    }
+
+    fn exec_policy(topo: &Arc<MachineTopology>) -> Policy {
+        Policy::simple().with_choice(Box::new(TopologyAwareChoice::new(
+            Arc::clone(topo),
+            LoadMetric::NrThreads,
+        )))
+    }
+
+    fn start(trace: TraceSink) -> Executor {
+        let topo = small_topo();
+        let policy = exec_policy(&topo);
+        Executor::start(ExecConfig::new(topo, policy).with_trace(trace))
+    }
+
+    #[test]
+    fn spawned_closures_run_and_join() {
+        let exec = start(TraceSink::disabled());
+        let handles: Vec<JoinHandle<u64>> = (0..64u64).map(|i| exec.spawn(move || i * 2)).collect();
+        let sum: u64 = handles.into_iter().map(JoinHandle::join).sum();
+        assert_eq!(sum, (0..64u64).map(|i| i * 2).sum());
+        let report = exec.shutdown();
+        assert_eq!(report.completed, 64);
+    }
+
+    #[test]
+    fn requests_measure_end_to_end_latency() {
+        let exec = start(TraceSink::disabled());
+        for _ in 0..32 {
+            exec.submit_request(5_000);
+        }
+        exec.drain();
+        let report = exec.shutdown();
+        assert_eq!(report.completed, 32);
+        assert_eq!(report.latency_us.count(), 32);
+        // 5 µs of service: every measured latency is at least that, minus
+        // the µs-truncation of sub-microsecond parts.
+        assert!(report.latency_us.max() >= 4);
+    }
+
+    #[test]
+    fn an_open_loop_run_completes_its_schedule() {
+        let exec = start(TraceSink::disabled());
+        let spec = OpenLoopSpec {
+            rate_hz: 4_000,
+            duration_ms: 50,
+            service: ServiceMix::Fixed { ns: 2_000 },
+            seed: 7,
+        };
+        let report = drive(&exec, spec);
+        assert!(report.submitted > 0);
+        exec.drain();
+        let summary = exec.shutdown();
+        assert_eq!(summary.completed, report.submitted);
+        assert_eq!(summary.latency_us.count(), report.submitted);
+    }
+
+    #[test]
+    fn stats_equal_folded_trace() {
+        // The executor parity leg: every steal decision the workers make
+        // is recorded through the same StealRecorder program point the
+        // counters move through, so folding the drained trace reproduces
+        // the stats exactly — on real OS threads, not a simulator.
+        let sink = TraceSink::with_capacity(4, 1 << 16);
+        let exec = start(sink.clone());
+        let spec = OpenLoopSpec {
+            rate_hz: 3_000,
+            duration_ms: 60,
+            service: ServiceMix::Exp { mean_ns: 4_000 },
+            seed: 11,
+        };
+        drive(&exec, spec);
+        exec.drain();
+        let report = exec.shutdown();
+        let trace = sink.drain();
+        assert_eq!(trace.dropped, 0, "size the rings so the parity check sees everything");
+        let folded = FoldedStats::from_trace(&trace);
+        assert_eq!(folded.successes, report.stats.successes());
+        assert_eq!(folded.recheck_failures, report.stats.recheck_failures());
+        assert_eq!(folded.nothing_to_steal, report.stats.nothing_to_steal());
+        assert_eq!(folded.no_candidates, report.stats.no_candidates());
+        assert_eq!(folded.migrations, report.stats.migrations());
+        assert_eq!(folded.level_migrations, report.stats.level_migration_counts());
+    }
+
+    #[test]
+    fn an_idle_executor_shuts_down_promptly() {
+        let exec = start(TraceSink::disabled());
+        std::thread::sleep(Duration::from_millis(10));
+        let report = exec.shutdown();
+        assert_eq!(report.completed, 0);
+    }
+
+    // ---- stress legs (CI `exec-stress` job; `--ignored`) ----
+
+    /// Park/unpark race hammer: repeated idle → burst → drain cycles drive
+    /// every worker through the register/re-check/park edge while
+    /// submissions race the registrations.  A lost wakeup shows up as a
+    /// drain that takes the park backstop instead of the token path —
+    /// or, if the protocol is truly broken, as a hang.
+    #[test]
+    #[ignore]
+    fn park_unpark_races_never_strand_work() {
+        let exec = start(TraceSink::disabled());
+        for round in 0..200 {
+            // Let everyone park.
+            std::thread::sleep(Duration::from_millis(1));
+            let handles: Vec<JoinHandle<usize>> = (0..16).map(|i| exec.spawn(move || i)).collect();
+            let sum: usize = handles.into_iter().map(JoinHandle::join).sum();
+            assert_eq!(sum, (0..16).sum::<usize>(), "round {round} lost a job");
+        }
+        exec.drain();
+        let report = exec.shutdown();
+        assert_eq!(report.completed, 200 * 16);
+    }
+
+    /// Concurrent submitters race the parking protocol from multiple
+    /// threads at once (the single-producer case above cannot exercise
+    /// producer/producer interleavings of the idle stack).
+    #[test]
+    #[ignore]
+    fn concurrent_submitters_race_the_idle_stack() {
+        let exec = Arc::new(start(TraceSink::disabled()));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let exec = Arc::clone(&exec);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        exec.submit_request(1_000);
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                });
+            }
+        });
+        exec.drain();
+        let report = Arc::into_inner(exec).expect("all submitters joined").shutdown();
+        assert_eq!(report.completed, 4 * 500);
+    }
+
+    /// A short open-loop soak at a saturating rate: the executor must
+    /// neither lose requests nor deadlock when the offered load exceeds
+    /// the machine.
+    #[test]
+    #[ignore]
+    fn open_loop_soak_survives_saturation() {
+        let exec = start(TraceSink::disabled());
+        let spec = OpenLoopSpec {
+            rate_hz: 20_000,
+            duration_ms: 500,
+            service: ServiceMix::Bimodal { short_ns: 2_000, long_ns: 50_000, long_pct: 5 },
+            seed: 3,
+        };
+        let report = drive(&exec, spec);
+        exec.drain();
+        let summary = exec.shutdown();
+        assert_eq!(summary.completed, report.submitted);
+        assert!(summary.latency_us.count() > 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Worker parking: a token parker per worker plus the shared idle stack.
+//!
+//! The executor's idle protocol has two halves.  Each worker owns a
+//! [`Parker`] — a one-shot token it blocks on when it runs out of work —
+//! and the executor keeps an [`IdleStack`] of the workers currently
+//! parked, in park order.  Producers wake workers through the stack:
+//!
+//! * a wakeup aimed at a specific core unparks *that* core's worker if it
+//!   is on the stack (the task was seated on its runqueue, nobody else
+//!   will run it);
+//! * an undirected "work exists somewhere" nudge pops the **top** of the
+//!   stack — last parked, first woken — so the most recently active
+//!   worker (warmest cache, least likely to have been descheduled) takes
+//!   the hit and long-idle workers stay asleep.
+//!
+//! The token makes the classic publish/re-check race benign: a worker
+//! *registers* on the idle stack, *re-checks* its sources, and only then
+//! blocks.  A producer that enqueues after the re-check necessarily sees
+//! the registration and deposits the token, so the park returns
+//! immediately instead of sleeping through the wakeup.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A one-shot wakeup token one worker blocks on.
+///
+/// `unpark` deposits the token; `park_timeout` consumes it, blocking until
+/// it is present or the timeout lapses.  Tokens do not accumulate: any
+/// number of `unpark`s between two parks release exactly one park, which
+/// is the right semantics for "there may be work, go look".
+#[derive(Debug, Default)]
+pub struct Parker {
+    token: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    /// Creates a parker with no token deposited.
+    pub fn new() -> Self {
+        Parker::default()
+    }
+
+    /// Blocks until a token is deposited or `timeout` lapses, consuming
+    /// the token if present.  Returns `true` if it was woken by a token,
+    /// `false` on timeout.  Never blocks when the token is already there.
+    pub fn park_timeout(&self, timeout: Duration) -> bool {
+        let mut token = self.token.lock().expect("parker lock poisoned");
+        if !*token {
+            let deadline = std::time::Instant::now() + timeout;
+            while !*token {
+                let now = std::time::Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (guard, _) = self.cv.wait_timeout(token, left).expect("parker lock poisoned");
+                token = guard;
+            }
+        }
+        let woken = *token;
+        *token = false;
+        woken
+    }
+
+    /// Deposits the wakeup token and wakes the parked worker, if any.
+    pub fn unpark(&self) {
+        let mut token = self.token.lock().expect("parker lock poisoned");
+        *token = true;
+        self.cv.notify_one();
+    }
+}
+
+/// The shared registry of parked workers, in park order (a stack).
+#[derive(Debug, Default)]
+pub struct IdleStack {
+    parked: Mutex<Vec<usize>>,
+}
+
+impl IdleStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        IdleStack::default()
+    }
+
+    /// Registers `worker` as parked (pushes it on top).  Must be called
+    /// *before* the worker's final re-check of its work sources.
+    pub fn push(&self, worker: usize) {
+        let mut parked = self.parked.lock().expect("idle stack poisoned");
+        debug_assert!(!parked.contains(&worker), "worker parked twice");
+        parked.push(worker);
+    }
+
+    /// Deregisters `worker` wherever it sits on the stack.  Returns `true`
+    /// if it was still registered — `false` means a producer already popped
+    /// it (and deposited a token the worker's next park will consume).
+    pub fn remove(&self, worker: usize) -> bool {
+        let mut parked = self.parked.lock().expect("idle stack poisoned");
+        match parked.iter().position(|&w| w == worker) {
+            Some(at) => {
+                parked.remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pops the most recently parked worker (last parked, first woken).
+    pub fn pop_any(&self) -> Option<usize> {
+        self.parked.lock().expect("idle stack poisoned").pop()
+    }
+
+    /// Pops `worker` specifically, if it is registered.
+    pub fn pop_specific(&self, worker: usize) -> bool {
+        self.remove(worker)
+    }
+
+    /// Number of currently registered workers.
+    pub fn len(&self) -> usize {
+        self.parked.lock().expect("idle stack poisoned").len()
+    }
+
+    /// `true` when no worker is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the whole stack, top first (shutdown wakes everyone).
+    pub fn drain(&self) -> Vec<usize> {
+        let mut parked = self.parked.lock().expect("idle stack poisoned");
+        let mut all = std::mem::take(&mut *parked);
+        all.reverse();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn a_deposited_token_makes_park_immediate() {
+        let p = Parker::new();
+        p.unpark();
+        let start = Instant::now();
+        assert!(p.park_timeout(Duration::from_secs(5)), "token was waiting");
+        assert!(start.elapsed() < Duration::from_secs(1), "must not block");
+        // The token was consumed: the next park times out.
+        assert!(!p.park_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn tokens_do_not_accumulate() {
+        let p = Parker::new();
+        p.unpark();
+        p.unpark();
+        assert!(p.park_timeout(Duration::from_millis(1)));
+        assert!(!p.park_timeout(Duration::from_millis(1)), "one token, one wake");
+    }
+
+    #[test]
+    fn unpark_wakes_a_blocked_parker() {
+        let p = Arc::new(Parker::new());
+        let p2 = Arc::clone(&p);
+        let t = std::thread::spawn(move || p2.park_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        p.unpark();
+        assert!(t.join().unwrap(), "woken by token, not timeout");
+    }
+
+    #[test]
+    fn the_stack_wakes_last_parked_first() {
+        let s = IdleStack::new();
+        s.push(0);
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop_any(), Some(2));
+        assert_eq!(s.pop_any(), Some(1));
+        assert!(s.pop_specific(0));
+        assert!(!s.pop_specific(0), "already popped");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_top_first() {
+        let s = IdleStack::new();
+        s.push(3);
+        s.push(7);
+        assert_eq!(s.drain(), vec![7, 3]);
+        assert!(s.is_empty());
+    }
+}

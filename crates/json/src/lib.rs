@@ -43,7 +43,12 @@ pub use write::{object, JsonValue};
 ///   harness is invoked with `--full-records`; the key is omitted
 ///   entirely — not `null` — on default runs, so default documents keep
 ///   their v6 shape byte for byte.
-pub const SCHEMA_VERSION: i64 = 7;
+/// * v8: per-record `e2e_p99_us` and `e2e_p999_us` — measured wall-clock
+///   end-to-end request latency (submit to completion) on the real
+///   work-stealing executor under open-loop arrivals (the E26 ladder; the
+///   gate's absolute `--p99-ceiling-us` applies to both).  `null` on
+///   every backend except `exec`.
+pub const SCHEMA_VERSION: i64 = 8;
 
 /// The identity of one `BENCH_results.json` record.
 ///

@@ -260,6 +260,22 @@ impl DequeRq {
         self.injector.len()
     }
 
+    /// The task currently occupying the core, if any.
+    ///
+    /// This is the owner-side read the executor's worker loop needs: a
+    /// wakeup can seat a task on an idle core directly (the enqueue CAS on
+    /// `current`), in which case the owner never saw it go by —
+    /// `pick_next` returns `None` precisely *because* the core is busy, and
+    /// `complete_current` would reveal the id only by removing the task.
+    /// Reading `current` is safe from any thread (it is one atomic load of
+    /// a possibly-stale word), but only the owner's read is stable: once
+    /// `current` is non-`EMPTY`, the sole transition back to `EMPTY` is
+    /// `complete_current`, which the owner alone calls.
+    pub fn current_task(&self) -> Option<TaskId> {
+        let word = self.current.load(Ordering::Acquire);
+        (word != EMPTY).then(|| decode(word).id)
+    }
+
     /// Pops one waiting task at the owner end (ring first, then overflow),
     /// keeping the counters in step.  Caller holds the owner mutex.
     fn pop_queued(&self, owner: &mut OwnerSide) -> Option<u64> {

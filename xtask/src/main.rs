@@ -59,6 +59,12 @@
 //!   policy can converge cheaply by parking work (an over-long PELT
 //!   half-life does exactly that); throughput and idle gates would wave
 //!   it through, the latency SLO does not.
+//! * `e2e_p99_us` / `e2e_p999_us` (schema v8, the real executor) — the
+//!   same **absolute ceiling** (`--p99-ceiling-us F`) applies to the
+//!   measured end-to-end request latency of the `exec` backend's E26
+//!   open-loop ladder: any current record whose e2e p99 *or* p999 busts
+//!   the ceiling fails, and a record whose baseline measured them but the
+//!   current run reports `null` fails as a broken recorder.
 //! * `tasks_per_acquisition` (schema v5, the E23 batch sweep) — relative
 //!   floor at **double** tolerance when both runs measured it: the batched
 //!   rows' amortisation breathes with steal races, but a collapse back
@@ -98,6 +104,8 @@ struct Record {
     migrations: f64,
     wall_ms: f64,
     p99_sched_latency_us: Option<f64>,
+    e2e_p99_us: Option<f64>,
+    e2e_p999_us: Option<f64>,
     steal_batch_k: Option<String>,
     tasks_per_acquisition: Option<f64>,
     sim_engine: Option<String>,
@@ -131,6 +139,8 @@ fn records_of(doc: &Json, path: &str) -> Result<Vec<Record>, String> {
             migrations: number("migrations").unwrap_or(f64::NAN),
             wall_ms: number("wall_ms").unwrap_or(f64::INFINITY),
             p99_sched_latency_us: r.get("p99_sched_latency_us").and_then(Json::as_f64),
+            e2e_p99_us: r.get("e2e_p99_us").and_then(Json::as_f64),
+            e2e_p999_us: r.get("e2e_p999_us").and_then(Json::as_f64),
             steal_batch_k: r.get("steal_batch_k").and_then(Json::as_str).map(str::to_string),
             tasks_per_acquisition: r.get("tasks_per_acquisition").and_then(Json::as_f64),
             sim_engine: r.get("sim_engine").and_then(Json::as_str).map(str::to_string),
@@ -305,6 +315,30 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
                      (latency recorder broken?)",
                     cur.key
                 ));
+            }
+            // The same ceiling gates the executor's measured end-to-end
+            // request latency (schema v8): both quantiles, absolutely.
+            let base = baseline.iter().find(|b| b.key == cur.key);
+            let e2e_quantiles = [
+                ("E2E P99", cur.e2e_p99_us, base.is_some_and(|b| b.e2e_p99_us.is_some())),
+                ("E2E P999", cur.e2e_p999_us, base.is_some_and(|b| b.e2e_p999_us.is_some())),
+            ];
+            for (label, quantile, measured_in_baseline) in e2e_quantiles {
+                if let Some(us) = quantile {
+                    if us > ceiling {
+                        regressions.push(format!(
+                            "{label:<9} {}: {us:.0}us > {ceiling:.0}us absolute end-to-end \
+                             latency ceiling",
+                            cur.key
+                        ));
+                    }
+                } else if measured_in_baseline {
+                    regressions.push(format!(
+                        "{label:<9} {}: the baseline measured an end-to-end quantile but the \
+                         current run does not (latency recorder broken?)",
+                        cur.key
+                    ));
+                }
             }
         }
     }
@@ -695,6 +729,53 @@ mod tests {
         assert_eq!(run(Some("5000")), ExitCode::FAILURE);
         // But a record that never measured one (model/rq) is never gated.
         std::fs::write(&base, doc(&sim("null"))).unwrap();
+        assert_eq!(run(Some("5000")), ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn p99_ceiling_also_gates_the_executors_end_to_end_quantiles() {
+        let dir = std::env::temp_dir().join("xtask-bench-diff-e2e");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        let exec = |p99: &str, p999: &str| {
+            format!(
+                "{{\"experiment\": \"e26\", \"scenario\": \"s\", \"backend\": \"exec\", \
+                 \"throughput\": 1000.0, \"throughput_unit\": \"reqs/s\", \
+                 \"violating_idle\": 0.0, \"e2e_p99_us\": {p99}, \"e2e_p999_us\": {p999}}}"
+            )
+        };
+        std::fs::write(&base, doc(&exec("200.0", "800.0"))).unwrap();
+        let run = |ceiling: Option<&str>| {
+            let mut args = vec![
+                "--baseline".to_string(),
+                base.to_str().unwrap().into(),
+                "--current".into(),
+                cur.to_str().unwrap().into(),
+            ];
+            if let Some(c) = ceiling {
+                args.push("--p99-ceiling-us".into());
+                args.push(c.into());
+            }
+            bench_diff(&args).unwrap()
+        };
+        // An injected e2e p99 regression above the ceiling fails even
+        // though the relative gates see nothing wrong.
+        std::fs::write(&cur, doc(&exec("9000.0", "9500.0"))).unwrap();
+        assert_eq!(run(None), ExitCode::SUCCESS);
+        assert_eq!(run(Some("5000")), ExitCode::FAILURE);
+        assert_eq!(run(Some("10000")), ExitCode::SUCCESS);
+        // The tail quantile is gated on its own: a clean p99 does not
+        // excuse a p999 over the ceiling.
+        std::fs::write(&cur, doc(&exec("200.0", "9500.0"))).unwrap();
+        assert_eq!(run(Some("5000")), ExitCode::FAILURE);
+        // Quantiles that disappear relative to the baseline mean the
+        // recorder broke, not that the SLO passed.
+        std::fs::write(&cur, doc(&exec("null", "null"))).unwrap();
+        assert_eq!(run(Some("5000")), ExitCode::FAILURE);
+        // A backend that never measured them (everything but exec) is
+        // never gated.
+        std::fs::write(&base, doc(&exec("null", "null"))).unwrap();
         assert_eq!(run(Some("5000")), ExitCode::SUCCESS);
     }
 
